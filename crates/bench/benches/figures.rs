@@ -1,0 +1,79 @@
+//! Criterion versions of the figure workloads at reduced scale: end-to-end
+//! exchanges for SEDEX / EDEX / ++Spicy on representative scenarios, so
+//! regressions in any engine show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedex_core::{EdexEngine, SedexEngine};
+use sedex_mapping::SpicyEngine;
+use sedex_scenarios::ambiguity::amb_only;
+use sedex_scenarios::stbench::{basic, BasicKind};
+
+fn bench_engines_on_cp(c: &mut Criterion) {
+    let s = basic(BasicKind::Cp);
+    let inst = s.populate(1000, 1).unwrap();
+    let mut g = c.benchmark_group("engines_cp_1k");
+    g.sample_size(20);
+    g.bench_function("sedex", |b| {
+        b.iter(|| {
+            SedexEngine::new()
+                .exchange(&inst, &s.target, &s.sigma)
+                .unwrap()
+        })
+    });
+    g.bench_function("edex", |b| {
+        b.iter(|| {
+            EdexEngine::new()
+                .exchange(&inst, &s.target, &s.sigma)
+                .unwrap()
+        })
+    });
+    let spicy = SpicyEngine::new(&s.source, &s.target, &s.sigma);
+    g.bench_function("spicy", |b| b.iter(|| spicy.run(&inst, &s.target).unwrap()));
+    g.finish();
+}
+
+fn bench_sedex_across_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sedex_scenarios_500");
+    g.sample_size(20);
+    for kind in [BasicKind::Cp, BasicKind::Vp, BasicKind::De, BasicKind::Ne] {
+        let s = basic(kind);
+        let inst = s.populate(500, 2).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    SedexEngine::new()
+                        .exchange(inst, &s.target, &s.sigma)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_amb_quality_workload(c: &mut Criterion) {
+    let s = amb_only(2);
+    let inst = s.populate(100, 3).unwrap();
+    let mut g = c.benchmark_group("amb_2udp_100");
+    g.sample_size(20);
+    g.bench_function("sedex", |b| {
+        b.iter(|| {
+            SedexEngine::new()
+                .exchange(&inst, &s.target, &s.sigma)
+                .unwrap()
+        })
+    });
+    let spicy = SpicyEngine::new(&s.source, &s.target, &s.sigma);
+    g.bench_function("spicy", |b| b.iter(|| spicy.run(&inst, &s.target).unwrap()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines_on_cp,
+    bench_sedex_across_scenarios,
+    bench_amb_quality_workload
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion microbenches for the pq-gram kernels (profile construction,
+//! distance, sorting, windowed variant) — the hot path of the Match
+//! function.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedex_pqgram::{normalized_distance, sort, PqGramProfile, Tree, WindowedProfile};
+
+/// A bushy synthetic tree with `n` nodes and fan-out ~4.
+fn synthetic_tree(n: usize) -> Tree<String> {
+    let mut t = Tree::new("root".to_string());
+    let mut frontier = vec![t.root()];
+    let labels = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    let mut count = 1;
+    'outer: loop {
+        let mut next = Vec::new();
+        for &p in &frontier {
+            for k in 0..4 {
+                if count >= n {
+                    break 'outer;
+                }
+                next.push(t.add_child(p, labels[(count + k) % labels.len()].to_string()));
+                count += 1;
+            }
+        }
+        frontier = next;
+    }
+    t
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pqgram_profile");
+    for n in [16usize, 64, 256, 1024] {
+        let t = synthetic_tree(n);
+        g.bench_with_input(BenchmarkId::new("build_2_1", n), &t, |b, t| {
+            b.iter(|| PqGramProfile::new(black_box(t), 2, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("build_3_2", n), &t, |b, t| {
+            b.iter(|| PqGramProfile::new(black_box(t), 3, 2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pqgram_distance");
+    for n in [64usize, 512] {
+        let t1 = synthetic_tree(n);
+        let mut t2 = synthetic_tree(n);
+        t2.add_child(t2.root(), "mutant".to_string());
+        let p1 = PqGramProfile::new(&t1, 2, 1);
+        let p2 = PqGramProfile::new(&t2, 2, 1);
+        g.bench_function(BenchmarkId::new("normalized", n), |b| {
+            b.iter(|| normalized_distance(black_box(&p1), black_box(&p2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let t = synthetic_tree(512);
+    c.bench_function("pqgram_sort_512", |b| {
+        b.iter(|| sort::sorted(black_box(&t)))
+    });
+}
+
+fn bench_windowed(c: &mut Criterion) {
+    let t = synthetic_tree(256);
+    c.bench_function("pqgram_windowed_256_q2_w3", |b| {
+        b.iter(|| WindowedProfile::new(black_box(&t), 2, 2, 3))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_profile,
+    bench_distance,
+    bench_sort,
+    bench_windowed
+);
+criterion_main!(benches);

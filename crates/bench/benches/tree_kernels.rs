@@ -1,0 +1,51 @@
+//! Criterion microbenches for tree construction: relation trees, tuple
+//! trees, reduction and shape keys — the per-tuple cost of the engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sedex_scenarios::university;
+use sedex_treerep::{
+    post_order_key, reduce_to_relation_tree, relation_tree, tuple_tree, SchemaForest, TreeConfig,
+};
+
+fn bench_relation_tree(c: &mut Criterion) {
+    let s = university::scenario();
+    let cfg = TreeConfig::default();
+    c.bench_function("relation_tree_registration", |b| {
+        b.iter(|| relation_tree(black_box(&s.source), "Registration", &cfg).unwrap())
+    });
+    c.bench_function("schema_forest_university", |b| {
+        b.iter(|| SchemaForest::new(black_box(&s.source), &cfg).unwrap())
+    });
+}
+
+fn bench_tuple_tree(c: &mut Criterion) {
+    let inst = university::fig3_instance().unwrap();
+    let cfg = TreeConfig::default();
+    c.bench_function("tuple_tree_student_deep", |b| {
+        b.iter(|| tuple_tree(black_box(&inst), "Student", 0, &cfg).unwrap())
+    });
+    c.bench_function("tuple_tree_registration_deeper", |b| {
+        b.iter(|| tuple_tree(black_box(&inst), "Registration", 0, &cfg).unwrap())
+    });
+}
+
+fn bench_reduce_and_key(c: &mut Criterion) {
+    let inst = university::fig3_instance().unwrap();
+    let cfg = TreeConfig::default();
+    let tt = tuple_tree(&inst, "Student", 0, &cfg).unwrap();
+    c.bench_function("reduce_to_relation_tree", |b| {
+        b.iter(|| reduce_to_relation_tree(black_box(&tt)))
+    });
+    let rt = reduce_to_relation_tree(&tt);
+    c.bench_function("post_order_key", |b| {
+        b.iter(|| post_order_key(black_box(&rt)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_relation_tree,
+    bench_tuple_tree,
+    bench_reduce_and_key
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Shared experiment-harness utilities for the per-figure binaries.
+//!
+//! Every binary prints a paper-style table to stdout and writes the same
+//! rows as CSV under `target/experiments/` so EXPERIMENTS.md (and plots)
+//! can be regenerated from the artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Directory experiment CSVs are written to.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Write a CSV with a header row.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = experiments_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for r in rows {
+        writeln!(f, "{}", r.join(",")).expect("write row");
+    }
+    println!("\n[csv written to {}]", path.display());
+}
+
+/// `true` when the binary was invoked with `--full`: run the paper's exact
+/// sizes instead of the scaled-down defaults (the shapes are identical; the
+/// full sizes just take minutes instead of seconds).
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Seconds with millisecond precision, for table cells.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Render a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Print a titled table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .max()
+                .unwrap_or(0)
+                .max(h.len())
+        })
+        .collect();
+    println!(
+        "{}",
+        row(
+            &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &widths
+        )
+    );
+    for r in rows {
+        println!("{}", row(r, &widths));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_formats_milliseconds() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+        assert_eq!(secs(Duration::ZERO), "0.000");
+    }
+
+    #[test]
+    fn table_rows_align() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn csv_written_to_experiments_dir() {
+        write_csv(
+            "unit_test.csv",
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let path = experiments_dir().join("unit_test.csv");
+        let body = fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "x,y\n1,2\n");
+        let _ = fs::remove_file(path);
+    }
+}

@@ -1,0 +1,510 @@
+//! Conditional functional dependencies (Section 4.4.3).
+//!
+//! CFDs "capture data consistency by enforcing bindings of semantically
+//! related values", conditionally on a subset of a relation:
+//!
+//! * **intra-table** — `Treat('dialysis' ⇒ 'kidney disease')`: within one
+//!   table, the value of one property determines another's;
+//! * **inter-table** — `PATIENT.disease('kidney problem') ⇒
+//!   Doctor.Specialty('Urologist')`: a property value in one table
+//!   determines a property of the FK-related tuple in another.
+//!
+//! SEDEX does not *discover* CFDs (that is separate research the paper
+//! cites); it loads and interprets them. The interpreter builds one hash
+//! table per kind, keyed exactly as the paper describes — the left-hand
+//! property (intra) or table+property (inter) — and the engine consults them
+//! before tuple trees are generated, filling in determined values that the
+//! source left null.
+
+use std::collections::HashMap;
+
+use sedex_storage::{Instance, StorageError, Value};
+
+/// One conditional functional dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cfd {
+    /// Within `relation`: `cond_col = cond_val ⇒ det_col = det_val`.
+    Intra {
+        /// Constrained relation.
+        relation: String,
+        /// Condition column.
+        cond_col: String,
+        /// Condition value.
+        cond_val: Value,
+        /// Determined column.
+        det_col: String,
+        /// Determined value.
+        det_val: Value,
+    },
+    /// Across a foreign key: a tuple of `left_rel` with
+    /// `left_col = left_val` determines `right_col = right_val` on the
+    /// FK-related tuple of `right_rel`.
+    Inter {
+        /// Conditioning relation.
+        left_rel: String,
+        /// Conditioning column.
+        left_col: String,
+        /// Conditioning value.
+        left_val: Value,
+        /// Determined relation.
+        right_rel: String,
+        /// Determined column.
+        right_col: String,
+        /// Determined value.
+        right_val: Value,
+    },
+}
+
+/// Error produced when parsing the textual CFD format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfdParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CfdParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CFD parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CfdParseError {}
+
+/// Parse one side of a CFD: `Relation.column = 'value'`.
+fn parse_side(s: &str, line: usize) -> Result<(String, String, Value), CfdParseError> {
+    let err = |message: &str| CfdParseError {
+        line,
+        message: message.to_owned(),
+    };
+    let (lhs, rhs) = s
+        .split_once('=')
+        .ok_or_else(|| err("expected `Relation.column = 'value'`"))?;
+    let (rel, col) = lhs
+        .trim()
+        .split_once('.')
+        .ok_or_else(|| err("expected `Relation.column` before `=`"))?;
+    let val = rhs.trim();
+    let val = val
+        .strip_prefix('\'')
+        .and_then(|v| v.strip_suffix('\''))
+        .ok_or_else(|| err("expected a single-quoted value"))?;
+    if rel.trim().is_empty() || col.trim().is_empty() {
+        return Err(err("empty relation or column name"));
+    }
+    Ok((
+        rel.trim().to_owned(),
+        col.trim().to_owned(),
+        Value::text(val),
+    ))
+}
+
+/// The CFD interpreter: hash tables over loaded CFDs plus the application
+/// pass (Fig. 1's "Load CFDs" → "Apply" steps).
+#[derive(Debug, Clone, Default)]
+pub struct CfdInterpreter {
+    /// (relation, cond column) → CFDs with that left side.
+    intra: HashMap<(String, String), Vec<Cfd>>,
+    /// (left relation, left column) → CFDs with that left side.
+    inter: HashMap<(String, String), Vec<Cfd>>,
+    count: usize,
+}
+
+impl CfdInterpreter {
+    /// An interpreter with no CFDs loaded.
+    pub fn new() -> Self {
+        CfdInterpreter::default()
+    }
+
+    /// Load a set of CFDs into the hash tables.
+    pub fn load(cfds: impl IntoIterator<Item = Cfd>) -> Self {
+        let mut i = CfdInterpreter::new();
+        for c in cfds {
+            i.add(c);
+        }
+        i
+    }
+
+    /// Parse the textual CFD format the repository ships instead of the
+    /// paper's XML (one dependency per line; `#` comments):
+    ///
+    /// ```text
+    /// # intra-table: same relation on both sides
+    /// Patient.treatment = 'dialysis' => Patient.disease = 'kidney disease'
+    /// # inter-table: constraint across a foreign key
+    /// Patient.disease = 'kidney disease' => Doctor.specialty = 'Urologist'
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, CfdParseError> {
+        let mut interp = CfdInterpreter::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (lhs, rhs) = line.split_once("=>").ok_or_else(|| CfdParseError {
+                line: line_no,
+                message: "expected `left => right`".to_owned(),
+            })?;
+            let (l_rel, l_col, l_val) = parse_side(lhs, line_no)?;
+            let (r_rel, r_col, r_val) = parse_side(rhs, line_no)?;
+            if l_rel == r_rel {
+                interp.add(Cfd::Intra {
+                    relation: l_rel,
+                    cond_col: l_col,
+                    cond_val: l_val,
+                    det_col: r_col,
+                    det_val: r_val,
+                });
+            } else {
+                interp.add(Cfd::Inter {
+                    left_rel: l_rel,
+                    left_col: l_col,
+                    left_val: l_val,
+                    right_rel: r_rel,
+                    right_col: r_col,
+                    right_val: r_val,
+                });
+            }
+        }
+        Ok(interp)
+    }
+
+    /// Add one CFD.
+    pub fn add(&mut self, cfd: Cfd) {
+        self.count += 1;
+        match &cfd {
+            Cfd::Intra {
+                relation, cond_col, ..
+            } => self
+                .intra
+                .entry((relation.clone(), cond_col.clone()))
+                .or_default()
+                .push(cfd),
+            Cfd::Inter {
+                left_rel, left_col, ..
+            } => self
+                .inter
+                .entry((left_rel.clone(), left_col.clone()))
+                .or_default()
+                .push(cfd),
+        }
+    }
+
+    /// Number of loaded CFDs.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no CFDs are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Apply all CFDs to an instance, filling in *null* determined values
+    /// (never overwriting existing constants: CFDs infer missing implicit
+    /// properties). Returns the number of values filled in.
+    pub fn apply(&self, instance: &mut Instance) -> Result<usize, StorageError> {
+        if self.is_empty() {
+            return Ok(0);
+        }
+        let mut filled = 0;
+        filled += self.apply_intra(instance)?;
+        filled += self.apply_inter(instance)?;
+        Ok(filled)
+    }
+
+    fn apply_intra(&self, instance: &mut Instance) -> Result<usize, StorageError> {
+        let mut filled = 0;
+        let rel_names: Vec<String> = instance
+            .schema()
+            .relation_names()
+            .map(str::to_owned)
+            .collect();
+        for name in rel_names {
+            // Collect this relation's applicable CFDs up front.
+            let applicable: Vec<&Cfd> = {
+                let schema = instance.schema().relation_or_err(&name)?;
+                schema
+                    .columns
+                    .iter()
+                    .filter_map(|c| self.intra.get(&(name.clone(), c.name.clone())))
+                    .flatten()
+                    .collect()
+            };
+            if applicable.is_empty() {
+                continue;
+            }
+            // Resolve column indexes.
+            let resolved: Vec<(usize, Value, usize, Value)> = {
+                let schema = instance.schema().relation_or_err(&name)?;
+                applicable
+                    .iter()
+                    .filter_map(|c| {
+                        let Cfd::Intra {
+                            cond_col,
+                            cond_val,
+                            det_col,
+                            det_val,
+                            ..
+                        } = c
+                        else {
+                            return None;
+                        };
+                        Some((
+                            schema.column_index(cond_col)?,
+                            cond_val.clone(),
+                            schema.column_index(det_col)?,
+                            det_val.clone(),
+                        ))
+                    })
+                    .collect()
+            };
+            let rel = instance.relation_mut(&name)?;
+            let mut rows = rel.rows().to_vec();
+            let mut changed = false;
+            for t in &mut rows {
+                for (ci, cv, di, dv) in &resolved {
+                    if &t.values()[*ci] == cv && t.values()[*di].is_null() {
+                        t.values_mut()[*di] = dv.clone();
+                        filled += 1;
+                        changed = true;
+                    }
+                }
+            }
+            if changed {
+                rel.set_rows(rows);
+            }
+        }
+        Ok(filled)
+    }
+
+    fn apply_inter(&self, instance: &mut Instance) -> Result<usize, StorageError> {
+        let mut filled = 0;
+        // Gather updates first (immutable pass), then apply.
+        let mut updates: Vec<(String, Vec<sedex_storage::Tuple>)> = Vec::new();
+        let rel_names: Vec<String> = instance
+            .schema()
+            .relation_names()
+            .map(str::to_owned)
+            .collect();
+        for left_name in &rel_names {
+            let left_schema = instance.schema().relation_or_err(left_name)?.clone();
+            for (col_idx, col) in left_schema.columns.iter().enumerate() {
+                let Some(cfds) = self.inter.get(&(left_name.clone(), col.name.clone())) else {
+                    continue;
+                };
+                for cfd in cfds {
+                    let Cfd::Inter {
+                        left_val,
+                        right_rel,
+                        right_col,
+                        right_val,
+                        ..
+                    } = cfd
+                    else {
+                        continue;
+                    };
+                    // Find an FK from left_rel into right_rel.
+                    let Some((fk_idx, _)) = left_schema
+                        .foreign_keys
+                        .iter()
+                        .enumerate()
+                        .find(|(_, fk)| &fk.ref_relation == right_rel)
+                    else {
+                        continue;
+                    };
+                    let right_schema = instance.schema().relation_or_err(right_rel)?;
+                    let Some(det_idx) = right_schema.column_index(right_col) else {
+                        continue;
+                    };
+                    // For each conditioning tuple, update the related tuple.
+                    let mut right_rows = instance.relation_or_err(right_rel)?.rows().to_vec();
+                    let mut changed = false;
+                    let left_rows: Vec<sedex_storage::Tuple> =
+                        instance.relation_or_err(left_name)?.rows().to_vec();
+                    for lt in &left_rows {
+                        if &lt.values()[col_idx] != left_val {
+                            continue;
+                        }
+                        if let Some((_, rid)) = instance.deref_fk_row(left_name, fk_idx, lt) {
+                            let row = &mut right_rows[rid as usize];
+                            if row.values()[det_idx].is_null() {
+                                row.values_mut()[det_idx] = right_val.clone();
+                                filled += 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                    if changed {
+                        updates.push((right_rel.clone(), right_rows));
+                    }
+                }
+            }
+        }
+        for (rel, rows) in updates {
+            instance.relation_mut(&rel)?.set_rows(rows);
+        }
+        Ok(filled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{ConflictPolicy, RelationSchema, Schema};
+
+    fn hospital() -> Instance {
+        let doctor = RelationSchema::with_any_columns("Doctor", &["did", "specialty"])
+            .primary_key(&["did"])
+            .unwrap();
+        let patient =
+            RelationSchema::with_any_columns("Patient", &["pid", "disease", "treatment", "doctor"])
+                .primary_key(&["pid"])
+                .unwrap()
+                .foreign_key(&["doctor"], "Doctor")
+                .unwrap();
+        let schema = Schema::from_relations(vec![doctor, patient]).unwrap();
+        let mut inst = Instance::new(schema);
+        inst.insert(
+            "Doctor",
+            sedex_storage::tuple!["doc1", Value::Null],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        inst.insert(
+            "Patient",
+            sedex_storage::tuple!["p1", Value::Null, "dialysis", "doc1"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        inst.insert(
+            "Patient",
+            sedex_storage::tuple!["p2", "flu", "rest", "doc1"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        inst
+    }
+
+    fn dialysis_cfd() -> Cfd {
+        // Treat('dialysis' ⇒ 'kidney disease') — the paper's intra example.
+        Cfd::Intra {
+            relation: "Patient".into(),
+            cond_col: "treatment".into(),
+            cond_val: Value::text("dialysis"),
+            det_col: "disease".into(),
+            det_val: Value::text("kidney disease"),
+        }
+    }
+
+    fn urologist_cfd() -> Cfd {
+        // PATIENT.disease('kidney disease') ⇒ Doctor.Specialty('Urologist').
+        Cfd::Inter {
+            left_rel: "Patient".into(),
+            left_col: "disease".into(),
+            left_val: Value::text("kidney disease"),
+            right_rel: "Doctor".into(),
+            right_col: "specialty".into(),
+            right_val: Value::text("Urologist"),
+        }
+    }
+
+    #[test]
+    fn intra_cfd_fills_null_determined_value() {
+        let mut inst = hospital();
+        let interp = CfdInterpreter::load([dialysis_cfd()]);
+        let filled = interp.apply(&mut inst).unwrap();
+        assert_eq!(filled, 1);
+        let p1 = inst
+            .relation("Patient")
+            .unwrap()
+            .lookup_pk(&[Value::text("p1")])
+            .unwrap();
+        assert_eq!(p1.values()[1], Value::text("kidney disease"));
+        // p2's constant disease untouched.
+        let p2 = inst
+            .relation("Patient")
+            .unwrap()
+            .lookup_pk(&[Value::text("p2")])
+            .unwrap();
+        assert_eq!(p2.values()[1], Value::text("flu"));
+    }
+
+    #[test]
+    fn inter_cfd_follows_foreign_key() {
+        let mut inst = hospital();
+        // Chain: dialysis ⇒ kidney disease (intra), then kidney disease ⇒
+        // doctor is a Urologist (inter).
+        let interp = CfdInterpreter::load([dialysis_cfd(), urologist_cfd()]);
+        let filled = interp.apply(&mut inst).unwrap();
+        assert_eq!(filled, 2);
+        let doc = inst
+            .relation("Doctor")
+            .unwrap()
+            .lookup_pk(&[Value::text("doc1")])
+            .unwrap();
+        assert_eq!(doc.values()[1], Value::text("Urologist"));
+    }
+
+    #[test]
+    fn cfds_never_overwrite_constants() {
+        let mut inst = hospital();
+        let interp = CfdInterpreter::load([Cfd::Intra {
+            relation: "Patient".into(),
+            cond_col: "treatment".into(),
+            cond_val: Value::text("rest"),
+            det_col: "disease".into(),
+            det_val: Value::text("SHOULD NOT APPEAR"),
+        }]);
+        interp.apply(&mut inst).unwrap();
+        let p2 = inst
+            .relation("Patient")
+            .unwrap()
+            .lookup_pk(&[Value::text("p2")])
+            .unwrap();
+        assert_eq!(p2.values()[1], Value::text("flu"));
+    }
+
+    #[test]
+    fn parse_textual_format() {
+        let text = "\n\
+            # the paper's two examples\n\
+            Patient.treatment = 'dialysis' => Patient.disease = 'kidney disease'\n\
+            Patient.disease = 'kidney disease' => Doctor.specialty = 'Urologist'\n";
+        let interp = CfdInterpreter::parse(text).unwrap();
+        assert_eq!(interp.len(), 2);
+        // Behaviourally identical to the hand-built interpreter.
+        let mut inst = hospital();
+        assert_eq!(interp.apply(&mut inst).unwrap(), 2);
+        let doc = inst
+            .relation("Doctor")
+            .unwrap()
+            .lookup_pk(&[Value::text("doc1")])
+            .unwrap();
+        assert_eq!(doc.values()[1], Value::text("Urologist"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = CfdInterpreter::parse("Patient.x = 'a'").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("=>"));
+
+        let e = CfdInterpreter::parse("\n\nnope => Doctor.s = 'x'").unwrap_err();
+        assert_eq!(e.line, 3);
+
+        let e = CfdInterpreter::parse("A.b = unquoted => C.d = 'x'").unwrap_err();
+        assert!(e.message.contains("quoted"));
+    }
+
+    #[test]
+    fn empty_interpreter_is_a_noop() {
+        let mut inst = hospital();
+        let before = inst.stats();
+        let interp = CfdInterpreter::new();
+        assert_eq!(interp.apply(&mut inst).unwrap(), 0);
+        assert_eq!(inst.stats(), before);
+    }
+}

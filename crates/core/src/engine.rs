@@ -1,0 +1,578 @@
+//! The SEDEX engine: the pay-as-you-go pipeline of Fig. 1.
+//!
+//! ```text
+//! load CFDs → order relations by tree height → per unseen tuple:
+//!   build tuple tree (mark referenced tuples seen)
+//!   shape key → script repository?
+//!     hit  → reuse script
+//!     miss → Match → translate (Alg. 1) → generate script (Alg. 2) → store
+//!   run script under target egds
+//! ```
+//!
+//! Every knob the paper discusses (and every ablation DESIGN.md calls out)
+//! is a field of [`SedexConfig`].
+
+use std::time::Instant;
+
+use sedex_mapping::Correspondences;
+use sedex_storage::{Instance, Schema, StorageError};
+use sedex_treerep::{tuple_shape_key, tuple_tree, SchemaForest, TreeConfig, TupleTree};
+
+use crate::cfd::CfdInterpreter;
+use crate::marking::SeenSet;
+use crate::matcher::Matcher;
+use crate::metrics::ExchangeReport;
+use crate::repository::ScriptRepository;
+use crate::script::{run_script, RunOutcome, Script};
+use crate::scriptgen::generate_script;
+use crate::translate::{slot_values, translate};
+
+/// Configuration of a SEDEX exchange.
+#[derive(Debug, Clone)]
+pub struct SedexConfig {
+    /// pq-gram stem length (the paper's examples use 2).
+    pub p: usize,
+    /// pq-gram window width (the paper's examples use 1).
+    pub q: usize,
+    /// Use the windowed pq-gram construction with this window width
+    /// (`w ≥ q`). `None` (default) uses sorted plain pq-grams, which
+    /// coincide with the windowed ones at `q = 1`.
+    pub window: Option<usize>,
+    /// Reuse scripts via the shape-keyed repository (Section 4.4.2). Off =
+    /// the `ablation_reuse` configuration: every tuple is re-matched and
+    /// re-translated.
+    pub reuse_scripts: bool,
+    /// Process relations in descending relation-tree height (Section 4.1).
+    /// Off = schema order, which can fragment entities.
+    pub order_by_height: bool,
+    /// Skip tuples already reached through a referencing tuple
+    /// (Section 4.2).
+    pub mark_seen: bool,
+    /// Drop null properties from tuple trees (the paper's semantics). Off =
+    /// SEDEX degenerates to a pure schema-level mapper on ambiguous
+    /// scenarios.
+    pub prune_nulls: bool,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Worker threads for the tuple-tree building phase; 1 = serial.
+    /// The output instance is identical regardless of thread count.
+    pub threads: usize,
+    /// Record per-lookup hit events (needed only for the Fig. 14 curve).
+    pub record_hit_events: bool,
+    /// Tuples are processed in batches of this many rows (bounds memory in
+    /// the parallel phase).
+    pub batch_size: usize,
+}
+
+impl Default for SedexConfig {
+    fn default() -> Self {
+        SedexConfig {
+            p: 2,
+            q: 1,
+            window: None,
+            reuse_scripts: true,
+            order_by_height: true,
+            mark_seen: true,
+            prune_nulls: true,
+            max_depth: 32,
+            threads: 1,
+            record_hit_events: false,
+            batch_size: 8192,
+        }
+    }
+}
+
+/// The SEDEX engine.
+#[derive(Debug, Clone, Default)]
+pub struct SedexEngine {
+    config: SedexConfig,
+    cfds: CfdInterpreter,
+}
+
+impl SedexEngine {
+    /// An engine with the default configuration and no CFDs.
+    pub fn new() -> Self {
+        SedexEngine {
+            config: SedexConfig::default(),
+            cfds: CfdInterpreter::new(),
+        }
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(config: SedexConfig) -> Self {
+        SedexEngine {
+            config,
+            cfds: CfdInterpreter::new(),
+        }
+    }
+
+    /// Attach a CFD interpreter (Fig. 1's "Load CFDs" step).
+    pub fn with_cfds(mut self, cfds: CfdInterpreter) -> Self {
+        self.cfds = cfds;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SedexConfig {
+        &self.config
+    }
+
+    /// Run the exchange: translate `source` into a fresh instance of
+    /// `target_schema` under the correspondences Σ. Target egds are the
+    /// target schema's key constraints, applied at script-run time.
+    ///
+    /// ```
+    /// use sedex_core::SedexEngine;
+    /// use sedex_mapping::Correspondences;
+    /// use sedex_storage::{tuple, ConflictPolicy, Instance, RelationSchema, Schema};
+    ///
+    /// let src_schema = Schema::from_relations(vec![
+    ///     RelationSchema::with_any_columns("R", &["k", "v"]).primary_key(&["k"]).unwrap(),
+    /// ]).unwrap();
+    /// let tgt_schema = Schema::from_relations(vec![
+    ///     RelationSchema::with_any_columns("T", &["tk", "tv"]).primary_key(&["tk"]).unwrap(),
+    /// ]).unwrap();
+    /// let sigma = Correspondences::from_name_pairs([("k", "tk"), ("v", "tv")]);
+    ///
+    /// let mut src = Instance::new(src_schema);
+    /// src.insert("R", tuple!["k1", "hello"], ConflictPolicy::Reject).unwrap();
+    ///
+    /// let (out, report) = SedexEngine::new().exchange(&src, &tgt_schema, &sigma).unwrap();
+    /// assert_eq!(out.relation("T").unwrap().row(0).unwrap(), &tuple!["k1", "hello"]);
+    /// assert_eq!(report.scripts_generated, 1);
+    /// ```
+    pub fn exchange(
+        &self,
+        source: &Instance,
+        target_schema: &Schema,
+        sigma: &Correspondences,
+    ) -> Result<(Instance, ExchangeReport), StorageError> {
+        let cfg = &self.config;
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.max_depth,
+            prune_nulls: cfg.prune_nulls,
+        };
+        let mut report = ExchangeReport::default();
+        let tg_start = Instant::now();
+
+        // Fig. 1: load + apply CFDs before tuple trees are generated.
+        let prepared;
+        let src: &Instance = if self.cfds.is_empty() {
+            source
+        } else {
+            let mut clone = source.clone();
+            self.cfds.apply(&mut clone)?;
+            prepared = clone;
+            &prepared
+        };
+
+        let source_forest = SchemaForest::new(src.schema(), &tree_cfg)?;
+        let target_forest = SchemaForest::new(target_schema, &tree_cfg)?;
+        let matcher = match cfg.window {
+            None => Matcher::new(&target_forest, cfg.p, cfg.q),
+            Some(w) => Matcher::windowed(&target_forest, cfg.p, cfg.q, w),
+        };
+
+        let order: Vec<String> = if cfg.order_by_height {
+            source_forest
+                .processing_order()
+                .into_iter()
+                .map(str::to_owned)
+                .collect()
+        } else {
+            src.schema().relation_names().map(str::to_owned).collect()
+        };
+
+        let mut repo = ScriptRepository::new(cfg.record_hit_events);
+        let mut seen = SeenSet::for_instance(src);
+        let mut target = Instance::new(target_schema.clone());
+        let mut outcome = RunOutcome::default();
+        let mut fresh_counter: u64 = 0;
+        report.tg = tg_start.elapsed();
+
+        for rel_name in &order {
+            let row_count = src.relation_or_err(rel_name)?.len() as u32;
+            let mut batch_start = 0u32;
+            while batch_start < row_count {
+                let batch_end = (batch_start + cfg.batch_size as u32).min(row_count);
+                let tg0 = Instant::now();
+                let (trees, skipped) =
+                    self.build_batch(src, rel_name, batch_start..batch_end, &seen, &tree_cfg)?;
+                report.tuples_skipped_seen += skipped;
+                let mut tg_batch = tg0.elapsed();
+
+                for (row, tx) in trees {
+                    // Re-check: a tuple earlier in this batch may have
+                    // marked this one.
+                    if cfg.mark_seen && seen.is_seen(rel_name, row) {
+                        report.tuples_skipped_seen += 1;
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    if cfg.mark_seen {
+                        seen.mark_all(&tx.visited);
+                    }
+                    let mut key = String::with_capacity(rel_name.len() + 64);
+                    key.push_str(rel_name);
+                    key.push('|');
+                    key.push_str(&tuple_shape_key(&tx));
+                    let script = if cfg.reuse_scripts {
+                        repo.lookup(&key)
+                    } else {
+                        None
+                    };
+                    let script = match script {
+                        Some(s) => {
+                            report.scripts_reused += 1;
+                            s
+                        }
+                        None => {
+                            report.scripts_generated += 1;
+                            let generated = self.generate_for(
+                                &tx,
+                                &matcher,
+                                &target_forest,
+                                sigma,
+                                target_schema,
+                            );
+                            if generated.is_empty() {
+                                report.tuples_unmatched += 1;
+                            }
+                            repo.insert(key, generated)
+                        }
+                    };
+                    report.tuples_processed += 1;
+                    tg_batch += t0.elapsed();
+
+                    let t1 = Instant::now();
+                    if !script.is_empty() {
+                        outcome += run_script(
+                            &script,
+                            &slot_values(&tx),
+                            &mut target,
+                            &mut fresh_counter,
+                        )?;
+                    }
+                    report.te += t1.elapsed();
+                }
+                report.tg += tg_batch;
+                batch_start = batch_end;
+            }
+        }
+
+        report.inserted = outcome.inserted;
+        report.merged = outcome.merged;
+        report.violations = outcome.violations;
+        report.stats = target.stats();
+        report.hit_events = repo.take_events();
+        Ok((target, report))
+    }
+
+    /// Build tuple trees for the unseen rows of one batch, optionally in
+    /// parallel. Returns `(row, tree)` pairs in ascending row order, plus
+    /// the number of rows skipped because they were already seen.
+    fn build_batch(
+        &self,
+        src: &Instance,
+        rel_name: &str,
+        rows: std::ops::Range<u32>,
+        seen: &SeenSet,
+        tree_cfg: &TreeConfig,
+    ) -> Result<(Vec<(u32, TupleTree)>, usize), StorageError> {
+        let total = rows.len();
+        let todo: Vec<u32> = rows
+            .filter(|&r| !(self.config.mark_seen && seen.is_seen(rel_name, r)))
+            .collect();
+        let skipped = total - todo.len();
+        if todo.is_empty() {
+            return Ok((Vec::new(), skipped));
+        }
+        if self.config.threads <= 1 || todo.len() < 64 {
+            return todo
+                .into_iter()
+                .map(|r| tuple_tree(src, rel_name, r, tree_cfg).map(|t| (r, t)))
+                .collect::<Result<Vec<_>, _>>()
+                .map(|v| (v, skipped));
+        }
+        let threads = self.config.threads.min(todo.len());
+        let chunk = todo.len().div_ceil(threads);
+        let mut out: Vec<Result<Vec<(u32, TupleTree)>, StorageError>> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = todo
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move |_| {
+                        part.iter()
+                            .map(|&r| tuple_tree(src, rel_name, r, tree_cfg).map(|t| (r, t)))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("tree-building worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        let mut flat = Vec::with_capacity(todo_len(&out));
+        for part in out {
+            flat.extend(part?);
+        }
+        Ok((flat, skipped))
+    }
+
+    /// The miss path: Match → translate → generate.
+    fn generate_for(
+        &self,
+        tx: &TupleTree,
+        matcher: &Matcher,
+        target_forest: &SchemaForest,
+        sigma: &Correspondences,
+        target_schema: &Schema,
+    ) -> Script {
+        let Some(m) = matcher.best_match(tx, sigma) else {
+            return Script::default();
+        };
+        let Some(tr) = target_forest.tree(&m.relation) else {
+            return Script::default();
+        };
+        let ty = translate(tx, tr, sigma);
+        generate_script(&ty, target_schema)
+    }
+}
+
+fn todo_len(parts: &[Result<Vec<(u32, TupleTree)>, StorageError>]) -> usize {
+    parts.iter().map(|p| p.as_ref().map_or(0, Vec::len)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{ConflictPolicy, RelationSchema, Value};
+
+    /// Source/target of the running example (Figs. 2–3).
+    fn university() -> (Instance, Schema, Correspondences) {
+        let student =
+            RelationSchema::with_any_columns("Student", &["sname", "program", "dep", "supervisor"])
+                .primary_key(&["sname"])
+                .unwrap()
+                .foreign_key(&["dep"], "Dep")
+                .unwrap()
+                .foreign_key(&["supervisor"], "Prof")
+                .unwrap();
+        let prof = RelationSchema::with_any_columns("Prof", &["pname", "degree", "profdep"])
+            .primary_key(&["pname"])
+            .unwrap()
+            .foreign_key(&["profdep"], "Dep")
+            .unwrap();
+        let dep = RelationSchema::with_any_columns("Dep", &["dname", "building"])
+            .primary_key(&["dname"])
+            .unwrap();
+        let reg = RelationSchema::with_any_columns("Registration", &["sname", "course", "regdate"])
+            .foreign_key(&["sname"], "Student")
+            .unwrap();
+        let schema = Schema::from_relations(vec![student, prof, dep, reg]).unwrap();
+        let mut inst = Instance::new(schema);
+        let p = ConflictPolicy::Reject;
+        inst.insert("Dep", sedex_storage::tuple!["d1", "b1"], p)
+            .unwrap();
+        inst.insert("Dep", sedex_storage::tuple!["d2", "b2"], p)
+            .unwrap();
+        inst.insert("Prof", sedex_storage::tuple!["prof1", "deg1", "d1"], p)
+            .unwrap();
+        inst.insert("Prof", sedex_storage::tuple!["prof2", "deg2", "d2"], p)
+            .unwrap();
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s1", "p1", "d1", "prof1"],
+            p,
+        )
+        .unwrap();
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s2", "p2", "d2", Value::Null],
+            p,
+        )
+        .unwrap();
+        inst.insert("Registration", sedex_storage::tuple!["s1", "c1", "dt1"], p)
+            .unwrap();
+
+        let stu =
+            RelationSchema::with_any_columns("Stu", &["student", "prog", "dpt", "supervisor"])
+                .primary_key(&["student"])
+                .unwrap();
+        let course = RelationSchema::with_any_columns("Course", &["cname", "credit"])
+            .primary_key(&["cname"])
+            .unwrap();
+        let reg_t = RelationSchema::with_any_columns("Reg", &["student", "cname", "date"])
+            .foreign_key(&["student"], "Stu")
+            .unwrap()
+            .foreign_key(&["cname"], "Course")
+            .unwrap();
+        let target = Schema::from_relations(vec![stu, course, reg_t]).unwrap();
+
+        let sigma = Correspondences::from_name_pairs([
+            ("sname", "student"),
+            ("course", "cname"),
+            ("regdate", "date"),
+            ("program", "prog"),
+            ("dep", "dpt"),
+        ]);
+        (inst, target, sigma)
+    }
+
+    #[test]
+    fn university_end_to_end() {
+        let (src, target_schema, sigma) = university();
+        let engine = SedexEngine::new();
+        let (out, report) = engine.exchange(&src, &target_schema, &sigma).unwrap();
+        // Registration (height 5) is processed first: s1 flows through it.
+        // Students s1 (seen) is skipped; s2 processed directly.
+        let stu = out.relation("Stu").unwrap();
+        assert_eq!(stu.len(), 2, "{out}");
+        assert!(stu.lookup_pk(&[Value::text("s1")]).is_some());
+        assert!(stu.lookup_pk(&[Value::text("s2")]).is_some());
+        assert_eq!(out.relation("Reg").unwrap().len(), 1);
+        assert!(report.tuples_skipped_seen >= 1, "report: {report:?}");
+        assert!(report.violations == 0);
+    }
+
+    #[test]
+    fn no_entity_fragmentation_single_student_reference() {
+        // s1 is reachable via Registration AND present in Student: exactly
+        // one Stu tuple must exist for it, with merged (not fragmented)
+        // properties.
+        let (src, target_schema, sigma) = university();
+        let engine = SedexEngine::new();
+        let (out, _) = engine.exchange(&src, &target_schema, &sigma).unwrap();
+        let stu = out.relation("Stu").unwrap();
+        let s1 = stu.lookup_pk(&[Value::text("s1")]).unwrap();
+        assert_eq!(s1.values()[1], Value::text("p1"));
+        assert_eq!(s1.values()[2], Value::text("d1"));
+    }
+
+    #[test]
+    fn reuse_and_no_reuse_agree() {
+        let (src, target_schema, sigma) = university();
+        let with = SedexEngine::new();
+        let without = SedexEngine::with_config(SedexConfig {
+            reuse_scripts: false,
+            ..SedexConfig::default()
+        });
+        let (out1, r1) = with.exchange(&src, &target_schema, &sigma).unwrap();
+        let (out2, r2) = without.exchange(&src, &target_schema, &sigma).unwrap();
+        assert_eq!(out1.stats(), out2.stats());
+        assert_eq!(r2.scripts_reused, 0);
+        assert!(r1.scripts_generated <= r2.scripts_generated);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (mut src, target_schema, sigma) = university();
+        // Enough rows to exercise the parallel path.
+        for i in 0..500 {
+            src.insert(
+                "Registration",
+                sedex_storage::tuple!["s1", format!("c{i}"), format!("dt{i}")],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        }
+        let serial = SedexEngine::new();
+        let parallel = SedexEngine::with_config(SedexConfig {
+            threads: 4,
+            batch_size: 128,
+            ..SedexConfig::default()
+        });
+        let (o1, _) = serial.exchange(&src, &target_schema, &sigma).unwrap();
+        let (o2, _) = parallel.exchange(&src, &target_schema, &sigma).unwrap();
+        assert_eq!(o1.stats(), o2.stats());
+        assert_eq!(
+            o1.relation("Reg").unwrap().len(),
+            o2.relation("Reg").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn scripts_are_reused_for_same_shape() {
+        let (mut src, target_schema, sigma) = university();
+        for i in 0..50 {
+            src.insert(
+                "Registration",
+                sedex_storage::tuple!["s1", format!("c{i}"), format!("dt{i}")],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        }
+        let engine = SedexEngine::new();
+        let (_, report) = engine.exchange(&src, &target_schema, &sigma).unwrap();
+        assert!(report.scripts_reused >= 49, "report: {report:?}");
+        assert!(report.hit_ratio() > 0.5);
+    }
+
+    /// The Section 1.2 / 4.5 headline: SEDEX produces the EXPECTED solution
+    /// on the generalization-ambiguity scenario — 2 tuples, not ++Spicy's 4.
+    #[test]
+    fn ambiguity_scenario_expected_solution() {
+        let inst_rel = RelationSchema::with_any_columns(
+            "Inst",
+            &["name", "studentID", "employeeID", "courseId"],
+        )
+        .primary_key(&["name"])
+        .unwrap()
+        .foreign_key(&["courseId"], "Course")
+        .unwrap();
+        let course = RelationSchema::with_any_columns("Course", &["courseId", "credit"])
+            .primary_key(&["courseId"])
+            .unwrap();
+        let source_schema = Schema::from_relations(vec![inst_rel, course]).unwrap();
+        let mut src = Instance::new(source_schema);
+        let p = ConflictPolicy::Allow;
+        src.insert(
+            "Inst",
+            sedex_storage::tuple!["I1", "st1", Value::Null, "c1"],
+            p,
+        )
+        .unwrap();
+        src.insert(
+            "Inst",
+            sedex_storage::tuple!["I2", Value::Null, "e1", "c2"],
+            p,
+        )
+        .unwrap();
+        src.insert("Course", sedex_storage::tuple!["c1", 3i64], p)
+            .unwrap();
+        src.insert("Course", sedex_storage::tuple!["c2", 2i64], p)
+            .unwrap();
+
+        let grad = RelationSchema::with_any_columns("Grad", &["name", "stId", "course"])
+            .primary_key(&["name"])
+            .unwrap();
+        let prof_t = RelationSchema::with_any_columns("Prof", &["name", "empId", "course"])
+            .primary_key(&["name"])
+            .unwrap();
+        let target = Schema::from_relations(vec![grad, prof_t]).unwrap();
+
+        let mut sigma = Correspondences::new();
+        sigma.add_qualified("Inst", "name", "Grad", "name");
+        sigma.add_qualified("Inst", "name", "Prof", "name");
+        sigma.add_qualified("Inst", "studentID", "Grad", "stId");
+        sigma.add_qualified("Inst", "employeeID", "Prof", "empId");
+        sigma.add_qualified("Inst", "courseId", "Grad", "course");
+        sigma.add_qualified("Inst", "courseId", "Prof", "course");
+
+        let engine = SedexEngine::new();
+        let (out, _) = engine.exchange(&src, &target, &sigma).unwrap();
+        // Expected solution: Grad(I1, st1, c1) and Prof(I2, e1, c2) ONLY.
+        assert_eq!(out.relation("Grad").unwrap().len(), 1, "{out}");
+        assert_eq!(out.relation("Prof").unwrap().len(), 1, "{out}");
+        assert_eq!(
+            out.relation("Grad").unwrap().row(0).unwrap(),
+            &sedex_storage::tuple!["I1", "st1", "c1"]
+        );
+        assert_eq!(
+            out.relation("Prof").unwrap().row(0).unwrap(),
+            &sedex_storage::tuple!["I2", "e1", "c2"]
+        );
+        assert_eq!(out.stats().nulls, 0);
+    }
+}

@@ -1,0 +1,411 @@
+//! The `Match` function (Section 4.3).
+//!
+//! ```text
+//! Match(Tt, F(S), Σ) = argmin_{Ti ∈ F(S)} Dist(RT(Tt), Ti)
+//! ```
+//!
+//! Given a source tuple tree, the forest of target relation trees, and the
+//! property correspondences Σ, `Match` finds the target relation tree with
+//! the minimum normalized pq-gram distance to the tuple tree's schema-level
+//! reduction. Source labels are mapped into the target vocabulary through Σ
+//! first (the paper's first modification of the base algorithm); properties
+//! without a correspondence keep an unmatchable source-only label. Null
+//! properties were already dropped at tuple-tree construction (the second
+//! modification), and multi-valued attributes contributed separate edges
+//! (the third).
+
+use sedex_mapping::Correspondences;
+use sedex_pqgram::{normalized_distance, PqGramProfile, PqLabel, Tree, WindowedProfile};
+use sedex_treerep::{RelationTree, SchemaForest, TupleTree};
+
+/// Outcome of a `Match` call: the winning relation and the full ranking.
+#[derive(Debug, Clone)]
+pub struct MatchResult {
+    /// Name of the winning target relation.
+    pub relation: String,
+    /// Distance to the winner.
+    pub distance: f64,
+    /// All `(relation, distance)` pairs, ascending by distance.
+    pub ranking: Vec<(String, f64)>,
+}
+
+/// A matcher for one target schema: caches the target relation trees'
+/// pq-gram profiles and, per target tree, the set of relations it spans
+/// (needed to resolve relation-qualified correspondences).
+///
+/// By default the matcher compares *sorted plain* pq-gram profiles; with
+/// `q = 1` (the paper's setting in every worked example) these coincide
+/// with windowed pq-grams. [`Matcher::windowed`] switches to the full
+/// windowed construction, which is order-invariant for `q > 1` too.
+pub struct Matcher {
+    p: usize,
+    q: usize,
+    window: Option<usize>,
+    entries: Vec<TargetEntry>,
+}
+
+enum CachedProfile {
+    Plain(PqGramProfile<String>),
+    Windowed(WindowedProfile<String>),
+}
+
+struct TargetEntry {
+    relation: String,
+    profile: CachedProfile,
+    /// Relations whose columns appear in this tree (the root relation plus
+    /// every FK-expanded relation).
+    span: Vec<String>,
+    /// The property labels occurring in this tree — used to pick, among
+    /// several unqualified correspondences for one source property, the one
+    /// that can actually land in this tree (e.g. a source key mapped to the
+    /// keys of both halves of a vertical partition).
+    labels: std::collections::HashSet<String>,
+}
+
+impl Matcher {
+    /// Build a matcher over the target schema forest with pq-gram
+    /// parameters `(p, q)` (the paper's examples use `(2, 1)`).
+    pub fn new(target_forest: &SchemaForest, p: usize, q: usize) -> Self {
+        Self::build(target_forest, p, q, None)
+    }
+
+    /// Build a matcher using the *windowed* pq-gram construction with
+    /// window width `w ≥ q`.
+    pub fn windowed(target_forest: &SchemaForest, p: usize, q: usize, w: usize) -> Self {
+        Self::build(target_forest, p, q, Some(w))
+    }
+
+    fn build(target_forest: &SchemaForest, p: usize, q: usize, window: Option<usize>) -> Self {
+        let entries = target_forest
+            .trees()
+            .iter()
+            .map(|rt| TargetEntry {
+                relation: rt.relation.clone(),
+                profile: match window {
+                    None => CachedProfile::Plain(PqGramProfile::from_pq_tree(&rt.tree, p, q)),
+                    Some(w) => {
+                        CachedProfile::Windowed(WindowedProfile::from_pq_tree(&rt.tree, p, q, w))
+                    }
+                },
+                span: span_of(rt),
+                labels: rt
+                    .tree
+                    .labels()
+                    .filter_map(|(_, l)| match l {
+                        PqLabel::Label(s) => Some(s.clone()),
+                        PqLabel::Dummy => None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        Matcher {
+            p,
+            q,
+            window,
+            entries,
+        }
+    }
+
+    /// Run `Match` for a source tuple tree. Returns `None` when the target
+    /// forest is empty.
+    ///
+    /// Ranking is primarily by pq-gram distance. Ties (notably the
+    /// all-disjoint case where a root-label mismatch hides a genuine host)
+    /// break by *label coverage* — how many of the tuple tree's properties
+    /// can land in the candidate at all — and then by name for determinism.
+    pub fn best_match(&self, tt: &TupleTree, sigma: &Correspondences) -> Option<MatchResult> {
+        let mut scored: Vec<(String, f64, usize)> = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let translated = translate_labels(tt, sigma, &e.span, &e.labels);
+            let d = match &e.profile {
+                CachedProfile::Plain(target) => {
+                    let profile = PqGramProfile::from_pq_tree(&translated, self.p, self.q);
+                    normalized_distance(&profile, target)
+                }
+                CachedProfile::Windowed(target) => {
+                    let w = self.window.expect("windowed entries imply a window");
+                    let profile = WindowedProfile::from_pq_tree(&translated, self.p, self.q, w);
+                    profile.distance(target)
+                }
+            };
+            let coverage = translated
+                .labels()
+                .filter(|(_, l)| match l {
+                    PqLabel::Label(s) => e.labels.contains(s),
+                    PqLabel::Dummy => false,
+                })
+                .count();
+            scored.push((e.relation.clone(), d, coverage));
+        }
+        scored.sort_by(|a, b| {
+            a.1.total_cmp(&b.1)
+                .then_with(|| b.2.cmp(&a.2))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let (relation, distance, _) = scored.first()?.clone();
+        Some(MatchResult {
+            relation,
+            distance,
+            ranking: scored.into_iter().map(|(r, d, _)| (r, d)).collect(),
+        })
+    }
+
+    /// The pq-gram parameters.
+    pub fn params(&self) -> (usize, usize) {
+        (self.p, self.q)
+    }
+}
+
+/// Relations spanned by a relation tree, via its node metadata.
+fn span_of(rt: &RelationTree) -> Vec<String> {
+    let mut span = vec![rt.relation.clone()];
+    for m in &rt.meta {
+        if let Some(owner) = &m.owner {
+            if !span.contains(owner) {
+                span.push(owner.clone());
+            }
+        }
+        for (rel, _) in &m.expands_to {
+            if !span.contains(rel) {
+                span.push(rel.clone());
+            }
+        }
+    }
+    span
+}
+
+/// Reduce a tuple tree to schema level *and* map its labels into the target
+/// vocabulary via Σ, scoped to the relations a candidate target tree spans.
+/// Unmatched properties get a label no target tree can contain.
+fn translate_labels(
+    tt: &TupleTree,
+    sigma: &Correspondences,
+    target_span: &[String],
+    target_labels: &std::collections::HashSet<String>,
+) -> Tree<PqLabel<String>> {
+    tt.tree.map_labels(|l| match l {
+        PqLabel::Dummy => PqLabel::Dummy,
+        PqLabel::Label(n) => {
+            // 1. A correspondence qualified into one of the spanned
+            //    relations wins.
+            for rel in target_span {
+                if let Some(t) =
+                    sigma.target_in_relation(Some(&n.relation), &n.prop, rel, |_| false)
+                {
+                    return PqLabel::Label(t.to_owned());
+                }
+            }
+            // 2. Among unqualified correspondences, prefer one whose target
+            //    label actually occurs in this tree.
+            let mut fallback: Option<&str> = None;
+            for c in sigma.matches(Some(&n.relation), &n.prop) {
+                if c.target.relation.is_none() {
+                    if target_labels.contains(&c.target.column) {
+                        return PqLabel::Label(c.target.column.clone());
+                    }
+                    if fallback.is_none() {
+                        fallback = Some(&c.target.column);
+                    }
+                }
+            }
+            // 3. Any target label at all; else an unmatchable marker.
+            match fallback.or_else(|| sigma.target_label(Some(&n.relation), &n.prop)) {
+                Some(t) => PqLabel::Label(t.to_owned()),
+                None => PqLabel::Label(format!("\u{1}src:{}", n.prop)),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{ConflictPolicy, Instance, RelationSchema, Schema, Value};
+    use sedex_treerep::{tuple_tree, TreeConfig};
+
+    /// Source side of Figs. 2–3.
+    fn source_instance() -> Instance {
+        let student =
+            RelationSchema::with_any_columns("Student", &["sname", "program", "dep", "supervisor"])
+                .primary_key(&["sname"])
+                .unwrap()
+                .foreign_key(&["dep"], "Dep")
+                .unwrap()
+                .foreign_key(&["supervisor"], "Prof")
+                .unwrap();
+        let prof = RelationSchema::with_any_columns("Prof", &["pname", "degree", "profdep"])
+            .primary_key(&["pname"])
+            .unwrap()
+            .foreign_key(&["profdep"], "Dep")
+            .unwrap();
+        let dep = RelationSchema::with_any_columns("Dep", &["dname", "building"])
+            .primary_key(&["dname"])
+            .unwrap();
+        let reg = RelationSchema::with_any_columns("Registration", &["sname", "course", "regdate"])
+            .foreign_key(&["sname"], "Student")
+            .unwrap();
+        let schema = Schema::from_relations(vec![student, prof, dep, reg]).unwrap();
+        let mut inst = Instance::new(schema);
+        let p = ConflictPolicy::Reject;
+        inst.insert("Dep", sedex_storage::tuple!["d1", "b1"], p)
+            .unwrap();
+        inst.insert("Prof", sedex_storage::tuple!["prof1", "deg1", "d1"], p)
+            .unwrap();
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s1", "p1", "d1", "prof1"],
+            p,
+        )
+        .unwrap();
+        inst.insert("Registration", sedex_storage::tuple!["s1", "c1", "dt1"], p)
+            .unwrap();
+        inst
+    }
+
+    /// Target side of Fig. 2: Stu, Reg (references Stu and Course), Course.
+    fn target_schema() -> Schema {
+        let stu =
+            RelationSchema::with_any_columns("Stu", &["student", "prog", "dpt", "supervisor"])
+                .primary_key(&["student"])
+                .unwrap();
+        let course = RelationSchema::with_any_columns("Course", &["cname", "credit"])
+            .primary_key(&["cname"])
+            .unwrap();
+        let reg = RelationSchema::with_any_columns("Reg", &["student", "cname", "date"])
+            .foreign_key(&["student"], "Stu")
+            .unwrap()
+            .foreign_key(&["cname"], "Course")
+            .unwrap();
+        Schema::from_relations(vec![stu, course, reg]).unwrap()
+    }
+
+    /// The Σ of the worked example (no correspondence for supervisor).
+    fn paper_sigma() -> Correspondences {
+        Correspondences::from_name_pairs([
+            ("sname", "student"),
+            ("course", "cname"),
+            ("regdate", "date"),
+            ("program", "prog"),
+            ("dep", "dpt"),
+        ])
+    }
+
+    #[test]
+    fn paper_distances_for_registration_tuple() {
+        // Section 4.3: dist(Tt, TReg) = 0.71, dist(Tt, TStu) = 0.76,
+        // dist(Tt, TCourse) = 1.0; TReg wins.
+        let inst = source_instance();
+        let forest = SchemaForest::new(&target_schema(), &TreeConfig::default()).unwrap();
+        let matcher = Matcher::new(&forest, 2, 1);
+        let tt = tuple_tree(&inst, "Registration", 0, &TreeConfig::default()).unwrap();
+        let m = matcher.best_match(&tt, &paper_sigma()).unwrap();
+        assert_eq!(m.relation, "Reg");
+        let d: std::collections::HashMap<_, _> = m.ranking.iter().cloned().collect();
+        assert!((d["Reg"] - 10.0 / 14.0).abs() < 1e-9, "Reg: {}", d["Reg"]);
+        assert!((d["Stu"] - 10.0 / 13.0).abs() < 1e-9, "Stu: {}", d["Stu"]);
+        assert!((d["Course"] - 1.0).abs() < 1e-9, "Course: {}", d["Course"]);
+    }
+
+    #[test]
+    fn student_tuple_matches_stu() {
+        let inst = source_instance();
+        let forest = SchemaForest::new(&target_schema(), &TreeConfig::default()).unwrap();
+        let matcher = Matcher::new(&forest, 2, 1);
+        let tt = tuple_tree(&inst, "Student", 0, &TreeConfig::default()).unwrap();
+        let m = matcher.best_match(&tt, &paper_sigma()).unwrap();
+        assert_eq!(m.relation, "Stu");
+    }
+
+    /// The generalization-ambiguity resolution of Section 4.5: a tuple with
+    /// stId lands in Grad, one with empId lands in Prof.
+    #[test]
+    fn ambiguity_resolution_by_null_pruning() {
+        let inst_rel = RelationSchema::with_any_columns("Inst", &["name", "stId", "empId"]);
+        let source = Schema::from_relations(vec![inst_rel]).unwrap();
+        let mut src = Instance::new(source);
+        let p = ConflictPolicy::Allow;
+        src.insert("Inst", sedex_storage::tuple!["Bob", "1234", Value::Null], p)
+            .unwrap();
+        src.insert("Inst", sedex_storage::tuple!["Eve", Value::Null, "E77"], p)
+            .unwrap();
+
+        let grad = RelationSchema::with_any_columns("Grad", &["name", "stId", "course"]);
+        let prof = RelationSchema::with_any_columns("Prof", &["name", "empId"]);
+        let target = Schema::from_relations(vec![grad, prof]).unwrap();
+        let forest = SchemaForest::new(&target, &TreeConfig::default()).unwrap();
+        let matcher = Matcher::new(&forest, 2, 1);
+        let sigma = Correspondences::from_name_pairs([
+            ("name", "name"),
+            ("stId", "stId"),
+            ("empId", "empId"),
+        ]);
+
+        let cfg = TreeConfig::default();
+        let bob = tuple_tree(&src, "Inst", 0, &cfg).unwrap();
+        let eve = tuple_tree(&src, "Inst", 1, &cfg).unwrap();
+        assert_eq!(matcher.best_match(&bob, &sigma).unwrap().relation, "Grad");
+        assert_eq!(matcher.best_match(&eve, &sigma).unwrap().relation, "Prof");
+    }
+
+    #[test]
+    fn qualified_correspondences_steer_per_target_tree() {
+        // Source prop `id` maps to A.ka for relation A and B.kb for B: the
+        // per-tree translation must use the right one for each candidate.
+        let s = RelationSchema::with_any_columns("S", &["id", "x"]);
+        let source = Schema::from_relations(vec![s]).unwrap();
+        let mut src = Instance::new(source);
+        src.insert("S", sedex_storage::tuple!["1", "v"], ConflictPolicy::Allow)
+            .unwrap();
+        let a = RelationSchema::with_any_columns("A", &["ka", "x2"]);
+        let b = RelationSchema::with_any_columns("B", &["kb"]);
+        let target = Schema::from_relations(vec![a, b]).unwrap();
+        let forest = SchemaForest::new(&target, &TreeConfig::default()).unwrap();
+        let matcher = Matcher::new(&forest, 2, 1);
+        let mut sigma = Correspondences::new();
+        sigma.add_qualified("S", "id", "A", "ka");
+        sigma.add_qualified("S", "id", "B", "kb");
+        sigma.add_names("x", "x2");
+        let tt = tuple_tree(&src, "S", 0, &TreeConfig::default()).unwrap();
+        let m = matcher.best_match(&tt, &sigma).unwrap();
+        // A covers both id and x; B only id.
+        assert_eq!(m.relation, "A");
+        assert!(m.ranking.iter().any(|(r, d)| r == "B" && *d < 1.0));
+    }
+
+    /// The windowed matcher agrees with the plain one at q = 1 (where the
+    /// two constructions coincide) and still finds the right hosts at q = 2.
+    #[test]
+    fn windowed_matcher_agrees() {
+        let inst = source_instance();
+        let forest = SchemaForest::new(&target_schema(), &TreeConfig::default()).unwrap();
+        let plain = Matcher::new(&forest, 2, 1);
+        let win = Matcher::windowed(&forest, 2, 1, 2);
+        let cfg = TreeConfig::default();
+        for (rel, rows) in [("Registration", 1u32), ("Student", 1)] {
+            for row in 0..rows {
+                let tt = tuple_tree(&inst, rel, row, &cfg).unwrap();
+                let a = plain.best_match(&tt, &paper_sigma()).unwrap();
+                let b = win.best_match(&tt, &paper_sigma()).unwrap();
+                assert_eq!(a.relation, b.relation);
+                assert!((a.distance - b.distance).abs() < 1e-9);
+            }
+        }
+        // q = 2, window 3: the Registration tuple still lands in Reg.
+        let win2 = Matcher::windowed(&forest, 2, 2, 3);
+        let tt = tuple_tree(&inst, "Registration", 0, &cfg).unwrap();
+        assert_eq!(
+            win2.best_match(&tt, &paper_sigma()).unwrap().relation,
+            "Reg"
+        );
+    }
+
+    #[test]
+    fn empty_forest_returns_none() {
+        let target = Schema::new();
+        let forest = SchemaForest::new(&target, &TreeConfig::default()).unwrap();
+        let matcher = Matcher::new(&forest, 2, 1);
+        let inst = source_instance();
+        let tt = tuple_tree(&inst, "Dep", 0, &TreeConfig::default()).unwrap();
+        assert!(matcher.best_match(&tt, &paper_sigma()).is_none());
+    }
+}

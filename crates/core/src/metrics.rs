@@ -1,0 +1,226 @@
+//! Exchange reports: the measurements the paper's figures are built from.
+
+use std::time::Duration;
+
+use sedex_storage::InstanceStats;
+
+/// One script-repository lookup, timestamped relative to the start of the
+/// exchange — the raw data behind the hit-ratio curve of Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitEvent {
+    /// Time since the exchange started.
+    pub at: Duration,
+    /// Whether the lookup was a hit.
+    pub hit: bool,
+}
+
+/// Counters and timings of one SEDEX (or EDEX) exchange run.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeReport {
+    /// Target-instance statistics (the quality measure of Figs. 9–10).
+    pub stats: InstanceStats,
+    /// Script generation time `Tg`: tree building, matching, translation,
+    /// script generation and repository bookkeeping.
+    pub tg: Duration,
+    /// Script execution time `Te`: running insertion statements under egds.
+    pub te: Duration,
+    /// Source tuples processed directly.
+    pub tuples_processed: usize,
+    /// Source tuples skipped because they were already *seen* through a
+    /// referencing tuple (Section 4.2).
+    pub tuples_skipped_seen: usize,
+    /// Freshly generated scripts (`n_g`).
+    pub scripts_generated: usize,
+    /// Script reuses (`n_r`).
+    pub scripts_reused: usize,
+    /// Tuples with no usable correspondence (nothing inserted).
+    pub tuples_unmatched: usize,
+    /// Rows inserted into the target.
+    pub inserted: usize,
+    /// egd merges performed during script runs.
+    pub merged: usize,
+    /// Hard egd violations.
+    pub violations: usize,
+    /// Timestamped repository lookups (only when event recording is on).
+    pub hit_events: Vec<HitEvent>,
+}
+
+impl ExchangeReport {
+    /// Total wall time.
+    pub fn total_time(&self) -> Duration {
+        self.tg + self.te
+    }
+
+    /// Final hit ratio `n_r / (n_r + n_g)`.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.scripts_reused + self.scripts_generated;
+        if total == 0 {
+            0.0
+        } else {
+            self.scripts_reused as f64 / total as f64
+        }
+    }
+
+    /// Percentage of lookups that reused a script — the Fig. 15 measure.
+    pub fn reuse_percent(&self) -> f64 {
+        self.hit_ratio() * 100.0
+    }
+
+    /// Windowed hit ratio: `n_r / (n_r + n_g)` computed over each of
+    /// `buckets` equal time windows (the paper defines the ratio over a
+    /// *period* `t`, so dips appear when a new relation's shapes arrive).
+    /// Empty windows repeat the previous ratio. Returns `(window end,
+    /// ratio)` pairs.
+    pub fn windowed_hit_ratio_curve(&self, buckets: usize) -> Vec<(Duration, f64)> {
+        if self.hit_events.is_empty() || buckets == 0 {
+            return Vec::new();
+        }
+        let end = self
+            .hit_events
+            .last()
+            .map(|e| e.at)
+            .unwrap_or_default()
+            .max(Duration::from_nanos(1));
+        let mut out = Vec::with_capacity(buckets);
+        let mut idx = 0usize;
+        let mut prev_ratio = 0.0;
+        for b in 1..=buckets {
+            let cutoff = end.mul_f64(b as f64 / buckets as f64);
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            while idx < self.hit_events.len() && self.hit_events[idx].at <= cutoff {
+                total += 1;
+                if self.hit_events[idx].hit {
+                    hits += 1;
+                }
+                idx += 1;
+            }
+            let ratio = if total == 0 {
+                prev_ratio
+            } else {
+                hits as f64 / total as f64
+            };
+            prev_ratio = ratio;
+            out.push((cutoff, ratio));
+        }
+        out
+    }
+
+    /// Warm-up detail: cumulative hit ratio after the first
+    /// 1, 2, 4, 8, … lookups — the "very low at the beginning, then sharply
+    /// increases" pattern of Fig. 14 at lookup granularity.
+    pub fn warmup_curve(&self) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        let mut hits = 0usize;
+        let mut next_sample = 1usize;
+        for (i, e) in self.hit_events.iter().enumerate() {
+            if e.hit {
+                hits += 1;
+            }
+            if i + 1 == next_sample {
+                out.push((i + 1, hits as f64 / (i + 1) as f64));
+                next_sample *= 2;
+            }
+        }
+        if let Some(last) = self.hit_events.len().checked_sub(1) {
+            if last + 1 != next_sample / 2 {
+                out.push((last + 1, hits as f64 / (last + 1) as f64));
+            }
+        }
+        out
+    }
+
+    /// The Fig. 14 curve: cumulative hit ratio sampled at `buckets` equal
+    /// time intervals over the run. Returns `(time, ratio)` pairs.
+    pub fn hit_ratio_curve(&self, buckets: usize) -> Vec<(Duration, f64)> {
+        if self.hit_events.is_empty() || buckets == 0 {
+            return Vec::new();
+        }
+        let end = self
+            .hit_events
+            .last()
+            .map(|e| e.at)
+            .unwrap_or_default()
+            .max(Duration::from_nanos(1));
+        let mut out = Vec::with_capacity(buckets);
+        let mut idx = 0usize;
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for b in 1..=buckets {
+            let cutoff = end.mul_f64(b as f64 / buckets as f64);
+            while idx < self.hit_events.len() && self.hit_events[idx].at <= cutoff {
+                total += 1;
+                if self.hit_events[idx].hit {
+                    hits += 1;
+                }
+                idx += 1;
+            }
+            let ratio = if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            };
+            out.push((cutoff, ratio));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_and_reuse_percent() {
+        let r = ExchangeReport {
+            scripts_generated: 25,
+            scripts_reused: 75,
+            ..ExchangeReport::default()
+        };
+        assert!((r.hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((r.reuse_percent() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = ExchangeReport::default();
+        assert_eq!(r.hit_ratio(), 0.0);
+        assert!(r.hit_ratio_curve(10).is_empty());
+    }
+
+    #[test]
+    fn curve_is_cumulative_and_increasing_for_warmup_pattern() {
+        // Misses first, then hits — the Fig. 14 pattern: ratio rises.
+        let mut events = Vec::new();
+        for i in 0..10 {
+            events.push(HitEvent {
+                at: Duration::from_millis(i),
+                hit: false,
+            });
+        }
+        for i in 10..100 {
+            events.push(HitEvent {
+                at: Duration::from_millis(i),
+                hit: true,
+            });
+        }
+        let r = ExchangeReport {
+            hit_events: events,
+            ..ExchangeReport::default()
+        };
+        let curve = r.hit_ratio_curve(10);
+        assert_eq!(curve.len(), 10);
+        assert!(curve.first().unwrap().1 < curve.last().unwrap().1);
+        assert!(curve.last().unwrap().1 > 0.85);
+    }
+
+    #[test]
+    fn total_time_sums_phases() {
+        let r = ExchangeReport {
+            tg: Duration::from_secs(2),
+            te: Duration::from_secs(3),
+            ..ExchangeReport::default()
+        };
+        assert_eq!(r.total_time(), Duration::from_secs(5));
+    }
+}

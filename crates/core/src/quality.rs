@@ -1,0 +1,218 @@
+//! Data-exchange quality measurement against an expected solution.
+//!
+//! Section 4.4 defines the *expected solution* (after Mecca et al.'s "What
+//! is the IQ of your data transformation system?") as one containing "no
+//! unsound or redundant information". This module scores a produced target
+//! instance against a reference instance with null-tolerant tuple matching:
+//!
+//! * a produced tuple **matches** an expected tuple when every constant
+//!   agrees and nulls (SQL or labeled) align with anything;
+//! * **precision** = matched produced tuples / produced tuples (redundant or
+//!   unsound tuples lower it);
+//! * **recall** = covered expected tuples / expected tuples (lost entities
+//!   lower it).
+//!
+//! Matching is a greedy per-relation bipartite assignment — exact for the
+//! instances our scenarios produce (few nulls per tuple, keys present).
+
+use sedex_storage::{Instance, Tuple};
+
+/// Quality of a produced instance relative to an expected one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Produced tuples that match some expected tuple.
+    pub matched: usize,
+    /// Total produced tuples.
+    pub produced: usize,
+    /// Expected tuples covered by some produced tuple.
+    pub covered: usize,
+    /// Total expected tuples.
+    pub expected: usize,
+}
+
+impl QualityReport {
+    /// `matched / produced` (1.0 when nothing was produced and nothing was
+    /// expected).
+    pub fn precision(&self) -> f64 {
+        if self.produced == 0 {
+            if self.expected == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.matched as f64 / self.produced as f64
+        }
+    }
+
+    /// `covered / expected` (1.0 when nothing was expected).
+    pub fn recall(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.expected as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Whether a produced tuple matches an expected tuple: constants must be
+/// equal; any null on either side aligns with anything.
+fn tuples_match(produced: &Tuple, expected: &Tuple) -> bool {
+    produced.arity() == expected.arity()
+        && produced
+            .values()
+            .iter()
+            .zip(expected.values())
+            .all(|(p, e)| p.is_any_null() || e.is_any_null() || p == e)
+}
+
+/// Score `actual` against `expected`. Relations present in only one of the
+/// two instances count fully against precision/recall respectively.
+pub fn compare(actual: &Instance, expected: &Instance) -> QualityReport {
+    let mut report = QualityReport {
+        matched: 0,
+        produced: 0,
+        covered: 0,
+        expected: 0,
+    };
+    // Union of relation names from both schemas.
+    let mut names: Vec<&str> = actual.schema().relation_names().collect();
+    for n in expected.schema().relation_names() {
+        if !names.contains(&n) {
+            names.push(n);
+        }
+    }
+    for name in names {
+        let produced: &[Tuple] = actual.relation(name).map_or(&[], |r| r.rows());
+        let wanted: &[Tuple] = expected.relation(name).map_or(&[], |r| r.rows());
+        report.produced += produced.len();
+        report.expected += wanted.len();
+        // Greedy assignment, most-constant-rich produced tuples first so
+        // informative tuples claim their mates before null-padded ones.
+        let mut order: Vec<usize> = (0..produced.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(produced[i].constants()));
+        let mut taken = vec![false; wanted.len()];
+        for i in order {
+            if let Some(j) =
+                (0..wanted.len()).find(|&j| !taken[j] && tuples_match(&produced[i], &wanted[j]))
+            {
+                taken[j] = true;
+                report.matched += 1;
+                report.covered += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{ConflictPolicy, RelationSchema, Schema, Value};
+
+    fn instance_of(rows: &[Tuple]) -> Instance {
+        let r = RelationSchema::with_any_columns("T", &["a", "b"]);
+        let schema = Schema::from_relations(vec![r]).unwrap();
+        let mut inst = Instance::new(schema);
+        for t in rows {
+            inst.insert("T", t.clone(), ConflictPolicy::Allow).unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn identical_instances_are_perfect() {
+        let rows = vec![
+            sedex_storage::tuple!["1", "2"],
+            sedex_storage::tuple!["3", "4"],
+        ];
+        let a = instance_of(&rows);
+        let b = instance_of(&rows);
+        let q = compare(&a, &b);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn redundant_tuples_lower_precision_only() {
+        let expected = instance_of(&[sedex_storage::tuple!["1", "2"]]);
+        let actual = instance_of(&[
+            sedex_storage::tuple!["1", "2"],
+            sedex_storage::tuple!["9", "9"], // unsound extra
+        ]);
+        let q = compare(&actual, &expected);
+        assert_eq!(q.precision(), 0.5);
+        assert_eq!(q.recall(), 1.0);
+    }
+
+    #[test]
+    fn missing_tuples_lower_recall_only() {
+        let expected = instance_of(&[
+            sedex_storage::tuple!["1", "2"],
+            sedex_storage::tuple!["3", "4"],
+        ]);
+        let actual = instance_of(&[sedex_storage::tuple!["1", "2"]]);
+        let q = compare(&actual, &expected);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 0.5);
+    }
+
+    #[test]
+    fn nulls_align_with_anything() {
+        let expected = instance_of(&[sedex_storage::tuple!["1", "2"]]);
+        let actual = instance_of(&[sedex_storage::tuple!["1", Value::Labeled(7)]]);
+        let q = compare(&actual, &expected);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+    }
+
+    #[test]
+    fn each_expected_tuple_claimed_once() {
+        // Two null-padded copies cannot both claim the single expected
+        // tuple: the second counts as redundancy.
+        let expected = instance_of(&[sedex_storage::tuple!["1", "2"]]);
+        let actual = instance_of(&[
+            sedex_storage::tuple!["1", "2"],
+            sedex_storage::tuple!["1", Value::Null],
+        ]);
+        let q = compare(&actual, &expected);
+        assert_eq!(q.matched, 1);
+        assert!((q.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vs_empty_is_perfect() {
+        let a = instance_of(&[]);
+        let b = instance_of(&[]);
+        let q = compare(&a, &b);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn constant_rich_tuples_match_first() {
+        // Expected has a full and a partial tuple; produced likewise. The
+        // full produced tuple must claim the full expected one.
+        let expected = instance_of(&[
+            sedex_storage::tuple!["1", "2"],
+            sedex_storage::tuple!["1", Value::Null],
+        ]);
+        let actual = instance_of(&[
+            sedex_storage::tuple!["1", Value::Null],
+            sedex_storage::tuple!["1", "2"],
+        ]);
+        let q = compare(&actual, &expected);
+        assert_eq!(q.matched, 2);
+        assert_eq!(q.f1(), 1.0);
+    }
+}

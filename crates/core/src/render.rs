@@ -1,0 +1,238 @@
+//! Rendering transformation scripts and translated trees to external
+//! formats.
+//!
+//! Algorithm 2 "generates scripts to insert tuple tree information to a
+//! relational schema or to generate xml documents" (Section 4.4.2). The
+//! engine executes scripts directly against the in-memory target; this
+//! module materializes them as artifacts:
+//!
+//! * [`sql_template`] — the reusable parameterized script (`$N` slots,
+//!   `@fN` surrogates): the thing the script repository actually caches;
+//! * [`sql_statements`] — concrete `INSERT` statements for one tuple's
+//!   values;
+//! * [`xml_document`] — the translated tuple tree as a nested XML element,
+//!   the paper's alternative output format.
+
+use sedex_pqgram::PqLabel;
+use sedex_storage::{Schema, Value};
+
+use crate::script::{Script, SlotRef};
+use crate::translate::TranslatedTree;
+
+/// Render a script as a reusable SQL template: slot values appear as `$N`
+/// placeholders (N = source preorder index) and per-run surrogates as
+/// `@fN`. Two tuples with the same tuple-tree shape share this template
+/// verbatim — it is the textual form of what the repository caches.
+pub fn sql_template(script: &Script, schema: &Schema) -> String {
+    let mut out = String::new();
+    for st in &script.statements {
+        let Some(rel) = schema.relation(&st.relation) else {
+            continue;
+        };
+        let cols: Vec<&str> = st
+            .assignments
+            .iter()
+            .map(|&(c, _)| rel.columns[c].name.as_str())
+            .collect();
+        let vals: Vec<String> = st
+            .assignments
+            .iter()
+            .map(|&(_, slot)| match slot {
+                SlotRef::Src(i) => format!("${i}"),
+                SlotRef::Fresh(f) => format!("@f{f}"),
+            })
+            .collect();
+        out.push_str(&format!(
+            "INSERT INTO {} ({}) VALUES ({});\n",
+            st.relation,
+            cols.join(", "),
+            vals.join(", ")
+        ));
+    }
+    out
+}
+
+/// Render a script as concrete SQL statements for one tuple's slot values.
+/// Surrogates render as `NULL /* surrogate fN */` — a relational engine
+/// would bind them to generated keys.
+pub fn sql_statements(script: &Script, schema: &Schema, values: &[Value]) -> String {
+    let mut out = String::new();
+    for st in &script.statements {
+        let Some(rel) = schema.relation(&st.relation) else {
+            continue;
+        };
+        let cols: Vec<&str> = st
+            .assignments
+            .iter()
+            .map(|&(c, _)| rel.columns[c].name.as_str())
+            .collect();
+        let vals: Vec<String> = st
+            .assignments
+            .iter()
+            .map(|&(_, slot)| match slot {
+                SlotRef::Src(i) => sql_literal(values.get(i).unwrap_or(&Value::Null)),
+                SlotRef::Fresh(f) => format!("NULL /* surrogate f{f} */"),
+            })
+            .collect();
+        out.push_str(&format!(
+            "INSERT INTO {} ({}) VALUES ({});\n",
+            st.relation,
+            cols.join(", "),
+            vals.join(", ")
+        ));
+    }
+    out
+}
+
+/// SQL literal form of a value (single quotes doubled in text).
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_owned(),
+        Value::Labeled(l) => format!("NULL /* N{l} */"),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_owned(),
+        Value::Int(i) => i.to_string(),
+        Value::Real(f) => f.0.to_string(),
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+/// Render a translated tuple tree as an XML document: each node becomes an
+/// element named after its target property, its value in a `value`
+/// attribute, children nested. The dummy root renders as `<tuple>`.
+pub fn xml_document(ty: &TranslatedTree) -> String {
+    let mut out = String::new();
+    render_node(ty, ty.tree.root(), 0, &mut out);
+    out
+}
+
+fn render_node(ty: &TranslatedTree, id: usize, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let (name, value) = match ty.tree.label(id) {
+        PqLabel::Dummy => ("tuple".to_owned(), None),
+        PqLabel::Label(n) => (xml_name(&n.prop), Some(n.value.render().into_owned())),
+    };
+    out.push_str(&indent);
+    out.push('<');
+    out.push_str(&name);
+    if let Some(v) = &value {
+        out.push_str(&format!(" value=\"{}\"", xml_escape(v)));
+    }
+    if ty.tree.children(id).is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push_str(">\n");
+    for &c in ty.tree.children(id) {
+        render_node(ty, c, depth + 1, out);
+    }
+    out.push_str(&indent);
+    out.push_str(&format!("</{name}>\n"));
+}
+
+fn xml_name(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scriptgen::generate_script;
+    use crate::translate::{slot_values, translate};
+    use sedex_mapping::Correspondences;
+    use sedex_storage::{ConflictPolicy, Instance, RelationSchema};
+    use sedex_treerep::{relation_tree, tuple_tree, TreeConfig};
+
+    fn setup() -> (Instance, Schema, Correspondences) {
+        let student = RelationSchema::with_any_columns("Student", &["sname", "program"])
+            .primary_key(&["sname"])
+            .unwrap();
+        let src = Schema::from_relations(vec![student]).unwrap();
+        let mut inst = Instance::new(src);
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s'1", "p1"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        let stu = RelationSchema::with_any_columns("Stu", &["student", "prog"])
+            .primary_key(&["student"])
+            .unwrap();
+        let tgt = Schema::from_relations(vec![stu]).unwrap();
+        let sigma = Correspondences::from_name_pairs([("sname", "student"), ("program", "prog")]);
+        (inst, tgt, sigma)
+    }
+
+    #[test]
+    fn sql_template_uses_slot_placeholders() {
+        let (inst, tgt, sigma) = setup();
+        let cfg = TreeConfig::default();
+        let tx = tuple_tree(&inst, "Student", 0, &cfg).unwrap();
+        let tr = relation_tree(&tgt, "Stu", &cfg).unwrap();
+        let ty = translate(&tx, &tr, &sigma);
+        let script = generate_script(&ty, &tgt);
+        let sql = sql_template(&script, &tgt);
+        assert_eq!(sql, "INSERT INTO Stu (student, prog) VALUES ($0, $1);\n");
+    }
+
+    #[test]
+    fn sql_statements_bind_and_escape_values() {
+        let (inst, tgt, sigma) = setup();
+        let cfg = TreeConfig::default();
+        let tx = tuple_tree(&inst, "Student", 0, &cfg).unwrap();
+        let tr = relation_tree(&tgt, "Stu", &cfg).unwrap();
+        let ty = translate(&tx, &tr, &sigma);
+        let script = generate_script(&ty, &tgt);
+        let sql = sql_statements(&script, &tgt, &slot_values(&tx));
+        // The quote in s'1 must be doubled.
+        assert_eq!(
+            sql,
+            "INSERT INTO Stu (student, prog) VALUES ('s''1', 'p1');\n"
+        );
+    }
+
+    #[test]
+    fn sql_literals() {
+        assert_eq!(sql_literal(&Value::Null), "NULL");
+        assert_eq!(sql_literal(&Value::int(5)), "5");
+        assert_eq!(sql_literal(&Value::bool(true)), "TRUE");
+        assert_eq!(sql_literal(&Value::text("a'b")), "'a''b'");
+        assert!(sql_literal(&Value::Labeled(3)).starts_with("NULL"));
+    }
+
+    #[test]
+    fn xml_renders_nested_tree() {
+        let (inst, tgt, sigma) = setup();
+        let cfg = TreeConfig::default();
+        let tx = tuple_tree(&inst, "Student", 0, &cfg).unwrap();
+        let tr = relation_tree(&tgt, "Stu", &cfg).unwrap();
+        let ty = translate(&tx, &tr, &sigma);
+        let xml = xml_document(&ty);
+        assert!(
+            xml.starts_with("<student value=\"s&apos;1\"")
+                || xml.starts_with("<student value=\"s'1\"")
+        );
+        assert!(xml.contains("<prog value=\"p1\"/>"));
+        assert!(xml.trim_end().ends_with("</student>"));
+    }
+
+    #[test]
+    fn xml_escapes_special_characters() {
+        assert_eq!(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        assert_eq!(xml_name("weird col!"), "weird_col_");
+    }
+}

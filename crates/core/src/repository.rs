@@ -1,0 +1,167 @@
+//! The script repository (Sections 4.4.2–4.4.3, Figs. 14–15).
+//!
+//! A hash table keyed by the post-order shape key of the (reduced) tuple
+//! tree. On a **hit** the stored script is replayed with the new tuple's
+//! values — no matching, translation or generation. On a **miss** the full
+//! pipeline runs and the new script is stored. The repository records every
+//! lookup with a timestamp so the hit-ratio curve of Fig. 14 can be
+//! reproduced.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::HitEvent;
+use crate::script::Script;
+
+/// Shape-keyed script cache with hit/miss accounting.
+#[derive(Debug)]
+pub struct ScriptRepository {
+    map: HashMap<String, Arc<Script>>,
+    hits: usize,
+    misses: usize,
+    start: Instant,
+    record_events: bool,
+    events: Vec<HitEvent>,
+}
+
+impl Default for ScriptRepository {
+    fn default() -> Self {
+        ScriptRepository::new(false)
+    }
+}
+
+impl ScriptRepository {
+    /// A fresh repository. With `record_events` every lookup is timestamped
+    /// (needed only for the Fig. 14 experiment).
+    pub fn new(record_events: bool) -> Self {
+        ScriptRepository {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            start: Instant::now(),
+            record_events,
+            events: Vec::new(),
+        }
+    }
+
+    /// Look a shape key up, recording a hit or a miss.
+    pub fn lookup(&mut self, key: &str) -> Option<Arc<Script>> {
+        let found = self.map.get(key).cloned();
+        match &found {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        if self.record_events {
+            self.events.push(HitEvent {
+                at: self.start.elapsed(),
+                hit: found.is_some(),
+            });
+        }
+        found
+    }
+
+    /// Store a freshly generated script under its shape key.
+    pub fn insert(&mut self, key: String, script: Script) -> Arc<Script> {
+        let arc = Arc::new(script);
+        self.map.insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    /// Number of distinct scripts stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookup hits so far (`n_r` in the paper's hit-ratio definition).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookup misses so far (`n_g`).
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// `n_r / (n_r + n_g)`, or 0 before any lookup.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The recorded lookup events (empty unless event recording is on).
+    pub fn events(&self) -> &[HitEvent] {
+        &self.events
+    }
+
+    /// Drain the recorded events (used by the engine when assembling the
+    /// final report).
+    pub fn take_events(&mut self) -> Vec<HitEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{SlotRef, Statement};
+
+    fn dummy_script(rel: &str) -> Script {
+        Script {
+            statements: vec![Statement {
+                relation: rel.into(),
+                assignments: vec![(0, SlotRef::Src(0))],
+            }],
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut r = ScriptRepository::new(false);
+        assert!(r.lookup("k1").is_none());
+        r.insert("k1".into(), dummy_script("T"));
+        let s = r.lookup("k1").unwrap();
+        assert_eq!(s.statements[0].relation, "T");
+        assert_eq!(r.hits(), 1);
+        assert_eq!(r.misses(), 1);
+        assert!((r.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_scripts() {
+        let mut r = ScriptRepository::new(false);
+        r.insert("a".into(), dummy_script("T"));
+        r.insert("b".into(), dummy_script("U"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.lookup("a").unwrap().statements[0].relation, "T");
+        assert_eq!(r.lookup("b").unwrap().statements[0].relation, "U");
+    }
+
+    #[test]
+    fn event_recording() {
+        let mut r = ScriptRepository::new(true);
+        r.lookup("k");
+        r.insert("k".into(), dummy_script("T"));
+        r.lookup("k");
+        let ev = r.events();
+        assert_eq!(ev.len(), 2);
+        assert!(!ev[0].hit);
+        assert!(ev[1].hit);
+        assert!(ev[1].at >= ev[0].at);
+    }
+
+    #[test]
+    fn hit_ratio_zero_when_unused() {
+        let r = ScriptRepository::new(false);
+        assert_eq!(r.hit_ratio(), 0.0);
+    }
+}

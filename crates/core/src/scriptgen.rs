@@ -1,0 +1,278 @@
+//! Script generation — Algorithm 2 (Section 4.4.2).
+//!
+//! The translated tuple tree is processed **bottom-up**: "since the
+//! referenced entities must be inserted before those referencing other
+//! entities", deeper nodes' statements are emitted first. A node that
+//! identifies tuples (the root, or an FK property) may expand into *several*
+//! relations — its own relation and/or key-to-key links (vertical
+//! partitioning) — so one statement is emitted per expansion, each taking
+//! that relation's key from the node and the columns from the children owned
+//! by that relation. This realizes the paper's "relation in the target where
+//! its properties match `C(Tj)`" lookup, resolved at relation-tree
+//! construction time.
+
+use sedex_pqgram::PqLabel;
+use sedex_storage::Schema;
+
+use crate::script::{Script, SlotRef, Statement};
+use crate::translate::TranslatedTree;
+
+/// Generate the insertion script for a translated tuple tree.
+///
+/// Statements are ordered deepest-first (children before parents), so
+/// referenced entities are inserted before referencing ones. Statements that
+/// would assign no column are skipped.
+pub fn generate_script(ty: &TranslatedTree, target: &Schema) -> Script {
+    let mut nodes: Vec<(usize, usize)> = ty
+        .tree
+        .preorder()
+        .into_iter()
+        .map(|id| (id, ty.tree.depth(id)))
+        .collect();
+    // Deepest first; ties broken by arena id for determinism.
+    nodes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let mut statements = Vec::new();
+    for (id, _) in nodes {
+        let expansions = &ty.meta[id].expands_to;
+        if expansions.is_empty() {
+            continue; // a plain property: carried by its parent's statement
+        }
+        let is_root = id == ty.tree.root();
+        if ty.tree.children(id).is_empty() && !is_root {
+            // An FK leaf: its value is carried by the parent's statement.
+            continue;
+        }
+        let node_slot = match ty.tree.label(id) {
+            PqLabel::Label(n) => Some(n.src),
+            PqLabel::Dummy => None,
+        };
+        for (rel_name, key_col) in expansions {
+            let Some(rel) = target.relation(rel_name) else {
+                continue;
+            };
+            let mut assignments: Vec<(usize, SlotRef)> = Vec::new();
+            if let (Some(slot), false) = (node_slot, key_col.is_empty()) {
+                if let Some(col) = rel.column_index(key_col) {
+                    assignments.push((col, slot));
+                }
+            }
+            for &c in ty.tree.children(id) {
+                // Only children owned by this expansion's relation.
+                if ty.meta[c].owner.as_deref() != Some(rel_name.as_str()) {
+                    continue;
+                }
+                if let PqLabel::Label(n) = ty.tree.label(c) {
+                    if let Some(col) = rel.column_index(&n.prop) {
+                        assignments.push((col, n.src));
+                    }
+                }
+            }
+            if !assignments.is_empty() {
+                statements.push(Statement {
+                    relation: rel_name.clone(),
+                    assignments,
+                });
+            }
+        }
+    }
+    Script { statements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::run_script;
+    use crate::translate::{slot_values, translate};
+    use sedex_mapping::Correspondences;
+    use sedex_storage::{ConflictPolicy, Instance, RelationSchema, Value};
+    use sedex_treerep::{relation_tree, tuple_tree, TreeConfig};
+
+    fn university_source() -> Instance {
+        let student =
+            RelationSchema::with_any_columns("Student", &["sname", "program", "dep", "supervisor"])
+                .primary_key(&["sname"])
+                .unwrap()
+                .foreign_key(&["dep"], "Dep")
+                .unwrap()
+                .foreign_key(&["supervisor"], "Prof")
+                .unwrap();
+        let prof = RelationSchema::with_any_columns("Prof", &["pname", "degree", "profdep"])
+            .primary_key(&["pname"])
+            .unwrap()
+            .foreign_key(&["profdep"], "Dep")
+            .unwrap();
+        let dep = RelationSchema::with_any_columns("Dep", &["dname", "building"])
+            .primary_key(&["dname"])
+            .unwrap();
+        let reg = RelationSchema::with_any_columns("Registration", &["sname", "course", "regdate"])
+            .foreign_key(&["sname"], "Student")
+            .unwrap();
+        let schema = Schema::from_relations(vec![student, prof, dep, reg]).unwrap();
+        let mut inst = Instance::new(schema);
+        let p = ConflictPolicy::Reject;
+        inst.insert("Dep", sedex_storage::tuple!["d1", "b1"], p)
+            .unwrap();
+        inst.insert("Prof", sedex_storage::tuple!["prof1", "deg1", "d1"], p)
+            .unwrap();
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s1", "p1", "d1", "prof1"],
+            p,
+        )
+        .unwrap();
+        inst.insert("Registration", sedex_storage::tuple!["s1", "c1", "dt1"], p)
+            .unwrap();
+        inst
+    }
+
+    fn target_schema() -> Schema {
+        let stu =
+            RelationSchema::with_any_columns("Stu", &["student", "prog", "dpt", "supervisor"])
+                .primary_key(&["student"])
+                .unwrap();
+        let course = RelationSchema::with_any_columns("Course", &["cname", "credit"])
+            .primary_key(&["cname"])
+            .unwrap();
+        let reg = RelationSchema::with_any_columns("Reg", &["student", "cname", "date"])
+            .foreign_key(&["student"], "Stu")
+            .unwrap()
+            .foreign_key(&["cname"], "Course")
+            .unwrap();
+        Schema::from_relations(vec![stu, course, reg]).unwrap()
+    }
+
+    fn paper_sigma() -> Correspondences {
+        Correspondences::from_name_pairs([
+            ("sname", "student"),
+            ("course", "cname"),
+            ("regdate", "date"),
+            ("program", "prog"),
+            ("dep", "dpt"),
+        ])
+    }
+
+    #[test]
+    fn registration_script_inserts_stu_before_reg() {
+        let inst = university_source();
+        let tgt = target_schema();
+        let cfg = TreeConfig::default();
+        let tx = tuple_tree(&inst, "Registration", 0, &cfg).unwrap();
+        let tr = relation_tree(&tgt, "Reg", &cfg).unwrap();
+        let ty = translate(&tx, &tr, &paper_sigma());
+        let script = generate_script(&ty, &tgt);
+        let rels: Vec<&str> = script
+            .statements
+            .iter()
+            .map(|s| s.relation.as_str())
+            .collect();
+        assert_eq!(rels, vec!["Stu", "Reg"]);
+    }
+
+    #[test]
+    fn running_the_script_materializes_fig8() {
+        let inst = university_source();
+        let tgt = target_schema();
+        let cfg = TreeConfig::default();
+        let tx = tuple_tree(&inst, "Registration", 0, &cfg).unwrap();
+        let tr = relation_tree(&tgt, "Reg", &cfg).unwrap();
+        let ty = translate(&tx, &tr, &paper_sigma());
+        let script = generate_script(&ty, &tgt);
+        let mut out = Instance::new(tgt.clone());
+        run_script(&script, &slot_values(&tx), &mut out, &mut 0).unwrap();
+        // Stu(s1, p1, d1, NULL) and Reg(s1, c1, dt1).
+        assert_eq!(
+            out.relation("Stu").unwrap().row(0).unwrap(),
+            &sedex_storage::tuple!["s1", "p1", "d1", Value::Null]
+        );
+        assert_eq!(
+            out.relation("Reg").unwrap().row(0).unwrap(),
+            &sedex_storage::tuple!["s1", "c1", "dt1"]
+        );
+    }
+
+    #[test]
+    fn script_reuse_across_same_shape_tuples() {
+        let mut inst = university_source();
+        // A second registration with identical shape.
+        inst.insert(
+            "Registration",
+            sedex_storage::tuple!["s1", "c2", "dt2"],
+            ConflictPolicy::Allow,
+        )
+        .unwrap();
+        let tgt = target_schema();
+        let cfg = TreeConfig::default();
+        let tx1 = tuple_tree(&inst, "Registration", 0, &cfg).unwrap();
+        let tx2 = tuple_tree(&inst, "Registration", 1, &cfg).unwrap();
+        let tr = relation_tree(&tgt, "Reg", &cfg).unwrap();
+        let ty1 = translate(&tx1, &tr, &paper_sigma());
+        let script = generate_script(&ty1, &tgt);
+        let mut out = Instance::new(tgt.clone());
+        run_script(&script, &slot_values(&tx1), &mut out, &mut 0).unwrap();
+        // Replay the SAME script with tx2's values — no re-translation.
+        run_script(&script, &slot_values(&tx2), &mut out, &mut 0).unwrap();
+        assert_eq!(out.relation("Reg").unwrap().len(), 2);
+        // Stu merged by egd: one student entity.
+        assert_eq!(out.relation("Stu").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn vertical_partitioning_emits_one_statement_per_expansion() {
+        // Source R(k, a, b) → targets T1(k1, a2) with key-to-key link
+        // k1→T2.k2, T2(k2, b2): the T1 relation tree root expands into BOTH
+        // relations; the script must fill T1 and T2, keyed by the same slot.
+        let r = RelationSchema::with_any_columns("R", &["k", "a", "b"])
+            .primary_key(&["k"])
+            .unwrap();
+        let src_schema = Schema::from_relations(vec![r]).unwrap();
+        let mut inst = Instance::new(src_schema);
+        inst.insert(
+            "R",
+            sedex_storage::tuple!["k1", "av", "bv"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        let t2 = RelationSchema::with_any_columns("T2", &["k2", "b2"])
+            .primary_key(&["k2"])
+            .unwrap();
+        let t1 = RelationSchema::with_any_columns("T1", &["k1", "a2"])
+            .primary_key(&["k1"])
+            .unwrap()
+            .foreign_key(&["k1"], "T2")
+            .unwrap();
+        let tgt = Schema::from_relations(vec![t1, t2]).unwrap();
+        let sigma =
+            Correspondences::from_name_pairs([("k", "k1"), ("k", "k2"), ("a", "a2"), ("b", "b2")]);
+        let cfg = TreeConfig::default();
+        let tx = tuple_tree(&inst, "R", 0, &cfg).unwrap();
+        let tr = relation_tree(&tgt, "T1", &cfg).unwrap();
+        let ty = translate(&tx, &tr, &sigma);
+        let script = generate_script(&ty, &tgt);
+        assert_eq!(script.len(), 2, "{script:?}");
+        let mut out = Instance::new(tgt.clone());
+        run_script(&script, &slot_values(&tx), &mut out, &mut 0).unwrap();
+        assert_eq!(
+            out.relation("T1").unwrap().row(0).unwrap(),
+            &sedex_storage::tuple!["k1", "av"],
+            "{out}"
+        );
+        assert_eq!(
+            out.relation("T2").unwrap().row(0).unwrap(),
+            &sedex_storage::tuple!["k1", "bv"],
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn empty_translation_empty_script() {
+        let inst = university_source();
+        let tgt = target_schema();
+        let cfg = TreeConfig::default();
+        let tx = tuple_tree(&inst, "Dep", 0, &cfg).unwrap();
+        let tr = relation_tree(&tgt, "Course", &cfg).unwrap();
+        let ty = translate(&tx, &tr, &paper_sigma());
+        let script = generate_script(&ty, &tgt);
+        assert!(script.is_empty());
+    }
+}

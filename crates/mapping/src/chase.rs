@@ -1,0 +1,378 @@
+//! The naive chase: firing s-t tgds to produce the universal solution.
+//!
+//! For every homomorphism from a tgd's premise into the source instance, the
+//! conclusion is instantiated — existential variables become fresh labeled
+//! nulls, shared across the conclusion's atoms of one firing — and inserted
+//! into the target (set semantics, no key enforcement: that is Clio's
+//! universal solution, which may fragment entities; ++Spicy then applies
+//! egds on top, see [`crate::egd`]).
+//!
+//! Joins are evaluated left to right with per-atom hash indexes on the
+//! columns bound by earlier atoms, so chasing is linear-ish in the number of
+//! homomorphisms rather than quadratic in relation sizes.
+
+use std::collections::HashMap;
+
+use sedex_storage::{ConflictPolicy, Instance, Tuple, Value};
+
+use crate::dependency::{Atom, Term, Tgd, VarId};
+
+/// Counters describing one chase run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// tgd firings (homomorphisms found).
+    pub firings: usize,
+    /// Tuples actually added to the target (exact duplicates collapse).
+    pub tuples_inserted: usize,
+    /// Labeled nulls invented.
+    pub nulls_created: usize,
+}
+
+/// Allocates labeled-null identifiers; share one across engines so labels
+/// never collide within an exchange run.
+#[derive(Debug, Default)]
+pub struct NullFactory {
+    next: u64,
+}
+
+impl NullFactory {
+    /// A factory starting at label 0.
+    pub fn new() -> Self {
+        NullFactory::default()
+    }
+
+    /// Next fresh labeled null.
+    pub fn fresh(&mut self) -> Value {
+        let v = Value::Labeled(self.next);
+        self.next += 1;
+        v
+    }
+}
+
+/// Chase `source` with the given s-t tgds, inserting into `target`.
+///
+/// Source-to-target tgds never feed each other, so a single pass over the
+/// tgds is a complete chase.
+pub fn chase(
+    source: &Instance,
+    target: &mut Instance,
+    tgds: &[Tgd],
+    nulls: &mut NullFactory,
+) -> Result<ChaseStats, sedex_storage::StorageError> {
+    let mut stats = ChaseStats::default();
+    for tgd in tgds {
+        let bindings = enumerate_homomorphisms(source, &tgd.lhs);
+        let existentials: Vec<VarId> = {
+            let mut e: Vec<VarId> = tgd.existential_vars().into_iter().collect();
+            e.sort_unstable();
+            e
+        };
+        for binding in bindings {
+            stats.firings += 1;
+            // One fresh null per existential per firing, shared across atoms.
+            let mut fresh: HashMap<VarId, Value> = HashMap::with_capacity(existentials.len());
+            for &v in &existentials {
+                fresh.insert(v, nulls.fresh());
+                stats.nulls_created += 1;
+            }
+            for atom in &tgd.rhs {
+                let vals: Vec<Value> = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => c.clone(),
+                        Term::Var(v) => binding.get(v).cloned().unwrap_or_else(|| fresh[v].clone()),
+                    })
+                    .collect();
+                let out = target.insert(&atom.relation, Tuple::new(vals), ConflictPolicy::Allow)?;
+                if out.is_inserted() {
+                    stats.tuples_inserted += 1;
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Enumerate all homomorphisms from a conjunction of atoms into `source`.
+/// Returns complete variable bindings.
+pub fn enumerate_homomorphisms(source: &Instance, atoms: &[Atom]) -> Vec<HashMap<VarId, Value>> {
+    let mut results: Vec<HashMap<VarId, Value>> = vec![HashMap::new()];
+    for atom in atoms {
+        if results.is_empty() {
+            return results;
+        }
+        let Some(rel) = source.relation(&atom.relation) else {
+            return Vec::new(); // relation absent → premise unsatisfiable
+        };
+        // Which positions are already bound by the accumulated bindings?
+        // (Variables repeat across atoms — the join columns — and may repeat
+        // within an atom.)
+        let bound_vars: std::collections::HashSet<VarId> = results[0].keys().copied().collect();
+        let mut bound_positions: Vec<(usize, VarId)> = Vec::new();
+        let mut const_positions: Vec<(usize, &Value)> = Vec::new();
+        let mut free_positions: Vec<(usize, VarId)> = Vec::new();
+        let mut seen_in_atom: HashMap<VarId, usize> = HashMap::new();
+        let mut intra_eq: Vec<(usize, usize)> = Vec::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(c) => const_positions.push((i, c)),
+                Term::Var(v) => {
+                    if let Some(&first) = seen_in_atom.get(v) {
+                        intra_eq.push((first, i));
+                        continue;
+                    }
+                    seen_in_atom.insert(*v, i);
+                    if bound_vars.contains(v) {
+                        bound_positions.push((i, *v));
+                    } else {
+                        free_positions.push((i, *v));
+                    }
+                }
+            }
+        }
+        // Hash-index the relation on the bound positions (if any).
+        let key_cols: Vec<usize> = bound_positions.iter().map(|&(i, _)| i).collect();
+        let index: Option<HashMap<Vec<Value>, Vec<u32>>> = if key_cols.is_empty() {
+            None
+        } else {
+            let mut idx: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+            for (rid, t) in rel.rows().iter().enumerate() {
+                idx.entry(t.project(&key_cols))
+                    .or_default()
+                    .push(rid as u32);
+            }
+            Some(idx)
+        };
+
+        let mut next: Vec<HashMap<VarId, Value>> = Vec::new();
+        for binding in &results {
+            let candidate_rows: Vec<u32> = match &index {
+                Some(idx) => {
+                    let key: Vec<Value> = bound_positions
+                        .iter()
+                        .map(|(_, v)| binding[v].clone())
+                        .collect();
+                    idx.get(&key).cloned().unwrap_or_default()
+                }
+                None => (0..rel.len() as u32).collect(),
+            };
+            'rows: for rid in candidate_rows {
+                let t = rel.row(rid).expect("row id in range");
+                for (i, c) in &const_positions {
+                    if &t.values()[*i] != *c {
+                        continue 'rows;
+                    }
+                }
+                for (a, b) in &intra_eq {
+                    if t.values()[*a] != t.values()[*b] {
+                        continue 'rows;
+                    }
+                }
+                let mut nb = binding.clone();
+                for (i, v) in &free_positions {
+                    nb.insert(*v, t.values()[*i].clone());
+                }
+                next.push(nb);
+            }
+        }
+        results = next;
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{RelationSchema, Schema};
+
+    /// Source and target of the Section 1.2 ambiguity example, with the
+    /// instance Inst(I1,st1,null,c1), Inst(I2,null,e1,c2), Course(c1,3),
+    /// Course(c2,2).
+    fn section12() -> (Instance, Instance, Vec<Tgd>) {
+        let inst = RelationSchema::with_any_columns(
+            "Inst",
+            &["name", "studentID", "employeeID", "courseId"],
+        );
+        let course = RelationSchema::with_any_columns("Course", &["courseId", "credit"]);
+        let source_schema = Schema::from_relations(vec![inst, course]).unwrap();
+        let mut source = Instance::new(source_schema);
+        let p = ConflictPolicy::Allow;
+        source
+            .insert(
+                "Inst",
+                sedex_storage::tuple!["I1", "st1", Value::Null, "c1"],
+                p,
+            )
+            .unwrap();
+        source
+            .insert(
+                "Inst",
+                sedex_storage::tuple!["I2", Value::Null, "e1", "c2"],
+                p,
+            )
+            .unwrap();
+        source
+            .insert("Course", sedex_storage::tuple!["c1", 3i64], p)
+            .unwrap();
+        source
+            .insert("Course", sedex_storage::tuple!["c2", 2i64], p)
+            .unwrap();
+
+        let grad = RelationSchema::with_any_columns("Grad", &["name", "stId", "course"]);
+        let prof = RelationSchema::with_any_columns("Prof", &["name", "empId", "course"]);
+        let target_schema = Schema::from_relations(vec![grad, prof]).unwrap();
+        let target = Instance::new(target_schema);
+
+        // The two mappings ++Spicy generates (Section 1.2).
+        let lhs = vec![
+            Atom::new(
+                "Inst",
+                vec![Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)],
+            ),
+            Atom::new("Course", vec![Term::Var(3), Term::Var(4)]),
+        ];
+        let tgds = vec![
+            Tgd::new(
+                lhs.clone(),
+                vec![Atom::new(
+                    "Grad",
+                    vec![Term::Var(0), Term::Var(1), Term::Var(3)],
+                )],
+            ),
+            Tgd::new(
+                lhs,
+                vec![Atom::new(
+                    "Prof",
+                    vec![Term::Var(0), Term::Var(2), Term::Var(3)],
+                )],
+            ),
+        ];
+        (source, target, tgds)
+    }
+
+    #[test]
+    fn section12_redundant_universal_solution() {
+        // The paper: ++Spicy's mappings generate the redundant target
+        // Grad(I1,st1,c1), Grad(I2,null,c2), Prof(I1,null,c1), Prof(I2,e1,c2).
+        let (source, mut target, tgds) = section12();
+        let mut nulls = NullFactory::new();
+        let stats = chase(&source, &mut target, &tgds, &mut nulls).unwrap();
+        assert_eq!(stats.firings, 4); // 2 tuples × 2 tgds
+        assert_eq!(target.relation("Grad").unwrap().len(), 2);
+        assert_eq!(target.relation("Prof").unwrap().len(), 2);
+        assert!(target
+            .relation("Grad")
+            .unwrap()
+            .iter()
+            .any(|t| t == &sedex_storage::tuple!["I1", "st1", "c1"]));
+        assert!(target
+            .relation("Prof")
+            .unwrap()
+            .iter()
+            .any(|t| t == &sedex_storage::tuple!["I1", Value::Null, "c1"]));
+    }
+
+    #[test]
+    fn join_variables_restrict_homomorphisms() {
+        let (source, _, tgds) = section12();
+        // Premise Inst ⋈ Course on courseId: exactly 2 homomorphisms.
+        let h = enumerate_homomorphisms(&source, &tgds[0].lhs);
+        assert_eq!(h.len(), 2);
+        for b in &h {
+            // Var 3 (join) must equal the Course key of the matched course.
+            assert!(b[&3] == Value::text("c1") || b[&3] == Value::text("c2"));
+        }
+    }
+
+    #[test]
+    fn existentials_get_fresh_shared_nulls() {
+        // S(a) → T(a, y) ∧ U(y): y must be the SAME null in both atoms of a
+        // firing and DIFFERENT across firings.
+        let s = RelationSchema::with_any_columns("S", &["a"]);
+        let t = RelationSchema::with_any_columns("T", &["a", "y"]);
+        let u = RelationSchema::with_any_columns("U", &["y"]);
+        let src_schema = Schema::from_relations(vec![s]).unwrap();
+        let tgt_schema = Schema::from_relations(vec![t, u]).unwrap();
+        let mut source = Instance::new(src_schema);
+        source
+            .insert("S", sedex_storage::tuple!["r1"], ConflictPolicy::Allow)
+            .unwrap();
+        source
+            .insert("S", sedex_storage::tuple!["r2"], ConflictPolicy::Allow)
+            .unwrap();
+        let mut target = Instance::new(tgt_schema);
+        let tgd = Tgd::new(
+            vec![Atom::new("S", vec![Term::Var(0)])],
+            vec![
+                Atom::new("T", vec![Term::Var(0), Term::Var(1)]),
+                Atom::new("U", vec![Term::Var(1)]),
+            ],
+        );
+        let mut nulls = NullFactory::new();
+        let stats = chase(&source, &mut target, &[tgd], &mut nulls).unwrap();
+        assert_eq!(stats.nulls_created, 2);
+        let t_rel = target.relation("T").unwrap();
+        let u_rel = target.relation("U").unwrap();
+        assert_eq!(t_rel.len(), 2);
+        assert_eq!(u_rel.len(), 2);
+        for t in t_rel.iter() {
+            let y = &t.values()[1];
+            assert!(y.is_labeled_null());
+            assert!(u_rel.iter().any(|ut| &ut.values()[0] == y));
+        }
+    }
+
+    #[test]
+    fn constants_in_atoms_filter() {
+        let s = RelationSchema::with_any_columns("S", &["a", "b"]);
+        let src = Schema::from_relations(vec![s]).unwrap();
+        let mut source = Instance::new(src);
+        source
+            .insert(
+                "S",
+                sedex_storage::tuple!["keep", "1"],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        source
+            .insert(
+                "S",
+                sedex_storage::tuple!["drop", "2"],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        let atoms = vec![Atom::new(
+            "S",
+            vec![Term::Const(Value::text("keep")), Term::Var(0)],
+        )];
+        let h = enumerate_homomorphisms(&source, &atoms);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0][&0], Value::text("1"));
+    }
+
+    #[test]
+    fn repeated_variable_within_atom_requires_equality() {
+        let s = RelationSchema::with_any_columns("S", &["a", "b"]);
+        let src = Schema::from_relations(vec![s]).unwrap();
+        let mut source = Instance::new(src);
+        source
+            .insert("S", sedex_storage::tuple!["x", "x"], ConflictPolicy::Allow)
+            .unwrap();
+        source
+            .insert("S", sedex_storage::tuple!["x", "y"], ConflictPolicy::Allow)
+            .unwrap();
+        let atoms = vec![Atom::new("S", vec![Term::Var(0), Term::Var(0)])];
+        let h = enumerate_homomorphisms(&source, &atoms);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn missing_relation_means_no_homomorphism() {
+        let s = RelationSchema::with_any_columns("S", &["a"]);
+        let src = Schema::from_relations(vec![s]).unwrap();
+        let source = Instance::new(src);
+        let atoms = vec![Atom::new("Nope", vec![Term::Var(0)])];
+        assert!(enumerate_homomorphisms(&source, &atoms).is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! Core-style minimisation of a universal solution.
+//!
+//! The *core* is the smallest universal solution (Fagin, Kolaitis & Popa).
+//! Exact core computation is expensive; like practical systems (++Spicy's
+//! rewriting targets the same effect) we minimise by **tuple subsumption**,
+//! iterated to fixpoint:
+//!
+//! A tuple `t1` is removed when some other tuple `t2` of the same relation
+//! and a mapping `h` over `t1`'s nulls exist such that `h(t1) = t2`, where
+//! `h` may only remap nulls that occur *nowhere outside `t1`* (so removing
+//! `t1` cannot strand references) and must be consistent within `t1`. SQL
+//! nulls (which carry no identity) subsume under anything.
+//!
+//! For the tgd languages our scenario generators emit, this fixpoint *is*
+//! the core; in general it is an upper bound.
+
+use std::collections::HashMap;
+
+use sedex_storage::{Instance, Tuple, Value};
+
+/// Remove subsumed tuples from every relation, to fixpoint. Returns the
+/// number of tuples removed.
+pub fn minimize(target: &mut Instance) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let removed = minimize_round(target);
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+fn minimize_round(target: &mut Instance) -> usize {
+    // Global occurrence counts of labeled nulls.
+    let mut occurrences: HashMap<u64, usize> = HashMap::new();
+    for (_, rel) in target.relations() {
+        for t in rel.iter() {
+            for v in t.values() {
+                if let Value::Labeled(l) = v {
+                    *occurrences.entry(*l).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let mut removed = 0;
+    let rel_names: Vec<String> = target
+        .schema()
+        .relation_names()
+        .map(str::to_owned)
+        .collect();
+    for name in rel_names {
+        let rel = target.relation(&name).expect("relation exists");
+        if rel.len() < 2 {
+            continue;
+        }
+        let rows: Vec<Tuple> = rel.rows().to_vec();
+        let mut alive = vec![true; rows.len()];
+        // Build, per distinct null-mask among candidates, an index over all
+        // rows keyed by the projection onto the mask's constant positions.
+        let mut masks: Vec<u64> = Vec::new();
+        for t in &rows {
+            let m = null_mask(t);
+            if m != 0 && !masks.contains(&m) {
+                masks.push(m);
+            }
+        }
+        let mut projections: HashMap<u64, HashMap<Vec<Value>, Vec<usize>>> = HashMap::new();
+        for &m in &masks {
+            let cols: Vec<usize> = const_positions(m, rows[0].arity());
+            let mut idx: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (i, t) in rows.iter().enumerate() {
+                idx.entry(t.project(&cols)).or_default().push(i);
+            }
+            projections.insert(m, idx);
+        }
+
+        for i in 0..rows.len() {
+            let m = null_mask(&rows[i]);
+            if m == 0 {
+                continue; // all-constant tuples are never redundant
+            }
+            let cols = const_positions(m, rows[i].arity());
+            let key = rows[i].project(&cols);
+            let Some(cands) = projections.get(&m).and_then(|idx| idx.get(&key)) else {
+                continue;
+            };
+            for &j in cands {
+                if j == i || !alive[j] {
+                    continue;
+                }
+                if subsumes(&rows[i], &rows[j], &occurrences) {
+                    alive[i] = false;
+                    removed += 1;
+                    // Free t1's nulls for later candidates this round.
+                    for v in rows[i].values() {
+                        if let Value::Labeled(l) = v {
+                            if let Some(c) = occurrences.get_mut(l) {
+                                *c -= 1;
+                            }
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        if removed > 0 {
+            let keep: Vec<Tuple> = rows
+                .into_iter()
+                .zip(&alive)
+                .filter_map(|(t, &a)| a.then_some(t))
+                .collect();
+            let rel_mut = target.relation_mut(&name).expect("relation exists");
+            if keep.len() != rel_mut.len() {
+                rel_mut.set_rows(keep);
+            }
+        }
+    }
+    removed
+}
+
+/// Bitmask of positions holding any kind of null (tuples wider than 64
+/// columns treat the tail as constants — safe, just less minimisation).
+fn null_mask(t: &Tuple) -> u64 {
+    let mut m = 0u64;
+    for (i, v) in t.values().iter().enumerate().take(64) {
+        if v.is_any_null() {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
+fn const_positions(mask: u64, arity: usize) -> Vec<usize> {
+    (0..arity)
+        .filter(|&i| i >= 64 || mask & (1 << i) == 0)
+        .collect()
+}
+
+/// Whether `t1` is subsumed by `t2`: equal on constants, and `t1`'s nulls
+/// map consistently onto `t2`'s values, with labeled nulls remappable only
+/// when all their occurrences lie inside `t1`.
+fn subsumes(t1: &Tuple, t2: &Tuple, occurrences: &HashMap<u64, usize>) -> bool {
+    if t1 == t2 {
+        return false;
+    }
+    // Count each labeled null's occurrences inside t1.
+    let mut local: HashMap<u64, usize> = HashMap::new();
+    for v in t1.values() {
+        if let Value::Labeled(l) = v {
+            *local.entry(*l).or_insert(0) += 1;
+        }
+    }
+    let mut mapping: HashMap<u64, &Value> = HashMap::new();
+    for (a, b) in t1.values().iter().zip(t2.values()) {
+        match a {
+            Value::Null => {} // no identity: subsumed by anything
+            Value::Labeled(l) => {
+                if a == b {
+                    continue; // identity mapping is always fine
+                }
+                // Remapping allowed only for t1-local nulls.
+                if occurrences.get(l).copied().unwrap_or(0) != local[l] {
+                    return false;
+                }
+                match mapping.get(l) {
+                    Some(prev) => {
+                        if *prev != b {
+                            return false;
+                        }
+                    }
+                    None => {
+                        mapping.insert(*l, b);
+                    }
+                }
+            }
+            _ => {
+                if a != b {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{ConflictPolicy, RelationSchema, Schema};
+
+    fn instance_with(rows: Vec<Tuple>) -> Instance {
+        let r = RelationSchema::with_any_columns("T", &["a", "b", "c"]);
+        let schema = Schema::from_relations(vec![r]).unwrap();
+        let mut inst = Instance::new(schema);
+        for t in rows {
+            inst.insert("T", t, ConflictPolicy::Allow).unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn null_padded_tuple_is_subsumed_by_fuller_one() {
+        let mut inst = instance_with(vec![
+            sedex_storage::tuple!["x", "y", Value::Labeled(1)],
+            sedex_storage::tuple!["x", "y", "z"],
+        ]);
+        assert_eq!(minimize(&mut inst), 1);
+        let rel = inst.relation("T").unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.row(0).unwrap(), &sedex_storage::tuple!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn shared_nulls_block_removal() {
+        // N1 also appears in another tuple: removing would strand it.
+        let mut inst = instance_with(vec![
+            sedex_storage::tuple!["x", "y", Value::Labeled(1)],
+            sedex_storage::tuple!["x", "y", "z"],
+            sedex_storage::tuple!["q", Value::Labeled(1), "r"],
+        ]);
+        assert_eq!(minimize(&mut inst), 0);
+        assert_eq!(inst.relation("T").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sql_nulls_always_subsume() {
+        let mut inst = instance_with(vec![
+            sedex_storage::tuple!["x", Value::Null, Value::Null],
+            sedex_storage::tuple!["x", "y", "z"],
+        ]);
+        assert_eq!(minimize(&mut inst), 1);
+    }
+
+    #[test]
+    fn inconsistent_null_mapping_blocks() {
+        // (x, N1, N1) vs (x, y, z): N1 would map to both y and z.
+        let mut inst = instance_with(vec![
+            sedex_storage::tuple!["x", Value::Labeled(1), Value::Labeled(1)],
+            sedex_storage::tuple!["x", "y", "z"],
+        ]);
+        assert_eq!(minimize(&mut inst), 0);
+    }
+
+    #[test]
+    fn consistent_null_mapping_allows() {
+        // (x, N1, N1) vs (x, y, y): N1 → y consistently.
+        let mut inst = instance_with(vec![
+            sedex_storage::tuple!["x", Value::Labeled(1), Value::Labeled(1)],
+            sedex_storage::tuple!["x", "y", "y"],
+        ]);
+        assert_eq!(minimize(&mut inst), 1);
+    }
+
+    #[test]
+    fn constant_tuples_never_removed() {
+        let mut inst = instance_with(vec![
+            sedex_storage::tuple!["x", "y", "z"],
+            sedex_storage::tuple!["x", "y", "w"],
+        ]);
+        assert_eq!(minimize(&mut inst), 0);
+    }
+
+    #[test]
+    fn chain_removals_reach_fixpoint() {
+        // (x,N1,N2) subsumed by (x,y,N3)? N3 is not t1-local… construct a
+        // two-step chain instead: (x,N1,N2) → (x,y,N2') needs N2 local; use
+        // three tuples of increasing specificity.
+        let mut inst = instance_with(vec![
+            sedex_storage::tuple!["x", Value::Labeled(1), Value::Labeled(2)],
+            sedex_storage::tuple!["x", "y", Value::Labeled(3)],
+            sedex_storage::tuple!["x", "y", "z"],
+        ]);
+        // Round 1 can remove both null-bearing tuples (each maps into the
+        // constant one).
+        assert_eq!(minimize(&mut inst), 2);
+        assert_eq!(inst.relation("T").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn null_to_null_remapping_between_tuples() {
+        // (x,N1,q) vs (x,N2,q): N1 local → maps to N2; one is redundant.
+        let mut inst = instance_with(vec![
+            sedex_storage::tuple!["x", Value::Labeled(1), "q"],
+            sedex_storage::tuple!["x", Value::Labeled(2), "q"],
+        ]);
+        assert_eq!(minimize(&mut inst), 1);
+        assert_eq!(inst.relation("T").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Property correspondences `Σ` between source and target schemas.
+//!
+//! A correspondence `p1 ↔ p2` states that source property `p1` and target
+//! property `p2` hold the same kind of information (the solid lines of
+//! Fig. 2). They are "generally produced automatically by schema matching
+//! techniques"; here the scenario generators emit them alongside the
+//! schemas. Lookups are hash-backed, which is what makes the number of
+//! correspondences irrelevant to Algorithm 1's time complexity.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One side of a correspondence: a property, optionally qualified by its
+/// relation. Unqualified correspondences (`sname ↔ student`) apply to any
+/// relation carrying that property.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PropertyRef {
+    /// Owning relation; `None` means "any relation with this column".
+    pub relation: Option<String>,
+    /// Column (property) name.
+    pub column: String,
+}
+
+impl PropertyRef {
+    /// An unqualified property reference.
+    pub fn unqualified(column: impl Into<String>) -> Self {
+        PropertyRef {
+            relation: None,
+            column: column.into(),
+        }
+    }
+
+    /// A relation-qualified property reference.
+    pub fn qualified(relation: impl Into<String>, column: impl Into<String>) -> Self {
+        PropertyRef {
+            relation: Some(relation.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for PropertyRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.relation {
+            Some(r) => write!(f, "{r}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A directed correspondence from a source property to a target property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Correspondence {
+    /// Source side.
+    pub source: PropertyRef,
+    /// Target side.
+    pub target: PropertyRef,
+}
+
+impl fmt::Display for Correspondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ↔ {}", self.source, self.target)
+    }
+}
+
+/// The set `Σ` of property correspondences, with hash lookups keyed on the
+/// source column name.
+#[derive(Debug, Clone, Default)]
+pub struct Correspondences {
+    list: Vec<Correspondence>,
+    /// source column name → indexes into `list`.
+    by_source: HashMap<String, Vec<usize>>,
+}
+
+impl Correspondences {
+    /// An empty set.
+    pub fn new() -> Self {
+        Correspondences::default()
+    }
+
+    /// Add a correspondence.
+    pub fn add(&mut self, c: Correspondence) {
+        self.by_source
+            .entry(c.source.column.clone())
+            .or_default()
+            .push(self.list.len());
+        self.list.push(c);
+    }
+
+    /// Add an unqualified name correspondence `source_col ↔ target_col`.
+    pub fn add_names(&mut self, source_col: impl Into<String>, target_col: impl Into<String>) {
+        self.add(Correspondence {
+            source: PropertyRef::unqualified(source_col),
+            target: PropertyRef::unqualified(target_col),
+        });
+    }
+
+    /// Add a fully qualified correspondence.
+    pub fn add_qualified(
+        &mut self,
+        src_rel: impl Into<String>,
+        src_col: impl Into<String>,
+        tgt_rel: impl Into<String>,
+        tgt_col: impl Into<String>,
+    ) {
+        self.add(Correspondence {
+            source: PropertyRef::qualified(src_rel, src_col),
+            target: PropertyRef::qualified(tgt_rel, tgt_col),
+        });
+    }
+
+    /// Build from `(source, target)` name pairs.
+    pub fn from_name_pairs<S: Into<String>, T: Into<String>>(
+        pairs: impl IntoIterator<Item = (S, T)>,
+    ) -> Self {
+        let mut c = Correspondences::new();
+        for (s, t) in pairs {
+            c.add_names(s, t);
+        }
+        c
+    }
+
+    /// All correspondences.
+    pub fn iter(&self) -> impl Iterator<Item = &Correspondence> {
+        self.list.iter()
+    }
+
+    /// Number of correspondences.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// All correspondences whose source column is `source_col`, owned by
+    /// `source_rel` when qualified.
+    pub fn matches<'a>(
+        &'a self,
+        source_rel: Option<&'a str>,
+        source_col: &str,
+    ) -> impl Iterator<Item = &'a Correspondence> + 'a {
+        self.by_source
+            .get(source_col)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.list[i])
+            .filter(move |c| match (&c.source.relation, source_rel) {
+                (Some(r), Some(s)) => r == s,
+                (Some(_), None) => true,
+                (None, _) => true,
+            })
+    }
+
+    /// The *target label* a source property maps to for tree comparison:
+    /// prefers a correspondence qualified with `source_rel`, then an
+    /// unqualified one. Returns `None` when no correspondence exists — the
+    /// property then keeps a source-only label and cannot match any target
+    /// gram.
+    pub fn target_label<'a>(
+        &'a self,
+        source_rel: Option<&'a str>,
+        source_col: &str,
+    ) -> Option<&'a str> {
+        let mut unqualified = None;
+        for c in self.matches(source_rel, source_col) {
+            match (&c.source.relation, source_rel) {
+                (Some(r), Some(s)) if r == s => return Some(&c.target.column),
+                (None, _) if unqualified.is_none() => unqualified = Some(c.target.column.as_str()),
+                _ => {}
+            }
+        }
+        unqualified
+    }
+
+    /// The target property (relation-scoped when qualified) a qualified
+    /// source property maps to *within* the given target relation, if any.
+    pub fn target_in_relation<'a>(
+        &'a self,
+        source_rel: Option<&'a str>,
+        source_col: &str,
+        target_rel: &str,
+        target_has_col: impl Fn(&str) -> bool,
+    ) -> Option<&'a str> {
+        self.matches(source_rel, source_col)
+            .filter(|c| match &c.target.relation {
+                Some(r) => r == target_rel,
+                None => target_has_col(&c.target.column),
+            })
+            .map(|c| c.target.column.as_str())
+            .next()
+    }
+}
+
+impl FromIterator<(String, String)> for Correspondences {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        Correspondences::from_name_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_sigma() -> Correspondences {
+        // The Σ that reproduces the worked distances of Section 4.3.
+        Correspondences::from_name_pairs([
+            ("sname", "student"),
+            ("course", "cname"),
+            ("regdate", "date"),
+            ("program", "prog"),
+            ("dep", "dpt"),
+        ])
+    }
+
+    #[test]
+    fn unqualified_lookup() {
+        let s = paper_sigma();
+        assert_eq!(s.target_label(None, "sname"), Some("student"));
+        assert_eq!(
+            s.target_label(Some("Registration"), "sname"),
+            Some("student")
+        );
+        assert_eq!(s.target_label(None, "supervisor"), None);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn qualified_beats_unqualified() {
+        let mut s = paper_sigma();
+        s.add_qualified("Registration", "sname", "Reg", "student_id");
+        assert_eq!(
+            s.target_label(Some("Registration"), "sname"),
+            Some("student_id")
+        );
+        // Other relations still use the unqualified match.
+        assert_eq!(s.target_label(Some("Student"), "sname"), Some("student"));
+    }
+
+    #[test]
+    fn target_in_relation_scopes_by_relation() {
+        let mut s = Correspondences::new();
+        s.add_qualified("Inst", "empId", "Prof", "empId");
+        s.add_qualified("Inst", "stId", "Grad", "stId");
+        let has = |_: &str| true;
+        assert_eq!(
+            s.target_in_relation(Some("Inst"), "empId", "Prof", has),
+            Some("empId")
+        );
+        assert_eq!(
+            s.target_in_relation(Some("Inst"), "empId", "Grad", has),
+            None
+        );
+    }
+
+    #[test]
+    fn unqualified_target_checks_column_presence() {
+        let s = paper_sigma();
+        assert_eq!(
+            s.target_in_relation(None, "sname", "Stu", |c| c == "student"),
+            Some("student")
+        );
+        assert_eq!(
+            s.target_in_relation(None, "sname", "Course", |c| c == "credit"),
+            None
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Correspondence {
+            source: PropertyRef::qualified("R", "a"),
+            target: PropertyRef::unqualified("b"),
+        };
+        assert_eq!(c.to_string(), "R.a ↔ b");
+    }
+}

@@ -1,0 +1,240 @@
+//! Source-to-target tgds and target egds.
+//!
+//! A source-to-target **tgd** (tuple-generating dependency) has the form
+//! `∀x̄: φ(x̄) → ∃ȳ: ψ(x̄, ȳ)` with `φ` a conjunction of source atoms and
+//! `ψ` of target atoms — the mapping language of Clio and ++Spicy. A target
+//! **egd** (equality-generating dependency) has the form
+//! `∀x̄: φ(x̄) → x_i = x_j`; SEDEX and ++Spicy use egds to encode target
+//! primary-key constraints (`Γ`).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use sedex_storage::{RelationSchema, Value};
+
+/// A variable identifier within one dependency.
+pub type VarId = usize;
+
+/// A term of an atom: a universally/existentially quantified variable or a
+/// constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable.
+    Var(VarId),
+    /// A constant value.
+    Const(Value),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "x{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+/// A relational atom `R(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Terms, one per column.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// The variables appearing in this atom.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().filter_map(|t| match t {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        })
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A source-to-target tuple-generating dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tgd {
+    /// Conjunction of source atoms (the premise `φ`).
+    pub lhs: Vec<Atom>,
+    /// Conjunction of target atoms (the conclusion `ψ`).
+    pub rhs: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Build a tgd.
+    pub fn new(lhs: Vec<Atom>, rhs: Vec<Atom>) -> Self {
+        Tgd { lhs, rhs }
+    }
+
+    /// Variables universally quantified (appearing in the premise).
+    pub fn universal_vars(&self) -> HashSet<VarId> {
+        self.lhs.iter().flat_map(Atom::vars).collect()
+    }
+
+    /// Variables existentially quantified (in the conclusion only) — these
+    /// become labeled nulls when the tgd fires.
+    pub fn existential_vars(&self) -> HashSet<VarId> {
+        let univ = self.universal_vars();
+        self.rhs
+            .iter()
+            .flat_map(Atom::vars)
+            .filter(|v| !univ.contains(v))
+            .collect()
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " → ")?;
+        for (i, a) in self.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A target equality-generating dependency.
+///
+/// The only egds the paper's setting needs are **key egds**: two tuples of
+/// the same relation agreeing on the key columns must agree everywhere.
+/// They are represented directly by the key column set, which lets
+/// [`crate::egd`] apply them by hashing on the key projection instead of
+/// enumerating homomorphisms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Egd {
+    /// The constrained target relation.
+    pub relation: String,
+    /// Key column indexes.
+    pub key: Vec<usize>,
+}
+
+impl Egd {
+    /// The key egd of a relation schema (its primary key), if it has one.
+    pub fn key_egd(rel: &RelationSchema) -> Option<Egd> {
+        if rel.primary_key.is_empty() {
+            None
+        } else {
+            Some(Egd {
+                relation: rel.name.clone(),
+                key: rel.primary_key.clone(),
+            })
+        }
+    }
+
+    /// Key egds for every keyed relation of a schema.
+    pub fn key_egds(schema: &sedex_storage::Schema) -> Vec<Egd> {
+        schema.relations().iter().filter_map(Egd::key_egd).collect()
+    }
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: key({})",
+            self.relation,
+            self.key
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst_grad_tgd() -> Tgd {
+        // ∀n,s,e,c: Inst(n,s,e,c) ∧ Course(c,x) → ∃: Grad(n,s,c)
+        Tgd::new(
+            vec![
+                Atom::new(
+                    "Inst",
+                    vec![Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)],
+                ),
+                Atom::new("Course", vec![Term::Var(3), Term::Var(4)]),
+            ],
+            vec![Atom::new(
+                "Grad",
+                vec![Term::Var(0), Term::Var(1), Term::Var(3)],
+            )],
+        )
+    }
+
+    #[test]
+    fn variable_classification() {
+        let t = inst_grad_tgd();
+        assert_eq!(t.universal_vars().len(), 5);
+        assert!(t.existential_vars().is_empty());
+
+        // Add an existential to the rhs.
+        let mut t2 = t.clone();
+        t2.rhs[0].terms.push(Term::Var(99));
+        assert_eq!(t2.existential_vars(), HashSet::from([99]));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = inst_grad_tgd();
+        let s = t.to_string();
+        assert!(s.contains("Inst(x0,x1,x2,x3)"));
+        assert!(s.contains("∧ Course(x3,x4)"));
+        assert!(s.contains("→ Grad(x0,x1,x3)"));
+    }
+
+    #[test]
+    fn key_egd_from_schema() {
+        let r = RelationSchema::with_any_columns("R", &["id", "a"])
+            .primary_key(&["id"])
+            .unwrap();
+        let e = Egd::key_egd(&r).unwrap();
+        assert_eq!(e.relation, "R");
+        assert_eq!(e.key, vec![0]);
+        let keyless = RelationSchema::with_any_columns("S", &["x"]);
+        assert!(Egd::key_egd(&keyless).is_none());
+    }
+
+    #[test]
+    fn atom_vars_skip_constants() {
+        let a = Atom::new(
+            "R",
+            vec![Term::Var(1), Term::Const(Value::text("c")), Term::Var(2)],
+        );
+        let vs: Vec<_> = a.vars().collect();
+        assert_eq!(vs, vec![1, 2]);
+    }
+}

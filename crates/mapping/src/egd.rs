@@ -1,0 +1,263 @@
+//! Target egd application: unify tuples that agree on a key.
+//!
+//! Key egds say that two target tuples agreeing on the key columns must
+//! agree everywhere. Applying them to a chased instance unifies labeled
+//! nulls with constants (or with each other), merges the tuples, and
+//! propagates the resulting substitution across the whole instance, to
+//! fixpoint. Two *distinct constants* for the same entity make the egd fail
+//! in chase terms; like practical systems we count the violation and keep
+//! the first tuple — the data-consistency vs. data-completeness trade-off
+//! Section 4.4.3 discusses.
+
+use std::collections::HashMap;
+
+use sedex_storage::{Instance, Tuple, Value};
+
+use crate::dependency::Egd;
+
+/// Counters describing one egd-application run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EgdOutcome {
+    /// Tuples removed by merging into a key-mate.
+    pub merged: usize,
+    /// Hard constant-vs-constant conflicts (tuple kept separate).
+    pub violations: usize,
+    /// Null-unification substitutions applied.
+    pub substitutions: usize,
+    /// Fixpoint rounds.
+    pub rounds: usize,
+}
+
+/// Apply the key egds to `target`, to fixpoint.
+pub fn apply_egds(target: &mut Instance, egds: &[Egd]) -> EgdOutcome {
+    let mut out = EgdOutcome::default();
+    loop {
+        out.rounds += 1;
+        let mut subst: HashMap<u64, Value> = HashMap::new();
+        let mut merged_this_round = 0;
+
+        for egd in egds {
+            let Some(rel) = target.relation(&egd.relation) else {
+                continue;
+            };
+            if rel.len() < 2 {
+                continue;
+            }
+            // Group rows by key projection (groups keyed by value equality;
+            // a labeled null in the key groups with its equals).
+            let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (i, t) in rel.rows().iter().enumerate() {
+                let key = t.project(&egd.key);
+                if key.iter().any(Value::is_null) {
+                    continue; // SQL-null keys identify nothing
+                }
+                groups.entry(key).or_default().push(i);
+            }
+            let mut new_rows: Vec<Tuple> = Vec::with_capacity(rel.len());
+            let mut consumed = vec![false; rel.len()];
+            for rows in groups.values() {
+                if rows.len() < 2 {
+                    continue;
+                }
+                // Fold the group into one tuple where possible.
+                let mut merged: Tuple = rel.rows()[rows[0]].clone();
+                consumed[rows[0]] = true;
+                for &i in &rows[1..] {
+                    match unify_tuples(&merged, &rel.rows()[i], &mut subst) {
+                        Some(m) => {
+                            merged = m;
+                            consumed[i] = true;
+                            merged_this_round += 1;
+                        }
+                        None => {
+                            out.violations += 1; // keep the conflicting tuple as-is
+                        }
+                    }
+                }
+                new_rows.push(merged);
+            }
+            if merged_this_round > 0 || !subst.is_empty() {
+                for (i, t) in rel.rows().iter().enumerate() {
+                    if !consumed[i] {
+                        new_rows.push(t.clone());
+                    }
+                }
+                // Only rebuild when something in this relation changed.
+                let changed = new_rows.len() != rel.len();
+                if changed {
+                    let rel_mut = target.relation_mut(&egd.relation).expect("relation exists");
+                    rel_mut.set_rows(new_rows);
+                }
+            }
+        }
+
+        out.merged += merged_this_round;
+        let applied = target.substitute_labeled(&subst);
+        out.substitutions += subst.len();
+        if merged_this_round == 0 && applied == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Column-wise unification of two tuples; records labeled-null
+/// substitutions. `None` on a constant conflict.
+fn unify_tuples(a: &Tuple, b: &Tuple, subst: &mut HashMap<u64, Value>) -> Option<Tuple> {
+    let mut vals = Vec::with_capacity(a.arity());
+    // Tentative local substitutions; only committed when the whole tuple
+    // unifies.
+    let mut local: Vec<(u64, Value)> = Vec::new();
+    for (x, y) in a.values().iter().zip(b.values()) {
+        let m = x.unify(y)?;
+        if let Value::Labeled(l) = x {
+            if &m != x {
+                local.push((*l, m.clone()));
+            }
+        }
+        if let Value::Labeled(l) = y {
+            if &m != y {
+                local.push((*l, m.clone()));
+            }
+        }
+        vals.push(m);
+    }
+    for (l, v) in local {
+        subst.entry(l).or_insert(v);
+    }
+    Some(Tuple::new(vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{ConflictPolicy, RelationSchema, Schema};
+
+    fn target_with(rows: Vec<Tuple>) -> Instance {
+        let r = RelationSchema::with_any_columns("T", &["k", "a", "b"]);
+        let schema = Schema::from_relations(vec![r]).unwrap();
+        let mut inst = Instance::new(schema);
+        for t in rows {
+            inst.insert("T", t, ConflictPolicy::Allow).unwrap();
+        }
+        inst
+    }
+
+    fn key_egd() -> Egd {
+        Egd {
+            relation: "T".into(),
+            key: vec![0],
+        }
+    }
+
+    #[test]
+    fn merges_null_with_constant() {
+        let mut inst = target_with(vec![
+            sedex_storage::tuple!["k1", Value::Labeled(1), "b"],
+            sedex_storage::tuple!["k1", "a", Value::Labeled(2)],
+        ]);
+        let out = apply_egds(&mut inst, &[key_egd()]);
+        let rel = inst.relation("T").unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.row(0).unwrap(), &sedex_storage::tuple!["k1", "a", "b"]);
+        assert_eq!(out.merged, 1);
+        assert_eq!(out.violations, 0);
+    }
+
+    #[test]
+    fn propagates_substitution_across_relations() {
+        let t = RelationSchema::with_any_columns("T", &["k", "a"]);
+        let u = RelationSchema::with_any_columns("U", &["x"]);
+        let schema = Schema::from_relations(vec![t, u]).unwrap();
+        let mut inst = Instance::new(schema);
+        inst.insert(
+            "T",
+            sedex_storage::tuple!["k1", Value::Labeled(7)],
+            ConflictPolicy::Allow,
+        )
+        .unwrap();
+        inst.insert(
+            "T",
+            sedex_storage::tuple!["k1", "resolved"],
+            ConflictPolicy::Allow,
+        )
+        .unwrap();
+        inst.insert(
+            "U",
+            sedex_storage::tuple![Value::Labeled(7)],
+            ConflictPolicy::Allow,
+        )
+        .unwrap();
+        let egd = Egd {
+            relation: "T".into(),
+            key: vec![0],
+        };
+        apply_egds(&mut inst, &[egd]);
+        assert_eq!(
+            inst.relation("U").unwrap().row(0).unwrap(),
+            &sedex_storage::tuple!["resolved"]
+        );
+    }
+
+    #[test]
+    fn constant_conflicts_are_violations() {
+        let mut inst = target_with(vec![
+            sedex_storage::tuple!["k1", "a", "b"],
+            sedex_storage::tuple!["k1", "DIFFERENT", "b"],
+        ]);
+        let out = apply_egds(&mut inst, &[key_egd()]);
+        assert_eq!(out.violations, 1);
+        assert_eq!(inst.relation("T").unwrap().len(), 2); // both kept
+    }
+
+    #[test]
+    fn null_keys_do_not_group() {
+        let mut inst = target_with(vec![
+            sedex_storage::tuple![Value::Null, "a", "b"],
+            sedex_storage::tuple![Value::Null, "c", "d"],
+        ]);
+        let out = apply_egds(&mut inst, &[key_egd()]);
+        assert_eq!(out.merged, 0);
+        assert_eq!(inst.relation("T").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn labeled_null_keys_group_when_equal() {
+        let mut inst = target_with(vec![
+            sedex_storage::tuple![Value::Labeled(3), "a", Value::Labeled(4)],
+            sedex_storage::tuple![Value::Labeled(3), "a", "b"],
+        ]);
+        let out = apply_egds(&mut inst, &[key_egd()]);
+        assert_eq!(out.merged, 1);
+        assert_eq!(inst.relation("T").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cascading_substitutions_reach_fixpoint() {
+        // Merging k1 resolves N1→"v"; that makes the k2 pair equal, which
+        // then collapses by set semantics on the next round.
+        let mut inst = target_with(vec![
+            sedex_storage::tuple!["k1", Value::Labeled(1), "x"],
+            sedex_storage::tuple!["k1", "v", "x"],
+            sedex_storage::tuple!["k2", Value::Labeled(1), "y"],
+            sedex_storage::tuple!["k2", "v", "y"],
+        ]);
+        let out = apply_egds(&mut inst, &[key_egd()]);
+        assert_eq!(inst.relation("T").unwrap().len(), 2);
+        assert!(out.rounds >= 1);
+        assert_eq!(inst.stats().nulls, 0);
+    }
+
+    #[test]
+    fn idempotent_on_clean_instances() {
+        let mut inst = target_with(vec![
+            sedex_storage::tuple!["k1", "a", "b"],
+            sedex_storage::tuple!["k2", "c", "d"],
+        ]);
+        let before = inst.stats();
+        let out = apply_egds(&mut inst, &[key_egd()]);
+        assert_eq!(out.merged, 0);
+        assert_eq!(out.violations, 0);
+        assert_eq!(inst.stats(), before);
+    }
+}

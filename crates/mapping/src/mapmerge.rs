@@ -1,0 +1,414 @@
+//! The MapMerge baseline: correlating independent Clio mappings.
+//!
+//! MapMerge (Alexe, Hernández, Popa & Tan, VLDB J. 2012) addresses the
+//! "existing uncorrelated mappings that may result in duplication of data
+//! as well as loss of associations" (Section 1.2 of the SEDEX paper): Clio
+//! treats each mapping as an independent expression, so two mappings firing
+//! for the same source data invent *different* existential values for the
+//! same target entity. MapMerge correlates them, "reducing the size of the
+//! target instance as well as increasing the similarity between source and
+//! target instances" — but, unlike ++Spicy, it uses no egds and therefore
+//! still does not reach the core.
+//!
+//! The correlation implemented here captures MapMerge's behavioural core:
+//!
+//! 1. Mappings with the same premise (up to variable renaming) are merged
+//!    into one mapping whose conclusion is the union of the originals'.
+//! 2. Within a merged conclusion, atoms of the same relation that agree on
+//!    every universal position are *unified*: their existentials are
+//!    identified, so one firing produces one tuple instead of several
+//!    differently-nulled copies.
+//! 3. Conclusions of mappings whose premise is *subsumed* by a wider
+//!    premise (its atoms are a subset) are dropped when the wider mapping
+//!    already produces the same target atoms — Clio's redundant
+//!    sub-mappings.
+
+use std::collections::HashMap;
+
+use sedex_storage::{Instance, Schema, StorageError};
+
+use crate::chase::{chase, NullFactory};
+use crate::clio::BaselineReport;
+use crate::correspondence::Correspondences;
+use crate::dependency::{Atom, Term, Tgd, VarId};
+use crate::tgdgen::generate_tgds;
+
+/// The MapMerge engine: Clio mappings, correlated.
+#[derive(Debug, Clone)]
+pub struct MapMergeEngine {
+    tgds: Vec<Tgd>,
+    gen_time: std::time::Duration,
+}
+
+impl MapMergeEngine {
+    /// Generate Clio mappings for the scenario and correlate them.
+    pub fn new(source: &Schema, target: &Schema, sigma: &Correspondences) -> Self {
+        let start = std::time::Instant::now();
+        let raw = generate_tgds(source, target, sigma);
+        let tgds = correlate(raw);
+        MapMergeEngine {
+            tgds,
+            gen_time: start.elapsed(),
+        }
+    }
+
+    /// The correlated mappings.
+    pub fn tgds(&self) -> &[Tgd] {
+        &self.tgds
+    }
+
+    /// Run the exchange (chase with the correlated mappings; no egds).
+    pub fn run(
+        &self,
+        source: &Instance,
+        target_schema: &Schema,
+    ) -> Result<(Instance, BaselineReport), StorageError> {
+        let mut target = Instance::new(target_schema.clone());
+        let mut nulls = NullFactory::new();
+        let start = std::time::Instant::now();
+        let chase_stats = chase(source, &mut target, &self.tgds, &mut nulls)?;
+        let exec_time = start.elapsed();
+        let stats = target.stats();
+        Ok((
+            target,
+            BaselineReport {
+                gen_time: self.gen_time,
+                exec_time,
+                tgd_count: self.tgds.len(),
+                chase: chase_stats,
+                stats,
+                egd_merged: 0,
+                egd_violations: 0,
+                core_removed: 0,
+            },
+        ))
+    }
+}
+
+/// Correlate a set of tgds (steps 1–3 of the module docs).
+pub fn correlate(tgds: Vec<Tgd>) -> Vec<Tgd> {
+    // Step 1: group by canonical premise.
+    let mut groups: HashMap<String, Vec<Tgd>> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for t in tgds {
+        let key = canonical_premise(&t);
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(t);
+    }
+
+    let mut merged: Vec<Tgd> = Vec::new();
+    for key in &order {
+        let group = groups.remove(key).expect("group exists");
+        merged.push(merge_group(group));
+    }
+
+    // Step 3: drop conclusions already produced by a mapping with a wider
+    // premise. Premise A subsumes premise B when B's relation multiset is a
+    // subset of A's and B's rhs relations are all covered by A's rhs.
+    let mut keep = vec![true; merged.len()];
+    for i in 0..merged.len() {
+        for j in 0..merged.len() {
+            if i == j || !keep[i] || !keep[j] {
+                continue;
+            }
+            if premise_covers(&merged[i], &merged[j]) && rhs_covers(&merged[i], &merged[j]) {
+                keep[j] = false;
+            }
+        }
+    }
+    merged
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(t, k)| k.then_some(t))
+        .collect()
+}
+
+/// Canonical string of a premise with variables renumbered in first-use
+/// order — mappings differing only in variable names group together.
+fn canonical_premise(t: &Tgd) -> String {
+    let mut renaming: HashMap<VarId, usize> = HashMap::new();
+    let mut out = String::new();
+    let mut atoms: Vec<&Atom> = t.lhs.iter().collect();
+    atoms.sort_by(|a, b| {
+        a.relation
+            .cmp(&b.relation)
+            .then_with(|| a.terms.len().cmp(&b.terms.len()))
+    });
+    for a in atoms {
+        out.push_str(&a.relation);
+        out.push('(');
+        for term in &a.terms {
+            match term {
+                Term::Var(v) => {
+                    let next = renaming.len();
+                    let id = *renaming.entry(*v).or_insert(next);
+                    out.push_str(&format!("x{id},"));
+                }
+                Term::Const(c) => out.push_str(&format!("'{c}',")),
+            }
+        }
+        out.push(')');
+    }
+    out
+}
+
+/// Merge a group of same-premise tgds into one correlated tgd.
+fn merge_group(mut group: Vec<Tgd>) -> Tgd {
+    if group.len() == 1 {
+        return group.pop().expect("non-empty");
+    }
+    // All premises are equal up to renaming; rename every member onto the
+    // first one's variables.
+    let base = group[0].clone();
+    let mut rhs: Vec<Atom> = base.rhs.clone();
+    let mut next_var: VarId = 1 + max_var(&base);
+    for other in group.into_iter().skip(1) {
+        let renaming = premise_renaming(&other, &base);
+        for atom in other.rhs {
+            let terms = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => match renaming.get(v) {
+                        Some(&b) => Term::Var(b),
+                        None => Term::Var(*v + next_var), // existential: shift
+                    },
+                    Term::Const(c) => Term::Const(c.clone()),
+                })
+                .collect();
+            rhs.push(Atom::new(atom.relation, terms));
+        }
+        next_var += 1000; // generous gap per member keeps shifts disjoint
+    }
+    // Step 2: unify rhs atoms of the same relation that agree on every
+    // universal position.
+    let universal = Tgd::new(base.lhs.clone(), rhs.clone()).universal_vars();
+    let mut unified: Vec<Atom> = Vec::new();
+    let mut subst: HashMap<VarId, VarId> = HashMap::new();
+    'atoms: for atom in rhs {
+        let atom = apply_subst(&atom, &subst);
+        for existing in &unified {
+            if existing.relation != atom.relation || existing.terms.len() != atom.terms.len() {
+                continue;
+            }
+            // Agree on universal/constant positions?
+            let mut candidate: HashMap<VarId, VarId> = HashMap::new();
+            let mut agree = true;
+            for (a, b) in existing.terms.iter().zip(&atom.terms) {
+                match (a, b) {
+                    (Term::Var(x), Term::Var(y)) if x == y => {}
+                    (Term::Var(x), Term::Var(y))
+                        if !universal.contains(x) && !universal.contains(y) =>
+                    {
+                        candidate.insert(*y, *x);
+                    }
+                    (Term::Const(c1), Term::Const(c2)) if c1 == c2 => {}
+                    _ => {
+                        agree = false;
+                        break;
+                    }
+                }
+            }
+            if agree {
+                subst.extend(candidate);
+                continue 'atoms; // atom unified away
+            }
+        }
+        unified.push(atom);
+    }
+    // Re-apply accumulated substitutions so later unifications propagate.
+    let final_rhs: Vec<Atom> = unified.iter().map(|a| apply_subst(a, &subst)).collect();
+    Tgd::new(base.lhs, final_rhs)
+}
+
+fn max_var(t: &Tgd) -> VarId {
+    t.lhs
+        .iter()
+        .chain(&t.rhs)
+        .flat_map(Atom::vars)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Variable renaming mapping `other`'s premise onto `base`'s (premises are
+/// equal up to renaming by construction of the groups).
+fn premise_renaming(other: &Tgd, base: &Tgd) -> HashMap<VarId, VarId> {
+    let mut sorted_other: Vec<&Atom> = other.lhs.iter().collect();
+    let mut sorted_base: Vec<&Atom> = base.lhs.iter().collect();
+    let key = |a: &&Atom| (a.relation.clone(), a.terms.len());
+    sorted_other.sort_by_key(key);
+    sorted_base.sort_by_key(key);
+    let mut renaming = HashMap::new();
+    for (o, b) in sorted_other.iter().zip(&sorted_base) {
+        for (to, tb) in o.terms.iter().zip(&b.terms) {
+            if let (Term::Var(x), Term::Var(y)) = (to, tb) {
+                renaming.insert(*x, *y);
+            }
+        }
+    }
+    renaming
+}
+
+fn apply_subst(atom: &Atom, subst: &HashMap<VarId, VarId>) -> Atom {
+    let terms = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => {
+                let mut cur = *v;
+                // Chase the substitution chain (bounded by map size).
+                for _ in 0..subst.len() {
+                    match subst.get(&cur) {
+                        Some(&n) if n != cur => cur = n,
+                        _ => break,
+                    }
+                }
+                Term::Var(cur)
+            }
+            Term::Const(c) => Term::Const(c.clone()),
+        })
+        .collect();
+    Atom::new(atom.relation.clone(), terms)
+}
+
+/// `a`'s premise relation multiset contains `b`'s.
+fn premise_covers(a: &Tgd, b: &Tgd) -> bool {
+    if a.lhs.len() <= b.lhs.len() {
+        return false;
+    }
+    let mut counts: HashMap<&str, isize> = HashMap::new();
+    for atom in &a.lhs {
+        *counts.entry(atom.relation.as_str()).or_insert(0) += 1;
+    }
+    for atom in &b.lhs {
+        let c = counts.entry(atom.relation.as_str()).or_insert(0);
+        *c -= 1;
+        if *c < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// `a`'s conclusion relation multiset contains `b`'s.
+fn rhs_covers(a: &Tgd, b: &Tgd) -> bool {
+    let mut counts: HashMap<&str, isize> = HashMap::new();
+    for atom in &a.rhs {
+        *counts.entry(atom.relation.as_str()).or_insert(0) += 1;
+    }
+    for atom in &b.rhs {
+        let c = counts.entry(atom.relation.as_str()).or_insert(0);
+        *c -= 1;
+        if *c < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clio::ClioEngine;
+    use crate::spicy::SpicyEngine;
+    use sedex_storage::{ConflictPolicy, RelationSchema, Value};
+
+    /// Two uncorrelated mappings from the same premise inventing separate
+    /// existentials: S(a) → T(a, E1) and S(a) → T(a, E2) ∧ U(E2).
+    #[test]
+    fn same_premise_mappings_merge_and_unify() {
+        let t1 = Tgd::new(
+            vec![Atom::new("S", vec![Term::Var(0)])],
+            vec![Atom::new("T", vec![Term::Var(0), Term::Var(1)])],
+        );
+        let t2 = Tgd::new(
+            vec![Atom::new("S", vec![Term::Var(0)])],
+            vec![
+                Atom::new("T", vec![Term::Var(0), Term::Var(5)]),
+                Atom::new("U", vec![Term::Var(5)]),
+            ],
+        );
+        let merged = correlate(vec![t1, t2]);
+        assert_eq!(merged.len(), 1);
+        let m = &merged[0];
+        // The two T atoms unified: conclusion is T(a, E) ∧ U(E) with ONE
+        // shared existential.
+        assert_eq!(m.rhs.len(), 2);
+        assert_eq!(m.existential_vars().len(), 1);
+        let t_atom = m.rhs.iter().find(|a| a.relation == "T").unwrap();
+        let u_atom = m.rhs.iter().find(|a| a.relation == "U").unwrap();
+        assert_eq!(t_atom.terms[1], u_atom.terms[0]);
+    }
+
+    #[test]
+    fn different_premises_stay_separate() {
+        let t1 = Tgd::new(
+            vec![Atom::new("S", vec![Term::Var(0)])],
+            vec![Atom::new("T", vec![Term::Var(0)])],
+        );
+        let t2 = Tgd::new(
+            vec![Atom::new("R", vec![Term::Var(0)])],
+            vec![Atom::new("U", vec![Term::Var(0)])],
+        );
+        assert_eq!(correlate(vec![t1, t2]).len(), 2);
+    }
+
+    /// The paper's quality ordering on a VP scenario:
+    /// Clio ≥ MapMerge ≥ ++Spicy in target size.
+    #[test]
+    fn quality_between_clio_and_spicy() {
+        let src = Schema::from_relations(vec![RelationSchema::with_any_columns(
+            "R",
+            &["k", "a", "b"],
+        )
+        .primary_key(&["k"])
+        .unwrap()])
+        .unwrap();
+        let t2 = RelationSchema::with_any_columns("T2", &["k2", "b2"])
+            .primary_key(&["k2"])
+            .unwrap();
+        let t1 = RelationSchema::with_any_columns("T1", &["k1", "a2"])
+            .primary_key(&["k1"])
+            .unwrap()
+            .foreign_key(&["k1"], "T2")
+            .unwrap();
+        let tgt = Schema::from_relations(vec![t1, t2]).unwrap();
+        let sigma =
+            Correspondences::from_name_pairs([("k", "k1"), ("k", "k2"), ("a", "a2"), ("b", "b2")]);
+        let mut inst = Instance::new(src.clone());
+        for i in 0..40 {
+            inst.insert(
+                "R",
+                sedex_storage::Tuple::of([format!("k{i}"), format!("a{i}"), format!("b{i}")]),
+                ConflictPolicy::Reject,
+            )
+            .unwrap();
+        }
+        let (c_out, _) = ClioEngine::new(&src, &tgt, &sigma)
+            .run(&inst, &tgt)
+            .unwrap();
+        let (m_out, _) = MapMergeEngine::new(&src, &tgt, &sigma)
+            .run(&inst, &tgt)
+            .unwrap();
+        let (s_out, _) = SpicyEngine::new(&src, &tgt, &sigma)
+            .run(&inst, &tgt)
+            .unwrap();
+        let (c, m, s) = (c_out.stats(), m_out.stats(), s_out.stats());
+        assert!(c.atoms() >= m.atoms(), "clio {c:?} vs mapmerge {m:?}");
+        assert!(m.atoms() >= s.atoms(), "mapmerge {m:?} vs spicy {s:?}");
+        let _ = Value::Null;
+    }
+
+    #[test]
+    fn correlate_is_idempotent() {
+        let t1 = Tgd::new(
+            vec![Atom::new("S", vec![Term::Var(0)])],
+            vec![Atom::new("T", vec![Term::Var(0), Term::Var(1)])],
+        );
+        let once = correlate(vec![t1]);
+        let twice = correlate(once.clone());
+        assert_eq!(once, twice);
+    }
+}

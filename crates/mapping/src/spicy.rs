@@ -1,0 +1,255 @@
+//! The ++Spicy baseline: core solution via egds.
+//!
+//! ++Spicy "generates the core solution by rewriting mappings using target
+//! egds" (Section 5). Behaviourally that means: chase to the universal
+//! solution, enforce the key egds (unifying nulls and merging key-mates) and
+//! minimise the result towards the core. The extra work over Clio is the
+//! "significant cost in execution time" the paper attributes to ++Spicy —
+//! and because the decision is taken at the *mapping* level, every ambiguous
+//! generalization mapping still fires for every source tuple, producing the
+//! redundant `Grad`/`Prof` pairs of Section 1.2 that SEDEX avoids.
+
+use std::time::Instant;
+
+use sedex_storage::{Instance, Schema, StorageError};
+
+use crate::chase::{chase, NullFactory};
+use crate::clio::BaselineReport;
+use crate::core::minimize;
+use crate::correspondence::Correspondences;
+use crate::dependency::{Egd, Tgd};
+use crate::egd::apply_egds;
+use crate::tgdgen::generate_tgds;
+
+/// The ++Spicy engine: mappings plus the target key egds.
+#[derive(Debug, Clone)]
+pub struct SpicyEngine {
+    tgds: Vec<Tgd>,
+    egds: Vec<Egd>,
+    gen_time: std::time::Duration,
+}
+
+impl SpicyEngine {
+    /// Generate mappings and collect the target's key egds.
+    pub fn new(source: &Schema, target: &Schema, sigma: &Correspondences) -> Self {
+        let start = Instant::now();
+        let tgds = generate_tgds(source, target, sigma);
+        let egds = Egd::key_egds(target);
+        // ++Spicy pays a mapping-rewrite cost proportional to tgds × egds;
+        // our driver applies egds at chase time instead, but the generation
+        // phase still includes the rewrite bookkeeping (simulated by the
+        // pairing pass below, which mirrors the real system's complexity).
+        let mut rewritten = 0usize;
+        for t in &tgds {
+            for e in &egds {
+                if t.rhs.iter().any(|a| a.relation == e.relation) {
+                    rewritten += 1;
+                }
+            }
+        }
+        let _ = rewritten;
+        SpicyEngine {
+            tgds,
+            egds,
+            gen_time: start.elapsed(),
+        }
+    }
+
+    /// Build from explicit mappings and egds (the fixed scenarios of
+    /// Fig. 12, "number of mappings varies between 4 and 10, egds between 5
+    /// and 13").
+    pub fn from_parts(tgds: Vec<Tgd>, egds: Vec<Egd>) -> Self {
+        SpicyEngine {
+            tgds,
+            egds,
+            gen_time: std::time::Duration::ZERO,
+        }
+    }
+
+    /// The mappings.
+    pub fn tgds(&self) -> &[Tgd] {
+        &self.tgds
+    }
+
+    /// The target egds.
+    pub fn egds(&self) -> &[Egd] {
+        &self.egds
+    }
+
+    /// Run the exchange: chase, apply egds, minimise towards the core.
+    pub fn run(
+        &self,
+        source: &Instance,
+        target_schema: &Schema,
+    ) -> Result<(Instance, BaselineReport), StorageError> {
+        let mut target = Instance::new(target_schema.clone());
+        let mut nulls = NullFactory::new();
+        let start = Instant::now();
+        let chase_stats = chase(source, &mut target, &self.tgds, &mut nulls)?;
+        let egd_out = apply_egds(&mut target, &self.egds);
+        let removed = minimize(&mut target);
+        let exec_time = start.elapsed();
+        let stats = target.stats();
+        Ok((
+            target,
+            BaselineReport {
+                gen_time: self.gen_time,
+                exec_time,
+                tgd_count: self.tgds.len(),
+                chase: chase_stats,
+                stats,
+                egd_merged: egd_out.merged,
+                egd_violations: egd_out.violations,
+                core_removed: removed,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{ConflictPolicy, RelationSchema, Value};
+
+    /// Section 1.2 end-to-end: ++Spicy produces the redundant 4-tuple
+    /// solution (2 Grad + 2 Prof), unlike the expected 2-tuple one.
+    #[test]
+    fn section12_spicy_is_redundant() {
+        let inst_rel = RelationSchema::with_any_columns(
+            "Inst",
+            &["name", "studentID", "employeeID", "courseId"],
+        )
+        .foreign_key(&["courseId"], "Course")
+        .unwrap();
+        let course = RelationSchema::with_any_columns("Course", &["courseId", "credit"])
+            .primary_key(&["courseId"])
+            .unwrap();
+        let source_schema = Schema::from_relations(vec![inst_rel, course]).unwrap();
+
+        let grad = RelationSchema::with_any_columns("Grad", &["name", "stId", "course"])
+            .primary_key(&["name", "course"])
+            .unwrap();
+        let prof = RelationSchema::with_any_columns("Prof", &["name", "empId", "course"])
+            .primary_key(&["name", "course"])
+            .unwrap();
+        let target_schema = Schema::from_relations(vec![grad, prof]).unwrap();
+
+        let mut sigma = Correspondences::new();
+        sigma.add_qualified("Inst", "name", "Grad", "name");
+        sigma.add_qualified("Inst", "name", "Prof", "name");
+        sigma.add_qualified("Inst", "studentID", "Grad", "stId");
+        sigma.add_qualified("Inst", "employeeID", "Prof", "empId");
+        sigma.add_qualified("Inst", "courseId", "Grad", "course");
+        sigma.add_qualified("Inst", "courseId", "Prof", "course");
+
+        let mut source = Instance::new(source_schema.clone());
+        let p = ConflictPolicy::Allow;
+        // PK columns are non-nullable; this scenario's Inst has no PK so
+        // nulls are fine.
+        source
+            .insert(
+                "Inst",
+                sedex_storage::tuple!["I1", "st1", Value::Null, "c1"],
+                p,
+            )
+            .unwrap();
+        source
+            .insert(
+                "Inst",
+                sedex_storage::tuple!["I2", Value::Null, "e1", "c2"],
+                p,
+            )
+            .unwrap();
+        source
+            .insert("Course", sedex_storage::tuple!["c1", 3i64], p)
+            .unwrap();
+        source
+            .insert("Course", sedex_storage::tuple!["c2", 2i64], p)
+            .unwrap();
+
+        let engine = SpicyEngine::new(&source_schema, &target_schema, &sigma);
+        let (out, report) = engine.run(&source, &target_schema).unwrap();
+
+        // The redundant solution: every Inst tuple lands in BOTH tables.
+        assert_eq!(out.relation("Grad").unwrap().len(), 2);
+        assert_eq!(out.relation("Prof").unwrap().len(), 2);
+        // Two of the four tuples carry a null where the entity does not have
+        // the property.
+        assert_eq!(report.stats.nulls, 2);
+    }
+
+    /// With egds, a vertical-partitioning-style scenario reaches the core:
+    /// the surrogate nulls unify and no redundant tuples remain.
+    #[test]
+    fn egds_deduplicate_key_mates() {
+        let src = Schema::from_relations(vec![RelationSchema::with_any_columns(
+            "R",
+            &["k", "a", "b"],
+        )])
+        .unwrap();
+        let t1 = RelationSchema::with_any_columns("T", &["k", "a"])
+            .primary_key(&["k"])
+            .unwrap();
+        let t2 = RelationSchema::with_any_columns("U", &["k", "b"])
+            .primary_key(&["k"])
+            .unwrap();
+        let tgt = Schema::from_relations(vec![t1, t2]).unwrap();
+        let sigma = Correspondences::from_name_pairs([("k", "k"), ("a", "a"), ("b", "b")]);
+
+        let mut source = Instance::new(src.clone());
+        source
+            .insert(
+                "R",
+                sedex_storage::tuple!["k1", "a1", "b1"],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        let spicy = SpicyEngine::new(&src, &tgt, &sigma);
+        let (out, _) = spicy.run(&source, &tgt).unwrap();
+        assert_eq!(out.relation("T").unwrap().len(), 1);
+        assert_eq!(out.relation("U").unwrap().len(), 1);
+        assert_eq!(out.stats().nulls, 0);
+    }
+
+    /// Spicy never produces MORE atoms than Clio on the same scenario.
+    #[test]
+    fn spicy_at_most_clio() {
+        let src = Schema::from_relations(vec![RelationSchema::with_any_columns(
+            "R",
+            &["k", "a", "b", "c"],
+        )])
+        .unwrap();
+        let tgt = {
+            let t = RelationSchema::with_any_columns("T", &["k", "a"])
+                .primary_key(&["k"])
+                .unwrap();
+            let u = RelationSchema::with_any_columns("U", &["k", "b", "c"])
+                .primary_key(&["k"])
+                .unwrap();
+            Schema::from_relations(vec![t, u]).unwrap()
+        };
+        let sigma =
+            Correspondences::from_name_pairs([("k", "k"), ("a", "a"), ("b", "b"), ("c", "c")]);
+        let mut source = Instance::new(src.clone());
+        for i in 0..20 {
+            source
+                .insert(
+                    "R",
+                    sedex_storage::tuple![
+                        format!("k{i}"),
+                        format!("a{i}"),
+                        format!("b{i}"),
+                        format!("c{i}")
+                    ],
+                    ConflictPolicy::Allow,
+                )
+                .unwrap();
+        }
+        let clio = crate::clio::ClioEngine::new(&src, &tgt, &sigma);
+        let spicy = SpicyEngine::new(&src, &tgt, &sigma);
+        let (_, rc) = clio.run(&source, &tgt).unwrap();
+        let (_, rs) = spicy.run(&source, &tgt).unwrap();
+        assert!(rs.stats.atoms() <= rc.stats.atoms());
+        assert!(rs.stats.nulls <= rc.stats.nulls);
+    }
+}

@@ -1,0 +1,367 @@
+//! Clio-style mapping generation.
+//!
+//! Following the Clio algorithm (Popa et al. / Miller et al.), mappings are
+//! produced by pairing **tableaux** — relations expanded with their
+//! FK-reachable context ("logical relations") — of the source and target
+//! schemas through the property correspondences:
+//!
+//! 1. For each relation, chase its foreign keys to build a tableau: a
+//!    conjunction of atoms sharing join variables.
+//! 2. For every (source tableau, target tableau) pair, collect the
+//!    correspondences from source columns to target columns.
+//! 3. If at least one correspondence connects the pair, emit the s-t tgd
+//!    whose premise is the source tableau, whose conclusion is the target
+//!    tableau, with corresponding positions sharing variables and all other
+//!    target positions existentially quantified.
+//!
+//! On the generalization example of Section 1.2 this yields exactly the two
+//! ambiguous mappings the paper shows:
+//! `Inst(n,s,e,c) ∧ Course(c,x) → Grad(n,s,c)` and
+//! `Inst(n,s,e,c) ∧ Course(c,x) → Prof(n,e,c)` — every source tuple fires
+//! both, which is the entity-fragmentation behaviour SEDEX fixes.
+
+use std::collections::HashMap;
+
+use sedex_storage::Schema;
+
+use crate::correspondence::Correspondences;
+use crate::dependency::{Atom, Term, Tgd, VarId};
+
+/// A tableau: FK-closed conjunction of atoms over one schema, with a map
+/// from `(atom index, column index)` to its variable.
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    /// The relation the tableau was rooted at.
+    pub root: String,
+    /// The atoms, root first.
+    pub atoms: Vec<Atom>,
+    /// Highest variable id used plus one.
+    pub var_count: usize,
+}
+
+/// Build the tableau of `relation` by chasing its foreign keys (depth-capped
+/// and cycle-safe, mirroring relation-tree construction).
+pub fn tableau(schema: &Schema, relation: &str, max_depth: usize) -> Tableau {
+    let mut atoms = Vec::new();
+    let mut next_var: VarId = 0;
+    let mut path = vec![relation.to_owned()];
+    expand(
+        schema,
+        relation,
+        &mut atoms,
+        &mut next_var,
+        &mut path,
+        max_depth,
+        None,
+    );
+    Tableau {
+        root: relation.to_owned(),
+        atoms,
+        var_count: next_var,
+    }
+}
+
+/// Recursively add the atom for `relation`, reusing `bound` variables for
+/// the referenced key columns, then chase its FKs.
+fn expand(
+    schema: &Schema,
+    relation: &str,
+    atoms: &mut Vec<Atom>,
+    next_var: &mut VarId,
+    path: &mut Vec<String>,
+    depth_left: usize,
+    bound: Option<(&[usize], &[VarId])>,
+) {
+    let Some(rel) = schema.relation(relation) else {
+        return;
+    };
+    let mut terms: Vec<Term> = Vec::with_capacity(rel.arity());
+    let mut vars: Vec<VarId> = Vec::with_capacity(rel.arity());
+    for i in 0..rel.arity() {
+        let v = match bound {
+            Some((cols, bound_vars)) => match cols.iter().position(|&c| c == i) {
+                Some(pos) => bound_vars[pos],
+                None => {
+                    let v = *next_var;
+                    *next_var += 1;
+                    v
+                }
+            },
+            None => {
+                let v = *next_var;
+                *next_var += 1;
+                v
+            }
+        };
+        vars.push(v);
+        terms.push(Term::Var(v));
+    }
+    atoms.push(Atom::new(rel.name.clone(), terms));
+    if depth_left == 0 {
+        return;
+    }
+    let fks = rel.foreign_keys.clone();
+    for fk in &fks {
+        if path.iter().any(|r| r == &fk.ref_relation) {
+            continue;
+        }
+        let fk_vars: Vec<VarId> = fk.columns.iter().map(|&c| vars[c]).collect();
+        path.push(fk.ref_relation.clone());
+        expand(
+            schema,
+            &fk.ref_relation,
+            atoms,
+            next_var,
+            path,
+            depth_left - 1,
+            Some((&fk.ref_columns, &fk_vars)),
+        );
+        path.pop();
+    }
+}
+
+/// Generate the Clio-style s-t tgds for a data-exchange scenario.
+pub fn generate_tgds(source: &Schema, target: &Schema, sigma: &Correspondences) -> Vec<Tgd> {
+    const MAX_DEPTH: usize = 8;
+    let src_tableaux: Vec<Tableau> = source
+        .relations()
+        .iter()
+        .map(|r| tableau(source, &r.name, MAX_DEPTH))
+        .collect();
+    let tgt_tableaux: Vec<Tableau> = target
+        .relations()
+        .iter()
+        .map(|r| tableau(target, &r.name, MAX_DEPTH))
+        .collect();
+
+    let mut tgds = Vec::new();
+    for st in &src_tableaux {
+        for tt in &tgt_tableaux {
+            if let Some(tgd) = pair_tableaux(source, target, sigma, st, tt) {
+                tgds.push(tgd);
+            }
+        }
+    }
+    dedup_subsumed(tgds)
+}
+
+/// Pair one source tableau with one target tableau through Σ; `None` when no
+/// correspondence connects them.
+fn pair_tableaux(
+    source: &Schema,
+    target: &Schema,
+    sigma: &Correspondences,
+    st: &Tableau,
+    tt: &Tableau,
+) -> Option<Tgd> {
+    // (target atom idx, column idx) → source variable.
+    let mut matched: HashMap<(usize, usize), VarId> = HashMap::new();
+    for s_atom in &st.atoms {
+        let s_rel = source.relation(&s_atom.relation)?;
+        for (s_col, s_term) in s_atom.terms.iter().enumerate() {
+            let Term::Var(s_var) = s_term else { continue };
+            let s_col_name = &s_rel.columns[s_col].name;
+            for (t_idx, t_atom) in tt.atoms.iter().enumerate() {
+                let Some(t_rel) = target.relation(&t_atom.relation) else {
+                    continue;
+                };
+                let Some(t_col_name) = sigma.target_in_relation(
+                    Some(&s_atom.relation),
+                    s_col_name,
+                    &t_atom.relation,
+                    |c| t_rel.column_index(c).is_some(),
+                ) else {
+                    continue;
+                };
+                if let Some(t_col) = t_rel.column_index(t_col_name) {
+                    matched.entry((t_idx, t_col)).or_insert(*s_var);
+                }
+            }
+        }
+    }
+    if matched.is_empty() {
+        return None;
+    }
+    // Does the root target atom receive anything? A tgd that only feeds
+    // context atoms duplicates what the context relation's own tableau
+    // produces, so require at least one match into atom 0.
+    if !matched.keys().any(|&(t_idx, _)| t_idx == 0) {
+        return None;
+    }
+    // Renumber target variables above the source variables; positions with a
+    // correspondence reuse the source variable, everything else becomes an
+    // existential.
+    let offset = st.var_count;
+    let rhs: Vec<Atom> = tt
+        .atoms
+        .iter()
+        .enumerate()
+        .map(|(t_idx, a)| {
+            let terms = a
+                .terms
+                .iter()
+                .enumerate()
+                .map(|(t_col, term)| match term {
+                    Term::Var(v) => match matched.get(&(t_idx, t_col)) {
+                        Some(&src_var) => Term::Var(src_var),
+                        None => Term::Var(offset + v),
+                    },
+                    Term::Const(c) => Term::Const(c.clone()),
+                })
+                .collect();
+            Atom::new(a.relation.clone(), terms)
+        })
+        .collect();
+    Some(Tgd::new(st.atoms.clone(), rhs))
+}
+
+/// Drop tgds whose premise and conclusion are both sub-multisets of another
+/// tgd's (textbook subsumption pruning; keeps the mapping set small without
+/// changing the chase result).
+fn dedup_subsumed(tgds: Vec<Tgd>) -> Vec<Tgd> {
+    let mut keep: Vec<Tgd> = Vec::with_capacity(tgds.len());
+    for t in tgds {
+        if !keep.contains(&t) {
+            keep.push(t);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::RelationSchema;
+
+    /// The generalization-ambiguity scenario of Section 1.2.
+    fn ambiguity_scenario() -> (Schema, Schema, Correspondences) {
+        let inst = RelationSchema::with_any_columns(
+            "Inst",
+            &["name", "studentID", "employeeID", "courseId"],
+        )
+        .foreign_key(&["courseId"], "Course")
+        .unwrap();
+        let course = RelationSchema::with_any_columns("Course", &["courseId", "credit"])
+            .primary_key(&["courseId"])
+            .unwrap();
+        let source = Schema::from_relations(vec![inst, course]).unwrap();
+
+        let grad = RelationSchema::with_any_columns("Grad", &["name", "stId", "course"])
+            .primary_key(&["name"])
+            .unwrap();
+        let prof = RelationSchema::with_any_columns("Prof", &["name", "empId", "course"])
+            .primary_key(&["name"])
+            .unwrap();
+        let target = Schema::from_relations(vec![grad, prof]).unwrap();
+
+        let mut sigma = Correspondences::new();
+        sigma.add_qualified("Inst", "name", "Grad", "name");
+        sigma.add_qualified("Inst", "name", "Prof", "name");
+        sigma.add_qualified("Inst", "studentID", "Grad", "stId");
+        sigma.add_qualified("Inst", "employeeID", "Prof", "empId");
+        sigma.add_qualified("Inst", "courseId", "Grad", "course");
+        sigma.add_qualified("Inst", "courseId", "Prof", "course");
+        (source, target, sigma)
+    }
+
+    #[test]
+    fn tableau_chases_foreign_keys() {
+        let (source, _, _) = ambiguity_scenario();
+        let t = tableau(&source, "Inst", 8);
+        assert_eq!(t.atoms.len(), 2);
+        assert_eq!(t.atoms[0].relation, "Inst");
+        assert_eq!(t.atoms[1].relation, "Course");
+        // Join variable shared: Inst.courseId (position 3) = Course.courseId
+        // (position 0).
+        assert_eq!(t.atoms[0].terms[3], t.atoms[1].terms[0]);
+    }
+
+    #[test]
+    fn section12_generates_both_ambiguous_mappings() {
+        let (source, target, sigma) = ambiguity_scenario();
+        let tgds = generate_tgds(&source, &target, &sigma);
+        // Inst⋈Course → Grad and Inst⋈Course → Prof. The Course tableau has
+        // no correspondences, so it generates nothing.
+        assert_eq!(tgds.len(), 2, "{tgds:?}");
+        let rhs_rels: Vec<&str> = tgds.iter().map(|t| t.rhs[0].relation.as_str()).collect();
+        assert!(rhs_rels.contains(&"Grad"));
+        assert!(rhs_rels.contains(&"Prof"));
+        for t in &tgds {
+            assert_eq!(t.lhs.len(), 2);
+            // name and course flow from the source; exactly one of
+            // stId/empId flows, the third target position is universal too
+            // (no existential: all Grad/Prof columns are matched).
+            assert!(t.existential_vars().is_empty());
+        }
+    }
+
+    #[test]
+    fn unmatched_target_columns_become_existentials() {
+        let src =
+            Schema::from_relations(vec![RelationSchema::with_any_columns("S", &["a"])]).unwrap();
+        let tgt =
+            Schema::from_relations(vec![RelationSchema::with_any_columns("T", &["x", "extra"])])
+                .unwrap();
+        let sigma = Correspondences::from_name_pairs([("a", "x")]);
+        let tgds = generate_tgds(&src, &tgt, &sigma);
+        assert_eq!(tgds.len(), 1);
+        assert_eq!(tgds[0].existential_vars().len(), 1);
+    }
+
+    #[test]
+    fn disconnected_pairs_generate_nothing() {
+        let src =
+            Schema::from_relations(vec![RelationSchema::with_any_columns("S", &["a"])]).unwrap();
+        let tgt =
+            Schema::from_relations(vec![RelationSchema::with_any_columns("T", &["x"])]).unwrap();
+        let tgds = generate_tgds(&src, &tgt, &Correspondences::new());
+        assert!(tgds.is_empty());
+    }
+
+    #[test]
+    fn copy_primitive_generates_single_identity_tgd() {
+        let src = Schema::from_relations(vec![RelationSchema::with_any_columns(
+            "R",
+            &["a", "b", "c"],
+        )])
+        .unwrap();
+        let tgt = Schema::from_relations(vec![RelationSchema::with_any_columns(
+            "Rc",
+            &["a2", "b2", "c2"],
+        )])
+        .unwrap();
+        let sigma = Correspondences::from_name_pairs([("a", "a2"), ("b", "b2"), ("c", "c2")]);
+        let tgds = generate_tgds(&src, &tgt, &sigma);
+        assert_eq!(tgds.len(), 1);
+        let t = &tgds[0];
+        assert_eq!(t.lhs.len(), 1);
+        assert_eq!(t.rhs.len(), 1);
+        assert!(t.existential_vars().is_empty());
+        // Positional flow preserved.
+        assert_eq!(t.lhs[0].terms, t.rhs[0].terms);
+    }
+
+    #[test]
+    fn vertical_partitioning_shares_join_variable() {
+        // R(a,b) → T1(a,k) ∧ ... in VP the target has an FK; the target
+        // tableau T1⋈T2 gets both correspondences in one tgd.
+        let src = Schema::from_relations(vec![RelationSchema::with_any_columns("R", &["a", "b"])])
+            .unwrap();
+        let t1 = RelationSchema::with_any_columns("T1", &["a2", "k"])
+            .foreign_key(&["k"], "T2")
+            .unwrap();
+        let t2 = RelationSchema::with_any_columns("T2", &["k2", "b2"])
+            .primary_key(&["k2"])
+            .unwrap();
+        let tgt = Schema::from_relations(vec![t1, t2]).unwrap();
+        let sigma = Correspondences::from_name_pairs([("a", "a2"), ("b", "b2")]);
+        let tgds = generate_tgds(&src, &tgt, &sigma);
+        // T1's tableau = T1⋈T2 covers both correspondences; T2's own tableau
+        // receives b only.
+        assert!(!tgds.is_empty());
+        let big = tgds.iter().find(|t| t.rhs.len() == 2).expect("joint tgd");
+        // The surrogate key k (= k2) is an existential shared by both atoms.
+        let ex = big.existential_vars();
+        assert_eq!(ex.len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the mapping substrate: chase soundness and
+//! completeness, egd convergence, core-minimisation safety and MapMerge
+//! equivalence on constants.
+
+use proptest::prelude::*;
+use sedex_mapping::chase::{chase, enumerate_homomorphisms, NullFactory};
+use sedex_mapping::egd::apply_egds;
+use sedex_mapping::mapmerge::correlate;
+use sedex_mapping::{core, Atom, Correspondences, Egd, Term, Tgd};
+use sedex_storage::{ConflictPolicy, Instance, RelationSchema, Schema, Tuple, Value};
+
+fn source_with(rows: &[(u8, u8)]) -> Instance {
+    let r = RelationSchema::with_any_columns("S", &["a", "b"]);
+    let schema = Schema::from_relations(vec![r]).unwrap();
+    let mut inst = Instance::new(schema);
+    for (a, b) in rows {
+        inst.insert(
+            "S",
+            Tuple::new(vec![Value::int(*a as i64), Value::int(*b as i64)]),
+            ConflictPolicy::Allow,
+        )
+        .unwrap();
+    }
+    inst
+}
+
+fn target_schema() -> Schema {
+    let t = RelationSchema::with_any_columns("T", &["x", "y", "z"]);
+    let u = RelationSchema::with_any_columns("U", &["p"]);
+    Schema::from_relations(vec![t, u]).unwrap()
+}
+
+fn demo_tgd() -> Tgd {
+    // S(a,b) → T(a,b,E) ∧ U(E)
+    Tgd::new(
+        vec![Atom::new("S", vec![Term::Var(0), Term::Var(1)])],
+        vec![
+            Atom::new("T", vec![Term::Var(0), Term::Var(1), Term::Var(9)]),
+            Atom::new("U", vec![Term::Var(9)]),
+        ],
+    )
+}
+
+proptest! {
+    /// Chase soundness + completeness: the output SATISFIES the tgd (every
+    /// premise homomorphism extends to the conclusion) and contains nothing
+    /// beyond what some firing produced.
+    #[test]
+    fn chase_satisfies_tgds(rows in proptest::collection::vec((0u8..5, 0u8..5), 1..20)) {
+        let source = source_with(&rows);
+        let mut target = Instance::new(target_schema());
+        let tgd = demo_tgd();
+        let mut nulls = NullFactory::new();
+        let stats = chase(&source, &mut target, std::slice::from_ref(&tgd), &mut nulls).unwrap();
+        // One firing per distinct source tuple.
+        prop_assert_eq!(stats.firings, source.relation("S").unwrap().len());
+        // Satisfaction: for each source tuple there is a T row agreeing on
+        // (x, y) whose z appears in U.
+        for s in source.relation("S").unwrap().iter() {
+            let t_rel = target.relation("T").unwrap();
+            let hit = t_rel
+                .iter()
+                .find(|t| t.values()[0] == s.values()[0] && t.values()[1] == s.values()[1]);
+            prop_assert!(hit.is_some());
+            let z = &hit.unwrap().values()[2];
+            prop_assert!(target
+                .relation("U")
+                .unwrap()
+                .iter()
+                .any(|u| &u.values()[0] == z));
+        }
+        // Soundness: every T constant pair came from the source.
+        for t in target.relation("T").unwrap().iter() {
+            let found = source
+                .relation("S")
+                .unwrap()
+                .iter()
+                .any(|s| s.values()[0] == t.values()[0] && s.values()[1] == t.values()[1]);
+            prop_assert!(found);
+        }
+    }
+
+    /// Homomorphism enumeration equals the brute-force count on single-atom
+    /// premises.
+    #[test]
+    fn homomorphism_count_matches_rows(rows in proptest::collection::vec((0u8..5, 0u8..5), 0..20)) {
+        let source = source_with(&rows);
+        let atoms = vec![Atom::new("S", vec![Term::Var(0), Term::Var(1)])];
+        let h = enumerate_homomorphisms(&source, &atoms);
+        prop_assert_eq!(h.len(), source.relation("S").unwrap().len());
+    }
+
+    /// egd application terminates and leaves no two rows sharing a key.
+    #[test]
+    fn egds_converge_to_keyed_instance(rows in proptest::collection::vec((0u8..4, 0u8..6), 1..25)) {
+        let t = RelationSchema::with_any_columns("T", &["k", "v"]);
+        let schema = Schema::from_relations(vec![t]).unwrap();
+        let mut inst = Instance::new(schema);
+        for (k, v) in &rows {
+            let val = if *v == 0 { Value::Labeled(*v as u64 + 100) } else { Value::int(*v as i64) };
+            inst.insert("T", Tuple::new(vec![Value::int(*k as i64), val]), ConflictPolicy::Allow).unwrap();
+        }
+        let egds = vec![Egd { relation: "T".into(), key: vec![0] }];
+        let out = apply_egds(&mut inst, &egds);
+        prop_assert!(out.rounds < 50);
+        // Keys are unique up to recorded violations.
+        let rel = inst.relation("T").unwrap();
+        let mut per_key: std::collections::HashMap<Value, usize> = std::collections::HashMap::new();
+        for t in rel.iter() {
+            *per_key.entry(t.values()[0].clone()).or_insert(0) += 1;
+        }
+        let extra: usize = per_key.values().map(|c| c - 1).sum();
+        prop_assert!(extra <= out.violations);
+    }
+
+    /// Core minimisation never removes all-constant tuples and never
+    /// increases the instance.
+    #[test]
+    fn minimisation_is_safe(rows in proptest::collection::vec((0u8..4, 0u8..6), 1..25)) {
+        let t = RelationSchema::with_any_columns("T", &["k", "v"]);
+        let schema = Schema::from_relations(vec![t]).unwrap();
+        let mut inst = Instance::new(schema);
+        let mut constant_rows = std::collections::HashSet::new();
+        for (k, v) in &rows {
+            let val = if *v == 0 { Value::Labeled(*k as u64) } else { Value::int(*v as i64) };
+            let tup = Tuple::new(vec![Value::int(*k as i64), val]);
+            if tup.nulls() == 0 {
+                constant_rows.insert(tup.clone());
+            }
+            inst.insert("T", tup, ConflictPolicy::Allow).unwrap();
+        }
+        let before = inst.total_tuples();
+        core::minimize(&mut inst);
+        prop_assert!(inst.total_tuples() <= before);
+        for t in constant_rows {
+            prop_assert!(inst.relation("T").unwrap().iter().any(|u| u == &t));
+        }
+    }
+
+    /// MapMerge correlation preserves the chased CONSTANTS (it only merges
+    /// existentials, never drops source data).
+    #[test]
+    fn mapmerge_preserves_constants(rows in proptest::collection::vec((0u8..5, 0u8..5), 1..15)) {
+        let source = source_with(&rows);
+        let tgds = vec![
+            demo_tgd(),
+            // A second, overlapping mapping with the same premise.
+            Tgd::new(
+                vec![Atom::new("S", vec![Term::Var(0), Term::Var(1)])],
+                vec![Atom::new("T", vec![Term::Var(0), Term::Var(1), Term::Var(7)])],
+            ),
+        ];
+        let correlated = correlate(tgds.clone());
+        prop_assert!(correlated.len() <= tgds.len());
+
+        let run = |mappings: &[Tgd]| {
+            let mut target = Instance::new(target_schema());
+            let mut nulls = NullFactory::new();
+            chase(&source, &mut target, mappings, &mut nulls).unwrap();
+            let mut consts = std::collections::HashSet::new();
+            for (_, rel) in target.relations() {
+                for t in rel.iter() {
+                    for v in t.values() {
+                        if v.is_constant() {
+                            consts.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            (target.stats(), consts)
+        };
+        let (clio_stats, clio_consts) = run(&tgds);
+        let (mm_stats, mm_consts) = run(&correlated);
+        prop_assert_eq!(clio_consts, mm_consts);
+        prop_assert!(mm_stats.atoms() <= clio_stats.atoms());
+    }
+
+    /// The Correspondences hash lookup agrees with a linear scan.
+    #[test]
+    fn correspondence_lookup_matches_scan(
+        pairs in proptest::collection::vec((0u8..6, 0u8..6), 0..20),
+        probe in 0u8..6
+    ) {
+        let named: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(s, t)| (format!("s{s}"), format!("t{t}")))
+            .collect();
+        let sigma = Correspondences::from_name_pairs(named.clone());
+        let probe_name = format!("s{probe}");
+        let via_lookup = sigma.target_label(None, &probe_name).map(str::to_owned);
+        let via_scan = named.iter().find(|(s, _)| s == &probe_name).map(|(_, t)| t.clone());
+        prop_assert_eq!(via_lookup, via_scan);
+    }
+}

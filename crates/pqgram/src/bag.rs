@@ -1,0 +1,135 @@
+//! Multisets (bags) with the intersection/union cardinalities used by the
+//! pq-gram distance.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A multiset over `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bag<T: Eq + Hash> {
+    counts: HashMap<T, usize>,
+    len: usize,
+}
+
+impl<T: Eq + Hash> Default for Bag<T> {
+    fn default() -> Self {
+        Bag {
+            counts: HashMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T: Eq + Hash> Bag<T> {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Bag::default()
+    }
+
+    /// Insert one occurrence.
+    pub fn insert(&mut self, item: T) {
+        *self.counts.entry(item).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Total number of occurrences (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct items.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Multiplicity of an item.
+    pub fn count(&self, item: &T) -> usize {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// `|self ⊓ other|`: sum over items of the minimum multiplicity.
+    pub fn intersection_size(&self, other: &Bag<T>) -> usize {
+        // Iterate the smaller map.
+        let (small, big) = if self.counts.len() <= other.counts.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.counts.iter().map(|(k, &c)| c.min(big.count(k))).sum()
+    }
+
+    /// `|self ⊔ other|` under the convention the paper uses:
+    /// `|A| + |B| − |A ⊓ B|` (so that `|∪| − |∩| = |A| + |B| − 2|∩|`).
+    pub fn union_size(&self, other: &Bag<T>) -> usize {
+        self.len + other.len - self.intersection_size(other)
+    }
+
+    /// Iterate `(item, multiplicity)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+}
+
+impl<T: Eq + Hash> FromIterator<T> for Bag<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut b = Bag::new();
+        for item in iter {
+            b.insert(item);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicities() {
+        let b: Bag<&str> = ["a", "b", "a"].into_iter().collect();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.distinct(), 2);
+        assert_eq!(b.count(&"a"), 2);
+        assert_eq!(b.count(&"zz"), 0);
+    }
+
+    #[test]
+    fn intersection_uses_min_multiplicity() {
+        let a: Bag<&str> = ["x", "x", "y"].into_iter().collect();
+        let b: Bag<&str> = ["x", "y", "y", "z"].into_iter().collect();
+        assert_eq!(a.intersection_size(&b), 2); // min(2,1)=1 for x, min(1,2)=1 for y
+        assert_eq!(b.intersection_size(&a), 2); // symmetric
+    }
+
+    #[test]
+    fn union_size_convention() {
+        let a: Bag<&str> = ["x", "x", "y"].into_iter().collect();
+        let b: Bag<&str> = ["x", "z"].into_iter().collect();
+        // |A|=3, |B|=2, |∩|=1 → |∪|=4
+        assert_eq!(a.union_size(&b), 4);
+    }
+
+    #[test]
+    fn fig6_cardinalities() {
+        // |ϕ(TA)|=9, |ϕ(TB)|=7, |∩|=4, |∪|=12 per the worked example.
+        // Mimic with opaque tokens: 4 shared, 5 only in A, 3 only in B.
+        let a: Bag<u32> = (0..9).collect();
+        let b: Bag<u32> = (0..4).chain(100..103).collect();
+        assert_eq!(a.intersection_size(&b), 4);
+        assert_eq!(a.union_size(&b), 12);
+    }
+
+    #[test]
+    fn empty_bag() {
+        let e: Bag<u8> = Bag::new();
+        let b: Bag<u8> = [1, 2].into_iter().collect();
+        assert!(e.is_empty());
+        assert_eq!(e.intersection_size(&b), 0);
+        assert_eq!(e.union_size(&b), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Tree extension — step 2 of the pq-gram pipeline.
+//!
+//! Given parameters `p, q > 0`, the tree is extended with dummy nodes
+//! (Section 4.3, Fig. 6(d)):
+//!
+//! * `p − 1` ancestors added above the root,
+//! * `q − 1` children before each first child and after each last child,
+//! * `q` children below each leaf.
+//!
+//! [`crate::profile::PqGramProfile`] performs this extension implicitly
+//! while sliding its window; this module materializes the extended tree for
+//! inspection, examples and tests.
+
+use crate::profile::PqLabel;
+use crate::tree::Tree;
+
+/// Materialize the `(p,q)`-extended tree, with dummies as
+/// [`PqLabel::Dummy`].
+///
+/// # Panics
+/// Panics when `p == 0` or `q == 0`.
+pub fn extended<L: Clone>(tree: &Tree<L>, p: usize, q: usize) -> Tree<PqLabel<L>> {
+    assert!(p > 0 && q > 0, "pq-gram parameters must be positive");
+    // New root: chain of p-1 dummies above the original root.
+    let mut out;
+    let mut top;
+    if p > 1 {
+        out = Tree::new(PqLabel::Dummy);
+        top = out.root();
+        for _ in 0..p.saturating_sub(2) {
+            top = out.add_child(top, PqLabel::Dummy);
+        }
+        top = out.add_child(top, PqLabel::Label(tree.label(tree.root()).clone()));
+    } else {
+        out = Tree::new(PqLabel::Label(tree.label(tree.root()).clone()));
+        top = out.root();
+    }
+    copy_children(tree, tree.root(), &mut out, top, q);
+    out
+}
+
+fn copy_children<L: Clone>(
+    src: &Tree<L>,
+    src_node: usize,
+    dst: &mut Tree<PqLabel<L>>,
+    dst_node: usize,
+    q: usize,
+) {
+    let kids = src.children(src_node);
+    if kids.is_empty() {
+        for _ in 0..q {
+            dst.add_child(dst_node, PqLabel::Dummy);
+        }
+        return;
+    }
+    for _ in 0..q - 1 {
+        dst.add_child(dst_node, PqLabel::Dummy);
+    }
+    for &c in kids {
+        let nc = dst.add_child(dst_node, PqLabel::Label(src.label(c).clone()));
+        copy_children(src, c, dst, nc, q);
+    }
+    for _ in 0..q - 1 {
+        dst.add_child(dst_node, PqLabel::Dummy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_ta() -> Tree<&'static str> {
+        // Fig. 6(c): sorted TA.
+        let mut t = Tree::new("d");
+        t.add_child(0, "b");
+        t.add_child(0, "c");
+        let e = t.add_child(0, "e");
+        t.add_child(e, "a");
+        t.add_child(e, "d");
+        t
+    }
+
+    #[test]
+    fn fig6d_extension_p2_q1() {
+        // p=2, q=1: one dummy ancestor above the root, one dummy child under
+        // each leaf, no sibling padding (q-1 = 0).
+        let e = extended(&sorted_ta(), 2, 1);
+        assert_eq!(e.label(e.root()), &PqLabel::Dummy);
+        let root_kids = e.children(e.root());
+        assert_eq!(root_kids.len(), 1);
+        let d = root_kids[0];
+        assert_eq!(e.label(d), &PqLabel::Label("d"));
+        // Original 6 nodes + 1 ancestor + 4 leaf dummies (b, c, a, d-leaf).
+        assert_eq!(e.len(), 6 + 1 + 4);
+        // b is a leaf: gets exactly one dummy child.
+        let b = e.children(d)[0];
+        assert_eq!(e.label(b), &PqLabel::Label("b"));
+        assert_eq!(e.children(b).len(), 1);
+        assert_eq!(e.label(e.children(b)[0]), &PqLabel::Dummy);
+    }
+
+    #[test]
+    fn extension_p3_q2_padding() {
+        let mut t = Tree::new("r");
+        t.add_child(0, "x");
+        let e = extended(&t, 3, 2);
+        // Two dummy ancestors.
+        assert_eq!(e.label(e.root()), &PqLabel::Dummy);
+        let a1 = e.children(e.root())[0];
+        assert_eq!(e.label(a1), &PqLabel::Dummy);
+        let r = e.children(a1)[0];
+        assert_eq!(e.label(r), &PqLabel::Label("r"));
+        // r has q-1=1 dummy before and after its single child x.
+        let rk: Vec<_> = e.children(r).iter().map(|&i| e.label(i).clone()).collect();
+        assert_eq!(
+            rk,
+            vec![PqLabel::Dummy, PqLabel::Label("x"), PqLabel::Dummy]
+        );
+        // x is a leaf: exactly q=2 dummy children.
+        let x = e.children(r)[1];
+        assert_eq!(e.children(x).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_parameters_panic() {
+        let t = Tree::new("r");
+        let _ = extended(&t, 0, 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! pq-gram profiles — step 3 of the pipeline.
+//!
+//! A pq-gram is a small connected subtree with `p + q` nodes: a stem of `p`
+//! ancestor/descendant nodes `v1..vp` and a window of `q` consecutive
+//! children of `vp` (Section 4.3). The multiset of a tree's pq-grams is its
+//! *profile*, "a structured summary of the tree".
+//!
+//! Two conventions from the paper's worked examples are encoded here:
+//!
+//! * missing ancestors/children are padded with dummy (`*`) nodes, and
+//! * grams are **anchored only at non-dummy nodes** — in particular a dummy
+//!   root (the `*` placed when a relation has no single-column key, Def. 1)
+//!   contributes grams as a *parent* (e.g. `(*, course; *)`) but is never
+//!   itself an anchor. This reproduces the 13-gram profile the paper lists
+//!   for the Registration tuple tree.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::bag::Bag;
+use crate::tree::{NodeId, Tree};
+
+/// A pq-gram node label: either a dummy `*` or a real label.
+///
+/// `Dummy` orders before every real label so that sorted trees keep their
+/// padding at the edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PqLabel<L> {
+    /// The dummy `*` padding node.
+    Dummy,
+    /// A real label.
+    Label(L),
+}
+
+impl<L> PqLabel<L> {
+    /// Whether this is the dummy label.
+    pub fn is_dummy(&self) -> bool {
+        matches!(self, PqLabel::Dummy)
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for PqLabel<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PqLabel::Dummy => f.write_str("*"),
+            PqLabel::Label(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// One pq-gram: `p` stem labels followed by `q` window labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gram<L> {
+    /// The ancestor path ending at the anchor node (`p` labels).
+    pub stem: Vec<PqLabel<L>>,
+    /// `q` consecutive children of the anchor.
+    pub window: Vec<PqLabel<L>>,
+}
+
+impl<L: fmt::Display> fmt::Display for Gram<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.stem.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ";")?;
+        for (i, l) in self.window.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The pq-gram profile of a tree: a bag of [`Gram`]s.
+#[derive(Debug, Clone)]
+pub struct PqGramProfile<L: Eq + Hash> {
+    p: usize,
+    q: usize,
+    grams: Bag<Gram<L>>,
+}
+
+impl<L: Clone + Eq + Hash + Ord> PqGramProfile<L> {
+    /// Build the `(p,q)` profile of a tree whose labels are all real.
+    /// Siblings are sorted lexicographically first (the tree-sorting step).
+    ///
+    /// # Panics
+    /// Panics when `p == 0` or `q == 0`.
+    pub fn new(tree: &Tree<L>, p: usize, q: usize) -> Self {
+        let wrapped: Tree<PqLabel<L>> = tree.map_labels(|l| PqLabel::Label(l.clone()));
+        Self::from_pq_tree(&wrapped, p, q)
+    }
+
+    /// Build the `(p,q)` profile of a tree that may contain dummy labels
+    /// (e.g. a relation tree with a dummy `*` root). Dummy nodes pad grams
+    /// but are never anchors.
+    ///
+    /// # Panics
+    /// Panics when `p == 0` or `q == 0`.
+    pub fn from_pq_tree(tree: &Tree<PqLabel<L>>, p: usize, q: usize) -> Self {
+        assert!(p > 0 && q > 0, "pq-gram parameters must be positive");
+        let mut sorted = tree.clone();
+        sorted.sort_siblings();
+        let mut grams = Bag::new();
+        for anchor in sorted.preorder() {
+            if sorted.label(anchor).is_dummy() {
+                continue;
+            }
+            let stem = Self::stem_of(&sorted, anchor, p);
+            for window in Self::windows_of(&sorted, anchor, q) {
+                grams.insert(Gram {
+                    stem: stem.clone(),
+                    window,
+                });
+            }
+        }
+        PqGramProfile { p, q, grams }
+    }
+
+    /// The `p` stem labels: `p − 1` ancestors (dummy-padded above the root)
+    /// followed by the anchor's own label.
+    fn stem_of(tree: &Tree<PqLabel<L>>, anchor: NodeId, p: usize) -> Vec<PqLabel<L>> {
+        let mut rev = Vec::with_capacity(p);
+        rev.push(tree.label(anchor).clone());
+        let mut cur = anchor;
+        for _ in 1..p {
+            match tree.parent(cur) {
+                Some(par) => {
+                    rev.push(tree.label(par).clone());
+                    cur = par;
+                }
+                None => rev.push(PqLabel::Dummy),
+            }
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// All `q`-wide windows over the anchor's (dummy-extended) child list.
+    fn windows_of(tree: &Tree<PqLabel<L>>, anchor: NodeId, q: usize) -> Vec<Vec<PqLabel<L>>> {
+        let kids = tree.children(anchor);
+        if kids.is_empty() {
+            // A leaf gets q dummy children: exactly one window of dummies.
+            return vec![vec![PqLabel::Dummy; q]];
+        }
+        // Pad with q-1 dummies on each side, then slide a q-window.
+        let mut padded: Vec<PqLabel<L>> = Vec::with_capacity(kids.len() + 2 * (q - 1));
+        padded.extend(std::iter::repeat(PqLabel::Dummy).take(q - 1));
+        padded.extend(kids.iter().map(|&c| tree.label(c).clone()));
+        padded.extend(std::iter::repeat(PqLabel::Dummy).take(q - 1));
+        padded.windows(q).map(|w| w.to_vec()).collect()
+    }
+}
+
+impl<L: Eq + Hash> PqGramProfile<L> {
+    /// The `p` parameter.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The `q` parameter.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of grams (with multiplicity) — `|ϕ^{p,q}(T)|`.
+    pub fn len(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// Whether the profile has no grams.
+    pub fn is_empty(&self) -> bool {
+        self.grams.is_empty()
+    }
+
+    /// The underlying bag of grams.
+    pub fn bag(&self) -> &Bag<Gram<L>> {
+        &self.grams
+    }
+
+    /// Bag-intersection cardinality with another profile.
+    pub fn intersection_size(&self, other: &Self) -> usize {
+        self.grams.intersection_size(&other.grams)
+    }
+
+    /// Bag-union cardinality with another profile.
+    pub fn union_size(&self, other: &Self) -> usize {
+        self.grams.union_size(&other.grams)
+    }
+
+    /// Whether the profile contains the given gram at least once.
+    pub fn contains(&self, gram: &Gram<L>) -> bool {
+        self.grams.count(gram) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gram(stem: &[&str], window: &[&str]) -> Gram<String> {
+        let conv = |s: &&str| {
+            if *s == "*" {
+                PqLabel::Dummy
+            } else {
+                PqLabel::Label((*s).to_string())
+            }
+        };
+        Gram {
+            stem: stem.iter().map(conv).collect(),
+            window: window.iter().map(conv).collect(),
+        }
+    }
+
+    fn ta() -> Tree<String> {
+        // Fig. 6(a), unsorted on purpose: the profile sorts internally.
+        let mut t = Tree::new("d".to_string());
+        let e = t.add_child(0, "e".into());
+        t.add_child(0, "b".into());
+        t.add_child(0, "c".into());
+        t.add_child(e, "d".into());
+        t.add_child(e, "a".into());
+        t
+    }
+
+    fn tb() -> Tree<String> {
+        // Fig. 6(b): root d, children b, c, e; c has child f.
+        let mut t = Tree::new("d".to_string());
+        t.add_child(0, "b".into());
+        let c = t.add_child(0, "c".into());
+        t.add_child(0, "e".into());
+        t.add_child(c, "f".into());
+        t
+    }
+
+    #[test]
+    fn fig6_profile_ta() {
+        // ϕ2,1(TA) from Section 4.3 — exactly these 9 grams.
+        let p = PqGramProfile::new(&ta(), 2, 1);
+        assert_eq!(p.len(), 9);
+        for (stem, window) in [
+            (["*", "d"], ["b"]),
+            (["*", "d"], ["c"]),
+            (["*", "d"], ["e"]),
+            (["d", "b"], ["*"]),
+            (["d", "c"], ["*"]),
+            (["d", "e"], ["a"]),
+            (["d", "e"], ["d"]),
+            (["e", "a"], ["*"]),
+            (["e", "d"], ["*"]),
+        ] {
+            assert!(
+                p.contains(&gram(&stem, &window)),
+                "missing gram ({stem:?};{window:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_profile_tb() {
+        // ϕ2,1(TB) — exactly these 7 grams.
+        let p = PqGramProfile::new(&tb(), 2, 1);
+        assert_eq!(p.len(), 7);
+        for (stem, window) in [
+            (["*", "d"], ["b"]),
+            (["*", "d"], ["c"]),
+            (["*", "d"], ["e"]),
+            (["d", "b"], ["*"]),
+            (["d", "c"], ["f"]),
+            (["d", "e"], ["*"]),
+            (["c", "f"], ["*"]),
+        ] {
+            assert!(p.contains(&gram(&stem, &window)));
+        }
+    }
+
+    #[test]
+    fn fig6_intersection_and_union() {
+        let a = PqGramProfile::new(&ta(), 2, 1);
+        let b = PqGramProfile::new(&tb(), 2, 1);
+        assert_eq!(a.intersection_size(&b), 4);
+        assert_eq!(a.union_size(&b), 12);
+    }
+
+    #[test]
+    fn dummy_root_is_not_an_anchor() {
+        // A tree rooted at a dummy (relation with no PK): root contributes
+        // as a stem parent only.
+        let mut t: Tree<PqLabel<String>> = Tree::new(PqLabel::Dummy);
+        t.add_child(0, PqLabel::Label("x".into()));
+        t.add_child(0, PqLabel::Label("y".into()));
+        let p = PqGramProfile::from_pq_tree(&t, 2, 1);
+        // Only (*,x;*) and (*,y;*) — no (*,*;x) style grams.
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&gram(&["*", "x"], &["*"])));
+        assert!(p.contains(&gram(&["*", "y"], &["*"])));
+    }
+
+    #[test]
+    fn q2_windows_pad_siblings() {
+        // root r with children a, b: windows of width 2 over [*, a, b, *]
+        // are (*,a), (a,b), (b,*) → 3 grams at the root anchor, plus one
+        // all-dummy window per leaf.
+        let mut t = Tree::new("r".to_string());
+        t.add_child(0, "a".into());
+        t.add_child(0, "b".into());
+        let p = PqGramProfile::new(&t, 2, 2);
+        assert_eq!(p.len(), 3 + 2);
+        assert!(p.contains(&gram(&["*", "r"], &["*", "a"])));
+        assert!(p.contains(&gram(&["*", "r"], &["a", "b"])));
+        assert!(p.contains(&gram(&["*", "r"], &["b", "*"])));
+        assert!(p.contains(&gram(&["r", "a"], &["*", "*"])));
+    }
+
+    #[test]
+    fn p3_stems_pad_ancestors() {
+        let mut t = Tree::new("r".to_string());
+        let a = t.add_child(0, "a".into());
+        t.add_child(a, "b".into());
+        let p = PqGramProfile::new(&t, 3, 1);
+        // Anchors: r (stem *,*,r), a (stem *,r,a), b (stem r,a,b).
+        assert_eq!(p.len(), 3);
+        assert!(p.contains(&gram(&["*", "*", "r"], &["a"])));
+        assert!(p.contains(&gram(&["*", "r", "a"], &["b"])));
+        assert!(p.contains(&gram(&["r", "a", "b"], &["*"])));
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = Tree::new("x".to_string());
+        let p = PqGramProfile::new(&t, 2, 1);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&gram(&["*", "x"], &["*"])));
+    }
+
+    #[test]
+    fn profile_ignores_input_sibling_order() {
+        let sorted = PqGramProfile::new(&ta(), 2, 1);
+        let mut reordered = Tree::new("d".to_string());
+        reordered.add_child(0, "c".into());
+        let e = reordered.add_child(0, "e".into());
+        reordered.add_child(0, "b".into());
+        reordered.add_child(e, "a".into());
+        reordered.add_child(e, "d".into());
+        let p2 = PqGramProfile::new(&reordered, 2, 1);
+        assert_eq!(sorted.intersection_size(&p2), sorted.len());
+        assert_eq!(sorted.len(), p2.len());
+    }
+
+    #[test]
+    fn gram_display() {
+        let g = gram(&["*", "d"], &["b"]);
+        assert_eq!(g.to_string(), "(*,d;b)");
+    }
+}

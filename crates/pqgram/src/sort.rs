@@ -1,0 +1,71 @@
+//! Tree sorting — step 1 of the pq-gram pipeline.
+//!
+//! "The first step toward forming pq-grams is tree sorting, where siblings
+//! are ordered lexicographically by node labels" (Section 4.3). A tree is
+//! *ordered* when for every node, `i < j ⟹ l(p_i) ≤ l(p_j)` over its
+//! children.
+
+use crate::tree::Tree;
+
+/// Return a sorted copy of the tree (siblings ordered by label).
+pub fn sorted<L: Clone + Ord>(tree: &Tree<L>) -> Tree<L> {
+    let mut t = tree.clone();
+    t.sort_siblings();
+    t
+}
+
+/// Whether every sibling list is in non-decreasing label order.
+pub fn is_sorted<L: Ord>(tree: &Tree<L>) -> bool {
+    tree.preorder().into_iter().all(|id| {
+        tree.children(id)
+            .windows(2)
+            .all(|w| tree.label(w[0]) <= tree.label(w[1]))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_sorting() {
+        // TA of Fig. 6(a): root d, children in document order (e, b, c) with
+        // e having children (d, a); the sorted tree of Fig. 6(c) orders the
+        // root's children as b, c, e and e's as a, d.
+        let mut t = Tree::new("d");
+        let e = t.add_child(0, "e");
+        t.add_child(0, "b");
+        t.add_child(0, "c");
+        t.add_child(e, "d");
+        t.add_child(e, "a");
+        assert!(!is_sorted(&t));
+
+        let s = sorted(&t);
+        assert!(is_sorted(&s));
+        let kids: Vec<_> = s.children(s.root()).iter().map(|&i| *s.label(i)).collect();
+        assert_eq!(kids, vec!["b", "c", "e"]);
+        let e_sorted = s.children(s.root())[2];
+        let ekids: Vec<_> = s.children(e_sorted).iter().map(|&i| *s.label(i)).collect();
+        assert_eq!(ekids, vec!["a", "d"]);
+        // Original untouched.
+        assert!(!is_sorted(&t));
+    }
+
+    #[test]
+    fn sorting_is_idempotent() {
+        let mut t = Tree::new(3u32);
+        t.add_child(0, 2);
+        t.add_child(0, 1);
+        let s1 = sorted(&t);
+        let s2 = sorted(&s1);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn duplicate_labels_allowed() {
+        let mut t = Tree::new("r");
+        t.add_child(0, "a");
+        t.add_child(0, "a");
+        assert!(is_sorted(&t));
+    }
+}

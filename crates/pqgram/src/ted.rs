@@ -1,0 +1,221 @@
+//! Ordered tree edit distance (Zhang–Shasha) — the comparison baseline the
+//! paper argues *against*.
+//!
+//! Section 4.3: "A conventional way of measuring tree similarity is tree
+//! edit distance … computing tree edit distance is NP complete for
+//! unordered trees", which is why SEDEX uses pq-grams. For *ordered* trees
+//! the classic Zhang–Shasha algorithm computes the exact distance in
+//! `O(n² · min(depth, leaves)²)` time — still far costlier than the
+//! linear-time pq-gram profile, as the `ablations` bench demonstrates.
+//!
+//! Unit costs: insert 1, delete 1, relabel 1 (0 when labels are equal).
+
+use crate::tree::{NodeId, Tree};
+
+/// Exact ordered tree edit distance between two trees (Zhang–Shasha).
+pub fn tree_edit_distance<L: Eq>(t1: &Tree<L>, t2: &Tree<L>) -> usize {
+    let a = Prep::new(t1);
+    let b = Prep::new(t2);
+    let (n, m) = (a.post.len(), b.post.len());
+    // treedist[i][j]: distance between subtrees rooted at postorder i / j.
+    let mut td = vec![vec![0usize; m]; n];
+    for &i in &a.keyroots {
+        for &j in &b.keyroots {
+            forest_dist(t1, t2, &a, &b, i, j, &mut td);
+        }
+    }
+    td[n - 1][m - 1]
+}
+
+/// Normalized variant in `[0, 1]`: `ted / (|T1| + |T2|)` — comparable in
+/// spirit to the normalized pq-gram distance, for side-by-side experiments.
+pub fn normalized_tree_edit_distance<L: Eq>(t1: &Tree<L>, t2: &Tree<L>) -> f64 {
+    let d = tree_edit_distance(t1, t2) as f64;
+    d / (t1.len() + t2.len()) as f64
+}
+
+/// Precomputed postorder structures for one tree.
+struct Prep {
+    /// Node ids in postorder.
+    post: Vec<NodeId>,
+    /// `l[i]`: postorder index of the leftmost leaf descendant of postorder
+    /// node `i`.
+    l: Vec<usize>,
+    /// Keyroots: nodes with a left sibling, plus the root (postorder
+    /// indexes, ascending).
+    keyroots: Vec<usize>,
+}
+
+impl Prep {
+    fn new<L>(t: &Tree<L>) -> Self {
+        let post = t.postorder();
+        let n = post.len();
+        let mut index_of = vec![0usize; t.len()];
+        for (i, &id) in post.iter().enumerate() {
+            index_of[id] = i;
+        }
+        // Leftmost leaf: descend along first children.
+        let mut l = vec![0usize; n];
+        for (i, &id) in post.iter().enumerate() {
+            let mut cur = id;
+            while let Some(&first) = t.children(cur).first() {
+                cur = first;
+            }
+            l[i] = index_of[cur];
+        }
+        // Keyroots: for each distinct l-value keep the LAST (highest)
+        // postorder index.
+        let mut last_for_l: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (i, &li) in l.iter().enumerate() {
+            last_for_l.insert(li, i);
+        }
+        let mut keyroots: Vec<usize> = last_for_l.into_values().collect();
+        keyroots.sort_unstable();
+        Prep { post, l, keyroots }
+    }
+}
+
+fn forest_dist<L: Eq>(
+    t1: &Tree<L>,
+    t2: &Tree<L>,
+    a: &Prep,
+    b: &Prep,
+    i: usize,
+    j: usize,
+    td: &mut [Vec<usize>],
+) {
+    let (li, lj) = (a.l[i], b.l[j]);
+    let (rows, cols) = (i - li + 2, j - lj + 2);
+    // fd[x][y]: forest distance with offsets (li-1, lj-1).
+    let mut fd = vec![vec![0usize; cols]; rows];
+    for x in 1..rows {
+        fd[x][0] = fd[x - 1][0] + 1; // delete
+    }
+    for y in 1..cols {
+        fd[0][y] = fd[0][y - 1] + 1; // insert
+    }
+    for x in 1..rows {
+        for y in 1..cols {
+            let (di, dj) = (li + x - 1, lj + y - 1);
+            if a.l[di] == li && b.l[dj] == lj {
+                let relabel = if t1.label(a.post[di]) == t2.label(b.post[dj]) {
+                    0
+                } else {
+                    1
+                };
+                fd[x][y] = (fd[x - 1][y] + 1)
+                    .min(fd[x][y - 1] + 1)
+                    .min(fd[x - 1][y - 1] + relabel);
+                td[di][dj] = fd[x][y];
+            } else {
+                let (px, py) = (a.l[di] - li, b.l[dj] - lj);
+                fd[x][y] = (fd[x - 1][y] + 1)
+                    .min(fd[x][y - 1] + 1)
+                    .min(fd[px][py] + td[di][dj]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leafy(labels: &[&str]) -> Tree<String> {
+        let mut t = Tree::new(labels[0].to_string());
+        for l in &labels[1..] {
+            t.add_child(0, l.to_string());
+        }
+        t
+    }
+
+    #[test]
+    fn identical_trees_distance_zero() {
+        let t = leafy(&["r", "a", "b", "c"]);
+        assert_eq!(tree_edit_distance(&t, &t), 0);
+        assert_eq!(normalized_tree_edit_distance(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn single_relabel_costs_one() {
+        let t1 = leafy(&["r", "a", "b"]);
+        let t2 = leafy(&["r", "a", "X"]);
+        assert_eq!(tree_edit_distance(&t1, &t2), 1);
+    }
+
+    #[test]
+    fn single_insert_costs_one() {
+        let t1 = leafy(&["r", "a"]);
+        let t2 = leafy(&["r", "a", "b"]);
+        assert_eq!(tree_edit_distance(&t1, &t2), 1);
+        assert_eq!(tree_edit_distance(&t2, &t1), 1);
+    }
+
+    #[test]
+    fn single_node_vs_chain() {
+        let t1 = Tree::new("a".to_string());
+        let mut t2 = Tree::new("a".to_string());
+        let b = t2.add_child(0, "b".to_string());
+        t2.add_child(b, "c".to_string());
+        assert_eq!(tree_edit_distance(&t1, &t2), 2);
+    }
+
+    #[test]
+    fn fig6_trees_edit_distance() {
+        // TA: d(b, c, e(a, d)); TB: d(b, c(f), e).
+        // One optimal script: delete a, delete d-leaf, insert f = 3.
+        let mut ta = Tree::new("d".to_string());
+        ta.add_child(0, "b".into());
+        ta.add_child(0, "c".into());
+        let e = ta.add_child(0, "e".into());
+        ta.add_child(e, "a".into());
+        ta.add_child(e, "d".into());
+        let mut tb = Tree::new("d".to_string());
+        tb.add_child(0, "b".into());
+        let c = tb.add_child(0, "c".into());
+        tb.add_child(0, "e".into());
+        tb.add_child(c, "f".into());
+        assert_eq!(tree_edit_distance(&ta, &tb), 3);
+    }
+
+    #[test]
+    fn disjoint_trees_cost_bounded_by_sizes() {
+        let t1 = leafy(&["p", "q", "r"]);
+        let t2 = leafy(&["x", "y"]);
+        let d = tree_edit_distance(&t1, &t2);
+        // Relabel min(n,m) and insert/delete the difference: here 3.
+        assert_eq!(d, 3);
+        assert!(d <= t1.len() + t2.len());
+    }
+
+    #[test]
+    fn symmetric() {
+        let mut t1 = Tree::new("r".to_string());
+        let a = t1.add_child(0, "a".into());
+        t1.add_child(a, "b".into());
+        t1.add_child(0, "c".into());
+        let t2 = leafy(&["r", "c", "a"]);
+        assert_eq!(tree_edit_distance(&t1, &t2), tree_edit_distance(&t2, &t1));
+    }
+
+    #[test]
+    fn triangle_inequality_on_small_family() {
+        let trees = vec![
+            leafy(&["r", "a"]),
+            leafy(&["r", "a", "b"]),
+            leafy(&["r", "b"]),
+            Tree::new("r".to_string()),
+        ];
+        for x in &trees {
+            for y in &trees {
+                for z in &trees {
+                    let dxz = tree_edit_distance(x, z);
+                    let dxy = tree_edit_distance(x, y);
+                    let dyz = tree_edit_distance(y, z);
+                    assert!(dxz <= dxy + dyz);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! A generic arena-allocated labeled tree.
+
+use std::fmt;
+
+/// Index of a node inside a [`Tree`] arena.
+pub type NodeId = usize;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node<L> {
+    label: L,
+    children: Vec<NodeId>,
+    parent: Option<NodeId>,
+}
+
+/// A rooted, labeled tree stored in an arena.
+///
+/// Both relation trees and tuple trees (Section 3) are represented as
+/// `Tree`s by the higher layers; this crate only cares about labels and
+/// shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree<L> {
+    nodes: Vec<Node<L>>,
+    root: NodeId,
+}
+
+impl<L> Tree<L> {
+    /// A tree consisting of a single root node.
+    pub fn new(root_label: L) -> Self {
+        Tree {
+            nodes: vec![Node {
+                label: root_label,
+                children: Vec::new(),
+                parent: None,
+            }],
+            root: 0,
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has only its root (it can never be truly empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Append a child with the given label under `parent`; returns its id.
+    ///
+    /// # Panics
+    /// Panics when `parent` is not a valid node id.
+    pub fn add_child(&mut self, parent: NodeId, label: L) -> NodeId {
+        assert!(parent < self.nodes.len(), "invalid parent node id");
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            label,
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// The label of a node.
+    pub fn label(&self, id: NodeId) -> &L {
+        &self.nodes[id].label
+    }
+
+    /// The children of a node, in sibling order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id].children
+    }
+
+    /// The parent of a node (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id].parent
+    }
+
+    /// Whether a node is a leaf.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id].children.is_empty()
+    }
+
+    /// Node ids in pre-order (root first).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // Push children reversed so they pop in sibling order.
+            for &c in self.nodes[id].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Node ids in post-order (root last). The script repository keys on the
+    /// post-order label sequence of relation trees (Section 4.4.2).
+    pub fn postorder(&self) -> Vec<NodeId> {
+        // Pre-order with reversed child order, then reverse the output.
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            for &c in &self.nodes[id].children {
+                stack.push(c);
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// The tree's height: the number of **nodes** on the longest root→leaf
+    /// path (so a single-node tree has height 1), matching the paper's
+    /// definition.
+    pub fn height(&self) -> usize {
+        let mut best = 0usize;
+        // (node, depth counted in nodes)
+        let mut stack = vec![(self.root, 1usize)];
+        while let Some((id, d)) = stack.pop() {
+            if d > best {
+                best = d;
+            }
+            for &c in &self.nodes[id].children {
+                stack.push((c, d + 1));
+            }
+        }
+        best
+    }
+
+    /// Depth of a node, counted in nodes from the root (root = 1).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 1;
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur].parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Map every label, preserving shape.
+    pub fn map_labels<M, F>(&self, mut f: F) -> Tree<M>
+    where
+        F: FnMut(&L) -> M,
+    {
+        Tree {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| Node {
+                    label: f(&n.label),
+                    children: n.children.clone(),
+                    parent: n.parent,
+                })
+                .collect(),
+            root: self.root,
+        }
+    }
+
+    /// Iterate `(id, label)` pairs in arena order.
+    pub fn labels(&self) -> impl Iterator<Item = (NodeId, &L)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (i, &n.label))
+    }
+}
+
+impl<L: Ord> Tree<L> {
+    /// Sort every sibling list lexicographically by label (the *tree
+    /// sorting* step of Section 4.3). Stable, in place.
+    pub fn sort_siblings(&mut self) {
+        for i in 0..self.nodes.len() {
+            let mut kids = std::mem::take(&mut self.nodes[i].children);
+            kids.sort_by(|&a, &b| self.nodes[a].label.cmp(&self.nodes[b].label));
+            self.nodes[i].children = kids;
+        }
+    }
+}
+
+impl<L: fmt::Display> Tree<L> {
+    /// Render as an indented outline, for debugging and examples.
+    pub fn render(&self) -> String {
+        fn rec<L: fmt::Display>(t: &Tree<L>, id: NodeId, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&t.label(id).to_string());
+            out.push('\n');
+            for &c in t.children(id) {
+                rec(t, c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        rec(self, self.root, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tree TA of Fig. 6(a): root d with children b, c, e; e has
+    /// children a, d.
+    pub(crate) fn fig6_ta() -> Tree<&'static str> {
+        let mut t = Tree::new("d");
+        t.add_child(t.root(), "b");
+        t.add_child(t.root(), "c");
+        let e = t.add_child(t.root(), "e");
+        t.add_child(e, "a");
+        t.add_child(e, "d");
+        t
+    }
+
+    #[test]
+    fn construction() {
+        let t = fig6_ta();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.label(t.root()), &"d");
+        assert_eq!(t.children(t.root()).len(), 3);
+        assert!(t.is_leaf(1));
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(t.root()), None);
+    }
+
+    #[test]
+    fn height_counts_nodes() {
+        let t = fig6_ta();
+        assert_eq!(t.height(), 3);
+        let single = Tree::new("x");
+        assert_eq!(single.height(), 1);
+    }
+
+    #[test]
+    fn depth_counts_nodes() {
+        let t = fig6_ta();
+        assert_eq!(t.depth(t.root()), 1);
+        let e = t.children(t.root())[2];
+        let a = t.children(e)[0];
+        assert_eq!(t.depth(a), 3);
+    }
+
+    #[test]
+    fn preorder_and_postorder() {
+        let t = fig6_ta();
+        let pre: Vec<_> = t.preorder().iter().map(|&i| *t.label(i)).collect();
+        assert_eq!(pre, vec!["d", "b", "c", "e", "a", "d"]);
+        let post: Vec<_> = t.postorder().iter().map(|&i| *t.label(i)).collect();
+        assert_eq!(post, vec!["b", "c", "a", "d", "e", "d"]);
+    }
+
+    #[test]
+    fn sort_orders_siblings() {
+        let mut t = Tree::new("r");
+        t.add_child(0, "z");
+        t.add_child(0, "a");
+        t.add_child(0, "m");
+        t.sort_siblings();
+        let kids: Vec<_> = t.children(0).iter().map(|&i| *t.label(i)).collect();
+        assert_eq!(kids, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn map_labels_preserves_shape() {
+        let t = fig6_ta();
+        let u = t.map_labels(|l| l.to_uppercase());
+        assert_eq!(u.len(), t.len());
+        assert_eq!(u.label(u.root()), "D");
+        assert_eq!(u.children(u.root()).len(), 3);
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let t = fig6_ta();
+        let r = t.render();
+        assert!(r.starts_with("d\n"));
+        assert!(r.contains("  e\n    a\n"));
+    }
+}

@@ -1,0 +1,254 @@
+//! The ambiguous generalization UDPs and the **AMB** dataset (Fig. 10).
+//!
+//! Both UDPs realize a generalization relation *differently* in source and
+//! target — the scenario class the paper shows ++Spicy mishandles:
+//!
+//! * **sc1** — the source collapses all subclasses into a single `Entity`
+//!   table (subclass attributes null for rows of the other subclass); the
+//!   target keeps a shared `Entity` table plus one table per subclass,
+//!   connected key-to-key.
+//! * **sc2** — like sc1, but the source additionally carries an explicit
+//!   discriminator column indicating the subclass.
+//!
+//! SEDEX resolves these because null properties never enter the tuple tree:
+//! a `Person` row's tree covers exactly the person attributes and therefore
+//! matches the `Person` target tree; mapping-level systems fire both
+//! subclass mappings for every row and materialize redundant, null-padded
+//! tuples.
+
+use sedex_storage::RelationSchema;
+
+use crate::ibench::{stb, IbenchConfig, ScenarioBuilder};
+use crate::scenario::{GenRule, Scenario};
+
+/// Number of common attributes and per-subclass attributes in each UDP.
+const COMMON: usize = 2;
+const SUB: usize = 2;
+
+/// Add one sc1 instance under `prefix`. Returns the generalization rule the
+/// populator needs.
+pub fn add_sc1(b: &mut ScenarioBuilder, prefix: &str) -> GenRule {
+    add_generalization(b, prefix, false)
+}
+
+/// Add one sc2 instance under `prefix` (sc1 plus a discriminator column).
+pub fn add_sc2(b: &mut ScenarioBuilder, prefix: &str) -> GenRule {
+    add_generalization(b, prefix, true)
+}
+
+fn add_generalization(b: &mut ScenarioBuilder, prefix: &str, discriminator: bool) -> GenRule {
+    // Source: single collapsed table.
+    let mut src_cols = vec![format!("{prefix}_id")];
+    if discriminator {
+        src_cols.push(format!("{prefix}_kind"));
+    }
+    for i in 0..COMMON {
+        src_cols.push(format!("{prefix}_c{i}"));
+    }
+    let p_cols: Vec<String> = (0..SUB).map(|i| format!("{prefix}_p{i}")).collect();
+    let n_cols: Vec<String> = (0..SUB).map(|i| format!("{prefix}_n{i}")).collect();
+    src_cols.extend(p_cols.iter().cloned());
+    src_cols.extend(n_cols.iter().cloned());
+    let src = RelationSchema::with_any_columns(format!("{prefix}_Entity"), &src_cols)
+        .primary_key(&[&src_cols[0]])
+        .expect("key col exists");
+    b.source.push(src);
+
+    // Target: shared Entity + one table per subclass, keys linked.
+    let mut ent_cols = vec![format!("{prefix}_tid")];
+    if discriminator {
+        ent_cols.push(format!("{prefix}_tkind"));
+    }
+    for i in 0..COMMON {
+        ent_cols.push(format!("{prefix}_tc{i}"));
+    }
+    let ent = RelationSchema::with_any_columns(format!("{prefix}_TEntity"), &ent_cols)
+        .primary_key(&[&ent_cols[0]])
+        .expect("key col exists");
+
+    let person_cols: Vec<String> = std::iter::once(format!("{prefix}_pid"))
+        .chain((0..SUB).map(|i| format!("{prefix}_tp{i}")))
+        .collect();
+    let person = RelationSchema::with_any_columns(format!("{prefix}_Person"), &person_cols)
+        .primary_key(&[&person_cols[0]])
+        .expect("key col exists")
+        .foreign_key(&[&person_cols[0]], format!("{prefix}_TEntity"))
+        .expect("key col exists");
+
+    let non_cols: Vec<String> = std::iter::once(format!("{prefix}_nid"))
+        .chain((0..SUB).map(|i| format!("{prefix}_tn{i}")))
+        .collect();
+    let nonperson = RelationSchema::with_any_columns(format!("{prefix}_NonPerson"), &non_cols)
+        .primary_key(&[&non_cols[0]])
+        .expect("key col exists")
+        .foreign_key(&[&non_cols[0]], format!("{prefix}_TEntity"))
+        .expect("key col exists");
+
+    b.target.push(ent);
+    b.target.push(person);
+    b.target.push(nonperson);
+
+    // Correspondences: id to all three keys; common/discriminator into
+    // TEntity; subclass attributes into their tables.
+    b.sigma
+        .add_names(format!("{prefix}_id"), format!("{prefix}_tid"));
+    b.sigma
+        .add_names(format!("{prefix}_id"), format!("{prefix}_pid"));
+    b.sigma
+        .add_names(format!("{prefix}_id"), format!("{prefix}_nid"));
+    if discriminator {
+        b.sigma
+            .add_names(format!("{prefix}_kind"), format!("{prefix}_tkind"));
+    }
+    for i in 0..COMMON {
+        b.sigma
+            .add_names(format!("{prefix}_c{i}"), format!("{prefix}_tc{i}"));
+    }
+    for i in 0..SUB {
+        b.sigma
+            .add_names(format!("{prefix}_p{i}"), format!("{prefix}_tp{i}"));
+        b.sigma
+            .add_names(format!("{prefix}_n{i}"), format!("{prefix}_tn{i}"));
+    }
+
+    GenRule::Generalization {
+        relation: format!("{prefix}_Entity"),
+        groups: vec![p_cols, n_cols],
+        discriminator: discriminator.then(|| format!("{prefix}_kind")),
+    }
+}
+
+/// Build the **AMB** dataset: the STB primitives plus `udp_invocations`
+/// instances of the two generalization UDPs (alternating sc1/sc2), targets
+/// keyed (the Fig. 10 configuration).
+pub fn amb(cfg: &IbenchConfig, udp_invocations: usize) -> Scenario {
+    let base = stb(cfg);
+    let mut b = ScenarioBuilder {
+        source: base.source.relations().to_vec(),
+        target: base.target.relations().to_vec(),
+        sigma: base.sigma,
+        rules: base.rules,
+    };
+    let mut rules = Vec::new();
+    for i in 0..udp_invocations {
+        let rule = if i % 2 == 0 {
+            add_sc1(&mut b, &format!("sc1x{i}"))
+        } else {
+            add_sc2(&mut b, &format!("sc2x{i}"))
+        };
+        rules.push(rule);
+    }
+    let mut all_rules = b.rules.clone();
+    all_rules.extend(rules);
+    let mut s = b.build("AMB");
+    s.rules = all_rules;
+    s
+}
+
+/// Just the UDPs, without the STB base — useful for focused tests.
+pub fn amb_only(udp_invocations: usize) -> Scenario {
+    let mut b = ScenarioBuilder::default();
+    let mut rules = Vec::new();
+    for i in 0..udp_invocations {
+        let rule = if i % 2 == 0 {
+            add_sc1(&mut b, &format!("sc1x{i}"))
+        } else {
+            add_sc2(&mut b, &format!("sc2x{i}"))
+        };
+        rules.push(rule);
+    }
+    let mut s = b.build("AMB-only");
+    s.rules = rules;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_core::SedexEngine;
+    use sedex_mapping::SpicyEngine;
+    use sedex_storage::Value;
+
+    #[test]
+    fn sc1_population_alternates_subclasses() {
+        let s = amb_only(1);
+        let inst = s.populate(10, 1).unwrap();
+        let rel = inst.relation("sc1x0_Entity").unwrap();
+        for (i, t) in rel.rows().iter().enumerate() {
+            let p_null = t.values()[3].is_null(); // first p col (id, c0, c1, p0, p1, n0, n1)
+            let n_null = t.values()[5].is_null();
+            if i % 2 == 0 {
+                assert!(!p_null && n_null, "row {i}: {t}");
+            } else {
+                assert!(p_null && !n_null, "row {i}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn sedex_resolves_sc1_without_redundancy() {
+        let s = amb_only(1);
+        let inst = s.populate(20, 2).unwrap();
+        let (out, report) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        // 10 persons + 10 non-persons.
+        assert_eq!(out.relation("sc1x0_TEntity").unwrap().len(), 20, "{out}");
+        assert_eq!(out.relation("sc1x0_Person").unwrap().len(), 10, "{out}");
+        assert_eq!(out.relation("sc1x0_NonPerson").unwrap().len(), 10, "{out}");
+        assert_eq!(report.stats.nulls, 0, "{out}");
+    }
+
+    #[test]
+    fn sc2_discriminator_flows_to_target() {
+        let s = amb_only(2); // sc1x0 and sc2x1
+        let inst = s.populate(4, 3).unwrap();
+        let (out, _) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let ent = out.relation("sc2x1_TEntity").unwrap();
+        assert_eq!(ent.len(), 4);
+        // Discriminator column (index 1) populated with kind0/kind1.
+        for t in ent.iter() {
+            let k = t.values()[1].render().into_owned();
+            assert!(k == "kind0" || k == "kind1", "{t}");
+        }
+    }
+
+    #[test]
+    fn spicy_is_redundant_on_amb_sedex_is_not() {
+        // The Fig. 10 claim: ++Spicy generates more atoms (nulls and
+        // redundant subclass tuples) than SEDEX on AMB.
+        let s = amb_only(2);
+        let inst = s.populate(16, 4).unwrap();
+        let (_, sedex_rep) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let spicy = SpicyEngine::new(&s.source, &s.target, &s.sigma);
+        let (_, spicy_rep) = spicy.run(&inst, &s.target).unwrap();
+        assert!(
+            spicy_rep.stats.atoms() > sedex_rep.stats.atoms(),
+            "spicy {:?} vs sedex {:?}",
+            spicy_rep.stats,
+            sedex_rep.stats
+        );
+        assert!(spicy_rep.stats.nulls > sedex_rep.stats.nulls);
+        let _ = Value::Null;
+    }
+
+    #[test]
+    fn amb_composes_with_stb() {
+        let cfg = IbenchConfig {
+            instances_per_primitive: 1,
+            ..IbenchConfig::default()
+        };
+        let s = amb(&cfg, 2);
+        // STB(1 inst): 7 source, 7 target (incl. SH); UDPs add 2×(1 source,
+        // 3 target); rules: 1 SharedKeys + 2 generalizations.
+        assert_eq!(s.source.len(), 7 + 2);
+        assert_eq!(s.target.len(), 7 + 6);
+        assert_eq!(s.rules.len(), 3);
+        let inst = s.populate(6, 5).unwrap();
+        assert_eq!(inst.total_tuples(), 6 * s.source.len());
+    }
+}

@@ -1,0 +1,385 @@
+//! iBench-style scenario generation (Section 5.1).
+//!
+//! iBench builds data-exchange scenarios by instantiating *primitives* —
+//! small source/target schema patterns with their correspondences — many
+//! times. The **STB** dataset uses the STBenchmark-supported primitives
+//! CP (copy), VP (vertical partitioning), HP (horizontal partitioning) and
+//! SU (copy with surrogate key), "10 instances of each primitive, source
+//! relations with (3-7) attributes and 100 tuples", varying the fraction of
+//! target relations with a primary key (the egd knob of Fig. 9).
+//!
+//! One modelling note: iBench realizes HP with *selection conditions* on the
+//! mappings; plain s-t tgds (and the original Clio) have no selections, so
+//! we model HP with pre-partitioned source relations — schema-identical
+//! partitions each mapping to its own target. This keeps HP neutral between
+//! the systems being compared (both see the same work) while preserving its
+//! schema shape and reuse profile.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sedex_mapping::Correspondences;
+use sedex_storage::{RelationSchema, Schema};
+
+use crate::scenario::{GenRule, Scenario};
+
+/// Configuration for iBench-style dataset generation.
+#[derive(Debug, Clone)]
+pub struct IbenchConfig {
+    /// Instances of each primitive (the paper uses 10 for STB).
+    pub instances_per_primitive: usize,
+    /// Minimum attributes per source relation (paper: 3).
+    pub min_attrs: usize,
+    /// Maximum attributes per source relation (paper: 7).
+    pub max_attrs: usize,
+    /// Fraction of target relations that receive a primary key — the Fig. 9
+    /// x-axis (0.0, 0.25, 0.50, 0.75, 1.0).
+    pub pk_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IbenchConfig {
+    fn default() -> Self {
+        IbenchConfig {
+            instances_per_primitive: 10,
+            min_attrs: 3,
+            max_attrs: 7,
+            pk_fraction: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Mutable accumulation state while primitives are being instantiated.
+#[derive(Debug, Default)]
+pub struct ScenarioBuilder {
+    /// Source relations accumulated so far.
+    pub source: Vec<RelationSchema>,
+    /// Target relations accumulated so far.
+    pub target: Vec<RelationSchema>,
+    /// Correspondences accumulated so far.
+    pub sigma: Correspondences,
+    /// Population rules accumulated so far.
+    pub rules: Vec<GenRule>,
+}
+
+impl ScenarioBuilder {
+    /// Finish: validate both schemas and wrap into a [`Scenario`].
+    pub fn build(self, name: impl Into<String>) -> Scenario {
+        let source = Schema::from_relations(self.source).expect("valid generated source schema");
+        let target = Schema::from_relations(self.target).expect("valid generated target schema");
+        let mut s = Scenario::new(name, source, target, self.sigma);
+        s.rules = self.rules;
+        s
+    }
+}
+
+/// Column names `"{prefix}_{base}{i}"` for `0..k`.
+fn cols(prefix: &str, base: &str, k: usize) -> Vec<String> {
+    (0..k).map(|i| format!("{prefix}_{base}{i}")).collect()
+}
+
+/// CP — copy a relation.
+pub fn add_cp(b: &mut ScenarioBuilder, prefix: &str, attrs: usize, pk_target: bool) {
+    let src_cols = cols(prefix, "a", attrs);
+    let tgt_cols = cols(prefix, "b", attrs);
+    let src = RelationSchema::with_any_columns(format!("{prefix}_R"), &src_cols)
+        .primary_key(&[&src_cols[0]])
+        .expect("key col exists");
+    let mut tgt = RelationSchema::with_any_columns(format!("{prefix}_T"), &tgt_cols);
+    if pk_target {
+        tgt = tgt.primary_key(&[&tgt_cols[0]]).expect("key col exists");
+    }
+    for (s, t) in src_cols.iter().zip(&tgt_cols) {
+        b.sigma.add_names(s.clone(), t.clone());
+    }
+    b.source.push(src);
+    b.target.push(tgt);
+}
+
+/// VP — vertical partitioning: one source relation split into two target
+/// relations joined key-to-key.
+pub fn add_vp(b: &mut ScenarioBuilder, prefix: &str, attrs: usize, pk_target: bool) {
+    let attrs = attrs.max(3);
+    let src_cols = {
+        let mut v = vec![format!("{prefix}_k")];
+        v.extend(cols(prefix, "a", attrs - 1));
+        v
+    };
+    let src = RelationSchema::with_any_columns(format!("{prefix}_R"), &src_cols)
+        .primary_key(&[&src_cols[0]])
+        .expect("key col exists");
+    let split = (attrs - 1) / 2;
+    let t1_cols = {
+        let mut v = vec![format!("{prefix}_t1k")];
+        v.extend(src_cols[1..=split].iter().map(|c| format!("{c}_t")));
+        v
+    };
+    let t2_cols = {
+        let mut v = vec![format!("{prefix}_t2k")];
+        v.extend(src_cols[split + 1..].iter().map(|c| format!("{c}_t")));
+        v
+    };
+    let mut t1 = RelationSchema::with_any_columns(format!("{prefix}_T1"), &t1_cols);
+    let mut t2 = RelationSchema::with_any_columns(format!("{prefix}_T2"), &t2_cols);
+    if pk_target {
+        t1 = t1.primary_key(&[&t1_cols[0]]).expect("key col exists");
+        t2 = t2.primary_key(&[&t2_cols[0]]).expect("key col exists");
+        // Key-to-key link connecting the partition halves.
+        t1 = t1
+            .foreign_key(&[&t1_cols[0]], format!("{prefix}_T2"))
+            .expect("key col exists");
+    }
+    b.sigma.add_names(src_cols[0].clone(), t1_cols[0].clone());
+    b.sigma.add_names(src_cols[0].clone(), t2_cols[0].clone());
+    for (s, t) in src_cols[1..=split].iter().zip(&t1_cols[1..]) {
+        b.sigma.add_names(s.clone(), t.clone());
+    }
+    for (s, t) in src_cols[split + 1..].iter().zip(&t2_cols[1..]) {
+        b.sigma.add_names(s.clone(), t.clone());
+    }
+    b.source.push(src);
+    b.target.push(t1);
+    b.target.push(t2);
+}
+
+/// HP — horizontal partitioning, modelled with pre-partitioned sources (see
+/// the module docs): two schema-identical partitions, each copying to its
+/// own target.
+pub fn add_hp(b: &mut ScenarioBuilder, prefix: &str, attrs: usize, pk_target: bool) {
+    for part in 0..2 {
+        let p = format!("{prefix}p{part}");
+        add_cp(b, &p, attrs, pk_target);
+    }
+}
+
+/// SU — copy with a surrogate key: the target gains a key column with no
+/// source correspondence.
+pub fn add_su(b: &mut ScenarioBuilder, prefix: &str, attrs: usize, pk_target: bool) {
+    let src_cols = cols(prefix, "a", attrs);
+    let src = RelationSchema::with_any_columns(format!("{prefix}_R"), &src_cols)
+        .primary_key(&[&src_cols[0]])
+        .expect("key col exists");
+    let tgt_cols = {
+        let mut v = vec![format!("{prefix}_sk")];
+        v.extend(cols(prefix, "b", attrs));
+        v
+    };
+    let mut tgt = RelationSchema::with_any_columns(format!("{prefix}_T"), &tgt_cols);
+    if pk_target {
+        tgt = tgt.primary_key(&[&tgt_cols[0]]).expect("key col exists");
+    }
+    for (s, t) in src_cols.iter().zip(&tgt_cols[1..]) {
+        b.sigma.add_names(s.clone(), t.clone());
+    }
+    b.source.push(src);
+    b.target.push(tgt);
+}
+
+/// SH — a shared target across two primitives (iBench's "sharing of
+/// relations across primitives"): two source relations describing the SAME
+/// entities (keys paired via [`GenRule::SharedKeys`]) each map a
+/// complementary half of one target relation. Without a target key the two
+/// partial tuples per entity survive with nulls; with the key egd they
+/// merge — the mechanism behind Fig. 9's null reduction.
+pub fn add_sh(b: &mut ScenarioBuilder, prefix: &str, attrs: usize, pk_target: bool) {
+    let half = attrs.max(2);
+    let r1_cols: Vec<String> = std::iter::once(format!("{prefix}_k1"))
+        .chain((0..half).map(|i| format!("{prefix}_a{i}")))
+        .collect();
+    let r2_cols: Vec<String> = std::iter::once(format!("{prefix}_k2"))
+        .chain((0..half).map(|i| format!("{prefix}_b{i}")))
+        .collect();
+    let r1 = RelationSchema::with_any_columns(format!("{prefix}_R1"), &r1_cols)
+        .primary_key(&[&r1_cols[0]])
+        .expect("key col exists");
+    let r2 = RelationSchema::with_any_columns(format!("{prefix}_R2"), &r2_cols)
+        .primary_key(&[&r2_cols[0]])
+        .expect("key col exists");
+    let t_cols: Vec<String> = std::iter::once(format!("{prefix}_tk"))
+        .chain((0..half).map(|i| format!("{prefix}_ta{i}")))
+        .chain((0..half).map(|i| format!("{prefix}_tb{i}")))
+        .collect();
+    let mut t = RelationSchema::with_any_columns(format!("{prefix}_T"), &t_cols);
+    if pk_target {
+        t = t.primary_key(&[&t_cols[0]]).expect("key col exists");
+    }
+    b.sigma.add_names(r1_cols[0].clone(), t_cols[0].clone());
+    b.sigma.add_names(r2_cols[0].clone(), t_cols[0].clone());
+    for i in 0..half {
+        b.sigma
+            .add_names(format!("{prefix}_a{i}"), format!("{prefix}_ta{i}"));
+        b.sigma
+            .add_names(format!("{prefix}_b{i}"), format!("{prefix}_tb{i}"));
+    }
+    b.source.push(r1);
+    b.source.push(r2);
+    b.target.push(t);
+    b.rules.push(GenRule::SharedKeys {
+        relation: format!("{prefix}_R2"),
+        column: format!("{prefix}_k2"),
+        from_relation: format!("{prefix}_R1"),
+    });
+}
+
+/// Build the **STB** dataset: `instances_per_primitive` instances of each of
+/// CP, VP, HP and SU (plus SH, the cross-primitive target sharing iBench
+/// applies to them), with the configured attribute range and target-key
+/// fraction.
+pub fn stb(cfg: &IbenchConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = ScenarioBuilder::default();
+    for i in 0..cfg.instances_per_primitive {
+        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        add_cp(
+            &mut b,
+            &format!("cp{i}"),
+            attrs,
+            rng.gen_bool(cfg.pk_fraction),
+        );
+    }
+    for i in 0..cfg.instances_per_primitive {
+        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        add_vp(
+            &mut b,
+            &format!("vp{i}"),
+            attrs,
+            rng.gen_bool(cfg.pk_fraction),
+        );
+    }
+    for i in 0..cfg.instances_per_primitive {
+        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        add_hp(
+            &mut b,
+            &format!("hp{i}"),
+            attrs,
+            rng.gen_bool(cfg.pk_fraction),
+        );
+    }
+    for i in 0..cfg.instances_per_primitive {
+        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        add_su(
+            &mut b,
+            &format!("su{i}"),
+            attrs,
+            rng.gen_bool(cfg.pk_fraction),
+        );
+    }
+    for i in 0..cfg.instances_per_primitive {
+        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        add_sh(
+            &mut b,
+            &format!("sh{i}"),
+            attrs / 2 + 1,
+            rng.gen_bool(cfg.pk_fraction),
+        );
+    }
+    b.build("STB")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_core::{SedexConfig, SedexEngine};
+    use sedex_mapping::SpicyEngine;
+
+    #[test]
+    fn stb_shape() {
+        let s = stb(&IbenchConfig::default());
+        // CP: 1+1 rel per instance; VP: 1+2; HP: 2+2; SU: 1+1; SH: 2+1 →
+        // 10×(7 src, 7 tgt).
+        assert_eq!(s.source.len(), 70);
+        assert_eq!(s.target.len(), 70);
+        assert!(!s.sigma.is_empty());
+        // Full pk fraction: every target relation keyed.
+        assert!(s.target.relations().iter().all(|r| r.has_primary_key()));
+    }
+
+    #[test]
+    fn pk_fraction_zero_drops_all_target_keys() {
+        let s = stb(&IbenchConfig {
+            pk_fraction: 0.0,
+            ..IbenchConfig::default()
+        });
+        assert!(s.target.relations().iter().all(|r| !r.has_primary_key()));
+        assert!(s.target_egds().is_empty());
+    }
+
+    #[test]
+    fn stb_is_deterministic() {
+        let a = stb(&IbenchConfig::default());
+        let b = stb(&IbenchConfig::default());
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.target, b.target);
+    }
+
+    #[test]
+    fn cp_roundtrip_through_sedex() {
+        let mut b = ScenarioBuilder::default();
+        add_cp(&mut b, "cp0", 4, true);
+        let s = b.build("cp-only");
+        let inst = s.populate(25, 1).unwrap();
+        let engine = SedexEngine::new();
+        let (out, report) = engine.exchange(&inst, &s.target, &s.sigma).unwrap();
+        assert_eq!(out.relation("cp0_T").unwrap().len(), 25);
+        assert_eq!(report.stats.nulls, 0);
+        assert_eq!(report.stats.constants, 25 * 4);
+    }
+
+    #[test]
+    fn vp_splits_without_nulls_under_sedex() {
+        let mut b = ScenarioBuilder::default();
+        add_vp(&mut b, "vp0", 5, true);
+        let s = b.build("vp-only");
+        let inst = s.populate(20, 2).unwrap();
+        let (out, report) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        assert_eq!(out.relation("vp0_T1").unwrap().len(), 20, "{out}");
+        assert_eq!(out.relation("vp0_T2").unwrap().len(), 20, "{out}");
+        assert_eq!(report.stats.nulls, 0, "{out}");
+        // All 5 source attributes per tuple survive across the two halves.
+        assert_eq!(report.stats.constants, 20 * (5 + 1)); // key lands twice
+    }
+
+    #[test]
+    fn su_creates_surrogates() {
+        let mut b = ScenarioBuilder::default();
+        add_su(&mut b, "su0", 3, true);
+        let s = b.build("su-only");
+        let inst = s.populate(10, 3).unwrap();
+        let (out, report) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let t = out.relation("su0_T").unwrap();
+        assert_eq!(t.len(), 10);
+        // Surrogate keys are labeled nulls, all distinct.
+        let keys: std::collections::HashSet<_> =
+            t.rows().iter().map(|r| r.values()[0].clone()).collect();
+        assert_eq!(keys.len(), 10);
+        assert!(keys.iter().all(|k| k.is_labeled_null()));
+        assert_eq!(report.stats.constants, 10 * 3);
+    }
+
+    #[test]
+    fn sedex_beats_spicy_on_stb_nulls() {
+        // The Fig. 9 claim at 100% egds: SEDEX generates fewer nulls.
+        let cfg = IbenchConfig {
+            instances_per_primitive: 2,
+            ..IbenchConfig::default()
+        };
+        let s = stb(&cfg);
+        let inst = s.populate(30, 5).unwrap();
+        let (_, sedex_rep) = SedexEngine::with_config(SedexConfig::default())
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let spicy = SpicyEngine::new(&s.source, &s.target, &s.sigma);
+        let (_, spicy_rep) = spicy.run(&inst, &s.target).unwrap();
+        assert!(
+            sedex_rep.stats.nulls <= spicy_rep.stats.nulls,
+            "sedex {} vs spicy {}",
+            sedex_rep.stats.nulls,
+            spicy_rep.stats.nulls
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # sedex-scenarios
+//!
+//! Workload substrate for the SEDEX evaluation — our re-implementation of
+//! the metadata/data generators the paper uses:
+//!
+//! * [`scenario`] — the common `Scenario` shape: source schema, target
+//!   schema, correspondences, population rules, plus a deterministic
+//!   populator (the ToXgene substitute);
+//! * [`datagen`] — seeded value generation;
+//! * [`ibench`] — iBench-style primitives (CP, VP, HP, SU) and the **STB**
+//!   dataset of Section 5.1, with the configurable fraction of keyed target
+//!   relations that drives Fig. 9;
+//! * [`ambiguity`] — the two generalization UDPs (`sc1`, `sc2`) and the
+//!   **AMB** dataset of Fig. 10;
+//! * [`stbench`] — the ten STBenchmark basic scenarios of Figs. 13/15
+//!   (CP, CV, HP, SK, VP, UN, NE, DE, KO, AV);
+//! * [`compose`] — the composed large scenarios `s25..s100` of Fig. 11 and
+//!   the fixed scenarios `a–d` of Fig. 12;
+//! * [`university`] — the running example of Figs. 2–3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ambiguity;
+pub mod compose;
+pub mod datagen;
+pub mod ibench;
+pub mod scenario;
+pub mod stbench;
+pub mod university;
+
+pub use scenario::{GenRule, Scenario};

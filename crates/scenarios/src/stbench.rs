@@ -1,0 +1,354 @@
+//! The STBenchmark basic mapping scenarios (Figs. 13 and 15).
+//!
+//! The paper runs SEDEX on eleven basic STBenchmark scenarios (self-join
+//! excluded as unsupported): Copy (CP), Constant Value Generation (CV),
+//! Horizontal Partitioning (HP), Surrogate Key Assignment (SK), Vertical
+//! Partitioning (VP), Unnesting (UN), Nesting (NE), Denormalization (DE),
+//! Keys/Object Fusion (KO) and Atomic Value Management (AV).
+//!
+//! Modelling notes (each preserves the scenario's *exchange* shape, which is
+//! what Figs. 13/15 measure):
+//!
+//! * **CV** generates target constants via mapping expressions; constants
+//!   are orthogonal to tree matching, so the unmatched target column simply
+//!   stays empty (like an existential).
+//! * **UN/NE** unnest/nest set-valued attributes; relationally, UN is a
+//!   parent/child source flattened into one target and NE the reverse with
+//!   surrogate link keys.
+//! * **AV** applies value-level functions (concat/split); value transforms
+//!   are orthogonal to the exchange mechanics, so AV keeps the copy shape
+//!   with renamed columns.
+
+use sedex_storage::RelationSchema;
+
+use crate::ibench::{add_cp, add_hp, add_su, add_vp, ScenarioBuilder};
+use crate::scenario::Scenario;
+
+/// The ten scenario kinds, in the order of Fig. 13's x-axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasicKind {
+    /// Copy.
+    Cp,
+    /// Constant value generation.
+    Cv,
+    /// Horizontal partitioning.
+    Hp,
+    /// Surrogate key assignment.
+    Sk,
+    /// Vertical partitioning.
+    Vp,
+    /// Unnesting.
+    Un,
+    /// Nesting.
+    Ne,
+    /// Denormalization.
+    De,
+    /// Keys/object fusion.
+    Ko,
+    /// Atomic value management.
+    Av,
+}
+
+impl BasicKind {
+    /// All ten kinds in display order.
+    pub fn all() -> [BasicKind; 10] {
+        [
+            BasicKind::Cp,
+            BasicKind::Cv,
+            BasicKind::Hp,
+            BasicKind::Sk,
+            BasicKind::Vp,
+            BasicKind::Un,
+            BasicKind::Ne,
+            BasicKind::De,
+            BasicKind::Ko,
+            BasicKind::Av,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BasicKind::Cp => "CP",
+            BasicKind::Cv => "CV",
+            BasicKind::Hp => "HP",
+            BasicKind::Sk => "SK",
+            BasicKind::Vp => "VP",
+            BasicKind::Un => "UN",
+            BasicKind::Ne => "NE",
+            BasicKind::De => "DE",
+            BasicKind::Ko => "KO",
+            BasicKind::Av => "AV",
+        }
+    }
+}
+
+/// Build one basic scenario of the given kind (4 source attributes, keyed
+/// targets).
+pub fn basic(kind: BasicKind) -> Scenario {
+    let mut b = ScenarioBuilder::default();
+    let p = kind.name().to_lowercase();
+    match kind {
+        BasicKind::Cp => add_cp(&mut b, &p, 4, true),
+        BasicKind::Cv => add_cv(&mut b, &p, 4),
+        BasicKind::Hp => add_hp(&mut b, &p, 4, true),
+        BasicKind::Sk => add_su(&mut b, &p, 4, true),
+        BasicKind::Vp => add_vp(&mut b, &p, 5, true),
+        BasicKind::Un => add_un(&mut b, &p, 2, 2),
+        BasicKind::Ne => add_ne(&mut b, &p, 2, 2),
+        BasicKind::De => add_de(&mut b, &p, 2, 2),
+        BasicKind::Ko => add_ko(&mut b, &p, 2, 2),
+        BasicKind::Av => add_av(&mut b, &p, 4),
+    }
+    b.build(kind.name())
+}
+
+/// CV — copy plus a target column filled by a constant expression (no
+/// correspondence: it stays empty under both systems).
+pub fn add_cv(b: &mut ScenarioBuilder, prefix: &str, attrs: usize) {
+    let src_cols: Vec<String> = (0..attrs).map(|i| format!("{prefix}_a{i}")).collect();
+    let src = RelationSchema::with_any_columns(format!("{prefix}_R"), &src_cols)
+        .primary_key(&[&src_cols[0]])
+        .expect("key col exists");
+    let mut tgt_cols: Vec<String> = (0..attrs).map(|i| format!("{prefix}_b{i}")).collect();
+    tgt_cols.push(format!("{prefix}_const"));
+    let tgt = RelationSchema::with_any_columns(format!("{prefix}_T"), &tgt_cols)
+        .primary_key(&[&tgt_cols[0]])
+        .expect("key col exists");
+    for (s, t) in src_cols.iter().zip(&tgt_cols[..attrs]) {
+        b.sigma.add_names(s.clone(), t.clone());
+    }
+    b.source.push(src);
+    b.target.push(tgt);
+}
+
+/// UN — unnesting: source parent/child (the "nested set") flattened into a
+/// single target relation.
+pub fn add_un(b: &mut ScenarioBuilder, prefix: &str, parent_attrs: usize, child_attrs: usize) {
+    let p_cols: Vec<String> = std::iter::once(format!("{prefix}_pk"))
+        .chain((0..parent_attrs).map(|i| format!("{prefix}_pa{i}")))
+        .collect();
+    let parent = RelationSchema::with_any_columns(format!("{prefix}_P"), &p_cols)
+        .primary_key(&[&p_cols[0]])
+        .expect("key col exists");
+    let c_cols: Vec<String> = [format!("{prefix}_ck"), format!("{prefix}_pref")]
+        .into_iter()
+        .chain((0..child_attrs).map(|i| format!("{prefix}_ca{i}")))
+        .collect();
+    let child = RelationSchema::with_any_columns(format!("{prefix}_C"), &c_cols)
+        .primary_key(&[&c_cols[0]])
+        .expect("key col exists")
+        .foreign_key(&[&c_cols[1]], format!("{prefix}_P"))
+        .expect("fk col exists");
+    let flat_cols: Vec<String> = std::iter::once(format!("{prefix}_fk"))
+        .chain((0..parent_attrs).map(|i| format!("{prefix}_fpa{i}")))
+        .chain((0..child_attrs).map(|i| format!("{prefix}_fca{i}")))
+        .collect();
+    let flat = RelationSchema::with_any_columns(format!("{prefix}_Flat"), &flat_cols)
+        .primary_key(&[&flat_cols[0]])
+        .expect("key col exists");
+    b.sigma.add_names(c_cols[0].clone(), flat_cols[0].clone());
+    for i in 0..parent_attrs {
+        b.sigma
+            .add_names(format!("{prefix}_pa{i}"), format!("{prefix}_fpa{i}"));
+    }
+    for i in 0..child_attrs {
+        b.sigma
+            .add_names(format!("{prefix}_ca{i}"), format!("{prefix}_fca{i}"));
+    }
+    b.source.push(parent);
+    b.source.push(child);
+    b.target.push(flat);
+}
+
+/// NE — nesting: a flat source split into target parent/child linked by a
+/// surrogate key.
+pub fn add_ne(b: &mut ScenarioBuilder, prefix: &str, parent_attrs: usize, child_attrs: usize) {
+    let f_cols: Vec<String> = std::iter::once(format!("{prefix}_k"))
+        .chain((0..parent_attrs).map(|i| format!("{prefix}_pa{i}")))
+        .chain((0..child_attrs).map(|i| format!("{prefix}_ca{i}")))
+        .collect();
+    let flat = RelationSchema::with_any_columns(format!("{prefix}_F"), &f_cols)
+        .primary_key(&[&f_cols[0]])
+        .expect("key col exists");
+    let tp_cols: Vec<String> = std::iter::once(format!("{prefix}_tpk"))
+        .chain((0..parent_attrs).map(|i| format!("{prefix}_tpa{i}")))
+        .collect();
+    let tparent = RelationSchema::with_any_columns(format!("{prefix}_TP"), &tp_cols)
+        .primary_key(&[&tp_cols[0]])
+        .expect("key col exists");
+    let tc_cols: Vec<String> = [format!("{prefix}_tck"), format!("{prefix}_tpref")]
+        .into_iter()
+        .chain((0..child_attrs).map(|i| format!("{prefix}_tca{i}")))
+        .collect();
+    let tchild = RelationSchema::with_any_columns(format!("{prefix}_TC"), &tc_cols)
+        .primary_key(&[&tc_cols[0]])
+        .expect("key col exists")
+        .foreign_key(&[&tc_cols[1]], format!("{prefix}_TP"))
+        .expect("fk col exists");
+    // The flat key keys the child; the parent key is a pure surrogate.
+    b.sigma.add_names(f_cols[0].clone(), tc_cols[0].clone());
+    for i in 0..parent_attrs {
+        b.sigma
+            .add_names(format!("{prefix}_pa{i}"), format!("{prefix}_tpa{i}"));
+    }
+    for i in 0..child_attrs {
+        b.sigma
+            .add_names(format!("{prefix}_ca{i}"), format!("{prefix}_tca{i}"));
+    }
+    b.source.push(flat);
+    b.target.push(tparent);
+    b.target.push(tchild);
+}
+
+/// DE — denormalization: parent/child source joined into one wide target
+/// (same exchange shape as UN; kept separate to mirror the paper's list and
+/// to allow different sizing).
+pub fn add_de(b: &mut ScenarioBuilder, prefix: &str, parent_attrs: usize, child_attrs: usize) {
+    add_un(b, prefix, parent_attrs, child_attrs);
+}
+
+/// KO — keys/object fusion: two source relations sharing a key are fused
+/// into one target object.
+pub fn add_ko(b: &mut ScenarioBuilder, prefix: &str, attrs1: usize, attrs2: usize) {
+    let r1_cols: Vec<String> = std::iter::once(format!("{prefix}_k1"))
+        .chain((0..attrs1).map(|i| format!("{prefix}_a{i}")))
+        .collect();
+    // R1 references R2 key-to-key: the halves of one fused object.
+    let r2_cols: Vec<String> = std::iter::once(format!("{prefix}_k2"))
+        .chain((0..attrs2).map(|i| format!("{prefix}_b{i}")))
+        .collect();
+    let r1 = RelationSchema::with_any_columns(format!("{prefix}_R1"), &r1_cols)
+        .primary_key(&[&r1_cols[0]])
+        .expect("key col exists")
+        .foreign_key(&[&r1_cols[0]], format!("{prefix}_R2"))
+        .expect("key col exists");
+    let r2 = RelationSchema::with_any_columns(format!("{prefix}_R2"), &r2_cols)
+        .primary_key(&[&r2_cols[0]])
+        .expect("key col exists");
+    let t_cols: Vec<String> = std::iter::once(format!("{prefix}_tk"))
+        .chain((0..attrs1).map(|i| format!("{prefix}_ta{i}")))
+        .chain((0..attrs2).map(|i| format!("{prefix}_tb{i}")))
+        .collect();
+    let t = RelationSchema::with_any_columns(format!("{prefix}_T"), &t_cols)
+        .primary_key(&[&t_cols[0]])
+        .expect("key col exists");
+    b.sigma.add_names(r1_cols[0].clone(), t_cols[0].clone());
+    for i in 0..attrs1 {
+        b.sigma
+            .add_names(format!("{prefix}_a{i}"), format!("{prefix}_ta{i}"));
+    }
+    for i in 0..attrs2 {
+        b.sigma
+            .add_names(format!("{prefix}_b{i}"), format!("{prefix}_tb{i}"));
+    }
+    b.source.push(r1);
+    b.source.push(r2);
+    b.target.push(t);
+}
+
+/// AV — atomic value management: value-level transforms; exchange shape is a
+/// copy with renamed columns.
+pub fn add_av(b: &mut ScenarioBuilder, prefix: &str, attrs: usize) {
+    add_cp(b, prefix, attrs, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_core::SedexEngine;
+
+    #[test]
+    fn all_ten_scenarios_build_and_run() {
+        for kind in BasicKind::all() {
+            let s = basic(kind);
+            let inst = s.populate(20, 11).unwrap();
+            let (out, report) = SedexEngine::new()
+                .exchange(&inst, &s.target, &s.sigma)
+                .unwrap();
+            assert!(
+                out.total_tuples() > 0,
+                "{}: empty target\n{out}",
+                kind.name()
+            );
+            assert!(
+                report.tuples_unmatched == 0,
+                "{}: {} unmatched tuples",
+                kind.name(),
+                report.tuples_unmatched
+            );
+        }
+    }
+
+    #[test]
+    fn un_flattens_parent_into_child_rows() {
+        let s = basic(BasicKind::Un);
+        let inst = s.populate(10, 2).unwrap();
+        let (out, report) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let flat = out.relation("un_Flat").unwrap();
+        // Ten child rows, each fully flattened; parents not referenced by
+        // any child are still preserved as partial rows with a surrogate
+        // key (entity preservation — SEDEX never drops source entities).
+        let child_rows: Vec<_> = flat
+            .iter()
+            .filter(|t| t.values()[0].is_constant())
+            .collect();
+        assert_eq!(child_rows.len(), 10, "{out}");
+        for t in &child_rows {
+            assert_eq!(t.nulls(), 0, "{t}");
+        }
+        // Parents reached through children were skipped, not re-emitted.
+        assert!(report.tuples_skipped_seen > 0);
+    }
+
+    #[test]
+    fn ne_builds_linked_parent_child() {
+        let s = basic(BasicKind::Ne);
+        let inst = s.populate(8, 3).unwrap();
+        let (out, _) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let tp = out.relation("ne_TP").unwrap();
+        let tc = out.relation("ne_TC").unwrap();
+        assert_eq!(tc.len(), 8, "{out}");
+        assert_eq!(tp.len(), 8, "{out}");
+        // Each child's link matches some parent surrogate.
+        for c in tc.iter() {
+            let link = &c.values()[1];
+            assert!(
+                tp.iter().any(|p| &p.values()[0] == link),
+                "dangling link {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn ko_fuses_two_relations() {
+        let s = basic(BasicKind::Ko);
+        let inst = s.populate(12, 4).unwrap();
+        let (out, report) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let t = out.relation("ko_T").unwrap();
+        assert_eq!(t.len(), 12, "{out}");
+        assert_eq!(report.stats.nulls, 0, "{out}");
+        // Fused arity: key + 2 + 2 attributes, all constants.
+        assert_eq!(report.stats.constants, 12 * 5);
+    }
+
+    #[test]
+    fn cv_leaves_constant_column_empty() {
+        let s = basic(BasicKind::Cv);
+        let inst = s.populate(5, 5).unwrap();
+        let (out, _) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let t = out.relation("cv_T").unwrap();
+        assert_eq!(t.len(), 5);
+        for row in t.iter() {
+            assert!(row.values().last().unwrap().is_null());
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The `sedex` command-line tool: run a data exchange described by a
+//! scenario file (see [`sedex::textfmt`] for the format).
+//!
+//! ```text
+//! sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy]
+//!                      [--sql] [--xml-sample] [--quiet]
+//! sedex check <file.sdx>        # parse + validate only
+//! sedex trees <file.sdx>        # print source/target relation trees
+//! sedex gen <kind> [--tuples N] # emit a ready-to-run scenario file
+//! ```
+//!
+//! `gen` kinds: `university`, `stb`, `amb`, and the ten STBenchmark basics
+//! (`cp`, `cv`, `hp`, `sk`, `vp`, `un`, `ne`, `de`, `ko`, `av`).
+
+use std::process::ExitCode;
+
+use sedex::core::{sql_statements, EdexEngine, SedexEngine};
+use sedex::mapping::{ClioEngine, MapMergeEngine, SpicyEngine};
+use sedex::textfmt::{parse_scenario, ScenarioFile};
+use sedex::treerep::{relation_tree, TreeConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--sql] [--quiet]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]"
+        .to_owned()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or_else(usage)?;
+    if cmd == "gen" {
+        return generate(&args[1..]);
+    }
+    let path = args.get(1).ok_or_else(usage)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let file = parse_scenario(&text).map_err(|e| format!("{path}:{e}"))?;
+
+    match cmd.as_str() {
+        "check" => {
+            println!(
+                "{path}: OK — {} source relations, {} target relations, {} correspondences, {} tuples, {} CFDs",
+                file.scenario.source.len(),
+                file.scenario.target.len(),
+                file.scenario.sigma.len(),
+                file.instance.total_tuples(),
+                file.cfds.len(),
+            );
+            Ok(())
+        }
+        "trees" => {
+            let cfg = TreeConfig::default();
+            println!("== source relation trees ==");
+            for r in file.scenario.source.relations() {
+                let rt = relation_tree(&file.scenario.source, &r.name, &cfg)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "-- {} (height {}) --\n{}",
+                    r.name,
+                    rt.height(),
+                    rt.tree.render()
+                );
+            }
+            println!("== target relation trees ==");
+            for r in file.scenario.target.relations() {
+                let rt = relation_tree(&file.scenario.target, &r.name, &cfg)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "-- {} (height {}) --\n{}",
+                    r.name,
+                    rt.height(),
+                    rt.tree.render()
+                );
+            }
+            Ok(())
+        }
+        "run" => run_exchange(&file, &args[2..]),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+/// `sedex gen <kind> [--tuples N]`: print a complete scenario file built
+/// from the built-in generators, ready for `sedex run`.
+fn generate(args: &[String]) -> Result<(), String> {
+    use sedex::scenarios::ambiguity::amb;
+    use sedex::scenarios::ibench::{stb, IbenchConfig};
+    use sedex::scenarios::stbench::{basic, BasicKind};
+    use sedex::scenarios::university;
+    use sedex::textfmt::{render_data, render_scenario};
+
+    let kind = args.first().ok_or_else(usage)?.as_str();
+    let mut tuples = 10usize;
+    let mut it = args[1..].iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--tuples" => {
+                tuples = it
+                    .next()
+                    .ok_or_else(|| "--tuples needs a value".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("--tuples: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+
+    let small = IbenchConfig {
+        instances_per_primitive: 2,
+        ..IbenchConfig::default()
+    };
+    let (scenario, instance) = match kind {
+        "university" => {
+            let s = university::scenario();
+            let i = university::fig3_instance().map_err(|e| e.to_string())?;
+            (s, i)
+        }
+        "stb" => {
+            let s = stb(&small);
+            let i = s.populate(tuples, 1).map_err(|e| e.to_string())?;
+            (s, i)
+        }
+        "amb" => {
+            let s = amb(&small, 2);
+            let i = s.populate(tuples, 1).map_err(|e| e.to_string())?;
+            (s, i)
+        }
+        basic_kind => {
+            let kind = BasicKind::all()
+                .into_iter()
+                .find(|k| k.name().eq_ignore_ascii_case(basic_kind))
+                .ok_or_else(|| format!("unknown scenario kind `{basic_kind}`\n{}", usage()))?;
+            let s = basic(kind);
+            let i = s.populate(tuples, 1).map_err(|e| e.to_string())?;
+            (s, i)
+        }
+    };
+    println!("# generated by `sedex gen {kind}`");
+    print!("{}", render_scenario(&scenario));
+    println!("\n[data]");
+    print!("{}", render_data(&instance));
+    Ok(())
+}
+
+fn run_exchange(file: &ScenarioFile, flags: &[String]) -> Result<(), String> {
+    let mut engine_name = "sedex".to_owned();
+    let mut show_sql = false;
+    let mut quiet = false;
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--engine" => {
+                engine_name = it
+                    .next()
+                    .ok_or_else(|| "--engine needs a value".to_owned())?
+                    .clone();
+            }
+            "--sql" => show_sql = true,
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+
+    let s = &file.scenario;
+    let (out, summary) = match engine_name.as_str() {
+        "sedex" => {
+            let engine = SedexEngine::new().with_cfds(file.cfds.clone());
+            let (out, r) = engine
+                .exchange(&file.instance, &s.target, &s.sigma)
+                .map_err(|e| e.to_string())?;
+            (
+                out,
+                format!(
+                    "sedex: {} | Tg {:?} Te {:?} | scripts {} generated / {} reused | {} violations",
+                    r.stats, r.tg, r.te, r.scripts_generated, r.scripts_reused, r.violations
+                ),
+            )
+        }
+        "edex" => {
+            let (out, r) = EdexEngine::new()
+                .exchange(&file.instance, &s.target, &s.sigma)
+                .map_err(|e| e.to_string())?;
+            (
+                out,
+                format!("edex: {} | Tg {:?} Te {:?}", r.stats, r.tg, r.te),
+            )
+        }
+        "clio" => {
+            let engine = ClioEngine::new(&s.source, &s.target, &s.sigma);
+            let (out, r) = engine
+                .run(&file.instance, &s.target)
+                .map_err(|e| e.to_string())?;
+            (out, format!("clio: {} | {} mappings", r.stats, r.tgd_count))
+        }
+        "mapmerge" => {
+            let engine = MapMergeEngine::new(&s.source, &s.target, &s.sigma);
+            let (out, r) = engine
+                .run(&file.instance, &s.target)
+                .map_err(|e| e.to_string())?;
+            (
+                out,
+                format!(
+                    "mapmerge: {} | {} correlated mappings",
+                    r.stats, r.tgd_count
+                ),
+            )
+        }
+        "spicy" => {
+            let engine = SpicyEngine::new(&s.source, &s.target, &s.sigma);
+            let (out, r) = engine
+                .run(&file.instance, &s.target)
+                .map_err(|e| e.to_string())?;
+            (
+                out,
+                format!(
+                    "spicy: {} | {} mappings, {} egd merges, {} core removals",
+                    r.stats, r.tgd_count, r.egd_merged, r.core_removed
+                ),
+            )
+        }
+        other => {
+            return Err(format!(
+                "unknown engine `{other}` (sedex|edex|clio|mapmerge|spicy)"
+            ))
+        }
+    };
+
+    if !quiet {
+        print!("{out}");
+    }
+    println!("{summary}");
+
+    if show_sql {
+        // Render the SEDEX transformation scripts for each source tuple
+        // shape (one sample per shape).
+        use sedex::core::scriptgen::generate_script;
+        use sedex::core::translate::{slot_values, translate};
+        use sedex::core::Matcher;
+        use sedex::treerep::{post_order_key, reduce_to_relation_tree, tuple_tree, SchemaForest};
+        let cfg = TreeConfig::default();
+        let forest = SchemaForest::new(&s.target, &cfg).map_err(|e| e.to_string())?;
+        let matcher = Matcher::new(&forest, 2, 1);
+        let mut seen_shapes = std::collections::HashSet::new();
+        println!("\n-- transformation scripts (one sample per tuple shape) --");
+        for (rel, inst) in file.instance.relations() {
+            for row in 0..inst.len() as u32 {
+                let tx = tuple_tree(&file.instance, rel, row, &cfg).map_err(|e| e.to_string())?;
+                let key = format!("{rel}|{}", post_order_key(&reduce_to_relation_tree(&tx)));
+                if !seen_shapes.insert(key.clone()) {
+                    continue;
+                }
+                let Some(m) = matcher.best_match(&tx, &s.sigma) else {
+                    continue;
+                };
+                let Some(tr) = forest.tree(&m.relation) else {
+                    continue;
+                };
+                let ty = translate(&tx, tr, &s.sigma);
+                let script = generate_script(&ty, &s.target);
+                if script.is_empty() {
+                    continue;
+                }
+                println!("-- shape {key}");
+                print!("{}", sql_statements(&script, &s.target, &slot_values(&tx)));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! # SEDEX — Scalable Entity Preserving Data Exchange
+//!
+//! A from-scratch Rust implementation of the data-exchange system of
+//! Sekhavat & Parsons (IEEE TKDE 2016), together with every substrate its
+//! evaluation depends on: an in-memory relational engine, the tree
+//! representation of schemas and data, windowed pq-gram similarity, a
+//! schema-mapping stack (tgds, chase, egds, core) powering Clio and ++Spicy
+//! baselines, the EDEX predecessor, and iBench/STBenchmark-style scenario
+//! generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sedex::prelude::*;
+//!
+//! // Source: people with optional student/employee ids (a collapsed
+//! // generalization). Target: separate Grad / Prof tables.
+//! let inst = RelationSchema::with_any_columns("Inst", &["name", "stId", "empId"])
+//!     .primary_key(&["name"]).unwrap();
+//! let source = Schema::from_relations(vec![inst]).unwrap();
+//!
+//! let grad = RelationSchema::with_any_columns("Grad", &["gname", "gstId"])
+//!     .primary_key(&["gname"]).unwrap();
+//! let prof = RelationSchema::with_any_columns("Prof", &["pname", "pempId"])
+//!     .primary_key(&["pname"]).unwrap();
+//! let target = Schema::from_relations(vec![grad, prof]).unwrap();
+//!
+//! let sigma = Correspondences::from_name_pairs([
+//!     ("name", "gname"), ("name", "pname"),
+//!     ("stId", "gstId"), ("empId", "pempId"),
+//! ]);
+//!
+//! let mut src = Instance::new(source);
+//! src.insert("Inst", tuple!["Bob", "st-1234", Value::Null], ConflictPolicy::Reject).unwrap();
+//! src.insert("Inst", tuple!["Eve", Value::Null, "e-77"], ConflictPolicy::Reject).unwrap();
+//!
+//! let (out, report) = SedexEngine::new().exchange(&src, &target, &sigma).unwrap();
+//! // Bob is a student, Eve an employee — each lands in exactly one table.
+//! assert_eq!(out.relation("Grad").unwrap().len(), 1);
+//! assert_eq!(out.relation("Prof").unwrap().len(), 1);
+//! assert_eq!(report.stats.nulls, 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`storage`] | values, schemas, constraint-checked instances |
+//! | [`treerep`] | relation trees, tuple trees, schema forests (paper §3) |
+//! | [`pqgram`]  | pq-gram profiles and the normalized distance (§4.3) |
+//! | [`mapping`] | correspondences, tgds/egds, chase, Clio & ++Spicy |
+//! | [`core`]    | the SEDEX engine, scripts, repository, CFDs, EDEX (§4) |
+//! | [`scenarios`] | iBench/STBenchmark-style generators (§5) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod textfmt;
+
+pub use sedex_core as core;
+pub use sedex_mapping as mapping;
+pub use sedex_pqgram as pqgram;
+pub use sedex_scenarios as scenarios;
+pub use sedex_storage as storage;
+pub use sedex_treerep as treerep;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use sedex_core::{
+        Cfd, CfdInterpreter, EdexEngine, ExchangeReport, SedexConfig, SedexEngine, SedexSession,
+    };
+    pub use sedex_mapping::{ClioEngine, Correspondences, Egd, MapMergeEngine, SpicyEngine};
+    pub use sedex_scenarios::Scenario;
+    pub use sedex_storage::{
+        tuple, ConflictPolicy, Instance, InstanceStats, RelationSchema, Schema, Tuple, Value,
+    };
+}

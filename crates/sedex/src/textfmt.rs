@@ -1,0 +1,502 @@
+//! A plain-text format for complete data-exchange scenarios, and its
+//! parser — what the `sedex` CLI consumes.
+//!
+//! ```text
+//! # comments start with '#'
+//! [source]
+//! Student(sname*, program, dep->Dep, supervisor->Prof)
+//! Prof(pname*, degree, profdep->Dep)
+//! Dep(dname*, building)
+//! Registration(sname->Student, course, regdate)
+//!
+//! [target]
+//! Stu(student*, prog, dpt, supervisor)
+//! Course(cname*, credit)
+//! Reg(student->Stu, cname->Course, date)
+//!
+//! [correspondences]
+//! sname <-> student            # unqualified: any relation with the column
+//! Inst.name <-> Grad.name      # qualified on either side
+//!
+//! [data]
+//! Dep: d1, b1
+//! Student: s2, p2, d2, _       # `_` is an SQL null
+//!
+//! [cfds]
+//! Patient.treatment = 'dialysis' => Patient.disease = 'kidney disease'
+//! ```
+//!
+//! Column syntax: `name` (plain), `name*` (primary-key member; several
+//! starred columns form a composite key) and `name->Relation` (foreign key
+//! into `Relation`'s primary key; combine as `name*->Relation`). Values in
+//! `[data]` are text atoms; `_` is a null; integers are detected and typed.
+
+use std::fmt;
+
+use sedex_core::CfdInterpreter;
+use sedex_mapping::Correspondences;
+use sedex_scenarios::Scenario;
+use sedex_storage::{ConflictPolicy, Instance, RelationSchema, Schema, Tuple, Value};
+
+/// A fully parsed scenario file.
+#[derive(Debug)]
+pub struct ScenarioFile {
+    /// Schemas and correspondences.
+    pub scenario: Scenario,
+    /// The source instance from the `[data]` section.
+    pub instance: Instance,
+    /// CFDs from the `[cfds]` section.
+    pub cfds: CfdInterpreter,
+}
+
+/// Parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Offending line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Section {
+    None,
+    Source,
+    Target,
+    Correspondences,
+    Data,
+    Cfds,
+}
+
+/// Parse a scenario file.
+pub fn parse_scenario(text: &str) -> Result<ScenarioFile, ParseError> {
+    let mut section = Section::None;
+    let mut source_rels: Vec<RelationSchema> = Vec::new();
+    let mut target_rels: Vec<RelationSchema> = Vec::new();
+    let mut sigma = Correspondences::new();
+    // Data lines are collected first: the instance needs the full schema.
+    let mut data_lines: Vec<(usize, String)> = Vec::new();
+    let mut cfd_lines: Vec<String> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        match line.as_str() {
+            "[source]" => section = Section::Source,
+            "[target]" => section = Section::Target,
+            "[correspondences]" => section = Section::Correspondences,
+            "[data]" => section = Section::Data,
+            "[cfds]" => section = Section::Cfds,
+            _ => match section {
+                Section::None => return Err(err(line_no, "content before any [section] header")),
+                Section::Source => source_rels.push(parse_relation(&line, line_no)?),
+                Section::Target => target_rels.push(parse_relation(&line, line_no)?),
+                Section::Correspondences => parse_correspondence(&line, line_no, &mut sigma)?,
+                Section::Data => data_lines.push((line_no, line)),
+                Section::Cfds => cfd_lines.push(line),
+            },
+        }
+    }
+
+    let source = Schema::from_relations(source_rels)
+        .map_err(|e| err(0, format!("invalid source schema: {e}")))?;
+    let target = Schema::from_relations(target_rels)
+        .map_err(|e| err(0, format!("invalid target schema: {e}")))?;
+    let mut instance = Instance::new(source.clone());
+    for (line_no, line) in data_lines {
+        let (rel, tuple) = parse_data_line(&line, line_no)?;
+        instance
+            .insert(&rel, tuple, ConflictPolicy::Reject)
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+    let cfds = if cfd_lines.is_empty() {
+        CfdInterpreter::new()
+    } else {
+        CfdInterpreter::parse(&cfd_lines.join("\n"))
+            .map_err(|e| err(0, format!("in [cfds]: {e}")))?
+    };
+    Ok(ScenarioFile {
+        scenario: Scenario::new("file", source, target, sigma),
+        instance,
+        cfds,
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A '#' outside quotes starts a comment.
+    let mut in_quote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' => in_quote = !in_quote,
+            '#' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `Name(col*, col->Rel, col)`.
+fn parse_relation(line: &str, line_no: usize) -> Result<RelationSchema, ParseError> {
+    let open = line
+        .find('(')
+        .ok_or_else(|| err(line_no, "expected `Relation(col, …)`"))?;
+    if !line.ends_with(')') {
+        return Err(err(line_no, "missing closing `)`"));
+    }
+    let name = line[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(err(line_no, format!("invalid relation name `{name}`")));
+    }
+    let body = &line[open + 1..line.len() - 1];
+    let mut cols: Vec<String> = Vec::new();
+    let mut pk: Vec<String> = Vec::new();
+    let mut fks: Vec<(String, String)> = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(err(line_no, "empty column"));
+        }
+        let (col_spec, fk_target) = match part.split_once("->") {
+            Some((c, t)) => (c.trim(), Some(t.trim().to_owned())),
+            None => (part, None),
+        };
+        let (col, keyed) = match col_spec.strip_suffix('*') {
+            Some(c) => (c.trim(), true),
+            None => (col_spec, false),
+        };
+        if col.is_empty() || !col.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(err(line_no, format!("invalid column name `{col}`")));
+        }
+        cols.push(col.to_owned());
+        if keyed {
+            pk.push(col.to_owned());
+        }
+        if let Some(t) = fk_target {
+            if t.is_empty() {
+                return Err(err(line_no, "empty foreign-key target"));
+            }
+            fks.push((col.to_owned(), t));
+        }
+    }
+    let mut rel = RelationSchema::with_any_columns(name, &cols);
+    if !pk.is_empty() {
+        rel = rel
+            .primary_key(&pk)
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+    for (col, t) in fks {
+        rel = rel
+            .foreign_key(&[&col], t)
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+    Ok(rel)
+}
+
+/// `a <-> b`, optionally qualified as `Rel.col` on either side.
+fn parse_correspondence(
+    line: &str,
+    line_no: usize,
+    sigma: &mut Correspondences,
+) -> Result<(), ParseError> {
+    let (l, r) = line
+        .split_once("<->")
+        .ok_or_else(|| err(line_no, "expected `source <-> target`"))?;
+    let parse_ref = |s: &str| -> Result<(Option<String>, String), ParseError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(err(line_no, "empty correspondence side"));
+        }
+        Ok(match s.split_once('.') {
+            Some((rel, col)) => (Some(rel.trim().to_owned()), col.trim().to_owned()),
+            None => (None, s.to_owned()),
+        })
+    };
+    let (srel, scol) = parse_ref(l)?;
+    let (trel, tcol) = parse_ref(r)?;
+    sigma.add(sedex_mapping::Correspondence {
+        source: sedex_mapping::PropertyRef {
+            relation: srel,
+            column: scol,
+        },
+        target: sedex_mapping::PropertyRef {
+            relation: trel,
+            column: tcol,
+        },
+    });
+    Ok(())
+}
+
+/// `Relation: v1, v2, _` — `_` is null; integers are typed as ints.
+fn parse_data_line(line: &str, line_no: usize) -> Result<(String, Tuple), ParseError> {
+    let (rel, rest) = line
+        .split_once(':')
+        .ok_or_else(|| err(line_no, "expected `Relation: v1, v2, …`"))?;
+    let values: Vec<Value> = rest
+        .split(',')
+        .map(|v| {
+            let v = v.trim();
+            if v == "_" {
+                Value::Null
+            } else if let Ok(i) = v.parse::<i64>() {
+                Value::Int(i)
+            } else {
+                let unquoted = v
+                    .strip_prefix('\'')
+                    .and_then(|s| s.strip_suffix('\''))
+                    .unwrap_or(v);
+                Value::text(unquoted)
+            }
+        })
+        .collect();
+    Ok((rel.trim().to_owned(), Tuple::new(values)))
+}
+
+/// Render a scenario file's skeleton for a `Scenario` (schemas and
+/// correspondences; no data) — handy for exporting generated scenarios.
+pub fn render_scenario(s: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str("[source]\n");
+    for r in s.source.relations() {
+        out.push_str(&render_relation(r));
+    }
+    out.push_str("\n[target]\n");
+    for r in s.target.relations() {
+        out.push_str(&render_relation(r));
+    }
+    out.push_str("\n[correspondences]\n");
+    for c in s.sigma.iter() {
+        out.push_str(&format!("{} <-> {}\n", c.source, c.target));
+    }
+    out
+}
+
+/// Render an instance as a `[data]` section body (one `Relation: …` line
+/// per tuple, `_` for nulls). Labeled nulls render as `_` too — the format
+/// has no marked-null syntax, and source instances never carry them.
+pub fn render_data(inst: &Instance) -> String {
+    let mut out = String::new();
+    for (name, rel) in inst.relations() {
+        for t in rel.iter() {
+            let vals: Vec<String> = t
+                .values()
+                .iter()
+                .map(|v| match v {
+                    Value::Null | Value::Labeled(_) => "_".to_owned(),
+                    Value::Int(i) => i.to_string(),
+                    other => {
+                        let s = other.render().into_owned();
+                        if s.contains(',') || s.contains('#') || s.trim() != s {
+                            format!("'{s}'")
+                        } else {
+                            s
+                        }
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "{name}: {}
+",
+                vals.join(", ")
+            ));
+        }
+    }
+    out
+}
+
+fn render_relation(r: &RelationSchema) -> String {
+    let cols: Vec<String> = r
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut s = c.name.clone();
+            if r.primary_key.contains(&i) {
+                s.push('*');
+            }
+            if let Some(fk) = r
+                .foreign_keys
+                .iter()
+                .find(|f| f.columns.first() == Some(&i))
+            {
+                s.push_str(&format!("->{}", fk.ref_relation));
+            }
+            s
+        })
+        .collect();
+    format!("{}({})\n", r.name, cols.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIVERSITY: &str = r#"
+# the running example of the paper
+[source]
+Student(sname*, program, dep->Dep, supervisor->Prof)
+Prof(pname*, degree, profdep->Dep)
+Dep(dname*, building)
+Registration(sname->Student, course, regdate)
+
+[target]
+Stu(student*, prog, dpt, supervisor)
+Course(cname*, credit)
+Reg(student->Stu, cname->Course, date)
+
+[correspondences]
+sname <-> student
+course <-> cname
+regdate <-> date
+program <-> prog
+dep <-> dpt
+
+[data]
+Dep: d1, b1
+Dep: d2, b2
+Prof: prof1, deg1, d1
+Student: s1, p1, d1, prof1
+Student: s2, p2, d2, _
+Registration: s1, c1, dt1
+"#;
+
+    #[test]
+    fn parses_the_running_example() {
+        let f = parse_scenario(UNIVERSITY).unwrap();
+        assert_eq!(f.scenario.source.len(), 4);
+        assert_eq!(f.scenario.target.len(), 3);
+        assert_eq!(f.scenario.sigma.len(), 5);
+        assert_eq!(f.instance.total_tuples(), 6);
+        // The null parsed as a null.
+        let s2 = f
+            .instance
+            .relation("Student")
+            .unwrap()
+            .lookup_pk(&[Value::text("s2")])
+            .unwrap();
+        assert!(s2.values()[3].is_null());
+        // FK resolved to Dep's key.
+        let student = f.scenario.source.relation("Student").unwrap();
+        assert_eq!(student.foreign_keys.len(), 2);
+    }
+
+    #[test]
+    fn parsed_scenario_exchanges_like_the_builtin_one() {
+        use sedex_core::SedexEngine;
+        let f = parse_scenario(UNIVERSITY).unwrap();
+        let (out, report) = SedexEngine::new()
+            .exchange(&f.instance, &f.scenario.target, &f.scenario.sigma)
+            .unwrap();
+        assert_eq!(out.relation("Stu").unwrap().len(), 2);
+        assert_eq!(out.relation("Reg").unwrap().len(), 1);
+        assert_eq!(report.violations, 0);
+    }
+
+    #[test]
+    fn qualified_correspondences_and_integers() {
+        let text = r#"
+[source]
+Inst(name*, stId, empId)
+[target]
+Grad(gname*, gid)
+Prof(pname*, pid)
+[correspondences]
+Inst.name <-> Grad.gname
+Inst.name <-> Prof.pname
+stId <-> gid
+empId <-> pid
+[data]
+Inst: bob, 1234, _
+"#;
+        let f = parse_scenario(text).unwrap();
+        assert_eq!(f.scenario.sigma.len(), 4);
+        let t = f.instance.relation("Inst").unwrap().row(0).unwrap();
+        assert_eq!(t.values()[1], Value::Int(1234));
+    }
+
+    #[test]
+    fn cfd_section_parses() {
+        let text = r#"
+[source]
+P(k*, t, d)
+[target]
+Q(qk*, qd)
+[correspondences]
+k <-> qk
+d <-> qd
+[cfds]
+P.t = 'dialysis' => P.d = 'kidney disease'
+[data]
+P: p1, dialysis, _
+"#;
+        let f = parse_scenario(text).unwrap();
+        assert_eq!(f.cfds.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_scenario("Student(a)").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("section"));
+
+        let e = parse_scenario("[source]\nStudent(a").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = parse_scenario("[source]\nR(a)\n[data]\nR 1").unwrap_err();
+        assert_eq!(e.line, 4);
+
+        let e = parse_scenario("[source]\nR(a)\n[data]\nNope: 1").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("unknown relation"));
+    }
+
+    #[test]
+    fn comments_and_quotes() {
+        let text = "[source]\nR(a*)\n[target]\nT(b*)\n[correspondences]\na <-> b\n[data]\nR: 'has # inside'  # trailing comment\n";
+        let f = parse_scenario(text).unwrap();
+        let t = f.instance.relation("R").unwrap().row(0).unwrap();
+        assert_eq!(t.values()[0], Value::text("has # inside"));
+    }
+
+    #[test]
+    fn render_data_round_trips() {
+        let f = parse_scenario(UNIVERSITY).unwrap();
+        let text = format!(
+            "{}\n[data]\n{}",
+            render_scenario(&f.scenario),
+            render_data(&f.instance)
+        );
+        let f2 = parse_scenario(&text).unwrap();
+        assert_eq!(f.instance.total_tuples(), f2.instance.total_tuples());
+        assert_eq!(f.instance.stats(), f2.instance.stats());
+    }
+
+    #[test]
+    fn render_round_trips_structure() {
+        let f = parse_scenario(UNIVERSITY).unwrap();
+        let rendered = render_scenario(&f.scenario);
+        // Rendered text re-parses to an identical schema pair.
+        let with_header = format!("{rendered}\n[data]\n");
+        let f2 = parse_scenario(&with_header).unwrap();
+        assert_eq!(f.scenario.source, f2.scenario.source);
+        assert_eq!(f.scenario.target, f2.scenario.target);
+        assert_eq!(f.scenario.sigma.len(), f2.scenario.sigma.len());
+    }
+}

@@ -1,0 +1,145 @@
+//! Error types for the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by schema construction, instance mutation and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A relation with this name already exists in the schema.
+    DuplicateRelation(String),
+    /// The named relation does not exist.
+    UnknownRelation(String),
+    /// The named column does not exist in the given relation.
+    UnknownColumn {
+        /// Relation searched.
+        relation: String,
+        /// Missing column.
+        column: String,
+    },
+    /// A tuple had the wrong number of values for its relation.
+    ArityMismatch {
+        /// Target relation.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Tuple arity.
+        got: usize,
+    },
+    /// A value's type is incompatible with its column.
+    TypeMismatch {
+        /// Target relation.
+        relation: String,
+        /// Offending column.
+        column: String,
+        /// Declared column type.
+        expected: crate::DataType,
+        /// Type of the offending value.
+        got: crate::DataType,
+    },
+    /// A non-nullable column received a null.
+    NullViolation {
+        /// Target relation.
+        relation: String,
+        /// Offending column.
+        column: String,
+    },
+    /// Inserting would violate a primary-key / unique constraint (an egd),
+    /// and the conflict policy was [`crate::ConflictPolicy::Reject`].
+    KeyViolation {
+        /// Target relation.
+        relation: String,
+        /// Rendered key values.
+        key: String,
+    },
+    /// An egd merge found two distinct constants for the same column of the
+    /// same entity — the chase fails.
+    EgdFailure {
+        /// Target relation.
+        relation: String,
+        /// Offending column.
+        column: String,
+        /// First constant.
+        left: String,
+        /// Second conflicting constant.
+        right: String,
+    },
+    /// A foreign key declaration referenced a missing relation or column, or
+    /// had mismatched column counts.
+    InvalidForeignKey(String),
+    /// A primary-key or unique-constraint declaration referenced a missing
+    /// column index.
+    InvalidKey(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateRelation(r) => write!(f, "relation `{r}` already exists"),
+            StorageError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            StorageError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch on `{relation}`: expected {expected} values, got {got}"
+            ),
+            StorageError::TypeMismatch {
+                relation,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch on `{relation}.{column}`: expected {expected}, got {got}"
+            ),
+            StorageError::NullViolation { relation, column } => {
+                write!(f, "null in non-nullable column `{relation}.{column}`")
+            }
+            StorageError::KeyViolation { relation, key } => {
+                write!(
+                    f,
+                    "key violation on `{relation}`: key ({key}) already present"
+                )
+            }
+            StorageError::EgdFailure {
+                relation,
+                column,
+                left,
+                right,
+            } => write!(
+                f,
+                "egd failure on `{relation}.{column}`: constants `{left}` and `{right}` conflict"
+            ),
+            StorageError::InvalidForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
+            StorageError::InvalidKey(msg) => write!(f, "invalid key: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::KeyViolation {
+            relation: "Prof".into(),
+            key: "p1".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Prof") && s.contains("p1"));
+
+        let e = StorageError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+    }
+}

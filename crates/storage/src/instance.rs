@@ -1,0 +1,333 @@
+//! Whole-database instances with constraint-checked inserts.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::relation::RelationInstance;
+use crate::schema::Schema;
+use crate::stats::InstanceStats;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// How inserts behave when a tuple conflicts on a primary key or unique
+/// constraint with an existing, *different* tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictPolicy {
+    /// Fail the insert with [`StorageError::KeyViolation`].
+    Reject,
+    /// Silently keep the existing tuple (first writer wins).
+    Skip,
+    /// Unify the new tuple into the existing one, egd-style: constants beat
+    /// labeled nulls beat SQL nulls; two distinct constants fail with
+    /// [`StorageError::EgdFailure`]. This is how SEDEX applies target egds
+    /// when running scripts (Section 4.4.3).
+    Merge,
+    /// Ignore key constraints entirely (still set semantics on identical
+    /// tuples). This is the Clio / universal-solution behaviour: uncorrelated
+    /// mappings may materialise the same entity several times.
+    Allow,
+}
+
+/// What an insert did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A new row was appended.
+    Inserted(crate::relation::RowId),
+    /// The identical tuple was already present.
+    Duplicate(crate::relation::RowId),
+    /// A key conflict was resolved by keeping the existing row unchanged.
+    Skipped(crate::relation::RowId),
+    /// A key conflict was resolved by merging into the existing row.
+    Merged(crate::relation::RowId),
+}
+
+impl InsertOutcome {
+    /// Whether the insert added a new row.
+    pub fn is_inserted(&self) -> bool {
+        matches!(self, InsertOutcome::Inserted(_))
+    }
+}
+
+/// An instance of a whole [`Schema`]: one [`RelationInstance`] per relation.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    schema: Schema,
+    relations: HashMap<String, RelationInstance>,
+}
+
+impl Instance {
+    /// An empty instance of the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let relations = schema
+            .relations()
+            .iter()
+            .map(|r| (r.name.clone(), RelationInstance::new(r.clone())))
+            .collect();
+        Instance { schema, relations }
+    }
+
+    /// The instance's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The instance of the named relation.
+    pub fn relation(&self, name: &str) -> Option<&RelationInstance> {
+        self.relations.get(name)
+    }
+
+    /// The instance of the named relation, erroring when missing.
+    pub fn relation_or_err(&self, name: &str) -> Result<&RelationInstance> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Mutable access to the named relation instance.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut RelationInstance> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Iterate `(name, relation_instance)` in schema order.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &RelationInstance)> {
+        self.schema
+            .relations()
+            .iter()
+            .map(move |r| (r.name.as_str(), &self.relations[&r.name]))
+    }
+
+    /// Insert a tuple into the named relation.
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        tuple: Tuple,
+        policy: ConflictPolicy,
+    ) -> Result<InsertOutcome> {
+        self.relation_mut(relation)?.insert(tuple, policy)
+    }
+
+    /// Insert many tuples with one policy; returns how many new rows landed.
+    pub fn insert_all<I>(
+        &mut self,
+        relation: &str,
+        tuples: I,
+        policy: ConflictPolicy,
+    ) -> Result<usize>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let rel = self.relation_mut(relation)?;
+        let mut added = 0;
+        for t in tuples {
+            if rel.insert(t, policy)?.is_inserted() {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Dereference a foreign key of `relation` for the given tuple: find the
+    /// tuple in the referenced relation whose referenced key columns equal
+    /// the FK projection. Returns `None` when the FK projection contains any
+    /// null (the property "does not exist") or no referenced tuple matches
+    /// (dangling reference).
+    pub fn deref_fk<'a>(
+        &'a self,
+        relation: &str,
+        fk_idx: usize,
+        tuple: &Tuple,
+    ) -> Option<(&'a str, &'a Tuple)> {
+        let rel_schema = self.schema.relation(relation)?;
+        let fk = rel_schema.foreign_keys.get(fk_idx)?;
+        let key_vals = tuple.project(&fk.columns);
+        if key_vals.iter().any(Value::is_any_null) {
+            return None;
+        }
+        let target = self.relations.get(&fk.ref_relation)?;
+        // Fast path: the FK targets the referenced relation's primary key.
+        let hit = if fk.ref_columns == target.schema().primary_key
+            && !target.schema().primary_key.is_empty()
+        {
+            target.lookup_pk(&key_vals)
+        } else {
+            target
+                .scan_eq(&fk.ref_columns, &key_vals)
+                .into_iter()
+                .next()
+        };
+        hit.map(|t| (fk.ref_relation.as_str(), t))
+    }
+
+    /// Like [`Instance::deref_fk`], but returns the referenced row's id so
+    /// callers can mark it as *seen* (Section 4.2 of the paper).
+    pub fn deref_fk_row(
+        &self,
+        relation: &str,
+        fk_idx: usize,
+        tuple: &Tuple,
+    ) -> Option<(&str, crate::relation::RowId)> {
+        let rel_schema = self.schema.relation(relation)?;
+        let fk = rel_schema.foreign_keys.get(fk_idx)?;
+        let key_vals = tuple.project(&fk.columns);
+        if key_vals.iter().any(Value::is_any_null) {
+            return None;
+        }
+        let target = self.relations.get(&fk.ref_relation)?;
+        let hit = if fk.ref_columns == target.schema().primary_key
+            && !target.schema().primary_key.is_empty()
+        {
+            target.lookup_pk_id(&key_vals)
+        } else {
+            target
+                .scan_eq_ids(&fk.ref_columns, &key_vals)
+                .into_iter()
+                .next()
+        };
+        hit.map(|id| (fk.ref_relation.as_str(), id))
+    }
+
+    /// Total number of tuples across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(RelationInstance::len).sum()
+    }
+
+    /// Instance statistics: the paper's quality measure (atoms, split into
+    /// constants and nulls), plus tuple counts.
+    pub fn stats(&self) -> InstanceStats {
+        let mut s = InstanceStats::default();
+        for r in self.relations.values() {
+            s.tuples += r.len();
+            s.constants += r.constants();
+            s.nulls += r.nulls();
+        }
+        s
+    }
+
+    /// Apply a labeled-null substitution across all relations. Returns the
+    /// total number of replaced values.
+    pub fn substitute_labeled(&mut self, subst: &HashMap<u64, Value>) -> usize {
+        if subst.is_empty() {
+            return 0;
+        }
+        self.relations
+            .values_mut()
+            .map(|r| r.substitute_labeled(subst))
+            .sum()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in self.relations() {
+            writeln!(f, "{name} ({} tuples)", rel.len())?;
+            for t in rel.iter() {
+                writeln!(f, "  {t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+
+    fn two_rel_schema() -> Schema {
+        let a = RelationSchema::with_any_columns("A", &["id", "b_ref"])
+            .primary_key(&["id"])
+            .unwrap()
+            .foreign_key(&["b_ref"], "B")
+            .unwrap();
+        let b = RelationSchema::with_any_columns("B", &["bid", "val"])
+            .primary_key(&["bid"])
+            .unwrap();
+        Schema::from_relations(vec![a, b]).unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut inst = Instance::new(two_rel_schema());
+        inst.insert("B", tuple!["b1", "v"], ConflictPolicy::Reject)
+            .unwrap();
+        inst.insert("A", tuple!["a1", "b1"], ConflictPolicy::Reject)
+            .unwrap();
+        assert_eq!(inst.total_tuples(), 2);
+        assert!(inst
+            .relation("A")
+            .unwrap()
+            .lookup_pk(&[Value::text("a1")])
+            .is_some());
+    }
+
+    #[test]
+    fn deref_fk_follows_reference() {
+        let mut inst = Instance::new(two_rel_schema());
+        inst.insert("B", tuple!["b1", "v"], ConflictPolicy::Reject)
+            .unwrap();
+        inst.insert("A", tuple!["a1", "b1"], ConflictPolicy::Reject)
+            .unwrap();
+        let a_tuple = tuple!["a1", "b1"];
+        let (rel, t) = inst.deref_fk("A", 0, &a_tuple).unwrap();
+        assert_eq!(rel, "B");
+        assert_eq!(t, &tuple!["b1", "v"]);
+    }
+
+    #[test]
+    fn deref_fk_null_means_nonexistent() {
+        let mut inst = Instance::new(two_rel_schema());
+        inst.insert("B", tuple!["b1", "v"], ConflictPolicy::Reject)
+            .unwrap();
+        let a_tuple = tuple!["a2", Value::Null];
+        assert!(inst.deref_fk("A", 0, &a_tuple).is_none());
+    }
+
+    #[test]
+    fn deref_fk_dangling_reference() {
+        let inst = Instance::new(two_rel_schema());
+        let a_tuple = tuple!["a1", "missing"];
+        assert!(inst.deref_fk("A", 0, &a_tuple).is_none());
+    }
+
+    #[test]
+    fn stats_count_atoms() {
+        let mut inst = Instance::new(two_rel_schema());
+        inst.insert("B", tuple!["b1", Value::Null], ConflictPolicy::Reject)
+            .unwrap();
+        inst.insert("A", tuple!["a1", "b1"], ConflictPolicy::Reject)
+            .unwrap();
+        let s = inst.stats();
+        assert_eq!(s.tuples, 2);
+        assert_eq!(s.constants, 3);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.atoms(), 4);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut inst = Instance::new(two_rel_schema());
+        assert!(inst
+            .insert("Zzz", tuple!["x"], ConflictPolicy::Allow)
+            .is_err());
+        assert!(inst.relation_or_err("Zzz").is_err());
+    }
+
+    #[test]
+    fn substitution_across_relations() {
+        let mut inst = Instance::new(two_rel_schema());
+        inst.insert("B", tuple!["b1", Value::Labeled(5)], ConflictPolicy::Allow)
+            .unwrap();
+        let mut sub = HashMap::new();
+        sub.insert(5u64, Value::text("resolved"));
+        assert_eq!(inst.substitute_labeled(&sub), 1);
+        assert_eq!(
+            inst.relation("B").unwrap().row(0).unwrap(),
+            &tuple!["b1", "resolved"]
+        );
+    }
+}

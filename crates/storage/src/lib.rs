@@ -1,0 +1,45 @@
+//! # sedex-storage
+//!
+//! In-memory nested-relational storage substrate for the SEDEX data-exchange
+//! system (Sekhavat & Parsons, IEEE TKDE 2016).
+//!
+//! The paper runs its experiments on top of MySQL; this crate is the embedded
+//! substitute. It provides everything the exchange algorithms actually touch:
+//!
+//! * a typed [`Value`] model with SQL-style nulls **and** *labeled nulls*
+//!   (the marked nulls produced by the chase in schema-mapping systems),
+//! * relation schemas with primary keys, unique constraints and foreign keys
+//!   ([`schema`]),
+//! * relation instances with hash indexes on keys ([`relation`]),
+//! * whole-database [`instance::Instance`]s whose insert path can enforce
+//!   target egds (primary-key constraints) under several conflict policies,
+//! * instance statistics (constants vs. nulls — the paper's *target size in
+//!   atoms* quality measure, Figs. 9–10).
+//!
+//! The model is deliberately simple — sets of flat records plus foreign keys —
+//! which is exactly the "nested relational model … based on sets and records"
+//! representation the paper adopts in Section 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod instance;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod tuple;
+pub mod types;
+pub mod value;
+
+pub use error::StorageError;
+pub use instance::{ConflictPolicy, InsertOutcome, Instance};
+pub use relation::RelationInstance;
+pub use schema::{Column, ForeignKey, RelationSchema, Schema};
+pub use stats::InstanceStats;
+pub use tuple::Tuple;
+pub use types::DataType;
+pub use value::Value;
+
+/// Convenience result alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,574 @@
+//! Relation instances: tuple sets with hash indexes on keys.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::error::StorageError;
+use crate::instance::{ConflictPolicy, InsertOutcome};
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// Identifier of a row inside one relation instance.
+pub type RowId = u32;
+
+fn hash_values(vals: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    vals.hash(&mut h);
+    h.finish()
+}
+
+/// An instance of one relation: a *set* of tuples (duplicates collapse, as in
+/// the standard data-exchange setting) plus hash indexes on the primary key
+/// and on each declared unique constraint.
+#[derive(Debug, Clone)]
+pub struct RelationInstance {
+    schema: RelationSchema,
+    rows: Vec<Tuple>,
+    /// Set-semantics index: tuple hash → row ids with that hash.
+    row_set: HashMap<u64, Vec<RowId>>,
+    /// Primary-key index: key-projection hash → row ids (usually one).
+    pk_index: HashMap<u64, Vec<RowId>>,
+    /// One index per `schema.unique` constraint.
+    unique_indexes: Vec<HashMap<u64, Vec<RowId>>>,
+}
+
+impl RelationInstance {
+    /// An empty instance of the given relation schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        let unique_indexes = schema.unique.iter().map(|_| HashMap::new()).collect();
+        RelationInstance {
+            schema,
+            rows: Vec::new(),
+            row_set: HashMap::new(),
+            pk_index: HashMap::new(),
+            unique_indexes,
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate over the tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Tuple by row id.
+    pub fn row(&self, id: RowId) -> Option<&Tuple> {
+        self.rows.get(id as usize)
+    }
+
+    /// All tuples as a slice.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    fn type_check(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        for (i, (v, col)) in tuple.values().iter().zip(&self.schema.columns).enumerate() {
+            let _ = i;
+            if v.is_null() && !col.nullable {
+                return Err(StorageError::NullViolation {
+                    relation: self.schema.name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+            if !col.dtype.accepts(v.data_type()) {
+                return Err(StorageError::TypeMismatch {
+                    relation: self.schema.name.clone(),
+                    column: col.name.clone(),
+                    expected: col.dtype,
+                    got: v.data_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn find_exact(&self, tuple: &Tuple) -> Option<RowId> {
+        let h = hash_values(tuple.values());
+        self.row_set
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|&id| &self.rows[id as usize] == tuple)
+    }
+
+    /// Find a row whose projection on `key_cols` equals the projection of
+    /// `key_vals` (which must already be the projected values). Keys
+    /// containing nulls never match.
+    fn find_by_key(
+        index: &HashMap<u64, Vec<RowId>>,
+        rows: &[Tuple],
+        key_cols: &[usize],
+        key_vals: &[Value],
+    ) -> Option<RowId> {
+        if key_vals.iter().any(|v| v.is_any_null()) {
+            return None;
+        }
+        let h = hash_values(key_vals);
+        index.get(&h)?.iter().copied().find(|&id| {
+            key_cols
+                .iter()
+                .zip(key_vals)
+                .all(|(&c, v)| &rows[id as usize].values()[c] == v)
+        })
+    }
+
+    /// Look up a row by its full primary-key value.
+    pub fn lookup_pk(&self, key_vals: &[Value]) -> Option<&Tuple> {
+        self.lookup_pk_id(key_vals)
+            .map(|id| &self.rows[id as usize])
+    }
+
+    /// Like [`RelationInstance::lookup_pk`], returning the row id.
+    pub fn lookup_pk_id(&self, key_vals: &[Value]) -> Option<RowId> {
+        if self.schema.primary_key.is_empty() {
+            return None;
+        }
+        Self::find_by_key(
+            &self.pk_index,
+            &self.rows,
+            &self.schema.primary_key,
+            key_vals,
+        )
+    }
+
+    /// Like [`RelationInstance::scan_eq`], returning row ids.
+    pub fn scan_eq_ids(&self, cols: &[usize], vals: &[Value]) -> Vec<RowId> {
+        if vals.iter().any(|v| v.is_any_null()) {
+            return Vec::new();
+        }
+        (0..self.rows.len() as RowId)
+            .filter(|&id| {
+                let t = &self.rows[id as usize];
+                cols.iter().zip(vals).all(|(&c, v)| &t.values()[c] == v)
+            })
+            .collect()
+    }
+
+    /// Look up rows by arbitrary columns with a linear scan. Used for
+    /// foreign keys that do not target the primary key and for chase joins;
+    /// generated scenarios keep these relations small.
+    pub fn scan_eq(&self, cols: &[usize], vals: &[Value]) -> Vec<&Tuple> {
+        if vals.iter().any(|v| v.is_any_null()) {
+            return Vec::new();
+        }
+        self.rows
+            .iter()
+            .filter(|t| cols.iter().zip(vals).all(|(&c, v)| &t.values()[c] == v))
+            .collect()
+    }
+
+    fn index_row(&mut self, id: RowId) {
+        let t = &self.rows[id as usize];
+        self.row_set
+            .entry(hash_values(t.values()))
+            .or_default()
+            .push(id);
+        if !self.schema.primary_key.is_empty() && !t.key_has_null(&self.schema.primary_key) {
+            let key = t.project(&self.schema.primary_key);
+            self.pk_index.entry(hash_values(&key)).or_default().push(id);
+        }
+        for (u, idxmap) in self.schema.unique.iter().zip(&mut self.unique_indexes) {
+            if !t.key_has_null(u) {
+                let key = t.project(u);
+                idxmap.entry(hash_values(&key)).or_default().push(id);
+            }
+        }
+    }
+
+    /// Insert a tuple under the given conflict policy.
+    ///
+    /// * Exact duplicates always collapse (set semantics) and report
+    ///   [`InsertOutcome::Duplicate`].
+    /// * When the relation has a primary key (or unique constraints) and a
+    ///   different tuple with the same key exists, the policy decides:
+    ///   [`ConflictPolicy::Reject`] errors, [`ConflictPolicy::Skip`] drops the
+    ///   new tuple, [`ConflictPolicy::Merge`] unifies the two tuples column by
+    ///   column (egd semantics — constants win over nulls; two distinct
+    ///   constants make the merge fail with [`StorageError::EgdFailure`]), and
+    ///   [`ConflictPolicy::Allow`] keeps both tuples (no egd enforcement, the
+    ///   Clio/universal-solution behaviour).
+    pub fn insert(&mut self, tuple: Tuple, policy: ConflictPolicy) -> Result<InsertOutcome> {
+        self.type_check(&tuple)?;
+        if let Some(id) = self.find_exact(&tuple) {
+            return Ok(InsertOutcome::Duplicate(id));
+        }
+        if policy != ConflictPolicy::Allow {
+            // Gather key conflicts: PK first, then unique constraints.
+            let mut conflict: Option<RowId> = None;
+            if !self.schema.primary_key.is_empty() && !tuple.key_has_null(&self.schema.primary_key)
+            {
+                let key = tuple.project(&self.schema.primary_key);
+                conflict =
+                    Self::find_by_key(&self.pk_index, &self.rows, &self.schema.primary_key, &key);
+            }
+            if conflict.is_none() {
+                for (u, idxmap) in self.schema.unique.iter().zip(&self.unique_indexes) {
+                    if tuple.key_has_null(u) {
+                        continue;
+                    }
+                    let key = tuple.project(u);
+                    if let Some(id) = Self::find_by_key(idxmap, &self.rows, u, &key) {
+                        conflict = Some(id);
+                        break;
+                    }
+                }
+            }
+            if let Some(id) = conflict {
+                return match policy {
+                    ConflictPolicy::Reject => Err(StorageError::KeyViolation {
+                        relation: self.schema.name.clone(),
+                        key: tuple
+                            .project(&self.schema.primary_key)
+                            .iter()
+                            .map(|v| v.render().into_owned())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    }),
+                    ConflictPolicy::Skip => Ok(InsertOutcome::Skipped(id)),
+                    ConflictPolicy::Merge => self.merge_into(id, &tuple),
+                    ConflictPolicy::Allow => unreachable!(),
+                };
+            }
+        }
+        let id = self.rows.len() as RowId;
+        self.rows.push(tuple);
+        self.index_row(id);
+        Ok(InsertOutcome::Inserted(id))
+    }
+
+    /// Merge `tuple` into the existing row `id`, unifying column-wise.
+    fn merge_into(&mut self, id: RowId, tuple: &Tuple) -> Result<InsertOutcome> {
+        let existing = &self.rows[id as usize];
+        let mut merged_vals = Vec::with_capacity(existing.arity());
+        for (i, (old, new)) in existing.values().iter().zip(tuple.values()).enumerate() {
+            match old.unify(new) {
+                Some(v) => merged_vals.push(v),
+                None => {
+                    return Err(StorageError::EgdFailure {
+                        relation: self.schema.name.clone(),
+                        column: self.schema.columns[i].name.clone(),
+                        left: old.render().into_owned(),
+                        right: new.render().into_owned(),
+                    })
+                }
+            }
+        }
+        let merged = Tuple::new(merged_vals);
+        if merged != self.rows[id as usize] {
+            self.replace_row(id, merged);
+        }
+        Ok(InsertOutcome::Merged(id))
+    }
+
+    /// Replace a row in place, rebuilding the indexes for that row.
+    pub fn replace_row(&mut self, id: RowId, tuple: Tuple) {
+        self.rows[id as usize] = tuple;
+        self.rebuild_indexes();
+    }
+
+    /// Replace the whole row set (collapsing exact duplicates) and rebuild
+    /// indexes. No constraint checking — used by egd application and core
+    /// minimisation, which construct already-consistent row sets.
+    pub fn set_rows(&mut self, rows: Vec<Tuple>) {
+        self.rows = rows;
+        self.dedup_rows();
+    }
+
+    /// Remove the rows at the given ids (ids refer to the pre-removal
+    /// numbering) and rebuild indexes. Used by core minimisation.
+    pub fn remove_rows(&mut self, ids: &[RowId]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut dead = vec![false; self.rows.len()];
+        for &id in ids {
+            if (id as usize) < dead.len() {
+                dead[id as usize] = true;
+            }
+        }
+        let mut keep = Vec::with_capacity(self.rows.len() - ids.len().min(self.rows.len()));
+        for (i, t) in self.rows.drain(..).enumerate() {
+            if !dead[i] {
+                keep.push(t);
+            }
+        }
+        self.rows = keep;
+        self.rebuild_indexes();
+    }
+
+    /// Apply a labeled-null substitution to every value, then rebuild
+    /// indexes and re-collapse duplicates. Returns the number of values
+    /// changed.
+    pub fn substitute_labeled(&mut self, subst: &HashMap<u64, Value>) -> usize {
+        let mut changed = 0;
+        for t in &mut self.rows {
+            for v in t.values_mut() {
+                if let Value::Labeled(l) = v {
+                    if let Some(rep) = subst.get(l) {
+                        *v = rep.clone();
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        if changed > 0 {
+            self.dedup_rows();
+        }
+        changed
+    }
+
+    fn dedup_rows(&mut self) {
+        let mut seen: HashMap<u64, Vec<Tuple>> = HashMap::new();
+        let mut keep = Vec::with_capacity(self.rows.len());
+        for t in self.rows.drain(..) {
+            let h = hash_values(t.values());
+            let bucket = seen.entry(h).or_default();
+            if !bucket.iter().any(|u| u == &t) {
+                bucket.push(t.clone());
+                keep.push(t);
+            }
+        }
+        self.rows = keep;
+        self.rebuild_indexes();
+    }
+
+    fn rebuild_indexes(&mut self) {
+        self.row_set.clear();
+        self.pk_index.clear();
+        for m in &mut self.unique_indexes {
+            m.clear();
+        }
+        for id in 0..self.rows.len() as RowId {
+            self.index_row(id);
+        }
+    }
+
+    /// Count of constant atoms across all tuples.
+    pub fn constants(&self) -> usize {
+        self.rows.iter().map(Tuple::constants).sum()
+    }
+
+    /// Count of null atoms (SQL + labeled) across all tuples.
+    pub fn nulls(&self) -> usize {
+        self.rows.iter().map(Tuple::nulls).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn keyed_rel() -> RelationInstance {
+        RelationInstance::new(
+            RelationSchema::with_any_columns("R", &["id", "a", "b"])
+                .primary_key(&["id"])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn set_semantics_collapse_exact_duplicates() {
+        let mut r = RelationInstance::new(RelationSchema::with_any_columns("R", &["a"]));
+        assert!(matches!(
+            r.insert(tuple!["x"], ConflictPolicy::Allow).unwrap(),
+            InsertOutcome::Inserted(0)
+        ));
+        assert!(matches!(
+            r.insert(tuple!["x"], ConflictPolicy::Allow).unwrap(),
+            InsertOutcome::Duplicate(0)
+        ));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn reject_policy_errors_on_key_conflict() {
+        let mut r = keyed_rel();
+        r.insert(tuple!["k", "a", "b"], ConflictPolicy::Reject)
+            .unwrap();
+        let err = r
+            .insert(tuple!["k", "c", "d"], ConflictPolicy::Reject)
+            .unwrap_err();
+        assert!(matches!(err, StorageError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn skip_policy_drops_conflicting_tuple() {
+        let mut r = keyed_rel();
+        r.insert(tuple!["k", "a", "b"], ConflictPolicy::Skip)
+            .unwrap();
+        let out = r
+            .insert(tuple!["k", "c", "d"], ConflictPolicy::Skip)
+            .unwrap();
+        assert!(matches!(out, InsertOutcome::Skipped(0)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0).unwrap(), &tuple!["k", "a", "b"]);
+    }
+
+    #[test]
+    fn merge_policy_unifies_nulls_with_constants() {
+        let mut r = keyed_rel();
+        r.insert(tuple!["k", Value::Null, "b"], ConflictPolicy::Merge)
+            .unwrap();
+        let out = r
+            .insert(tuple!["k", "a", Value::Labeled(7)], ConflictPolicy::Merge)
+            .unwrap();
+        assert!(matches!(out, InsertOutcome::Merged(0)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0).unwrap(), &tuple!["k", "a", "b"]);
+    }
+
+    #[test]
+    fn merge_policy_fails_on_conflicting_constants() {
+        let mut r = keyed_rel();
+        r.insert(tuple!["k", "a", "b"], ConflictPolicy::Merge)
+            .unwrap();
+        let err = r
+            .insert(tuple!["k", "DIFFERENT", "b"], ConflictPolicy::Merge)
+            .unwrap_err();
+        assert!(matches!(err, StorageError::EgdFailure { .. }));
+    }
+
+    #[test]
+    fn allow_policy_keeps_key_conflicts() {
+        let mut r = keyed_rel();
+        r.insert(tuple!["k", "a", "b"], ConflictPolicy::Allow)
+            .unwrap();
+        r.insert(tuple!["k", "c", "d"], ConflictPolicy::Allow)
+            .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn null_keys_do_not_conflict() {
+        let mut r = keyed_rel();
+        // PK column is non-nullable after primary_key(); use a keyless unique instead.
+        let mut r2 = RelationInstance::new(
+            RelationSchema::with_any_columns("S", &["u", "v"])
+                .unique_on(&["u"])
+                .unwrap(),
+        );
+        r2.insert(tuple![Value::Null, "a"], ConflictPolicy::Merge)
+            .unwrap();
+        r2.insert(tuple![Value::Null, "b"], ConflictPolicy::Merge)
+            .unwrap();
+        assert_eq!(r2.len(), 2);
+        let _ = &mut r;
+    }
+
+    #[test]
+    fn pk_lookup() {
+        let mut r = keyed_rel();
+        r.insert(tuple!["k1", "a", "b"], ConflictPolicy::Reject)
+            .unwrap();
+        r.insert(tuple!["k2", "c", "d"], ConflictPolicy::Reject)
+            .unwrap();
+        assert_eq!(
+            r.lookup_pk(&[Value::text("k2")]).unwrap(),
+            &tuple!["k2", "c", "d"]
+        );
+        assert!(r.lookup_pk(&[Value::text("zz")]).is_none());
+        assert!(r.lookup_pk(&[Value::Null]).is_none());
+    }
+
+    #[test]
+    fn scan_eq_matches() {
+        let mut r = keyed_rel();
+        r.insert(tuple!["k1", "a", "b"], ConflictPolicy::Reject)
+            .unwrap();
+        r.insert(tuple!["k2", "a", "d"], ConflictPolicy::Reject)
+            .unwrap();
+        assert_eq!(r.scan_eq(&[1], &[Value::text("a")]).len(), 2);
+        assert_eq!(r.scan_eq(&[2], &[Value::text("d")]).len(), 1);
+        assert!(r.scan_eq(&[1], &[Value::Null]).is_empty());
+    }
+
+    #[test]
+    fn substitution_unifies_and_dedups() {
+        let mut r = RelationInstance::new(RelationSchema::with_any_columns("R", &["a", "b"]));
+        r.insert(tuple!["x", Value::Labeled(1)], ConflictPolicy::Allow)
+            .unwrap();
+        r.insert(tuple!["x", "v"], ConflictPolicy::Allow).unwrap();
+        let mut subst = HashMap::new();
+        subst.insert(1u64, Value::text("v"));
+        let changed = r.substitute_labeled(&subst);
+        assert_eq!(changed, 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remove_rows_compacts_and_reindexes() {
+        let mut r = keyed_rel();
+        r.insert(tuple!["k1", "a", "b"], ConflictPolicy::Reject)
+            .unwrap();
+        r.insert(tuple!["k2", "c", "d"], ConflictPolicy::Reject)
+            .unwrap();
+        r.insert(tuple!["k3", "e", "f"], ConflictPolicy::Reject)
+            .unwrap();
+        r.remove_rows(&[1]);
+        assert_eq!(r.len(), 2);
+        assert!(r.lookup_pk(&[Value::text("k2")]).is_none());
+        assert!(r.lookup_pk(&[Value::text("k3")]).is_some());
+    }
+
+    #[test]
+    fn type_and_arity_checks() {
+        let mut r = RelationInstance::new(RelationSchema::new(
+            "T",
+            vec![
+                crate::Column::new("i", crate::DataType::Int),
+                crate::Column::new("s", crate::DataType::Text).not_null(),
+            ],
+        ));
+        assert!(matches!(
+            r.insert(tuple![1i64], ConflictPolicy::Allow).unwrap_err(),
+            StorageError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            r.insert(tuple!["no", "s"], ConflictPolicy::Allow)
+                .unwrap_err(),
+            StorageError::TypeMismatch { .. }
+        ));
+        assert!(matches!(
+            r.insert(tuple![1i64, Value::Null], ConflictPolicy::Allow)
+                .unwrap_err(),
+            StorageError::NullViolation { .. }
+        ));
+        r.insert(tuple![1i64, "ok"], ConflictPolicy::Allow).unwrap();
+    }
+
+    #[test]
+    fn atom_counts() {
+        let mut r = RelationInstance::new(RelationSchema::with_any_columns("R", &["a", "b"]));
+        r.insert(tuple!["x", Value::Null], ConflictPolicy::Allow)
+            .unwrap();
+        r.insert(tuple![Value::Labeled(1), "y"], ConflictPolicy::Allow)
+            .unwrap();
+        assert_eq!(r.constants(), 2);
+        assert_eq!(r.nulls(), 2);
+    }
+}

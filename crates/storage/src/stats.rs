@@ -1,0 +1,100 @@
+//! Instance statistics — the paper's data-exchange quality measure.
+//!
+//! "The size of target instance (i.e., the number of atomic values in an
+//! instance) is used as a measure of data exchange quality" (Section 5.1).
+//! Figs. 9–10 split that size into *Constants* and *Null* bars; smaller is
+//! better (less incompleteness / redundancy).
+
+use std::fmt;
+use std::ops::Add;
+
+/// Atom-level statistics of an instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Number of tuples across all relations.
+    pub tuples: usize,
+    /// Number of constant atoms.
+    pub constants: usize,
+    /// Number of null atoms (SQL nulls and labeled nulls).
+    pub nulls: usize,
+}
+
+impl InstanceStats {
+    /// Total atoms = constants + nulls (the paper's *target size*).
+    pub fn atoms(&self) -> usize {
+        self.constants + self.nulls
+    }
+}
+
+impl Add for InstanceStats {
+    type Output = InstanceStats;
+    fn add(self, rhs: InstanceStats) -> InstanceStats {
+        InstanceStats {
+            tuples: self.tuples + rhs.tuples,
+            constants: self.constants + rhs.constants,
+            nulls: self.nulls + rhs.nulls,
+        }
+    }
+}
+
+impl fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tuples, {} atoms ({} constants + {} nulls)",
+            self.tuples,
+            self.atoms(),
+            self.constants,
+            self.nulls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_is_sum() {
+        let s = InstanceStats {
+            tuples: 2,
+            constants: 5,
+            nulls: 3,
+        };
+        assert_eq!(s.atoms(), 8);
+    }
+
+    #[test]
+    fn add_combines_componentwise() {
+        let a = InstanceStats {
+            tuples: 1,
+            constants: 2,
+            nulls: 3,
+        };
+        let b = InstanceStats {
+            tuples: 4,
+            constants: 5,
+            nulls: 6,
+        };
+        let c = a + b;
+        assert_eq!(
+            c,
+            InstanceStats {
+                tuples: 5,
+                constants: 7,
+                nulls: 9
+            }
+        );
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let s = InstanceStats {
+            tuples: 1,
+            constants: 2,
+            nulls: 3,
+        };
+        let d = s.to_string();
+        assert!(d.contains("5 atoms") && d.contains("2 constants") && d.contains("3 nulls"));
+    }
+}

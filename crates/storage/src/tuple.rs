@@ -1,0 +1,152 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A tuple (row) of a relation instance.
+///
+/// A tuple of a table "can represent a particular entity, where a primary key
+/// uniquely identifies a tuple among tuples of a relation" (Section 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Build a tuple from anything convertible into values.
+    pub fn of<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to the values.
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    /// Value at a column index.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Project the tuple onto the given column indexes (panics on
+    /// out-of-range indexes — callers validate against the schema first).
+    pub fn project(&self, idxs: &[usize]) -> Vec<Value> {
+        idxs.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// Whether any projected value is any kind of null. Key lookups treat
+    /// such keys as non-matching (SQL semantics: null ≠ null).
+    pub fn key_has_null(&self, idxs: &[usize]) -> bool {
+        idxs.iter().any(|&i| self.values[i].is_any_null())
+    }
+
+    /// Count of constant atoms in the tuple.
+    pub fn constants(&self) -> usize {
+        self.values.iter().filter(|v| v.is_constant()).count()
+    }
+
+    /// Count of null atoms (SQL nulls + labeled nulls) in the tuple.
+    pub fn nulls(&self) -> usize {
+        self.values.iter().filter(|v| v.is_any_null()).count()
+    }
+
+    /// Consume the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Build a tuple from a list of expressions convertible into [`Value`]s.
+///
+/// ```
+/// use sedex_storage::{tuple, Value};
+/// let t = tuple!["s1", 3i64, Value::Null];
+/// assert_eq!(t.arity(), 3);
+/// assert_eq!(t.get(2), Some(&Value::Null));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::of(["a", "b"]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0), Some(&Value::text("a")));
+        assert_eq!(t.get(5), None);
+    }
+
+    #[test]
+    fn projection() {
+        let t = tuple!["x", 1i64, "z"];
+        assert_eq!(t.project(&[2, 0]), vec![Value::text("z"), Value::text("x")]);
+    }
+
+    #[test]
+    fn atom_counts() {
+        let t = tuple!["x", Value::Null, Value::Labeled(1), 4i64];
+        assert_eq!(t.constants(), 2);
+        assert_eq!(t.nulls(), 2);
+    }
+
+    #[test]
+    fn null_keys_detected() {
+        let t = tuple![Value::Null, "k"];
+        assert!(t.key_has_null(&[0]));
+        assert!(!t.key_has_null(&[1]));
+    }
+
+    #[test]
+    fn display() {
+        let t = tuple!["a", 1i64];
+        assert_eq!(t.to_string(), "(a, 1)");
+    }
+}

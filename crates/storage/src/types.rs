@@ -1,0 +1,84 @@
+//! Column data types and coercion rules.
+
+use std::fmt;
+
+/// The type of a column or value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit floating point.
+    Real,
+    /// UTF-8 text.
+    Text,
+    /// Untyped — matches any column. Nulls and labeled nulls type as `Any`,
+    /// and columns may be declared `Any` when the workload generator does not
+    /// care about types.
+    Any,
+}
+
+impl DataType {
+    /// Whether a value of type `other` may be stored in a column of type
+    /// `self`. `Any` is compatible in both directions; `Int` widens to
+    /// `Real`.
+    pub fn accepts(self, other: DataType) -> bool {
+        match (self, other) {
+            (DataType::Any, _) | (_, DataType::Any) => true,
+            (DataType::Real, DataType::Int) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Real => "real",
+            DataType::Text => "text",
+            DataType::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_accepts_everything() {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Real,
+            DataType::Text,
+            DataType::Any,
+        ] {
+            assert!(DataType::Any.accepts(t));
+            assert!(t.accepts(DataType::Any));
+        }
+    }
+
+    #[test]
+    fn int_widens_to_real() {
+        assert!(DataType::Real.accepts(DataType::Int));
+        assert!(!DataType::Int.accepts(DataType::Real));
+    }
+
+    #[test]
+    fn exact_match_otherwise() {
+        assert!(DataType::Text.accepts(DataType::Text));
+        assert!(!DataType::Text.accepts(DataType::Int));
+        assert!(!DataType::Bool.accepts(DataType::Text));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataType::Int.to_string(), "int");
+        assert_eq!(DataType::Any.to_string(), "any");
+    }
+}

@@ -1,0 +1,121 @@
+//! Schema forests (Def. 2) and the processing order of Section 4.1.
+//!
+//! Tuples are processed "in descending order of relation tree heights": a
+//! relation that references others has a taller tree and is processed first,
+//! so that referenced tuples are reached (and marked seen) through their
+//! referencing tuples instead of being materialized twice — the mechanism
+//! that prevents entity fragmentation.
+
+use std::collections::HashMap;
+
+use sedex_storage::{Schema, StorageError};
+
+use crate::relation_tree::{relation_tree, RelationTree, TreeConfig};
+
+/// The forest of all relation trees of a schema.
+#[derive(Debug, Clone)]
+pub struct SchemaForest {
+    trees: Vec<RelationTree>,
+    by_name: HashMap<String, usize>,
+}
+
+impl SchemaForest {
+    /// Build the forest `F(R) = { T_r | r ∈ R }`.
+    pub fn new(schema: &Schema, config: &TreeConfig) -> Result<Self, StorageError> {
+        let mut trees = Vec::with_capacity(schema.len());
+        let mut by_name = HashMap::with_capacity(schema.len());
+        for rel in schema.relations() {
+            by_name.insert(rel.name.clone(), trees.len());
+            trees.push(relation_tree(schema, &rel.name, config)?);
+        }
+        Ok(SchemaForest { trees, by_name })
+    }
+
+    /// All relation trees, in schema order.
+    pub fn trees(&self) -> &[RelationTree] {
+        &self.trees
+    }
+
+    /// The relation tree of a named relation.
+    pub fn tree(&self, relation: &str) -> Option<&RelationTree> {
+        self.by_name.get(relation).map(|&i| &self.trees[i])
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Relation names in descending order of tree height (ties broken by
+    /// name for determinism) — the processing order of Section 4.1.
+    pub fn processing_order(&self) -> Vec<&str> {
+        let mut order: Vec<&RelationTree> = self.trees.iter().collect();
+        order.sort_by(|a, b| {
+            b.height()
+                .cmp(&a.height())
+                .then_with(|| a.relation.cmp(&b.relation))
+        });
+        order.into_iter().map(|t| t.relation.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::RelationSchema;
+
+    fn source_schema() -> Schema {
+        let student =
+            RelationSchema::with_any_columns("Student", &["sname", "program", "dep", "supervisor"])
+                .primary_key(&["sname"])
+                .unwrap()
+                .foreign_key(&["dep"], "Dep")
+                .unwrap()
+                .foreign_key(&["supervisor"], "Prof")
+                .unwrap();
+        let prof = RelationSchema::with_any_columns("Prof", &["pname", "degree", "profdep"])
+            .primary_key(&["pname"])
+            .unwrap()
+            .foreign_key(&["profdep"], "Dep")
+            .unwrap();
+        let dep = RelationSchema::with_any_columns("Dep", &["dname", "building"])
+            .primary_key(&["dname"])
+            .unwrap();
+        let reg = RelationSchema::with_any_columns("Registration", &["sname", "course", "regdate"])
+            .foreign_key(&["sname"], "Student")
+            .unwrap();
+        Schema::from_relations(vec![student, prof, dep, reg]).unwrap()
+    }
+
+    #[test]
+    fn forest_contains_all_relations() {
+        let f = SchemaForest::new(&source_schema(), &TreeConfig::default()).unwrap();
+        assert_eq!(f.len(), 4);
+        assert!(f.tree("Student").is_some());
+        assert!(f.tree("Nope").is_none());
+    }
+
+    #[test]
+    fn processing_order_is_descending_height() {
+        // Heights: Registration 5, Student 4, Prof 3, Dep 2.
+        let f = SchemaForest::new(&source_schema(), &TreeConfig::default()).unwrap();
+        assert_eq!(
+            f.processing_order(),
+            vec!["Registration", "Student", "Prof", "Dep"]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_name() {
+        let a = RelationSchema::with_any_columns("Zeta", &["x"]);
+        let b = RelationSchema::with_any_columns("Alpha", &["y"]);
+        let s = Schema::from_relations(vec![a, b]).unwrap();
+        let f = SchemaForest::new(&s, &TreeConfig::default()).unwrap();
+        assert_eq!(f.processing_order(), vec!["Alpha", "Zeta"]);
+    }
+}

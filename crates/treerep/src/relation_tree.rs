@@ -1,0 +1,352 @@
+//! Relation trees (Def. 1) — the schema-level tree of a relation.
+//!
+//! The root is the relation's single-column primary key; when the relation
+//! has no key, or a composite key, the root is a dummy `*` node. The
+//! remaining properties hang below, and every property that is the start of
+//! a foreign key is expanded with the referenced relation's non-key
+//! properties, recursively (the walk stops when a relation/property already
+//! appears on the current path, which prevents cycles while still allowing
+//! the same property to appear on *different* branches — e.g. `building`
+//! under both `dep` and `profdep` in the paper's running example).
+
+use sedex_pqgram::{PqLabel, Tree};
+use sedex_storage::{RelationSchema, Schema, StorageError};
+
+use crate::SchemaLabel;
+
+/// Knobs for tree construction, shared by relation and tuple trees.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth (in nodes) a tree may reach; guards against
+    /// pathological FK meshes. The paper's scenarios stay below 10.
+    pub max_depth: usize,
+    /// Drop null-valued properties from tuple trees (the paper's semantics;
+    /// disabling this is the `prune_nulls` ablation — SEDEX then behaves
+    /// like a pure schema-level mapper on ambiguous scenarios).
+    pub prune_nulls: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 32,
+            prune_nulls: true,
+        }
+    }
+}
+
+/// Per-node metadata of a relation tree, parallel to the tree's arena ids.
+///
+/// Script generation (Algorithm 2) needs to know, for each internal node,
+/// *which target relation its children's values are inserted into* and under
+/// which key column — this is the "relation in the target where its
+/// properties match C(Tj)" lookup of the paper, resolved once at
+/// tree-construction time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMeta {
+    /// The relation whose column this node's property is (`None` for the
+    /// dummy root).
+    pub owner: Option<String>,
+    /// The relations whose tuple this node identifies: the node's own
+    /// relation for the root, plus one entry per foreign key expanded at
+    /// this node. Each entry is `(relation, key column name)` — the key
+    /// column this node's value fills there (empty for a dummy root of a
+    /// keyless relation). A key column that itself starts a foreign key
+    /// (key-to-key links, e.g. vertical partitioning) carries several
+    /// entries.
+    pub expands_to: Vec<(String, String)>,
+}
+
+/// A relation tree: the relation it describes plus the labeled tree and
+/// per-node metadata.
+#[derive(Debug, Clone)]
+pub struct RelationTree {
+    /// The relation this tree was built for.
+    pub relation: String,
+    /// The tree; labels are property names, the root may be dummy.
+    pub tree: Tree<SchemaLabel>,
+    /// Metadata parallel to the tree's node ids.
+    pub meta: Vec<NodeMeta>,
+}
+
+impl RelationTree {
+    /// Tree height in nodes (the paper's `Height(T)`).
+    pub fn height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Metadata of a node.
+    pub fn node_meta(&self, id: usize) -> &NodeMeta {
+        &self.meta[id]
+    }
+}
+
+/// Build the relation tree of `relation` within `schema` (Def. 1).
+pub fn relation_tree(
+    schema: &Schema,
+    relation: &str,
+    config: &TreeConfig,
+) -> Result<RelationTree, StorageError> {
+    let rel = schema.relation_or_err(relation)?;
+    let (mut tree, root_is_key) = match rel.single_column_key() {
+        Some(k) => (
+            Tree::new(PqLabel::Label(rel.columns[k].name.clone())),
+            Some(k),
+        ),
+        None => (Tree::<SchemaLabel>::new(PqLabel::Dummy), None),
+    };
+    let root = tree.root();
+    let root_key_name = root_is_key
+        .map(|k| rel.columns[k].name.clone())
+        .unwrap_or_default();
+    let mut meta = vec![NodeMeta {
+        owner: root_is_key.map(|_| rel.name.clone()),
+        expands_to: vec![(rel.name.clone(), root_key_name)],
+    }];
+    // Path of (relation, column-name) pairs used for cycle prevention; the
+    // owning relation itself is on the path, so self-references stop.
+    let mut path = vec![(rel.name.clone(), String::new())];
+    for (i, col) in rel.columns.iter().enumerate() {
+        if root_is_key == Some(i) {
+            continue;
+        }
+        let node = tree.add_child(root, PqLabel::Label(col.name.clone()));
+        meta.push(NodeMeta {
+            owner: Some(rel.name.clone()),
+            expands_to: Vec::new(),
+        });
+        debug_assert_eq!(meta.len(), tree.len());
+        expand_property(
+            schema, rel, i, &mut tree, node, &mut path, config, 2, &mut meta,
+        )?;
+    }
+    // FKs starting at the key column itself (rare) expand under the root.
+    if let Some(k) = root_is_key {
+        expand_property(
+            schema, rel, k, &mut tree, root, &mut path, config, 1, &mut meta,
+        )?;
+    }
+    debug_assert_eq!(meta.len(), tree.len());
+    Ok(RelationTree {
+        relation: relation.to_owned(),
+        tree,
+        meta,
+    })
+}
+
+/// If column `col` of `rel` starts a foreign key, hang the referenced
+/// relation's non-key properties under `node` and recurse.
+#[allow(clippy::too_many_arguments)]
+fn expand_property(
+    schema: &Schema,
+    rel: &RelationSchema,
+    col: usize,
+    tree: &mut Tree<SchemaLabel>,
+    node: usize,
+    path: &mut Vec<(String, String)>,
+    config: &TreeConfig,
+    depth: usize,
+    meta: &mut Vec<NodeMeta>,
+) -> Result<(), StorageError> {
+    if depth >= config.max_depth {
+        return Ok(());
+    }
+    // A column may start several foreign keys (multi-valued attributes,
+    // Section 4.3): each contributes its own expansion.
+    for fk in &rel.foreign_keys {
+        if fk.columns.first() != Some(&col) {
+            continue;
+        }
+        let target = schema.relation_or_err(&fk.ref_relation)?;
+        // Cycle check: don't re-enter a relation already on this path.
+        if path.iter().any(|(r, _)| r == &target.name) {
+            continue;
+        }
+        // This node now also identifies a tuple of the referenced relation.
+        let ref_key_name = fk
+            .ref_columns
+            .first()
+            .map(|&c| target.columns[c].name.clone())
+            .unwrap_or_default();
+        meta[node]
+            .expands_to
+            .push((target.name.clone(), ref_key_name));
+        path.push((target.name.clone(), rel.columns[col].name.clone()));
+        for (j, tcol) in target.columns.iter().enumerate() {
+            if fk.ref_columns.contains(&j) {
+                continue; // the referenced key is represented by `node` itself
+            }
+            let child = tree.add_child(node, PqLabel::Label(tcol.name.clone()));
+            meta.push(NodeMeta {
+                owner: Some(target.name.clone()),
+                expands_to: Vec::new(),
+            });
+            expand_property(
+                schema,
+                target,
+                j,
+                tree,
+                child,
+                path,
+                config,
+                depth + 1,
+                meta,
+            )?;
+        }
+        path.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::RelationSchema;
+
+    /// The source schema of Fig. 2 / Fig. 4.
+    pub(crate) fn source_schema() -> Schema {
+        let student =
+            RelationSchema::with_any_columns("Student", &["sname", "program", "dep", "supervisor"])
+                .primary_key(&["sname"])
+                .unwrap()
+                .foreign_key(&["dep"], "Dep")
+                .unwrap()
+                .foreign_key(&["supervisor"], "Prof")
+                .unwrap();
+        let prof = RelationSchema::with_any_columns("Prof", &["pname", "degree", "profdep"])
+            .primary_key(&["pname"])
+            .unwrap()
+            .foreign_key(&["profdep"], "Dep")
+            .unwrap();
+        let dep = RelationSchema::with_any_columns("Dep", &["dname", "building"])
+            .primary_key(&["dname"])
+            .unwrap();
+        let reg = RelationSchema::with_any_columns("Registration", &["sname", "course", "regdate"])
+            .foreign_key(&["sname"], "Student")
+            .unwrap();
+        Schema::from_relations(vec![student, prof, dep, reg]).unwrap()
+    }
+
+    fn labels_of(t: &Tree<SchemaLabel>, ids: &[usize]) -> Vec<String> {
+        ids.iter().map(|&i| t.label(i).to_string()).collect()
+    }
+
+    #[test]
+    fn fig4_student_tree() {
+        // Student: root sname; children program, dep(→building),
+        // supervisor(→degree, profdep(→building)). Height 4.
+        let s = source_schema();
+        let rt = relation_tree(&s, "Student", &TreeConfig::default()).unwrap();
+        let t = &rt.tree;
+        assert_eq!(t.label(t.root()).to_string(), "sname");
+        let kids = labels_of(t, t.children(t.root()));
+        assert_eq!(kids, vec!["program", "dep", "supervisor"]);
+        let dep = t.children(t.root())[1];
+        assert_eq!(labels_of(t, t.children(dep)), vec!["building"]);
+        let sup = t.children(t.root())[2];
+        assert_eq!(labels_of(t, t.children(sup)), vec!["degree", "profdep"]);
+        let profdep = t.children(sup)[1];
+        assert_eq!(labels_of(t, t.children(profdep)), vec!["building"]);
+        assert_eq!(rt.height(), 4);
+    }
+
+    #[test]
+    fn fig4_prof_tree_height_three() {
+        let s = source_schema();
+        let rt = relation_tree(&s, "Prof", &TreeConfig::default()).unwrap();
+        assert_eq!(rt.height(), 3);
+        assert_eq!(rt.tree.label(rt.tree.root()).to_string(), "pname");
+    }
+
+    #[test]
+    fn fig4_registration_tree_dummy_root_height_five() {
+        // Registration has no PK: dummy root; sname expands through Student
+        // all the way to profdep→building. Levels: * / sname / supervisor /
+        // profdep / building = 5.
+        let s = source_schema();
+        let rt = relation_tree(&s, "Registration", &TreeConfig::default()).unwrap();
+        let t = &rt.tree;
+        assert_eq!(t.label(t.root()).to_string(), "*");
+        let kids = labels_of(t, t.children(t.root()));
+        assert_eq!(kids, vec!["sname", "course", "regdate"]);
+        assert_eq!(rt.height(), 5);
+        // sname's children come from Student.
+        let sname = t.children(t.root())[0];
+        assert_eq!(
+            labels_of(t, t.children(sname)),
+            vec!["program", "dep", "supervisor"]
+        );
+    }
+
+    #[test]
+    fn dep_tree_trivial() {
+        let s = source_schema();
+        let rt = relation_tree(&s, "Dep", &TreeConfig::default()).unwrap();
+        assert_eq!(rt.height(), 2);
+        assert_eq!(rt.tree.len(), 2); // dname root + building
+    }
+
+    #[test]
+    fn composite_key_gets_dummy_root() {
+        let r = RelationSchema::with_any_columns("R", &["a", "b", "c"])
+            .primary_key(&["a", "b"])
+            .unwrap();
+        let s = Schema::from_relations(vec![r]).unwrap();
+        let rt = relation_tree(&s, "R", &TreeConfig::default()).unwrap();
+        assert_eq!(rt.tree.label(rt.tree.root()).to_string(), "*");
+        assert_eq!(rt.tree.children(rt.tree.root()).len(), 3);
+    }
+
+    #[test]
+    fn cyclic_foreign_keys_terminate() {
+        // A ↔ B cycle: the expansion must not loop.
+        let a = RelationSchema::with_any_columns("A", &["aid", "b_ref"])
+            .primary_key(&["aid"])
+            .unwrap()
+            .foreign_key(&["b_ref"], "B")
+            .unwrap();
+        let b = RelationSchema::with_any_columns("B", &["bid", "a_ref"])
+            .primary_key(&["bid"])
+            .unwrap()
+            .foreign_key(&["a_ref"], "A")
+            .unwrap();
+        let s = Schema::from_relations(vec![a, b]).unwrap();
+        let rt = relation_tree(&s, "A", &TreeConfig::default()).unwrap();
+        // aid → b_ref → a_ref (stops: A already on path).
+        assert_eq!(rt.height(), 3);
+        assert!(rt.tree.len() <= 3);
+    }
+
+    #[test]
+    fn self_referencing_relation_terminates() {
+        let r = RelationSchema::with_any_columns("Emp", &["id", "boss"])
+            .primary_key(&["id"])
+            .unwrap()
+            .foreign_key(&["boss"], "Emp")
+            .unwrap();
+        let s = Schema::from_relations(vec![r]).unwrap();
+        let rt = relation_tree(&s, "Emp", &TreeConfig::default()).unwrap();
+        assert_eq!(rt.tree.len(), 2); // id root + boss (no self-expansion)
+    }
+
+    #[test]
+    fn same_branch_duplicates_allowed_on_distinct_branches() {
+        // `building` appears under both dep and supervisor→profdep in the
+        // Student tree — duplicates on distinct branches are kept.
+        let s = source_schema();
+        let rt = relation_tree(&s, "Student", &TreeConfig::default()).unwrap();
+        let buildings = rt
+            .tree
+            .preorder()
+            .into_iter()
+            .filter(|&i| rt.tree.label(i).to_string() == "building")
+            .count();
+        assert_eq!(buildings, 2);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let s = source_schema();
+        assert!(relation_tree(&s, "Nope", &TreeConfig::default()).is_err());
+    }
+}

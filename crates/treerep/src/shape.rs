@@ -1,0 +1,209 @@
+//! Shape keys for the script repository (Section 4.4.2).
+//!
+//! The script repository is "a hash table where the key is the string
+//! representation of the post order traversal of the relation tree of the
+//! input tuple tree". Two tuple trees with the same key have identical
+//! structure and property names, so the script generated for one can be
+//! replayed for the other by substituting values.
+//!
+//! For reuse *across* relations (same hierarchy, different property names)
+//! the paper uses "the sequential representation of a tree … with the
+//! minimum information needed to reconstruct the tree structure": since
+//! tuple trees are general trees, the encoding records each node's child
+//! count alongside the traversal.
+
+use sedex_pqgram::{PqLabel, Tree};
+
+use crate::tuple_tree::TupleTree;
+use crate::SchemaLabel;
+
+/// The post-order label string of a (reduced) relation tree — the primary
+/// script-repository key.
+///
+/// For the first Student tuple of the running example this is
+/// `"program building dep degree building profdep supervisor sname"`,
+/// exactly as printed in Section 4.4.2. A dummy root contributes `*`.
+pub fn post_order_key(tree: &Tree<SchemaLabel>) -> String {
+    let order = tree.postorder();
+    let mut s = String::with_capacity(order.len() * 8);
+    for (i, id) in order.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&tree.label(*id).to_string());
+    }
+    s
+}
+
+/// The post-order shape key of a tuple tree, computed directly — equivalent
+/// to `post_order_key(&reduce_to_relation_tree(tt))` without materializing
+/// the reduced tree. This is the hot path of the engine: one call per
+/// source tuple.
+pub fn tuple_shape_key(tt: &TupleTree) -> String {
+    let order = tt.tree.postorder();
+    let mut s = String::with_capacity(order.len() * 8);
+    for (i, id) in order.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        match tt.tree.label(*id) {
+            PqLabel::Dummy => s.push('*'),
+            PqLabel::Label(n) => s.push_str(&n.prop),
+        }
+    }
+    s
+}
+
+/// Structure-only sequential encoding: post-order child counts, no labels.
+/// Keys the cross-relation script cache — two trees with the same encoding
+/// are isomorphic as ordered trees, so a script's hierarchy can be rewritten
+/// with new property names and values (Section 4.4.2, "Reusing Scripts").
+pub fn sequential_encoding(tree: &Tree<SchemaLabel>) -> String {
+    let order = tree.postorder();
+    let mut s = String::with_capacity(order.len() * 3);
+    for (i, id) in order.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&tree.children(*id).len().to_string());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::reduce_to_relation_tree;
+    use crate::relation_tree::TreeConfig;
+    use crate::tuple_tree::tuple_tree;
+    use sedex_pqgram::PqLabel;
+    use sedex_storage::{ConflictPolicy, Instance, RelationSchema, Schema};
+
+    fn university() -> Instance {
+        let student =
+            RelationSchema::with_any_columns("Student", &["sname", "program", "dep", "supervisor"])
+                .primary_key(&["sname"])
+                .unwrap()
+                .foreign_key(&["dep"], "Dep")
+                .unwrap()
+                .foreign_key(&["supervisor"], "Prof")
+                .unwrap();
+        let prof = RelationSchema::with_any_columns("Prof", &["pname", "degree", "profdep"])
+            .primary_key(&["pname"])
+            .unwrap()
+            .foreign_key(&["profdep"], "Dep")
+            .unwrap();
+        let dep = RelationSchema::with_any_columns("Dep", &["dname", "building"])
+            .primary_key(&["dname"])
+            .unwrap();
+        let schema = Schema::from_relations(vec![student, prof, dep]).unwrap();
+        let mut inst = Instance::new(schema);
+        let p = ConflictPolicy::Reject;
+        inst.insert("Dep", sedex_storage::tuple!["d1", "b1"], p)
+            .unwrap();
+        inst.insert("Prof", sedex_storage::tuple!["prof1", "deg1", "d1"], p)
+            .unwrap();
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s1", "p1", "d1", "prof1"],
+            p,
+        )
+        .unwrap();
+        inst
+    }
+
+    #[test]
+    fn paper_post_order_key_for_first_student() {
+        // Section 4.4.2: "program building dep degree building profdep
+        // supervisor sname".
+        let inst = university();
+        let tt = tuple_tree(&inst, "Student", 0, &TreeConfig::default()).unwrap();
+        let rt = reduce_to_relation_tree(&tt);
+        assert_eq!(
+            post_order_key(&rt),
+            "program building dep degree building profdep supervisor sname"
+        );
+        // The direct tuple-tree key agrees with the reduce-then-key path.
+        assert_eq!(tuple_shape_key(&tt), post_order_key(&rt));
+    }
+
+    #[test]
+    fn same_shape_same_key_different_values() {
+        let mut inst = university();
+        inst.insert(
+            "Dep",
+            sedex_storage::tuple!["d9", "b9"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        inst.insert(
+            "Prof",
+            sedex_storage::tuple!["prof9", "deg9", "d9"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s9", "p9", "d9", "prof9"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        let cfg = TreeConfig::default();
+        let k1 = post_order_key(&reduce_to_relation_tree(
+            &tuple_tree(&inst, "Student", 0, &cfg).unwrap(),
+        ));
+        let k2 = post_order_key(&reduce_to_relation_tree(
+            &tuple_tree(&inst, "Student", 1, &cfg).unwrap(),
+        ));
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn null_pruning_changes_key() {
+        let mut inst = university();
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s2", "p2", "d1", sedex_storage::Value::Null],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        let cfg = TreeConfig::default();
+        let k_full = post_order_key(&reduce_to_relation_tree(
+            &tuple_tree(&inst, "Student", 0, &cfg).unwrap(),
+        ));
+        let k_null = post_order_key(&reduce_to_relation_tree(
+            &tuple_tree(&inst, "Student", 1, &cfg).unwrap(),
+        ));
+        assert_ne!(k_full, k_null);
+        assert_eq!(k_null, "program building dep sname");
+    }
+
+    #[test]
+    fn sequential_encoding_reconstructs_structure() {
+        // Two trees, same shape, different labels → same encoding; a third
+        // with different shape → different encoding.
+        let mut a = Tree::new(PqLabel::Label("r".to_string()));
+        let x = a.add_child(0, PqLabel::Label("x".into()));
+        a.add_child(0, PqLabel::Label("y".into()));
+        a.add_child(x, PqLabel::Label("z".into()));
+
+        let mut b = Tree::new(PqLabel::Label("q".to_string()));
+        let m = b.add_child(0, PqLabel::Label("m".into()));
+        b.add_child(0, PqLabel::Label("n".into()));
+        b.add_child(m, PqLabel::Label("o".into()));
+
+        let mut c = Tree::new(PqLabel::Label("r".to_string()));
+        c.add_child(0, PqLabel::Label("x".into()));
+        c.add_child(0, PqLabel::Label("y".into()));
+
+        assert_eq!(sequential_encoding(&a), sequential_encoding(&b));
+        assert_ne!(sequential_encoding(&a), sequential_encoding(&c));
+    }
+
+    #[test]
+    fn dummy_root_renders_star() {
+        let mut t: Tree<SchemaLabel> = Tree::new(PqLabel::Dummy);
+        t.add_child(0, PqLabel::Label("a".into()));
+        assert_eq!(post_order_key(&t), "a *");
+    }
+}

@@ -1,0 +1,420 @@
+//! Tuple trees (Def. 3) — the data-level tree of one tuple.
+//!
+//! Nodes are `(property : value)` pairs of the tuple and of every tuple it
+//! (transitively) references through foreign keys. Properties whose value is
+//! an SQL null are dropped: under the paper's Bunge-inspired semantics a
+//! null means the entity *does not have* that property, so no node (and no
+//! downstream expansion) is created — this is what lets the `Match` function
+//! disambiguate generalization scenarios (Section 4.5).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use sedex_pqgram::{PqLabel, Tree};
+use sedex_storage::relation::RowId;
+use sedex_storage::{Instance, StorageError, Tuple, Value};
+
+use crate::relation_tree::TreeConfig;
+
+/// A node of a tuple tree: a `(property : value)` pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleNode {
+    /// Property (column) name.
+    pub prop: String,
+    /// The property's value (never an SQL null when `prune_nulls` is on).
+    pub value: Value,
+    /// The relation this property belongs to — needed to resolve
+    /// relation-qualified correspondences during matching and translation.
+    pub relation: String,
+}
+
+impl fmt::Display for TupleNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.prop, self.value)
+    }
+}
+
+/// A reference to a tuple visited while building a tuple tree — used by the
+/// engine to mark tuples as *seen* so they are not re-processed when their
+/// own relation's turn comes (Section 4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeenRef {
+    /// Relation of the visited tuple.
+    pub relation: String,
+    /// Row id of the visited tuple within that relation's instance.
+    pub row: RowId,
+}
+
+/// A tuple tree plus the set of referenced tuples visited while building it.
+#[derive(Debug, Clone)]
+pub struct TupleTree {
+    /// The relation the root tuple belongs to.
+    pub relation: String,
+    /// The tree; the root may be a dummy when the relation has no
+    /// single-column key.
+    pub tree: Tree<PqLabel<TupleNode>>,
+    /// Every *referenced* tuple reached through foreign keys (the root tuple
+    /// itself is not included).
+    pub visited: Vec<SeenRef>,
+}
+
+impl TupleTree {
+    /// Tree height in nodes.
+    pub fn height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Iterate all `(property, value)` pairs of the tree (excluding the
+    /// dummy root, if any).
+    pub fn nodes(&self) -> impl Iterator<Item = &TupleNode> {
+        self.tree.labels().filter_map(|(_, l)| match l {
+            PqLabel::Label(n) => Some(n),
+            PqLabel::Dummy => None,
+        })
+    }
+}
+
+/// Build the tuple tree of row `row` of `relation` in `instance` (Def. 3).
+pub fn tuple_tree(
+    instance: &Instance,
+    relation: &str,
+    row: RowId,
+    config: &TreeConfig,
+) -> Result<TupleTree, StorageError> {
+    let rel_inst = instance.relation_or_err(relation)?;
+    let tuple = rel_inst
+        .row(row)
+        .ok_or_else(|| StorageError::UnknownRelation(format!("{relation}[row {row}]")))?;
+    tuple_tree_of(instance, relation, row, tuple, config)
+}
+
+/// Build the tuple tree of an explicit tuple (which must conform to
+/// `relation`'s schema). `row` is used only for cycle prevention bookkeeping.
+pub fn tuple_tree_of(
+    instance: &Instance,
+    relation: &str,
+    row: RowId,
+    tuple: &Tuple,
+    config: &TreeConfig,
+) -> Result<TupleTree, StorageError> {
+    let schema = instance.schema().relation_or_err(relation)?;
+    let root_key = schema.single_column_key();
+    let mut tree = match root_key {
+        Some(k) => Tree::new(PqLabel::Label(TupleNode {
+            prop: schema.columns[k].name.clone(),
+            value: tuple.values()[k].clone(),
+            relation: relation.to_owned(),
+        })),
+        None => Tree::new(PqLabel::Dummy),
+    };
+    let root = tree.root();
+    let mut visited_set: HashSet<SeenRef> = HashSet::new();
+    let mut visited = Vec::new();
+    let mut path = vec![(relation.to_owned(), row)];
+
+    let mut ctx = BuildCtx {
+        instance,
+        config,
+        visited_set: &mut visited_set,
+        visited: &mut visited,
+    };
+
+    for (i, col) in schema.columns.iter().enumerate() {
+        if root_key == Some(i) {
+            continue;
+        }
+        let v = &tuple.values()[i];
+        if v.is_null() && config.prune_nulls {
+            continue; // "not having a property is not a property"
+        }
+        let node = tree.add_child(
+            root,
+            PqLabel::Label(TupleNode {
+                prop: col.name.clone(),
+                value: v.clone(),
+                relation: relation.to_owned(),
+            }),
+        );
+        ctx.expand(relation, tuple, i, &mut tree, node, &mut path, 2)?;
+    }
+    if let Some(k) = root_key {
+        ctx.expand(relation, tuple, k, &mut tree, root, &mut path, 1)?;
+    }
+
+    Ok(TupleTree {
+        relation: relation.to_owned(),
+        tree,
+        visited,
+    })
+}
+
+struct BuildCtx<'a> {
+    instance: &'a Instance,
+    config: &'a TreeConfig,
+    visited_set: &'a mut HashSet<SeenRef>,
+    visited: &'a mut Vec<SeenRef>,
+}
+
+impl BuildCtx<'_> {
+    /// If column `col` of `relation` starts foreign keys, dereference them
+    /// for `tuple` and hang the referenced tuples' non-key properties under
+    /// `node`.
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &mut self,
+        relation: &str,
+        tuple: &Tuple,
+        col: usize,
+        tree: &mut Tree<PqLabel<TupleNode>>,
+        node: usize,
+        path: &mut Vec<(String, RowId)>,
+        depth: usize,
+    ) -> Result<(), StorageError> {
+        if depth >= self.config.max_depth {
+            return Ok(());
+        }
+        let schema = self.instance.schema().relation_or_err(relation)?;
+        for (fk_idx, fk) in schema.foreign_keys.iter().enumerate() {
+            if fk.columns.first() != Some(&col) {
+                continue;
+            }
+            let Some((ref_rel, ref_row)) = self.instance.deref_fk_row(relation, fk_idx, tuple)
+            else {
+                continue; // null FK ("nonexistent") or dangling reference
+            };
+            let ref_rel = ref_rel.to_owned();
+            if path.iter().any(|(r, id)| r == &ref_rel && *id == ref_row) {
+                continue; // cycle in the data graph
+            }
+            let seen = SeenRef {
+                relation: ref_rel.clone(),
+                row: ref_row,
+            };
+            if self.visited_set.insert(seen.clone()) {
+                self.visited.push(seen);
+            }
+            let target_schema = self.instance.schema().relation_or_err(&ref_rel)?;
+            let ref_tuple = self
+                .instance
+                .relation_or_err(&ref_rel)?
+                .row(ref_row)
+                .expect("deref_fk_row returned a valid row id")
+                .clone();
+            path.push((ref_rel.clone(), ref_row));
+            for (j, tcol) in target_schema.columns.iter().enumerate() {
+                if fk.ref_columns.contains(&j) {
+                    continue; // the referenced key is `node` itself
+                }
+                let v = &ref_tuple.values()[j];
+                if v.is_null() && self.config.prune_nulls {
+                    continue;
+                }
+                let child = tree.add_child(
+                    node,
+                    PqLabel::Label(TupleNode {
+                        prop: tcol.name.clone(),
+                        value: v.clone(),
+                        relation: ref_rel.clone(),
+                    }),
+                );
+                self.expand(&ref_rel, &ref_tuple, j, tree, child, path, depth + 1)?;
+            }
+            path.pop();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{ConflictPolicy, RelationSchema, Schema};
+
+    /// The source schema and instance of Figs. 2–3.
+    pub(crate) fn university() -> Instance {
+        let student =
+            RelationSchema::with_any_columns("Student", &["sname", "program", "dep", "supervisor"])
+                .primary_key(&["sname"])
+                .unwrap()
+                .foreign_key(&["dep"], "Dep")
+                .unwrap()
+                .foreign_key(&["supervisor"], "Prof")
+                .unwrap();
+        let prof = RelationSchema::with_any_columns("Prof", &["pname", "degree", "profdep"])
+            .primary_key(&["pname"])
+            .unwrap()
+            .foreign_key(&["profdep"], "Dep")
+            .unwrap();
+        let dep = RelationSchema::with_any_columns("Dep", &["dname", "building"])
+            .primary_key(&["dname"])
+            .unwrap();
+        let reg = RelationSchema::with_any_columns("Registration", &["sname", "course", "regdate"])
+            .foreign_key(&["sname"], "Student")
+            .unwrap();
+        let schema = Schema::from_relations(vec![student, prof, dep, reg]).unwrap();
+        let mut inst = Instance::new(schema);
+        let p = ConflictPolicy::Reject;
+        inst.insert("Dep", sedex_storage::tuple!["d1", "b1"], p)
+            .unwrap();
+        inst.insert("Dep", sedex_storage::tuple!["d2", "b2"], p)
+            .unwrap();
+        inst.insert("Prof", sedex_storage::tuple!["prof1", "deg1", "d1"], p)
+            .unwrap();
+        inst.insert("Prof", sedex_storage::tuple!["prof2", "deg2", "d2"], p)
+            .unwrap();
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s1", "p1", "d1", "prof1"],
+            p,
+        )
+        .unwrap();
+        inst.insert(
+            "Student",
+            sedex_storage::tuple!["s2", "p2", "d2", Value::Null],
+            p,
+        )
+        .unwrap();
+        inst.insert("Registration", sedex_storage::tuple!["s1", "c1", "dt1"], p)
+            .unwrap();
+        inst
+    }
+
+    fn node_strings(tt: &TupleTree) -> Vec<String> {
+        tt.tree
+            .preorder()
+            .into_iter()
+            .map(|i| tt.tree.label(i).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn fig5_first_student_tuple_tree() {
+        // t1 = (s1, p1, d1, prof1): full expansion through Prof and Dep.
+        let inst = university();
+        let tt = tuple_tree(&inst, "Student", 0, &TreeConfig::default()).unwrap();
+        let nodes = node_strings(&tt);
+        assert_eq!(
+            nodes,
+            vec![
+                "sname:s1",
+                "program:p1",
+                "dep:d1",
+                "building:b1",
+                "supervisor:prof1",
+                "degree:deg1",
+                "profdep:d1",
+                "building:b1",
+            ]
+        );
+        assert_eq!(tt.height(), 4);
+    }
+
+    #[test]
+    fn fig5_second_student_tuple_tree_prunes_null_supervisor() {
+        // t2 = (s2, p2, d2, null): "since supervisor is null, the tuple tree
+        // is not extended from this property".
+        let inst = university();
+        let tt = tuple_tree(&inst, "Student", 1, &TreeConfig::default()).unwrap();
+        let nodes = node_strings(&tt);
+        assert_eq!(
+            nodes,
+            vec!["sname:s2", "program:p2", "dep:d2", "building:b2"]
+        );
+        assert_eq!(tt.height(), 3);
+    }
+
+    #[test]
+    fn prune_nulls_off_keeps_null_nodes() {
+        let inst = university();
+        let cfg = TreeConfig {
+            prune_nulls: false,
+            ..TreeConfig::default()
+        };
+        let tt = tuple_tree(&inst, "Student", 1, &cfg).unwrap();
+        assert!(node_strings(&tt).contains(&"supervisor:NULL".to_string()));
+    }
+
+    #[test]
+    fn registration_tuple_tree_has_dummy_root() {
+        let inst = university();
+        let tt = tuple_tree(&inst, "Registration", 0, &TreeConfig::default()).unwrap();
+        let t = &tt.tree;
+        assert_eq!(t.label(t.root()).to_string(), "*");
+        // Root children: sname:s1 (expanded), course:c1, regdate:dt1.
+        let kids: Vec<_> = t
+            .children(t.root())
+            .iter()
+            .map(|&i| t.label(i).to_string())
+            .collect();
+        assert_eq!(kids, vec!["sname:s1", "course:c1", "regdate:dt1"]);
+        assert_eq!(tt.height(), 5);
+    }
+
+    #[test]
+    fn visited_marks_referenced_tuples_once() {
+        // Processing Student t1 marks prof1 and d1 (d1 only once, even
+        // though it is reached via both dep and profdep) — Section 4.2.
+        let inst = university();
+        let tt = tuple_tree(&inst, "Student", 0, &TreeConfig::default()).unwrap();
+        let mut v: Vec<(String, RowId)> = tt
+            .visited
+            .iter()
+            .map(|s| (s.relation.clone(), s.row))
+            .collect();
+        v.sort();
+        assert_eq!(v, vec![("Dep".to_string(), 0), ("Prof".to_string(), 0)]);
+    }
+
+    #[test]
+    fn dangling_fk_is_a_leaf() {
+        let inst = {
+            let mut i = university();
+            i.insert(
+                "Student",
+                sedex_storage::tuple!["s3", "p3", "dMISSING", Value::Null],
+                ConflictPolicy::Reject,
+            )
+            .unwrap();
+            i
+        };
+        let tt = tuple_tree(&inst, "Student", 2, &TreeConfig::default()).unwrap();
+        let nodes = node_strings(&tt);
+        assert_eq!(nodes, vec!["sname:s3", "program:p3", "dep:dMISSING"]);
+        assert!(tt.visited.is_empty());
+    }
+
+    #[test]
+    fn data_cycles_terminate() {
+        // Emp(id, boss) with a 2-cycle: e1 ↔ e2.
+        let emp = RelationSchema::with_any_columns("Emp", &["id", "boss"])
+            .primary_key(&["id"])
+            .unwrap()
+            .foreign_key(&["boss"], "Emp")
+            .unwrap();
+        let schema = Schema::from_relations(vec![emp]).unwrap();
+        let mut inst = Instance::new(schema);
+        inst.insert(
+            "Emp",
+            sedex_storage::tuple!["e1", "e2"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        inst.insert(
+            "Emp",
+            sedex_storage::tuple!["e2", "e1"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+        let tt = tuple_tree(&inst, "Emp", 0, &TreeConfig::default()).unwrap();
+        // id:e1 → boss:e2 → boss:e1 (stops: e1 on path).
+        assert!(tt.tree.len() <= 4);
+        assert!(tt.height() >= 2);
+    }
+
+    #[test]
+    fn nodes_iterator_skips_dummy_root() {
+        let inst = university();
+        let tt = tuple_tree(&inst, "Registration", 0, &TreeConfig::default()).unwrap();
+        assert_eq!(tt.nodes().count(), tt.tree.len() - 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for tree representation: random star-schema
+//! instances, null-pruning monotonicity, seen-marking soundness and shape
+//! key stability.
+
+use proptest::prelude::*;
+use sedex_storage::{ConflictPolicy, Instance, RelationSchema, Schema, Tuple, Value};
+use sedex_treerep::{
+    post_order_key, reduce_to_relation_tree, relation_tree, tuple_tree, SchemaForest, TreeConfig,
+};
+
+/// A two-level star schema: Fact(k, d1..dn → Dim_i, m) with random nulls.
+fn star_instance(dims: usize, rows: usize, null_mask: &[bool]) -> Instance {
+    let mut rels = Vec::new();
+    let mut fact_cols = vec!["k".to_string()];
+    for d in 0..dims {
+        fact_cols.push(format!("d{d}"));
+    }
+    fact_cols.push("m".into());
+    let mut fact = RelationSchema::with_any_columns("Fact", &fact_cols)
+        .primary_key(&["k"])
+        .unwrap();
+    for d in 0..dims {
+        fact = fact
+            .foreign_key(&[&format!("d{d}")], format!("Dim{d}"))
+            .unwrap();
+    }
+    rels.push(fact);
+    for d in 0..dims {
+        rels.push(
+            RelationSchema::with_any_columns(
+                format!("Dim{d}"),
+                &[format!("dk{d}"), format!("dv{d}")],
+            )
+            .primary_key(&[&format!("dk{d}")])
+            .unwrap(),
+        );
+    }
+    let schema = Schema::from_relations(rels).unwrap();
+    let mut inst = Instance::new(schema);
+    for d in 0..dims {
+        for r in 0..rows {
+            inst.insert(
+                &format!("Dim{d}"),
+                Tuple::of([format!("dim{d}-{r}"), format!("val{d}-{r}")]),
+                ConflictPolicy::Reject,
+            )
+            .unwrap();
+        }
+    }
+    for r in 0..rows {
+        let mut vals = vec![Value::Text(format!("fact{r}"))];
+        for d in 0..dims {
+            let null = null_mask
+                .get((r * dims + d) % null_mask.len().max(1))
+                .copied()
+                .unwrap_or(false);
+            vals.push(if null {
+                Value::Null
+            } else {
+                Value::Text(format!("dim{d}-{}", r % rows))
+            });
+        }
+        vals.push(Value::Text(format!("m{r}")));
+        inst.insert("Fact", Tuple::new(vals), ConflictPolicy::Reject)
+            .unwrap();
+    }
+    inst
+}
+
+proptest! {
+    /// Tuple trees never contain SQL nulls when pruning is on, and never
+    /// contain MORE nodes than with pruning off.
+    #[test]
+    fn null_pruning_monotone(
+        dims in 1usize..4,
+        rows in 1usize..6,
+        mask in proptest::collection::vec(any::<bool>(), 1..12)
+    ) {
+        let inst = star_instance(dims, rows, &mask);
+        let pruned_cfg = TreeConfig::default();
+        let full_cfg = TreeConfig { prune_nulls: false, ..TreeConfig::default() };
+        for r in 0..rows as u32 {
+            let pruned = tuple_tree(&inst, "Fact", r, &pruned_cfg).unwrap();
+            let full = tuple_tree(&inst, "Fact", r, &full_cfg).unwrap();
+            prop_assert!(pruned.tree.len() <= full.tree.len());
+            for n in pruned.nodes() {
+                prop_assert!(!n.value.is_null());
+            }
+        }
+    }
+
+    /// Every visited reference points at a live row of the named relation.
+    #[test]
+    fn visited_refs_are_valid(
+        dims in 1usize..4,
+        rows in 1usize..6,
+        mask in proptest::collection::vec(any::<bool>(), 1..12)
+    ) {
+        let inst = star_instance(dims, rows, &mask);
+        for r in 0..rows as u32 {
+            let tt = tuple_tree(&inst, "Fact", r, &TreeConfig::default()).unwrap();
+            for v in &tt.visited {
+                let rel = inst.relation(&v.relation).expect("relation exists");
+                prop_assert!(rel.row(v.row).is_some());
+            }
+        }
+    }
+
+    /// Shape keys: equal for same-null-pattern rows, different when the
+    /// null pattern differs (some FK present vs absent).
+    #[test]
+    fn shape_key_reflects_structure(dims in 1usize..3, rows in 2usize..5) {
+        let all_present = star_instance(dims, rows, &[false]);
+        let cfg = TreeConfig::default();
+        let keys: Vec<String> = (0..rows as u32)
+            .map(|r| {
+                let tt = tuple_tree(&all_present, "Fact", r, &cfg).unwrap();
+                post_order_key(&reduce_to_relation_tree(&tt))
+            })
+            .collect();
+        for k in &keys {
+            prop_assert_eq!(k, &keys[0]);
+        }
+        let some_null = star_instance(dims, rows, &[true]);
+        let tt = tuple_tree(&some_null, "Fact", 0, &cfg).unwrap();
+        let null_key = post_order_key(&reduce_to_relation_tree(&tt));
+        prop_assert_ne!(&null_key, &keys[0]);
+    }
+
+    /// Relation-tree height bounds tuple-tree height (a tuple tree can only
+    /// prune, never extend, relative to its schema tree).
+    #[test]
+    fn tuple_tree_height_bounded_by_relation_tree(
+        dims in 1usize..4,
+        rows in 1usize..5
+    ) {
+        let inst = star_instance(dims, rows, &[false]);
+        let cfg = TreeConfig::default();
+        let rt = relation_tree(inst.schema(), "Fact", &cfg).unwrap();
+        for r in 0..rows as u32 {
+            let tt = tuple_tree(&inst, "Fact", r, &cfg).unwrap();
+            prop_assert!(tt.height() <= rt.height());
+            prop_assert!(tt.tree.len() <= rt.tree.len());
+        }
+    }
+
+    /// Forest processing order is a permutation of the schema's relations,
+    /// in non-increasing height order.
+    #[test]
+    fn forest_order_sound(dims in 1usize..5) {
+        let inst = star_instance(dims, 1, &[false]);
+        let forest = SchemaForest::new(inst.schema(), &TreeConfig::default()).unwrap();
+        let order = forest.processing_order();
+        prop_assert_eq!(order.len(), inst.schema().len());
+        let heights: Vec<usize> = order
+            .iter()
+            .map(|r| forest.tree(r).unwrap().height())
+            .collect();
+        prop_assert!(heights.windows(2).all(|w| w[0] >= w[1]));
+        // Fact (the referencing relation) always comes first.
+        prop_assert_eq!(order[0], "Fact");
+    }
+}

@@ -1,0 +1,83 @@
+//! The generalization-ambiguity example of Sections 1.2 / 4.5.
+//!
+//! Run with: `cargo run -p sedex --release --example ambiguity`
+//!
+//! Source: `Inst(name, studentID, employeeID, courseId)` collapses graduate
+//! students and professors into one table; the target splits them into
+//! `Grad` and `Prof`. The paper shows ++Spicy produces the redundant
+//! 4-tuple solution while the expected solution has 2 tuples. This example
+//! runs BOTH engines and prints the difference.
+
+use sedex::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Schemas of Section 1.2.
+    let inst =
+        RelationSchema::with_any_columns("Inst", &["name", "studentID", "employeeID", "courseId"])
+            .primary_key(&["name"])?
+            .foreign_key(&["courseId"], "Course")?;
+    let course = RelationSchema::with_any_columns("Course", &["courseId", "credit"])
+        .primary_key(&["courseId"])?;
+    let source_schema = Schema::from_relations(vec![inst, course])?;
+
+    let grad = RelationSchema::with_any_columns("Grad", &["name", "stId", "course"])
+        .primary_key(&["name"])?;
+    let prof = RelationSchema::with_any_columns("Prof", &["name", "empId", "course"])
+        .primary_key(&["name"])?;
+    let target_schema = Schema::from_relations(vec![grad, prof])?;
+
+    let mut sigma = Correspondences::new();
+    sigma.add_qualified("Inst", "name", "Grad", "name");
+    sigma.add_qualified("Inst", "name", "Prof", "name");
+    sigma.add_qualified("Inst", "studentID", "Grad", "stId");
+    sigma.add_qualified("Inst", "employeeID", "Prof", "empId");
+    sigma.add_qualified("Inst", "courseId", "Grad", "course");
+    sigma.add_qualified("Inst", "courseId", "Prof", "course");
+
+    // The instance of Section 1.2: I1 is a student, I2 an employee.
+    let mut source = Instance::new(source_schema.clone());
+    source.insert("Course", tuple!["c1", 3i64], ConflictPolicy::Reject)?;
+    source.insert("Course", tuple!["c2", 2i64], ConflictPolicy::Reject)?;
+    source.insert(
+        "Inst",
+        tuple!["I1", "st1", Value::Null, "c1"],
+        ConflictPolicy::Reject,
+    )?;
+    source.insert(
+        "Inst",
+        tuple!["I2", Value::Null, "e1", "c2"],
+        ConflictPolicy::Reject,
+    )?;
+
+    println!("== source ==\n{source}");
+
+    // ++Spicy: mapping-level exchange fires both generalization mappings
+    // for every tuple.
+    let spicy = SpicyEngine::new(&source_schema, &target_schema, &sigma);
+    println!("== ++Spicy mappings ==");
+    for t in spicy.tgds() {
+        println!("  {t}");
+    }
+    let (spicy_out, spicy_rep) = spicy.run(&source, &target_schema)?;
+    println!("== ++Spicy result (redundant) ==\n{spicy_out}");
+    println!("   size: {}\n", spicy_rep.stats);
+
+    // SEDEX: per-tuple tree matching resolves the ambiguity.
+    let (sedex_out, sedex_rep) = SedexEngine::new().exchange(&source, &target_schema, &sigma)?;
+    println!("== SEDEX result (expected solution) ==\n{sedex_out}");
+    println!("   size: {}", sedex_rep.stats);
+
+    assert_eq!(spicy_out.relation("Grad").unwrap().len(), 2);
+    assert_eq!(spicy_out.relation("Prof").unwrap().len(), 2);
+    assert_eq!(sedex_out.relation("Grad").unwrap().len(), 1);
+    assert_eq!(sedex_out.relation("Prof").unwrap().len(), 1);
+    assert_eq!(sedex_rep.stats.nulls, 0);
+    println!(
+        "\n++Spicy materialized {} atoms ({} nulls); SEDEX {} atoms ({} nulls).",
+        spicy_rep.stats.atoms(),
+        spicy_rep.stats.nulls,
+        sedex_rep.stats.atoms(),
+        sedex_rep.stats.nulls
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! An auditable ETL run: CFDs loaded from their textual format, the
+//! generated SQL transformation scripts printed for review, and the result
+//! scored against an expected solution with the IQ quality module.
+//!
+//! Run with: `cargo run -p sedex --release --example etl_audit`
+
+use sedex::core::scriptgen::generate_script;
+use sedex::core::translate::{slot_values, translate};
+use sedex::core::{quality, sql_statements, sql_template, CfdInterpreter, Matcher};
+use sedex::prelude::*;
+use sedex::treerep::{relation_tree, tuple_tree, SchemaForest, TreeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- hospital source with incomplete data ------------------------------
+    let doctor =
+        RelationSchema::with_any_columns("Doctor", &["did", "specialty"]).primary_key(&["did"])?;
+    let patient =
+        RelationSchema::with_any_columns("Patient", &["pid", "disease", "treatment", "doctor"])
+            .primary_key(&["pid"])?
+            .foreign_key(&["doctor"], "Doctor")?;
+    let source_schema = Schema::from_relations(vec![doctor, patient])?;
+
+    let mut src = Instance::new(source_schema);
+    src.insert(
+        "Doctor",
+        tuple!["doc1", Value::Null],
+        ConflictPolicy::Reject,
+    )?;
+    src.insert(
+        "Patient",
+        tuple!["p1", Value::Null, "dialysis", "doc1"],
+        ConflictPolicy::Reject,
+    )?;
+    src.insert(
+        "Patient",
+        tuple!["p2", "flu", "rest", "doc1"],
+        ConflictPolicy::Reject,
+    )?;
+
+    // --- CFDs in the textual format (the paper loads these from XML) -------
+    let cfd_text = "\
+# domain knowledge repairing the incomplete source
+Patient.treatment = 'dialysis' => Patient.disease = 'kidney disease'
+Patient.disease = 'kidney disease' => Doctor.specialty = 'Urologist'
+";
+    let cfds = CfdInterpreter::parse(cfd_text)?;
+    println!("loaded {} CFDs from text\n", cfds.len());
+
+    // --- target: one denormalized case table ------------------------------
+    let cases = RelationSchema::with_any_columns(
+        "cases",
+        &[
+            "case_id",
+            "illness",
+            "cure",
+            "physician",
+            "physician_specialty",
+        ],
+    )
+    .primary_key(&["case_id"])?;
+    let target = Schema::from_relations(vec![cases])?;
+    let sigma = Correspondences::from_name_pairs([
+        ("pid", "case_id"),
+        ("disease", "illness"),
+        ("treatment", "cure"),
+        ("doctor", "physician"),
+        ("specialty", "physician_specialty"),
+    ]);
+
+    // --- show the generated transformation script for the first patient ---
+    // (CFD application is part of the engine; for the preview we apply them
+    // to a scratch copy so the printed SQL matches what the engine runs.)
+    let mut preview_src = src.clone();
+    cfds.apply(&mut preview_src)?;
+    let cfg = TreeConfig::default();
+    let forest = SchemaForest::new(&target, &cfg)?;
+    let matcher = Matcher::new(&forest, 2, 1);
+    let tx = tuple_tree(&preview_src, "Patient", 0, &cfg)?;
+    let m = matcher.best_match(&tx, &sigma).expect("target exists");
+    let tr = relation_tree(&target, &m.relation, &cfg)?;
+    let ty = translate(&tx, &tr, &sigma);
+    let script = generate_script(&ty, &target);
+    println!("== reusable SQL template (shape-keyed in the repository) ==");
+    print!("{}", sql_template(&script, &target));
+    println!("\n== bound for patient p1 ==");
+    print!("{}", sql_statements(&script, &target, &slot_values(&tx)));
+
+    // --- run the full exchange --------------------------------------------
+    let engine = SedexEngine::new().with_cfds(cfds);
+    let (out, report) = engine.exchange(&src, &target, &sigma)?;
+    println!("\n== exchanged instance ==\n{out}");
+    println!("report: {}", report.stats);
+
+    // --- audit against the expected solution -------------------------------
+    let mut expected = Instance::new(target.clone());
+    expected.insert(
+        "cases",
+        tuple!["p1", "kidney disease", "dialysis", "doc1", "Urologist"],
+        ConflictPolicy::Reject,
+    )?;
+    expected.insert(
+        "cases",
+        tuple!["p2", "flu", "rest", "doc1", "Urologist"],
+        ConflictPolicy::Reject,
+    )?;
+    let q = quality::compare(&out, &expected);
+    println!(
+        "IQ audit: precision {:.2}, recall {:.2}, F1 {:.2}",
+        q.precision(),
+        q.recall(),
+        q.f1()
+    );
+    assert_eq!(q.f1(), 1.0);
+    println!("\nThe CFD-repaired exchange reproduces the expected solution exactly.");
+    Ok(())
+}

@@ -1,0 +1,267 @@
+//! Advanced structural coverage: multi-valued attributes (§4.3), composite
+//! keys (dummy roots), deep FK chains, alternative pq-gram parameters and
+//! cross-engine differential checks.
+
+use sedex::core::{SedexConfig, SedexEngine};
+use sedex::prelude::*;
+use sedex::treerep::{tuple_tree, TreeConfig};
+
+/// §4.3's multi-valued attributes: one source column starting TWO foreign
+/// keys — "k distinct edges are materialized such that there will be an
+/// edge from p to each qi".
+#[test]
+fn multi_valued_attribute_expands_both_references() {
+    let person = RelationSchema::with_any_columns("Person", &["pid", "code"])
+        .primary_key(&["pid"])
+        .unwrap()
+        .foreign_key(&["code"], "Badge")
+        .unwrap()
+        .foreign_key(&["code"], "Locker")
+        .unwrap();
+    let badge = RelationSchema::with_any_columns("Badge", &["bid", "color"])
+        .primary_key(&["bid"])
+        .unwrap();
+    let locker = RelationSchema::with_any_columns("Locker", &["lid", "floor"])
+        .primary_key(&["lid"])
+        .unwrap();
+    let schema = Schema::from_relations(vec![person, badge, locker]).unwrap();
+    let mut inst = Instance::new(schema);
+    inst.insert("Badge", tuple!["x1", "red"], ConflictPolicy::Reject)
+        .unwrap();
+    inst.insert("Locker", tuple!["x1", "3"], ConflictPolicy::Reject)
+        .unwrap();
+    inst.insert("Person", tuple!["p1", "x1"], ConflictPolicy::Reject)
+        .unwrap();
+
+    let tt = tuple_tree(&inst, "Person", 0, &TreeConfig::default()).unwrap();
+    // The code node carries children from BOTH referenced relations.
+    let rendered: Vec<String> = tt
+        .tree
+        .preorder()
+        .into_iter()
+        .map(|i| tt.tree.label(i).to_string())
+        .collect();
+    assert!(rendered.contains(&"color:red".to_string()), "{rendered:?}");
+    assert!(rendered.contains(&"floor:3".to_string()), "{rendered:?}");
+    // Both referenced tuples are marked seen.
+    assert_eq!(tt.visited.len(), 2);
+}
+
+/// Composite source keys produce dummy-rooted trees end to end.
+#[test]
+fn composite_key_relations_exchange() {
+    let enrol = RelationSchema::with_any_columns("Enrol", &["student", "course", "grade"])
+        .primary_key(&["student", "course"])
+        .unwrap();
+    let source = Schema::from_relations(vec![enrol]).unwrap();
+    let mut inst = Instance::new(source);
+    for i in 0..10 {
+        inst.insert(
+            "Enrol",
+            Tuple::of([format!("s{}", i % 3), format!("c{i}"), format!("g{i}")]),
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+    }
+    let tgt = RelationSchema::with_any_columns("TEnrol", &["st", "co", "gr"]);
+    let target = Schema::from_relations(vec![tgt]).unwrap();
+    let sigma =
+        Correspondences::from_name_pairs([("student", "st"), ("course", "co"), ("grade", "gr")]);
+    let (out, report) = SedexEngine::new().exchange(&inst, &target, &sigma).unwrap();
+    assert_eq!(out.relation("TEnrol").unwrap().len(), 10);
+    assert_eq!(report.stats.nulls, 0);
+}
+
+/// A four-level FK chain flows intact through one entity's script.
+#[test]
+fn deep_reference_chain() {
+    let d = RelationSchema::with_any_columns("D", &["dk", "dv"])
+        .primary_key(&["dk"])
+        .unwrap();
+    let c = RelationSchema::with_any_columns("C", &["ck", "cv", "dref"])
+        .primary_key(&["ck"])
+        .unwrap()
+        .foreign_key(&["dref"], "D")
+        .unwrap();
+    let b = RelationSchema::with_any_columns("B", &["bk", "bv", "cref"])
+        .primary_key(&["bk"])
+        .unwrap()
+        .foreign_key(&["cref"], "C")
+        .unwrap();
+    let a = RelationSchema::with_any_columns("A", &["ak", "av", "bref"])
+        .primary_key(&["ak"])
+        .unwrap()
+        .foreign_key(&["bref"], "B")
+        .unwrap();
+    let source = Schema::from_relations(vec![a, b, c, d]).unwrap();
+    let mut inst = Instance::new(source);
+    inst.insert("D", tuple!["d1", "dv1"], ConflictPolicy::Reject)
+        .unwrap();
+    inst.insert("C", tuple!["c1", "cv1", "d1"], ConflictPolicy::Reject)
+        .unwrap();
+    inst.insert("B", tuple!["b1", "bv1", "c1"], ConflictPolicy::Reject)
+        .unwrap();
+    inst.insert("A", tuple!["a1", "av1", "b1"], ConflictPolicy::Reject)
+        .unwrap();
+
+    // Flat target covering the whole chain.
+    let flat = RelationSchema::with_any_columns("Flat", &["fk", "fav", "fbv", "fcv", "fdv"])
+        .primary_key(&["fk"])
+        .unwrap();
+    let target = Schema::from_relations(vec![flat]).unwrap();
+    let sigma = Correspondences::from_name_pairs([
+        ("ak", "fk"),
+        ("av", "fav"),
+        ("bv", "fbv"),
+        ("cv", "fcv"),
+        ("dv", "fdv"),
+    ]);
+    let (out, report) = SedexEngine::new().exchange(&inst, &target, &sigma).unwrap();
+    assert_eq!(
+        out.relation("Flat").unwrap().row(0).unwrap(),
+        &tuple!["a1", "av1", "bv1", "cv1", "dv1"]
+    );
+    // B, C, D were all reached through A and skipped.
+    assert_eq!(report.tuples_skipped_seen, 3);
+}
+
+/// Alternative pq-gram parameters must still find the right hosts on the
+/// running example (parameters change distances, not the argmin here).
+#[test]
+fn alternative_pq_parameters_agree() {
+    use sedex::scenarios::university;
+    let s = university::scenario();
+    let inst = university::fig3_instance().unwrap();
+    let (base, _) = SedexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+    for (p, q) in [(2usize, 2usize), (3, 1), (3, 2)] {
+        let engine = SedexEngine::with_config(SedexConfig {
+            p,
+            q,
+            ..SedexConfig::default()
+        });
+        let (out, _) = engine.exchange(&inst, &s.target, &s.sigma).unwrap();
+        assert_eq!(out.stats(), base.stats(), "p={p} q={q}");
+    }
+}
+
+/// The windowed-matcher configuration produces the same instance as the
+/// default on the running example (q=1 equivalence) and works at q=2.
+#[test]
+fn windowed_engine_configuration() {
+    use sedex::scenarios::university;
+    let s = university::scenario();
+    let inst = university::fig3_instance().unwrap();
+    let (base, _) = SedexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+    for (q, w) in [(1usize, 2usize), (2, 3)] {
+        let engine = SedexEngine::with_config(SedexConfig {
+            q,
+            window: Some(w),
+            ..SedexConfig::default()
+        });
+        let (out, _) = engine.exchange(&inst, &s.target, &s.sigma).unwrap();
+        assert_eq!(out.stats(), base.stats(), "q={q} w={w}");
+    }
+}
+
+/// Differential: SEDEX and EDEX agree on every STBenchmark basic scenario.
+#[test]
+fn sedex_edex_differential_across_scenarios() {
+    use sedex::scenarios::stbench::{basic, BasicKind};
+    for kind in BasicKind::all() {
+        let s = basic(kind);
+        let inst = s.populate(40, 77).unwrap();
+        let (a, _) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let (b, _) = EdexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        assert_eq!(a.stats(), b.stats(), "{}", kind.name());
+    }
+}
+
+/// Unique constraints (beyond the PK) are enforced by script runs.
+#[test]
+fn unique_constraint_merges_in_target() {
+    let r = RelationSchema::with_any_columns("R", &["k", "email", "name"])
+        .primary_key(&["k"])
+        .unwrap();
+    let source = Schema::from_relations(vec![r]).unwrap();
+    let mut inst = Instance::new(source);
+    // Two source rows with different keys but the same email.
+    inst.insert("R", tuple!["k1", "a@x", "Ann"], ConflictPolicy::Reject)
+        .unwrap();
+    inst.insert("R", tuple!["k2", "a@x", "Ann"], ConflictPolicy::Reject)
+        .unwrap();
+    let t = RelationSchema::with_any_columns("T", &["tk", "temail", "tname"])
+        .primary_key(&["tk"])
+        .unwrap()
+        .unique_on(&["temail"])
+        .unwrap();
+    let target = Schema::from_relations(vec![t]).unwrap();
+    let sigma =
+        Correspondences::from_name_pairs([("k", "tk"), ("email", "temail"), ("name", "tname")]);
+    let (out, report) = SedexEngine::new().exchange(&inst, &target, &sigma).unwrap();
+    // The unique(email) egd merges the two rows... but their keys conflict
+    // as constants → one violation, one surviving row.
+    assert_eq!(out.relation("T").unwrap().len(), 1, "{out}");
+    assert_eq!(report.violations, 1);
+}
+
+/// Typed columns survive the exchange: integers stay integers, and type
+/// checking rejects a malformed target write at the storage layer.
+#[test]
+fn typed_columns_flow_through() {
+    use sedex::storage::{Column, DataType};
+    let r = RelationSchema::new(
+        "Orders",
+        vec![
+            Column::new("oid", DataType::Text).not_null(),
+            Column::new("amount", DataType::Int),
+            Column::new("weight", DataType::Real),
+        ],
+    )
+    .primary_key(&["oid"])
+    .unwrap();
+    let source = Schema::from_relations(vec![r]).unwrap();
+    let mut inst = Instance::new(source);
+    inst.insert("Orders", tuple!["o1", 42i64, 2.5], ConflictPolicy::Reject)
+        .unwrap();
+    let t = RelationSchema::new(
+        "Fact",
+        vec![
+            Column::new("fid", DataType::Text).not_null(),
+            Column::new("famount", DataType::Int),
+            Column::new("fweight", DataType::Real),
+        ],
+    )
+    .primary_key(&["fid"])
+    .unwrap();
+    let target = Schema::from_relations(vec![t]).unwrap();
+    let sigma = Correspondences::from_name_pairs([
+        ("oid", "fid"),
+        ("amount", "famount"),
+        ("weight", "fweight"),
+    ]);
+    let (out, _) = SedexEngine::new().exchange(&inst, &target, &sigma).unwrap();
+    let row = out.relation("Fact").unwrap().row(0).unwrap();
+    assert_eq!(row.values()[1], Value::Int(42));
+    assert_eq!(row.values()[2], Value::real(2.5));
+}
+
+/// Engine rejects nothing but reports unmatched tuples when Σ is empty.
+#[test]
+fn empty_sigma_exchanges_nothing() {
+    use sedex::scenarios::university;
+    let s = university::scenario();
+    let inst = university::fig3_instance().unwrap();
+    let (out, report) = SedexEngine::new()
+        .exchange(&inst, &s.target, &Correspondences::new())
+        .unwrap();
+    assert_eq!(out.total_tuples(), 0);
+    assert!(report.tuples_unmatched > 0);
+}

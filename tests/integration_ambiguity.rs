@@ -1,0 +1,197 @@
+//! End-to-end comparison of all engines on the generalization-ambiguity
+//! scenarios (Sections 1.2 / 4.5 and Fig. 10): SEDEX and EDEX produce the
+//! expected solution, Clio and ++Spicy do not.
+
+use sedex::core::quality;
+use sedex::mapping::{ClioEngine, MapMergeEngine, SpicyEngine};
+use sedex::prelude::*;
+use sedex::scenarios::ambiguity::amb_only;
+
+fn section12() -> (Instance, Schema, Schema, Correspondences) {
+    let inst =
+        RelationSchema::with_any_columns("Inst", &["name", "studentID", "employeeID", "courseId"])
+            .primary_key(&["name"])
+            .unwrap()
+            .foreign_key(&["courseId"], "Course")
+            .unwrap();
+    let course = RelationSchema::with_any_columns("Course", &["courseId", "credit"])
+        .primary_key(&["courseId"])
+        .unwrap();
+    let source_schema = Schema::from_relations(vec![inst, course]).unwrap();
+
+    let grad = RelationSchema::with_any_columns("Grad", &["name", "stId", "course"])
+        .primary_key(&["name"])
+        .unwrap();
+    let prof = RelationSchema::with_any_columns("Prof", &["name", "empId", "course"])
+        .primary_key(&["name"])
+        .unwrap();
+    let target_schema = Schema::from_relations(vec![grad, prof]).unwrap();
+
+    let mut sigma = Correspondences::new();
+    sigma.add_qualified("Inst", "name", "Grad", "name");
+    sigma.add_qualified("Inst", "name", "Prof", "name");
+    sigma.add_qualified("Inst", "studentID", "Grad", "stId");
+    sigma.add_qualified("Inst", "employeeID", "Prof", "empId");
+    sigma.add_qualified("Inst", "courseId", "Grad", "course");
+    sigma.add_qualified("Inst", "courseId", "Prof", "course");
+
+    let mut source = Instance::new(source_schema.clone());
+    source
+        .insert("Course", tuple!["c1", 3i64], ConflictPolicy::Reject)
+        .unwrap();
+    source
+        .insert("Course", tuple!["c2", 2i64], ConflictPolicy::Reject)
+        .unwrap();
+    source
+        .insert(
+            "Inst",
+            tuple!["I1", "st1", Value::Null, "c1"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+    source
+        .insert(
+            "Inst",
+            tuple!["I2", Value::Null, "e1", "c2"],
+            ConflictPolicy::Reject,
+        )
+        .unwrap();
+    (source, source_schema, target_schema, sigma)
+}
+
+#[test]
+fn sedex_produces_expected_solution() {
+    let (source, _, target, sigma) = section12();
+    let (out, rep) = SedexEngine::new()
+        .exchange(&source, &target, &sigma)
+        .unwrap();
+    assert_eq!(out.relation("Grad").unwrap().len(), 1);
+    assert_eq!(out.relation("Prof").unwrap().len(), 1);
+    assert_eq!(
+        out.relation("Grad").unwrap().row(0).unwrap(),
+        &tuple!["I1", "st1", "c1"]
+    );
+    assert_eq!(
+        out.relation("Prof").unwrap().row(0).unwrap(),
+        &tuple!["I2", "e1", "c2"]
+    );
+    assert_eq!(rep.stats.nulls, 0);
+}
+
+#[test]
+fn edex_matches_sedex_quality() {
+    let (source, _, target, sigma) = section12();
+    let (sedex_out, _) = SedexEngine::new()
+        .exchange(&source, &target, &sigma)
+        .unwrap();
+    let (edex_out, _) = EdexEngine::new()
+        .exchange(&source, &target, &sigma)
+        .unwrap();
+    assert_eq!(sedex_out.stats(), edex_out.stats());
+}
+
+#[test]
+fn spicy_produces_redundant_solution() {
+    let (source, src_schema, target, sigma) = section12();
+    let spicy = SpicyEngine::new(&src_schema, &target, &sigma);
+    let (out, _) = spicy.run(&source, &target).unwrap();
+    // The paper's redundant solution: both tuples land in both tables.
+    assert_eq!(out.relation("Grad").unwrap().len(), 2);
+    assert_eq!(out.relation("Prof").unwrap().len(), 2);
+    assert!(out.stats().nulls >= 2);
+}
+
+#[test]
+fn clio_is_no_better_than_spicy() {
+    let (source, src_schema, target, sigma) = section12();
+    let clio = ClioEngine::new(&src_schema, &target, &sigma);
+    let spicy = SpicyEngine::new(&src_schema, &target, &sigma);
+    let (c_out, _) = clio.run(&source, &target).unwrap();
+    let (s_out, _) = spicy.run(&source, &target).unwrap();
+    assert!(c_out.stats().atoms() >= s_out.stats().atoms());
+}
+
+#[test]
+fn amb_quality_gap_grows_with_udp_invocations() {
+    // The Fig. 10 trend: more UDP invocations → a larger ++Spicy-vs-SEDEX
+    // atom gap.
+    let mut gaps = Vec::new();
+    for udps in [2usize, 6] {
+        let s = amb_only(udps);
+        let inst = s.populate(20, 13).unwrap();
+        let (_, sedex_rep) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let spicy = SpicyEngine::new(&s.source, &s.target, &s.sigma);
+        let (_, spicy_rep) = spicy.run(&inst, &s.target).unwrap();
+        assert!(spicy_rep.stats.atoms() > sedex_rep.stats.atoms());
+        gaps.push(spicy_rep.stats.atoms() - sedex_rep.stats.atoms());
+    }
+    assert!(gaps[1] > gaps[0], "gaps: {gaps:?}");
+}
+
+/// Score every engine against the paper's expected solution with the IQ
+/// quality module: SEDEX = EDEX = perfect; the mapping-level systems lose
+/// precision to redundancy.
+#[test]
+fn iq_scores_against_expected_solution() {
+    let (source, src_schema, target, sigma) = section12();
+    // The expected solution of Section 1.2.
+    let mut expected = Instance::new(target.clone());
+    expected
+        .insert("Grad", tuple!["I1", "st1", "c1"], ConflictPolicy::Reject)
+        .unwrap();
+    expected
+        .insert("Prof", tuple!["I2", "e1", "c2"], ConflictPolicy::Reject)
+        .unwrap();
+
+    let (sedex_out, _) = SedexEngine::new()
+        .exchange(&source, &target, &sigma)
+        .unwrap();
+    let q = quality::compare(&sedex_out, &expected);
+    assert_eq!(q.f1(), 1.0, "{q:?}");
+
+    let (edex_out, _) = EdexEngine::new()
+        .exchange(&source, &target, &sigma)
+        .unwrap();
+    assert_eq!(quality::compare(&edex_out, &expected).f1(), 1.0);
+
+    let (spicy_out, _) = SpicyEngine::new(&src_schema, &target, &sigma)
+        .run(&source, &target)
+        .unwrap();
+    let qs = quality::compare(&spicy_out, &expected);
+    assert_eq!(qs.recall(), 1.0); // nothing lost…
+    assert!(qs.precision() < 1.0, "{qs:?}"); // …but redundant tuples
+
+    let (clio_out, _) = ClioEngine::new(&src_schema, &target, &sigma)
+        .run(&source, &target)
+        .unwrap();
+    let qc = quality::compare(&clio_out, &expected);
+    assert!(qc.precision() <= qs.precision());
+
+    let (mm_out, _) = MapMergeEngine::new(&src_schema, &target, &sigma)
+        .run(&source, &target)
+        .unwrap();
+    let qm = quality::compare(&mm_out, &expected);
+    assert!(qm.precision() >= qc.precision());
+    assert!(qm.precision() < 1.0);
+}
+
+#[test]
+fn prune_nulls_ablation_degrades_sedex() {
+    // Disabling null pruning removes SEDEX's disambiguation signal: the two
+    // Inst tuples then have identical tuple trees and land in one table.
+    let (source, _, target, sigma) = section12();
+    let degraded = SedexEngine::with_config(sedex::core::SedexConfig {
+        prune_nulls: false,
+        ..sedex::core::SedexConfig::default()
+    });
+    let (out, _) = degraded.exchange(&source, &target, &sigma).unwrap();
+    let grad = out.relation("Grad").unwrap().len();
+    let prof = out.relation("Prof").unwrap().len();
+    // Both tuples now go to the same host (whichever ranks first).
+    assert!(
+        grad == 2 && prof == 0 || grad == 0 && prof == 2,
+        "grad={grad} prof={prof}"
+    );
+}

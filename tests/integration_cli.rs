@@ -1,0 +1,136 @@
+//! Integration tests driving the `sedex` CLI binary on the shipped scenario
+//! files.
+
+use std::process::Command;
+
+fn sedex_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sedex")
+}
+
+fn repo_file(name: &str) -> String {
+    format!(
+        "{}/../../scenarios_examples/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn check_validates_university_file() {
+    let out = Command::new(sedex_bin())
+        .args(["check", &repo_file("university.sdx")])
+        .output()
+        .expect("run sedex");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 source relations"));
+    assert!(stdout.contains("3 target relations"));
+    assert!(stdout.contains("8 tuples"));
+}
+
+#[test]
+fn run_sedex_resolves_ambiguity_file() {
+    let out = Command::new(sedex_bin())
+        .args(["run", &repo_file("ambiguity.sdx")])
+        .output()
+        .expect("run sedex");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Grad (1 tuples)"), "{stdout}");
+    assert!(stdout.contains("Prof (1 tuples)"), "{stdout}");
+    assert!(stdout.contains("0 nulls"), "{stdout}");
+}
+
+#[test]
+fn run_spicy_shows_redundancy_on_same_file() {
+    let out = Command::new(sedex_bin())
+        .args(["run", &repo_file("ambiguity.sdx"), "--engine", "spicy"])
+        .output()
+        .expect("run sedex");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Grad (2 tuples)"), "{stdout}");
+    assert!(stdout.contains("Prof (2 tuples)"), "{stdout}");
+}
+
+#[test]
+fn sql_flag_prints_insert_statements() {
+    let out = Command::new(sedex_bin())
+        .args(["run", &repo_file("ambiguity.sdx"), "--sql", "--quiet"])
+        .output()
+        .expect("run sedex");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("INSERT INTO Grad"), "{stdout}");
+    assert!(stdout.contains("INSERT INTO Prof"), "{stdout}");
+}
+
+#[test]
+fn trees_prints_relation_trees() {
+    let out = Command::new(sedex_bin())
+        .args(["trees", &repo_file("university.sdx")])
+        .output()
+        .expect("run sedex");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-- Registration (height 5) --"), "{stdout}");
+    assert!(stdout.contains("supervisor"), "{stdout}");
+}
+
+#[test]
+fn bad_file_fails_with_line_number() {
+    let dir = std::env::temp_dir().join("sedex_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.sdx");
+    std::fs::write(&path, "[source]\nR(a\n").unwrap();
+    let out = Command::new(sedex_bin())
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .expect("run sedex");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn gen_produces_runnable_files() {
+    let dir = std::env::temp_dir().join("sedex_cli_gen");
+    std::fs::create_dir_all(&dir).unwrap();
+    for kind in ["university", "vp", "ne", "amb"] {
+        let out = Command::new(sedex_bin())
+            .args(["gen", kind, "--tuples", "4"])
+            .output()
+            .expect("run sedex gen");
+        assert!(
+            out.status.success(),
+            "gen {kind}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let path = dir.join(format!("{kind}.sdx"));
+        std::fs::write(&path, &out.stdout).unwrap();
+        let run = Command::new(sedex_bin())
+            .args(["run", path.to_str().unwrap(), "--quiet"])
+            .output()
+            .expect("run generated file");
+        assert!(
+            run.status.success(),
+            "run {kind}: {}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&run.stdout);
+        assert!(stdout.contains("sedex:"), "{stdout}");
+    }
+}
+
+#[test]
+fn unknown_engine_is_an_error() {
+    let out = Command::new(sedex_bin())
+        .args(["run", &repo_file("university.sdx"), "--engine", "nope"])
+        .output()
+        .expect("run sedex");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
+}

@@ -1,0 +1,159 @@
+//! Engine-level integration: quality orderings and ablations that DESIGN.md
+//! promises, verified across crates.
+
+use sedex::core::SedexConfig;
+use sedex::mapping::{ClioEngine, SpicyEngine};
+use sedex::prelude::*;
+use sedex::scenarios::ibench::{add_vp, ScenarioBuilder};
+use sedex::scenarios::stbench::{basic, BasicKind};
+
+/// On a VP workload with egds, quality ordering is
+/// Clio (most atoms) ≥ ++Spicy ≥ SEDEX.
+#[test]
+fn quality_ordering_clio_spicy_sedex() {
+    let mut b = ScenarioBuilder::default();
+    add_vp(&mut b, "vp0", 6, true);
+    let s = b.build("vp");
+    let inst = s.populate(60, 31).unwrap();
+
+    let clio = ClioEngine::new(&s.source, &s.target, &s.sigma);
+    let (c_out, _) = clio.run(&inst, &s.target).unwrap();
+    let spicy = SpicyEngine::new(&s.source, &s.target, &s.sigma);
+    let (p_out, _) = spicy.run(&inst, &s.target).unwrap();
+    let (x_out, _) = SedexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+
+    let (c, p, x) = (c_out.stats(), p_out.stats(), x_out.stats());
+    assert!(c.atoms() >= p.atoms(), "clio {c:?} vs spicy {p:?}");
+    assert!(p.atoms() >= x.atoms(), "spicy {p:?} vs sedex {x:?}");
+    assert!(c.nulls >= p.nulls);
+}
+
+#[test]
+fn reuse_ablation_identical_output_more_work() {
+    let s = basic(BasicKind::De);
+    let inst = s.populate(150, 32).unwrap();
+    let baseline = SedexEngine::new();
+    let ablated = SedexEngine::with_config(SedexConfig {
+        reuse_scripts: false,
+        ..SedexConfig::default()
+    });
+    let (o1, r1) = baseline.exchange(&inst, &s.target, &s.sigma).unwrap();
+    let (o2, r2) = ablated.exchange(&inst, &s.target, &s.sigma).unwrap();
+    assert_eq!(o1.stats(), o2.stats());
+    assert!(r1.scripts_generated * 10 < r2.scripts_generated);
+}
+
+#[test]
+fn order_ablation_fragments_entities() {
+    // Section 4.1's claim, demonstrated: processing referenced relations
+    // BEFORE their referencing relations materializes the referenced
+    // entities twice (once standalone with a surrogate, once through the
+    // reference) — entity fragmentation. Height ordering prevents it.
+    let s = basic(BasicKind::De);
+    let inst = s.populate(50, 33).unwrap();
+    let ordered = SedexEngine::new();
+    let unordered = SedexEngine::with_config(SedexConfig {
+        order_by_height: false,
+        ..SedexConfig::default()
+    });
+    let (o1, r1) = ordered.exchange(&inst, &s.target, &s.sigma).unwrap();
+    let (o2, r2) = unordered.exchange(&inst, &s.target, &s.sigma).unwrap();
+    assert!(
+        o2.stats().atoms() > o1.stats().atoms(),
+        "unordered {:?} vs ordered {:?}",
+        o2.stats(),
+        o1.stats()
+    );
+    assert!(o2.stats().tuples > o1.stats().tuples);
+    // The ordered run skips the parents it already visited; the unordered
+    // one processed them standalone first.
+    assert!(r1.tuples_skipped_seen > r2.tuples_skipped_seen);
+}
+
+#[test]
+fn edex_slower_metrics_than_sedex() {
+    let s = basic(BasicKind::Cp);
+    let inst = s.populate(400, 34).unwrap();
+    let (_, sedex_rep) = SedexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+    let (_, edex_rep) = EdexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+    // EDEX generates one script per tuple; SEDEX a handful.
+    assert!(sedex_rep.scripts_generated < 10);
+    assert_eq!(edex_rep.scripts_generated, 400);
+}
+
+#[test]
+fn hit_events_reconstruct_fig14_pattern() {
+    let s = basic(BasicKind::Cp);
+    let inst = s.populate(300, 35).unwrap();
+    let engine = SedexEngine::with_config(SedexConfig {
+        record_hit_events: true,
+        ..SedexConfig::default()
+    });
+    let (_, rep) = engine.exchange(&inst, &s.target, &s.sigma).unwrap();
+    assert_eq!(rep.hit_events.len(), 300);
+    let curve = rep.hit_ratio_curve(10);
+    assert_eq!(curve.len(), 10);
+    // "The hit ratio at the beginning is very low … sharply increases."
+    assert!(curve.last().unwrap().1 > 0.95);
+}
+
+#[test]
+fn violations_counted_not_fatal() {
+    // Two source rows map to the same target key with conflicting
+    // constants: SEDEX records a violation and keeps the first tuple.
+    let r = RelationSchema::with_any_columns("R", &["k", "v"]);
+    let src_schema = Schema::from_relations(vec![r]).unwrap();
+    let mut inst = Instance::new(src_schema);
+    inst.insert("R", tuple!["k1", "a"], ConflictPolicy::Allow)
+        .unwrap();
+    inst.insert("R", tuple!["k1", "b"], ConflictPolicy::Allow)
+        .unwrap();
+    let t = RelationSchema::with_any_columns("T", &["k2", "v2"])
+        .primary_key(&["k2"])
+        .unwrap();
+    let tgt = Schema::from_relations(vec![t]).unwrap();
+    let sigma = Correspondences::from_name_pairs([("k", "k2"), ("v", "v2")]);
+    let (out, rep) = SedexEngine::new().exchange(&inst, &tgt, &sigma).unwrap();
+    assert_eq!(rep.violations, 1);
+    assert_eq!(out.relation("T").unwrap().len(), 1);
+}
+
+#[test]
+fn cfd_round_trip_through_engine() {
+    use sedex::core::{Cfd, CfdInterpreter};
+    let r = RelationSchema::with_any_columns("Treat", &["pid", "treatment", "disease"])
+        .primary_key(&["pid"])
+        .unwrap();
+    let src_schema = Schema::from_relations(vec![r]).unwrap();
+    let mut inst = Instance::new(src_schema);
+    inst.insert(
+        "Treat",
+        tuple!["p1", "dialysis", Value::Null],
+        ConflictPolicy::Reject,
+    )
+    .unwrap();
+    let t = RelationSchema::with_any_columns("T", &["id", "illness"])
+        .primary_key(&["id"])
+        .unwrap();
+    let tgt = Schema::from_relations(vec![t]).unwrap();
+    let sigma = Correspondences::from_name_pairs([("pid", "id"), ("disease", "illness")]);
+    let cfds = CfdInterpreter::load([Cfd::Intra {
+        relation: "Treat".into(),
+        cond_col: "treatment".into(),
+        cond_val: Value::text("dialysis"),
+        det_col: "disease".into(),
+        det_val: Value::text("kidney disease"),
+    }]);
+    let engine = SedexEngine::new().with_cfds(cfds);
+    let (out, _) = engine.exchange(&inst, &tgt, &sigma).unwrap();
+    assert_eq!(
+        out.relation("T").unwrap().row(0).unwrap(),
+        &tuple!["p1", "kidney disease"]
+    );
+}

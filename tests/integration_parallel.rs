@@ -1,0 +1,88 @@
+//! Parallel-mode integration: the multi-threaded tree-building phase must
+//! produce byte-identical instances to the serial engine, at every thread
+//! count and batch size.
+
+use sedex::core::{SedexConfig, SedexEngine};
+use sedex::prelude::*;
+use sedex::scenarios::compose::{composed, Repetitions};
+use sedex::scenarios::ibench::{stb, IbenchConfig};
+
+fn assert_same_instance(a: &Instance, b: &Instance) {
+    for (name, rel) in a.relations() {
+        let other = b.relation(name).unwrap();
+        let mut r1: Vec<_> = rel.rows().to_vec();
+        let mut r2: Vec<_> = other.rows().to_vec();
+        r1.sort();
+        r2.sort();
+        assert_eq!(r1, r2, "relation {name} differs");
+    }
+}
+
+#[test]
+fn thread_counts_agree_on_stb() {
+    let s = stb(&IbenchConfig {
+        instances_per_primitive: 2,
+        ..IbenchConfig::default()
+    });
+    let inst = s.populate(120, 41).unwrap();
+    let (base, _) = SedexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+    for threads in [2usize, 4, 8] {
+        let engine = SedexEngine::with_config(SedexConfig {
+            threads,
+            batch_size: 64,
+            ..SedexConfig::default()
+        });
+        let (out, _) = engine.exchange(&inst, &s.target, &s.sigma).unwrap();
+        assert_same_instance(&base, &out);
+    }
+}
+
+#[test]
+fn batch_sizes_agree() {
+    let s = composed(
+        "sP",
+        Repetitions {
+            vp: 2,
+            de: 2,
+            cp: 1,
+        },
+    );
+    let inst = s.populate(77, 42).unwrap();
+    let (base, _) = SedexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+    for batch in [1usize, 7, 64, 100_000] {
+        let engine = SedexEngine::with_config(SedexConfig {
+            batch_size: batch,
+            threads: 3,
+            ..SedexConfig::default()
+        });
+        let (out, _) = engine.exchange(&inst, &s.target, &s.sigma).unwrap();
+        assert_same_instance(&base, &out);
+    }
+}
+
+#[test]
+fn parallel_reports_consistent_counts() {
+    let s = stb(&IbenchConfig {
+        instances_per_primitive: 1,
+        ..IbenchConfig::default()
+    });
+    let inst = s.populate(200, 43).unwrap();
+    let (_, serial) = SedexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+    let engine = SedexEngine::with_config(SedexConfig {
+        threads: 4,
+        batch_size: 50,
+        ..SedexConfig::default()
+    });
+    let (_, parallel) = engine.exchange(&inst, &s.target, &s.sigma).unwrap();
+    assert_eq!(
+        serial.tuples_processed + serial.tuples_skipped_seen,
+        parallel.tuples_processed + parallel.tuples_skipped_seen
+    );
+    assert_eq!(serial.stats, parallel.stats);
+}

@@ -1,0 +1,146 @@
+//! Integration tests over the generated workloads: STB, AMB, the ten
+//! STBenchmark basics and the composed large scenarios all run end-to-end
+//! through every engine.
+
+use sedex::mapping::SpicyEngine;
+use sedex::prelude::*;
+use sedex::scenarios::ambiguity::amb;
+use sedex::scenarios::compose::{abcd_scenarios, composed, Repetitions};
+use sedex::scenarios::ibench::{stb, IbenchConfig};
+use sedex::scenarios::stbench::{basic, BasicKind};
+
+fn small_cfg() -> IbenchConfig {
+    IbenchConfig {
+        instances_per_primitive: 2,
+        ..IbenchConfig::default()
+    }
+}
+
+#[test]
+fn stb_runs_through_sedex_and_spicy() {
+    let s = stb(&small_cfg());
+    let inst = s.populate(25, 21).unwrap();
+    let (sedex_out, sedex_rep) = SedexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+    assert!(sedex_out.total_tuples() > 0);
+    assert_eq!(sedex_rep.tuples_unmatched, 0, "{sedex_rep:?}");
+
+    let spicy = SpicyEngine::new(&s.source, &s.target, &s.sigma);
+    let (spicy_out, _) = spicy.run(&inst, &s.target).unwrap();
+    assert!(spicy_out.total_tuples() > 0);
+    // Fig. 9 at 100% egds: SEDEX produces no more nulls than ++Spicy.
+    assert!(sedex_out.stats().nulls <= spicy_out.stats().nulls);
+}
+
+#[test]
+fn fig9_trend_fewer_egds_more_nulls() {
+    // Both systems produce more nulls when fewer target relations carry
+    // keys (less merging possible).
+    let mut nulls_by_fraction = Vec::new();
+    for pk_fraction in [0.0, 1.0] {
+        let s = stb(&IbenchConfig {
+            instances_per_primitive: 2,
+            pk_fraction,
+            ..IbenchConfig::default()
+        });
+        let inst = s.populate(25, 22).unwrap();
+        let (_, rep) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        nulls_by_fraction.push(rep.stats.nulls);
+    }
+    assert!(
+        nulls_by_fraction[0] >= nulls_by_fraction[1],
+        "{nulls_by_fraction:?}"
+    );
+}
+
+#[test]
+fn amb_dataset_composes_and_runs() {
+    let s = amb(&small_cfg(), 4);
+    let inst = s.populate(12, 23).unwrap();
+    let (out, rep) = SedexEngine::new()
+        .exchange(&inst, &s.target, &s.sigma)
+        .unwrap();
+    assert!(out.total_tuples() > 0);
+    assert_eq!(rep.violations, 0);
+}
+
+#[test]
+fn all_basic_scenarios_have_high_reuse() {
+    // Fig. 15: every scenario reuses scripts; with uniform tuples the
+    // distinct shapes are few.
+    for kind in BasicKind::all() {
+        let s = basic(kind);
+        let inst = s.populate(200, 24).unwrap();
+        let (_, rep) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        assert!(
+            rep.reuse_percent() > 80.0,
+            "{}: reuse {:.1}%",
+            kind.name(),
+            rep.reuse_percent()
+        );
+    }
+}
+
+#[test]
+fn composed_scenarios_scale_in_tables_and_scripts() {
+    let small = composed(
+        "sA",
+        Repetitions {
+            vp: 2,
+            de: 2,
+            cp: 1,
+        },
+    );
+    let large = composed(
+        "sB",
+        Repetitions {
+            vp: 6,
+            de: 6,
+            cp: 1,
+        },
+    );
+    let i_small = small.populate(10, 25).unwrap();
+    let i_large = large.populate(10, 25).unwrap();
+    let (_, r_small) = SedexEngine::new()
+        .exchange(&i_small, &small.target, &small.sigma)
+        .unwrap();
+    let (_, r_large) = SedexEngine::new()
+        .exchange(&i_large, &large.target, &large.sigma)
+        .unwrap();
+    // More relations → more distinct relation trees → more scripts (Fig. 11's
+    // "increasing the number of tables results in new relation trees and
+    // consequently new scripts").
+    assert!(r_large.scripts_generated > r_small.scripts_generated);
+}
+
+#[test]
+fn abcd_scenarios_run_under_all_three_engines() {
+    for s in abcd_scenarios() {
+        let inst = s.populate(30, 26).unwrap();
+        let (sx, _) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let (ex, _) = EdexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
+        let spicy = SpicyEngine::new(&s.source, &s.target, &s.sigma);
+        let (px, _) = spicy.run(&inst, &s.target).unwrap();
+        assert!(sx.total_tuples() > 0, "{}: sedex empty", s.name);
+        assert_eq!(sx.stats(), ex.stats(), "{}: edex != sedex", s.name);
+        assert!(px.total_tuples() > 0, "{}: spicy empty", s.name);
+    }
+}
+
+#[test]
+fn population_scales_linearly() {
+    let s = basic(BasicKind::Cp);
+    for n in [10usize, 100] {
+        let inst = s.populate(n, 27).unwrap();
+        assert_eq!(inst.total_tuples(), n);
+    }
+}
