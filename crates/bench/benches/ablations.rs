@@ -1,7 +1,7 @@
 //! Ablation benches for the design choices DESIGN.md calls out: script
 //! reuse, processing order, null pruning, pq-gram parameters and threading.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedex_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sedex_core::{SedexConfig, SedexEngine};
 use sedex_pqgram::{normalized_distance, tree_edit_distance, PqGramProfile, Tree};
 use sedex_scenarios::stbench::{basic, BasicKind};

@@ -1,7 +1,7 @@
 //! Criterion microbenches for the exchange kernels: Match, translate,
 //! script generation, script execution, chase and egd application.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sedex_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
 use sedex_core::scriptgen::generate_script;
 use sedex_core::translate::{slot_values, translate};
 use sedex_core::{run_script, Matcher};

@@ -2,7 +2,7 @@
 //! exchanges for SEDEX / EDEX / ++Spicy on representative scenarios, so
 //! regressions in any engine show up in `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedex_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sedex_core::{EdexEngine, SedexEngine};
 use sedex_mapping::SpicyEngine;
 use sedex_scenarios::ambiguity::amb_only;

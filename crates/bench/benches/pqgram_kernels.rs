@@ -2,7 +2,7 @@
 //! distance, sorting, windowed variant) — the hot path of the Match
 //! function.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedex_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sedex_pqgram::{normalized_distance, sort, PqGramProfile, Tree, WindowedProfile};
 
 /// A bushy synthetic tree with `n` nodes and fan-out ~4.

@@ -1,7 +1,7 @@
 //! Criterion microbenches for tree construction: relation trees, tuple
 //! trees, reduction and shape keys — the per-tuple cost of the engine.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sedex_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
 use sedex_scenarios::university;
 use sedex_treerep::{
     post_order_key, reduce_to_relation_tree, relation_tree, tuple_tree, SchemaForest, TreeConfig,

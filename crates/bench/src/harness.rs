@@ -1,0 +1,240 @@
+//! A minimal, in-tree micro-benchmark harness with a Criterion-compatible
+//! surface (`Criterion`, `benchmark_group`, `bench_with_input`,
+//! `black_box`, `criterion_group!`/`criterion_main!`).
+//!
+//! The workspace builds fully offline, so the real `criterion` crate is
+//! not available; the bench files under `benches/` only need the handful
+//! of entry points this module provides. Measurement is deliberately
+//! simple — warm up briefly, then time enough iterations to fill a fixed
+//! wall budget and report the mean — which is plenty for the relative
+//! comparisons the benches exist for (reuse on/off, pq-gram vs TED, …).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver passed to the closure.
+pub struct Bencher {
+    budget: Duration,
+    /// Filled in by [`Bencher::iter`]: (total elapsed, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly: one warm-up call, then as many iterations as
+    /// fit the wall budget (at least 5).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f()); // warm-up, also primes caches/allocations
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if iters >= 5 && start.elapsed() >= self.budget {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// Identifier combining a function name and a parameter, shown as
+/// `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as in criterion.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level driver: owns default settings and prints results.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Per-bench wall budget; kept short so `cargo bench` over the
+            // whole suite stays in seconds, not minutes.
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+fn run_one(label: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per = elapsed / iters as u32;
+            println!("bench {label:<48} {per:>12?}/iter ({iters} iters)");
+        }
+        _ => println!("bench {label:<48} (no measurement: iter() never called)"),
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().id, self.budget, &mut f);
+        self
+    }
+
+    /// Start a named group; benchmarks inside print as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+    budget: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for criterion compatibility; the simple harness uses a
+    /// wall budget instead of a sample count, so this only scales it.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion's default is 100 samples; scale our budget likewise.
+        self.budget = Duration::from_millis((300 * n as u64 / 100).clamp(50, 2_000));
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.into().id),
+            self.budget,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.budget,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (criterion compatibility; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+// Make `use sedex_bench::harness::{criterion_group, criterion_main}` work
+// like the criterion crate's own re-exports.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(5),
+            result: None,
+        };
+        b.iter(|| black_box(21u64 * 2));
+        let (elapsed, iters) = b.result.unwrap();
+        assert!(iters >= 5);
+        assert!(elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("build", 128).id, "build/128");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(1);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0);
+        c.bench_function("two", |b| b.iter(|| black_box(1)));
+    }
+}

@@ -297,11 +297,11 @@ impl SedexEngine {
         let threads = self.config.threads.min(todo.len());
         let chunk = todo.len().div_ceil(threads);
         let mut out: Vec<Result<Vec<(u32, TupleTree)>, StorageError>> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = todo
                 .chunks(chunk)
                 .map(|part| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         part.iter()
                             .map(|&r| tuple_tree(src, rel_name, r, tree_cfg).map(|t| (r, t)))
                             .collect::<Result<Vec<_>, _>>()
@@ -311,8 +311,7 @@ impl SedexEngine {
             for h in handles {
                 out.push(h.join().expect("tree-building worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         let mut flat = Vec::with_capacity(todo_len(&out));
         for part in out {
             flat.extend(part?);

@@ -50,7 +50,7 @@ pub use engine::{SedexConfig, SedexEngine};
 pub use matcher::{MatchResult, Matcher};
 pub use metrics::{ExchangeReport, HitEvent};
 pub use quality::{compare, QualityReport};
-pub use render::{sql_statements, sql_template, xml_document};
+pub use render::{sql_statements, sql_template, xml_document, ReportVerbose};
 pub use repository::ScriptRepository;
 pub use script::{run_script, Script, SlotRef, Statement};
 pub use session::SedexSession;

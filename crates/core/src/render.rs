@@ -13,11 +13,75 @@
 //! * [`xml_document`] — the translated tuple tree as a nested XML element,
 //!   the paper's alternative output format.
 
+use std::fmt;
+
 use sedex_pqgram::PqLabel;
 use sedex_storage::{Schema, Value};
 
+use crate::metrics::ExchangeReport;
 use crate::script::{Script, SlotRef};
 use crate::translate::TranslatedTree;
+
+/// One-line rendering of an [`ExchangeReport`] — the summary the CLI, the
+/// server's `STATS` command and the experiment binaries all share, so the
+/// counters are formatted in exactly one place.
+///
+/// ```text
+/// 6 tuples, 24 constants, 0 nulls | Tg 1.2ms Te 800µs | scripts 2 generated / 10 reused | 0 violations
+/// ```
+impl fmt::Display for ExchangeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | Tg {:?} Te {:?} | scripts {} generated / {} reused | {} violations",
+            self.stats, self.tg, self.te, self.scripts_generated, self.scripts_reused, self.violations
+        )
+    }
+}
+
+impl ExchangeReport {
+    /// Verbose multi-line rendering: every counter the report carries, one
+    /// per line — what the server returns for `STATS <session>` and the CLI
+    /// prints under `--verbose`.
+    pub fn verbose(&self) -> ReportVerbose<'_> {
+        ReportVerbose(self)
+    }
+}
+
+/// Display adapter for the verbose [`ExchangeReport`] form; see
+/// [`ExchangeReport::verbose`].
+pub struct ReportVerbose<'a>(&'a ExchangeReport);
+
+impl fmt::Display for ReportVerbose<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.0;
+        writeln!(f, "target: {}", r.stats)?;
+        writeln!(
+            f,
+            "tuples: {} processed, {} skipped-seen, {} unmatched",
+            r.tuples_processed, r.tuples_skipped_seen, r.tuples_unmatched
+        )?;
+        writeln!(
+            f,
+            "scripts: {} generated, {} reused ({:.1}% reuse)",
+            r.scripts_generated,
+            r.scripts_reused,
+            r.reuse_percent()
+        )?;
+        writeln!(
+            f,
+            "rows: {} inserted, {} merged, {} violations",
+            r.inserted, r.merged, r.violations
+        )?;
+        write!(
+            f,
+            "time: Tg {:?}, Te {:?}, total {:?}",
+            r.tg,
+            r.te,
+            r.total_time()
+        )
+    }
+}
 
 /// Render a script as a reusable SQL template: slot values appear as `$N`
 /// placeholders (N = source preorder index) and per-run surrogates as
@@ -234,5 +298,37 @@ mod tests {
     fn xml_escapes_special_characters() {
         assert_eq!(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
         assert_eq!(xml_name("weird col!"), "weird_col_");
+    }
+
+    #[test]
+    fn report_one_line_display_carries_the_headline_counters() {
+        let r = ExchangeReport {
+            scripts_generated: 2,
+            scripts_reused: 10,
+            violations: 1,
+            ..ExchangeReport::default()
+        };
+        let line = r.to_string();
+        assert!(!line.contains('\n'), "one-line form: {line}");
+        assert!(line.contains("scripts 2 generated / 10 reused"), "{line}");
+        assert!(line.contains("1 violations"), "{line}");
+    }
+
+    #[test]
+    fn report_verbose_display_is_multiline_and_complete() {
+        let r = ExchangeReport {
+            tuples_processed: 7,
+            tuples_skipped_seen: 3,
+            scripts_generated: 1,
+            scripts_reused: 6,
+            inserted: 7,
+            merged: 2,
+            ..ExchangeReport::default()
+        };
+        let text = r.verbose().to_string();
+        assert!(text.lines().count() >= 5, "{text}");
+        assert!(text.contains("7 processed, 3 skipped-seen"), "{text}");
+        assert!(text.contains("85.7% reuse"), "{text}");
+        assert!(text.contains("7 inserted, 2 merged"), "{text}");
     }
 }

@@ -230,6 +230,18 @@ impl SedexSession {
         self.repo.len()
     }
 
+    /// A cheap point-in-time copy of the running report, usable through a
+    /// shared reference (unlike [`SedexSession::report`], which needs `&mut
+    /// self`). Target stats are recomputed; the per-lookup hit-event log is
+    /// NOT copied — it can be large, and concurrent callers (the service's
+    /// `STATS` command) only need the counters.
+    pub fn report_snapshot(&self) -> ExchangeReport {
+        let mut r = self.report.clone();
+        r.stats = self.target.stats();
+        r.hit_events.clear();
+        r
+    }
+
     /// Close the session, returning the target and the final report.
     pub fn finish(mut self) -> (Instance, ExchangeReport) {
         self.report.stats = self.target.stats();
@@ -237,6 +249,13 @@ impl SedexSession {
         (self.target, self.report)
     }
 }
+
+// The service crate moves whole sessions across threads (worker pool +
+// sharded session map); keep the compiler honest about that capability.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SedexSession>()
+};
 
 #[cfg(test)]
 mod tests {
@@ -362,6 +381,30 @@ mod tests {
         assert_eq!(session.target().relation("Stu").unwrap().len(), 1);
         let report = session.report();
         assert!(report.tuples_skipped_seen >= 1);
+    }
+
+    #[test]
+    fn report_snapshot_matches_mut_report() {
+        let (src_schema, tgt_schema, sigma) = schemas();
+        let mut session =
+            SedexSession::new(SedexConfig::default(), src_schema, tgt_schema, sigma).unwrap();
+        session
+            .feed("Dep", sedex_storage::tuple!["d1", "b1"])
+            .unwrap();
+        for i in 0..5 {
+            session
+                .exchange_tuple(
+                    "Student",
+                    Tuple::of([format!("s{i}"), format!("p{i}"), "d1".to_string()]),
+                )
+                .unwrap();
+        }
+        let snap = session.report_snapshot();
+        let full = session.report();
+        assert_eq!(snap.scripts_generated, full.scripts_generated);
+        assert_eq!(snap.scripts_reused, full.scripts_reused);
+        assert_eq!(snap.stats, full.stats);
+        assert_eq!(snap.inserted, full.inserted);
     }
 
     #[test]

@@ -1,13 +1,40 @@
-//! Property-based tests for the mapping substrate: chase soundness and
+//! Property tests for the mapping substrate: chase soundness and
 //! completeness, egd convergence, core-minimisation safety and MapMerge
 //! equivalence on constants.
+//!
+//! Deterministic: workloads are generated from seeded SplitMix64 streams,
+//! so every run exercises the same (broad) input set with no external
+//! property-testing dependency.
 
-use proptest::prelude::*;
 use sedex_mapping::chase::{chase, enumerate_homomorphisms, NullFactory};
 use sedex_mapping::egd::apply_egds;
 use sedex_mapping::mapmerge::correlate;
 use sedex_mapping::{core, Atom, Correspondences, Egd, Term, Tgd};
 use sedex_storage::{ConflictPolicy, Instance, RelationSchema, Schema, Tuple, Value};
+
+/// SplitMix64 — tiny, seedable, good enough to diversify test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn pairs(&mut self, lo: usize, max: usize, a: usize, b: usize) -> Vec<(u8, u8)> {
+        let n = lo + self.below(max - lo);
+        (0..n)
+            .map(|_| (self.below(a) as u8, self.below(b) as u8))
+            .collect()
+    }
+}
 
 fn source_with(rows: &[(u8, u8)]) -> Instance {
     let r = RelationSchema::with_any_columns("S", &["a", "b"]);
@@ -41,19 +68,20 @@ fn demo_tgd() -> Tgd {
     )
 }
 
-proptest! {
-    /// Chase soundness + completeness: the output SATISFIES the tgd (every
-    /// premise homomorphism extends to the conclusion) and contains nothing
-    /// beyond what some firing produced.
-    #[test]
-    fn chase_satisfies_tgds(rows in proptest::collection::vec((0u8..5, 0u8..5), 1..20)) {
+/// Chase soundness + completeness: the output SATISFIES the tgd (every
+/// premise homomorphism extends to the conclusion) and contains nothing
+/// beyond what some firing produced.
+#[test]
+fn chase_satisfies_tgds() {
+    for seed in 0..24u64 {
+        let rows = Rng(seed).pairs(1, 20, 5, 5);
         let source = source_with(&rows);
         let mut target = Instance::new(target_schema());
         let tgd = demo_tgd();
         let mut nulls = NullFactory::new();
         let stats = chase(&source, &mut target, std::slice::from_ref(&tgd), &mut nulls).unwrap();
         // One firing per distinct source tuple.
-        prop_assert_eq!(stats.firings, source.relation("S").unwrap().len());
+        assert_eq!(stats.firings, source.relation("S").unwrap().len(), "seed {seed}");
         // Satisfaction: for each source tuple there is a T row agreeing on
         // (x, y) whose z appears in U.
         for s in source.relation("S").unwrap().iter() {
@@ -61,13 +89,16 @@ proptest! {
             let hit = t_rel
                 .iter()
                 .find(|t| t.values()[0] == s.values()[0] && t.values()[1] == s.values()[1]);
-            prop_assert!(hit.is_some());
+            assert!(hit.is_some(), "seed {seed}");
             let z = &hit.unwrap().values()[2];
-            prop_assert!(target
-                .relation("U")
-                .unwrap()
-                .iter()
-                .any(|u| &u.values()[0] == z));
+            assert!(
+                target
+                    .relation("U")
+                    .unwrap()
+                    .iter()
+                    .any(|u| &u.values()[0] == z),
+                "seed {seed}"
+            );
         }
         // Soundness: every T constant pair came from the source.
         for t in target.relation("T").unwrap().iter() {
@@ -76,33 +107,51 @@ proptest! {
                 .unwrap()
                 .iter()
                 .any(|s| s.values()[0] == t.values()[0] && s.values()[1] == t.values()[1]);
-            prop_assert!(found);
+            assert!(found, "seed {seed}");
         }
     }
+}
 
-    /// Homomorphism enumeration equals the brute-force count on single-atom
-    /// premises.
-    #[test]
-    fn homomorphism_count_matches_rows(rows in proptest::collection::vec((0u8..5, 0u8..5), 0..20)) {
+/// Homomorphism enumeration equals the brute-force count on single-atom
+/// premises.
+#[test]
+fn homomorphism_count_matches_rows() {
+    for seed in 0..24u64 {
+        let rows = Rng(seed ^ 0x1111).pairs(0, 20, 5, 5);
         let source = source_with(&rows);
         let atoms = vec![Atom::new("S", vec![Term::Var(0), Term::Var(1)])];
         let h = enumerate_homomorphisms(&source, &atoms);
-        prop_assert_eq!(h.len(), source.relation("S").unwrap().len());
+        assert_eq!(h.len(), source.relation("S").unwrap().len(), "seed {seed}");
     }
+}
 
-    /// egd application terminates and leaves no two rows sharing a key.
-    #[test]
-    fn egds_converge_to_keyed_instance(rows in proptest::collection::vec((0u8..4, 0u8..6), 1..25)) {
+/// egd application terminates and leaves no two rows sharing a key.
+#[test]
+fn egds_converge_to_keyed_instance() {
+    for seed in 0..24u64 {
+        let rows = Rng(seed ^ 0x2222).pairs(1, 25, 4, 6);
         let t = RelationSchema::with_any_columns("T", &["k", "v"]);
         let schema = Schema::from_relations(vec![t]).unwrap();
         let mut inst = Instance::new(schema);
         for (k, v) in &rows {
-            let val = if *v == 0 { Value::Labeled(*v as u64 + 100) } else { Value::int(*v as i64) };
-            inst.insert("T", Tuple::new(vec![Value::int(*k as i64), val]), ConflictPolicy::Allow).unwrap();
+            let val = if *v == 0 {
+                Value::Labeled(*v as u64 + 100)
+            } else {
+                Value::int(*v as i64)
+            };
+            inst.insert(
+                "T",
+                Tuple::new(vec![Value::int(*k as i64), val]),
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
         }
-        let egds = vec![Egd { relation: "T".into(), key: vec![0] }];
+        let egds = vec![Egd {
+            relation: "T".into(),
+            key: vec![0],
+        }];
         let out = apply_egds(&mut inst, &egds);
-        prop_assert!(out.rounds < 50);
+        assert!(out.rounds < 50, "seed {seed}");
         // Keys are unique up to recorded violations.
         let rel = inst.relation("T").unwrap();
         let mut per_key: std::collections::HashMap<Value, usize> = std::collections::HashMap::new();
@@ -110,19 +159,26 @@ proptest! {
             *per_key.entry(t.values()[0].clone()).or_insert(0) += 1;
         }
         let extra: usize = per_key.values().map(|c| c - 1).sum();
-        prop_assert!(extra <= out.violations);
+        assert!(extra <= out.violations, "seed {seed}");
     }
+}
 
-    /// Core minimisation never removes all-constant tuples and never
-    /// increases the instance.
-    #[test]
-    fn minimisation_is_safe(rows in proptest::collection::vec((0u8..4, 0u8..6), 1..25)) {
+/// Core minimisation never removes all-constant tuples and never increases
+/// the instance.
+#[test]
+fn minimisation_is_safe() {
+    for seed in 0..24u64 {
+        let rows = Rng(seed ^ 0x3333).pairs(1, 25, 4, 6);
         let t = RelationSchema::with_any_columns("T", &["k", "v"]);
         let schema = Schema::from_relations(vec![t]).unwrap();
         let mut inst = Instance::new(schema);
         let mut constant_rows = std::collections::HashSet::new();
         for (k, v) in &rows {
-            let val = if *v == 0 { Value::Labeled(*k as u64) } else { Value::int(*v as i64) };
+            let val = if *v == 0 {
+                Value::Labeled(*k as u64)
+            } else {
+                Value::int(*v as i64)
+            };
             let tup = Tuple::new(vec![Value::int(*k as i64), val]);
             if tup.nulls() == 0 {
                 constant_rows.insert(tup.clone());
@@ -131,16 +187,22 @@ proptest! {
         }
         let before = inst.total_tuples();
         core::minimize(&mut inst);
-        prop_assert!(inst.total_tuples() <= before);
+        assert!(inst.total_tuples() <= before, "seed {seed}");
         for t in constant_rows {
-            prop_assert!(inst.relation("T").unwrap().iter().any(|u| u == &t));
+            assert!(
+                inst.relation("T").unwrap().iter().any(|u| u == &t),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// MapMerge correlation preserves the chased CONSTANTS (it only merges
-    /// existentials, never drops source data).
-    #[test]
-    fn mapmerge_preserves_constants(rows in proptest::collection::vec((0u8..5, 0u8..5), 1..15)) {
+/// MapMerge correlation preserves the chased CONSTANTS (it only merges
+/// existentials, never drops source data).
+#[test]
+fn mapmerge_preserves_constants() {
+    for seed in 0..16u64 {
+        let rows = Rng(seed ^ 0x4444).pairs(1, 15, 5, 5);
         let source = source_with(&rows);
         let tgds = vec![
             demo_tgd(),
@@ -151,7 +213,7 @@ proptest! {
             ),
         ];
         let correlated = correlate(tgds.clone());
-        prop_assert!(correlated.len() <= tgds.len());
+        assert!(correlated.len() <= tgds.len(), "seed {seed}");
 
         let run = |mappings: &[Tgd]| {
             let mut target = Instance::new(target_schema());
@@ -171,16 +233,18 @@ proptest! {
         };
         let (clio_stats, clio_consts) = run(&tgds);
         let (mm_stats, mm_consts) = run(&correlated);
-        prop_assert_eq!(clio_consts, mm_consts);
-        prop_assert!(mm_stats.atoms() <= clio_stats.atoms());
+        assert_eq!(clio_consts, mm_consts, "seed {seed}");
+        assert!(mm_stats.atoms() <= clio_stats.atoms(), "seed {seed}");
     }
+}
 
-    /// The Correspondences hash lookup agrees with a linear scan.
-    #[test]
-    fn correspondence_lookup_matches_scan(
-        pairs in proptest::collection::vec((0u8..6, 0u8..6), 0..20),
-        probe in 0u8..6
-    ) {
+/// The Correspondences hash lookup agrees with a linear scan.
+#[test]
+fn correspondence_lookup_matches_scan() {
+    for seed in 0..24u64 {
+        let mut rng = Rng(seed ^ 0x5555);
+        let pairs = rng.pairs(0, 20, 6, 6);
+        let probe = rng.below(6) as u8;
         let named: Vec<(String, String)> = pairs
             .iter()
             .map(|(s, t)| (format!("s{s}"), format!("t{t}")))
@@ -188,7 +252,10 @@ proptest! {
         let sigma = Correspondences::from_name_pairs(named.clone());
         let probe_name = format!("s{probe}");
         let via_lookup = sigma.target_label(None, &probe_name).map(str::to_owned);
-        let via_scan = named.iter().find(|(s, _)| s == &probe_name).map(|(_, t)| t.clone());
-        prop_assert_eq!(via_lookup, via_scan);
+        let via_scan = named
+            .iter()
+            .find(|(s, _)| s == &probe_name)
+            .map(|(_, t)| t.clone());
+        assert_eq!(via_lookup, via_scan, "seed {seed}");
     }
 }

@@ -5,14 +5,14 @@
 //! unique keys, bounded value domains (so that egds and script reuse have
 //! something to bite on), and reproducibility across runs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sedex_storage::Value;
+
+use crate::rng::SmallRng;
 
 /// Deterministic value source for one scenario population run.
 #[derive(Debug)]
 pub struct DataGen {
-    rng: StdRng,
+    rng: SmallRng,
     /// Non-key values are drawn from a domain of this many distinct values
     /// per column (bounded domains produce realistic duplicate rates).
     pub domain: usize,
@@ -23,7 +23,7 @@ impl DataGen {
     /// per column.
     pub fn new(seed: u64) -> Self {
         DataGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             domain: 1000,
         }
     }
@@ -41,22 +41,18 @@ impl DataGen {
 
     /// A non-key value for `column`, drawn from the bounded domain.
     pub fn value(&mut self, column: &str, _row: usize) -> Value {
-        let v = self.rng.gen_range(0..self.domain);
+        let v = self.rng.gen_index(self.domain);
         Value::Text(format!("{column}-{v}"))
     }
 
     /// Pick a random index below `n` (for foreign-key targets).
     pub fn pick(&mut self, n: usize) -> usize {
-        if n == 0 {
-            0
-        } else {
-            self.rng.gen_range(0..n)
-        }
+        self.rng.gen_index(n)
     }
 
     /// A random boolean with the given probability of `true`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
+        self.rng.gen_bool(p)
     }
 }
 

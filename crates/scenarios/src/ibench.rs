@@ -15,11 +15,10 @@
 //! the systems being compared (both see the same work) while preserving its
 //! schema shape and reuse profile.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sedex_mapping::Correspondences;
 use sedex_storage::{RelationSchema, Schema};
 
+use crate::rng::SmallRng;
 use crate::scenario::{GenRule, Scenario};
 
 /// Configuration for iBench-style dataset generation.
@@ -227,10 +226,10 @@ pub fn add_sh(b: &mut ScenarioBuilder, prefix: &str, attrs: usize, pk_target: bo
 /// applies to them), with the configured attribute range and target-key
 /// fraction.
 pub fn stb(cfg: &IbenchConfig) -> Scenario {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut b = ScenarioBuilder::default();
     for i in 0..cfg.instances_per_primitive {
-        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        let attrs = rng.gen_range_inclusive(cfg.min_attrs, cfg.max_attrs);
         add_cp(
             &mut b,
             &format!("cp{i}"),
@@ -239,7 +238,7 @@ pub fn stb(cfg: &IbenchConfig) -> Scenario {
         );
     }
     for i in 0..cfg.instances_per_primitive {
-        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        let attrs = rng.gen_range_inclusive(cfg.min_attrs, cfg.max_attrs);
         add_vp(
             &mut b,
             &format!("vp{i}"),
@@ -248,7 +247,7 @@ pub fn stb(cfg: &IbenchConfig) -> Scenario {
         );
     }
     for i in 0..cfg.instances_per_primitive {
-        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        let attrs = rng.gen_range_inclusive(cfg.min_attrs, cfg.max_attrs);
         add_hp(
             &mut b,
             &format!("hp{i}"),
@@ -257,7 +256,7 @@ pub fn stb(cfg: &IbenchConfig) -> Scenario {
         );
     }
     for i in 0..cfg.instances_per_primitive {
-        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        let attrs = rng.gen_range_inclusive(cfg.min_attrs, cfg.max_attrs);
         add_su(
             &mut b,
             &format!("su{i}"),
@@ -266,7 +265,7 @@ pub fn stb(cfg: &IbenchConfig) -> Scenario {
         );
     }
     for i in 0..cfg.instances_per_primitive {
-        let attrs = rng.gen_range(cfg.min_attrs..=cfg.max_attrs);
+        let attrs = rng.gen_range_inclusive(cfg.min_attrs, cfg.max_attrs);
         add_sh(
             &mut b,
             &format!("sh{i}"),

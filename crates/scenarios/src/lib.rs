@@ -16,7 +16,10 @@
 //!   (CP, CV, HP, SK, VP, UN, NE, DE, KO, AV);
 //! * [`compose`] — the composed large scenarios `s25..s100` of Fig. 11 and
 //!   the fixed scenarios `a–d` of Fig. 12;
-//! * [`university`] — the running example of Figs. 2–3.
+//! * [`university`] — the running example of Figs. 2–3;
+//! * [`rng`] — the in-tree deterministic PRNG behind all of the above;
+//! * [`textfmt`] — the plain-text `.sdx` scenario format and its parser
+//!   (consumed by the `sedex` CLI and the `sedex-service` wire protocol).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +28,10 @@ pub mod ambiguity;
 pub mod compose;
 pub mod datagen;
 pub mod ibench;
+pub mod rng;
 pub mod scenario;
 pub mod stbench;
+pub mod textfmt;
 pub mod university;
 
 pub use scenario::{GenRule, Scenario};

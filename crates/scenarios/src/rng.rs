@@ -1,0 +1,145 @@
+//! A tiny deterministic PRNG (xoshiro256++ seeded via SplitMix64).
+//!
+//! The workspace builds fully offline, so the scenario generators cannot
+//! pull in the `rand` crate. All they need is a fast, seedable,
+//! reproducible source of integers and booleans — this module provides
+//! exactly that, with the same determinism guarantee the generators
+//! document: identical seeds produce identical instances on every
+//! platform and every run.
+
+/// A seedable deterministic random-number generator.
+///
+/// The stream is fixed forever by the seed: scenario population and
+/// iBench-style schema generation rely on this for reproducibility.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Seed the generator. Mirrors `rand`'s `SeedableRng::seed_from_u64`
+    /// shape: the 64-bit seed is expanded through SplitMix64, so nearby
+    /// seeds still yield uncorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform value in `[0, n)`. `n = 0` returns 0.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        // Lemire-style widening reduction: unbiased enough for workload
+        // generation and much cheaper than rejection sampling.
+        let hi = ((self.next_u64() as u128 * n as u128) >> 64) as usize;
+        hi.min(n - 1)
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn gen_range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.gen_index(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_index_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.gen_index(n) < n);
+            }
+        }
+        assert_eq!(r.gen_index(0), 0);
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_both_ends() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let v = r.gen_range_inclusive(3, 7);
+            assert!((3..=7).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(11);
+        assert!((0..50).all(|_| r.gen_bool(1.0)));
+        assert!((0..50).all(|_| !r.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn gen_bool_roughly_fair() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..=6_000).contains(&heads), "heads = {heads}");
+    }
+}

@@ -35,8 +35,9 @@ use std::fmt;
 
 use sedex_core::CfdInterpreter;
 use sedex_mapping::Correspondences;
-use sedex_scenarios::Scenario;
 use sedex_storage::{ConflictPolicy, Instance, RelationSchema, Schema, Tuple, Value};
+
+use crate::Scenario;
 
 /// A fully parsed scenario file.
 #[derive(Debug)]
@@ -244,8 +245,12 @@ fn parse_correspondence(
     Ok(())
 }
 
-/// `Relation: v1, v2, _` — `_` is null; integers are typed as ints.
-fn parse_data_line(line: &str, line_no: usize) -> Result<(String, Tuple), ParseError> {
+/// Parse one `[data]`-section line: `Relation: v1, v2, _` — `_` is null;
+/// integers are typed as ints; single quotes protect commas and `#`.
+///
+/// Public because the `sedex-service` wire protocol reuses exactly this
+/// syntax for its `PUSH`/`FEED` commands.
+pub fn parse_data_line(line: &str, line_no: usize) -> Result<(String, Tuple), ParseError> {
     let (rel, rest) = line
         .split_once(':')
         .ok_or_else(|| err(line_no, "expected `Relation: v1, v2, …`"))?;

@@ -1,52 +1,56 @@
-//! Property-based tests over the workload generators: determinism,
-//! referential integrity and rule coverage for every scenario family.
+//! Property tests over the workload generators: determinism, referential
+//! integrity and rule coverage for every scenario family.
+//!
+//! Deterministic: cases are enumerated or drawn from seeded streams, so
+//! every run exercises the same (broad) input set with no external
+//! property-testing dependency.
 
-use proptest::prelude::*;
 use sedex_scenarios::ambiguity::amb_only;
 use sedex_scenarios::compose::{composed, Repetitions};
 use sedex_scenarios::ibench::{stb, IbenchConfig};
 use sedex_scenarios::stbench::{basic, BasicKind};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Population is deterministic in (scenario, seed, size) and every FK
-    /// value dereferences, for every STBenchmark basic kind.
-    #[test]
-    fn basics_populate_with_integrity(
-        kind_idx in 0usize..10,
-        tuples in 1usize..25,
-        seed in 0u64..500
-    ) {
-        let kind = BasicKind::all()[kind_idx];
-        let s = basic(kind);
-        let a = s.populate(tuples, seed).unwrap();
-        let b = s.populate(tuples, seed).unwrap();
-        for (name, rel) in a.relations() {
-            prop_assert_eq!(rel.rows(), b.relation(name).unwrap().rows());
-            // Every populated FK with a non-null value dereferences.
-            let schema = rel.schema().clone();
-            for (fk_idx, _) in schema.foreign_keys.iter().enumerate() {
-                for t in rel.iter() {
-                    let key_null = schema.foreign_keys[fk_idx]
-                        .columns
-                        .iter()
-                        .any(|&c| t.values()[c].is_any_null());
-                    if !key_null {
-                        prop_assert!(
-                            a.deref_fk(name, fk_idx, t).is_some(),
-                            "{name}: dangling FK in {t}"
-                        );
+/// Population is deterministic in (scenario, seed, size) and every FK
+/// value dereferences, for every STBenchmark basic kind.
+#[test]
+fn basics_populate_with_integrity() {
+    for (kind_idx, kind) in BasicKind::all().iter().enumerate() {
+        for (tuples, seed) in [(1, 7u64), (8, 123), (24, 481)] {
+            let s = basic(*kind);
+            let a = s.populate(tuples, seed).unwrap();
+            let b = s.populate(tuples, seed).unwrap();
+            for (name, rel) in a.relations() {
+                assert_eq!(
+                    rel.rows(),
+                    b.relation(name).unwrap().rows(),
+                    "kind {kind_idx} not deterministic"
+                );
+                // Every populated FK with a non-null value dereferences.
+                let schema = rel.schema().clone();
+                for (fk_idx, _) in schema.foreign_keys.iter().enumerate() {
+                    for t in rel.iter() {
+                        let key_null = schema.foreign_keys[fk_idx]
+                            .columns
+                            .iter()
+                            .any(|&c| t.values()[c].is_any_null());
+                        if !key_null {
+                            assert!(
+                                a.deref_fk(name, fk_idx, t).is_some(),
+                                "{name}: dangling FK in {t}"
+                            );
+                        }
                     }
                 }
             }
         }
     }
+}
 
-    /// STB's pk_fraction monotonically controls how many target relations
-    /// carry keys.
-    #[test]
-    fn stb_pk_fraction_monotone(seed in 0u64..100) {
+/// STB's pk_fraction monotonically controls how many target relations
+/// carry keys.
+#[test]
+fn stb_pk_fraction_monotone() {
+    for seed in [0u64, 13, 42, 97] {
         let count = |frac: f64| {
             let s = stb(&IbenchConfig {
                 instances_per_primitive: 3,
@@ -54,65 +58,81 @@ proptest! {
                 seed,
                 ..IbenchConfig::default()
             });
-            s.target.relations().iter().filter(|r| r.has_primary_key()).count()
+            s.target
+                .relations()
+                .iter()
+                .filter(|r| r.has_primary_key())
+                .count()
         };
         let none = count(0.0);
         let half = count(0.5);
         let all = count(1.0);
-        prop_assert_eq!(none, 0);
-        prop_assert!(half <= all);
+        assert_eq!(none, 0, "seed {seed}");
+        assert!(half <= all, "seed {seed}");
         let s = stb(&IbenchConfig {
             instances_per_primitive: 3,
             pk_fraction: 1.0,
             seed,
             ..IbenchConfig::default()
         });
-        prop_assert_eq!(all, s.target.len());
+        assert_eq!(all, s.target.len(), "seed {seed}");
     }
+}
 
-    /// AMB generalization rows never mix subclass attributes: per row,
-    /// exactly one group's columns are non-null.
-    #[test]
-    fn amb_rows_belong_to_one_subclass(udps in 1usize..4, tuples in 2usize..12, seed in 0u64..200) {
-        let s = amb_only(udps);
-        let inst = s.populate(tuples, seed).unwrap();
-        for u in 0..udps {
-            let rel_name = if u % 2 == 0 {
-                format!("sc1x{u}_Entity")
-            } else {
-                format!("sc2x{u}_Entity")
-            };
-            let rel = inst.relation(&rel_name).unwrap();
-            let schema = rel.schema();
-            let p_cols: Vec<usize> = schema
-                .columns
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.name.contains("_p"))
-                .map(|(i, _)| i)
-                .collect();
-            let n_cols: Vec<usize> = schema
-                .columns
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.name.contains("_n") && !c.name.contains("_Entity"))
-                .map(|(i, _)| i)
-                .collect();
-            for t in rel.iter() {
-                let p_live = p_cols.iter().any(|&i| !t.values()[i].is_null());
-                let n_live = n_cols.iter().any(|&i| !t.values()[i].is_null());
-                prop_assert!(p_live != n_live, "{rel_name}: mixed row {t}");
+/// AMB generalization rows never mix subclass attributes: per row, exactly
+/// one group's columns are non-null.
+#[test]
+fn amb_rows_belong_to_one_subclass() {
+    for udps in 1usize..4 {
+        for (tuples, seed) in [(2, 11u64), (7, 99), (11, 173)] {
+            let s = amb_only(udps);
+            let inst = s.populate(tuples, seed).unwrap();
+            for u in 0..udps {
+                let rel_name = if u % 2 == 0 {
+                    format!("sc1x{u}_Entity")
+                } else {
+                    format!("sc2x{u}_Entity")
+                };
+                let rel = inst.relation(&rel_name).unwrap();
+                let schema = rel.schema();
+                let p_cols: Vec<usize> = schema
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.name.contains("_p"))
+                    .map(|(i, _)| i)
+                    .collect();
+                let n_cols: Vec<usize> = schema
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.name.contains("_n") && !c.name.contains("_Entity"))
+                    .map(|(i, _)| i)
+                    .collect();
+                for t in rel.iter() {
+                    let p_live = p_cols.iter().any(|&i| !t.values()[i].is_null());
+                    let n_live = n_cols.iter().any(|&i| !t.values()[i].is_null());
+                    assert!(p_live != n_live, "{rel_name}: mixed row {t}");
+                }
             }
         }
     }
+}
 
-    /// Composed scenarios scale their relation counts linearly in the
-    /// repetition parameters.
-    #[test]
-    fn composition_scales_linearly(vp in 0usize..6, de in 0usize..6, cp in 0usize..4) {
-        prop_assume!(vp + de + cp > 0);
-        let s = composed("t", Repetitions { vp, de, cp });
-        prop_assert_eq!(s.source.len(), vp + 2 * de + cp);
-        prop_assert_eq!(s.target.len(), 2 * vp + de + cp);
+/// Composed scenarios scale their relation counts linearly in the
+/// repetition parameters.
+#[test]
+fn composition_scales_linearly() {
+    for vp in 0usize..6 {
+        for de in 0usize..6 {
+            for cp in 0usize..4 {
+                if vp + de + cp == 0 {
+                    continue;
+                }
+                let s = composed("t", Repetitions { vp, de, cp });
+                assert_eq!(s.source.len(), vp + 2 * de + cp, "vp={vp} de={de} cp={cp}");
+                assert_eq!(s.target.len(), 2 * vp + de + cp, "vp={vp} de={de} cp={cp}");
+            }
+        }
     }
 }

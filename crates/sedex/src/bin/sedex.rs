@@ -3,10 +3,12 @@
 //!
 //! ```text
 //! sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy]
-//!                      [--sql] [--xml-sample] [--quiet]
+//!                      [--threads N] [--batch-size N]
+//!                      [--sql] [--xml-sample] [--quiet] [--verbose]
 //! sedex check <file.sdx>        # parse + validate only
 //! sedex trees <file.sdx>        # print source/target relation trees
 //! sedex gen <kind> [--tuples N] # emit a ready-to-run scenario file
+//! sedex serve [--addr A] [--workers N]  # multi-tenant exchange server
 //! ```
 //!
 //! `gen` kinds: `university`, `stb`, `amb`, and the ten STBenchmark basics
@@ -14,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use sedex::core::{sql_statements, EdexEngine, SedexEngine};
+use sedex::core::{sql_statements, EdexEngine, SedexConfig, SedexEngine};
 use sedex::mapping::{ClioEngine, MapMergeEngine, SpicyEngine};
 use sedex::textfmt::{parse_scenario, ScenarioFile};
 use sedex::treerep::{relation_tree, TreeConfig};
@@ -31,7 +33,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--sql] [--quiet]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]"
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N]"
         .to_owned()
 }
 
@@ -39,6 +41,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or_else(usage)?;
     if cmd == "gen" {
         return generate(&args[1..]);
+    }
+    if cmd == "serve" {
+        return serve(&args[1..]);
     }
     let path = args.get(1).ok_or_else(usage)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -149,10 +154,52 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `sedex serve [--addr host:port] [--workers N]`: run the multi-tenant
+/// exchange server until a wire `SHUTDOWN` arrives.
+fn serve(flags: &[String]) -> Result<(), String> {
+    use sedex::service::{Server, ServerConfig};
+
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7878".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--addr" => {
+                cfg.addr = it
+                    .next()
+                    .ok_or_else(|| "--addr needs a value".to_owned())?
+                    .clone();
+            }
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .ok_or_else(|| "--workers needs a value".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    let workers = cfg.workers;
+    let handle = Server::start(cfg).map_err(|e| e.to_string())?;
+    println!(
+        "sedex-service listening on {} ({} workers); stop with the SHUTDOWN command",
+        handle.local_addr(),
+        workers
+    );
+    handle.join();
+    println!("sedex-service stopped");
+    Ok(())
+}
+
 fn run_exchange(file: &ScenarioFile, flags: &[String]) -> Result<(), String> {
     let mut engine_name = "sedex".to_owned();
     let mut show_sql = false;
     let mut quiet = false;
+    let mut verbose = false;
+    let mut config = SedexConfig::default();
     let mut it = flags.iter();
     while let Some(f) = it.next() {
         match f.as_str() {
@@ -162,8 +209,23 @@ fn run_exchange(file: &ScenarioFile, flags: &[String]) -> Result<(), String> {
                     .ok_or_else(|| "--engine needs a value".to_owned())?
                     .clone();
             }
+            "--threads" => {
+                config.threads = it
+                    .next()
+                    .ok_or_else(|| "--threads needs a value".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--batch-size" => {
+                config.batch_size = it
+                    .next()
+                    .ok_or_else(|| "--batch-size needs a value".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("--batch-size: {e}"))?;
+            }
             "--sql" => show_sql = true,
             "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -171,17 +233,16 @@ fn run_exchange(file: &ScenarioFile, flags: &[String]) -> Result<(), String> {
     let s = &file.scenario;
     let (out, summary) = match engine_name.as_str() {
         "sedex" => {
-            let engine = SedexEngine::new().with_cfds(file.cfds.clone());
+            let engine = SedexEngine::with_config(config).with_cfds(file.cfds.clone());
             let (out, r) = engine
                 .exchange(&file.instance, &s.target, &s.sigma)
                 .map_err(|e| e.to_string())?;
-            (
-                out,
-                format!(
-                    "sedex: {} | Tg {:?} Te {:?} | scripts {} generated / {} reused | {} violations",
-                    r.stats, r.tg, r.te, r.scripts_generated, r.scripts_reused, r.violations
-                ),
-            )
+            let summary = if verbose {
+                format!("sedex:\n{}", r.verbose())
+            } else {
+                format!("sedex: {r}")
+            };
+            (out, summary)
         }
         "edex" => {
             let (out, r) = EdexEngine::new()

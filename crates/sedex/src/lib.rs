@@ -55,12 +55,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod textfmt;
-
 pub use sedex_core as core;
 pub use sedex_mapping as mapping;
 pub use sedex_pqgram as pqgram;
 pub use sedex_scenarios as scenarios;
+pub use sedex_scenarios::textfmt;
+pub use sedex_service as service;
 pub use sedex_storage as storage;
 pub use sedex_treerep as treerep;
 

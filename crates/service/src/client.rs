@@ -1,0 +1,150 @@
+//! A small blocking client for the wire protocol — what the integration
+//! tests (and any Rust embedder) use instead of hand-rolled `nc` I/O.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// `OK` (true) or `ERR` (false).
+    pub ok: bool,
+    /// Text after the status word on the head line.
+    pub head: String,
+    /// Body lines (dot-unstuffed).
+    pub lines: Vec<String>,
+}
+
+impl Reply {
+    /// The whole body as one string.
+    pub fn body(&self) -> String {
+        self.lines.join("\n")
+    }
+
+    /// Convert `ERR` replies into an `io::Error`.
+    pub fn into_ok(self) -> std::io::Result<Reply> {
+        if self.ok {
+            Ok(self)
+        } else {
+            Err(std::io::Error::other(format!("server: {}", self.head)))
+        }
+    }
+}
+
+/// Blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send raw request text (newline appended) and read one response
+    /// block.
+    pub fn request(&mut self, text: &str) -> std::io::Result<Reply> {
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<Reply> {
+        let mut head = String::new();
+        if self.reader.read_line(&mut head)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let head = head.trim_end().to_owned();
+        let (ok, head) = if let Some(rest) = head.strip_prefix("OK") {
+            (true, rest.trim_start().to_owned())
+        } else if let Some(rest) = head.strip_prefix("ERR") {
+            (false, rest.trim_start().to_owned())
+        } else {
+            return Err(std::io::Error::other(format!(
+                "malformed response head: {head}"
+            )));
+        };
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "response block not terminated",
+                ));
+            }
+            let line = line.trim_end_matches(['\n', '\r']);
+            if line == "." {
+                break;
+            }
+            // Undo dot-stuffing.
+            let line = line.strip_prefix('.').map_or(line, |r| r);
+            lines.push(line.to_owned());
+        }
+        Ok(Reply { ok, head, lines })
+    }
+
+    /// `OPEN <name>` with an inline scenario body.
+    pub fn open(&mut self, session: &str, scenario: &str) -> std::io::Result<Reply> {
+        self.writer.write_all(format!("OPEN {session}\n").as_bytes())?;
+        self.writer.write_all(scenario.as_bytes())?;
+        if !scenario.ends_with('\n') {
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.write_all(b"END\n")?;
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    /// `PUSH <session> <data line>` — feed + exchange one tuple.
+    pub fn push(&mut self, session: &str, data_line: &str) -> std::io::Result<Reply> {
+        self.request(&format!("PUSH {session} {data_line}"))
+    }
+
+    /// `FEED <session> <data line>` — feed without exchanging.
+    pub fn feed(&mut self, session: &str, data_line: &str) -> std::io::Result<Reply> {
+        self.request(&format!("FEED {session} {data_line}"))
+    }
+
+    /// `FLUSH <session>` — exchange everything pending.
+    pub fn flush_session(&mut self, session: &str) -> std::io::Result<Reply> {
+        self.request(&format!("FLUSH {session}"))
+    }
+
+    /// `STATS` (server-wide) or `STATS <session>`.
+    pub fn stats(&mut self, session: Option<&str>) -> std::io::Result<Reply> {
+        match session {
+            Some(s) => self.request(&format!("STATS {s}")),
+            None => self.request("STATS"),
+        }
+    }
+
+    /// `SQL <session>` — the session's target as INSERT statements.
+    pub fn sql(&mut self, session: &str) -> std::io::Result<Reply> {
+        self.request(&format!("SQL {session}"))
+    }
+
+    /// `CLOSE <session>`.
+    pub fn close(&mut self, session: &str) -> std::io::Result<Reply> {
+        self.request(&format!("CLOSE {session}"))
+    }
+
+    /// `SHUTDOWN` — graceful server stop.
+    pub fn shutdown(&mut self) -> std::io::Result<Reply> {
+        self.request("SHUTDOWN")
+    }
+}

@@ -1,0 +1,44 @@
+//! # sedex-service
+//!
+//! Exchange-as-a-service: a concurrent, multi-tenant TCP server over the
+//! pay-as-you-go [`sedex_core::SedexSession`].
+//!
+//! The paper's pay-as-you-go architecture ("we reuse the scripts without
+//! reprocessing the tuple … the only space required is to store scripts")
+//! is naturally a *service*: a long-lived process that holds, per tenant,
+//! the script repository and seen-set, and exchanges tuples as they
+//! arrive over the network. This crate provides exactly that, std-only:
+//!
+//! * [`protocol`] — the line-based wire protocol (`OPEN`/`PUSH`/`FEED`/
+//!   `FLUSH`/`STATS`/`SQL`/`CLOSE`/`SHUTDOWN`; responses are text blocks
+//!   terminated by a lone `.`), usable over plain `nc`;
+//! * [`manager`] — the sharded multi-tenant session map;
+//! * [`server`] — the TCP server: nonblocking accept loop, fixed worker
+//!   pool fed by a bounded channel (backpressure), idle-session TTL
+//!   sweeper, graceful shutdown draining in-flight work;
+//! * [`client`] — a blocking client used by the integration tests.
+//!
+//! ```no_run
+//! use sedex_service::{Client, Server, ServerConfig};
+//!
+//! let handle = Server::start(ServerConfig::default()).unwrap();
+//! let mut c = Client::connect(handle.local_addr()).unwrap();
+//! c.open("tenant-a", "[source]\nS(a*)\n[target]\nT(b*)\n[correspondences]\na <-> b\n").unwrap();
+//! c.push("tenant-a", "S: v1").unwrap();
+//! println!("{}", c.sql("tenant-a").unwrap().body());
+//! c.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod manager;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, Reply};
+pub use manager::{SessionManager, Tenant};
+pub use protocol::{Request, Response};
+pub use server::{sql_dump, Server, ServerConfig, ServerHandle, ServerStats};

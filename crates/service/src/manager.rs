@@ -1,0 +1,297 @@
+//! Multi-tenant session management: a sharded map from session name to a
+//! live [`SedexSession`].
+//!
+//! Each tenant owns one pay-as-you-go session — its script repository and
+//! seen-set persist across requests, so a tenant that pushes a thousand
+//! same-shape tuples pays script generation once and reuse ever after
+//! (observable over the wire: the `PUSH` response carries the cumulative
+//! generated/reused counters).
+//!
+//! The map is sharded `name → shard(hash(name))` so tenants on different
+//! shards never contend on a lock; within a shard, the map lock is held
+//! only to clone an `Arc`, and the per-tenant mutex serializes that
+//! tenant's requests (a session is inherently sequential — its seen-set
+//! and repository mutate on every push).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use sedex_core::{ExchangeReport, SedexConfig, SedexSession};
+use sedex_scenarios::textfmt;
+use sedex_storage::Instance;
+
+/// One tenant: a live session plus bookkeeping.
+pub struct Tenant {
+    /// The live pay-as-you-go session.
+    pub session: SedexSession,
+    /// Time of the last request that touched this tenant (drives TTL
+    /// eviction).
+    pub last_access: Instant,
+    /// Requests served for this tenant (any verb).
+    pub requests: u64,
+    /// Tuples pushed or fed.
+    pub tuples_in: u64,
+}
+
+impl Tenant {
+    fn new(session: SedexSession) -> Self {
+        Tenant {
+            session,
+            last_access: Instant::now(),
+            requests: 0,
+            tuples_in: 0,
+        }
+    }
+
+    /// Record a request touching this tenant.
+    pub fn touch(&mut self) {
+        self.last_access = Instant::now();
+        self.requests += 1;
+    }
+}
+
+/// Sharded `name → tenant` map.
+pub struct SessionManager {
+    shards: Vec<RwLock<HashMap<String, Arc<Mutex<Tenant>>>>>,
+}
+
+/// Errors from manager operations, rendered verbatim into `ERR` replies.
+pub type ManagerError = String;
+
+impl SessionManager {
+    /// Create a manager with `shards` independent map shards (min 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        SessionManager {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Arc<Mutex<Tenant>>>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Open a session from an inline `.sdx` scenario body. Seed tuples from
+    /// the `[data]` section are fed (not exchanged) so they are available
+    /// as dimension data for later pushes. Fails if the name is taken.
+    pub fn open(&self, name: &str, body: &str) -> Result<usize, ManagerError> {
+        let file = textfmt::parse_scenario(body).map_err(|e| format!("scenario {e}"))?;
+        let s = file.scenario;
+        let mut session = SedexSession::new(SedexConfig::default(), s.source, s.target, s.sigma)
+            .map_err(|e| format!("session: {e}"))?
+            .with_cfds(file.cfds);
+        let mut seeded = 0usize;
+        for (rel, inst) in file.instance.relations() {
+            for t in inst.iter() {
+                session
+                    .feed(rel, t.clone())
+                    .map_err(|e| format!("seed data: {e}"))?;
+                seeded += 1;
+            }
+        }
+        let shard = self.shard(name);
+        let mut map = shard.write().expect("shard lock poisoned");
+        if map.contains_key(name) {
+            return Err(format!("session `{name}` already exists"));
+        }
+        map.insert(name.to_owned(), Arc::new(Mutex::new(Tenant::new(session))));
+        Ok(seeded)
+    }
+
+    /// Look a tenant up, returning a clone of its handle (the shard lock is
+    /// released before the caller locks the tenant).
+    pub fn get(&self, name: &str) -> Option<Arc<Mutex<Tenant>>> {
+        self.shard(name)
+            .read()
+            .expect("shard lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Run `f` with exclusive access to the tenant, bumping its
+    /// access-tracking counters first.
+    pub fn with_tenant<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Tenant) -> R,
+    ) -> Result<R, ManagerError> {
+        let tenant = self
+            .get(name)
+            .ok_or_else(|| format!("no such session `{name}`"))?;
+        let mut guard = tenant.lock().expect("tenant lock poisoned");
+        guard.touch();
+        Ok(f(&mut guard))
+    }
+
+    /// Remove the tenant and finish its session, returning the final
+    /// target and report.
+    pub fn close(&self, name: &str) -> Result<(Instance, ExchangeReport), ManagerError> {
+        let tenant = self
+            .shard(name)
+            .write()
+            .expect("shard lock poisoned")
+            .remove(name)
+            .ok_or_else(|| format!("no such session `{name}`"))?;
+        // Any request already holding the tenant finishes first; unwrapping
+        // the Arc then succeeds because the map entry was the other owner.
+        let tenant = match Arc::try_unwrap(tenant) {
+            Ok(m) => m.into_inner().expect("tenant lock poisoned"),
+            Err(arc) => {
+                // A concurrent request still holds a handle: wait for it by
+                // locking, then clone out what we need? SedexSession is not
+                // Clone — instead spin until we are the sole owner. Requests
+                // are short; this converges immediately in practice.
+                let mut arc = arc;
+                loop {
+                    std::thread::yield_now();
+                    match Arc::try_unwrap(arc) {
+                        Ok(m) => break m.into_inner().expect("tenant lock poisoned"),
+                        Err(a) => arc = a,
+                    }
+                }
+            }
+        };
+        Ok(tenant.session.finish())
+    }
+
+    /// Number of live sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// True when no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names of all live sessions (sorted, for stable `STATS` output).
+    pub fn names(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Drop every session idle for longer than `ttl`; returns the evicted
+    /// names. Tenants currently locked by a request are by definition not
+    /// idle and are skipped (their `last_access` was just bumped).
+    pub fn evict_idle(&self, ttl: std::time::Duration) -> Vec<String> {
+        let mut evicted = Vec::new();
+        for shard in &self.shards {
+            let mut map = shard.write().expect("shard lock poisoned");
+            map.retain(|name, tenant| {
+                let keep = match tenant.try_lock() {
+                    Ok(t) => t.last_access.elapsed() < ttl,
+                    Err(_) => true, // in use right now
+                };
+                if !keep {
+                    evicted.push(name.clone());
+                }
+                keep
+            });
+        }
+        evicted.sort();
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const SCENARIO: &str = "\
+[source]
+Dep(dname*, building)
+Student(sname*, program, dep->Dep)
+
+[target]
+Stu(student*, prog, dpt)
+
+[correspondences]
+sname <-> student
+program <-> prog
+dep <-> dpt
+
+[data]
+Dep: d1, b1
+";
+
+    #[test]
+    fn open_push_close_roundtrip() {
+        let m = SessionManager::new(4);
+        let seeded = m.open("t1", SCENARIO).unwrap();
+        assert_eq!(seeded, 1);
+        assert_eq!(m.len(), 1);
+        m.with_tenant("t1", |t| {
+            let (rel, tuple) =
+                textfmt::parse_data_line("Student: s1, p1, d1", 1).unwrap();
+            t.session.exchange_tuple(&rel, tuple).unwrap();
+            t.tuples_in += 1;
+        })
+        .unwrap();
+        let (target, report) = m.close("t1").unwrap();
+        assert_eq!(target.relation("Stu").unwrap().len(), 1);
+        assert_eq!(report.scripts_generated, 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn duplicate_open_and_missing_session_fail() {
+        let m = SessionManager::new(2);
+        m.open("a", SCENARIO).unwrap();
+        assert!(m.open("a", SCENARIO).unwrap_err().contains("already exists"));
+        assert!(m.with_tenant("ghost", |_| ()).is_err());
+        assert!(m.close("ghost").is_err());
+    }
+
+    #[test]
+    fn bad_scenario_is_rejected() {
+        let m = SessionManager::new(1);
+        let e = m.open("bad", "Student(sname*)\n").unwrap_err();
+        assert!(e.contains("scenario"), "{e}");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn eviction_drops_only_idle_sessions() {
+        let m = SessionManager::new(4);
+        m.open("old", SCENARIO).unwrap();
+        m.open("fresh", SCENARIO).unwrap();
+        // Make `old` look idle by back-dating its last access.
+        {
+            let t = m.get("old").unwrap();
+            let mut t = t.lock().unwrap();
+            t.last_access = Instant::now() - Duration::from_secs(3600);
+        }
+        let evicted = m.evict_idle(Duration::from_secs(60));
+        assert_eq!(evicted, vec!["old".to_string()]);
+        assert_eq!(m.names(), vec!["fresh".to_string()]);
+    }
+
+    #[test]
+    fn names_are_sorted_across_shards() {
+        let m = SessionManager::new(8);
+        for n in ["zeta", "alpha", "mid"] {
+            m.open(n, SCENARIO).unwrap();
+        }
+        assert_eq!(m.names(), vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,359 @@
+//! The wire protocol: line-based text, request in, framed text block out.
+//!
+//! Requests are single lines, except `OPEN`, whose `.sdx` scenario body
+//! follows on subsequent lines up to a lone `END`:
+//!
+//! ```text
+//! OPEN <session>            # then scenario lines …, then END
+//! PUSH <session> <Relation>: v1, v2, _      # feed + exchange one tuple
+//! FEED <session> <Relation>: v1, v2         # feed only (context/dimension)
+//! FLUSH <session>           # exchange everything fed but not yet seen
+//! STATS                     # server-wide counters
+//! STATS <session>           # the session's verbose ExchangeReport
+//! SQL <session>             # target instance as INSERT statements
+//! CLOSE <session>           # finish the session, report final counters
+//! SHUTDOWN                  # graceful stop: drain in-flight work, exit
+//! ```
+//!
+//! Every response is a block of text lines terminated by a line containing
+//! a single `.` — readable over `nc`, trivially parseable by the client.
+//! The first line starts with `OK` or `ERR`.
+
+use std::fmt;
+
+/// Maximum accepted scenario-body size for `OPEN` (defense against a
+/// client streaming garbage forever).
+pub const MAX_OPEN_BODY_LINES: usize = 100_000;
+
+/// Maximum accepted request-line length.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open a named session with an inline scenario body.
+    Open {
+        /// Session (tenant) name.
+        session: String,
+        /// The `.sdx` scenario text (schemas, correspondences, optional
+        /// seed data and CFDs).
+        body: String,
+    },
+    /// Feed a tuple and exchange it immediately.
+    Push {
+        /// Session name.
+        session: String,
+        /// The `Relation: v1, v2, …` data line.
+        line: String,
+    },
+    /// Feed a tuple without exchanging it (dimension/lookup data).
+    Feed {
+        /// Session name.
+        session: String,
+        /// The `Relation: v1, v2, …` data line.
+        line: String,
+    },
+    /// Exchange every fed-but-unseen tuple.
+    Flush {
+        /// Session name.
+        session: String,
+    },
+    /// Server-wide counters (`None`) or one session's report (`Some`).
+    Stats {
+        /// Session name, if per-session stats were requested.
+        session: Option<String>,
+    },
+    /// Dump the session's target instance as SQL INSERT statements.
+    Sql {
+        /// Session name.
+        session: String,
+    },
+    /// Finish and remove the session.
+    Close {
+        /// Session name.
+        session: String,
+    },
+    /// Graceful server shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// The session this request addresses, if any — used to route the
+    /// request to its shard.
+    pub fn session(&self) -> Option<&str> {
+        match self {
+            Request::Open { session, .. }
+            | Request::Push { session, .. }
+            | Request::Feed { session, .. }
+            | Request::Flush { session }
+            | Request::Sql { session }
+            | Request::Close { session } => Some(session),
+            Request::Stats { session } => session.as_deref(),
+            Request::Shutdown => None,
+        }
+    }
+}
+
+/// A response block: `ok` decides the `OK`/`ERR` head line; `lines` are
+/// appended verbatim before the closing `.`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Success flag.
+    pub ok: bool,
+    /// Head-line text (after `OK `/`ERR `).
+    pub head: String,
+    /// Additional body lines.
+    pub lines: Vec<String>,
+}
+
+impl Response {
+    /// A single-line success response.
+    pub fn ok(head: impl Into<String>) -> Self {
+        Response {
+            ok: true,
+            head: head.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// A multi-line success response.
+    pub fn ok_with(head: impl Into<String>, body: impl fmt::Display) -> Self {
+        Response {
+            ok: true,
+            head: head.into(),
+            lines: body.to_string().lines().map(str::to_owned).collect(),
+        }
+    }
+
+    /// An error response.
+    pub fn err(message: impl Into<String>) -> Self {
+        Response {
+            ok: false,
+            head: message.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Serialize as the wire block (head line, body lines, closing `.`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(if self.ok { "OK" } else { "ERR" });
+        if !self.head.is_empty() {
+            out.push(' ');
+            // Head must stay one line; fold any stray newlines.
+            out.push_str(&self.head.replace('\n', " "));
+        }
+        out.push('\n');
+        for l in &self.lines {
+            // A body line of exactly "." would terminate the block early;
+            // escape it the classic SMTP way (leading dot doubled).
+            if l.starts_with('.') {
+                out.push('.');
+            }
+            out.push_str(l);
+            out.push('\n');
+        }
+        out.push_str(".\n");
+        out
+    }
+}
+
+/// Errors produced while parsing a request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+/// Validate a session name: non-empty, word characters only, bounded.
+pub fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+/// Parse one request line (for `OPEN`, the caller supplies the already
+/// collected body).
+///
+/// `PUSH`/`FEED` keep everything after the session token verbatim — it is
+/// a `[data]`-section line and may contain spaces inside quotes.
+pub fn parse_request(line: &str, open_body: Option<String>) -> Result<Request, ProtocolError> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(bad("empty request"));
+    }
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let need_session = |rest: &str| -> Result<String, ProtocolError> {
+        if !valid_session_name(rest) {
+            return Err(bad(format!("invalid session name `{rest}`")));
+        }
+        Ok(rest.to_owned())
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "OPEN" => {
+            let session = need_session(rest)?;
+            let body = open_body.ok_or_else(|| bad("OPEN requires a scenario body"))?;
+            Ok(Request::Open { session, body })
+        }
+        "PUSH" | "FEED" => {
+            let (session, data) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| bad(format!("{verb} <session> <Relation>: v1, v2, …")))?;
+            let session = need_session(session)?;
+            let data = data.trim();
+            if !data.contains(':') {
+                return Err(bad(format!(
+                    "{verb}: expected a data line `Relation: v1, v2, …`, got `{data}`"
+                )));
+            }
+            let line = data.to_owned();
+            if verb.eq_ignore_ascii_case("PUSH") {
+                Ok(Request::Push { session, line })
+            } else {
+                Ok(Request::Feed { session, line })
+            }
+        }
+        "FLUSH" => Ok(Request::Flush {
+            session: need_session(rest)?,
+        }),
+        "STATS" => {
+            if rest.is_empty() {
+                Ok(Request::Stats { session: None })
+            } else {
+                Ok(Request::Stats {
+                    session: Some(need_session(rest)?),
+                })
+            }
+        }
+        "SQL" => Ok(Request::Sql {
+            session: need_session(rest)?,
+        }),
+        "CLOSE" => Ok(Request::Close {
+            session: need_session(rest)?,
+        }),
+        "SHUTDOWN" => {
+            if rest.is_empty() {
+                Ok(Request::Shutdown)
+            } else {
+                Err(bad("SHUTDOWN takes no arguments"))
+            }
+        }
+        other => Err(bad(format!(
+            "unknown command `{other}` (OPEN|PUSH|FEED|FLUSH|STATS|SQL|CLOSE|SHUTDOWN)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_request("PUSH t1 Student: s1, p1, _", None).unwrap(),
+            Request::Push {
+                session: "t1".into(),
+                line: "Student: s1, p1, _".into()
+            }
+        );
+        assert_eq!(
+            parse_request("feed t1 Dep: d1, b1", None).unwrap(),
+            Request::Feed {
+                session: "t1".into(),
+                line: "Dep: d1, b1".into()
+            }
+        );
+        assert_eq!(
+            parse_request("FLUSH a-b.c", None).unwrap(),
+            Request::Flush {
+                session: "a-b.c".into()
+            }
+        );
+        assert_eq!(
+            parse_request("STATS", None).unwrap(),
+            Request::Stats { session: None }
+        );
+        assert_eq!(
+            parse_request("STATS t9", None).unwrap(),
+            Request::Stats {
+                session: Some("t9".into())
+            }
+        );
+        assert_eq!(
+            parse_request("SQL t1", None).unwrap(),
+            Request::Sql {
+                session: "t1".into()
+            }
+        );
+        assert_eq!(
+            parse_request("CLOSE t1", None).unwrap(),
+            Request::Close {
+                session: "t1".into()
+            }
+        );
+        assert_eq!(parse_request("SHUTDOWN", None).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn open_requires_body_and_valid_name() {
+        assert!(parse_request("OPEN t1", None).is_err());
+        let r = parse_request("OPEN t1", Some("[source]\n".into())).unwrap();
+        assert!(matches!(r, Request::Open { .. }));
+        assert!(parse_request("OPEN bad name", Some(String::new())).is_err());
+        assert!(parse_request("OPEN", Some(String::new())).is_err());
+    }
+
+    #[test]
+    fn push_requires_a_data_line() {
+        assert!(parse_request("PUSH t1", None).is_err());
+        assert!(parse_request("PUSH t1 nocolon", None).is_err());
+    }
+
+    #[test]
+    fn unknown_verbs_are_rejected() {
+        let e = parse_request("FROB x", None).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn response_block_renders_with_terminator() {
+        let r = Response::ok("pushed");
+        assert_eq!(r.render(), "OK pushed\n.\n");
+        let e = Response::err("no such session");
+        assert_eq!(e.render(), "ERR no such session\n.\n");
+    }
+
+    #[test]
+    fn response_body_dots_are_escaped() {
+        let r = Response {
+            ok: true,
+            head: "x".into(),
+            lines: vec![".".into(), ".hidden".into(), "plain".into()],
+        };
+        let text = r.render();
+        assert_eq!(text, "OK x\n..\n..hidden\nplain\n.\n");
+    }
+
+    #[test]
+    fn session_name_validation() {
+        assert!(valid_session_name("tenant-1.prod_a"));
+        assert!(!valid_session_name(""));
+        assert!(!valid_session_name("has space"));
+        assert!(!valid_session_name(&"x".repeat(200)));
+    }
+}

@@ -1,0 +1,581 @@
+//! The TCP server: nonblocking accept loop, fixed worker pool fed by a
+//! bounded job channel, TTL sweeper, graceful shutdown.
+//!
+//! Concurrency shape:
+//!
+//! * one **accept** thread polls the listener (nonblocking + short sleep,
+//!   so the shutdown flag is observed promptly) and spawns a lightweight
+//!   I/O thread per connection;
+//! * connection threads only parse lines and frame responses — every
+//!   request is executed by one of `workers` **pool threads**, fed through
+//!   a *bounded* `sync_channel`: when all workers are busy and the queue is
+//!   full, `send` blocks the connection thread, which stops reading its
+//!   socket — backpressure propagates to the client's TCP window instead
+//!   of growing an unbounded queue;
+//! * a **sweeper** thread evicts sessions idle past `idle_ttl`;
+//! * `SHUTDOWN` (or [`ServerHandle::shutdown`]) raises a flag: the accept
+//!   loop stops, connection threads close after their in-flight request,
+//!   the job channel disconnects, workers drain what was queued and exit.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sedex_core::render::sql_literal;
+use sedex_scenarios::textfmt;
+use sedex_storage::Instance;
+
+use crate::manager::SessionManager;
+use crate::protocol::{parse_request, Request, Response, MAX_LINE_BYTES, MAX_OPEN_BODY_LINES};
+
+/// Server tunables. `Default` gives an ephemeral port on localhost, a
+/// worker per core (capped at 8), 16 shards and a 15-minute idle TTL.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`. Port 0 picks an ephemeral
+    /// port; read it back with [`ServerHandle::local_addr`].
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Session-map shards.
+    pub shards: usize,
+    /// Bounded job-queue depth (the backpressure knob).
+    pub queue_depth: usize,
+    /// Evict sessions idle longer than this; `None` disables eviction.
+    pub idle_ttl: Option<Duration>,
+    /// How often the sweeper wakes up.
+    pub sweep_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            shards: 16,
+            queue_depth: 64,
+            idle_ttl: Some(Duration::from_secs(900)),
+            sweep_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Server-wide counters, all monotone, surfaced by `STATS`.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests executed (including failed ones).
+    pub requests: AtomicU64,
+    /// `PUSH`/`FEED` tuples taken in.
+    pub tuples_in: AtomicU64,
+    /// Requests answered with `ERR`.
+    pub errors: AtomicU64,
+    /// Sessions opened.
+    pub opened: AtomicU64,
+    /// Sessions closed by `CLOSE`.
+    pub closed: AtomicU64,
+    /// Sessions evicted by the idle sweeper.
+    pub evicted: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    manager: SessionManager,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+struct Job {
+    request: Request,
+    reply: SyncSender<Response>,
+}
+
+/// A running server. Dropping the handle does **not** stop the server —
+/// call [`ServerHandle::shutdown`] (or send `SHUTDOWN` over the wire, then
+/// [`ServerHandle::join`]).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind and start serving; returns once the listener is live.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            manager: SessionManager::new(cfg.shards),
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+
+        let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sedex-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let sweeper = cfg.idle_ttl.map(|ttl| {
+            let shared = Arc::clone(&shared);
+            let interval = cfg.sweep_interval;
+            std::thread::Builder::new()
+                .name("sedex-sweeper".to_owned())
+                .spawn(move || sweeper_loop(&shared, ttl, interval))
+                .expect("spawn sweeper")
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sedex-accept".to_owned())
+                .spawn(move || accept_loop(listener, tx, &shared))
+                .expect("spawn accept loop")
+        };
+
+        Ok(ServerHandle {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+            sweeper,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// True once shutdown has been requested (by flag or by wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown and wait for every thread to drain and exit.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads();
+    }
+
+    /// Wait for the server to exit (e.g. after a wire `SHUTDOWN`).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sweeper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped handle must not leave threads spinning forever.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads();
+    }
+}
+
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+const READ_POLL: Duration = Duration::from_millis(50);
+
+fn accept_loop(listener: TcpListener, tx: SyncSender<Job>, shared: &Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ServerStats::bump(&shared.stats.connections);
+                let tx = tx.clone();
+                let shared = Arc::clone(shared);
+                conns.push(
+                    std::thread::Builder::new()
+                        .name("sedex-conn".to_owned())
+                        .spawn(move || connection_loop(stream, &tx, &shared))
+                        .expect("spawn connection thread"),
+                );
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                // Reap finished connection threads so the vec stays small.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    // `tx` drops here: the job channel disconnects and workers exit after
+    // draining whatever is still queued.
+}
+
+fn sweeper_loop(shared: &Arc<Shared>, ttl: Duration, interval: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(interval.min(Duration::from_millis(200)));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let evicted = shared.manager.evict_idle(ttl);
+        shared
+            .stats
+            .evicted
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
+    loop {
+        // Hold the receiver lock only while dequeuing, not while executing.
+        let job = match rx.lock().expect("job queue lock poisoned").recv() {
+            Ok(j) => j,
+            Err(_) => return, // all senders gone: server is draining
+        };
+        let response = execute(shared, &job.request);
+        ServerStats::bump(&shared.stats.requests);
+        if !response.ok {
+            ServerStats::bump(&shared.stats.errors);
+        }
+        // The connection may have hung up while the job was queued.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Incremental line reader over a nonblocking-ish socket: read timeouts
+/// are used as polling points for the shutdown flag, and partial lines
+/// survive across `WouldBlock` boundaries.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_read_timeout(Some(READ_POLL))?;
+        Ok(LineReader {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Next full line (without the trailing newline), or `None` on EOF,
+    /// error, shutdown, or an over-long line.
+    fn next_line(&mut self, shared: &Shared) -> Option<String> {
+        loop {
+            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
+                line.pop(); // \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return None;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None, // EOF
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = match LineReader::new(stream) {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    while let Some(line) = reader.next_line(shared) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // OPEN carries a body: collect lines up to a lone END before
+        // parsing, so a malformed OPEN still consumes its body.
+        let open_body = if line.trim_start().len() >= 4
+            && line.trim_start()[..4].eq_ignore_ascii_case("OPEN")
+        {
+            let mut body = String::new();
+            let mut terminated = false;
+            for _ in 0..MAX_OPEN_BODY_LINES {
+                match reader.next_line(shared) {
+                    Some(l) if l.trim().eq_ignore_ascii_case("END") => {
+                        terminated = true;
+                        break;
+                    }
+                    Some(l) => {
+                        body.push_str(&l);
+                        body.push('\n');
+                    }
+                    None => return,
+                }
+            }
+            if !terminated {
+                let _ = writer.write_all(
+                    Response::err("OPEN body not terminated by END").render().as_bytes(),
+                );
+                continue;
+            }
+            Some(body)
+        } else {
+            None
+        };
+        let request = match parse_request(&line, open_body) {
+            Ok(r) => r,
+            Err(e) => {
+                ServerStats::bump(&shared.stats.requests);
+                ServerStats::bump(&shared.stats.errors);
+                if writer.write_all(Response::err(e.to_string()).render().as_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        // Bounded send: blocks when the pool is saturated (backpressure).
+        let (reply_tx, reply_rx) = sync_channel::<Response>(1);
+        if tx
+            .send(Job {
+                request,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return; // server draining
+        }
+        let response = match reply_rx.recv() {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        if writer.write_all(response.render().as_bytes()).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if is_shutdown {
+            return;
+        }
+    }
+}
+
+/// Execute one request against the shared state. Pure request → response;
+/// all I/O happens in the connection threads.
+fn execute(shared: &Shared, request: &Request) -> Response {
+    match request {
+        Request::Open { session, body } => match shared.manager.open(session, body) {
+            Ok(seeded) => {
+                ServerStats::bump(&shared.stats.opened);
+                Response::ok(format!("opened {session}, seeded {seeded} tuples"))
+            }
+            Err(e) => Response::err(e),
+        },
+        Request::Push { session, line } => {
+            ServerStats::bump(&shared.stats.tuples_in);
+            run_on_session(shared, session, |t| {
+                let (rel, tuple) = textfmt::parse_data_line(line, 1)
+                    .map_err(|e| format!("data: {}", e.message))?;
+                t.session
+                    .exchange_tuple(&rel, tuple)
+                    .map_err(|e| e.to_string())?;
+                t.tuples_in += 1;
+                let r = t.session.report_snapshot();
+                Ok(Response::ok(format!(
+                    "pushed {rel} | scripts {} generated / {} reused | target {} tuples",
+                    r.scripts_generated,
+                    r.scripts_reused,
+                    r.stats.tuples
+                )))
+            })
+        }
+        Request::Feed { session, line } => {
+            ServerStats::bump(&shared.stats.tuples_in);
+            run_on_session(shared, session, |t| {
+                let (rel, tuple) = textfmt::parse_data_line(line, 1)
+                    .map_err(|e| format!("data: {}", e.message))?;
+                t.session.feed(&rel, tuple).map_err(|e| e.to_string())?;
+                t.tuples_in += 1;
+                Ok(Response::ok(format!("fed {rel}")))
+            })
+        }
+        Request::Flush { session } => run_on_session(shared, session, |t| {
+            t.session.exchange_pending().map_err(|e| e.to_string())?;
+            let r = t.session.report_snapshot();
+            Ok(Response::ok_with(format!("flushed {session}"), r))
+        }),
+        Request::Stats { session: None } => server_stats(shared),
+        Request::Stats {
+            session: Some(name),
+        } => run_on_session(shared, name, |t| {
+            let r = t.session.report_snapshot();
+            let mut resp = Response::ok_with(format!("stats {name}"), r.verbose());
+            resp.lines.push(format!(
+                "service: {} requests, {} tuples in, {} scripts cached",
+                t.requests,
+                t.tuples_in,
+                t.session.scripts_cached()
+            ));
+            Ok(resp)
+        }),
+        Request::Sql { session } => run_on_session(shared, session, |t| {
+            let sql = sql_dump(t.session.target());
+            Ok(Response::ok_with(format!("sql {session}"), sql.trim_end()))
+        }),
+        Request::Close { session } => match shared.manager.close(session) {
+            Ok((_target, report)) => {
+                ServerStats::bump(&shared.stats.closed);
+                Response::ok(format!("closed {session} | {report}"))
+            }
+            Err(e) => Response::err(e),
+        },
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::ok("shutting down")
+        }
+    }
+}
+
+fn run_on_session(
+    shared: &Shared,
+    name: &str,
+    f: impl FnOnce(&mut crate::manager::Tenant) -> Result<Response, String>,
+) -> Response {
+    match shared.manager.with_tenant(name, f) {
+        Ok(Ok(resp)) => resp,
+        Ok(Err(e)) | Err(e) => Response::err(e),
+    }
+}
+
+fn server_stats(shared: &Shared) -> Response {
+    let s = &shared.stats;
+    let head = format!(
+        "server up {:?} | {} sessions | {} requests, {} tuples in, {} errors",
+        shared.started.elapsed(),
+        shared.manager.len(),
+        s.requests.load(Ordering::Relaxed),
+        s.tuples_in.load(Ordering::Relaxed),
+        s.errors.load(Ordering::Relaxed),
+    );
+    let mut lines = vec![format!(
+        "sessions: {} opened, {} closed, {} evicted | connections: {}",
+        s.opened.load(Ordering::Relaxed),
+        s.closed.load(Ordering::Relaxed),
+        s.evicted.load(Ordering::Relaxed),
+        s.connections.load(Ordering::Relaxed),
+    )];
+    for name in shared.manager.names() {
+        if let Ok(line) =
+            shared
+                .manager
+                .with_tenant(&name, |t| format!("{name}: {}", t.session.report_snapshot()))
+        {
+            lines.push(line);
+        }
+    }
+    Response {
+        ok: true,
+        head,
+        lines,
+    }
+}
+
+/// Render a target instance as SQL `INSERT` statements (sorted by relation
+/// name for stable output).
+pub fn sql_dump(instance: &Instance) -> String {
+    let mut rels: Vec<(&str, _)> = instance.relations().collect();
+    rels.sort_by_key(|(name, _)| name.to_owned());
+    let mut out = String::new();
+    for (name, rel) in rels {
+        let cols: Vec<&str> = rel
+            .schema()
+            .columns
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        for tuple in rel.iter() {
+            let vals: Vec<String> = tuple.values().iter().map(sql_literal).collect();
+            out.push_str(&format!(
+                "INSERT INTO {} ({}) VALUES ({});\n",
+                name,
+                cols.join(", "),
+                vals.join(", ")
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::{ConflictPolicy, RelationSchema, Schema};
+
+    #[test]
+    fn sql_dump_renders_sorted_inserts() {
+        let b = RelationSchema::with_any_columns("B", &["x"]);
+        let a = RelationSchema::with_any_columns("A", &["y", "z"]);
+        let schema = Schema::from_relations(vec![b, a]).unwrap();
+        let mut inst = Instance::new(schema);
+        inst.insert("B", sedex_storage::tuple!["v"], ConflictPolicy::Reject)
+            .unwrap();
+        inst.insert("A", sedex_storage::tuple!["p", "q"], ConflictPolicy::Reject)
+            .unwrap();
+        let sql = sql_dump(&inst);
+        assert_eq!(
+            sql,
+            "INSERT INTO A (y, z) VALUES ('p', 'q');\nINSERT INTO B (x) VALUES ('v');\n"
+        );
+    }
+}

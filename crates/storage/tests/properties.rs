@@ -1,10 +1,30 @@
-//! Property-based tests for the storage substrate: insert-policy laws,
-//! index consistency and substitution behaviour under random workloads.
+//! Property tests for the storage substrate: insert-policy laws, index
+//! consistency and substitution behaviour under randomized workloads.
+//!
+//! Deterministic: workloads are generated from seeded SplitMix64 streams,
+//! so every run exercises the same (broad) input set with no external
+//! property-testing dependency.
 
-use proptest::prelude::*;
 use sedex_storage::{
     ConflictPolicy, InsertOutcome, Instance, RelationSchema, Schema, Tuple, Value,
 };
+
+/// SplitMix64 — tiny, seedable, good enough to diversify test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
 
 fn keyed_instance() -> Instance {
     let r = RelationSchema::with_any_columns("R", &["k", "a", "b"])
@@ -14,24 +34,33 @@ fn keyed_instance() -> Instance {
 }
 
 /// Random small tuples over a narrow domain so keys collide often.
-fn arb_tuple() -> impl Strategy<Value = Tuple> {
-    (0u8..6, 0u8..4, 0u8..4).prop_map(|(k, a, b)| {
-        let v = |x: u8| {
-            if x == 0 {
-                Value::Null
-            } else {
-                Value::int(x as i64)
-            }
-        };
-        Tuple::new(vec![Value::int(k as i64), v(a), v(b)])
-    })
+fn gen_tuple(rng: &mut Rng) -> Tuple {
+    let v = |x: usize| {
+        if x == 0 {
+            Value::Null
+        } else {
+            Value::int(x as i64)
+        }
+    };
+    Tuple::new(vec![
+        Value::int(rng.below(6) as i64),
+        v(rng.below(4)),
+        v(rng.below(4)),
+    ])
 }
 
-proptest! {
-    /// Under Skip, the first tuple for each key wins and the relation size
-    /// equals the number of distinct keys ever inserted.
-    #[test]
-    fn skip_policy_first_writer_wins(tuples in proptest::collection::vec(arb_tuple(), 1..60)) {
+fn gen_workload(seed: u64, max: usize) -> Vec<Tuple> {
+    let mut rng = Rng(seed);
+    let n = 1 + rng.below(max);
+    (0..n).map(|_| gen_tuple(&mut rng)).collect()
+}
+
+/// Under Skip, the first tuple for each key wins and the relation size
+/// equals the number of distinct keys ever inserted.
+#[test]
+fn skip_policy_first_writer_wins() {
+    for seed in 0..32u64 {
+        let tuples = gen_workload(seed, 60);
         let mut inst = keyed_instance();
         let mut first_for_key = std::collections::HashMap::new();
         for t in &tuples {
@@ -40,17 +69,20 @@ proptest! {
             inst.insert("R", t.clone(), ConflictPolicy::Skip).unwrap();
         }
         let rel = inst.relation("R").unwrap();
-        prop_assert_eq!(rel.len(), first_for_key.len());
+        assert_eq!(rel.len(), first_for_key.len(), "seed {seed}");
         for t in rel.iter() {
             let k = &t.values()[0];
-            prop_assert_eq!(t, &first_for_key[k]);
+            assert_eq!(t, &first_for_key[k], "seed {seed}");
         }
     }
+}
 
-    /// Under Merge, every key holds the pointwise most-informative value
-    /// seen, or a violation occurred for that column.
-    #[test]
-    fn merge_policy_accumulates_information(tuples in proptest::collection::vec(arb_tuple(), 1..60)) {
+/// Under Merge, every key holds at most one row and each row keeps at
+/// least its key constant.
+#[test]
+fn merge_policy_accumulates_information() {
+    for seed in 0..32u64 {
+        let tuples = gen_workload(seed, 60);
         let mut inst = keyed_instance();
         for t in &tuples {
             // Ignore egd failures: conflicting constants keep the old value.
@@ -60,19 +92,19 @@ proptest! {
         // No two rows share a key.
         let mut keys = std::collections::HashSet::new();
         for t in rel.iter() {
-            prop_assert!(keys.insert(t.values()[0].clone()));
+            assert!(keys.insert(t.values()[0].clone()), "seed {seed}");
         }
-        // A merged row is never LESS informative than any single insert
-        // that succeeded for that key… weaker check: information count per
-        // row ≥ max over tuples with that key that match on constants.
         for t in rel.iter() {
-            prop_assert!(t.constants() >= 1); // at least the key
+            assert!(t.constants() >= 1, "seed {seed}"); // at least the key
         }
     }
+}
 
-    /// Set semantics: inserting the same multiset twice changes nothing.
-    #[test]
-    fn allow_policy_idempotent_on_replay(tuples in proptest::collection::vec(arb_tuple(), 1..40)) {
+/// Set semantics: inserting the same multiset twice changes nothing.
+#[test]
+fn allow_policy_idempotent_on_replay() {
+    for seed in 0..32u64 {
+        let tuples = gen_workload(seed, 40);
         let r = RelationSchema::with_any_columns("S", &["k", "a", "b"]);
         let schema = Schema::from_relations(vec![r]).unwrap();
         let mut inst = Instance::new(schema);
@@ -82,14 +114,17 @@ proptest! {
         let after_first = inst.relation("S").unwrap().len();
         for t in &tuples {
             let out = inst.insert("S", t.clone(), ConflictPolicy::Allow).unwrap();
-            prop_assert!(matches!(out, InsertOutcome::Duplicate(_)));
+            assert!(matches!(out, InsertOutcome::Duplicate(_)), "seed {seed}");
         }
-        prop_assert_eq!(inst.relation("S").unwrap().len(), after_first);
+        assert_eq!(inst.relation("S").unwrap().len(), after_first, "seed {seed}");
     }
+}
 
-    /// PK lookups agree with a linear scan after arbitrary insert sequences.
-    #[test]
-    fn pk_index_consistent_with_scan(tuples in proptest::collection::vec(arb_tuple(), 1..60)) {
+/// PK lookups agree with a linear scan after arbitrary insert sequences.
+#[test]
+fn pk_index_consistent_with_scan() {
+    for seed in 0..32u64 {
+        let tuples = gen_workload(seed, 60);
         let mut inst = keyed_instance();
         for t in &tuples {
             let _ = inst.insert("R", t.clone(), ConflictPolicy::Merge);
@@ -99,36 +134,43 @@ proptest! {
             let k = t.values()[0].clone();
             let via_index = rel.lookup_pk(std::slice::from_ref(&k));
             let via_scan = rel.iter().find(|u| u.values()[0] == k);
-            prop_assert_eq!(via_index, via_scan);
+            assert_eq!(via_index, via_scan, "seed {seed}");
         }
     }
+}
 
-    /// Labeled-null substitution: afterwards no substituted label remains,
-    /// and constants are untouched.
-    #[test]
-    fn substitution_removes_labels(
-        labels in proptest::collection::vec(0u64..5, 1..30),
-        target in 0u64..5
-    ) {
+/// Labeled-null substitution: afterwards no substituted label remains, and
+/// constants are untouched.
+#[test]
+fn substitution_removes_labels() {
+    for seed in 0..32u64 {
+        let mut rng = Rng(seed);
+        let n = 1 + rng.below(30);
+        let labels: Vec<u64> = (0..n).map(|_| rng.below(5) as u64).collect();
+        let target = rng.below(5) as u64;
         let r = RelationSchema::with_any_columns("S", &["x"]);
         let schema = Schema::from_relations(vec![r]).unwrap();
         let mut inst = Instance::new(schema);
         for l in &labels {
-            inst.insert("S", Tuple::new(vec![Value::Labeled(*l)]), ConflictPolicy::Allow).unwrap();
+            inst.insert("S", Tuple::new(vec![Value::Labeled(*l)]), ConflictPolicy::Allow)
+                .unwrap();
         }
         let mut sub = std::collections::HashMap::new();
         sub.insert(target, Value::text("resolved"));
         inst.substitute_labeled(&sub);
         for (_, rel) in inst.relations() {
             for t in rel.iter() {
-                prop_assert!(t.values()[0] != Value::Labeled(target));
+                assert!(t.values()[0] != Value::Labeled(target), "seed {seed}");
             }
         }
     }
+}
 
-    /// Stats are consistent: atoms = constants + nulls = tuples × arity.
-    #[test]
-    fn stats_accounting(tuples in proptest::collection::vec(arb_tuple(), 0..50)) {
+/// Stats are consistent: atoms = constants + nulls = tuples × arity.
+#[test]
+fn stats_accounting() {
+    for seed in 0..32u64 {
+        let tuples = gen_workload(seed, 50);
         let r = RelationSchema::with_any_columns("S", &["k", "a", "b"]);
         let schema = Schema::from_relations(vec![r]).unwrap();
         let mut inst = Instance::new(schema);
@@ -136,7 +178,7 @@ proptest! {
             inst.insert("S", t.clone(), ConflictPolicy::Allow).unwrap();
         }
         let s = inst.stats();
-        prop_assert_eq!(s.atoms(), s.constants + s.nulls);
-        prop_assert_eq!(s.atoms(), s.tuples * 3);
+        assert_eq!(s.atoms(), s.constants + s.nulls, "seed {seed}");
+        assert_eq!(s.atoms(), s.tuples * 3, "seed {seed}");
     }
 }

@@ -126,6 +126,128 @@ fn gen_produces_runnable_files() {
 }
 
 #[test]
+fn run_with_threads_and_batch_size_matches_serial() {
+    let serial = Command::new(sedex_bin())
+        .args(["run", &repo_file("university.sdx"), "--quiet"])
+        .output()
+        .expect("run sedex");
+    assert!(serial.status.success());
+    let parallel = Command::new(sedex_bin())
+        .args([
+            "run",
+            &repo_file("university.sdx"),
+            "--quiet",
+            "--threads",
+            "3",
+            "--batch-size",
+            "4",
+        ])
+        .output()
+        .expect("run sedex");
+    assert!(
+        parallel.status.success(),
+        "{}",
+        String::from_utf8_lossy(&parallel.stderr)
+    );
+    // Same counters either way: the summary line is identical up to times.
+    let strip = |s: &[u8]| {
+        String::from_utf8_lossy(s)
+            .lines()
+            .filter(|l| l.starts_with("sedex:"))
+            .map(|l| {
+                l.split(" | ")
+                    .filter(|part| !part.starts_with("Tg "))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&serial.stdout), strip(&parallel.stdout));
+}
+
+#[test]
+fn verbose_flag_prints_multiline_report() {
+    let out = Command::new(sedex_bin())
+        .args(["run", &repo_file("university.sdx"), "--quiet", "--verbose"])
+        .output()
+        .expect("run sedex");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scripts:"), "{stdout}");
+    assert!(stdout.contains("% reuse"), "{stdout}");
+    assert!(stdout.contains("rows:"), "{stdout}");
+}
+
+#[test]
+fn serve_smoke_open_push_shutdown() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let mut child = Command::new(sedex_bin())
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn sedex serve");
+    // The first stdout line announces the bound address.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .to_owned();
+
+    let stream = TcpStream::connect(&addr).expect("connect to sedex serve");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let send = |w: &mut TcpStream, text: &str| {
+        w.write_all(text.as_bytes()).unwrap();
+        w.flush().unwrap();
+    };
+    let read_block = |r: &mut BufReader<TcpStream>| {
+        let mut lines = Vec::new();
+        loop {
+            let mut l = String::new();
+            assert!(r.read_line(&mut l).unwrap() > 0, "server hung up");
+            let l = l.trim_end().to_owned();
+            if l == "." {
+                break;
+            }
+            lines.push(l);
+        }
+        lines
+    };
+
+    send(
+        &mut writer,
+        "OPEN t1\n[source]\nS(a*, b)\n[target]\nT(x*, y)\n[correspondences]\na <-> x\nb <-> y\nEND\n",
+    );
+    let open = read_block(&mut reader);
+    assert!(open[0].starts_with("OK opened t1"), "{open:?}");
+
+    send(&mut writer, "PUSH t1 S: k1, v1\n");
+    let push = read_block(&mut reader);
+    assert!(push[0].contains("scripts 1 generated"), "{push:?}");
+
+    send(&mut writer, "SQL t1\n");
+    let sql = read_block(&mut reader);
+    assert!(
+        sql.iter().any(|l| l.contains("INSERT INTO T")),
+        "{sql:?}"
+    );
+
+    send(&mut writer, "SHUTDOWN\n");
+    let bye = read_block(&mut reader);
+    assert!(bye[0].starts_with("OK shutting down"), "{bye:?}");
+
+    let status = child.wait().expect("serve exit");
+    assert!(status.success());
+}
+
+#[test]
 fn unknown_engine_is_an_error() {
     let out = Command::new(sedex_bin())
         .args(["run", &repo_file("university.sdx"), "--engine", "nope"])
