@@ -164,11 +164,9 @@ impl BenchmarkGroup {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(
-            &format!("{}/{}", self.name, id.id),
-            self.budget,
-            &mut |b| f(b, input),
-        );
+        run_one(&format!("{}/{}", self.name, id.id), self.budget, &mut |b| {
+            f(b, input)
+        });
         self
     }
 

@@ -12,9 +12,11 @@
 //! Every knob the paper discusses (and every ablation DESIGN.md calls out)
 //! is a field of [`SedexConfig`].
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use sedex_mapping::Correspondences;
+use sedex_observe::{Observer, Phase};
 use sedex_storage::{Instance, Schema, StorageError};
 use sedex_treerep::{tuple_shape_key, tuple_tree, SchemaForest, TreeConfig, TupleTree};
 
@@ -25,6 +27,7 @@ use crate::metrics::ExchangeReport;
 use crate::repository::ScriptRepository;
 use crate::script::{run_script, RunOutcome, Script};
 use crate::scriptgen::generate_script;
+use crate::trace::Trace;
 use crate::translate::{slot_values, translate};
 
 /// Configuration of a SEDEX exchange.
@@ -62,6 +65,11 @@ pub struct SedexConfig {
     /// Tuples are processed in batches of this many rows (bounds memory in
     /// the parallel phase).
     pub batch_size: usize,
+    /// Exchanges slower than this emit a one-line structured record (with
+    /// per-phase breakdown) to stderr and an
+    /// [`Event::SlowExchange`] to the attached observer. `None` (default)
+    /// disables the check and the per-phase clock reads it needs.
+    pub slow_exchange_threshold: Option<Duration>,
 }
 
 impl Default for SedexConfig {
@@ -78,37 +86,58 @@ impl Default for SedexConfig {
             threads: 1,
             record_hit_events: false,
             batch_size: 8192,
+            slow_exchange_threshold: None,
         }
     }
 }
 
 /// The SEDEX engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct SedexEngine {
     config: SedexConfig,
     cfds: CfdInterpreter,
+    observer: Option<Arc<dyn Observer>>,
+}
+
+impl std::fmt::Debug for SedexEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SedexEngine")
+            .field("config", &self.config)
+            .field("cfds", &self.cfds)
+            .field(
+                "observer",
+                &self.observer.as_ref().map(|_| "<dyn Observer>"),
+            )
+            .finish()
+    }
 }
 
 impl SedexEngine {
     /// An engine with the default configuration and no CFDs.
     pub fn new() -> Self {
-        SedexEngine {
-            config: SedexConfig::default(),
-            cfds: CfdInterpreter::new(),
-        }
+        SedexEngine::default()
     }
 
     /// An engine with an explicit configuration.
     pub fn with_config(config: SedexConfig) -> Self {
         SedexEngine {
             config,
-            cfds: CfdInterpreter::new(),
+            ..SedexEngine::default()
         }
     }
 
     /// Attach a CFD interpreter (Fig. 1's "Load CFDs" step).
     pub fn with_cfds(mut self, cfds: CfdInterpreter) -> Self {
         self.cfds = cfds;
+        self
+    }
+
+    /// Attach a trace observer: every pipeline phase, repository lookup,
+    /// egd merge and violation is reported to it as a structured
+    /// [`Event`]. Without an observer (the default) the tracing hooks
+    /// cost a `None` check — no clock reads, no allocation, no atomics.
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -153,6 +182,7 @@ impl SedexEngine {
             prune_nulls: cfg.prune_nulls,
         };
         let mut report = ExchangeReport::default();
+        let mut trace = Trace::new(self.observer.as_deref(), cfg.slow_exchange_threshold);
         let tg_start = Instant::now();
 
         // Fig. 1: load + apply CFDs before tuple trees are generated.
@@ -196,8 +226,10 @@ impl SedexEngine {
             while batch_start < row_count {
                 let batch_end = (batch_start + cfg.batch_size as u32).min(row_count);
                 let tg0 = Instant::now();
+                let tb = trace.start();
                 let (trees, skipped) =
                     self.build_batch(src, rel_name, batch_start..batch_end, &seen, &tree_cfg)?;
+                trace.end(Phase::TreeBuild, tb);
                 report.tuples_skipped_seen += skipped;
                 let mut tg_batch = tg0.elapsed();
 
@@ -224,16 +256,19 @@ impl SedexEngine {
                     let script = match script {
                         Some(s) => {
                             report.scripts_reused += 1;
+                            trace.lookup(true);
                             s
                         }
                         None => {
                             report.scripts_generated += 1;
+                            trace.lookup(false);
                             let generated = self.generate_for(
                                 &tx,
                                 &matcher,
                                 &target_forest,
                                 sigma,
                                 target_schema,
+                                &mut trace,
                             );
                             if generated.is_empty() {
                                 report.tuples_unmatched += 1;
@@ -246,12 +281,16 @@ impl SedexEngine {
 
                     let t1 = Instant::now();
                     if !script.is_empty() {
-                        outcome += run_script(
+                        let sr = trace.start();
+                        let delta = run_script(
                             &script,
                             &slot_values(&tx),
                             &mut target,
                             &mut fresh_counter,
                         )?;
+                        trace.end(Phase::ScriptRun, sr);
+                        trace.outcome(&delta);
+                        outcome += delta;
                     }
                     report.te += t1.elapsed();
                 }
@@ -265,6 +304,12 @@ impl SedexEngine {
         report.violations = outcome.violations;
         report.stats = target.stats();
         report.hit_events = repo.take_events();
+        report.phases = trace.totals;
+        trace.finish_exchange(
+            report.total_time(),
+            report.tuples_processed as u64,
+            cfg.slow_exchange_threshold,
+        );
         Ok((target, report))
     }
 
@@ -327,15 +372,24 @@ impl SedexEngine {
         target_forest: &SchemaForest,
         sigma: &Correspondences,
         target_schema: &Schema,
+        trace: &mut Trace,
     ) -> Script {
-        let Some(m) = matcher.best_match(tx, sigma) else {
+        let m0 = trace.start();
+        let m = matcher.best_match(tx, sigma);
+        trace.end(Phase::Match, m0);
+        let Some(m) = m else {
             return Script::default();
         };
         let Some(tr) = target_forest.tree(&m.relation) else {
             return Script::default();
         };
+        let t0 = trace.start();
         let ty = translate(tx, tr, sigma);
-        generate_script(&ty, target_schema)
+        trace.end(Phase::Translate, t0);
+        let g0 = trace.start();
+        let script = generate_script(&ty, target_schema);
+        trace.end(Phase::ScriptGen, g0);
+        script
     }
 }
 
@@ -506,6 +560,49 @@ mod tests {
         let (_, report) = engine.exchange(&src, &target_schema, &sigma).unwrap();
         assert!(report.scripts_reused >= 49, "report: {report:?}");
         assert!(report.hit_ratio() > 0.5);
+    }
+
+    /// Acceptance criterion of the observability issue: with no observer
+    /// attached and no slow threshold, the engine takes no phase clock
+    /// readings at all — the breakdown stays identically zero.
+    #[test]
+    fn no_observer_no_threshold_records_no_phase_timings() {
+        let (src, target_schema, sigma) = university();
+        let (_, report) = SedexEngine::new()
+            .exchange(&src, &target_schema, &sigma)
+            .unwrap();
+        assert!(report.phases.is_zero(), "phases: {:?}", report.phases);
+    }
+
+    #[test]
+    fn attached_registry_observer_fills_the_registry_live() {
+        use sedex_observe::{names, MetricsRegistry, RegistryObserver};
+        let (src, target_schema, sigma) = university();
+        let registry = MetricsRegistry::new();
+        let engine = SedexEngine::new().with_observer(Arc::new(RegistryObserver::new(&registry)));
+        let (_, report) = engine.exchange(&src, &target_schema, &sigma).unwrap();
+        assert!(!report.phases.is_zero());
+        assert_eq!(registry.counter_value(names::EXCHANGE_TOTAL), Some(1));
+        assert_eq!(
+            registry.counter_value(names::TUPLES_TOTAL),
+            Some(report.tuples_processed as u64)
+        );
+        assert_eq!(
+            registry.counter_value(names::ROWS_INSERTED_TOTAL),
+            Some(report.inserted as u64)
+        );
+    }
+
+    #[test]
+    fn slow_threshold_alone_populates_the_phase_breakdown() {
+        let (src, target_schema, sigma) = university();
+        let engine = SedexEngine::with_config(SedexConfig {
+            slow_exchange_threshold: Some(Duration::ZERO),
+            ..SedexConfig::default()
+        });
+        let (_, report) = engine.exchange(&src, &target_schema, &sigma).unwrap();
+        assert!(!report.phases.is_zero());
+        assert!(report.phases.total() <= report.total_time() * 2);
     }
 
     /// The Section 1.2 / 4.5 headline: SEDEX produces the EXPECTED solution

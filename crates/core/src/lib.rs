@@ -42,6 +42,7 @@ pub mod repository;
 pub mod script;
 pub mod scriptgen;
 pub mod session;
+mod trace;
 pub mod translate;
 
 pub use cfd::{Cfd, CfdInterpreter, CfdParseError};
@@ -55,3 +56,12 @@ pub use repository::ScriptRepository;
 pub use script::{run_script, Script, SlotRef, Statement};
 pub use session::SedexSession;
 pub use translate::{translate, TranslatedNode, TranslatedTree};
+
+/// Re-export of the observability crate: [`observe::Observer`] plugs into
+/// [`SedexEngine::with_observer`] / [`SedexSession::with_observer`], and
+/// [`observe::MetricsRegistry`] + [`observe::render_prometheus`] turn the
+/// emitted events into a Prometheus scrape body.
+pub use sedex_observe as observe;
+pub use sedex_observe::{
+    Event, MetricsRegistry, NoopObserver, Observer, Phase, PhaseTotals, RegistryObserver,
+};

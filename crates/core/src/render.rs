@@ -34,7 +34,12 @@ impl fmt::Display for ExchangeReport {
         write!(
             f,
             "{} | Tg {:?} Te {:?} | scripts {} generated / {} reused | {} violations",
-            self.stats, self.tg, self.te, self.scripts_generated, self.scripts_reused, self.violations
+            self.stats,
+            self.tg,
+            self.te,
+            self.scripts_generated,
+            self.scripts_reused,
+            self.violations
         )
     }
 }

@@ -15,7 +15,10 @@
 //! must be fed before (or together with) their referencing tuples — exactly
 //! the arrival order a CDC/ETL pipeline provides.
 
+use std::sync::Arc;
+
 use sedex_mapping::Correspondences;
+use sedex_observe::{Observer, Phase};
 use sedex_storage::relation::RowId;
 use sedex_storage::{ConflictPolicy, Instance, Schema, StorageError, Tuple};
 use sedex_treerep::{tuple_shape_key, tuple_tree, SchemaForest, TreeConfig};
@@ -28,6 +31,7 @@ use crate::metrics::ExchangeReport;
 use crate::repository::ScriptRepository;
 use crate::script::{run_script, RunOutcome};
 use crate::scriptgen::generate_script;
+use crate::trace::Trace;
 use crate::translate::{slot_values, translate};
 
 /// A long-lived exchange session: push source tuples as they arrive, read
@@ -45,6 +49,7 @@ pub struct SedexSession {
     seen: SeenSet,
     fresh_counter: u64,
     report: ExchangeReport,
+    observer: Option<Arc<dyn Observer>>,
 }
 
 impl SedexSession {
@@ -80,6 +85,7 @@ impl SedexSession {
             fresh_counter: 0,
             source,
             report: ExchangeReport::default(),
+            observer: None,
         })
     }
 
@@ -87,6 +93,16 @@ impl SedexSession {
     /// context at exchange time.
     pub fn with_cfds(mut self, cfds: CfdInterpreter) -> Self {
         self.cfds = cfds;
+        self
+    }
+
+    /// Attach a trace observer. Each processed tuple emits its pipeline
+    /// phases plus one `Exchange` event (tuple count 1); skipped-seen
+    /// tuples emit nothing. Without an observer and with no slow
+    /// threshold the tracing hooks cost a `None` check — no clock reads,
+    /// no allocation, no atomics.
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -141,6 +157,10 @@ impl SedexSession {
             self.report.tuples_skipped_seen += 1;
             return Ok(RunOutcome::default());
         }
+        let mut trace = Trace::new(
+            self.observer.as_deref(),
+            self.config.slow_exchange_threshold,
+        );
         let t0 = std::time::Instant::now();
         // Apply CFDs to the tuple in place before building its tree.
         if !self.cfds.is_empty() {
@@ -148,7 +168,9 @@ impl SedexSession {
             // semantics while bounding work to the touched relations.
             self.cfds.apply(&mut self.source)?;
         }
+        let tb = trace.start();
         let tx = tuple_tree(&self.source, relation, row, &self.tree_cfg)?;
+        trace.end(Phase::TreeBuild, tb);
         if self.config.mark_seen {
             for v in &tx.visited {
                 self.seen.ensure_capacity(&v.relation, (v.row + 1) as usize);
@@ -166,15 +188,25 @@ impl SedexSession {
         let script = match script {
             Some(s) => {
                 self.report.scripts_reused += 1;
+                trace.lookup(true);
                 s
             }
             None => {
                 self.report.scripts_generated += 1;
-                let generated = match self.matcher.best_match(&tx, &self.sigma) {
+                trace.lookup(false);
+                let m0 = trace.start();
+                let best = self.matcher.best_match(&tx, &self.sigma);
+                trace.end(Phase::Match, m0);
+                let generated = match best {
                     Some(m) => match self.target_forest.tree(&m.relation) {
                         Some(tr) => {
+                            let tr0 = trace.start();
                             let ty = translate(&tx, tr, &self.sigma);
-                            generate_script(&ty, self.target.schema())
+                            trace.end(Phase::Translate, tr0);
+                            let g0 = trace.start();
+                            let s = generate_script(&ty, self.target.schema());
+                            trace.end(Phase::ScriptGen, g0);
+                            s
                         }
                         None => Default::default(),
                     },
@@ -187,22 +219,33 @@ impl SedexSession {
             }
         };
         self.report.tuples_processed += 1;
-        self.report.tg += t0.elapsed();
+        let tg_tuple = t0.elapsed();
+        self.report.tg += tg_tuple;
 
         let t1 = std::time::Instant::now();
         let mut out = RunOutcome::default();
         if !script.is_empty() {
+            let sr = trace.start();
             out = run_script(
                 &script,
                 &slot_values(&tx),
                 &mut self.target,
                 &mut self.fresh_counter,
             )?;
+            trace.end(Phase::ScriptRun, sr);
+            trace.outcome(&out);
         }
-        self.report.te += t1.elapsed();
+        let te_tuple = t1.elapsed();
+        self.report.te += te_tuple;
         self.report.inserted += out.inserted;
         self.report.merged += out.merged;
         self.report.violations += out.violations;
+        trace.finish_exchange(tg_tuple + te_tuple, 1, self.config.slow_exchange_threshold);
+        for (phase, nanos) in trace.totals.iter() {
+            if nanos > 0 {
+                self.report.phases.add(phase, nanos);
+            }
+        }
         Ok(out)
     }
 
@@ -405,6 +448,43 @@ mod tests {
         assert_eq!(snap.scripts_reused, full.scripts_reused);
         assert_eq!(snap.stats, full.stats);
         assert_eq!(snap.inserted, full.inserted);
+    }
+
+    #[test]
+    fn observer_counts_each_streamed_tuple_as_one_exchange() {
+        use sedex_observe::{names, MetricsRegistry, RegistryObserver};
+        let (src_schema, tgt_schema, sigma) = schemas();
+        let registry = MetricsRegistry::new();
+        let mut session = SedexSession::new(SedexConfig::default(), src_schema, tgt_schema, sigma)
+            .unwrap()
+            .with_observer(Arc::new(RegistryObserver::new(&registry)));
+        session
+            .feed("Dep", sedex_storage::tuple!["d1", "b1"])
+            .unwrap();
+        for i in 0..5 {
+            session
+                .exchange_tuple(
+                    "Student",
+                    Tuple::of([format!("s{i}"), format!("p{i}"), "d1".to_string()]),
+                )
+                .unwrap();
+        }
+        assert_eq!(registry.counter_value(names::EXCHANGE_TOTAL), Some(5));
+        assert_eq!(registry.counter_value(names::TUPLES_TOTAL), Some(5));
+        let (_, report) = session.finish();
+        assert!(!report.phases.is_zero());
+    }
+
+    #[test]
+    fn no_observer_leaves_the_phase_breakdown_zero() {
+        let (src_schema, tgt_schema, sigma) = schemas();
+        let mut session =
+            SedexSession::new(SedexConfig::default(), src_schema, tgt_schema, sigma).unwrap();
+        session
+            .exchange_tuple("Dep", sedex_storage::tuple!["d1", "b1"])
+            .unwrap();
+        let (_, report) = session.finish();
+        assert!(report.phases.is_zero());
     }
 
     #[test]

@@ -81,7 +81,11 @@ fn chase_satisfies_tgds() {
         let mut nulls = NullFactory::new();
         let stats = chase(&source, &mut target, std::slice::from_ref(&tgd), &mut nulls).unwrap();
         // One firing per distinct source tuple.
-        assert_eq!(stats.firings, source.relation("S").unwrap().len(), "seed {seed}");
+        assert_eq!(
+            stats.firings,
+            source.relation("S").unwrap().len(),
+            "seed {seed}"
+        );
         // Satisfaction: for each source tuple there is a T row agreeing on
         // (x, y) whose z appears in U.
         for s in source.relation("S").unwrap().iter() {
@@ -209,7 +213,10 @@ fn mapmerge_preserves_constants() {
             // A second, overlapping mapping with the same premise.
             Tgd::new(
                 vec![Atom::new("S", vec![Term::Var(0), Term::Var(1)])],
-                vec![Atom::new("T", vec![Term::Var(0), Term::Var(1), Term::Var(7)])],
+                vec![Atom::new(
+                    "T",
+                    vec![Term::Var(0), Term::Var(1), Term::Var(7)],
+                )],
             ),
         ];
         let correlated = correlate(tgds.clone());

@@ -1,0 +1,179 @@
+//! [`RegistryObserver`]: the bridge from trace events to registry
+//! metrics. One instance pre-registers every engine metric, so observing
+//! an event on the hot path touches only pre-fetched atomic handles —
+//! never the registry lock.
+
+use std::sync::Arc;
+
+use crate::event::{Event, Observer, Phase};
+use crate::registry::{Counter, Histogram, MetricsRegistry};
+
+/// Standard engine metric names (shared with
+/// `ExchangeReport::record_into`, which must stay consistent with the
+/// live-event mapping below).
+pub mod names {
+    /// Exchanges completed (counter).
+    pub const EXCHANGE_TOTAL: &str = "sedex_exchange_total";
+    /// End-to-end exchange latency (histogram).
+    pub const EXCHANGE_SECONDS: &str = "sedex_exchange_seconds";
+    /// Source tuples processed (counter).
+    pub const TUPLES_TOTAL: &str = "sedex_tuples_processed_total";
+    /// Per-phase pipeline latency (histogram, `phase` label).
+    pub const PHASE_SECONDS: &str = "sedex_phase_seconds";
+    /// Script-repository lookups (counter, `result` label).
+    pub const REPO_LOOKUP_TOTAL: &str = "sedex_repo_lookup_total";
+    /// Target-egd merges (counter).
+    pub const EGD_MERGE_TOTAL: &str = "sedex_egd_merge_total";
+    /// Hard egd violations (counter).
+    pub const VIOLATION_TOTAL: &str = "sedex_violation_total";
+    /// Rows inserted into targets (counter).
+    pub const ROWS_INSERTED_TOTAL: &str = "sedex_rows_inserted_total";
+    /// Exchanges that exceeded the slow threshold (counter).
+    pub const SLOW_EXCHANGE_TOTAL: &str = "sedex_slow_exchange_total";
+}
+
+/// An [`Observer`] that folds events into a [`MetricsRegistry`].
+pub struct RegistryObserver {
+    phase_hist: [Arc<Histogram>; Phase::COUNT],
+    lookup_hit: Arc<Counter>,
+    lookup_miss: Arc<Counter>,
+    egd_merges: Arc<Counter>,
+    violations: Arc<Counter>,
+    rows_inserted: Arc<Counter>,
+    exchanges: Arc<Counter>,
+    exchange_hist: Arc<Histogram>,
+    tuples: Arc<Counter>,
+    slow: Arc<Counter>,
+}
+
+impl RegistryObserver {
+    /// Pre-register every engine metric in `registry` and return the
+    /// observer holding their handles.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        let phase_hist = std::array::from_fn(|i| {
+            registry.histogram_with(
+                names::PHASE_SECONDS,
+                "Time spent per pipeline phase.",
+                &[("phase", Phase::ALL[i].as_str())],
+            )
+        });
+        RegistryObserver {
+            phase_hist,
+            lookup_hit: registry.counter_with(
+                names::REPO_LOOKUP_TOTAL,
+                "Script-repository lookups by outcome.",
+                &[("result", "hit")],
+            ),
+            lookup_miss: registry.counter_with(
+                names::REPO_LOOKUP_TOTAL,
+                "Script-repository lookups by outcome.",
+                &[("result", "miss")],
+            ),
+            egd_merges: registry.counter(
+                names::EGD_MERGE_TOTAL,
+                "Target-egd merges performed during script runs.",
+            ),
+            violations: registry.counter(
+                names::VIOLATION_TOTAL,
+                "Hard egd violations (statement dropped).",
+            ),
+            rows_inserted: registry.counter(
+                names::ROWS_INSERTED_TOTAL,
+                "Rows inserted into target instances.",
+            ),
+            exchanges: registry.counter(names::EXCHANGE_TOTAL, "Exchanges completed."),
+            exchange_hist: registry
+                .histogram(names::EXCHANGE_SECONDS, "End-to-end exchange latency."),
+            tuples: registry.counter(names::TUPLES_TOTAL, "Source tuples processed."),
+            slow: registry.counter(
+                names::SLOW_EXCHANGE_TOTAL,
+                "Exchanges slower than the configured threshold.",
+            ),
+        }
+    }
+
+    fn phase_histogram(&self, phase: Phase) -> &Histogram {
+        &self.phase_hist[Phase::ALL.iter().position(|&p| p == phase).unwrap()]
+    }
+}
+
+impl Observer for RegistryObserver {
+    fn event(&self, e: &Event) {
+        match *e {
+            Event::Phase { phase, nanos } => self.phase_histogram(phase).observe_nanos(nanos),
+            Event::RepoLookup { hit, count } => {
+                if hit {
+                    self.lookup_hit.add(count);
+                } else {
+                    self.lookup_miss.add(count);
+                }
+            }
+            Event::EgdMerge { count } => self.egd_merges.add(count),
+            Event::Violation { count } => self.violations.add(count),
+            Event::RowsInserted { count } => self.rows_inserted.add(count),
+            Event::Exchange {
+                nanos,
+                tuples,
+                count,
+            } => {
+                self.exchanges.add(count);
+                self.tuples.add(tuples);
+                self.exchange_hist.observe_nanos(nanos);
+            }
+            Event::SlowExchange { .. } => self.slow.inc(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PhaseTotals;
+
+    #[test]
+    fn events_map_to_the_standard_metrics() {
+        let reg = MetricsRegistry::new();
+        let obs = RegistryObserver::new(&reg);
+        obs.event(&Event::Phase {
+            phase: Phase::Match,
+            nanos: 1000,
+        });
+        obs.event(&Event::RepoLookup {
+            hit: true,
+            count: 4,
+        });
+        obs.event(&Event::RepoLookup {
+            hit: false,
+            count: 1,
+        });
+        obs.event(&Event::EgdMerge { count: 2 });
+        obs.event(&Event::Violation { count: 1 });
+        obs.event(&Event::RowsInserted { count: 9 });
+        obs.event(&Event::Exchange {
+            nanos: 5_000_000,
+            tuples: 5,
+            count: 1,
+        });
+        obs.event(&Event::SlowExchange {
+            nanos: 5_000_000,
+            threshold_nanos: 1_000_000,
+            phases: &PhaseTotals::new(),
+        });
+
+        assert_eq!(reg.counter_value(names::EXCHANGE_TOTAL), Some(1));
+        assert_eq!(reg.counter_value(names::TUPLES_TOTAL), Some(5));
+        assert_eq!(reg.counter_value(names::EGD_MERGE_TOTAL), Some(2));
+        assert_eq!(reg.counter_value(names::VIOLATION_TOTAL), Some(1));
+        assert_eq!(reg.counter_value(names::ROWS_INSERTED_TOTAL), Some(9));
+        assert_eq!(reg.counter_value(names::SLOW_EXCHANGE_TOTAL), Some(1));
+        let text = crate::expose::render_prometheus(&reg);
+        assert!(
+            text.contains("sedex_repo_lookup_total{result=\"hit\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sedex_phase_seconds_count{phase=\"match\"} 1"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! The event taxonomy: pipeline phases, structured trace events, the
+//! [`Observer`] sink, and cheap [`Span`] timers.
+//!
+//! Every stage of the SEDEX pipeline (Fig. 1) maps to a [`Phase`]; the
+//! engine emits one [`Event`] per phase span, repository lookup, egd
+//! merge, violation, and completed exchange. Observers are passive sinks:
+//! the engine never blocks on them, and when no observer is attached the
+//! tracing hooks collapse to a `None` check — no clock reads, no
+//! allocation, no atomic writes.
+
+use std::time::{Duration, Instant};
+
+/// A timed stage of the exchange pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Building tuple trees from source rows (Section 4.2).
+    TreeBuild,
+    /// The pq-gram `Match` function (Section 4.3).
+    Match,
+    /// Tuple-tree translation, Algorithm 1.
+    Translate,
+    /// Insertion-script generation, Algorithm 2.
+    ScriptGen,
+    /// Script execution under target egds (Section 4.4.3).
+    ScriptRun,
+}
+
+impl Phase {
+    /// Number of phases (array dimension for [`PhaseTotals`]).
+    pub const COUNT: usize = 5;
+
+    /// All phases in pipeline order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::TreeBuild,
+        Phase::Match,
+        Phase::Translate,
+        Phase::ScriptGen,
+        Phase::ScriptRun,
+    ];
+
+    /// The snake_case label used in metrics and log records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::TreeBuild => "tree_build",
+            Phase::Match => "match",
+            Phase::Translate => "translate",
+            Phase::ScriptGen => "scriptgen",
+            Phase::ScriptRun => "script_run",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::TreeBuild => 0,
+            Phase::Match => 1,
+            Phase::Translate => 2,
+            Phase::ScriptGen => 3,
+            Phase::ScriptRun => 4,
+        }
+    }
+}
+
+/// Accumulated nanoseconds per phase — the breakdown carried by slow-
+/// exchange records and by `ExchangeReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    nanos: [u64; Phase::COUNT],
+}
+
+impl PhaseTotals {
+    /// All-zero totals.
+    pub fn new() -> Self {
+        PhaseTotals::default()
+    }
+
+    /// Add `nanos` to a phase.
+    #[inline]
+    pub fn add(&mut self, phase: Phase, nanos: u64) {
+        self.nanos[phase.index()] += nanos;
+    }
+
+    /// Accumulated time in one phase.
+    pub fn get(&self, phase: Phase) -> Duration {
+        Duration::from_nanos(self.nanos[phase.index()])
+    }
+
+    /// Accumulated nanoseconds in one phase.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.iter().sum())
+    }
+
+    /// `(phase, accumulated nanos)` pairs in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL.iter().map(|&p| (p, self.nanos[p.index()]))
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_zero(&self) -> bool {
+        self.nanos.iter().all(|&n| n == 0)
+    }
+}
+
+/// One structured trace event. Count-carrying variants let a finished
+/// report be replayed into an observer as aggregates (one event per kind)
+/// instead of one event per tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// A phase span ended (or an aggregate of many spans when replayed).
+    Phase {
+        /// Which pipeline stage.
+        phase: Phase,
+        /// Wall time spent, in nanoseconds.
+        nanos: u64,
+    },
+    /// Script-repository lookups (`repo_lookup{hit}`).
+    RepoLookup {
+        /// Whether a cached script was found.
+        hit: bool,
+        /// Number of lookups with this outcome.
+        count: u64,
+    },
+    /// Target-egd merges performed while running scripts.
+    EgdMerge {
+        /// Number of merges.
+        count: u64,
+    },
+    /// Hard egd violations (statement dropped, existing tuple kept).
+    Violation {
+        /// Number of violations.
+        count: u64,
+    },
+    /// Rows inserted into the target.
+    RowsInserted {
+        /// Number of rows.
+        count: u64,
+    },
+    /// One or more exchanges completed.
+    Exchange {
+        /// Total wall time across the counted exchanges, nanoseconds.
+        nanos: u64,
+        /// Source tuples processed.
+        tuples: u64,
+        /// Number of exchanges (1 for a live event).
+        count: u64,
+    },
+    /// An exchange exceeded the configured slow threshold.
+    SlowExchange {
+        /// Total exchange wall time, nanoseconds.
+        nanos: u64,
+        /// The configured threshold, nanoseconds.
+        threshold_nanos: u64,
+        /// Per-phase breakdown.
+        phases: &'a PhaseTotals,
+    },
+}
+
+/// A passive sink for trace events. Implementations must be cheap and
+/// non-blocking: the engine calls them on its hot path.
+pub trait Observer: Send + Sync {
+    /// Receive one event.
+    fn event(&self, e: &Event);
+}
+
+/// The zero-overhead default: discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    #[inline]
+    fn event(&self, _e: &Event) {}
+}
+
+/// A cheap phase timer: reads the clock only when an observer is present,
+/// and emits a single [`Event::Phase`] when finished or dropped.
+///
+/// ```
+/// use sedex_observe::{Event, Observer, Phase, Span};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// #[derive(Default)]
+/// struct Count(AtomicU64);
+/// impl Observer for Count {
+///     fn event(&self, _e: &Event) {
+///         self.0.fetch_add(1, Ordering::Relaxed);
+///     }
+/// }
+///
+/// let obs = Count::default();
+/// Span::start(Some(&obs), Phase::Match).finish();
+/// assert_eq!(obs.0.load(Ordering::Relaxed), 1);
+///
+/// // No observer: the span is inert — no clock read, nothing emitted.
+/// let inert = Span::start(None, Phase::Match);
+/// assert!(!inert.is_recording());
+/// inert.finish();
+/// ```
+pub struct Span<'a> {
+    rec: Option<(&'a dyn Observer, Phase, Instant)>,
+}
+
+impl<'a> Span<'a> {
+    /// Start a span. With `obs == None` this does nothing at all (not even
+    /// a clock read).
+    #[inline]
+    pub fn start(obs: Option<&'a dyn Observer>, phase: Phase) -> Self {
+        Span {
+            rec: obs.map(|o| (o, phase, Instant::now())),
+        }
+    }
+
+    /// Whether the span is live (an observer is attached).
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// End the span, emitting its [`Event::Phase`]. Dropping the span has
+    /// the same effect; `finish` just makes the end explicit.
+    #[inline]
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((obs, phase, started)) = self.rec.take() {
+            obs.event(&Event::Phase {
+                phase,
+                nanos: started.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+}
+
+/// Format the one-line structured slow-exchange record:
+///
+/// ```text
+/// slow_exchange total_ms=12.345 threshold_ms=10.000 tuples=811 tree_build_ms=4.100 match_ms=...
+/// ```
+pub fn slow_exchange_record(
+    total: Duration,
+    threshold: Duration,
+    tuples: u64,
+    phases: &PhaseTotals,
+) -> String {
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut out = format!(
+        "slow_exchange total_ms={:.3} threshold_ms={:.3} tuples={}",
+        ms(total),
+        ms(threshold),
+        tuples
+    );
+    for (phase, nanos) in phases.iter() {
+        out.push_str(&format!(" {}_ms={:.3}", phase.as_str(), nanos as f64 / 1e6));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Sink {
+        events: Mutex<Vec<String>>,
+        calls: AtomicU64,
+    }
+
+    impl Observer for Sink {
+        fn event(&self, e: &Event) {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.events.lock().unwrap().push(format!("{e:?}"));
+        }
+    }
+
+    #[test]
+    fn span_emits_phase_event_on_finish_and_on_drop() {
+        let sink = Sink::default();
+        Span::start(Some(&sink), Phase::TreeBuild).finish();
+        {
+            let _dropped = Span::start(Some(&sink), Phase::ScriptRun);
+        }
+        assert_eq!(sink.calls.load(Ordering::Relaxed), 2);
+        let ev = sink.events.lock().unwrap();
+        assert!(ev[0].contains("TreeBuild"), "{ev:?}");
+        assert!(ev[1].contains("ScriptRun"), "{ev:?}");
+    }
+
+    #[test]
+    fn noop_span_emits_nothing_and_reads_no_clock() {
+        // The no-op path must be verifiable: the span reports that it is
+        // not recording, and finishing it calls no observer.
+        let span = Span::start(None, Phase::Match);
+        assert!(!span.is_recording());
+        span.finish();
+        // NoopObserver is also inert by construction.
+        NoopObserver.event(&Event::Violation { count: 1 });
+    }
+
+    #[test]
+    fn phase_totals_accumulate_and_iterate_in_order() {
+        let mut t = PhaseTotals::new();
+        assert!(t.is_zero());
+        t.add(Phase::Match, 100);
+        t.add(Phase::Match, 50);
+        t.add(Phase::ScriptRun, 7);
+        assert_eq!(t.get(Phase::Match), Duration::from_nanos(150));
+        assert_eq!(t.total(), Duration::from_nanos(157));
+        let order: Vec<&str> = t.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            order,
+            vec![
+                "tree_build",
+                "match",
+                "translate",
+                "scriptgen",
+                "script_run"
+            ]
+        );
+    }
+
+    #[test]
+    fn slow_record_is_one_line_with_every_phase() {
+        let mut t = PhaseTotals::new();
+        t.add(Phase::TreeBuild, 2_000_000);
+        let line =
+            slow_exchange_record(Duration::from_millis(12), Duration::from_millis(10), 81, &t);
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("slow_exchange total_ms=12.000"), "{line}");
+        assert!(line.contains("threshold_ms=10.000"), "{line}");
+        assert!(line.contains("tuples=81"), "{line}");
+        assert!(line.contains("tree_build_ms=2.000"), "{line}");
+        assert!(line.contains("script_run_ms=0.000"), "{line}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Prometheus text exposition (version 0.0.4) for a [`MetricsRegistry`].
+//!
+//! Counters and gauges render one sample per labeled series; histograms
+//! render cumulative `_bucket{le="…"}` samples over the log2 bounds, plus
+//! `_sum` (seconds) and `_count`. Families are sorted by name, series by
+//! label set, so the output is stable and diffable.
+
+use std::fmt::Write as _;
+
+use crate::registry::{bucket_bound_seconds, Metric, MetricsRegistry, HISTOGRAM_BUCKETS};
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Render the registry in Prometheus text format.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, family) in registry.snapshot() {
+        let kind = family
+            .series
+            .values()
+            .next()
+            .map(|s| match s.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            })
+            .unwrap_or("untyped");
+        if !family.help.is_empty() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help.replace('\n', " "));
+        }
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for series in family.series.values() {
+            match &series.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        render_labels(&series.labels, None),
+                        c.get()
+                    );
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        render_labels(&series.labels, None),
+                        g.get()
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let total = h.count();
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+                        cum += c;
+                        // Leading empty buckets carry no information (the
+                        // cumulative count is still 0); skip them to keep
+                        // the exposition compact. Prometheus semantics
+                        // allow any subset of buckets as long as +Inf is
+                        // present.
+                        if cum == 0 {
+                            continue;
+                        }
+                        let le = bucket_bound_seconds(i);
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            render_labels(&series.labels, Some(("le", &format!("{le}"))))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {total}",
+                        render_labels(&series.labels, Some(("le", "+Inf")))
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        render_labels(&series.labels, None),
+                        h.sum().as_secs_f64()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {total}",
+                        render_labels(&series.labels, None)
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sedex_exchange_total", "Exchanges completed.")
+            .add(3);
+        reg.gauge("sedex_queue_depth", "Jobs queued.").set(2);
+        let h = reg.histogram_with(
+            "sedex_phase_seconds",
+            "Phase latency.",
+            &[("phase", "match")],
+        );
+        h.observe(Duration::from_micros(100));
+        h.observe(Duration::from_micros(200));
+
+        let text = render_prometheus(&reg);
+        assert!(
+            text.contains("# TYPE sedex_exchange_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("sedex_exchange_total 3"), "{text}");
+        assert!(text.contains("# TYPE sedex_queue_depth gauge"), "{text}");
+        assert!(text.contains("sedex_queue_depth 2"), "{text}");
+        assert!(
+            text.contains("# TYPE sedex_phase_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sedex_phase_seconds_bucket{phase=\"match\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sedex_phase_seconds_count{phase=\"match\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sedex_phase_seconds_sum{phase=\"match\"} 0.0003"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("sedex_lat_seconds", "h");
+        h.observe_nanos(3); // bucket le=4e-9
+        h.observe_nanos(4); // same bucket
+        h.observe_nanos(1 << 20); // bucket le=2^20 ns
+        let text = render_prometheus(&reg);
+        assert!(
+            text.contains("sedex_lat_seconds_bucket{le=\"0.000000004\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sedex_lat_seconds_bucket{le=\"0.001048576\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sedex_lat_seconds_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("sedex_l_total", "h", &[("name", "a\"b\\c")])
+            .inc();
+        let text = render_prometheus(&reg);
+        assert!(text.contains("name=\"a\\\"b\\\\c\""), "{text}");
+    }
+
+    #[test]
+    fn families_render_in_sorted_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sedex_z_total", "z").inc();
+        reg.counter("sedex_a_total", "a").inc();
+        let text = render_prometheus(&reg);
+        let a = text.find("sedex_a_total").unwrap();
+        let z = text.find("sedex_z_total").unwrap();
+        assert!(a < z);
+    }
+}

@@ -1,0 +1,53 @@
+//! # sedex-observe
+//!
+//! Observability for the SEDEX pipeline: phase tracing, a lock-free
+//! metrics registry, and Prometheus text exposition. Std-only, no
+//! external dependencies, like the rest of the workspace.
+//!
+//! Three layers, designed so each can be used alone:
+//!
+//! 1. **Tracing** ([`event`]) — an [`Observer`] trait receiving structured
+//!    [`Event`]s (`tree_build`, `repo_lookup{hit}`, `match`, `translate`,
+//!    `scriptgen`, `script_run`, `egd_merge`, `violation`, …) plus cheap
+//!    [`Span`] phase timers. With no observer attached the hooks are a
+//!    `None` check: no clock reads, no allocation, no atomic writes.
+//! 2. **Metrics** ([`registry`]) — a [`MetricsRegistry`] of atomic
+//!    [`Counter`]s, [`Gauge`]s, and log2-bucketed latency [`Histogram`]s
+//!    with p50/p90/p99 estimation. Registration locks once (cold path);
+//!    the handles are lock-free on the hot path.
+//! 3. **Exposition** ([`expose`]) — [`render_prometheus`] renders a
+//!    registry as Prometheus text format (0.0.4), the payload of the
+//!    service's `METRICS` command and the CLI's `--metrics-out` file.
+//!
+//! [`RegistryObserver`] bridges 1 → 2: it pre-registers the standard
+//! `sedex_*` metrics and folds events into them.
+//!
+//! ```
+//! use sedex_observe::{render_prometheus, MetricsRegistry, RegistryObserver};
+//! use sedex_observe::{Event, Observer, Phase, Span};
+//!
+//! let registry = MetricsRegistry::new();
+//! let obs = RegistryObserver::new(&registry);
+//!
+//! // A timed phase and a couple of counted events…
+//! Span::start(Some(&obs), Phase::Match).finish();
+//! obs.event(&Event::RepoLookup { hit: true, count: 1 });
+//! obs.event(&Event::Exchange { nanos: 1_500, tuples: 1, count: 1 });
+//!
+//! let text = render_prometheus(&registry);
+//! assert!(text.contains("sedex_exchange_total 1"));
+//! assert!(text.contains("# TYPE sedex_phase_seconds histogram"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod event;
+pub mod expose;
+pub mod registry;
+
+pub use bridge::{names, RegistryObserver};
+pub use event::{slow_exchange_record, Event, NoopObserver, Observer, Phase, PhaseTotals, Span};
+pub use expose::render_prometheus;
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};

@@ -1,0 +1,474 @@
+//! The lock-free metrics registry: atomic counters, gauges, and
+//! log2-bucketed latency histograms.
+//!
+//! Registration (name → handle) takes a registry lock once, on the cold
+//! path; the returned [`Counter`]/[`Gauge`]/[`Histogram`] handles are
+//! plain atomics shared by `Arc`, so the hot path — incrementing a
+//! counter, observing a latency — is a single relaxed atomic RMW with no
+//! lock, no allocation, and no syscall.
+//!
+//! Histograms bucket durations by `ceil(log2(nanos))`: bucket `i` counts
+//! observations `≤ 2^i` ns. Quantiles (p50/p90/p99) are estimated from
+//! the bucket counts; exposition renders the buckets cumulatively in
+//! Prometheus text format (see [`crate::expose`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Number of histogram buckets: `2^0` ns through `2^(BUCKETS-1)` ns
+/// (~9 minutes); anything larger counts only toward `+Inf`.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (possibly negative) `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed latency histogram over nanoseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket index for a nanosecond value: smallest `i` with `nanos ≤ 2^i`,
+/// or `HISTOGRAM_BUCKETS` for overflow (counted only toward `+Inf`).
+fn bucket_index(nanos: u64) -> usize {
+    if nanos <= 1 {
+        return 0;
+    }
+    let i = 64 - (nanos - 1).leading_zeros() as usize; // ceil(log2(nanos))
+    i.min(HISTOGRAM_BUCKETS)
+}
+
+/// Upper bound of bucket `i` in seconds.
+pub(crate) fn bucket_bound_seconds(i: usize) -> f64 {
+    (1u64 << i) as f64 / 1e9
+}
+
+impl Histogram {
+    /// Record one observation of `nanos`.
+    #[inline]
+    pub fn observe_nanos(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let idx = bucket_index(nanos);
+        if idx < HISTOGRAM_BUCKETS {
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one observation of a `Duration`.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_nanos(d.as_nanos() as u64);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Non-cumulative bucket counts (index `i` counts observations in
+    /// `(2^(i-1), 2^i]` ns).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Estimate the `q`-quantile (`0 < q ≤ 1`) from the bucket counts,
+    /// interpolating linearly inside the winning bucket. Returns zero
+    /// before any observation.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let in_bucket = self.buckets[i].load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if cum + in_bucket >= target {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let upper = 1u64 << i;
+                let frac = (target - cum) as f64 / in_bucket as f64;
+                let est = lower as f64 + frac * (upper - lower) as f64;
+                return Duration::from_nanos(est as u64);
+            }
+            cum += in_bucket;
+        }
+        // Only overflow observations remain: report the largest bound.
+        Duration::from_nanos(1u64 << (HISTOGRAM_BUCKETS - 1))
+    }
+}
+
+/// The value side of one registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotone counter.
+    Counter(Arc<Counter>),
+    /// An up/down gauge.
+    Gauge(Arc<Gauge>),
+    /// A log2 latency histogram.
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered series: label set + value handle.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// `(label, value)` pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The metric handle.
+    pub metric: Metric,
+}
+
+/// One metric family: help text plus every labeled series under the name.
+#[derive(Debug, Clone, Default)]
+pub struct Family {
+    /// The `# HELP` text.
+    pub help: String,
+    /// Series keyed by their serialized label set.
+    pub series: BTreeMap<String, Series>,
+}
+
+/// A registry of named metrics. Registration is locked (cold path);
+/// returned handles are lock-free atomics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (k, v) in labels {
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+        out.push(';');
+    }
+    out
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        assert!(valid_name(name), "invalid metric name `{name}`");
+        let mut families = self.families.write().expect("metrics registry poisoned");
+        let family = families.entry(name.to_owned()).or_default();
+        if family.help.is_empty() {
+            family.help = help.to_owned();
+        }
+        let series = family
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(|| Series {
+                labels: labels
+                    .iter()
+                    .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+                    .collect(),
+                metric: make(),
+            });
+        series.metric.clone()
+    }
+
+    /// Get-or-create a counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-create a labeled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, labels, || {
+            Metric::Counter(Arc::new(Counter::default()))
+        }) {
+            Metric::Counter(c) => c,
+            m => panic!("metric `{name}` already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Get-or-create a gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-create a labeled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, || {
+            Metric::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Metric::Gauge(g) => g,
+            m => panic!("metric `{name}` already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Get-or-create a histogram with no labels.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Get-or-create a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.register(name, help, labels, || {
+            Metric::Histogram(Arc::new(Histogram::default()))
+        }) {
+            Metric::Histogram(h) => h,
+            m => panic!("metric `{name}` already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Snapshot of every family, for rendering.
+    pub fn snapshot(&self) -> BTreeMap<String, Family> {
+        self.families
+            .read()
+            .expect("metrics registry poisoned")
+            .clone()
+    }
+
+    /// Value of an unlabeled counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let families = self.families.read().expect("metrics registry poisoned");
+        match &families.get(name)?.series.get(&label_key(&[]))?.metric {
+            Metric::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("sedex_test_total", "help");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name + labels → same handle.
+        assert_eq!(reg.counter("sedex_test_total", "help").get(), 5);
+        assert_eq!(reg.counter_value("sedex_test_total"), Some(5));
+
+        let g = reg.gauge("sedex_depth", "help");
+        g.set(7);
+        g.dec();
+        g.add(-2);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn labeled_series_are_independent() {
+        let reg = MetricsRegistry::new();
+        let hit = reg.counter_with("sedex_lookups_total", "h", &[("result", "hit")]);
+        let miss = reg.counter_with("sedex_lookups_total", "h", &[("result", "miss")]);
+        hit.add(3);
+        miss.inc();
+        assert_eq!(hit.get(), 3);
+        assert_eq!(miss.get(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap["sedex_lookups_total"].series.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sedex_x", "h");
+        reg.gauge("sedex_x", "h");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS);
+
+        let h = Histogram::default();
+        h.observe_nanos(3); // bucket 2
+        h.observe_nanos(4); // bucket 2
+        h.observe_nanos(1000); // bucket 10
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), Duration::from_nanos(1007));
+        let b = h.bucket_counts();
+        assert_eq!(b[2], 2);
+        assert_eq!(b[10], 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(Duration::from_micros(10)); // ~2^14 ns region
+        }
+        for _ in 0..10 {
+            h.observe(Duration::from_millis(5)); // ~2^23 ns region
+        }
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50:?} {p90:?} {p99:?}");
+        // p50 must land in the fast group's bucket range, p99 in the slow.
+        assert!(p50 < Duration::from_micros(20), "{p50:?}");
+        assert!(p99 > Duration::from_millis(2), "{p99:?}");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn overflow_observations_count_toward_inf_only() {
+        let h = Histogram::default();
+        h.observe(Duration::from_secs(3600)); // beyond the last bucket
+        assert_eq!(h.count(), 1);
+        assert!(h.bucket_counts().iter().all(|&c| c == 0));
+        assert!(h.quantile(0.5) >= Duration::from_nanos(1 << (HISTOGRAM_BUCKETS - 1)));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = MetricsRegistry::global() as *const _;
+        let b = MetricsRegistry::global() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_hot_path_is_consistent() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("sedex_par_total", "h");
+        let h = reg.histogram("sedex_par_seconds", "h");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe_nanos(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+    }
+}

@@ -4,12 +4,18 @@
 //! ```text
 //! sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy]
 //!                      [--threads N] [--batch-size N]
+//!                      [--metrics-out <path>] [--slow-ms N]
 //!                      [--sql] [--xml-sample] [--quiet] [--verbose]
 //! sedex check <file.sdx>        # parse + validate only
 //! sedex trees <file.sdx>        # print source/target relation trees
 //! sedex gen <kind> [--tuples N] # emit a ready-to-run scenario file
-//! sedex serve [--addr A] [--workers N]  # multi-tenant exchange server
+//! sedex serve [--addr A] [--workers N] [--shards N] [--queue-depth N]
+//!             [--idle-ttl SECS] [--metrics] [--slow-ms N]
 //! ```
+//!
+//! `--metrics-out` writes the exchange's metrics registry as Prometheus
+//! text exposition after the run; `--slow-ms` logs a one-line phase
+//! breakdown to stderr for every exchange slower than the threshold.
 //!
 //! `gen` kinds: `university`, `stb`, `amb`, and the ten STBenchmark basics
 //! (`cp`, `cv`, `hp`, `sk`, `vp`, `un`, `ne`, `de`, `ko`, `av`).
@@ -33,7 +39,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N]"
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N]"
         .to_owned()
 }
 
@@ -154,8 +160,9 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `sedex serve [--addr host:port] [--workers N]`: run the multi-tenant
-/// exchange server until a wire `SHUTDOWN` arrives.
+/// `sedex serve [--addr host:port] [--workers N] [--shards N]
+/// [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N]`: run the
+/// multi-tenant exchange server until a wire `SHUTDOWN` arrives.
 fn serve(flags: &[String]) -> Result<(), String> {
     use sedex::service::{Server, ServerConfig};
 
@@ -165,29 +172,54 @@ fn serve(flags: &[String]) -> Result<(), String> {
     };
     let mut it = flags.iter();
     while let Some(f) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
         match f.as_str() {
-            "--addr" => {
-                cfg.addr = it
-                    .next()
-                    .ok_or_else(|| "--addr needs a value".to_owned())?
-                    .clone();
-            }
+            "--addr" => cfg.addr = value("--addr")?.clone(),
             "--workers" => {
-                cfg.workers = it
-                    .next()
-                    .ok_or_else(|| "--workers needs a value".to_owned())?
+                cfg.workers = value("--workers")?
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--shards" => {
+                cfg.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--idle-ttl" => {
+                let secs: u64 = value("--idle-ttl")?
+                    .parse()
+                    .map_err(|e| format!("--idle-ttl: {e}"))?;
+                cfg.idle_ttl = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            "--metrics" => cfg.metrics = true,
+            "--slow-ms" => {
+                let ms: u64 = value("--slow-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-ms: {e}"))?;
+                cfg.slow_exchange_threshold = Some(std::time::Duration::from_millis(ms));
             }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
     let workers = cfg.workers;
+    let metrics = cfg.metrics;
     let handle = Server::start(cfg).map_err(|e| e.to_string())?;
     println!(
-        "sedex-service listening on {} ({} workers); stop with the SHUTDOWN command",
+        "sedex-service listening on {} ({} workers{}); stop with the SHUTDOWN command",
         handle.local_addr(),
-        workers
+        workers,
+        if metrics {
+            ", session tracing on — scrape with METRICS"
+        } else {
+            ""
+        }
     );
     handle.join();
     println!("sedex-service stopped");
@@ -195,10 +227,13 @@ fn serve(flags: &[String]) -> Result<(), String> {
 }
 
 fn run_exchange(file: &ScenarioFile, flags: &[String]) -> Result<(), String> {
+    use sedex::core::observe::{render_prometheus, MetricsRegistry, RegistryObserver};
+
     let mut engine_name = "sedex".to_owned();
     let mut show_sql = false;
     let mut quiet = false;
     let mut verbose = false;
+    let mut metrics_out: Option<String> = None;
     let mut config = SedexConfig::default();
     let mut it = flags.iter();
     while let Some(f) = it.next() {
@@ -223,17 +258,39 @@ fn run_exchange(file: &ScenarioFile, flags: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--batch-size: {e}"))?;
             }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--metrics-out needs a path".to_owned())?
+                        .clone(),
+                );
+            }
+            "--slow-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or_else(|| "--slow-ms needs a value".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("--slow-ms: {e}"))?;
+                config.slow_exchange_threshold = Some(std::time::Duration::from_millis(ms));
+            }
             "--sql" => show_sql = true,
             "--quiet" => quiet = true,
             "--verbose" => verbose = true,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
+    if metrics_out.is_some() && engine_name != "sedex" {
+        return Err("--metrics-out requires --engine sedex".to_owned());
+    }
+    let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
 
     let s = &file.scenario;
     let (out, summary) = match engine_name.as_str() {
         "sedex" => {
-            let engine = SedexEngine::with_config(config).with_cfds(file.cfds.clone());
+            let mut engine = SedexEngine::with_config(config).with_cfds(file.cfds.clone());
+            if let Some(reg) = &registry {
+                engine = engine.with_observer(std::sync::Arc::new(RegistryObserver::new(reg)));
+            }
             let (out, r) = engine
                 .exchange(&file.instance, &s.target, &s.sigma)
                 .map_err(|e| e.to_string())?;
@@ -297,6 +354,11 @@ fn run_exchange(file: &ScenarioFile, flags: &[String]) -> Result<(), String> {
         print!("{out}");
     }
     println!("{summary}");
+
+    if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
+        std::fs::write(path, render_prometheus(reg)).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics: Prometheus exposition written to {path}");
+    }
 
     if show_sql {
         // Render the SEDEX transformation scripts for each source tuple

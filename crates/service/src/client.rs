@@ -100,7 +100,8 @@ impl Client {
 
     /// `OPEN <name>` with an inline scenario body.
     pub fn open(&mut self, session: &str, scenario: &str) -> std::io::Result<Reply> {
-        self.writer.write_all(format!("OPEN {session}\n").as_bytes())?;
+        self.writer
+            .write_all(format!("OPEN {session}\n").as_bytes())?;
         self.writer.write_all(scenario.as_bytes())?;
         if !scenario.ends_with('\n') {
             self.writer.write_all(b"\n")?;
@@ -131,6 +132,12 @@ impl Client {
             Some(s) => self.request(&format!("STATS {s}")),
             None => self.request("STATS"),
         }
+    }
+
+    /// `METRICS` — the server's registry as Prometheus text exposition
+    /// (the reply body is the scrape payload).
+    pub fn metrics(&mut self) -> std::io::Result<Reply> {
+        self.request("METRICS")
     }
 
     /// `SQL <session>` — the session's target as INSERT statements.

@@ -10,8 +10,11 @@
 //! arrive over the network. This crate provides exactly that, std-only:
 //!
 //! * [`protocol`] — the line-based wire protocol (`OPEN`/`PUSH`/`FEED`/
-//!   `FLUSH`/`STATS`/`SQL`/`CLOSE`/`SHUTDOWN`; responses are text blocks
-//!   terminated by a lone `.`), usable over plain `nc`;
+//!   `FLUSH`/`STATS`/`METRICS`/`SQL`/`CLOSE`/`SHUTDOWN`; responses are
+//!   text blocks terminated by a lone `.`), usable over plain `nc`.
+//!   `METRICS` returns the server's registry as Prometheus text
+//!   exposition; with [`server::ServerConfig::metrics`] set, sessions
+//!   additionally trace every pipeline phase into the same registry;
 //! * [`manager`] — the sharded multi-tenant session map;
 //! * [`server`] — the TCP server: nonblocking accept loop, fixed worker
 //!   pool fed by a bounded channel (backpressure), idle-session TTL

@@ -19,7 +19,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use sedex_core::{ExchangeReport, SedexConfig, SedexSession};
+use sedex_core::{ExchangeReport, Observer, SedexConfig, SedexSession};
 use sedex_scenarios::textfmt;
 use sedex_storage::Instance;
 
@@ -56,6 +56,8 @@ impl Tenant {
 /// Sharded `name → tenant` map.
 pub struct SessionManager {
     shards: Vec<RwLock<HashMap<String, Arc<Mutex<Tenant>>>>>,
+    session_config: SedexConfig,
+    observer: Option<Arc<dyn Observer>>,
 }
 
 /// Errors from manager operations, rendered verbatim into `ERR` replies.
@@ -67,7 +69,25 @@ impl SessionManager {
         let n = shards.max(1);
         SessionManager {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            session_config: SedexConfig::default(),
+            observer: None,
         }
+    }
+
+    /// Use this configuration (instead of the default) for every session
+    /// opened through the manager.
+    pub fn with_session_config(mut self, config: SedexConfig) -> Self {
+        self.session_config = config;
+        self
+    }
+
+    /// Attach a trace observer to every session opened through the
+    /// manager (phase timings, repository hit/miss, egd outcomes —
+    /// typically a [`sedex_core::RegistryObserver`] over the server's
+    /// metrics registry).
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     fn shard(&self, name: &str) -> &RwLock<HashMap<String, Arc<Mutex<Tenant>>>> {
@@ -82,9 +102,13 @@ impl SessionManager {
     pub fn open(&self, name: &str, body: &str) -> Result<usize, ManagerError> {
         let file = textfmt::parse_scenario(body).map_err(|e| format!("scenario {e}"))?;
         let s = file.scenario;
-        let mut session = SedexSession::new(SedexConfig::default(), s.source, s.target, s.sigma)
-            .map_err(|e| format!("session: {e}"))?
-            .with_cfds(file.cfds);
+        let mut session =
+            SedexSession::new(self.session_config.clone(), s.source, s.target, s.sigma)
+                .map_err(|e| format!("session: {e}"))?
+                .with_cfds(file.cfds);
+        if let Some(obs) = &self.observer {
+            session = session.with_observer(Arc::clone(obs));
+        }
         let mut seeded = 0usize;
         for (rel, inst) in file.instance.relations() {
             for t in inst.iter() {
@@ -172,6 +196,15 @@ impl SessionManager {
         self.len() == 0
     }
 
+    /// Live-session count per shard, in shard order — the `STATS` load
+    /// signal for spotting hot shards.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .collect()
+    }
+
     /// Names of all live sessions (sorted, for stable `STATS` output).
     pub fn names(&self) -> Vec<String> {
         let mut out: Vec<String> = self
@@ -241,8 +274,7 @@ Dep: d1, b1
         assert_eq!(seeded, 1);
         assert_eq!(m.len(), 1);
         m.with_tenant("t1", |t| {
-            let (rel, tuple) =
-                textfmt::parse_data_line("Student: s1, p1, d1", 1).unwrap();
+            let (rel, tuple) = textfmt::parse_data_line("Student: s1, p1, d1", 1).unwrap();
             t.session.exchange_tuple(&rel, tuple).unwrap();
             t.tuples_in += 1;
         })
@@ -257,7 +289,10 @@ Dep: d1, b1
     fn duplicate_open_and_missing_session_fail() {
         let m = SessionManager::new(2);
         m.open("a", SCENARIO).unwrap();
-        assert!(m.open("a", SCENARIO).unwrap_err().contains("already exists"));
+        assert!(m
+            .open("a", SCENARIO)
+            .unwrap_err()
+            .contains("already exists"));
         assert!(m.with_tenant("ghost", |_| ()).is_err());
         assert!(m.close("ghost").is_err());
     }

@@ -8,8 +8,9 @@
 //! PUSH <session> <Relation>: v1, v2, _      # feed + exchange one tuple
 //! FEED <session> <Relation>: v1, v2         # feed only (context/dimension)
 //! FLUSH <session>           # exchange everything fed but not yet seen
-//! STATS                     # server-wide counters
+//! STATS                     # server-wide counters + load signals
 //! STATS <session>           # the session's verbose ExchangeReport
+//! METRICS                   # Prometheus text exposition of the registry
 //! SQL <session>             # target instance as INSERT statements
 //! CLOSE <session>           # finish the session, report final counters
 //! SHUTDOWN                  # graceful stop: drain in-flight work, exit
@@ -63,6 +64,8 @@ pub enum Request {
         /// Session name, if per-session stats were requested.
         session: Option<String>,
     },
+    /// Prometheus text exposition of the server's metrics registry.
+    Metrics,
     /// Dump the session's target instance as SQL INSERT statements.
     Sql {
         /// Session name.
@@ -89,7 +92,7 @@ impl Request {
             | Request::Sql { session }
             | Request::Close { session } => Some(session),
             Request::Stats { session } => session.as_deref(),
-            Request::Shutdown => None,
+            Request::Metrics | Request::Shutdown => None,
         }
     }
 }
@@ -239,6 +242,13 @@ pub fn parse_request(line: &str, open_body: Option<String>) -> Result<Request, P
                 })
             }
         }
+        "METRICS" => {
+            if rest.is_empty() {
+                Ok(Request::Metrics)
+            } else {
+                Err(bad("METRICS takes no arguments"))
+            }
+        }
         "SQL" => Ok(Request::Sql {
             session: need_session(rest)?,
         }),
@@ -253,7 +263,7 @@ pub fn parse_request(line: &str, open_body: Option<String>) -> Result<Request, P
             }
         }
         other => Err(bad(format!(
-            "unknown command `{other}` (OPEN|PUSH|FEED|FLUSH|STATS|SQL|CLOSE|SHUTDOWN)"
+            "unknown command `{other}` (OPEN|PUSH|FEED|FLUSH|STATS|METRICS|SQL|CLOSE|SHUTDOWN)"
         ))),
     }
 }
@@ -307,6 +317,8 @@ mod tests {
             }
         );
         assert_eq!(parse_request("SHUTDOWN", None).unwrap(), Request::Shutdown);
+        assert_eq!(parse_request("metrics", None).unwrap(), Request::Metrics);
+        assert!(parse_request("METRICS t1", None).is_err());
     }
 
     #[test]

@@ -19,13 +19,17 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sedex_core::render::sql_literal;
+use sedex_core::SedexConfig;
+use sedex_observe::{
+    render_prometheus, Counter, Gauge, Histogram, MetricsRegistry, RegistryObserver,
+};
 use sedex_scenarios::textfmt;
 use sedex_storage::Instance;
 
@@ -49,6 +53,16 @@ pub struct ServerConfig {
     pub idle_ttl: Option<Duration>,
     /// How often the sweeper wakes up.
     pub sweep_interval: Duration,
+    /// Attach a [`RegistryObserver`] to every session, so pipeline phase
+    /// timings, repository hit/miss counts and egd outcomes land in the
+    /// server's metrics registry (the `METRICS` command). Off by default:
+    /// the engine hot path then performs no tracing work at all. The
+    /// service-level series (requests, latency, queue depth, …) are always
+    /// maintained — they are off the per-tuple hot path.
+    pub metrics: bool,
+    /// Per-tuple slow-exchange threshold passed to every session: pushes
+    /// slower than this log a one-line phase breakdown to stderr.
+    pub slow_exchange_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -62,41 +76,89 @@ impl Default for ServerConfig {
             queue_depth: 64,
             idle_ttl: Some(Duration::from_secs(900)),
             sweep_interval: Duration::from_millis(500),
+            metrics: false,
+            slow_exchange_threshold: None,
         }
     }
 }
 
-/// Server-wide counters, all monotone, surfaced by `STATS`.
-#[derive(Default)]
+/// Server-wide metric handles. Every series lives in the server's
+/// [`MetricsRegistry`], so `STATS` and `METRICS` render the same numbers
+/// — `STATS` as a human summary, `METRICS` as Prometheus exposition.
+/// Handles are lock-free atomics (see [`sedex_observe`]).
 pub struct ServerStats {
-    /// Connections accepted.
-    pub connections: AtomicU64,
-    /// Requests executed (including failed ones).
-    pub requests: AtomicU64,
-    /// `PUSH`/`FEED` tuples taken in.
-    pub tuples_in: AtomicU64,
-    /// Requests answered with `ERR`.
-    pub errors: AtomicU64,
-    /// Sessions opened.
-    pub opened: AtomicU64,
-    /// Sessions closed by `CLOSE`.
-    pub closed: AtomicU64,
-    /// Sessions evicted by the idle sweeper.
-    pub evicted: AtomicU64,
+    /// Connections accepted (`sedex_service_connections_total`).
+    pub connections: Arc<Counter>,
+    /// Requests executed, including failed ones
+    /// (`sedex_service_requests_total`).
+    pub requests: Arc<Counter>,
+    /// `PUSH`/`FEED` tuples taken in (`sedex_service_tuples_in_total`).
+    pub tuples_in: Arc<Counter>,
+    /// Requests answered with `ERR` (`sedex_service_errors_total`).
+    pub errors: Arc<Counter>,
+    /// Sessions opened (`sedex_service_sessions_opened_total`).
+    pub opened: Arc<Counter>,
+    /// Sessions closed by `CLOSE` (`sedex_service_sessions_closed_total`).
+    pub closed: Arc<Counter>,
+    /// Sessions evicted by the idle sweeper
+    /// (`sedex_service_sessions_evicted_total`).
+    pub evicted: Arc<Counter>,
+    /// Wall-clock latency of request execution, queue wait excluded
+    /// (`sedex_request_seconds`).
+    pub request_seconds: Arc<Histogram>,
+    /// Jobs waiting in (or blocked on) the bounded job queue
+    /// (`sedex_queue_depth`).
+    pub queue_depth: Arc<Gauge>,
+    /// Workers currently executing a request (`sedex_workers_busy`).
+    pub workers_busy: Arc<Gauge>,
 }
 
 impl ServerStats {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Register every server-wide series in `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        ServerStats {
+            connections: registry
+                .counter("sedex_service_connections_total", "Connections accepted"),
+            requests: registry.counter(
+                "sedex_service_requests_total",
+                "Requests executed (including failed ones)",
+            ),
+            tuples_in: registry
+                .counter("sedex_service_tuples_in_total", "PUSH/FEED tuples taken in"),
+            errors: registry.counter("sedex_service_errors_total", "Requests answered with ERR"),
+            opened: registry.counter("sedex_service_sessions_opened_total", "Sessions opened"),
+            closed: registry.counter(
+                "sedex_service_sessions_closed_total",
+                "Sessions closed by CLOSE",
+            ),
+            evicted: registry.counter(
+                "sedex_service_sessions_evicted_total",
+                "Sessions evicted by the idle sweeper",
+            ),
+            request_seconds: registry.histogram(
+                "sedex_request_seconds",
+                "Request execution latency (queue wait excluded)",
+            ),
+            queue_depth: registry.gauge(
+                "sedex_queue_depth",
+                "Jobs waiting in (or blocked on) the bounded job queue",
+            ),
+            workers_busy: registry.gauge(
+                "sedex_workers_busy",
+                "Workers currently executing a request",
+            ),
+        }
     }
 }
 
 /// State shared by every thread of one server.
 struct Shared {
     manager: SessionManager,
+    registry: MetricsRegistry,
     stats: ServerStats,
     shutdown: AtomicBool,
     started: Instant,
+    workers: usize,
 }
 
 struct Job {
@@ -124,11 +186,23 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let registry = MetricsRegistry::new();
+        let stats = ServerStats::new(&registry);
+        let session_config = SedexConfig {
+            slow_exchange_threshold: cfg.slow_exchange_threshold,
+            ..SedexConfig::default()
+        };
+        let mut manager = SessionManager::new(cfg.shards).with_session_config(session_config);
+        if cfg.metrics {
+            manager = manager.with_observer(Arc::new(RegistryObserver::new(&registry)));
+        }
         let shared = Arc::new(Shared {
-            manager: SessionManager::new(cfg.shards),
-            stats: ServerStats::default(),
+            manager,
+            registry,
+            stats,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            workers: cfg.workers.max(1),
         });
 
         let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
@@ -225,7 +299,7 @@ fn accept_loop(listener: TcpListener, tx: SyncSender<Job>, shared: &Arc<Shared>)
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                ServerStats::bump(&shared.stats.connections);
+                shared.stats.connections.inc();
                 let tx = tx.clone();
                 let shared = Arc::clone(shared);
                 conns.push(
@@ -257,10 +331,7 @@ fn sweeper_loop(shared: &Arc<Shared>, ttl: Duration, interval: Duration) {
             break;
         }
         let evicted = shared.manager.evict_idle(ttl);
-        shared
-            .stats
-            .evicted
-            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        shared.stats.evicted.add(evicted.len() as u64);
     }
 }
 
@@ -271,10 +342,15 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
             Ok(j) => j,
             Err(_) => return, // all senders gone: server is draining
         };
+        shared.stats.queue_depth.dec();
+        shared.stats.workers_busy.inc();
+        let t0 = Instant::now();
         let response = execute(shared, &job.request);
-        ServerStats::bump(&shared.stats.requests);
+        shared.stats.request_seconds.observe(t0.elapsed());
+        shared.stats.workers_busy.dec();
+        shared.stats.requests.inc();
         if !response.ok {
-            ServerStats::bump(&shared.stats.errors);
+            shared.stats.errors.inc();
         }
         // The connection may have hung up while the job was queued.
         let _ = job.reply.send(response);
@@ -317,9 +393,7 @@ impl LineReader {
             match self.stream.read(&mut chunk) {
                 Ok(0) => return None, // EOF
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-                {
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if shared.shutdown.load(Ordering::SeqCst) {
                         return None;
                     }
@@ -366,7 +440,9 @@ fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>
             }
             if !terminated {
                 let _ = writer.write_all(
-                    Response::err("OPEN body not terminated by END").render().as_bytes(),
+                    Response::err("OPEN body not terminated by END")
+                        .render()
+                        .as_bytes(),
                 );
                 continue;
             }
@@ -377,9 +453,12 @@ fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>
         let request = match parse_request(&line, open_body) {
             Ok(r) => r,
             Err(e) => {
-                ServerStats::bump(&shared.stats.requests);
-                ServerStats::bump(&shared.stats.errors);
-                if writer.write_all(Response::err(e.to_string()).render().as_bytes()).is_err() {
+                shared.stats.requests.inc();
+                shared.stats.errors.inc();
+                if writer
+                    .write_all(Response::err(e.to_string()).render().as_bytes())
+                    .is_err()
+                {
                     return;
                 }
                 continue;
@@ -387,7 +466,10 @@ fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>
         };
         let is_shutdown = matches!(request, Request::Shutdown);
         // Bounded send: blocks when the pool is saturated (backpressure).
+        // The gauge counts the job from the moment the connection commits
+        // to it, so a send blocked on a full queue shows up as depth.
         let (reply_tx, reply_rx) = sync_channel::<Response>(1);
+        shared.stats.queue_depth.inc();
         if tx
             .send(Job {
                 request,
@@ -395,6 +477,7 @@ fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>
             })
             .is_err()
         {
+            shared.stats.queue_depth.dec();
             return; // server draining
         }
         let response = match reply_rx.recv() {
@@ -417,13 +500,13 @@ fn execute(shared: &Shared, request: &Request) -> Response {
     match request {
         Request::Open { session, body } => match shared.manager.open(session, body) {
             Ok(seeded) => {
-                ServerStats::bump(&shared.stats.opened);
+                shared.stats.opened.inc();
                 Response::ok(format!("opened {session}, seeded {seeded} tuples"))
             }
             Err(e) => Response::err(e),
         },
         Request::Push { session, line } => {
-            ServerStats::bump(&shared.stats.tuples_in);
+            shared.stats.tuples_in.inc();
             run_on_session(shared, session, |t| {
                 let (rel, tuple) = textfmt::parse_data_line(line, 1)
                     .map_err(|e| format!("data: {}", e.message))?;
@@ -434,14 +517,12 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                 let r = t.session.report_snapshot();
                 Ok(Response::ok(format!(
                     "pushed {rel} | scripts {} generated / {} reused | target {} tuples",
-                    r.scripts_generated,
-                    r.scripts_reused,
-                    r.stats.tuples
+                    r.scripts_generated, r.scripts_reused, r.stats.tuples
                 )))
             })
         }
         Request::Feed { session, line } => {
-            ServerStats::bump(&shared.stats.tuples_in);
+            shared.stats.tuples_in.inc();
             run_on_session(shared, session, |t| {
                 let (rel, tuple) = textfmt::parse_data_line(line, 1)
                     .map_err(|e| format!("data: {}", e.message))?;
@@ -473,9 +554,13 @@ fn execute(shared: &Shared, request: &Request) -> Response {
             let sql = sql_dump(t.session.target());
             Ok(Response::ok_with(format!("sql {session}"), sql.trim_end()))
         }),
+        Request::Metrics => {
+            refresh_session_gauges(shared);
+            Response::ok_with("metrics", render_prometheus(&shared.registry).trim_end())
+        }
         Request::Close { session } => match shared.manager.close(session) {
             Ok((_target, report)) => {
-                ServerStats::bump(&shared.stats.closed);
+                shared.stats.closed.inc();
                 Response::ok(format!("closed {session} | {report}"))
             }
             Err(e) => Response::err(e),
@@ -498,29 +583,63 @@ fn run_on_session(
     }
 }
 
+/// Refresh the point-in-time session gauges (`sedex_sessions_live` per
+/// shard) from the manager — done at render time, since live-session
+/// counts are derived state, not event streams.
+fn refresh_session_gauges(shared: &Shared) {
+    for (i, n) in shared.manager.shard_sizes().into_iter().enumerate() {
+        let shard = i.to_string();
+        shared
+            .registry
+            .gauge_with(
+                "sedex_sessions_live",
+                "Live sessions per shard",
+                &[("shard", &shard)],
+            )
+            .set(n as i64);
+    }
+}
+
 fn server_stats(shared: &Shared) -> Response {
     let s = &shared.stats;
+    let shard_sizes = shared.manager.shard_sizes();
     let head = format!(
         "server up {:?} | {} sessions | {} requests, {} tuples in, {} errors",
         shared.started.elapsed(),
         shared.manager.len(),
-        s.requests.load(Ordering::Relaxed),
-        s.tuples_in.load(Ordering::Relaxed),
-        s.errors.load(Ordering::Relaxed),
+        s.requests.get(),
+        s.tuples_in.get(),
+        s.errors.get(),
     );
     let mut lines = vec![format!(
         "sessions: {} opened, {} closed, {} evicted | connections: {}",
-        s.opened.load(Ordering::Relaxed),
-        s.closed.load(Ordering::Relaxed),
-        s.evicted.load(Ordering::Relaxed),
-        s.connections.load(Ordering::Relaxed),
+        s.opened.get(),
+        s.closed.get(),
+        s.evicted.get(),
+        s.connections.get(),
     )];
+    lines.push(format!(
+        "load: queue depth {}, busy workers {}/{} | sessions/shard: [{}]",
+        s.queue_depth.get().max(0),
+        s.workers_busy.get().max(0),
+        shared.workers,
+        shard_sizes
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(" "),
+    ));
+    lines.push(format!(
+        "latency: p50 {:?}, p90 {:?}, p99 {:?} over {} requests",
+        s.request_seconds.quantile(0.5),
+        s.request_seconds.quantile(0.9),
+        s.request_seconds.quantile(0.99),
+        s.request_seconds.count(),
+    ));
     for name in shared.manager.names() {
-        if let Ok(line) =
-            shared
-                .manager
-                .with_tenant(&name, |t| format!("{name}: {}", t.session.report_snapshot()))
-        {
+        if let Ok(line) = shared.manager.with_tenant(&name, |t| {
+            format!("{name}: {}", t.session.report_snapshot())
+        }) {
             lines.push(line);
         }
     }

@@ -55,8 +55,16 @@ fn open_push_sql_close_over_the_wire() {
     assert!(r.head.contains("opened t1"), "{}", r.head);
 
     c.feed("t1", "Dep: d1, b1").unwrap().into_ok().unwrap();
-    let r = c.push("t1", "Student: s1, p1, d1").unwrap().into_ok().unwrap();
-    assert!(r.head.contains("scripts 1 generated / 0 reused"), "{}", r.head);
+    let r = c
+        .push("t1", "Student: s1, p1, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    assert!(
+        r.head.contains("scripts 1 generated / 0 reused"),
+        "{}",
+        r.head
+    );
 
     let sql = c.sql("t1").unwrap().into_ok().unwrap().body();
     assert!(sql.contains("INSERT INTO Stu"), "{sql}");
@@ -93,7 +101,11 @@ fn script_reuse_is_observable_over_the_wire() {
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| panic!("unparseable push reply: {}", r.head));
         if let Some(prev) = last_reused {
-            assert!(reused > prev, "reuse counter must grow: {} -> {reused}", prev);
+            assert!(
+                reused > prev,
+                "reuse counter must grow: {} -> {reused}",
+                prev
+            );
         }
         last_reused = Some(reused);
     }
@@ -124,7 +136,11 @@ fn four_concurrent_clients_match_in_process_sessions() {
                         // Every second push has a null dep: two tuple-tree
                         // shapes per tenant, so reuse and generation
                         // interleave under concurrency.
-                        let dep = if j % 2 == 0 { format!("d{i}") } else { "_".into() };
+                        let dep = if j % 2 == 0 {
+                            format!("d{i}")
+                        } else {
+                            "_".into()
+                        };
                         c.push(&name, &format!("Student: s{i}-{j}, p{j}, {dep}"))
                             .unwrap()
                             .into_ok()
@@ -143,7 +159,11 @@ fn four_concurrent_clients_match_in_process_sessions() {
         let dim = format!("Dep: d{i}, b{i}");
         let pushes: Vec<String> = (0..PUSHES)
             .map(|j| {
-                let dep = if j % 2 == 0 { format!("d{i}") } else { "_".into() };
+                let dep = if j % 2 == 0 {
+                    format!("d{i}")
+                } else {
+                    "_".into()
+                };
                 format!("Student: s{i}-{j}, p{j}, {dep}")
             })
             .collect();
@@ -163,7 +183,10 @@ fn stats_cover_server_and_sessions() {
     let mut c = Client::connect(handle.local_addr()).unwrap();
     c.open("alpha", SCENARIO).unwrap().into_ok().unwrap();
     c.feed("alpha", "Dep: d1, b1").unwrap().into_ok().unwrap();
-    c.push("alpha", "Student: s1, p1, d1").unwrap().into_ok().unwrap();
+    c.push("alpha", "Student: s1, p1, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
 
     let server = c.stats(None).unwrap().into_ok().unwrap();
     assert!(server.head.contains("1 sessions"), "{}", server.head);
@@ -180,15 +203,118 @@ fn stats_cover_server_and_sessions() {
     handle.shutdown();
 }
 
+/// Tentpole acceptance: after one exchange, `METRICS` returns valid
+/// Prometheus exposition with a non-zero `sedex_exchange_total` and a
+/// populated latency histogram.
+#[test]
+fn metrics_exposition_after_one_exchange() {
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        metrics: true,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.open("m1", SCENARIO).unwrap().into_ok().unwrap();
+    c.feed("m1", "Dep: d1, b1").unwrap().into_ok().unwrap();
+    c.push("m1", "Student: s1, p1, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+
+    let body = c.metrics().unwrap().into_ok().unwrap().body();
+    // Structurally valid exposition: HELP/TYPE pairs, counter lines.
+    assert!(
+        body.contains("# TYPE sedex_exchange_total counter"),
+        "{body}"
+    );
+    assert!(body.contains("sedex_exchange_total 1"), "{body}");
+    // The engine-side latency histogram is populated.
+    assert!(
+        body.contains("# TYPE sedex_exchange_seconds histogram"),
+        "{body}"
+    );
+    assert!(
+        body.contains("sedex_exchange_seconds_bucket{le=\"+Inf\"} 1"),
+        "{body}"
+    );
+    assert!(body.contains("sedex_exchange_seconds_count 1"), "{body}");
+    // Phase timings, repository lookups and the service-side series exist.
+    assert!(
+        body.contains("sedex_phase_seconds_bucket{phase=\"match\""),
+        "{body}"
+    );
+    assert!(
+        body.contains("sedex_repo_lookup_total{result=\"miss\"} 1"),
+        "{body}"
+    );
+    assert!(body.contains("sedex_service_tuples_in_total 2"), "{body}");
+    assert!(
+        body.contains("# TYPE sedex_request_seconds histogram"),
+        "{body}"
+    );
+    assert!(body.contains("sedex_sessions_live"), "{body}");
+    // Every non-comment line is `name{labels} value` with a numeric value.
+    for line in body.lines().filter(|l| !l.starts_with('#')) {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value in `{line}`"
+        );
+    }
+    handle.shutdown();
+}
+
+/// Without `metrics`, the engine series are absent but the service-level
+/// series (and `STATS`) still render from the registry.
+#[test]
+fn metrics_without_session_tracing_still_serves_service_series() {
+    let handle = start_server();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.open("m2", SCENARIO).unwrap().into_ok().unwrap();
+    c.push("m2", "Student: s1, p1, _")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    let body = c.metrics().unwrap().into_ok().unwrap().body();
+    assert!(!body.contains("sedex_exchange_total"), "{body}");
+    assert!(body.contains("sedex_service_requests_total"), "{body}");
+    let stats = c.stats(None).unwrap().into_ok().unwrap();
+    assert!(
+        stats
+            .lines
+            .iter()
+            .any(|l| l.starts_with("load: queue depth")),
+        "load line missing: {:?}",
+        stats.lines
+    );
+    assert!(
+        stats.lines.iter().any(|l| l.starts_with("latency: p50")),
+        "latency line missing: {:?}",
+        stats.lines
+    );
+    handle.shutdown();
+}
+
 #[test]
 fn flush_exchanges_fed_tuples() {
     let handle = start_server();
     let mut c = Client::connect(handle.local_addr()).unwrap();
     c.open("f", SCENARIO).unwrap().into_ok().unwrap();
     c.feed("f", "Dep: d1, b1").unwrap().into_ok().unwrap();
-    c.feed("f", "Student: s1, p1, d1").unwrap().into_ok().unwrap();
+    c.feed("f", "Student: s1, p1, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
     // Nothing exchanged yet.
-    assert!(!c.sql("f").unwrap().into_ok().unwrap().body().contains("Stu"));
+    assert!(!c
+        .sql("f")
+        .unwrap()
+        .into_ok()
+        .unwrap()
+        .body()
+        .contains("Stu"));
     c.flush_session("f").unwrap().into_ok().unwrap();
     let sql = c.sql("f").unwrap().into_ok().unwrap().body();
     assert!(sql.contains("INSERT INTO Stu"), "{sql}");
@@ -248,9 +374,11 @@ fn wire_shutdown_drains_and_exits() {
     // join() must return: accept loop stops, workers drain.
     handle.join();
     // New connections are refused once the server is gone.
-    assert!(Client::connect(addr).is_err() || {
-        // The OS may accept briefly on some platforms; a request must fail.
-        let mut c2 = Client::connect(addr).unwrap();
-        c2.stats(None).is_err()
-    });
+    assert!(
+        Client::connect(addr).is_err() || {
+            // The OS may accept briefly on some platforms; a request must fail.
+            let mut c2 = Client::connect(addr).unwrap();
+            c2.stats(None).is_err()
+        }
+    );
 }

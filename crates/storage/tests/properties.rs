@@ -116,7 +116,11 @@ fn allow_policy_idempotent_on_replay() {
             let out = inst.insert("S", t.clone(), ConflictPolicy::Allow).unwrap();
             assert!(matches!(out, InsertOutcome::Duplicate(_)), "seed {seed}");
         }
-        assert_eq!(inst.relation("S").unwrap().len(), after_first, "seed {seed}");
+        assert_eq!(
+            inst.relation("S").unwrap().len(),
+            after_first,
+            "seed {seed}"
+        );
     }
 }
 
@@ -152,8 +156,12 @@ fn substitution_removes_labels() {
         let schema = Schema::from_relations(vec![r]).unwrap();
         let mut inst = Instance::new(schema);
         for l in &labels {
-            inst.insert("S", Tuple::new(vec![Value::Labeled(*l)]), ConflictPolicy::Allow)
-                .unwrap();
+            inst.insert(
+                "S",
+                Tuple::new(vec![Value::Labeled(*l)]),
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
         }
         let mut sub = std::collections::HashMap::new();
         sub.insert(target, Value::text("resolved"));

@@ -234,10 +234,7 @@ fn serve_smoke_open_push_shutdown() {
 
     send(&mut writer, "SQL t1\n");
     let sql = read_block(&mut reader);
-    assert!(
-        sql.iter().any(|l| l.contains("INSERT INTO T")),
-        "{sql:?}"
-    );
+    assert!(sql.iter().any(|l| l.contains("INSERT INTO T")), "{sql:?}");
 
     send(&mut writer, "SHUTDOWN\n");
     let bye = read_block(&mut reader);

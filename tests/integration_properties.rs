@@ -55,7 +55,11 @@ fn pqgram_distance_identity() {
         for p in 1usize..4 {
             for q in 1usize..3 {
                 let prof = PqGramProfile::new(&t, p, q);
-                assert_eq!(normalized_distance(&prof, &prof), 0.0, "seed {seed} p{p} q{q}");
+                assert_eq!(
+                    normalized_distance(&prof, &prof),
+                    0.0,
+                    "seed {seed} p{p} q{q}"
+                );
             }
         }
     }
@@ -205,7 +209,9 @@ fn sedex_output_is_sound() {
                 }
             }
         }
-        let (out, _) = SedexEngine::new().exchange(&inst, &s.target, &s.sigma).unwrap();
+        let (out, _) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
         for (name, rel) in out.relations() {
             for t in rel.iter() {
                 for v in t.values() {
@@ -251,7 +257,9 @@ fn clio_universal_solution_covers_sedex_constants() {
         let inst = s.populate(n, rng.next()).unwrap();
         let clio = ClioEngine::new(&s.source, &s.target, &s.sigma);
         let (c_out, _) = clio.run(&inst, &s.target).unwrap();
-        let (x_out, _) = SedexEngine::new().exchange(&inst, &s.target, &s.sigma).unwrap();
+        let (x_out, _) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
         let mut clio_consts = std::collections::HashSet::new();
         for (_, rel) in c_out.relations() {
             for t in rel.iter() {
@@ -281,7 +289,9 @@ fn parallel_equals_serial() {
         let s = gen_scenario(seed + 300);
         let n = 1 + rng.below(39);
         let inst = s.populate(n, rng.next()).unwrap();
-        let (o1, _) = SedexEngine::new().exchange(&inst, &s.target, &s.sigma).unwrap();
+        let (o1, _) = SedexEngine::new()
+            .exchange(&inst, &s.target, &s.sigma)
+            .unwrap();
         let engine = SedexEngine::with_config(SedexConfig {
             threads: 3,
             batch_size: 16,
