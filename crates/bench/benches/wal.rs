@@ -1,0 +1,148 @@
+//! Durability microbenches: WAL append throughput under each fsync policy,
+//! snapshot write/recover at 10k and 100k tuples, and log-tail replay.
+
+use std::path::PathBuf;
+
+use sedex_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedex_core::SedexConfig;
+use sedex_durable::recover::open_session;
+use sedex_durable::{
+    read_snapshot, recover_shard_dir, write_snapshot, DurableShard, FsyncPolicy, RecoveryReport,
+    SessionSnapshot, ShardSnapshot, WalRecord,
+};
+use sedex_scenarios::textfmt;
+
+const SCENARIO: &str = "\
+[source]
+Dep(dname*, building)
+Student(sname*, program, dep->Dep)
+
+[target]
+Stu(student*, prog, dpt)
+
+[correspondences]
+sname <-> student
+program <-> prog
+dep <-> dpt
+
+[data]
+Dep: d1, b1
+";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedex-walbench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn push_record(i: usize) -> WalRecord {
+    let (relation, tuple) =
+        textfmt::parse_data_line(&format!("Student: s{i}, p{i}, d1"), 1).unwrap();
+    WalRecord::Push {
+        session: "bench".to_owned(),
+        relation,
+        tuple,
+    }
+}
+
+/// A session with `n` exchanged same-shape tuples, snapshot-ready.
+fn session_snapshot(n: usize) -> SessionSnapshot {
+    let mut session = open_session(&SedexConfig::default(), SCENARIO, None).unwrap();
+    for i in 0..n {
+        let (rel, tuple) =
+            textfmt::parse_data_line(&format!("Student: s{i}, p{i}, d1"), 1).unwrap();
+        session.exchange_tuple(&rel, tuple).unwrap();
+    }
+    SessionSnapshot {
+        name: "bench".to_owned(),
+        scenario: SCENARIO.to_owned(),
+        requests: n as u64,
+        tuples_in: n as u64,
+        state: session.export_state(),
+    }
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    let record = push_record(0);
+    for (label, policy) in [
+        ("append_fsync_off", FsyncPolicy::Off),
+        ("append_fsync_every_64", FsyncPolicy::EveryN(64)),
+        ("append_fsync_always", FsyncPolicy::Always),
+    ] {
+        let dir = tmp_dir(label);
+        let mut shard = DurableShard::open(&dir, policy, &RecoveryReport::default(), None).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| shard.append(black_box(&record)).unwrap())
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    for n in [10_000usize, 100_000] {
+        let snap = ShardSnapshot {
+            lsn: n as u64,
+            sessions: vec![session_snapshot(n)],
+        };
+        let dir = tmp_dir(&format!("snap-{n}"));
+        let path = dir.join("snapshot-1.snap");
+        group.bench_with_input(BenchmarkId::new("snapshot_write", n), &snap, |b, snap| {
+            b.iter(|| write_snapshot(black_box(&path), snap).unwrap())
+        });
+        write_snapshot(&path, &snap).unwrap();
+        let bytes = std::fs::metadata(&path).unwrap().len();
+        println!("  (snapshot at {n} tuples: {bytes} bytes on disk)");
+        // Decode only: file → ShardSnapshot structs.
+        group.bench_function(BenchmarkId::new("snapshot_read", n), |b| {
+            b.iter(|| read_snapshot(black_box(&path)).unwrap().unwrap())
+        });
+        // Full recovery: decode + rebuild live sessions (engine included).
+        group.bench_function(BenchmarkId::new("snapshot_recover", n), |b| {
+            b.iter(|| {
+                let (sessions, report) =
+                    recover_shard_dir(&dir, &SedexConfig::default(), None).unwrap();
+                assert_eq!(sessions.len(), 1);
+                black_box(report)
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_log_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    // Replay a pure log tail (no snapshot): open + 10k pushes. This is the
+    // worst-case restart path; snapshots exist to bound it.
+    let n = 10_000usize;
+    let dir = tmp_dir("replay");
+    let mut shard =
+        DurableShard::open(&dir, FsyncPolicy::Off, &RecoveryReport::default(), None).unwrap();
+    shard
+        .append(&WalRecord::Open {
+            session: "bench".to_owned(),
+            scenario: SCENARIO.to_owned(),
+        })
+        .unwrap();
+    for i in 0..n {
+        shard.append(&push_record(i)).unwrap();
+    }
+    drop(shard);
+    group.bench_function(BenchmarkId::new("log_replay", n), |b| {
+        b.iter(|| {
+            let (sessions, report) =
+                recover_shard_dir(&dir, &SedexConfig::default(), None).unwrap();
+            assert_eq!(report.records_replayed, 1 + n as u64);
+            black_box(sessions)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_snapshot, bench_log_replay);
+criterion_main!(benches);

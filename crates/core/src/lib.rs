@@ -52,9 +52,9 @@ pub use matcher::{MatchResult, Matcher};
 pub use metrics::{ExchangeReport, HitEvent};
 pub use quality::{compare, QualityReport};
 pub use render::{sql_statements, sql_template, xml_document, ReportVerbose};
-pub use repository::ScriptRepository;
+pub use repository::{RepositoryExport, ScriptRepository};
 pub use script::{run_script, Script, SlotRef, Statement};
-pub use session::SedexSession;
+pub use session::{SedexSession, SessionState};
 pub use translate::{translate, TranslatedNode, TranslatedTree};
 
 /// Re-export of the observability crate: [`observe::Observer`] plugs into

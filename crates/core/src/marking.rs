@@ -76,6 +76,31 @@ impl SeenSet {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Export per-relation bitmaps, sorted by relation name (a stable layout
+    /// for durability snapshots).
+    pub fn export(&self) -> Vec<(String, Vec<bool>)> {
+        let mut out: Vec<(String, Vec<bool>)> = self
+            .map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Rebuild a seen-set from exported bitmaps (the marked-row count is
+    /// recomputed).
+    pub fn import(entries: Vec<(String, Vec<bool>)>) -> Self {
+        let count = entries
+            .iter()
+            .map(|(_, bits)| bits.iter().filter(|&&b| b).count())
+            .sum();
+        SeenSet {
+            map: entries.into_iter().collect(),
+            count,
+        }
+    }
 }
 
 #[cfg(test)]

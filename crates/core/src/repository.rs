@@ -23,6 +23,21 @@ pub struct ScriptRepository {
     start: Instant,
     record_events: bool,
     events: Vec<HitEvent>,
+    new_keys: Vec<String>,
+}
+
+/// A point-in-time export of a repository: every `(shape key, script)` pair
+/// plus the lookup counters. This is what durability snapshots persist so a
+/// restarted server *warm-starts* — the hit ratio continues from where the
+/// previous process left off instead of resetting to zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepositoryExport {
+    /// `(shape key, script)` pairs, sorted by key for a stable byte layout.
+    pub entries: Vec<(String, Script)>,
+    /// Lookup hits at export time.
+    pub hits: usize,
+    /// Lookup misses at export time.
+    pub misses: usize,
 }
 
 impl Default for ScriptRepository {
@@ -42,6 +57,7 @@ impl ScriptRepository {
             start: Instant::now(),
             record_events,
             events: Vec::new(),
+            new_keys: Vec::new(),
         }
     }
 
@@ -61,11 +77,57 @@ impl ScriptRepository {
         found
     }
 
-    /// Store a freshly generated script under its shape key.
+    /// Store a freshly generated script under its shape key. The key is
+    /// remembered as *new* until the next [`ScriptRepository::take_new_scripts`]
+    /// drain — how the service knows which scripts still need a WAL record.
     pub fn insert(&mut self, key: String, script: Script) -> Arc<Script> {
         let arc = Arc::new(script);
+        self.new_keys.push(key.clone());
         self.map.insert(key, Arc::clone(&arc));
         arc
+    }
+
+    /// Drain the scripts inserted since the last drain, as `(key, script)`
+    /// handles. Used by durability: after an exchange, each drained pair
+    /// becomes one `ScriptAdd` WAL record.
+    pub fn take_new_scripts(&mut self) -> Vec<(String, Arc<Script>)> {
+        std::mem::take(&mut self.new_keys)
+            .into_iter()
+            .filter_map(|k| self.map.get(&k).map(|s| (k, Arc::clone(s))))
+            .collect()
+    }
+
+    /// Export every entry plus the lookup counters (entries sorted by key).
+    pub fn export(&self) -> RepositoryExport {
+        let mut entries: Vec<(String, Script)> = self
+            .map
+            .iter()
+            .map(|(k, s)| (k.clone(), Script::clone(s)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        RepositoryExport {
+            entries,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Restore entries and counters from an export. Existing entries with
+    /// the same key are overwritten (imports are idempotent); imported keys
+    /// are *not* marked new — they were already persisted.
+    pub fn import(&mut self, export: RepositoryExport) {
+        for (key, script) in export.entries {
+            self.map.insert(key, Arc::new(script));
+        }
+        self.hits = export.hits;
+        self.misses = export.misses;
+        self.new_keys.clear();
+    }
+
+    /// Install one script without touching counters or the new-key log —
+    /// the WAL-replay path for `ScriptAdd` records.
+    pub fn install(&mut self, key: String, script: Script) {
+        self.map.insert(key, Arc::new(script));
     }
 
     /// Number of distinct scripts stored.
@@ -163,5 +225,41 @@ mod tests {
     fn hit_ratio_zero_when_unused() {
         let r = ScriptRepository::new(false);
         assert_eq!(r.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn export_import_roundtrips_entries_and_counters() {
+        let mut r = ScriptRepository::new(false);
+        r.lookup("b");
+        r.insert("b".into(), dummy_script("T"));
+        r.insert("a".into(), dummy_script("U"));
+        r.lookup("b");
+        let ex = r.export();
+        assert_eq!(ex.entries.len(), 2);
+        assert_eq!(ex.entries[0].0, "a"); // sorted
+        assert_eq!((ex.hits, ex.misses), (1, 1));
+
+        let mut back = ScriptRepository::new(false);
+        back.import(ex.clone());
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.hits(), 1);
+        assert_eq!(back.misses(), 1);
+        assert_eq!(back.export(), ex);
+        // Imported keys are not "new": nothing to persist again.
+        assert!(back.take_new_scripts().is_empty());
+    }
+
+    #[test]
+    fn take_new_scripts_drains_once() {
+        let mut r = ScriptRepository::new(false);
+        r.insert("k1".into(), dummy_script("T"));
+        r.insert("k2".into(), dummy_script("U"));
+        let new = r.take_new_scripts();
+        assert_eq!(new.len(), 2);
+        assert!(r.take_new_scripts().is_empty());
+        r.insert("k3".into(), dummy_script("V"));
+        let again = r.take_new_scripts();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].0, "k3");
     }
 }

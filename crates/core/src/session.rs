@@ -28,11 +28,33 @@ use crate::engine::SedexConfig;
 use crate::marking::SeenSet;
 use crate::matcher::Matcher;
 use crate::metrics::ExchangeReport;
-use crate::repository::ScriptRepository;
-use crate::script::{run_script, RunOutcome};
+use crate::repository::{RepositoryExport, ScriptRepository};
+use crate::script::{run_script, RunOutcome, Script};
 use crate::scriptgen::generate_script;
 use crate::trace::Trace;
 use crate::translate::{slot_values, translate};
+
+/// Everything mutable in a [`SedexSession`], detached from the engine
+/// machinery (matchers, forests, config), which is rebuilt from the scenario
+/// at restore time. This is the unit durability snapshots persist: restoring
+/// it into a freshly constructed session continues exactly where the
+/// exported one stopped — same source, same target (fresh labels included),
+/// same warm script repository, same seen-marking, same counters.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The source instance accumulated so far (seed data included).
+    pub source: Instance,
+    /// The live target instance, labeled nulls and all.
+    pub target: Instance,
+    /// The script repository: entries plus hit/miss counters.
+    pub repository: RepositoryExport,
+    /// Seen-marking bitmaps per source relation.
+    pub seen: Vec<(String, Vec<bool>)>,
+    /// Next fresh surrogate label.
+    pub fresh_counter: u64,
+    /// The running report (without the per-lookup hit-event log).
+    pub report: ExchangeReport,
+}
 
 /// A long-lived exchange session: push source tuples as they arrive, read
 /// the target at any time.
@@ -285,6 +307,57 @@ impl SedexSession {
         r
     }
 
+    /// Export all mutable state for a durability snapshot (see
+    /// [`SessionState`]). The per-lookup hit-event log is not exported — it
+    /// is unbounded and only feeds the Fig. 14 experiment.
+    pub fn export_state(&self) -> SessionState {
+        let mut report = self.report.clone();
+        report.stats = self.target.stats();
+        report.hit_events.clear();
+        SessionState {
+            source: self.source.clone(),
+            target: self.target.clone(),
+            repository: self.repo.export(),
+            seen: self.seen.export(),
+            fresh_counter: self.fresh_counter,
+            report,
+        }
+    }
+
+    /// Replace this session's mutable state with an exported one. The
+    /// session must have been constructed from the same scenario (schemas,
+    /// correspondences, CFDs) as the exporter; engine machinery derived from
+    /// those is kept as-is.
+    pub fn restore_state(&mut self, state: SessionState) {
+        self.source = state.source;
+        self.target = state.target;
+        let mut repo = ScriptRepository::new(self.config.record_hit_events);
+        repo.import(state.repository);
+        self.repo = repo;
+        self.seen = SeenSet::import(state.seen);
+        self.fresh_counter = state.fresh_counter;
+        self.report = state.report;
+    }
+
+    /// Drain scripts generated since the last drain (see
+    /// [`ScriptRepository::take_new_scripts`]) — the service persists each
+    /// as one WAL record.
+    pub fn take_new_scripts(&mut self) -> Vec<(String, Arc<Script>)> {
+        self.repo.take_new_scripts()
+    }
+
+    /// Install one script under its shape key without touching lookup
+    /// counters — the WAL-replay path for persisted `ScriptAdd` records.
+    pub fn install_script(&mut self, key: String, script: Script) {
+        self.repo.install(key, script);
+    }
+
+    /// The current repository hit ratio `n_r / (n_r + n_g)` — survives a
+    /// snapshot/restore cycle (warm start).
+    pub fn repository_hit_ratio(&self) -> f64 {
+        self.repo.hit_ratio()
+    }
+
     /// Close the session, returning the target and the final report.
     pub fn finish(mut self) -> (Instance, ExchangeReport) {
         self.report.stats = self.target.stats();
@@ -485,6 +558,47 @@ mod tests {
             .unwrap();
         let (_, report) = session.finish();
         assert!(report.phases.is_zero());
+    }
+
+    #[test]
+    fn export_restore_continues_where_the_export_stopped() {
+        let (src_schema, tgt_schema, sigma) = schemas();
+        let mut session = SedexSession::new(
+            SedexConfig::default(),
+            src_schema.clone(),
+            tgt_schema.clone(),
+            sigma.clone(),
+        )
+        .unwrap();
+        session
+            .feed("Dep", sedex_storage::tuple!["d1", "b1"])
+            .unwrap();
+        for i in 0..10 {
+            session
+                .exchange_tuple(
+                    "Student",
+                    Tuple::of([format!("s{i}"), format!("p{i}"), "d1".to_string()]),
+                )
+                .unwrap();
+        }
+        let state = session.export_state();
+
+        // A fresh session restored from the export...
+        let mut restored =
+            SedexSession::new(SedexConfig::default(), src_schema, tgt_schema, sigma).unwrap();
+        restored.restore_state(state);
+        assert_eq!(restored.target().stats(), session.target().stats());
+        assert_eq!(restored.scripts_cached(), session.scripts_cached());
+
+        // ...keeps reusing the cached script: a new same-shape push is a
+        // repository hit, not a regeneration (the warm-start property).
+        restored
+            .exchange_tuple("Student", sedex_storage::tuple!["s99", "p99", "d1"])
+            .unwrap();
+        let r = restored.report_snapshot();
+        assert_eq!(r.scripts_generated, 1);
+        assert_eq!(r.scripts_reused, 10);
+        assert!(restored.repository_hit_ratio() > 0.9);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! # sedex-durable
+//!
+//! Durability for SEDEX sessions: a binary write-ahead log with
+//! length-prefixed, CRC32-checksummed records ([`wal`]), point-in-time
+//! snapshots of whole sessions — source/target `Instance`s and the
+//! shape-keyed script repository — ([`snapshot`]), and a recovery path that
+//! replays the log tail over the latest valid snapshot, truncating torn
+//! tails instead of failing ([`recover`]).
+//!
+//! The paper's scaling argument rests on the script repository: scripts are
+//! generated once per tuple-tree shape and reused forever. Without
+//! persistence that warm cache — and every exchanged target instance —
+//! evaporates on restart. This crate makes the repository and the sessions
+//! it serves survive process death: the WAL records acknowledged operations
+//! (session opens, fed/pushed tuples, generated scripts, flush boundaries),
+//! snapshots bound replay time, and generations rotate on checkpoint with
+//! the previous snapshot (and the WAL since it) retained so even a lost
+//! newest snapshot recovers.
+//!
+//! Everything is std-only, like the rest of the workspace: CRC32 is
+//! implemented in-tree ([`crc32`]), the file format is hand-rolled over the
+//! storage codec (`sedex_storage::codec`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod record;
+pub mod recover;
+pub mod shard;
+pub mod snapshot;
+pub mod wal;
+
+pub use record::WalRecord;
+pub use recover::{inspect, recover_data_dir, recover_shard_dir, RecoveredSession, RecoveryReport};
+pub use shard::{DurableMetrics, DurableShard};
+pub use snapshot::{read_snapshot, write_snapshot, SessionSnapshot, ShardSnapshot};
+pub use wal::{read_segment, FsyncPolicy, SegmentRead, WalWriter};

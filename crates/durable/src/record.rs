@@ -1,0 +1,315 @@
+//! WAL record payloads: what one frame means.
+//!
+//! Payload layout: `lsn u64 | kind u8 | body`. Records are appended after
+//! the operation has been applied to the in-memory session and before the
+//! client is acknowledged — the log is a redo log of acknowledged
+//! operations. Replay is idempotent (feeds skip duplicates, exchanges merge
+//! at the target, script installs overwrite the same key), so a record whose
+//! effect also landed in a concurrent snapshot is safe to re-apply.
+
+use sedex_core::{Script, SlotRef, Statement};
+use sedex_storage::codec::{
+    decode_tuple, encode_tuple, ByteReader, ByteWriter, CodecError, CodecResult,
+};
+use sedex_storage::Tuple;
+
+const KIND_OPEN: u8 = 1;
+const KIND_FEED: u8 = 2;
+const KIND_PUSH: u8 = 3;
+const KIND_SCRIPT_ADD: u8 = 4;
+const KIND_FLUSH: u8 = 5;
+const KIND_CLOSE: u8 = 6;
+
+/// One logged operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A session was opened from an inline scenario body.
+    Open {
+        /// Session name.
+        session: String,
+        /// The full `.sdx` scenario text (schemas, correspondences, CFDs,
+        /// seed data) — replay re-opens the session exactly as the client
+        /// did.
+        scenario: String,
+    },
+    /// A context tuple was fed (not exchanged).
+    Feed {
+        /// Session name.
+        session: String,
+        /// Source relation.
+        relation: String,
+        /// The fed tuple.
+        tuple: Tuple,
+    },
+    /// A tuple was pushed (fed and exchanged).
+    Push {
+        /// Session name.
+        session: String,
+        /// Source relation.
+        relation: String,
+        /// The pushed tuple.
+        tuple: Tuple,
+    },
+    /// A script was generated and cached under its tuple-tree shape key.
+    ScriptAdd {
+        /// Session name.
+        session: String,
+        /// Shape key (`relation|post-order shape`).
+        key: String,
+        /// The generated script.
+        script: Script,
+    },
+    /// All pending tuples were exchanged (a durability boundary: the
+    /// service checkpoints the shard right after).
+    Flush {
+        /// Session name.
+        session: String,
+    },
+    /// The session was closed and dropped.
+    Close {
+        /// Session name.
+        session: String,
+    },
+}
+
+impl WalRecord {
+    /// The session this record belongs to.
+    pub fn session(&self) -> &str {
+        match self {
+            WalRecord::Open { session, .. }
+            | WalRecord::Feed { session, .. }
+            | WalRecord::Push { session, .. }
+            | WalRecord::ScriptAdd { session, .. }
+            | WalRecord::Flush { session }
+            | WalRecord::Close { session } => session,
+        }
+    }
+
+    /// Stable lowercase name of the record kind (for `sedex recover`
+    /// summaries).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WalRecord::Open { .. } => "open",
+            WalRecord::Feed { .. } => "feed",
+            WalRecord::Push { .. } => "push",
+            WalRecord::ScriptAdd { .. } => "script_add",
+            WalRecord::Flush { .. } => "flush",
+            WalRecord::Close { .. } => "close",
+        }
+    }
+
+    /// Encode into a frame payload, stamped with `lsn`.
+    pub fn encode(&self, lsn: u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(lsn);
+        match self {
+            WalRecord::Open { session, scenario } => {
+                w.put_u8(KIND_OPEN);
+                w.put_str(session);
+                w.put_str(scenario);
+            }
+            WalRecord::Feed {
+                session,
+                relation,
+                tuple,
+            } => {
+                w.put_u8(KIND_FEED);
+                w.put_str(session);
+                w.put_str(relation);
+                encode_tuple(&mut w, tuple);
+            }
+            WalRecord::Push {
+                session,
+                relation,
+                tuple,
+            } => {
+                w.put_u8(KIND_PUSH);
+                w.put_str(session);
+                w.put_str(relation);
+                encode_tuple(&mut w, tuple);
+            }
+            WalRecord::ScriptAdd {
+                session,
+                key,
+                script,
+            } => {
+                w.put_u8(KIND_SCRIPT_ADD);
+                w.put_str(session);
+                w.put_str(key);
+                encode_script(&mut w, script);
+            }
+            WalRecord::Flush { session } => {
+                w.put_u8(KIND_FLUSH);
+                w.put_str(session);
+            }
+            WalRecord::Close { session } => {
+                w.put_u8(KIND_CLOSE);
+                w.put_str(session);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload into `(lsn, record)`.
+    pub fn decode(payload: &[u8]) -> CodecResult<(u64, WalRecord)> {
+        let mut r = ByteReader::new(payload);
+        let lsn = r.get_u64()?;
+        let kind = r.get_u8()?;
+        let rec = match kind {
+            KIND_OPEN => WalRecord::Open {
+                session: r.get_str()?,
+                scenario: r.get_str()?,
+            },
+            KIND_FEED => WalRecord::Feed {
+                session: r.get_str()?,
+                relation: r.get_str()?,
+                tuple: decode_tuple(&mut r)?,
+            },
+            KIND_PUSH => WalRecord::Push {
+                session: r.get_str()?,
+                relation: r.get_str()?,
+                tuple: decode_tuple(&mut r)?,
+            },
+            KIND_SCRIPT_ADD => WalRecord::ScriptAdd {
+                session: r.get_str()?,
+                key: r.get_str()?,
+                script: decode_script(&mut r)?,
+            },
+            KIND_FLUSH => WalRecord::Flush {
+                session: r.get_str()?,
+            },
+            KIND_CLOSE => WalRecord::Close {
+                session: r.get_str()?,
+            },
+            t => return Err(CodecError::new(format!("unknown record kind {t}"))),
+        };
+        r.expect_end()?;
+        Ok((lsn, rec))
+    }
+}
+
+const SLOT_SRC: u8 = 0;
+const SLOT_FRESH: u8 = 1;
+
+/// Encode a [`Script`] (statements, assignments, slot refs).
+pub fn encode_script(w: &mut ByteWriter, script: &Script) {
+    w.put_u32(script.statements.len() as u32);
+    for st in &script.statements {
+        w.put_str(&st.relation);
+        w.put_u32(st.assignments.len() as u32);
+        for &(col, slot) in &st.assignments {
+            w.put_u32(col as u32);
+            match slot {
+                SlotRef::Src(i) => {
+                    w.put_u8(SLOT_SRC);
+                    w.put_u32(i as u32);
+                }
+                SlotRef::Fresh(id) => {
+                    w.put_u8(SLOT_FRESH);
+                    w.put_u32(id);
+                }
+            }
+        }
+    }
+}
+
+/// Decode a [`Script`].
+pub fn decode_script(r: &mut ByteReader<'_>) -> CodecResult<Script> {
+    let nstmts = r.get_u32()? as usize;
+    let mut statements = Vec::with_capacity(nstmts.min(4096));
+    for _ in 0..nstmts {
+        let relation = r.get_str()?;
+        let nassign = r.get_u32()? as usize;
+        let mut assignments = Vec::with_capacity(nassign.min(4096));
+        for _ in 0..nassign {
+            let col = r.get_u32()? as usize;
+            let slot = match r.get_u8()? {
+                SLOT_SRC => SlotRef::Src(r.get_u32()? as usize),
+                SLOT_FRESH => SlotRef::Fresh(r.get_u32()?),
+                t => return Err(CodecError::new(format!("unknown slot tag {t}"))),
+            };
+            assignments.push((col, slot));
+        }
+        statements.push(Statement {
+            relation,
+            assignments,
+        });
+    }
+    Ok(Script { statements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::Value;
+
+    fn sample_script() -> Script {
+        Script {
+            statements: vec![
+                Statement {
+                    relation: "Stu".into(),
+                    assignments: vec![(0, SlotRef::Src(1)), (2, SlotRef::Fresh(3))],
+                },
+                Statement {
+                    relation: "Dept".into(),
+                    assignments: vec![(1, SlotRef::Src(0))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn all_record_kinds_roundtrip() {
+        let records = [
+            WalRecord::Open {
+                session: "t1".into(),
+                scenario: "[source]\nR(a*)\n".into(),
+            },
+            WalRecord::Feed {
+                session: "t1".into(),
+                relation: "Dep".into(),
+                tuple: Tuple::of(["d1".to_string(), "b1".to_string()]),
+            },
+            WalRecord::Push {
+                session: "t1".into(),
+                relation: "Student".into(),
+                tuple: Tuple::new(vec![Value::text("s1"), Value::Null, Value::Labeled(4)]),
+            },
+            WalRecord::ScriptAdd {
+                session: "t1".into(),
+                key: "Student|(a(b))".into(),
+                script: sample_script(),
+            },
+            WalRecord::Flush {
+                session: "t1".into(),
+            },
+            WalRecord::Close {
+                session: "t1".into(),
+            },
+        ];
+        for (i, rec) in records.iter().enumerate() {
+            let payload = rec.encode(i as u64 + 100);
+            let (lsn, back) = WalRecord::decode(&payload).unwrap();
+            assert_eq!(lsn, i as u64 + 100);
+            assert_eq!(&back, rec, "kind {}", rec.kind_name());
+            assert_eq!(back.session(), "t1");
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_error_instead_of_panicking() {
+        let payload = WalRecord::Flush {
+            session: "t1".into(),
+        }
+        .encode(7);
+        for cut in 0..payload.len() {
+            assert!(WalRecord::decode(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad_kind = payload.clone();
+        bad_kind[8] = 99;
+        assert!(WalRecord::decode(&bad_kind).is_err());
+        let mut trailing = payload;
+        trailing.push(0);
+        assert!(WalRecord::decode(&trailing).is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! Crash recovery: rebuild live sessions from the latest valid snapshot plus
+//! the WAL tail.
+//!
+//! Directory layout per shard (`<data-dir>/shard-<i>/`):
+//!
+//! * `snapshot-<g>.snap` — full state as of generation `g`'s start,
+//! * `wal-<g>.log` — records appended during generation `g`.
+//!
+//! Recovery invariants:
+//!
+//! 1. pick the highest generation whose snapshot validates (CRC over the
+//!    whole body); a deleted or corrupt newest snapshot falls back to the
+//!    previous one, whose WAL segment is retained for exactly this purpose;
+//! 2. replay every WAL segment with generation ≥ the chosen snapshot's, in
+//!    generation order, skipping records with `lsn ≤` the snapshot watermark
+//!    (they are already reflected in it);
+//! 3. a torn tail (crash mid-append) truncates the segment at the last valid
+//!    frame — records before the tear are applied, the tear is counted, and
+//!    recovery continues with the state it has;
+//! 4. replay is idempotent: feeds skip duplicates, exchanges merge at the
+//!    target, script installs overwrite the same key, re-opens and re-closes
+//!    are no-ops — so an operation that raced a checkpoint is safe to see
+//!    twice.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use sedex_core::{Observer, SedexConfig, SedexSession};
+use sedex_scenarios::textfmt;
+
+use crate::record::WalRecord;
+use crate::snapshot::{read_snapshot, SessionSnapshot};
+use crate::wal::{read_segment, truncate_to};
+
+/// A session rebuilt by recovery, plus its tenant bookkeeping.
+pub struct RecoveredSession {
+    /// Session name.
+    pub name: String,
+    /// The scenario body it was opened with (kept for future snapshots).
+    pub scenario: String,
+    /// Requests served before the crash.
+    pub requests: u64,
+    /// Tuples pushed or fed before the crash.
+    pub tuples_in: u64,
+    /// The live session, warm repository and all.
+    pub session: SedexSession,
+}
+
+/// What recovery of one shard directory did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Generation of the snapshot recovery started from (`None`: no valid
+    /// snapshot, replay started from empty state).
+    pub snapshot_generation: Option<u64>,
+    /// Sessions restored from the snapshot.
+    pub snapshot_sessions: usize,
+    /// WAL segments scanned.
+    pub segments_scanned: usize,
+    /// Records replayed (applied to sessions).
+    pub records_replayed: u64,
+    /// Records skipped because the snapshot already covered their LSN.
+    pub records_skipped: u64,
+    /// Torn tails found (and truncated) across segments.
+    pub torn_tails: usize,
+    /// Records that decoded but failed to apply (counted, not fatal).
+    pub replay_errors: u64,
+    /// Highest LSN seen anywhere (snapshot watermark or replayed record).
+    pub max_lsn: u64,
+    /// Highest generation seen among snapshot and WAL files.
+    pub max_generation: u64,
+    /// Per-kind record counts across scanned segments (`open`, `push`, …).
+    pub record_kinds: Vec<(String, u64)>,
+}
+
+/// List `(generation, path)` pairs for files named `<prefix>-<g><suffix>`.
+fn list_generations(
+    dir: &Path,
+    prefix: &str,
+    suffix: &str,
+) -> io::Result<Vec<(u64, std::path::PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name.strip_prefix(prefix) {
+            if let Some(num) = rest.strip_suffix(suffix) {
+                if let Ok(g) = num.parse::<u64>() {
+                    out.push((g, entry.path()));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|&(g, _)| g);
+    Ok(out)
+}
+
+/// Snapshot path for generation `g` inside `dir`.
+pub fn snapshot_path(dir: &Path, generation: u64) -> std::path::PathBuf {
+    dir.join(format!("snapshot-{generation}.snap"))
+}
+
+/// WAL segment path for generation `g` inside `dir`.
+pub fn wal_path(dir: &Path, generation: u64) -> std::path::PathBuf {
+    dir.join(format!("wal-{generation}.log"))
+}
+
+/// All snapshot files in `dir`, ascending by generation.
+pub fn list_snapshots(dir: &Path) -> io::Result<Vec<(u64, std::path::PathBuf)>> {
+    list_generations(dir, "snapshot-", ".snap")
+}
+
+/// All WAL segments in `dir`, ascending by generation.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, std::path::PathBuf)>> {
+    list_generations(dir, "wal-", ".log")
+}
+
+/// Build a live session from a scenario body, feeding its `[data]` seeds —
+/// the same semantics as the service's `OPEN` verb.
+pub fn open_session(
+    config: &SedexConfig,
+    scenario: &str,
+    observer: Option<&Arc<dyn Observer>>,
+) -> Result<SedexSession, String> {
+    let file = textfmt::parse_scenario(scenario).map_err(|e| format!("scenario {e}"))?;
+    let s = file.scenario;
+    let mut session = SedexSession::new(config.clone(), s.source, s.target, s.sigma)
+        .map_err(|e| format!("session: {e}"))?
+        .with_cfds(file.cfds);
+    if let Some(obs) = observer {
+        session = session.with_observer(Arc::clone(obs));
+    }
+    for (rel, inst) in file.instance.relations() {
+        for t in inst.iter() {
+            session
+                .feed(rel, t.clone())
+                .map_err(|e| format!("seed data: {e}"))?;
+        }
+    }
+    Ok(session)
+}
+
+/// Rebuild a session from a [`SessionSnapshot`].
+fn restore_session(
+    config: &SedexConfig,
+    snap: SessionSnapshot,
+    observer: Option<&Arc<dyn Observer>>,
+) -> Result<RecoveredSession, String> {
+    let mut session = open_session(config, &snap.scenario, observer)?;
+    session.restore_state(snap.state);
+    Ok(RecoveredSession {
+        name: snap.name,
+        scenario: snap.scenario,
+        requests: snap.requests,
+        tuples_in: snap.tuples_in,
+        session,
+    })
+}
+
+/// Apply one replayed record to the session map. Errors are reported, not
+/// propagated — recovery always returns the best state it can reach.
+fn apply_record(
+    sessions: &mut HashMap<String, RecoveredSession>,
+    config: &SedexConfig,
+    observer: Option<&Arc<dyn Observer>>,
+    record: WalRecord,
+) -> Result<(), String> {
+    match record {
+        WalRecord::Open { session, scenario } => {
+            if sessions.contains_key(&session) {
+                return Ok(()); // replay of an op the snapshot already covers
+            }
+            let live = open_session(config, &scenario, observer)?;
+            sessions.insert(
+                session.clone(),
+                RecoveredSession {
+                    name: session,
+                    scenario,
+                    requests: 0,
+                    tuples_in: 0,
+                    session: live,
+                },
+            );
+            Ok(())
+        }
+        WalRecord::Feed {
+            session,
+            relation,
+            tuple,
+        } => {
+            let s = sessions
+                .get_mut(&session)
+                .ok_or_else(|| format!("feed for unknown session `{session}`"))?;
+            s.tuples_in += 1;
+            s.session
+                .feed(&relation, tuple)
+                .map(|_| ())
+                .map_err(|e| format!("feed {relation}: {e}"))
+        }
+        WalRecord::Push {
+            session,
+            relation,
+            tuple,
+        } => {
+            let s = sessions
+                .get_mut(&session)
+                .ok_or_else(|| format!("push for unknown session `{session}`"))?;
+            s.tuples_in += 1;
+            s.session
+                .exchange_tuple(&relation, tuple)
+                .map(|_| ())
+                .map_err(|e| format!("push {relation}: {e}"))
+        }
+        WalRecord::ScriptAdd {
+            session,
+            key,
+            script,
+        } => {
+            let s = sessions
+                .get_mut(&session)
+                .ok_or_else(|| format!("script for unknown session `{session}`"))?;
+            s.session.install_script(key, script);
+            Ok(())
+        }
+        WalRecord::Flush { session } => {
+            let s = sessions
+                .get_mut(&session)
+                .ok_or_else(|| format!("flush for unknown session `{session}`"))?;
+            s.session
+                .exchange_pending()
+                .map(|_| ())
+                .map_err(|e| format!("flush: {e}"))
+        }
+        WalRecord::Close { session } => {
+            sessions.remove(&session);
+            Ok(())
+        }
+    }
+}
+
+/// Recover one shard directory: latest valid snapshot + WAL tail replay.
+/// Torn tails are truncated (best-effort) and counted. Returns the live
+/// sessions (sorted by name) and a report of what happened.
+pub fn recover_shard_dir(
+    dir: &Path,
+    config: &SedexConfig,
+    observer: Option<&Arc<dyn Observer>>,
+) -> io::Result<(Vec<RecoveredSession>, RecoveryReport)> {
+    let mut report = RecoveryReport::default();
+    let mut sessions: HashMap<String, RecoveredSession> = HashMap::new();
+    let mut kinds: HashMap<&'static str, u64> = HashMap::new();
+
+    let snapshots = list_snapshots(dir)?;
+    let segments = list_segments(dir)?;
+    report.max_generation = snapshots
+        .iter()
+        .chain(segments.iter())
+        .map(|&(g, _)| g)
+        .max()
+        .unwrap_or(0);
+
+    // 1. newest snapshot that validates wins; corrupt/missing ones fall
+    //    through to older generations.
+    let mut base_lsn = 0u64;
+    let mut base_generation = 0u64;
+    for &(g, ref path) in snapshots.iter().rev() {
+        if let Some(snap) = read_snapshot(path)? {
+            base_lsn = snap.lsn;
+            base_generation = g;
+            report.snapshot_generation = Some(g);
+            report.snapshot_sessions = snap.sessions.len();
+            report.max_lsn = snap.lsn;
+            for s in snap.sessions {
+                match restore_session(config, s, observer) {
+                    Ok(rs) => {
+                        sessions.insert(rs.name.clone(), rs);
+                    }
+                    Err(_) => report.replay_errors += 1,
+                }
+            }
+            break;
+        }
+    }
+
+    // 2. replay segments from the snapshot's generation forward.
+    for &(g, ref path) in &segments {
+        if g < base_generation {
+            continue;
+        }
+        report.segments_scanned += 1;
+        let seg = read_segment(path)?;
+        if seg.torn.is_some() {
+            report.torn_tails += 1;
+            let _ = truncate_to(path, seg.valid_bytes);
+        }
+        for payload in &seg.payloads {
+            let (lsn, record) = match WalRecord::decode(payload) {
+                Ok(ok) => ok,
+                Err(_) => {
+                    report.replay_errors += 1;
+                    continue;
+                }
+            };
+            *kinds.entry(record.kind_name()).or_insert(0) += 1;
+            report.max_lsn = report.max_lsn.max(lsn);
+            if lsn <= base_lsn {
+                report.records_skipped += 1;
+                continue;
+            }
+            match apply_record(&mut sessions, config, observer, record) {
+                Ok(()) => report.records_replayed += 1,
+                Err(_) => report.replay_errors += 1,
+            }
+        }
+    }
+
+    // Replayed exchanges regenerate scripts; drain the "new" markers so the
+    // service does not re-log scripts that are about to be checkpointed.
+    let mut out: Vec<RecoveredSession> = sessions.into_values().collect();
+    for s in &mut out {
+        let _ = s.session.take_new_scripts();
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut record_kinds: Vec<(String, u64)> =
+        kinds.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+    record_kinds.sort();
+    report.record_kinds = record_kinds;
+    Ok((out, report))
+}
+
+/// Recover every `shard-<i>` directory under `data_dir`. Returns the shard
+/// index alongside each directory's result, ascending by index.
+pub fn recover_data_dir(
+    data_dir: &Path,
+    config: &SedexConfig,
+    observer: Option<&Arc<dyn Observer>>,
+) -> io::Result<Vec<(u64, Vec<RecoveredSession>, RecoveryReport)>> {
+    let mut out = Vec::new();
+    if !data_dir.exists() {
+        return Ok(out);
+    }
+    let mut shard_dirs = list_generations(data_dir, "shard-", "")?;
+    shard_dirs.retain(|(_, p)| p.is_dir());
+    for (idx, dir) in shard_dirs {
+        let (sessions, report) = recover_shard_dir(&dir, config, observer)?;
+        out.push((idx, sessions, report));
+    }
+    Ok(out)
+}
+
+/// Human-readable inspection of a data directory — the `sedex recover <dir>`
+/// command. Replays into throwaway sessions; the only file modification is
+/// the same best-effort torn-tail truncation a server restart performs.
+pub fn inspect(data_dir: &Path) -> io::Result<String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let config = SedexConfig::default();
+    let mut shard_dirs = list_generations(data_dir, "shard-", "")?;
+    shard_dirs.retain(|(_, p)| p.is_dir());
+    if shard_dirs.is_empty() {
+        let _ = writeln!(out, "no shard directories under {}", data_dir.display());
+        return Ok(out);
+    }
+    let mut total_sessions = 0usize;
+    for (idx, dir) in shard_dirs {
+        let snapshots = list_snapshots(&dir)?;
+        let segments = list_segments(&dir)?;
+        let (sessions, report) = recover_shard_dir(&dir, &config, None)?;
+        let _ = writeln!(
+            out,
+            "shard {idx}: {} snapshot(s), {} wal segment(s)",
+            snapshots.len(),
+            segments.len()
+        );
+        match report.snapshot_generation {
+            Some(g) => {
+                let _ = writeln!(
+                    out,
+                    "  snapshot: generation {g}, {} session(s)",
+                    report.snapshot_sessions
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  snapshot: none valid (replay from empty)");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  wal: {} replayed, {} skipped (≤ watermark), {} torn tail(s), {} error(s)",
+            report.records_replayed,
+            report.records_skipped,
+            report.torn_tails,
+            report.replay_errors
+        );
+        if !report.record_kinds.is_empty() {
+            let kinds: Vec<String> = report
+                .record_kinds
+                .iter()
+                .map(|(k, n)| format!("{k}={n}"))
+                .collect();
+            let _ = writeln!(out, "  records: {}", kinds.join(" "));
+        }
+        for s in &sessions {
+            let r = s.session.report_snapshot();
+            let _ = writeln!(
+                out,
+                "  session {}: {} tuples in, {} scripts cached, hit ratio {:.3}",
+                s.name,
+                s.tuples_in,
+                s.session.scripts_cached(),
+                r.hit_ratio()
+            );
+        }
+        total_sessions += sessions.len();
+    }
+    let _ = writeln!(out, "recoverable sessions: {total_sessions}");
+    Ok(out)
+}

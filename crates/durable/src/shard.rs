@@ -1,0 +1,197 @@
+//! Per-shard durability: one WAL appender plus generation bookkeeping and
+//! checkpoint (snapshot + log rotation + compaction) logic.
+//!
+//! Generations: during generation `g` the shard appends to `wal-<g>.log`.
+//! A checkpoint writes `snapshot-<g+1>.snap` (full state, LSN watermark =
+//! last appended LSN), rotates to `wal-<g+1>.log`, and deletes files older
+//! than the *previous snapshot* — that snapshot and the WAL segments since
+//! it are always retained, so losing the newest snapshot still recovers
+//! the exact same state from the fallback plus replay.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use sedex_observe::{Counter, Histogram, MetricsRegistry};
+
+use crate::record::WalRecord;
+use crate::recover::{list_segments, list_snapshots, snapshot_path, wal_path, RecoveryReport};
+use crate::snapshot::{write_snapshot, SessionSnapshot, ShardSnapshot};
+use crate::wal::{FsyncPolicy, WalWriter};
+
+/// Durability metrics, registered under `sedex_*` names so they surface in
+/// the service's `METRICS` exposition alongside the exchange counters.
+#[derive(Debug)]
+pub struct DurableMetrics {
+    /// `sedex_wal_appends_total` — records appended.
+    pub wal_appends: Arc<Counter>,
+    /// `sedex_wal_bytes_total` — bytes appended (frame headers included).
+    pub wal_bytes: Arc<Counter>,
+    /// `sedex_fsync_seconds` — fsync latency histogram (append-path syncs).
+    pub fsync_seconds: Arc<Histogram>,
+    /// `sedex_checkpoints_total` — snapshots written.
+    pub checkpoints: Arc<Counter>,
+    /// `sedex_recovery_sessions_total` — sessions rebuilt at startup.
+    pub recovered_sessions: Arc<Counter>,
+    /// `sedex_recovery_records_total` — WAL records replayed at startup.
+    pub replayed_records: Arc<Counter>,
+    /// `sedex_recovery_torn_tails_total` — torn tails truncated at startup.
+    pub torn_tails: Arc<Counter>,
+    /// `sedex_recovery_snapshots_total` — snapshots loaded at startup.
+    pub snapshots_loaded: Arc<Counter>,
+}
+
+impl DurableMetrics {
+    /// Register (or re-acquire) the durability metrics on a registry.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        DurableMetrics {
+            wal_appends: registry.counter("sedex_wal_appends_total", "WAL records appended"),
+            wal_bytes: registry.counter("sedex_wal_bytes_total", "WAL bytes appended"),
+            fsync_seconds: registry.histogram("sedex_fsync_seconds", "WAL fsync latency"),
+            checkpoints: registry.counter("sedex_checkpoints_total", "Durability checkpoints"),
+            recovered_sessions: registry.counter(
+                "sedex_recovery_sessions_total",
+                "Sessions recovered at startup",
+            ),
+            replayed_records: registry.counter(
+                "sedex_recovery_records_total",
+                "WAL records replayed at startup",
+            ),
+            torn_tails: registry.counter(
+                "sedex_recovery_torn_tails_total",
+                "Torn WAL tails truncated during recovery",
+            ),
+            snapshots_loaded: registry.counter(
+                "sedex_recovery_snapshots_total",
+                "Snapshots loaded during recovery",
+            ),
+        }
+    }
+
+    /// Fold one shard's recovery outcome into the counters.
+    pub fn record_recovery(&self, sessions: usize, report: &RecoveryReport) {
+        self.recovered_sessions.add(sessions as u64);
+        self.replayed_records.add(report.records_replayed);
+        self.torn_tails.add(report.torn_tails as u64);
+        if report.snapshot_generation.is_some() {
+            self.snapshots_loaded.inc();
+        }
+    }
+}
+
+/// WAL + snapshot management for one shard directory.
+pub struct DurableShard {
+    dir: PathBuf,
+    generation: u64,
+    next_lsn: u64,
+    writer: WalWriter,
+    policy: FsyncPolicy,
+    records_since_checkpoint: u64,
+    metrics: Option<Arc<DurableMetrics>>,
+}
+
+impl DurableShard {
+    /// Open the shard's log for appending, continuing after what recovery
+    /// found: a fresh generation strictly above `report.max_generation`,
+    /// LSNs strictly above `report.max_lsn`. For an empty directory pass a
+    /// default report.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        report: &RecoveryReport,
+        metrics: Option<Arc<DurableMetrics>>,
+    ) -> io::Result<DurableShard> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let generation = report.max_generation + 1;
+        let writer = WalWriter::create(wal_path(&dir, generation), policy)?;
+        Ok(DurableShard {
+            dir,
+            generation,
+            next_lsn: report.max_lsn + 1,
+            writer,
+            policy,
+            records_since_checkpoint: 0,
+            metrics,
+        })
+    }
+
+    /// The shard directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current generation (the suffix of the live WAL segment).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Records appended since the last checkpoint (drives `--snapshot-every`).
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint
+    }
+
+    /// Append one record; returns its LSN. The frame is written and flushed
+    /// to the OS unconditionally (survives process death); fsync follows the
+    /// shard's policy (survives power loss).
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
+        let lsn = self.next_lsn;
+        let payload = record.encode(lsn);
+        let (bytes, fsync_latency) = self.writer.append(&payload)?;
+        self.next_lsn += 1;
+        self.records_since_checkpoint += 1;
+        if let Some(m) = &self.metrics {
+            m.wal_appends.inc();
+            m.wal_bytes.add(bytes);
+            if let Some(lat) = fsync_latency {
+                m.fsync_seconds.observe(lat);
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Force the live segment to stable storage (clean-shutdown path).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.sync()
+    }
+
+    /// Checkpoint: persist `sessions` as the next generation's snapshot
+    /// (watermark = last appended LSN), rotate the WAL, and compact.
+    ///
+    /// Compaction keeps everything back to the *previous snapshot* — if the
+    /// new snapshot is lost or corrupted, recovery falls back to the
+    /// previous one and replays the WAL segments since it. With no previous
+    /// snapshot nothing is deleted: the full log from empty state is the
+    /// only fallback.
+    pub fn checkpoint(&mut self, sessions: Vec<SessionSnapshot>) -> io::Result<()> {
+        let new_gen = self.generation + 1;
+        // The newest snapshot already on disk becomes the fallback; files
+        // older than it are no longer reachable by any recovery path.
+        let retain_floor = list_snapshots(&self.dir)?.last().map(|&(g, _)| g);
+        let snap = ShardSnapshot {
+            lsn: self.next_lsn - 1,
+            sessions,
+        };
+        write_snapshot(snapshot_path(&self.dir, new_gen), &snap)?;
+        // Seal the old segment before swapping the writer.
+        self.writer.sync()?;
+        self.writer = WalWriter::create(wal_path(&self.dir, new_gen), self.policy)?;
+        self.generation = new_gen;
+        self.records_since_checkpoint = 0;
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+        }
+        // Best-effort — a failed delete costs disk, not correctness.
+        if let Some(floor) = retain_floor {
+            for (g, path) in list_snapshots(&self.dir)?
+                .into_iter()
+                .chain(list_segments(&self.dir)?)
+            {
+                if g < floor {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,312 @@
+//! The write-ahead log: length-prefixed, CRC32-checksummed record frames in
+//! an append-only segment file.
+//!
+//! Frame layout (all little-endian):
+//!
+//! ```text
+//! +--------+--------+-----------------+
+//! | len u32| crc u32| payload (len B) |
+//! +--------+--------+-----------------+
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload. A reader walks frames from the start
+//! and stops at the first frame that does not validate — a short header, a
+//! length running past end-of-file, an oversized length, or a checksum
+//! mismatch. Everything before the stop point is intact (each frame was
+//! independently checksummed); everything after is a *torn tail* left by a
+//! crash mid-append, and recovery truncates it instead of failing.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::time::Instant;
+
+use crate::crc32::crc32;
+
+/// Frame header size: `len` + `crc`.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Upper bound on one record's payload; a length field above this is treated
+/// as corruption (it would otherwise make a torn length field look like a
+/// multi-gigabyte allocation).
+pub const MAX_RECORD_BYTES: u32 = 256 * 1024 * 1024;
+
+/// When (how often) appended records are `fsync`ed to stable storage.
+///
+/// Every append always `write`s the full frame to the OS, so *process*
+/// crashes (kill -9) lose nothing that was acknowledged — the page cache
+/// survives the process. The fsync policy decides what a *machine* crash
+/// (power loss) can lose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append. Maximum durability, minimum throughput.
+    Always,
+    /// `fsync` after every `n` appends (and on checkpoints/shutdown).
+    EveryN(u64),
+    /// Never `fsync` from the append path; only checkpoints and shutdown
+    /// sync. Fastest; a power loss may lose the unsynced tail.
+    Off,
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    /// Accepts `always`, `off`, or `every-N` (e.g. `every-64`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "off" => Ok(FsyncPolicy::Off),
+            other => {
+                let n = other
+                    .strip_prefix("every-")
+                    .ok_or_else(|| format!("bad fsync policy `{other}` (always|every-N|off)"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("bad fsync interval in `{other}`"))?;
+                if n == 0 {
+                    return Err("fsync interval must be at least 1".to_owned());
+                }
+                Ok(FsyncPolicy::EveryN(n))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::Off => write!(f, "off"),
+        }
+    }
+}
+
+/// Appender over one WAL segment file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    appends_since_sync: u64,
+    /// Records appended through this writer.
+    pub appended: u64,
+    /// Bytes written through this writer (headers included).
+    pub bytes: u64,
+}
+
+impl WalWriter {
+    /// Create (or truncate) the segment at `path` and append to it.
+    pub fn create(path: impl Into<PathBuf>, policy: FsyncPolicy) -> io::Result<WalWriter> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(WalWriter {
+            file,
+            path,
+            policy,
+            appends_since_sync: 0,
+            appended: 0,
+            bytes: 0,
+        })
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record frame. Returns `(frame bytes, fsync latency)` —
+    /// the latency is `None` when the policy did not sync this append.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<(u64, Option<std::time::Duration>)> {
+        let len = payload.len() as u32;
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.appended += 1;
+        self.bytes += frame.len() as u64;
+        self.appends_since_sync += 1;
+        let must_sync = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n,
+            FsyncPolicy::Off => false,
+        };
+        let latency = if must_sync {
+            let t0 = Instant::now();
+            self.sync()?;
+            Some(t0.elapsed())
+        } else {
+            None
+        };
+        Ok((frame.len() as u64, latency))
+    }
+
+    /// Force everything written so far to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+}
+
+/// Result of scanning one WAL segment.
+#[derive(Debug)]
+pub struct SegmentRead {
+    /// Validated record payloads, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Bytes occupied by the validated prefix.
+    pub valid_bytes: u64,
+    /// Why scanning stopped before end-of-file, if it did — the torn-tail
+    /// diagnosis (`None` means the whole segment validated).
+    pub torn: Option<String>,
+}
+
+/// Scan a segment, validating every frame; stops (without erroring) at the
+/// first frame that fails to validate.
+pub fn read_segment(path: impl AsRef<Path>) -> io::Result<SegmentRead> {
+    let mut buf = Vec::new();
+    File::open(path.as_ref())?.read_to_end(&mut buf)?;
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    let mut torn = None;
+    while pos < buf.len() {
+        if buf.len() - pos < FRAME_HEADER_BYTES {
+            torn = Some(format!(
+                "{} trailing bytes, shorter than a frame header",
+                buf.len() - pos
+            ));
+            break;
+        }
+        let len = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]);
+        let crc = u32::from_le_bytes([buf[pos + 4], buf[pos + 5], buf[pos + 6], buf[pos + 7]]);
+        if len > MAX_RECORD_BYTES {
+            torn = Some(format!("frame length {len} exceeds the record limit"));
+            break;
+        }
+        let start = pos + FRAME_HEADER_BYTES;
+        let end = start + len as usize;
+        if end > buf.len() {
+            torn = Some(format!(
+                "frame length {len} runs past end-of-file ({} bytes available)",
+                buf.len() - start
+            ));
+            break;
+        }
+        let payload = &buf[start..end];
+        if crc32(payload) != crc {
+            torn = Some("frame checksum mismatch".to_owned());
+            break;
+        }
+        payloads.push(payload.to_vec());
+        pos = end;
+    }
+    Ok(SegmentRead {
+        payloads,
+        valid_bytes: pos as u64,
+        torn,
+    })
+}
+
+/// Truncate a segment to its validated prefix, discarding a torn tail.
+/// Best-effort: recovery proceeds even when the truncate itself fails (e.g.
+/// a read-only filesystem); the tail is simply re-skipped next time.
+pub fn truncate_to(path: impl AsRef<Path>, valid_bytes: u64) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path.as_ref())?;
+    f.set_len(valid_bytes)?;
+    f.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sedex-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!("always".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Always));
+        assert_eq!("off".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Off));
+        assert_eq!(
+            "every-16".parse::<FsyncPolicy>(),
+            Ok(FsyncPolicy::EveryN(16))
+        );
+        assert!("every-0".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::EveryN(8).to_string(), "every-8");
+    }
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let path = tmp("roundtrip.log");
+        let mut w = WalWriter::create(&path, FsyncPolicy::Off).unwrap();
+        for i in 0..10u8 {
+            w.append(&[i; 5]).unwrap();
+        }
+        w.sync().unwrap();
+        let seg = read_segment(&path).unwrap();
+        assert_eq!(seg.payloads.len(), 10);
+        assert_eq!(seg.payloads[3], vec![3u8; 5]);
+        assert!(seg.torn.is_none());
+        assert_eq!(seg.valid_bytes, 10 * (FRAME_HEADER_BYTES as u64 + 5));
+    }
+
+    #[test]
+    fn truncated_mid_record_stops_at_last_full_frame() {
+        let path = tmp("torn.log");
+        let mut w = WalWriter::create(&path, FsyncPolicy::Off).unwrap();
+        w.append(b"first record").unwrap();
+        w.append(b"second record").unwrap();
+        drop(w);
+        let full = std::fs::metadata(&path).unwrap().len();
+        truncate_to(&path, full - 4).unwrap(); // cut into the second frame
+        let seg = read_segment(&path).unwrap();
+        assert_eq!(seg.payloads.len(), 1);
+        assert_eq!(seg.payloads[0], b"first record");
+        assert!(seg.torn.is_some());
+        // Truncating to the valid prefix yields a clean segment.
+        truncate_to(&path, seg.valid_bytes).unwrap();
+        let clean = read_segment(&path).unwrap();
+        assert_eq!(clean.payloads.len(), 1);
+        assert!(clean.torn.is_none());
+    }
+
+    #[test]
+    fn crc_flip_stops_the_scan() {
+        let path = tmp("crcflip.log");
+        let mut w = WalWriter::create(&path, FsyncPolicy::Off).unwrap();
+        w.append(b"good record one").unwrap();
+        w.append(b"record to corrupt").unwrap();
+        w.append(b"unreachable record").unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the middle record.
+        let off = FRAME_HEADER_BYTES + b"good record one".len() + FRAME_HEADER_BYTES + 3;
+        bytes[off] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let seg = read_segment(&path).unwrap();
+        assert_eq!(seg.payloads.len(), 1);
+        assert!(seg.torn.unwrap().contains("checksum"));
+    }
+
+    #[test]
+    fn absurd_length_field_is_corruption_not_allocation() {
+        let path = tmp("hugelen.log");
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &frame).unwrap();
+        let seg = read_segment(&path).unwrap();
+        assert!(seg.payloads.is_empty());
+        assert!(seg.torn.unwrap().contains("limit"));
+    }
+}

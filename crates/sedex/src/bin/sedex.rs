@@ -11,11 +11,19 @@
 //! sedex gen <kind> [--tuples N] # emit a ready-to-run scenario file
 //! sedex serve [--addr A] [--workers N] [--shards N] [--queue-depth N]
 //!             [--idle-ttl SECS] [--metrics] [--slow-ms N]
+//!             [--data-dir DIR] [--fsync always|every-N|off]
+//!             [--snapshot-every N]
+//! sedex recover <dir>           # inspect a --data-dir: what would recover?
 //! ```
 //!
 //! `--metrics-out` writes the exchange's metrics registry as Prometheus
 //! text exposition after the run; `--slow-ms` logs a one-line phase
 //! breakdown to stderr for every exchange slower than the threshold.
+//!
+//! `--data-dir` turns on durability: every acknowledged operation is
+//! written ahead to a per-shard CRC-checked log, snapshots bound replay
+//! time, and a restart on the same directory recovers all sessions —
+//! warm script repositories included.
 //!
 //! `gen` kinds: `university`, `stb`, `amb`, and the ten STBenchmark basics
 //! (`cp`, `cv`, `hp`, `sk`, `vp`, `un`, `ne`, `de`, `ko`, `av`).
@@ -39,7 +47,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N]"
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N]\n  sedex recover <data-dir>"
         .to_owned()
 }
 
@@ -50,6 +58,13 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if cmd == "serve" {
         return serve(&args[1..]);
+    }
+    if cmd == "recover" {
+        let dir = args.get(1).ok_or_else(usage)?;
+        let report = sedex::durable::inspect(std::path::Path::new(dir))
+            .map_err(|e| format!("inspecting {dir}: {e}"))?;
+        print!("{report}");
+        return Ok(());
     }
     let path = args.get(1).ok_or_else(usage)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -161,8 +176,9 @@ fn generate(args: &[String]) -> Result<(), String> {
 }
 
 /// `sedex serve [--addr host:port] [--workers N] [--shards N]
-/// [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N]`: run the
-/// multi-tenant exchange server until a wire `SHUTDOWN` arrives.
+/// [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N]
+/// [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N]`:
+/// run the multi-tenant exchange server until a wire `SHUTDOWN` arrives.
 fn serve(flags: &[String]) -> Result<(), String> {
     use sedex::service::{Server, ServerConfig};
 
@@ -205,20 +221,38 @@ fn serve(flags: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--slow-ms: {e}"))?;
                 cfg.slow_exchange_threshold = Some(std::time::Duration::from_millis(ms));
             }
+            "--data-dir" => {
+                cfg.data_dir = Some(std::path::PathBuf::from(value("--data-dir")?));
+            }
+            "--fsync" => {
+                cfg.fsync = value("--fsync")?
+                    .parse()
+                    .map_err(|e| format!("--fsync: {e}"))?;
+            }
+            "--snapshot-every" => {
+                cfg.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-every: {e}"))?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
     let workers = cfg.workers;
     let metrics = cfg.metrics;
+    let durable = cfg.data_dir.clone();
     let handle = Server::start(cfg).map_err(|e| e.to_string())?;
     println!(
-        "sedex-service listening on {} ({} workers{}); stop with the SHUTDOWN command",
+        "sedex-service listening on {} ({} workers{}{}); stop with the SHUTDOWN command",
         handle.local_addr(),
         workers,
         if metrics {
             ", session tracing on — scrape with METRICS"
         } else {
             ""
+        },
+        match &durable {
+            Some(dir) => format!(", durable in {}", dir.display()),
+            None => String::new(),
         }
     );
     handle.join();

@@ -51,11 +51,14 @@
 //! | [`mapping`] | correspondences, tgds/egds, chase, Clio & ++Spicy |
 //! | [`core`]    | the SEDEX engine, scripts, repository, CFDs, EDEX (§4) |
 //! | [`scenarios`] | iBench/STBenchmark-style generators (§5) |
+//! | [`durable`] | write-ahead log, snapshots, crash recovery |
+//! | [`service`] | the multi-tenant exchange server and client |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use sedex_core as core;
+pub use sedex_durable as durable;
 pub use sedex_mapping as mapping;
 pub use sedex_pqgram as pqgram;
 pub use sedex_scenarios as scenarios;

@@ -18,7 +18,10 @@
 //! * [`manager`] — the sharded multi-tenant session map;
 //! * [`server`] — the TCP server: nonblocking accept loop, fixed worker
 //!   pool fed by a bounded channel (backpressure), idle-session TTL
-//!   sweeper, graceful shutdown draining in-flight work;
+//!   sweeper, graceful shutdown draining in-flight work; with
+//!   [`server::ServerConfig::data_dir`] set, every acknowledged operation
+//!   is written ahead to a per-shard log ([`sedex_durable`]) and sessions
+//!   are recovered at the next startup;
 //! * [`client`] — a blocking client used by the integration tests.
 //!
 //! ```no_run

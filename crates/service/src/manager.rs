@@ -19,7 +19,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use sedex_core::{ExchangeReport, Observer, SedexConfig, SedexSession};
+use sedex_core::{ExchangeReport, Observer, SedexConfig, SedexSession, SessionState};
 use sedex_scenarios::textfmt;
 use sedex_storage::Instance;
 
@@ -27,6 +27,9 @@ use sedex_storage::Instance;
 pub struct Tenant {
     /// The live pay-as-you-go session.
     pub session: SedexSession,
+    /// The `.sdx` scenario body the session was opened with — persisted in
+    /// durability snapshots so recovery can rebuild the engine machinery.
+    pub scenario: String,
     /// Time of the last request that touched this tenant (drives TTL
     /// eviction).
     pub last_access: Instant,
@@ -37,9 +40,10 @@ pub struct Tenant {
 }
 
 impl Tenant {
-    fn new(session: SedexSession) -> Self {
+    fn new(session: SedexSession, scenario: String) -> Self {
         Tenant {
             session,
+            scenario,
             last_access: Instant::now(),
             requests: 0,
             tuples_in: 0,
@@ -91,9 +95,7 @@ impl SessionManager {
     }
 
     fn shard(&self, name: &str) -> &RwLock<HashMap<String, Arc<Mutex<Tenant>>>> {
-        let mut h = DefaultHasher::new();
-        name.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        &self.shards[self.shard_index(name)]
     }
 
     /// Open a session from an inline `.sdx` scenario body. Seed tuples from
@@ -123,8 +125,73 @@ impl SessionManager {
         if map.contains_key(name) {
             return Err(format!("session `{name}` already exists"));
         }
-        map.insert(name.to_owned(), Arc::new(Mutex::new(Tenant::new(session))));
+        map.insert(
+            name.to_owned(),
+            Arc::new(Mutex::new(Tenant::new(session, body.to_owned()))),
+        );
         Ok(seeded)
+    }
+
+    /// Install an already-built session (the recovery path): unlike
+    /// [`open`](Self::open) the session arrives fully restored — no scenario
+    /// parsing, no seed feeding — and the request/tuple counters carry over.
+    /// Fails if the name is taken.
+    pub fn install(
+        &self,
+        name: &str,
+        scenario: String,
+        session: SedexSession,
+        requests: u64,
+        tuples_in: u64,
+    ) -> Result<(), ManagerError> {
+        let shard = self.shard(name);
+        let mut map = shard.write().expect("shard lock poisoned");
+        if map.contains_key(name) {
+            return Err(format!("session `{name}` already exists"));
+        }
+        let mut tenant = Tenant::new(session, scenario);
+        tenant.requests = requests;
+        tenant.tuples_in = tuples_in;
+        map.insert(name.to_owned(), Arc::new(Mutex::new(tenant)));
+        Ok(())
+    }
+
+    /// Number of map shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a session name hashes to — the durability layer keys
+    /// its per-shard WAL/snapshot directories off the same mapping.
+    pub fn shard_index(&self, name: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Export every session on shard `idx` for a durability snapshot:
+    /// `(name, scenario, requests, tuples_in, state)` per tenant, sorted by
+    /// name. Tenant handles are collected under the shard read lock, then
+    /// each tenant is locked individually — a tenant mid-request delays only
+    /// its own export, and no shard lock is held while session state is
+    /// cloned.
+    pub fn export_shard(&self, idx: usize) -> Vec<(String, String, u64, u64, SessionState)> {
+        let handles: Vec<(String, Arc<Mutex<Tenant>>)> = self.shards[idx]
+            .read()
+            .expect("shard lock poisoned")
+            .iter()
+            .map(|(name, tenant)| (name.clone(), Arc::clone(tenant)))
+            .collect();
+        let mut out: Vec<(String, String, u64, u64, SessionState)> = handles
+            .into_iter()
+            .map(|(name, tenant)| {
+                let t = tenant.lock().expect("tenant lock poisoned");
+                let state = t.session.export_state();
+                (name, t.scenario.clone(), t.requests, t.tuples_in, state)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Look a tenant up, returning a clone of its handle (the shard lock is

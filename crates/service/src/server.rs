@@ -19,6 +19,7 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -26,7 +27,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sedex_core::render::sql_literal;
-use sedex_core::SedexConfig;
+use sedex_core::{Observer, SedexConfig};
+use sedex_durable::{
+    recover_data_dir, DurableMetrics, DurableShard, FsyncPolicy, SessionSnapshot, WalRecord,
+};
 use sedex_observe::{
     render_prometheus, Counter, Gauge, Histogram, MetricsRegistry, RegistryObserver,
 };
@@ -63,6 +67,19 @@ pub struct ServerConfig {
     /// Per-tuple slow-exchange threshold passed to every session: pushes
     /// slower than this log a one-line phase breakdown to stderr.
     pub slow_exchange_threshold: Option<Duration>,
+    /// Durability root. `Some(dir)` turns on write-ahead logging and
+    /// snapshots under `dir/shard-<i>/`; at startup the server recovers
+    /// every session persisted there. `None` (the default) keeps the server
+    /// fully in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// When durability is on: fsync the WAL after every append (`Always`),
+    /// after every Nth (`EveryN`), or never (`Off` — data still reaches the
+    /// OS on every append, so it survives process death but not power loss).
+    pub fsync: FsyncPolicy,
+    /// When durability is on: checkpoint a shard (snapshot + WAL rotation)
+    /// after this many appended records. `0` checkpoints only on `FLUSH`
+    /// and at clean shutdown.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +95,9 @@ impl Default for ServerConfig {
             sweep_interval: Duration::from_millis(500),
             metrics: false,
             slow_exchange_threshold: None,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 1024,
         }
     }
 }
@@ -151,6 +171,27 @@ impl ServerStats {
     }
 }
 
+/// Durability state: one [`DurableShard`] per manager shard (same
+/// name→shard mapping), plus recovery totals frozen at startup for `STATS`.
+///
+/// Lock ordering: WAL appends and checkpoints take a durable-shard mutex
+/// only while **no** tenant lock is held — `execute` appends after
+/// `run_on_session` returns, and `checkpoint_shard` exports tenant state
+/// before locking the durable shard. The window between applying an
+/// operation and logging it means a concurrent checkpoint can snapshot an
+/// effect whose record lands after the snapshot watermark; replay is
+/// idempotent, so the at-least-once redo is safe.
+struct Durability {
+    shards: Vec<Mutex<DurableShard>>,
+    metrics: Arc<DurableMetrics>,
+    snapshot_every: u64,
+    recovered_sessions: u64,
+    replayed_records: u64,
+    torn_tails: u64,
+    finalized: AtomicBool,
+    skip_final_checkpoint: AtomicBool,
+}
+
 /// State shared by every thread of one server.
 struct Shared {
     manager: SessionManager,
@@ -159,6 +200,7 @@ struct Shared {
     shutdown: AtomicBool,
     started: Instant,
     workers: usize,
+    durability: Option<Durability>,
 }
 
 struct Job {
@@ -192,10 +234,27 @@ impl Server {
             slow_exchange_threshold: cfg.slow_exchange_threshold,
             ..SedexConfig::default()
         };
-        let mut manager = SessionManager::new(cfg.shards).with_session_config(session_config);
-        if cfg.metrics {
-            manager = manager.with_observer(Arc::new(RegistryObserver::new(&registry)));
+        let observer: Option<Arc<dyn Observer>> = if cfg.metrics {
+            Some(Arc::new(RegistryObserver::new(&registry)))
+        } else {
+            None
+        };
+        let mut manager =
+            SessionManager::new(cfg.shards).with_session_config(session_config.clone());
+        if let Some(obs) = &observer {
+            manager = manager.with_observer(Arc::clone(obs));
         }
+        let durability = match &cfg.data_dir {
+            Some(dir) => Some(init_durability(
+                dir,
+                &cfg,
+                &session_config,
+                observer.as_ref(),
+                &registry,
+                &manager,
+            )?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             manager,
             registry,
@@ -203,7 +262,20 @@ impl Server {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             workers: cfg.workers.max(1),
+            durability,
         });
+        if shared.durability.is_some() {
+            // Re-persist recovered state under the current shard mapping
+            // right away: the new generation's snapshots then cover
+            // everything, so stale shard directories (a smaller `shards`
+            // than last run) can be dropped.
+            for idx in 0..shared.manager.shard_count() {
+                checkpoint_shard(&shared, idx);
+            }
+            if let Some(dir) = &cfg.data_dir {
+                remove_stale_shard_dirs(dir, shared.manager.shard_count());
+            }
+        }
 
         let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -267,6 +339,18 @@ impl ServerHandle {
         self.join_threads();
     }
 
+    /// Stop the server *without* the final durability checkpoint — the
+    /// in-process equivalent of `kill -9` for recovery testing. Worker
+    /// threads still drain queued jobs (their WAL appends land), but no
+    /// snapshot is taken, so a restart must replay the log tail.
+    pub fn abort(mut self) {
+        if let Some(d) = &self.shared.durability {
+            d.skip_final_checkpoint.store(true, Ordering::SeqCst);
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads();
+    }
+
     fn join_threads(&mut self) {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
@@ -277,6 +361,10 @@ impl ServerHandle {
         if let Some(h) = self.sweeper.take() {
             let _ = h.join();
         }
+        // Workers are gone, so nothing mutates sessions anymore: persist the
+        // final state. A clean shutdown thus leaves each shard with a full
+        // snapshot and an empty live segment — no replayable tail.
+        finalize_durability(&self.shared);
     }
 }
 
@@ -501,41 +589,135 @@ fn execute(shared: &Shared, request: &Request) -> Response {
         Request::Open { session, body } => match shared.manager.open(session, body) {
             Ok(seeded) => {
                 shared.stats.opened.inc();
+                wal_append(
+                    shared,
+                    session,
+                    WalRecord::Open {
+                        session: session.clone(),
+                        scenario: body.clone(),
+                    },
+                );
+                maybe_checkpoint(shared, session);
                 Response::ok(format!("opened {session}, seeded {seeded} tuples"))
             }
             Err(e) => Response::err(e),
         },
         Request::Push { session, line } => {
             shared.stats.tuples_in.inc();
-            run_on_session(shared, session, |t| {
-                let (rel, tuple) = textfmt::parse_data_line(line, 1)
-                    .map_err(|e| format!("data: {}", e.message))?;
-                t.session
-                    .exchange_tuple(&rel, tuple)
-                    .map_err(|e| e.to_string())?;
-                t.tuples_in += 1;
-                let r = t.session.report_snapshot();
-                Ok(Response::ok(format!(
-                    "pushed {rel} | scripts {} generated / {} reused | target {} tuples",
-                    r.scripts_generated, r.scripts_reused, r.stats.tuples
-                )))
-            })
+            // Parse outside the tenant lock so the WAL record can be built
+            // after the lock is released (see `Durability`'s lock ordering).
+            match textfmt::parse_data_line(line, 1) {
+                Err(e) => Response::err(format!("data: {}", e.message)),
+                Ok((rel, tuple)) => {
+                    let durable = shared.durability.is_some();
+                    let mut new_scripts = Vec::new();
+                    let resp = run_on_session(shared, session, |t| {
+                        t.session
+                            .exchange_tuple(&rel, tuple.clone())
+                            .map_err(|e| e.to_string())?;
+                        t.tuples_in += 1;
+                        if durable {
+                            new_scripts = t.session.take_new_scripts();
+                        }
+                        let r = t.session.report_snapshot();
+                        Ok(Response::ok(format!(
+                            "pushed {rel} | scripts {} generated / {} reused | target {} tuples",
+                            r.scripts_generated, r.scripts_reused, r.stats.tuples
+                        )))
+                    });
+                    if resp.ok {
+                        wal_append(
+                            shared,
+                            session,
+                            WalRecord::Push {
+                                session: session.clone(),
+                                relation: rel,
+                                tuple,
+                            },
+                        );
+                        for (key, script) in new_scripts {
+                            wal_append(
+                                shared,
+                                session,
+                                WalRecord::ScriptAdd {
+                                    session: session.clone(),
+                                    key,
+                                    script: (*script).clone(),
+                                },
+                            );
+                        }
+                        maybe_checkpoint(shared, session);
+                    }
+                    resp
+                }
+            }
         }
         Request::Feed { session, line } => {
             shared.stats.tuples_in.inc();
-            run_on_session(shared, session, |t| {
-                let (rel, tuple) = textfmt::parse_data_line(line, 1)
-                    .map_err(|e| format!("data: {}", e.message))?;
-                t.session.feed(&rel, tuple).map_err(|e| e.to_string())?;
-                t.tuples_in += 1;
-                Ok(Response::ok(format!("fed {rel}")))
-            })
+            match textfmt::parse_data_line(line, 1) {
+                Err(e) => Response::err(format!("data: {}", e.message)),
+                Ok((rel, tuple)) => {
+                    let resp = run_on_session(shared, session, |t| {
+                        t.session
+                            .feed(&rel, tuple.clone())
+                            .map_err(|e| e.to_string())?;
+                        t.tuples_in += 1;
+                        Ok(Response::ok(format!("fed {rel}")))
+                    });
+                    if resp.ok {
+                        wal_append(
+                            shared,
+                            session,
+                            WalRecord::Feed {
+                                session: session.clone(),
+                                relation: rel,
+                                tuple,
+                            },
+                        );
+                        maybe_checkpoint(shared, session);
+                    }
+                    resp
+                }
+            }
         }
-        Request::Flush { session } => run_on_session(shared, session, |t| {
-            t.session.exchange_pending().map_err(|e| e.to_string())?;
-            let r = t.session.report_snapshot();
-            Ok(Response::ok_with(format!("flushed {session}"), r))
-        }),
+        Request::Flush { session } => {
+            let durable = shared.durability.is_some();
+            let mut new_scripts = Vec::new();
+            let resp = run_on_session(shared, session, |t| {
+                t.session.exchange_pending().map_err(|e| e.to_string())?;
+                if durable {
+                    new_scripts = t.session.take_new_scripts();
+                }
+                let r = t.session.report_snapshot();
+                Ok(Response::ok_with(format!("flushed {session}"), r))
+            });
+            if resp.ok {
+                for (key, script) in new_scripts {
+                    wal_append(
+                        shared,
+                        session,
+                        WalRecord::ScriptAdd {
+                            session: session.clone(),
+                            key,
+                            script: (*script).clone(),
+                        },
+                    );
+                }
+                wal_append(
+                    shared,
+                    session,
+                    WalRecord::Flush {
+                        session: session.clone(),
+                    },
+                );
+                // FLUSH is the durability boundary: checkpoint the shard
+                // unconditionally (snapshot + rotation + compaction).
+                if durable {
+                    checkpoint_shard(shared, shared.manager.shard_index(session));
+                }
+            }
+            resp
+        }
         Request::Stats { session: None } => server_stats(shared),
         Request::Stats {
             session: Some(name),
@@ -561,6 +743,14 @@ fn execute(shared: &Shared, request: &Request) -> Response {
         Request::Close { session } => match shared.manager.close(session) {
             Ok((_target, report)) => {
                 shared.stats.closed.inc();
+                wal_append(
+                    shared,
+                    session,
+                    WalRecord::Close {
+                        session: session.clone(),
+                    },
+                );
+                maybe_checkpoint(shared, session);
                 Response::ok(format!("closed {session} | {report}"))
             }
             Err(e) => Response::err(e),
@@ -580,6 +770,167 @@ fn run_on_session(
     match shared.manager.with_tenant(name, f) {
         Ok(Ok(resp)) => resp,
         Ok(Err(e)) | Err(e) => Response::err(e),
+    }
+}
+
+/// Recover whatever `data_dir` holds, install the sessions into the
+/// manager, and open one [`DurableShard`] per manager shard, continuing
+/// each directory's generation/LSN sequence.
+fn init_durability(
+    data_dir: &std::path::Path,
+    cfg: &ServerConfig,
+    session_config: &SedexConfig,
+    observer: Option<&Arc<dyn Observer>>,
+    registry: &MetricsRegistry,
+    manager: &SessionManager,
+) -> std::io::Result<Durability> {
+    std::fs::create_dir_all(data_dir)?;
+    let metrics = Arc::new(DurableMetrics::new(registry));
+    let mut recovered_sessions = 0u64;
+    let mut replayed_records = 0u64;
+    let mut torn_tails = 0u64;
+    let mut reports: std::collections::HashMap<u64, sedex_durable::RecoveryReport> =
+        std::collections::HashMap::new();
+    for (idx, sessions, report) in recover_data_dir(data_dir, session_config, observer)? {
+        metrics.record_recovery(sessions.len(), &report);
+        recovered_sessions += sessions.len() as u64;
+        replayed_records += report.records_replayed;
+        torn_tails += report.torn_tails as u64;
+        for rs in sessions {
+            // A duplicate across shard directories can only arise from a
+            // shard-count change combined with a corrupt newest snapshot;
+            // keep the first copy and say so rather than failing startup.
+            if let Err(e) =
+                manager.install(&rs.name, rs.scenario, rs.session, rs.requests, rs.tuples_in)
+            {
+                eprintln!("sedex-service: recovery skipped a duplicate: {e}");
+            }
+        }
+        reports.insert(idx, report);
+    }
+    let shards = (0..manager.shard_count())
+        .map(|i| {
+            let report = reports.remove(&(i as u64)).unwrap_or_default();
+            DurableShard::open(
+                data_dir.join(format!("shard-{i}")),
+                cfg.fsync,
+                &report,
+                Some(Arc::clone(&metrics)),
+            )
+            .map(Mutex::new)
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    Ok(Durability {
+        shards,
+        metrics,
+        snapshot_every: cfg.snapshot_every,
+        recovered_sessions,
+        replayed_records,
+        torn_tails,
+        finalized: AtomicBool::new(false),
+        skip_final_checkpoint: AtomicBool::new(false),
+    })
+}
+
+/// Drop `shard-<i>` directories with `i >= live` — leftovers from a run
+/// with more shards. Safe only after the startup checkpoint re-persisted
+/// every recovered session under the current mapping.
+fn remove_stale_shard_dirs(data_dir: &std::path::Path, live: usize) {
+    let Ok(entries) = std::fs::read_dir(data_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(idx) = name
+            .to_string_lossy()
+            .strip_prefix("shard-")
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if idx >= live && entry.path().is_dir() {
+            let _ = std::fs::remove_dir_all(entry.path());
+        }
+    }
+}
+
+/// Append one record to the session's durable shard (no-op without a data
+/// dir). Called only while no tenant lock is held. An append failure is
+/// loud but non-fatal: the in-memory state is already applied and the
+/// client is served — availability over strict durability.
+fn wal_append(shared: &Shared, session: &str, record: WalRecord) {
+    let Some(d) = &shared.durability else {
+        return;
+    };
+    let idx = shared.manager.shard_index(session);
+    let mut shard = d.shards[idx].lock().expect("durable shard lock poisoned");
+    if let Err(e) = shard.append(&record) {
+        eprintln!("sedex-service: WAL append failed on shard {idx}: {e}");
+    }
+}
+
+/// Checkpoint the session's shard if it has accumulated `--snapshot-every`
+/// records since the last one (`0` disables the size trigger).
+fn maybe_checkpoint(shared: &Shared, session: &str) {
+    let Some(d) = &shared.durability else {
+        return;
+    };
+    if d.snapshot_every == 0 {
+        return;
+    }
+    let idx = shared.manager.shard_index(session);
+    let due = d.shards[idx]
+        .lock()
+        .expect("durable shard lock poisoned")
+        .records_since_checkpoint()
+        >= d.snapshot_every;
+    if due {
+        checkpoint_shard(shared, idx);
+    }
+}
+
+/// Snapshot every session on manager shard `idx` and rotate its WAL.
+/// Tenant state is exported (briefly locking each tenant) *before* the
+/// durable-shard mutex is taken — see `Durability` for the lock order.
+fn checkpoint_shard(shared: &Shared, idx: usize) {
+    let Some(d) = &shared.durability else {
+        return;
+    };
+    let sessions: Vec<SessionSnapshot> = shared
+        .manager
+        .export_shard(idx)
+        .into_iter()
+        .map(
+            |(name, scenario, requests, tuples_in, state)| SessionSnapshot {
+                name,
+                scenario,
+                requests,
+                tuples_in,
+                state,
+            },
+        )
+        .collect();
+    let mut shard = d.shards[idx].lock().expect("durable shard lock poisoned");
+    if let Err(e) = shard.checkpoint(sessions) {
+        eprintln!("sedex-service: checkpoint failed on shard {idx}: {e}");
+    }
+}
+
+/// Final flush at clean shutdown: checkpoint every shard and fsync, once.
+/// Skipped after [`ServerHandle::abort`] (the simulated crash).
+fn finalize_durability(shared: &Shared) {
+    let Some(d) = &shared.durability else {
+        return;
+    };
+    if d.skip_final_checkpoint.load(Ordering::SeqCst) || d.finalized.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    for idx in 0..d.shards.len() {
+        checkpoint_shard(shared, idx);
+        let mut shard = d.shards[idx].lock().expect("durable shard lock poisoned");
+        if let Err(e) = shard.sync() {
+            eprintln!("sedex-service: final fsync failed on shard {idx}: {e}");
+        }
     }
 }
 
@@ -636,6 +987,17 @@ fn server_stats(shared: &Shared) -> Response {
         s.request_seconds.quantile(0.99),
         s.request_seconds.count(),
     ));
+    if let Some(d) = &shared.durability {
+        lines.push(format!(
+            "durability: {} wal appends ({} bytes), {} checkpoints | recovered: {} sessions, {} records replayed, {} torn tails",
+            d.metrics.wal_appends.get(),
+            d.metrics.wal_bytes.get(),
+            d.metrics.checkpoints.get(),
+            d.recovered_sessions,
+            d.replayed_records,
+            d.torn_tails,
+        ));
+    }
     for name in shared.manager.names() {
         if let Ok(line) = shared.manager.with_tenant(&name, |t| {
             format!("{name}: {}", t.session.report_snapshot())

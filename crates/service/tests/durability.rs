@@ -1,0 +1,230 @@
+//! Durability integration tests: kill a durable server and check that a
+//! restart on the same `--data-dir` recovers sessions — warm script
+//! repository included — and that a clean shutdown leaves no replayable
+//! WAL tail.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use sedex_durable::{recover_data_dir, FsyncPolicy};
+use sedex_service::{Client, Server, ServerConfig};
+
+const SCENARIO: &str = "\
+[source]
+Dep(dname*, building)
+Student(sname*, program, dep->Dep)
+
+[target]
+Stu(student*, prog, dpt)
+
+[correspondences]
+sname <-> student
+program <-> prog
+dep <-> dpt
+
+[data]
+Dep: d1, b1
+";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedex-durab-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(data_dir: &Path) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        shards: 4,
+        idle_ttl: None,
+        data_dir: Some(data_dir.to_path_buf()),
+        fsync: FsyncPolicy::Off,
+        snapshot_every: 0, // checkpoint only on FLUSH / clean shutdown
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn killed_server_recovers_sessions_and_warm_repository() {
+    let data_dir = tmp_dir("kill");
+
+    // First life: open a session, push ten same-shape tuples, remember the
+    // exact target state — then die without a final checkpoint.
+    let handle = Server::start(durable_config(&data_dir)).unwrap();
+    let addr = handle.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+    for i in 0..10 {
+        let r = c
+            .push("t1", &format!("Student: s{i}, p{i}, d1"))
+            .unwrap()
+            .into_ok()
+            .unwrap();
+        assert!(r.head.contains("scripts 1 generated"), "{}", r.head);
+    }
+    let sql_before = c.sql("t1").unwrap().into_ok().unwrap().body();
+    drop(c);
+    handle.abort(); // SIGKILL-equivalent: WAL survives, no snapshot
+
+    // Second life, same directory: the session must be there again.
+    let handle = Server::start(durable_config(&data_dir)).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+
+    let stats = c.stats(None).unwrap().into_ok().unwrap();
+    let recovered_line = stats
+        .lines
+        .iter()
+        .find(|l| l.contains("recovered:"))
+        .expect("STATS should report recovery");
+    assert!(
+        recovered_line.contains("recovered: 1 sessions"),
+        "{recovered_line}"
+    );
+
+    // Byte-for-byte target state.
+    let sql_after = c.sql("t1").unwrap().into_ok().unwrap().body();
+    assert_eq!(sql_after, sql_before);
+
+    // Warm start: the repository survived, so an eleventh same-shape push
+    // reuses the cached script instead of regenerating (`1 generated`
+    // means the cumulative count did not move).
+    let r = c
+        .push("t1", "Student: s10, p10, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    assert!(
+        r.head.contains("scripts 1 generated / 10 reused"),
+        "{}",
+        r.head
+    );
+
+    // The per-session view also carries the recovered request history.
+    let stats = c.stats(Some("t1")).unwrap().into_ok().unwrap();
+    assert!(
+        stats.lines.iter().any(|l| l.contains("11 tuples in")),
+        "{:?}",
+        stats.lines
+    );
+    drop(c);
+    handle.shutdown();
+}
+
+#[test]
+fn clean_shutdown_leaves_no_replayable_tail() {
+    let data_dir = tmp_dir("clean");
+
+    let handle = Server::start(durable_config(&data_dir)).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+    for i in 0..5 {
+        c.push("t1", &format!("Student: s{i}, p{i}, d1"))
+            .unwrap()
+            .into_ok()
+            .unwrap();
+    }
+    let sql_before = c.sql("t1").unwrap().into_ok().unwrap().body();
+    drop(c);
+    handle.shutdown(); // clean: final checkpoint + fsync
+
+    // The WAL tail must be empty: everything lives in the snapshots.
+    let recovered = recover_data_dir(&data_dir, &sedex_core::SedexConfig::default(), None).unwrap();
+    let total_sessions: usize = recovered.iter().map(|(_, s, _)| s.len()).sum();
+    let total_replayed: u64 = recovered.iter().map(|(_, _, r)| r.records_replayed).sum();
+    assert_eq!(total_sessions, 1);
+    assert_eq!(total_replayed, 0, "clean shutdown left a replayable tail");
+
+    // And a restart serves the same state from the snapshot alone.
+    let handle = Server::start(durable_config(&data_dir)).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let sql_after = c.sql("t1").unwrap().into_ok().unwrap().body();
+    assert_eq!(sql_after, sql_before);
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn flush_checkpoints_and_survives_kill_without_replay() {
+    let data_dir = tmp_dir("flush");
+
+    let handle = Server::start(durable_config(&data_dir)).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+    for i in 0..3 {
+        c.feed("t1", &format!("Student: f{i}, p, d1"))
+            .unwrap()
+            .into_ok()
+            .unwrap();
+    }
+    // FLUSH exchanges the pending feeds and checkpoints the shard.
+    c.flush_session("t1").unwrap().into_ok().unwrap();
+    let sql_before = c.sql("t1").unwrap().into_ok().unwrap().body();
+    drop(c);
+    handle.abort();
+
+    // Everything up to the FLUSH is in the snapshot; nothing to replay.
+    let recovered = recover_data_dir(&data_dir, &sedex_core::SedexConfig::default(), None).unwrap();
+    let total_replayed: u64 = recovered.iter().map(|(_, _, r)| r.records_replayed).sum();
+    assert_eq!(total_replayed, 0, "FLUSH should have checkpointed");
+
+    let handle = Server::start(durable_config(&data_dir)).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let sql_after = c.sql("t1").unwrap().into_ok().unwrap().body();
+    assert_eq!(sql_after, sql_before);
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn non_durable_server_is_unaffected() {
+    // No data dir: no durability machinery, no STATS durability line.
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        idle_ttl: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+    c.push("t1", "Student: s1, p1, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    let stats = c.stats(None).unwrap().into_ok().unwrap();
+    assert!(
+        !stats.lines.iter().any(|l| l.contains("durability:")),
+        "{:?}",
+        stats.lines
+    );
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn abort_then_restart_twice_is_stable() {
+    // Two crash/recover cycles in a row: recovery output is itself durable
+    // input, so the state must survive arbitrarily many generations.
+    let data_dir = tmp_dir("twice");
+    let mut sql_prev = String::new();
+    for life in 0..3 {
+        let handle = Server::start(durable_config(&data_dir)).unwrap();
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        if life == 0 {
+            c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+        } else {
+            let sql = c.sql("t1").unwrap().into_ok().unwrap().body();
+            assert_eq!(sql, sql_prev, "state drifted on life {life}");
+        }
+        c.push("t1", &format!("Student: life{life}, p, d1"))
+            .unwrap()
+            .into_ok()
+            .unwrap();
+        sql_prev = c.sql("t1").unwrap().into_ok().unwrap().body();
+        drop(c);
+        handle.abort();
+    }
+    std::thread::sleep(Duration::from_millis(10));
+    let recovered = recover_data_dir(&data_dir, &sedex_core::SedexConfig::default(), None).unwrap();
+    let total_sessions: usize = recovered.iter().map(|(_, s, _)| s.len()).sum();
+    assert_eq!(total_sessions, 1);
+}
