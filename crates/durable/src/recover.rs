@@ -11,9 +11,13 @@
 //! 1. pick the highest generation whose snapshot validates (CRC over the
 //!    whole body); a deleted or corrupt newest snapshot falls back to the
 //!    previous one, whose WAL segment is retained for exactly this purpose;
-//! 2. replay every WAL segment with generation ≥ the chosen snapshot's, in
-//!    generation order, skipping records with `lsn ≤` the snapshot watermark
-//!    (they are already reflected in it);
+//! 2. replay every retained WAL segment in generation order, skipping
+//!    records with `lsn ≤` the snapshot watermark (they are already
+//!    reflected in it). The **lsn filter, not the generation, decides
+//!    coverage**: the watermark is captured before session state is
+//!    exported, so a record that raced the checkpoint can sit in a
+//!    segment *older* than the snapshot's generation yet carry
+//!    `lsn >` watermark — it must still be replayed;
 //! 3. a torn tail (crash mid-append) truncates the segment at the last valid
 //!    frame — records before the tear are applied, the tear is counted, and
 //!    recovery continues with the state it has;
@@ -264,11 +268,9 @@ pub fn recover_shard_dir(
     // 1. newest snapshot that validates wins; corrupt/missing ones fall
     //    through to older generations.
     let mut base_lsn = 0u64;
-    let mut base_generation = 0u64;
     for &(g, ref path) in snapshots.iter().rev() {
         if let Some(snap) = read_snapshot(path)? {
             base_lsn = snap.lsn;
-            base_generation = g;
             report.snapshot_generation = Some(g);
             report.snapshot_sessions = snap.sessions.len();
             report.max_lsn = snap.lsn;
@@ -284,11 +286,13 @@ pub fn recover_shard_dir(
         }
     }
 
-    // 2. replay segments from the snapshot's generation forward.
-    for &(g, ref path) in &segments {
-        if g < base_generation {
-            continue;
-        }
+    // 2. replay every retained segment in generation order. LSNs are
+    //    monotone across generations, and the per-record `lsn <= base_lsn`
+    //    skip below — not the segment's generation — decides what the
+    //    snapshot already covers: a record that raced a checkpoint lives in
+    //    an older-generation segment but carries an LSN above the
+    //    conservatively-captured watermark, and must be replayed.
+    for &(_g, ref path) in &segments {
         report.segments_scanned += 1;
         let seg = read_segment(path)?;
         if seg.torn.is_some() {

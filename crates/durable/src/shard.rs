@@ -2,8 +2,9 @@
 //! checkpoint (snapshot + log rotation + compaction) logic.
 //!
 //! Generations: during generation `g` the shard appends to `wal-<g>.log`.
-//! A checkpoint writes `snapshot-<g+1>.snap` (full state, LSN watermark =
-//! last appended LSN), rotates to `wal-<g+1>.log`, and deletes files older
+//! A checkpoint writes `snapshot-<g+1>.snap` (full state, plus a
+//! caller-captured LSN watermark — see [`DurableShard::checkpoint`]),
+//! rotates to `wal-<g+1>.log`, and deletes files older
 //! than the *previous snapshot* — that snapshot and the WAL segments since
 //! it are always retained, so losing the newest snapshot still recovers
 //! the exact same state from the fallback plus replay.
@@ -27,6 +28,11 @@ pub struct DurableMetrics {
     pub wal_appends: Arc<Counter>,
     /// `sedex_wal_bytes_total` — bytes appended (frame headers included).
     pub wal_bytes: Arc<Counter>,
+    /// `sedex_wal_append_errors_total` — appends that failed with an I/O
+    /// error. The in-memory state was already applied and the client acked,
+    /// so a non-zero value means durability is degraded: operations exist
+    /// that a crash would lose.
+    pub wal_append_errors: Arc<Counter>,
     /// `sedex_fsync_seconds` — fsync latency histogram (append-path syncs).
     pub fsync_seconds: Arc<Histogram>,
     /// `sedex_checkpoints_total` — snapshots written.
@@ -47,6 +53,10 @@ impl DurableMetrics {
         DurableMetrics {
             wal_appends: registry.counter("sedex_wal_appends_total", "WAL records appended"),
             wal_bytes: registry.counter("sedex_wal_bytes_total", "WAL bytes appended"),
+            wal_append_errors: registry.counter(
+                "sedex_wal_append_errors_total",
+                "WAL appends that failed with an I/O error",
+            ),
             fsync_seconds: registry.histogram("sedex_fsync_seconds", "WAL fsync latency"),
             checkpoints: registry.counter("sedex_checkpoints_total", "Durability checkpoints"),
             recovered_sessions: registry.counter(
@@ -131,13 +141,30 @@ impl DurableShard {
         self.records_since_checkpoint
     }
 
+    /// LSN of the most recently appended record (0 before the first one).
+    /// Checkpoint callers capture this **before** exporting session state:
+    /// any record with `lsn ≤ last_lsn()` was appended — and therefore
+    /// applied — before the capture, so the later export is guaranteed to
+    /// contain its effect.
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
     /// Append one record; returns its LSN. The frame is written and flushed
     /// to the OS unconditionally (survives process death); fsync follows the
     /// shard's policy (survives power loss).
     pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
         let lsn = self.next_lsn;
         let payload = record.encode(lsn);
-        let (bytes, fsync_latency) = self.writer.append(&payload)?;
+        let (bytes, fsync_latency) = match self.writer.append(&payload) {
+            Ok(v) => v,
+            Err(e) => {
+                if let Some(m) = &self.metrics {
+                    m.wal_append_errors.inc();
+                }
+                return Err(e);
+            }
+        };
         self.next_lsn += 1;
         self.records_since_checkpoint += 1;
         if let Some(m) = &self.metrics {
@@ -155,21 +182,30 @@ impl DurableShard {
         self.writer.sync()
     }
 
-    /// Checkpoint: persist `sessions` as the next generation's snapshot
-    /// (watermark = last appended LSN), rotate the WAL, and compact.
+    /// Checkpoint: persist `sessions` as the next generation's snapshot,
+    /// rotate the WAL, and compact.
+    ///
+    /// `watermark` is the highest LSN whose effect is *guaranteed* to be in
+    /// `sessions` — capture it with [`last_lsn`](Self::last_lsn) **before**
+    /// exporting the session state. Records appended between the capture and
+    /// the export have `lsn > watermark`; their effects may already be in
+    /// the snapshot, and replaying them again is idempotent. A watermark
+    /// taken *after* the export would instead silently skip any record that
+    /// landed in that window — a lost acknowledged write.
     ///
     /// Compaction keeps everything back to the *previous snapshot* — if the
     /// new snapshot is lost or corrupted, recovery falls back to the
     /// previous one and replays the WAL segments since it. With no previous
     /// snapshot nothing is deleted: the full log from empty state is the
     /// only fallback.
-    pub fn checkpoint(&mut self, sessions: Vec<SessionSnapshot>) -> io::Result<()> {
+    pub fn checkpoint(&mut self, watermark: u64, sessions: Vec<SessionSnapshot>) -> io::Result<()> {
+        debug_assert!(watermark <= self.last_lsn(), "watermark from the future");
         let new_gen = self.generation + 1;
         // The newest snapshot already on disk becomes the fallback; files
         // older than it are no longer reachable by any recovery path.
         let retain_floor = list_snapshots(&self.dir)?.last().map(|&(g, _)| g);
         let snap = ShardSnapshot {
-            lsn: self.next_lsn - 1,
+            lsn: watermark,
             sessions,
         };
         write_snapshot(snapshot_path(&self.dir, new_gen), &snap)?;

@@ -163,7 +163,8 @@ fn deleting_newest_snapshot_falls_back_to_previous_one() {
             state: s.session.export_state(),
         })
         .collect();
-    shard.checkpoint(snaps).unwrap();
+    let watermark = shard.last_lsn();
+    shard.checkpoint(watermark, snaps).unwrap();
     shard.append(&push_record(3)).unwrap();
     drop(shard);
 
@@ -180,7 +181,8 @@ fn deleting_newest_snapshot_falls_back_to_previous_one() {
             state: s.session.export_state(),
         })
         .collect();
-    shard.checkpoint(snaps).unwrap();
+    let watermark = shard.last_lsn();
+    shard.checkpoint(watermark, snaps).unwrap();
     shard.append(&push_record(4)).unwrap();
     let newest_snapshot = dir.join(format!("snapshot-{}.snap", shard.generation()));
     drop(shard);
@@ -205,6 +207,52 @@ fn deleting_newest_snapshot_falls_back_to_previous_one() {
     assert_eq!(
         fallback[0].session.scripts_cached(),
         baseline[0].session.scripts_cached()
+    );
+}
+
+#[test]
+fn conservative_watermark_replays_idempotently_and_loses_nothing() {
+    // The checkpoint protocol captures the watermark *before* exporting
+    // session state, so records appended in between have `lsn > watermark`
+    // even though their effects are already in the snapshot. Recovery must
+    // re-replay them onto the snapshot state and land on the same result.
+    let dir = tmp_dir("conswm");
+    let config = SedexConfig::default();
+
+    // open + 3 pushes (lsn 1..=4), capture the watermark, then two more
+    // pushes land before the state export happens.
+    let mut shard = seed_log(&dir, 3);
+    let watermark = shard.last_lsn();
+    shard.append(&push_record(3)).unwrap();
+    shard.append(&push_record(4)).unwrap();
+
+    // Export: the snapshot state includes all 5 pushes (recovery of the
+    // live log is the simplest way to materialise it).
+    let (sessions, _report) = recover_shard_dir(&dir, &config, None).unwrap();
+    let baseline_dump = dump(sessions[0].session.target());
+    let snaps: Vec<SessionSnapshot> = sessions
+        .iter()
+        .map(|s| SessionSnapshot {
+            name: s.name.clone(),
+            scenario: s.scenario.clone(),
+            requests: s.requests,
+            tuples_in: s.tuples_in,
+            state: s.session.export_state(),
+        })
+        .collect();
+    shard.checkpoint(watermark, snaps).unwrap();
+    drop(shard);
+
+    // Recovery replays the two post-watermark pushes onto a snapshot that
+    // already contains them: idempotent, no errors, identical state.
+    let (recovered, report) = recover_shard_dir(&dir, &config, None).unwrap();
+    assert_eq!(report.records_replayed, 2);
+    assert_eq!(report.replay_errors, 0);
+    assert_eq!(recovered.len(), 1);
+    assert_eq!(dump(recovered[0].session.target()), baseline_dump);
+    assert_eq!(
+        recovered[0].session.target().relation("Stu").unwrap().len(),
+        5
     );
 }
 

@@ -102,6 +102,20 @@ impl SessionManager {
     /// the `[data]` section are fed (not exchanged) so they are available
     /// as dimension data for later pushes. Fails if the name is taken.
     pub fn open(&self, name: &str, body: &str) -> Result<usize, ManagerError> {
+        self.open_with(name, body, || ())
+    }
+
+    /// [`open`](Self::open), invoking `on_commit` while the shard map write
+    /// lock is still held, after the session became visible. Used by the
+    /// durability layer to append the `Open` WAL record *before* any other
+    /// request can reach the new tenant (a lookup needs the shard read
+    /// lock), so the log order matches the application order.
+    pub fn open_with(
+        &self,
+        name: &str,
+        body: &str,
+        on_commit: impl FnOnce(),
+    ) -> Result<usize, ManagerError> {
         let file = textfmt::parse_scenario(body).map_err(|e| format!("scenario {e}"))?;
         let s = file.scenario;
         let mut session =
@@ -129,6 +143,7 @@ impl SessionManager {
             name.to_owned(),
             Arc::new(Mutex::new(Tenant::new(session, body.to_owned()))),
         );
+        on_commit();
         Ok(seeded)
     }
 
@@ -222,12 +237,27 @@ impl SessionManager {
     /// Remove the tenant and finish its session, returning the final
     /// target and report.
     pub fn close(&self, name: &str) -> Result<(Instance, ExchangeReport), ManagerError> {
-        let tenant = self
-            .shard(name)
-            .write()
-            .expect("shard lock poisoned")
-            .remove(name)
-            .ok_or_else(|| format!("no such session `{name}`"))?;
+        self.close_with(name, || ())
+    }
+
+    /// [`close`](Self::close), invoking `on_remove` while the shard map
+    /// write lock is still held, right after the removal. The durability
+    /// layer appends the `Close` WAL record there: a later re-`OPEN` of the
+    /// same name must first take this write lock, so its `Open` record can
+    /// only land after the `Close` — the log order a replay depends on.
+    pub fn close_with(
+        &self,
+        name: &str,
+        on_remove: impl FnOnce(),
+    ) -> Result<(Instance, ExchangeReport), ManagerError> {
+        let tenant = {
+            let mut map = self.shard(name).write().expect("shard lock poisoned");
+            let tenant = map
+                .remove(name)
+                .ok_or_else(|| format!("no such session `{name}`"))?;
+            on_remove();
+            tenant
+        };
         // Any request already holding the tenant finishes first; unwrapping
         // the Arc then succeeds because the map entry was the other owner.
         let tenant = match Arc::try_unwrap(tenant) {
@@ -293,6 +323,19 @@ impl SessionManager {
     /// names. Tenants currently locked by a request are by definition not
     /// idle and are skipped (their `last_access` was just bumped).
     pub fn evict_idle(&self, ttl: std::time::Duration) -> Vec<String> {
+        self.evict_idle_with(ttl, |_| ())
+    }
+
+    /// [`evict_idle`](Self::evict_idle), invoking `on_evict(name)` for each
+    /// dropped tenant while its shard map write lock is still held — the
+    /// durability layer appends a `Close` WAL record there, so an eviction
+    /// is as durable as a wire `CLOSE` and crash recovery does not
+    /// resurrect sessions the TTL policy already dropped.
+    pub fn evict_idle_with(
+        &self,
+        ttl: std::time::Duration,
+        mut on_evict: impl FnMut(&str),
+    ) -> Vec<String> {
         let mut evicted = Vec::new();
         for shard in &self.shards {
             let mut map = shard.write().expect("shard lock poisoned");
@@ -302,6 +345,7 @@ impl SessionManager {
                     Err(_) => true, // in use right now
                 };
                 if !keep {
+                    on_evict(name);
                     evicted.push(name.clone());
                 }
                 keep

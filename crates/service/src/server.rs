@@ -174,13 +174,22 @@ impl ServerStats {
 /// Durability state: one [`DurableShard`] per manager shard (same
 /// name→shard mapping), plus recovery totals frozen at startup for `STATS`.
 ///
-/// Lock ordering: WAL appends and checkpoints take a durable-shard mutex
-/// only while **no** tenant lock is held — `execute` appends after
-/// `run_on_session` returns, and `checkpoint_shard` exports tenant state
-/// before locking the durable shard. The window between applying an
-/// operation and logging it means a concurrent checkpoint can snapshot an
-/// effect whose record lands after the snapshot watermark; replay is
-/// idempotent, so the at-least-once redo is safe.
+/// Lock ordering: the durable-shard mutex is the **innermost** lock. A WAL
+/// append happens while still holding the lock that serialized the
+/// operation — the tenant mutex for `PUSH`/`FEED`/`FLUSH`/script installs,
+/// the shard-map write lock for `OPEN`/`CLOSE`/TTL eviction — so the log
+/// order of one session's records always matches their application order
+/// (an `Open` can never be outrun by the first `Push`, a `Close` never by
+/// a re-`Open` of the same name). `checkpoint_shard` never holds the
+/// durable mutex while taking tenant or map locks: it captures the
+/// snapshot watermark (brief durable lock), exports tenant state (map read
+/// lock + tenant locks, no durable lock), then writes the snapshot
+/// (durable lock only) — no cycle with the append path. Capturing the
+/// watermark *before* the export is load-bearing: a record appended while
+/// the export runs gets `lsn > watermark`, so recovery re-replays it onto
+/// a snapshot that may already contain its effect — idempotent redo,
+/// at-least-once. The reverse order would stamp such a record `≤`
+/// watermark and recovery would silently drop the acknowledged write.
 struct Durability {
     shards: Vec<Mutex<DurableShard>>,
     metrics: Arc<DurableMetrics>,
@@ -418,8 +427,23 @@ fn sweeper_loop(shared: &Arc<Shared>, ttl: Duration, interval: Duration) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let evicted = shared.manager.evict_idle(ttl);
+        // An eviction is a close the client never sent: log it like one
+        // (under the shard-map lock, so a racing re-OPEN of the same name
+        // is ordered after it), or crash recovery would resurrect sessions
+        // the TTL policy already dropped.
+        let evicted = shared.manager.evict_idle_with(ttl, |name| {
+            wal_append(
+                shared,
+                name,
+                WalRecord::Close {
+                    session: name.to_owned(),
+                },
+            );
+        });
         shared.stats.evicted.add(evicted.len() as u64);
+        for name in &evicted {
+            maybe_checkpoint(shared, name);
+        }
     }
 }
 
@@ -586,9 +610,11 @@ fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>
 /// all I/O happens in the connection threads.
 fn execute(shared: &Shared, request: &Request) -> Response {
     match request {
-        Request::Open { session, body } => match shared.manager.open(session, body) {
-            Ok(seeded) => {
-                shared.stats.opened.inc();
+        Request::Open { session, body } => {
+            // The Open record is appended while the map write lock is still
+            // held, so no racing PUSH/FEED on the new session can log ahead
+            // of it (their appends need the tenant, which needs the map).
+            let committed = shared.manager.open_with(session, body, || {
                 wal_append(
                     shared,
                     session,
@@ -597,27 +623,51 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                         scenario: body.clone(),
                     },
                 );
-                maybe_checkpoint(shared, session);
-                Response::ok(format!("opened {session}, seeded {seeded} tuples"))
+            });
+            match committed {
+                Ok(seeded) => {
+                    shared.stats.opened.inc();
+                    maybe_checkpoint(shared, session);
+                    Response::ok(format!("opened {session}, seeded {seeded} tuples"))
+                }
+                Err(e) => Response::err(e),
             }
-            Err(e) => Response::err(e),
-        },
+        }
         Request::Push { session, line } => {
             shared.stats.tuples_in.inc();
-            // Parse outside the tenant lock so the WAL record can be built
-            // after the lock is released (see `Durability`'s lock ordering).
             match textfmt::parse_data_line(line, 1) {
                 Err(e) => Response::err(format!("data: {}", e.message)),
                 Ok((rel, tuple)) => {
                     let durable = shared.durability.is_some();
-                    let mut new_scripts = Vec::new();
                     let resp = run_on_session(shared, session, |t| {
                         t.session
                             .exchange_tuple(&rel, tuple.clone())
                             .map_err(|e| e.to_string())?;
                         t.tuples_in += 1;
+                        // Log while the tenant lock is still held (durable
+                        // mutex innermost): this session's records land in
+                        // application order.
+                        wal_append(
+                            shared,
+                            session,
+                            WalRecord::Push {
+                                session: session.clone(),
+                                relation: rel.clone(),
+                                tuple,
+                            },
+                        );
                         if durable {
-                            new_scripts = t.session.take_new_scripts();
+                            for (key, script) in t.session.take_new_scripts() {
+                                wal_append(
+                                    shared,
+                                    session,
+                                    WalRecord::ScriptAdd {
+                                        session: session.clone(),
+                                        key,
+                                        script: (*script).clone(),
+                                    },
+                                );
+                            }
                         }
                         let r = t.session.report_snapshot();
                         Ok(Response::ok(format!(
@@ -626,26 +676,6 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                         )))
                     });
                     if resp.ok {
-                        wal_append(
-                            shared,
-                            session,
-                            WalRecord::Push {
-                                session: session.clone(),
-                                relation: rel,
-                                tuple,
-                            },
-                        );
-                        for (key, script) in new_scripts {
-                            wal_append(
-                                shared,
-                                session,
-                                WalRecord::ScriptAdd {
-                                    session: session.clone(),
-                                    key,
-                                    script: (*script).clone(),
-                                },
-                            );
-                        }
                         maybe_checkpoint(shared, session);
                     }
                     resp
@@ -662,18 +692,18 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                             .feed(&rel, tuple.clone())
                             .map_err(|e| e.to_string())?;
                         t.tuples_in += 1;
-                        Ok(Response::ok(format!("fed {rel}")))
-                    });
-                    if resp.ok {
                         wal_append(
                             shared,
                             session,
                             WalRecord::Feed {
                                 session: session.clone(),
-                                relation: rel,
+                                relation: rel.clone(),
                                 tuple,
                             },
                         );
+                        Ok(Response::ok(format!("fed {rel}")))
+                    });
+                    if resp.ok {
                         maybe_checkpoint(shared, session);
                     }
                     resp
@@ -682,26 +712,20 @@ fn execute(shared: &Shared, request: &Request) -> Response {
         }
         Request::Flush { session } => {
             let durable = shared.durability.is_some();
-            let mut new_scripts = Vec::new();
             let resp = run_on_session(shared, session, |t| {
                 t.session.exchange_pending().map_err(|e| e.to_string())?;
                 if durable {
-                    new_scripts = t.session.take_new_scripts();
-                }
-                let r = t.session.report_snapshot();
-                Ok(Response::ok_with(format!("flushed {session}"), r))
-            });
-            if resp.ok {
-                for (key, script) in new_scripts {
-                    wal_append(
-                        shared,
-                        session,
-                        WalRecord::ScriptAdd {
-                            session: session.clone(),
-                            key,
-                            script: (*script).clone(),
-                        },
-                    );
+                    for (key, script) in t.session.take_new_scripts() {
+                        wal_append(
+                            shared,
+                            session,
+                            WalRecord::ScriptAdd {
+                                session: session.clone(),
+                                key,
+                                script: (*script).clone(),
+                            },
+                        );
+                    }
                 }
                 wal_append(
                     shared,
@@ -710,11 +734,15 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                         session: session.clone(),
                     },
                 );
-                // FLUSH is the durability boundary: checkpoint the shard
-                // unconditionally (snapshot + rotation + compaction).
-                if durable {
-                    checkpoint_shard(shared, shared.manager.shard_index(session));
-                }
+                let r = t.session.report_snapshot();
+                Ok(Response::ok_with(format!("flushed {session}"), r))
+            });
+            // FLUSH is the durability boundary: checkpoint the shard
+            // unconditionally (snapshot + rotation + compaction). This runs
+            // after the tenant lock is released — the checkpoint's export
+            // locks every tenant on the shard, this one included.
+            if resp.ok && durable {
+                checkpoint_shard(shared, shared.manager.shard_index(session));
             }
             resp
         }
@@ -740,9 +768,11 @@ fn execute(shared: &Shared, request: &Request) -> Response {
             refresh_session_gauges(shared);
             Response::ok_with("metrics", render_prometheus(&shared.registry).trim_end())
         }
-        Request::Close { session } => match shared.manager.close(session) {
-            Ok((_target, report)) => {
-                shared.stats.closed.inc();
+        Request::Close { session } => {
+            // The Close record is appended while the map write lock is still
+            // held: a re-OPEN of the same name must take that lock first, so
+            // its Open record can only land after this Close.
+            let closed = shared.manager.close_with(session, || {
                 wal_append(
                     shared,
                     session,
@@ -750,11 +780,16 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                         session: session.clone(),
                     },
                 );
-                maybe_checkpoint(shared, session);
-                Response::ok(format!("closed {session} | {report}"))
+            });
+            match closed {
+                Ok((_target, report)) => {
+                    shared.stats.closed.inc();
+                    maybe_checkpoint(shared, session);
+                    Response::ok(format!("closed {session} | {report}"))
+                }
+                Err(e) => Response::err(e),
             }
-            Err(e) => Response::err(e),
-        },
+        }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::ok("shutting down")
@@ -855,9 +890,13 @@ fn remove_stale_shard_dirs(data_dir: &std::path::Path, live: usize) {
 }
 
 /// Append one record to the session's durable shard (no-op without a data
-/// dir). Called only while no tenant lock is held. An append failure is
-/// loud but non-fatal: the in-memory state is already applied and the
-/// client is served — availability over strict durability.
+/// dir). Called while holding the lock that serialized the operation (the
+/// tenant mutex, or the shard-map write lock for open/close/evict), with
+/// the durable-shard mutex as the innermost lock — see `Durability`. An
+/// append failure is non-fatal: the in-memory state is already applied and
+/// the client is served — availability over strict durability — but it is
+/// counted (`sedex_wal_append_errors_total`) and flags the `STATS`
+/// durability line as DEGRADED, since a crash would lose the operation.
 fn wal_append(shared: &Shared, session: &str, record: WalRecord) {
     let Some(d) = &shared.durability else {
         return;
@@ -890,12 +929,22 @@ fn maybe_checkpoint(shared: &Shared, session: &str) {
 }
 
 /// Snapshot every session on manager shard `idx` and rotate its WAL.
-/// Tenant state is exported (briefly locking each tenant) *before* the
-/// durable-shard mutex is taken — see `Durability` for the lock order.
+///
+/// Watermark first, export second: every record with `lsn ≤ watermark`
+/// was appended — and, since appends happen under the lock that applied
+/// the operation, *applied* — before the capture, so the export below is
+/// guaranteed to contain its effect. A record landing between capture and
+/// export carries `lsn > watermark` and is re-replayed idempotently at
+/// recovery: the conservatively early watermark costs redo, never data.
+/// No lock is held across phases — see `Durability` for the lock order.
 fn checkpoint_shard(shared: &Shared, idx: usize) {
     let Some(d) = &shared.durability else {
         return;
     };
+    let watermark = d.shards[idx]
+        .lock()
+        .expect("durable shard lock poisoned")
+        .last_lsn();
     let sessions: Vec<SessionSnapshot> = shared
         .manager
         .export_shard(idx)
@@ -911,7 +960,7 @@ fn checkpoint_shard(shared: &Shared, idx: usize) {
         )
         .collect();
     let mut shard = d.shards[idx].lock().expect("durable shard lock poisoned");
-    if let Err(e) = shard.checkpoint(sessions) {
+    if let Err(e) = shard.checkpoint(watermark, sessions) {
         eprintln!("sedex-service: checkpoint failed on shard {idx}: {e}");
     }
 }
@@ -988,7 +1037,7 @@ fn server_stats(shared: &Shared) -> Response {
         s.request_seconds.count(),
     ));
     if let Some(d) = &shared.durability {
-        lines.push(format!(
+        let mut line = format!(
             "durability: {} wal appends ({} bytes), {} checkpoints | recovered: {} sessions, {} records replayed, {} torn tails",
             d.metrics.wal_appends.get(),
             d.metrics.wal_bytes.get(),
@@ -996,7 +1045,14 @@ fn server_stats(shared: &Shared) -> Response {
             d.recovered_sessions,
             d.replayed_records,
             d.torn_tails,
-        ));
+        );
+        let append_errors = d.metrics.wal_append_errors.get();
+        if append_errors > 0 {
+            // Acked operations exist whose records never reached the log —
+            // a crash from here would lose them.
+            line.push_str(&format!(" | DEGRADED: {append_errors} wal append errors"));
+        }
+        lines.push(line);
     }
     for name in shared.manager.names() {
         if let Ok(line) = shared.manager.with_tenant(&name, |t| {

@@ -228,3 +228,58 @@ fn abort_then_restart_twice_is_stable() {
     let total_sessions: usize = recovered.iter().map(|(_, s, _)| s.len()).sum();
     assert_eq!(total_sessions, 1);
 }
+
+#[test]
+fn evicted_sessions_stay_dead_after_a_crash() {
+    // The idle sweeper logs a Close record for every eviction, so even a
+    // crash *without* a checkpoint (abort) must not resurrect a session the
+    // TTL policy already dropped.
+    let data_dir = tmp_dir("evict");
+    let config = ServerConfig {
+        idle_ttl: Some(Duration::from_millis(200)),
+        sweep_interval: Duration::from_millis(50),
+        ..durable_config(&data_dir)
+    };
+
+    let handle = Server::start(config.clone()).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+    c.push("t1", "Student: s1, p1, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+
+    // Wait for the sweeper to evict the now-idle session. STATS renders a
+    // per-session line through `with_tenant`, which counts as a touch — so
+    // the poll period must exceed the TTL or polling keeps the session
+    // alive forever.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        let stats = c.stats(None).unwrap().into_ok().unwrap();
+        if stats.head.contains("| 0 sessions |") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session was never evicted: {}",
+            stats.head
+        );
+    }
+    drop(c);
+    handle.abort(); // crash: no final checkpoint, the WAL tail must carry the eviction
+
+    // Second life: the evicted session must not come back.
+    let handle = Server::start(durable_config(&data_dir)).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let stats = c.stats(None).unwrap().into_ok().unwrap();
+    assert!(
+        stats.head.contains("| 0 sessions |"),
+        "evicted session resurrected by recovery: {}",
+        stats.head
+    );
+    let err = c.push("t1", "Student: s2, p2, d1").unwrap();
+    assert!(err.into_ok().is_err(), "evicted session accepted a push");
+    c.shutdown().unwrap();
+    handle.join();
+}
