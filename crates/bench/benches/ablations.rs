@@ -73,7 +73,7 @@ fn bench_threads(c: &mut Criterion) {
     let inst = s.populate(2000, 7).unwrap();
     let mut g = c.benchmark_group("ablation_threads_un_2k");
     g.sample_size(10);
-    for threads in [1usize, 2, 4] {
+    for threads in [1usize, 2, 4, 8] {
         let engine = SedexEngine::with_config(SedexConfig {
             threads,
             batch_size: 512,

@@ -11,21 +11,33 @@
 //!
 //! Every knob the paper discusses (and every ablation DESIGN.md calls out)
 //! is a field of [`SedexConfig`].
+//!
+//! With `threads > 1` the *whole* per-batch pipeline runs in parallel, not
+//! just tree building: shape keys and slot values are computed on worker
+//! threads, the miss path (Match → translate → generate) fans out over the
+//! *distinct* unseen shapes of the batch (the matcher's cached profiles,
+//! the schema forest and Σ are immutable), and script execution resolves
+//! values in parallel and partitions inserts by target relation so egd/key
+//! checks stay serialized per relation. A serial *replay* of repository
+//! lookups, seen-marking and fresh-label assignment keeps the output —
+//! instance bytes, counters, repository contents, hit-event sequence —
+//! byte-identical to the single-threaded engine.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sedex_mapping::Correspondences;
-use sedex_observe::{Observer, Phase};
-use sedex_storage::{Instance, Schema, StorageError};
+use sedex_observe::{Event, Observer, Phase};
+use sedex_storage::{ConflictPolicy, InsertOutcome, Instance, Schema, StorageError, Tuple, Value};
 use sedex_treerep::{tuple_shape_key, tuple_tree, SchemaForest, TreeConfig, TupleTree};
 
 use crate::cfd::CfdInterpreter;
 use crate::marking::SeenSet;
 use crate::matcher::Matcher;
 use crate::metrics::ExchangeReport;
-use crate::repository::ScriptRepository;
-use crate::script::{run_script, RunOutcome, Script};
+use crate::repository::{RepositoryExport, ScriptRepository, DEFAULT_EVENT_LIMIT};
+use crate::script::{run_script, RunOutcome, Script, SlotRef};
 use crate::scriptgen::generate_script;
 use crate::trace::Trace;
 use crate::translate::{slot_values, translate};
@@ -57,14 +69,25 @@ pub struct SedexConfig {
     pub prune_nulls: bool,
     /// Maximum tree depth.
     pub max_depth: usize,
-    /// Worker threads for the tuple-tree building phase; 1 = serial.
-    /// The output instance is identical regardless of thread count.
+    /// Worker threads for the batch pipeline — tree building, shape keys,
+    /// the miss path over distinct shapes, and script execution; 1 =
+    /// serial. The output instance is byte-identical regardless of thread
+    /// count.
     pub threads: usize,
     /// Record per-lookup hit events (needed only for the Fig. 14 curve).
     pub record_hit_events: bool,
+    /// Cap on the recorded hit-event buffer between drains; lookups past
+    /// the cap are counted in `hit_events_dropped` instead of growing the
+    /// buffer without bound (long-lived service sessions only drain on
+    /// FLUSH).
+    pub hit_event_limit: usize,
     /// Tuples are processed in batches of this many rows (bounds memory in
     /// the parallel phase).
     pub batch_size: usize,
+    /// Batches smaller than this stay serial even with `threads > 1`: the
+    /// fan-out overhead beats the work below here. Small service PUSH/FEED
+    /// batches can lower it to parallelize anyway.
+    pub parallel_threshold: usize,
     /// Exchanges slower than this emit a one-line structured record (with
     /// per-phase breakdown) to stderr and an
     /// [`Event::SlowExchange`] to the attached observer. `None` (default)
@@ -85,7 +108,9 @@ impl Default for SedexConfig {
             max_depth: 32,
             threads: 1,
             record_hit_events: false,
+            hit_event_limit: DEFAULT_EVENT_LIMIT,
             batch_size: 8192,
+            parallel_threshold: 64,
             slow_exchange_threshold: None,
         }
     }
@@ -110,6 +135,45 @@ impl std::fmt::Debug for SedexEngine {
             )
             .finish()
     }
+}
+
+/// One executable item of a parallel batch: the (possibly reused) script,
+/// the tuple's slot values, and its pre-assigned fresh labels.
+type ExecItem<'a> = (Arc<Script>, &'a [Value], HashMap<u32, Value>);
+
+/// Chunked fork-join map over a slice on scoped threads, preserving item
+/// order. Falls back to a plain serial map when there is nothing to fan
+/// out. The closure must be pure (or at least commutative): items are
+/// mapped out of order across chunks.
+fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                let f = &f;
+                s.spawn(move || part.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("pipeline worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for p in parts {
+        out.extend(p);
+    }
+    out
 }
 
 impl SedexEngine {
@@ -176,6 +240,32 @@ impl SedexEngine {
         target_schema: &Schema,
         sigma: &Correspondences,
     ) -> Result<(Instance, ExchangeReport), StorageError> {
+        self.exchange_impl(source, target_schema, sigma, false)
+            .map(|(out, report, _)| (out, report))
+    }
+
+    /// Like [`SedexEngine::exchange`], but also returns the final script
+    /// repository as an export — entries sorted by shape key plus the
+    /// lookup counters. Determinism tests compare the exports of runs at
+    /// different thread counts; warm-start pipelines seed a
+    /// [`crate::SedexSession`] from it.
+    pub fn exchange_with_repository(
+        &self,
+        source: &Instance,
+        target_schema: &Schema,
+        sigma: &Correspondences,
+    ) -> Result<(Instance, ExchangeReport, RepositoryExport), StorageError> {
+        self.exchange_impl(source, target_schema, sigma, true)
+            .map(|(out, report, export)| (out, report, export.expect("export requested")))
+    }
+
+    fn exchange_impl(
+        &self,
+        source: &Instance,
+        target_schema: &Schema,
+        sigma: &Correspondences,
+        want_repository: bool,
+    ) -> Result<(Instance, ExchangeReport, Option<RepositoryExport>), StorageError> {
         let cfg = &self.config;
         let tree_cfg = TreeConfig {
             max_depth: cfg.max_depth,
@@ -213,7 +303,8 @@ impl SedexEngine {
             src.schema().relation_names().map(str::to_owned).collect()
         };
 
-        let mut repo = ScriptRepository::new(cfg.record_hit_events);
+        let mut repo =
+            ScriptRepository::with_event_limit(cfg.record_hit_events, cfg.hit_event_limit);
         let mut seen = SeenSet::for_instance(src);
         let mut target = Instance::new(target_schema.clone());
         let mut outcome = RunOutcome::default();
@@ -231,8 +322,29 @@ impl SedexEngine {
                     self.build_batch(src, rel_name, batch_start..batch_end, &seen, &tree_cfg)?;
                 trace.end(Phase::TreeBuild, tb);
                 report.tuples_skipped_seen += skipped;
-                let mut tg_batch = tg0.elapsed();
 
+                if cfg.threads > 1 && trees.len() >= cfg.parallel_threshold.max(1) {
+                    report.tg += tg0.elapsed();
+                    self.run_batch_parallel(
+                        rel_name,
+                        &trees,
+                        &matcher,
+                        &target_forest,
+                        sigma,
+                        target_schema,
+                        &mut seen,
+                        &mut repo,
+                        &mut target,
+                        &mut fresh_counter,
+                        &mut outcome,
+                        &mut report,
+                        &mut trace,
+                    )?;
+                    batch_start = batch_end;
+                    continue;
+                }
+
+                let mut tg_batch = tg0.elapsed();
                 for (row, tx) in trees {
                     // Re-check: a tuple earlier in this batch may have
                     // marked this one.
@@ -304,13 +416,297 @@ impl SedexEngine {
         report.violations = outcome.violations;
         report.stats = target.stats();
         report.hit_events = repo.take_events();
+        report.hit_events_dropped = repo.events_dropped() as usize;
+        if report.hit_events_dropped > 0 {
+            trace.emit(&Event::HitEventsDropped {
+                count: report.hit_events_dropped as u64,
+            });
+        }
         report.phases = trace.totals;
         trace.finish_exchange(
             report.total_time(),
             report.tuples_processed as u64,
             cfg.slow_exchange_threshold,
         );
-        Ok((target, report))
+        let export = want_repository.then(|| repo.export());
+        Ok((target, report, export))
+    }
+
+    /// The parallel per-batch pipeline. Four stages:
+    ///
+    /// 1. **Prepare** (parallel): shape key + slot values per built tree —
+    ///    pure functions of the tree.
+    /// 2. **Plan** (serial, row order): seen re-check + marking, then the
+    ///    *distinct* shapes missing from the repository, in first-miss
+    ///    order.
+    /// 3. **Generate** (parallel): Match → translate → generate for each
+    ///    missing shape; then a serial row-order *replay* of repository
+    ///    lookups/inserts so counters, hit events and `new_keys` match the
+    ///    serial engine exactly.
+    /// 4. **Execute**: fresh labels are pre-assigned serially in row order
+    ///    (byte-identical to the serial engine's lazy minting), statement
+    ///    values resolve in parallel, and inserts are partitioned by
+    ///    target relation — per-relation order preserved, egd/key checks
+    ///    serialized per relation, relations running concurrently.
+    #[allow(clippy::too_many_arguments)]
+    fn run_batch_parallel(
+        &self,
+        rel_name: &str,
+        trees: &[(u32, TupleTree)],
+        matcher: &Matcher,
+        target_forest: &SchemaForest,
+        sigma: &Correspondences,
+        target_schema: &Schema,
+        seen: &mut SeenSet,
+        repo: &mut ScriptRepository,
+        target: &mut Instance,
+        fresh_counter: &mut u64,
+        outcome: &mut RunOutcome,
+        report: &mut ExchangeReport,
+        trace: &mut Trace,
+    ) -> Result<(), StorageError> {
+        let cfg = &self.config;
+        let threads = cfg.threads;
+        let obs = self.observer.as_deref();
+        let tg0 = Instant::now();
+
+        // Stage 1: shape keys and slot values, fanned out.
+        let preps: Vec<(String, Vec<Value>)> = par_map(trees, threads, |(_, tx)| {
+            let mut key = String::with_capacity(rel_name.len() + 64);
+            key.push_str(rel_name);
+            key.push('|');
+            key.push_str(&tuple_shape_key(tx));
+            (key, slot_values(tx))
+        });
+
+        // Stage 2: serial planning in row order. Seen-marking must replay
+        // serially — a tuple earlier in the batch may mark a later one.
+        let mut kept: Vec<usize> = Vec::with_capacity(trees.len());
+        for (i, (row, tx)) in trees.iter().enumerate() {
+            if cfg.mark_seen && seen.is_seen(rel_name, *row) {
+                report.tuples_skipped_seen += 1;
+                continue;
+            }
+            if cfg.mark_seen {
+                seen.mark_all(&tx.visited);
+            }
+            kept.push(i);
+        }
+
+        // Distinct shapes needing generation, in first-miss order. With
+        // reuse off every kept tuple regenerates its script individually —
+        // the `ablation_reuse` semantics are preserved, only parallelized.
+        let missing: Vec<usize> = if cfg.reuse_scripts {
+            let mut pending: HashSet<&str> = HashSet::new();
+            kept.iter()
+                .copied()
+                .filter(|&i| {
+                    let key = preps[i].0.as_str();
+                    !repo.contains(key) && pending.insert(key)
+                })
+                .collect()
+        } else {
+            kept.clone()
+        };
+
+        // Stage 3a: the miss path fans out — matcher profiles, forests and
+        // Σ are immutable. Workers time their own phases; the totals merge
+        // below (an aggregate of per-shape CPU time, exactly like the
+        // serial engine's per-tuple sums).
+        let miss_trees: Vec<&TupleTree> = missing.iter().map(|&i| &trees[i].1).collect();
+        let generated = par_map(&miss_trees, threads, |tx| {
+            let mut wtrace = Trace::new(obs, cfg.slow_exchange_threshold);
+            let script = self.generate_for(
+                tx,
+                matcher,
+                target_forest,
+                sigma,
+                target_schema,
+                &mut wtrace,
+            );
+            (script, wtrace.totals)
+        });
+        let mut gen_slots: Vec<Option<Script>> = Vec::with_capacity(generated.len());
+        for (script, totals) in generated {
+            for (phase, nanos) in totals.iter() {
+                if nanos > 0 {
+                    trace.totals.add(phase, nanos);
+                }
+            }
+            gen_slots.push(Some(script));
+        }
+        let gen_index: HashMap<&str, usize> = missing
+            .iter()
+            .enumerate()
+            .map(|(slot, &i)| (preps[i].0.as_str(), slot))
+            .collect();
+
+        // Stage 3b: serial replay of repository lookups in row order. The
+        // first tuple of a missing shape takes the miss and inserts the
+        // generated script; same-shape successors then hit — counters,
+        // recorded events and the new-key log come out identical to the
+        // serial engine's.
+        let mut scripts: Vec<Option<Arc<Script>>> = Vec::with_capacity(kept.len());
+        for (j, &i) in kept.iter().enumerate() {
+            let key = preps[i].0.as_str();
+            let cached = if cfg.reuse_scripts {
+                repo.lookup(key)
+            } else {
+                None
+            };
+            let script = match cached {
+                Some(s) => {
+                    report.scripts_reused += 1;
+                    trace.lookup(true);
+                    s
+                }
+                None => {
+                    report.scripts_generated += 1;
+                    trace.lookup(false);
+                    let slot = if cfg.reuse_scripts { gen_index[key] } else { j };
+                    let generated = gen_slots[slot]
+                        .take()
+                        .expect("each generated script resolves exactly one miss");
+                    if generated.is_empty() {
+                        report.tuples_unmatched += 1;
+                    }
+                    repo.insert(key.to_owned(), generated)
+                }
+            };
+            report.tuples_processed += 1;
+            scripts.push((!script.is_empty()).then_some(script));
+        }
+        report.tg += tg0.elapsed();
+
+        // Stage 4: execution.
+        let te0 = Instant::now();
+
+        // Fresh labels are pre-assigned in serial row order, visiting
+        // statements and assignments exactly as `run_script` would — the
+        // label sequence is byte-identical to the serial engine's.
+        let mut exec: Vec<ExecItem<'_>> = Vec::with_capacity(kept.len());
+        for (j, &i) in kept.iter().enumerate() {
+            let Some(script) = &scripts[j] else { continue };
+            let mut fresh: HashMap<u32, Value> = HashMap::new();
+            for st in &script.statements {
+                for &(_, slot) in &st.assignments {
+                    if let SlotRef::Fresh(id) = slot {
+                        fresh.entry(id).or_insert_with(|| {
+                            let v = Value::Labeled(*fresh_counter);
+                            *fresh_counter += 1;
+                            v
+                        });
+                    }
+                }
+            }
+            exec.push((Arc::clone(script), preps[i].1.as_slice(), fresh));
+        }
+
+        // Validate target relations up front (the serial engine would fail
+        // mid-run; both paths surface the same error and drop the target).
+        let schema_rels = target_schema.relations();
+        let rel_index: HashMap<&str, usize> = schema_rels
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.as_str(), i))
+            .collect();
+        let arities: Vec<usize> = schema_rels.iter().map(|r| r.arity()).collect();
+        for (script, _, _) in &exec {
+            for st in &script.statements {
+                if !rel_index.contains_key(st.relation.as_str()) {
+                    return Err(StorageError::UnknownRelation(st.relation.clone()));
+                }
+            }
+        }
+
+        // Statement values resolve in parallel — pure per-tuple work.
+        let resolved: Vec<Vec<(usize, Tuple)>> =
+            par_map(&exec, threads, |(script, slots, fresh)| {
+                let mut stmts = Vec::with_capacity(script.statements.len());
+                for st in &script.statements {
+                    let ri = rel_index[st.relation.as_str()];
+                    let mut vals = vec![Value::Null; arities[ri]];
+                    for &(col, slot) in &st.assignments {
+                        vals[col] = match slot {
+                            SlotRef::Src(s) => slots.get(s).cloned().unwrap_or(Value::Null),
+                            SlotRef::Fresh(id) => fresh[&id].clone(),
+                        };
+                    }
+                    stmts.push((ri, Tuple::new(vals)));
+                }
+                stmts
+            });
+
+        // Partition by target relation, preserving the serial insert order
+        // within each relation; then each relation runs its egd/key-checked
+        // inserts on its own thread — conflict semantics are per-relation
+        // (no cross-relation state), so relations commute.
+        let timing = obs.is_some() || cfg.slow_exchange_threshold.is_some();
+        let mut per_rel: Vec<Vec<Tuple>> = vec![Vec::new(); schema_rels.len()];
+        for stmts in resolved {
+            for (ri, tuple) in stmts {
+                per_rel[ri].push(tuple);
+            }
+        }
+        let mut rel_map = target.relations_mut();
+        let jobs: Vec<_> = per_rel
+            .into_iter()
+            .enumerate()
+            .filter(|(_, tuples)| !tuples.is_empty())
+            .map(|(ri, tuples)| {
+                let rel = rel_map
+                    .remove(schema_rels[ri].name.as_str())
+                    .expect("schema relation exists in its instance");
+                (ri, tuples, rel)
+            })
+            .collect();
+        drop(rel_map);
+        let mut results: Vec<(usize, Result<RunOutcome, StorageError>, u64)> =
+            Vec::with_capacity(jobs.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(ri, tuples, rel)| {
+                    s.spawn(move || {
+                        let started = timing.then(Instant::now);
+                        let mut out = RunOutcome::default();
+                        for tuple in tuples {
+                            match rel.insert(tuple, ConflictPolicy::Merge) {
+                                Ok(InsertOutcome::Inserted(_)) => out.inserted += 1,
+                                Ok(InsertOutcome::Merged(_)) => out.merged += 1,
+                                Ok(InsertOutcome::Duplicate(_)) => out.duplicates += 1,
+                                Ok(InsertOutcome::Skipped(_)) => {}
+                                Err(StorageError::EgdFailure { .. }) => out.violations += 1,
+                                Err(e) => return (ri, Err(e), 0),
+                            }
+                        }
+                        let nanos = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                        (ri, Ok(out), nanos)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("script-execution worker panicked"));
+            }
+        });
+        results.sort_by_key(|&(ri, _, _)| ri);
+        let mut batch_outcome = RunOutcome::default();
+        let mut run_nanos = 0u64;
+        for (_, res, nanos) in results {
+            batch_outcome += res?;
+            run_nanos += nanos;
+        }
+        if run_nanos > 0 {
+            trace.totals.add(Phase::ScriptRun, run_nanos);
+            trace.emit(&Event::Phase {
+                phase: Phase::ScriptRun,
+                nanos: run_nanos,
+            });
+        }
+        trace.outcome(&batch_outcome);
+        *outcome += batch_outcome;
+        report.te += te0.elapsed();
+        Ok(())
     }
 
     /// Build tuple trees for the unseen rows of one batch, optionally in
@@ -332,7 +728,7 @@ impl SedexEngine {
         if todo.is_empty() {
             return Ok((Vec::new(), skipped));
         }
-        if self.config.threads <= 1 || todo.len() < 64 {
+        if self.config.threads <= 1 || todo.len() < self.config.parallel_threshold.max(1) {
             return todo
                 .into_iter()
                 .map(|r| tuple_tree(src, rel_name, r, tree_cfg).map(|t| (r, t)))
@@ -545,6 +941,98 @@ mod tests {
         );
     }
 
+    /// The parallel-pipeline acceptance criterion at unit scale: the
+    /// threshold defaults to 64, a huge threshold keeps threads > 1 fully
+    /// serial, and forcing the parallel pipeline (threshold 1) produces a
+    /// byte-identical instance, identical counters, an identical hit/miss
+    /// sequence and identical repository contents.
+    #[test]
+    fn parallel_threshold_gates_the_pipeline_and_output_is_byte_identical() {
+        assert_eq!(SedexConfig::default().parallel_threshold, 64);
+        let (mut src, target_schema, sigma) = university();
+        for i in 0..300 {
+            src.insert(
+                "Registration",
+                sedex_storage::tuple![format!("s{}", 1 + i % 2), format!("c{i}"), format!("dt{i}")],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        }
+        let serial = SedexEngine::with_config(SedexConfig {
+            record_hit_events: true,
+            ..SedexConfig::default()
+        });
+        let gated = SedexEngine::with_config(SedexConfig {
+            threads: 8,
+            parallel_threshold: usize::MAX,
+            record_hit_events: true,
+            ..SedexConfig::default()
+        });
+        let forced = SedexEngine::with_config(SedexConfig {
+            threads: 8,
+            parallel_threshold: 1,
+            batch_size: 64,
+            record_hit_events: true,
+            ..SedexConfig::default()
+        });
+        let (o1, r1, x1) = serial
+            .exchange_with_repository(&src, &target_schema, &sigma)
+            .unwrap();
+        let (o2, _, _) = gated
+            .exchange_with_repository(&src, &target_schema, &sigma)
+            .unwrap();
+        let (o3, r3, x3) = forced
+            .exchange_with_repository(&src, &target_schema, &sigma)
+            .unwrap();
+        assert_eq!(format!("{o1}"), format!("{o2}"));
+        assert_eq!(format!("{o1}"), format!("{o3}"));
+        assert_eq!(
+            (r1.scripts_generated, r1.scripts_reused, r1.tuples_processed),
+            (r3.scripts_generated, r3.scripts_reused, r3.tuples_processed),
+        );
+        assert_eq!(
+            (r1.inserted, r1.merged, r1.violations),
+            (r3.inserted, r3.merged, r3.violations),
+        );
+        // Same lookup outcomes in the same order (timestamps differ).
+        let hits = |r: &ExchangeReport| r.hit_events.iter().map(|e| e.hit).collect::<Vec<_>>();
+        assert_eq!(hits(&r1), hits(&r3));
+        // Same repository contents and counters.
+        assert_eq!(x1.entries, x3.entries);
+        assert_eq!((x1.hits, x1.misses), (x3.hits, x3.misses));
+    }
+
+    /// The `ablation_reuse` semantics survive the parallel pipeline: with
+    /// reuse off, every tuple regenerates (no dedup by shape), and the
+    /// output still matches the serial no-reuse engine.
+    #[test]
+    fn parallel_no_reuse_matches_serial_no_reuse() {
+        let (mut src, target_schema, sigma) = university();
+        for i in 0..200 {
+            src.insert(
+                "Registration",
+                sedex_storage::tuple!["s1", format!("c{i}"), format!("dt{i}")],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        }
+        let cfg = SedexConfig {
+            reuse_scripts: false,
+            ..SedexConfig::default()
+        };
+        let serial = SedexEngine::with_config(cfg.clone());
+        let parallel = SedexEngine::with_config(SedexConfig {
+            threads: 4,
+            parallel_threshold: 1,
+            ..cfg
+        });
+        let (o1, r1) = serial.exchange(&src, &target_schema, &sigma).unwrap();
+        let (o2, r2) = parallel.exchange(&src, &target_schema, &sigma).unwrap();
+        assert_eq!(format!("{o1}"), format!("{o2}"));
+        assert_eq!(r1.scripts_generated, r2.scripts_generated);
+        assert_eq!(r2.scripts_reused, 0);
+    }
+
     #[test]
     fn scripts_are_reused_for_same_shape() {
         let (mut src, target_schema, sigma) = university();
@@ -574,6 +1062,28 @@ mod tests {
         assert!(report.phases.is_zero(), "phases: {:?}", report.phases);
     }
 
+    /// The same invariant holds on the parallel pipeline: worker traces
+    /// read no clocks either.
+    #[test]
+    fn parallel_pipeline_records_no_phase_timings_without_observer() {
+        let (mut src, target_schema, sigma) = university();
+        for i in 0..200 {
+            src.insert(
+                "Registration",
+                sedex_storage::tuple!["s1", format!("c{i}"), format!("dt{i}")],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        }
+        let engine = SedexEngine::with_config(SedexConfig {
+            threads: 4,
+            parallel_threshold: 1,
+            ..SedexConfig::default()
+        });
+        let (_, report) = engine.exchange(&src, &target_schema, &sigma).unwrap();
+        assert!(report.phases.is_zero(), "phases: {:?}", report.phases);
+    }
+
     #[test]
     fn attached_registry_observer_fills_the_registry_live() {
         use sedex_observe::{names, MetricsRegistry, RegistryObserver};
@@ -590,6 +1100,67 @@ mod tests {
         assert_eq!(
             registry.counter_value(names::ROWS_INSERTED_TOTAL),
             Some(report.inserted as u64)
+        );
+    }
+
+    /// The registry counters come out the same whether the pipeline ran
+    /// serial or parallel — lookup/outcome events are count-carrying.
+    #[test]
+    fn parallel_registry_counters_match_serial() {
+        use sedex_observe::{names, MetricsRegistry, RegistryObserver};
+        let (mut src, target_schema, sigma) = university();
+        for i in 0..150 {
+            src.insert(
+                "Registration",
+                sedex_storage::tuple!["s1", format!("c{i}"), format!("dt{i}")],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        }
+        let count = |threads: usize, threshold: usize| {
+            let registry = MetricsRegistry::new();
+            let engine = SedexEngine::with_config(SedexConfig {
+                threads,
+                parallel_threshold: threshold,
+                ..SedexConfig::default()
+            })
+            .with_observer(Arc::new(RegistryObserver::new(&registry)));
+            engine.exchange(&src, &target_schema, &sigma).unwrap();
+            (
+                registry.counter_value(names::TUPLES_TOTAL),
+                registry.counter_value(names::ROWS_INSERTED_TOTAL),
+                registry.counter_value(names::EGD_MERGE_TOTAL),
+                registry.counter_value(names::VIOLATION_TOTAL),
+            )
+        };
+        assert_eq!(count(1, 64), count(4, 1));
+    }
+
+    #[test]
+    fn hit_event_cap_is_reported_and_counted() {
+        use sedex_observe::{names, MetricsRegistry, RegistryObserver};
+        let (mut src, target_schema, sigma) = university();
+        for i in 0..100 {
+            src.insert(
+                "Registration",
+                sedex_storage::tuple!["s1", format!("c{i}"), format!("dt{i}")],
+                ConflictPolicy::Allow,
+            )
+            .unwrap();
+        }
+        let registry = MetricsRegistry::new();
+        let engine = SedexEngine::with_config(SedexConfig {
+            record_hit_events: true,
+            hit_event_limit: 10,
+            ..SedexConfig::default()
+        })
+        .with_observer(Arc::new(RegistryObserver::new(&registry)));
+        let (_, report) = engine.exchange(&src, &target_schema, &sigma).unwrap();
+        assert_eq!(report.hit_events.len(), 10);
+        assert!(report.hit_events_dropped > 0, "report: {report:?}");
+        assert_eq!(
+            registry.counter_value(names::HIT_EVENTS_DROPPED_TOTAL),
+            Some(report.hit_events_dropped as u64)
         );
     }
 

@@ -44,6 +44,9 @@ pub struct ExchangeReport {
     pub violations: usize,
     /// Timestamped repository lookups (only when event recording is on).
     pub hit_events: Vec<HitEvent>,
+    /// Lookups whose hit event was discarded because the repository's
+    /// event buffer was at its cap (`sedex_hit_events_dropped_total`).
+    pub hit_events_dropped: usize,
     /// Per-phase time breakdown (`tree_build`, `match`, `translate`,
     /// `scriptgen`, `script_run`). Populated only when an observer is
     /// attached or a slow-exchange threshold is set — fine-grained timing
@@ -108,6 +111,11 @@ impl ExchangeReport {
         if self.inserted > 0 {
             obs.event(&Event::RowsInserted {
                 count: self.inserted as u64,
+            });
+        }
+        if self.hit_events_dropped > 0 {
+            obs.event(&Event::HitEventsDropped {
+                count: self.hit_events_dropped as u64,
             });
         }
         obs.event(&Event::Exchange {

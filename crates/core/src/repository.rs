@@ -6,13 +6,28 @@
 //! pipeline runs and the new script is stored. The repository records every
 //! lookup with a timestamp so the hit-ratio curve of Fig. 14 can be
 //! reproduced.
+//!
+//! Two long-lived-service concerns are handled here rather than in callers:
+//!
+//! * **Warm-start timeline**: exports carry the elapsed lookup-timeline
+//!   offset, and imports resume from it — after a crash recovery the
+//!   Fig. 14 curve continues where the previous process stopped instead of
+//!   restarting at `t = 0`.
+//! * **Bounded event log**: when event recording is on, the per-lookup
+//!   buffer is capped ([`DEFAULT_EVENT_LIMIT`] unless overridden); lookups
+//!   past the cap are counted as dropped instead of growing the buffer
+//!   without bound between drains.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::metrics::HitEvent;
 use crate::script::Script;
+
+/// Default cap on the recorded hit-event buffer (one event is 17 bytes, so
+/// this bounds the log at roughly 16 MiB between drains).
+pub const DEFAULT_EVENT_LIMIT: usize = 1 << 20;
 
 /// Shape-keyed script cache with hit/miss accounting.
 #[derive(Debug)]
@@ -21,8 +36,13 @@ pub struct ScriptRepository {
     hits: usize,
     misses: usize,
     start: Instant,
+    /// Lookup-timeline time already elapsed before `start` — nonzero after
+    /// an import, so event timestamps continue the exporter's timeline.
+    base_elapsed: Duration,
     record_events: bool,
     events: Vec<HitEvent>,
+    event_limit: usize,
+    events_dropped: u64,
     new_keys: Vec<String>,
 }
 
@@ -38,6 +58,10 @@ pub struct RepositoryExport {
     pub hits: usize,
     /// Lookup misses at export time.
     pub misses: usize,
+    /// Lookup-timeline time elapsed at export time. Importing resumes the
+    /// timeline here, so hit-event timestamps (Fig. 14) stay monotone
+    /// across a snapshot/restore cycle.
+    pub elapsed: Duration,
 }
 
 impl Default for ScriptRepository {
@@ -48,17 +72,34 @@ impl Default for ScriptRepository {
 
 impl ScriptRepository {
     /// A fresh repository. With `record_events` every lookup is timestamped
-    /// (needed only for the Fig. 14 experiment).
+    /// (needed only for the Fig. 14 experiment); the event buffer is capped
+    /// at [`DEFAULT_EVENT_LIMIT`].
     pub fn new(record_events: bool) -> Self {
+        ScriptRepository::with_event_limit(record_events, DEFAULT_EVENT_LIMIT)
+    }
+
+    /// A fresh repository with an explicit cap on the recorded-event
+    /// buffer. Lookups past the cap (between drains) increment
+    /// [`ScriptRepository::events_dropped`] instead of allocating.
+    pub fn with_event_limit(record_events: bool, event_limit: usize) -> Self {
         ScriptRepository {
             map: HashMap::new(),
             hits: 0,
             misses: 0,
             start: Instant::now(),
+            base_elapsed: Duration::ZERO,
             record_events,
             events: Vec::new(),
+            event_limit,
+            events_dropped: 0,
             new_keys: Vec::new(),
         }
+    }
+
+    /// Time elapsed on the lookup timeline — includes the timeline of any
+    /// imported export (warm start).
+    pub fn elapsed(&self) -> Duration {
+        self.base_elapsed + self.start.elapsed()
     }
 
     /// Look a shape key up, recording a hit or a miss.
@@ -69,12 +110,23 @@ impl ScriptRepository {
             None => self.misses += 1,
         }
         if self.record_events {
-            self.events.push(HitEvent {
-                at: self.start.elapsed(),
-                hit: found.is_some(),
-            });
+            if self.events.len() < self.event_limit {
+                self.events.push(HitEvent {
+                    at: self.elapsed(),
+                    hit: found.is_some(),
+                });
+            } else {
+                self.events_dropped += 1;
+            }
         }
         found
+    }
+
+    /// Whether a script is stored under `key` — no counters are touched
+    /// (used by the parallel planner to find the distinct missing shapes of
+    /// a batch before the serial lookup replay).
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
     }
 
     /// Store a freshly generated script under its shape key. The key is
@@ -97,7 +149,8 @@ impl ScriptRepository {
             .collect()
     }
 
-    /// Export every entry plus the lookup counters (entries sorted by key).
+    /// Export every entry plus the lookup counters (entries sorted by key)
+    /// and the elapsed lookup-timeline offset.
     pub fn export(&self) -> RepositoryExport {
         let mut entries: Vec<(String, Script)> = self
             .map
@@ -109,18 +162,23 @@ impl ScriptRepository {
             entries,
             hits: self.hits,
             misses: self.misses,
+            elapsed: self.elapsed(),
         }
     }
 
     /// Restore entries and counters from an export. Existing entries with
     /// the same key are overwritten (imports are idempotent); imported keys
-    /// are *not* marked new — they were already persisted.
+    /// are *not* marked new — they were already persisted. The lookup
+    /// timeline resumes at the export's elapsed offset, so hit-event
+    /// timestamps stay monotone across a snapshot/restore cycle.
     pub fn import(&mut self, export: RepositoryExport) {
         for (key, script) in export.entries {
             self.map.insert(key, Arc::new(script));
         }
         self.hits = export.hits;
         self.misses = export.misses;
+        self.base_elapsed = export.elapsed;
+        self.start = Instant::now();
         self.new_keys.clear();
     }
 
@@ -165,8 +223,15 @@ impl ScriptRepository {
         &self.events
     }
 
+    /// Events discarded because the buffer was at its cap when they
+    /// occurred (`sedex_hit_events_dropped_total`).
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
     /// Drain the recorded events (used by the engine when assembling the
-    /// final report).
+    /// final report). Frees the buffer, so recording resumes until the cap
+    /// is reached again.
     pub fn take_events(&mut self) -> Vec<HitEvent> {
         std::mem::take(&mut self.events)
     }
@@ -209,6 +274,15 @@ mod tests {
     }
 
     #[test]
+    fn contains_does_not_count() {
+        let mut r = ScriptRepository::new(false);
+        assert!(!r.contains("k"));
+        r.insert("k".into(), dummy_script("T"));
+        assert!(r.contains("k"));
+        assert_eq!((r.hits(), r.misses()), (0, 0));
+    }
+
+    #[test]
     fn event_recording() {
         let mut r = ScriptRepository::new(true);
         r.lookup("k");
@@ -219,6 +293,25 @@ mod tests {
         assert!(!ev[0].hit);
         assert!(ev[1].hit);
         assert!(ev[1].at >= ev[0].at);
+        assert_eq!(r.events_dropped(), 0);
+    }
+
+    #[test]
+    fn event_buffer_is_capped_and_drops_are_counted() {
+        let mut r = ScriptRepository::with_event_limit(true, 3);
+        r.insert("k".into(), dummy_script("T"));
+        for _ in 0..10 {
+            r.lookup("k");
+        }
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.events_dropped(), 7);
+        // Counters are unaffected by the cap.
+        assert_eq!(r.hits(), 10);
+        // Draining frees the buffer: recording resumes.
+        assert_eq!(r.take_events().len(), 3);
+        r.lookup("k");
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.events_dropped(), 7);
     }
 
     #[test]
@@ -244,9 +337,31 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert_eq!(back.hits(), 1);
         assert_eq!(back.misses(), 1);
-        assert_eq!(back.export(), ex);
+        let round = back.export();
+        assert_eq!(round.entries, ex.entries);
+        assert_eq!((round.hits, round.misses), (ex.hits, ex.misses));
         // Imported keys are not "new": nothing to persist again.
         assert!(back.take_new_scripts().is_empty());
+    }
+
+    #[test]
+    fn import_resumes_the_event_timeline() {
+        let mut r = ScriptRepository::new(true);
+        r.insert("k".into(), dummy_script("T"));
+        r.lookup("k");
+        std::thread::sleep(Duration::from_millis(5));
+        let ex = r.export();
+        let exported_elapsed = ex.elapsed;
+        assert!(exported_elapsed >= Duration::from_millis(5));
+
+        // The restored repository continues the exporter's timeline: a
+        // lookup right after import is stamped *after* the export point,
+        // not back at t = 0 (the Fig. 14 warm-start bug).
+        let mut back = ScriptRepository::new(true);
+        back.import(ex);
+        assert!(back.elapsed() >= exported_elapsed);
+        back.lookup("k");
+        assert!(back.events()[0].at >= exported_elapsed);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use sedex_mapping::Correspondences;
-use sedex_observe::{Observer, Phase};
+use sedex_observe::{Event, Observer, Phase};
 use sedex_storage::relation::RowId;
 use sedex_storage::{ConflictPolicy, Instance, Schema, StorageError, Tuple};
 use sedex_treerep::{tuple_shape_key, tuple_tree, SchemaForest, TreeConfig};
@@ -93,7 +93,8 @@ impl SedexSession {
         };
         let source = Instance::new(source_schema);
         let seen = SeenSet::for_instance(&source);
-        let record = config.record_hit_events;
+        let repo =
+            ScriptRepository::with_event_limit(config.record_hit_events, config.hit_event_limit);
         Ok(SedexSession {
             config,
             cfds: CfdInterpreter::new(),
@@ -102,7 +103,7 @@ impl SedexSession {
             target: Instance::new(target_schema),
             target_forest,
             matcher,
-            repo: ScriptRepository::new(record),
+            repo,
             seen,
             fresh_counter: 0,
             source,
@@ -202,11 +203,16 @@ impl SedexSession {
             self.seen.mark(relation, row);
         }
         let key = format!("{}|{}", relation, tuple_shape_key(&tx));
+        let dropped_before = self.repo.events_dropped();
         let script = if self.config.reuse_scripts {
             self.repo.lookup(&key)
         } else {
             None
         };
+        let dropped = self.repo.events_dropped() - dropped_before;
+        if dropped > 0 {
+            trace.emit(&Event::HitEventsDropped { count: dropped });
+        }
         let script = match script {
             Some(s) => {
                 self.report.scripts_reused += 1;
@@ -287,6 +293,7 @@ impl SedexSession {
         self.report
             .hit_events
             .clone_from(&self.repo.events().to_vec());
+        self.report.hit_events_dropped = self.repo.events_dropped() as usize;
         &self.report
     }
 
@@ -304,6 +311,7 @@ impl SedexSession {
         let mut r = self.report.clone();
         r.stats = self.target.stats();
         r.hit_events.clear();
+        r.hit_events_dropped = self.repo.events_dropped() as usize;
         r
     }
 
@@ -331,7 +339,10 @@ impl SedexSession {
     pub fn restore_state(&mut self, state: SessionState) {
         self.source = state.source;
         self.target = state.target;
-        let mut repo = ScriptRepository::new(self.config.record_hit_events);
+        let mut repo = ScriptRepository::with_event_limit(
+            self.config.record_hit_events,
+            self.config.hit_event_limit,
+        );
         repo.import(state.repository);
         self.repo = repo;
         self.seen = SeenSet::import(state.seen);
@@ -362,6 +373,7 @@ impl SedexSession {
     pub fn finish(mut self) -> (Instance, ExchangeReport) {
         self.report.stats = self.target.stats();
         self.report.hit_events = self.repo.take_events();
+        self.report.hit_events_dropped = self.repo.events_dropped() as usize;
         (self.target, self.report)
     }
 }

@@ -21,8 +21,14 @@ use sedex_storage::codec::{decode_instance, encode_instance, ByteReader, ByteWri
 use crate::crc32::crc32;
 use crate::record::{decode_script, encode_script};
 
-/// Snapshot file magic (`SDXSNAP` + format version 1).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SDXSNAP1";
+/// Snapshot file magic (`SDXSNAP` + format version 2). Version 2 adds the
+/// script repository's elapsed time base, so warm-started sessions keep a
+/// monotone hit-event timeline across restarts.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SDXSNAP2";
+
+/// The previous snapshot format, still readable: identical to version 2
+/// except the repository time base is absent (restored as zero).
+pub const SNAPSHOT_MAGIC_V1: &[u8; 8] = b"SDXSNAP1";
 
 /// One persisted session.
 #[derive(Debug, Clone)]
@@ -82,7 +88,7 @@ fn decode_report(r: &mut ByteReader<'_>) -> CodecResult<ExchangeReport> {
     })
 }
 
-fn encode_state(w: &mut ByteWriter, s: &SessionState) {
+fn encode_state(w: &mut ByteWriter, s: &SessionState, v2: bool) {
     encode_instance(w, &s.source);
     encode_instance(w, &s.target);
     w.put_u32(s.repository.entries.len() as u32);
@@ -92,6 +98,9 @@ fn encode_state(w: &mut ByteWriter, s: &SessionState) {
     }
     w.put_u64(s.repository.hits as u64);
     w.put_u64(s.repository.misses as u64);
+    if v2 {
+        w.put_u64(s.repository.elapsed.as_nanos() as u64);
+    }
     w.put_u32(s.seen.len() as u32);
     for (rel, bits) in &s.seen {
         w.put_str(rel);
@@ -104,7 +113,7 @@ fn encode_state(w: &mut ByteWriter, s: &SessionState) {
     encode_report(w, &s.report);
 }
 
-fn decode_state(r: &mut ByteReader<'_>) -> CodecResult<SessionState> {
+fn decode_state(r: &mut ByteReader<'_>, v2: bool) -> CodecResult<SessionState> {
     let source = decode_instance(r)?;
     let target = decode_instance(r)?;
     let nentries = r.get_u32()? as usize;
@@ -116,6 +125,11 @@ fn decode_state(r: &mut ByteReader<'_>) -> CodecResult<SessionState> {
     }
     let hits = r.get_u64()? as usize;
     let misses = r.get_u64()? as usize;
+    let elapsed = if v2 {
+        Duration::from_nanos(r.get_u64()?)
+    } else {
+        Duration::ZERO
+    };
     let nseen = r.get_u32()? as usize;
     let mut seen = Vec::with_capacity(nseen.min(4096));
     for _ in 0..nseen {
@@ -136,6 +150,7 @@ fn decode_state(r: &mut ByteReader<'_>) -> CodecResult<SessionState> {
             entries,
             hits,
             misses,
+            elapsed,
         },
         seen,
         fresh_counter,
@@ -143,7 +158,7 @@ fn decode_state(r: &mut ByteReader<'_>) -> CodecResult<SessionState> {
     })
 }
 
-fn encode_snapshot(snap: &ShardSnapshot) -> Vec<u8> {
+fn encode_snapshot(snap: &ShardSnapshot, v2: bool) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(snap.lsn);
     w.put_u32(snap.sessions.len() as u32);
@@ -152,12 +167,12 @@ fn encode_snapshot(snap: &ShardSnapshot) -> Vec<u8> {
         w.put_str(&s.scenario);
         w.put_u64(s.requests);
         w.put_u64(s.tuples_in);
-        encode_state(&mut w, &s.state);
+        encode_state(&mut w, &s.state, v2);
     }
     w.into_bytes()
 }
 
-fn decode_snapshot(body: &[u8]) -> CodecResult<ShardSnapshot> {
+fn decode_snapshot(body: &[u8], v2: bool) -> CodecResult<ShardSnapshot> {
     let mut r = ByteReader::new(body);
     let lsn = r.get_u64()?;
     let n = r.get_u32()? as usize;
@@ -167,7 +182,7 @@ fn decode_snapshot(body: &[u8]) -> CodecResult<ShardSnapshot> {
         let scenario = r.get_str()?;
         let requests = r.get_u64()?;
         let tuples_in = r.get_u64()?;
-        let state = decode_state(&mut r)?;
+        let state = decode_state(&mut r, v2)?;
         sessions.push(SessionSnapshot {
             name,
             scenario,
@@ -183,7 +198,7 @@ fn decode_snapshot(body: &[u8]) -> CodecResult<ShardSnapshot> {
 /// Write a snapshot atomically: temp file, fsync, rename, directory fsync.
 pub fn write_snapshot(path: impl AsRef<Path>, snap: &ShardSnapshot) -> io::Result<()> {
     let path = path.as_ref();
-    let body = encode_snapshot(snap);
+    let body = encode_snapshot(snap, true);
     let tmp = path.with_extension("tmp");
     {
         let mut f = OpenOptions::new()
@@ -214,9 +229,14 @@ pub fn write_snapshot(path: impl AsRef<Path>, snap: &ShardSnapshot) -> io::Resul
 pub fn read_snapshot(path: impl AsRef<Path>) -> io::Result<Option<ShardSnapshot>> {
     let mut buf = Vec::new();
     File::open(path.as_ref())?.read_to_end(&mut buf)?;
-    if buf.len() < SNAPSHOT_MAGIC.len() + 8 || &buf[..8] != SNAPSHOT_MAGIC {
+    if buf.len() < SNAPSHOT_MAGIC.len() + 8 {
         return Ok(None);
     }
+    let v2 = match &buf[..8] {
+        m if m == SNAPSHOT_MAGIC => true,
+        m if m == SNAPSHOT_MAGIC_V1 => false,
+        _ => return Ok(None),
+    };
     let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
     let crc = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
     let body_start = 16;
@@ -227,7 +247,7 @@ pub fn read_snapshot(path: impl AsRef<Path>) -> io::Result<Option<ShardSnapshot>
     if crc32(body) != crc {
         return Ok(None);
     }
-    Ok(decode_snapshot(body).ok())
+    Ok(decode_snapshot(body, v2).ok())
 }
 
 #[cfg(test)]
@@ -313,6 +333,40 @@ Dep: d1, b1
             s.state.report.scripts_reused,
             session.report_snapshot().scripts_reused
         );
+        // v2 persists the repository's elapsed time base verbatim.
+        assert_eq!(
+            s.state.repository.elapsed,
+            snap.sessions[0].state.repository.elapsed
+        );
+    }
+
+    #[test]
+    fn v1_snapshots_still_read_with_a_zero_time_base() {
+        let session = sample_session(3);
+        let snap = ShardSnapshot {
+            lsn: 7,
+            sessions: vec![SessionSnapshot {
+                name: "legacy".into(),
+                scenario: sedex_mapping_shim::SCENARIO.into(),
+                requests: 3,
+                tuples_in: 3,
+                state: session.export_state(),
+            }],
+        };
+        // A v1 file: old magic, body without the elapsed field.
+        let body = encode_snapshot(&snap, false);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC_V1);
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let path = tmp("v1.snap");
+        std::fs::write(&path, &bytes).unwrap();
+        let back = read_snapshot(&path).unwrap().expect("v1 validates");
+        let s = &back.sessions[0];
+        assert_eq!(s.name, "legacy");
+        assert_eq!(s.state.repository.entries.len(), session.scripts_cached());
+        assert_eq!(s.state.repository.elapsed, Duration::ZERO);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub mod names {
     pub const ROWS_INSERTED_TOTAL: &str = "sedex_rows_inserted_total";
     /// Exchanges that exceeded the slow threshold (counter).
     pub const SLOW_EXCHANGE_TOTAL: &str = "sedex_slow_exchange_total";
+    /// Hit events dropped because the repository event buffer was at its
+    /// cap (counter).
+    pub const HIT_EVENTS_DROPPED_TOTAL: &str = "sedex_hit_events_dropped_total";
 }
 
 /// An [`Observer`] that folds events into a [`MetricsRegistry`].
@@ -44,6 +47,7 @@ pub struct RegistryObserver {
     exchange_hist: Arc<Histogram>,
     tuples: Arc<Counter>,
     slow: Arc<Counter>,
+    hit_events_dropped: Arc<Counter>,
 }
 
 impl RegistryObserver {
@@ -89,6 +93,10 @@ impl RegistryObserver {
                 names::SLOW_EXCHANGE_TOTAL,
                 "Exchanges slower than the configured threshold.",
             ),
+            hit_events_dropped: registry.counter(
+                names::HIT_EVENTS_DROPPED_TOTAL,
+                "Hit events dropped because the repository event buffer was full.",
+            ),
         }
     }
 
@@ -120,6 +128,7 @@ impl Observer for RegistryObserver {
                 self.tuples.add(tuples);
                 self.exchange_hist.observe_nanos(nanos);
             }
+            Event::HitEventsDropped { count } => self.hit_events_dropped.add(count),
             Event::SlowExchange { .. } => self.slow.inc(),
         }
     }

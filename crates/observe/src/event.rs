@@ -148,6 +148,12 @@ pub enum Event<'a> {
         /// Number of exchanges (1 for a live event).
         count: u64,
     },
+    /// Recorded hit events discarded because the repository's event buffer
+    /// was at its cap (long-lived sessions that rarely drain).
+    HitEventsDropped {
+        /// Number of events dropped.
+        count: u64,
+    },
     /// An exchange exceeded the configured slow threshold.
     SlowExchange {
         /// Total exchange wall time, nanoseconds.

@@ -4,6 +4,7 @@
 //! ```text
 //! sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy]
 //!                      [--threads N] [--batch-size N]
+//!                      [--parallel-threshold N]
 //!                      [--metrics-out <path>] [--slow-ms N]
 //!                      [--sql] [--xml-sample] [--quiet] [--verbose]
 //! sedex check <file.sdx>        # parse + validate only
@@ -11,6 +12,7 @@
 //! sedex gen <kind> [--tuples N] # emit a ready-to-run scenario file
 //! sedex serve [--addr A] [--workers N] [--shards N] [--queue-depth N]
 //!             [--idle-ttl SECS] [--metrics] [--slow-ms N]
+//!             [--engine-threads N] [--parallel-threshold N]
 //!             [--data-dir DIR] [--fsync always|every-N|off]
 //!             [--snapshot-every N]
 //! sedex recover <dir>           # inspect a --data-dir: what would recover?
@@ -47,7 +49,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N]\n  sedex recover <data-dir>"
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N]\n  sedex recover <data-dir>"
         .to_owned()
 }
 
@@ -177,7 +179,8 @@ fn generate(args: &[String]) -> Result<(), String> {
 
 /// `sedex serve [--addr host:port] [--workers N] [--shards N]
 /// [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N]
-/// [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N]`:
+/// [--engine-threads N] [--parallel-threshold N] [--data-dir DIR]
+/// [--fsync always|every-N|off] [--snapshot-every N]`:
 /// run the multi-tenant exchange server until a wire `SHUTDOWN` arrives.
 fn serve(flags: &[String]) -> Result<(), String> {
     use sedex::service::{Server, ServerConfig};
@@ -220,6 +223,16 @@ fn serve(flags: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--slow-ms: {e}"))?;
                 cfg.slow_exchange_threshold = Some(std::time::Duration::from_millis(ms));
+            }
+            "--engine-threads" => {
+                cfg.engine_threads = value("--engine-threads")?
+                    .parse()
+                    .map_err(|e| format!("--engine-threads: {e}"))?;
+            }
+            "--parallel-threshold" => {
+                cfg.parallel_threshold = value("--parallel-threshold")?
+                    .parse()
+                    .map_err(|e| format!("--parallel-threshold: {e}"))?;
             }
             "--data-dir" => {
                 cfg.data_dir = Some(std::path::PathBuf::from(value("--data-dir")?));
@@ -291,6 +304,13 @@ fn run_exchange(file: &ScenarioFile, flags: &[String]) -> Result<(), String> {
                     .ok_or_else(|| "--batch-size needs a value".to_owned())?
                     .parse()
                     .map_err(|e| format!("--batch-size: {e}"))?;
+            }
+            "--parallel-threshold" => {
+                config.parallel_threshold = it
+                    .next()
+                    .ok_or_else(|| "--parallel-threshold needs a value".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("--parallel-threshold: {e}"))?;
             }
             "--metrics-out" => {
                 metrics_out = Some(

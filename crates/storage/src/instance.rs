@@ -92,6 +92,18 @@ impl Instance {
             .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
     }
 
+    /// Mutable access to *every* relation instance at once, keyed by name.
+    /// The returned references are disjoint, so callers may hand each
+    /// relation to a different thread — the engine's parallel script
+    /// execution partitions inserts by target relation this way (egd/key
+    /// checks stay serialized per relation).
+    pub fn relations_mut(&mut self) -> HashMap<&str, &mut RelationInstance> {
+        self.relations
+            .iter_mut()
+            .map(|(name, rel)| (name.as_str(), rel))
+            .collect()
+    }
+
     /// Iterate `(name, relation_instance)` in schema order.
     pub fn relations(&self) -> impl Iterator<Item = (&str, &RelationInstance)> {
         self.schema

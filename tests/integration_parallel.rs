@@ -64,6 +64,116 @@ fn batch_sizes_agree() {
     }
 }
 
+/// The full-pipeline determinism criterion: at any thread count the engine
+/// must produce a *byte-identical* target instance (per the canonical codec
+/// encoding, which fixes schema and row order), identical
+/// inserted/merged/violation counters, and an identical script repository —
+/// same entries, same hit/miss counters. Row sorting (as in
+/// `assert_same_instance`) would hide row-order and fresh-label
+/// nondeterminism; byte equality does not.
+fn assert_byte_identical_across_threads(
+    inst: &Instance,
+    target: &Schema,
+    sigma: &sedex::mapping::Correspondences,
+) {
+    use sedex::storage::codec::{encode_instance, ByteWriter};
+
+    let encode = |out: &Instance| {
+        let mut w = ByteWriter::new();
+        encode_instance(&mut w, out);
+        w.into_bytes()
+    };
+    let serial = SedexEngine::with_config(SedexConfig {
+        record_hit_events: true,
+        ..SedexConfig::default()
+    });
+    let (base_out, base_report, base_repo) = serial
+        .exchange_with_repository(inst, target, sigma)
+        .unwrap();
+    let base_bytes = encode(&base_out);
+    for threads in [2usize, 8] {
+        let engine = SedexEngine::with_config(SedexConfig {
+            threads,
+            batch_size: 64,
+            parallel_threshold: 1,
+            record_hit_events: true,
+            ..SedexConfig::default()
+        });
+        let (out, report, repo) = engine
+            .exchange_with_repository(inst, target, sigma)
+            .unwrap();
+        assert_eq!(
+            encode(&out),
+            base_bytes,
+            "threads={threads}: target instance bytes differ"
+        );
+        assert_eq!(
+            (report.inserted, report.merged, report.violations),
+            (
+                base_report.inserted,
+                base_report.merged,
+                base_report.violations
+            ),
+            "threads={threads}: outcome counters differ"
+        );
+        assert_eq!(
+            (report.scripts_generated, report.scripts_reused),
+            (base_report.scripts_generated, base_report.scripts_reused),
+            "threads={threads}: repository counters differ"
+        );
+        let hit_seq = |r: &sedex::core::ExchangeReport| {
+            r.hit_events.iter().map(|e| e.hit).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            hit_seq(&report),
+            hit_seq(&base_report),
+            "threads={threads}: hit-event sequence differs"
+        );
+        assert_eq!(
+            repo.entries, base_repo.entries,
+            "threads={threads}: repository entries differ"
+        );
+        assert_eq!(
+            (repo.hits, repo.misses),
+            (base_repo.hits, base_repo.misses),
+            "threads={threads}: repository hit/miss counters differ"
+        );
+    }
+}
+
+#[test]
+fn determinism_threads_1_vs_8_university() {
+    use sedex::scenarios::university;
+    let s = university::scenario();
+    let mut inst = university::fig3_instance().unwrap();
+    // Widen the instance so several batches cross the parallel threshold.
+    for i in 0..400 {
+        inst.insert(
+            "Registration",
+            sedex::storage::Tuple::of([
+                format!("s{}", 1 + i % 2),
+                format!("c{i}"),
+                format!("d{i}"),
+            ]),
+            ConflictPolicy::Allow,
+        )
+        .unwrap();
+    }
+    assert_byte_identical_across_threads(&inst, &s.target, &s.sigma);
+}
+
+#[test]
+fn determinism_threads_1_vs_8_ibench_stb() {
+    let s = stb(&IbenchConfig {
+        instances_per_primitive: 2,
+        ..IbenchConfig::default()
+    });
+    // SK/NE primitives mint fresh labeled nulls: the byte comparison also
+    // proves the fresh-label sequence is thread-count independent.
+    let inst = s.populate(300, 97).unwrap();
+    assert_byte_identical_across_threads(&inst, &s.target, &s.sigma);
+}
+
 #[test]
 fn parallel_reports_consistent_counts() {
     let s = stb(&IbenchConfig {
