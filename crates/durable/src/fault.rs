@@ -1,0 +1,374 @@
+//! Deterministic fault injection: a seeded [`FaultPlan`] that fires
+//! I/O faults, latency, short writes, or panics at exact operation counts.
+//!
+//! The durability fault tests used to simulate crashes by corrupting files
+//! *after the fact* — flip a CRC byte, truncate a segment, delete a
+//! snapshot. That exercises recovery, but not the failure paths themselves:
+//! what happens when `fsync` fails on the 7th append, when a snapshot write
+//! dies halfway, when a client socket drops mid-response. A `FaultPlan`
+//! makes those moments injectable and — because triggers are
+//! operation-count based and the counts come from a seeded PRNG —
+//! *reproducible*: the same seed produces the same fault sequence, so a
+//! chaos test can assert the exact recovery outcome instead of hoping.
+//!
+//! A plan is shared (`Arc<FaultPlan>`) across every thread of a server and
+//! threaded behind small hooks into the WAL appender
+//! ([`FaultPoint::WalAppend`], [`FaultPoint::WalFsync`]), the snapshot
+//! writer ([`FaultPoint::SnapshotWrite`]), and `sedex-service`'s accept,
+//! read, write, and per-request session paths. Production servers carry no
+//! plan: every hook is a `None` check.
+
+use std::io::{self, ErrorKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sedex_scenarios::rng::SmallRng;
+
+/// Where in the system a fault can fire. Each point keeps its own
+/// operation counter; a rule addresses "the Nth operation at point P".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// A WAL record append (before the frame is written).
+    WalAppend,
+    /// A WAL fsync (append-path, checkpoint seal, or shutdown sync).
+    WalFsync,
+    /// A snapshot file write (before the temp file is written).
+    SnapshotWrite,
+    /// A freshly accepted TCP connection (the server drops it).
+    Accept,
+    /// A socket read on a connection thread.
+    ConnRead,
+    /// A response write on a connection thread.
+    ConnWrite,
+    /// Per-request session work, fired while the tenant lock is held —
+    /// the place to inject [`FaultKind::Panic`] (quarantine testing) or
+    /// [`FaultKind::Latency`] (a slow worker for shedding/deadline tests).
+    SessionWork,
+}
+
+impl FaultPoint {
+    /// Every point, in counter-index order.
+    pub const ALL: [FaultPoint; 7] = [
+        FaultPoint::WalAppend,
+        FaultPoint::WalFsync,
+        FaultPoint::SnapshotWrite,
+        FaultPoint::Accept,
+        FaultPoint::ConnRead,
+        FaultPoint::ConnWrite,
+        FaultPoint::SessionWork,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::WalAppend => 0,
+            FaultPoint::WalFsync => 1,
+            FaultPoint::SnapshotWrite => 2,
+            FaultPoint::Accept => 3,
+            FaultPoint::ConnRead => 4,
+            FaultPoint::ConnWrite => 5,
+            FaultPoint::SessionWork => 6,
+        }
+    }
+
+    /// Stable lower-snake name (metric label / log text).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::WalAppend => "wal_append",
+            FaultPoint::WalFsync => "wal_fsync",
+            FaultPoint::SnapshotWrite => "snapshot_write",
+            FaultPoint::Accept => "accept",
+            FaultPoint::ConnRead => "conn_read",
+            FaultPoint::ConnWrite => "conn_write",
+            FaultPoint::SessionWork => "session_work",
+        }
+    }
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with an `io::Error` of this kind.
+    Error(ErrorKind),
+    /// A write-path operation writes only a prefix of its bytes, then
+    /// fails — at [`FaultPoint::WalAppend`] this leaves a *torn frame* on
+    /// disk, exactly what a crash mid-append produces. Non-write points
+    /// treat it like `Error(WriteZero)`.
+    ShortWrite,
+    /// The operation is delayed by this much, then proceeds normally.
+    Latency(Duration),
+    /// The thread panics (service workers catch and quarantine).
+    Panic,
+}
+
+/// One trigger: the `at`-th operation (1-based) at `point` suffers `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Where the fault fires.
+    pub point: FaultPoint,
+    /// Which operation (1-based count at that point) it fires on.
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule, shared across threads.
+///
+/// Build one with the fluent API and hand it to a server/shard as
+/// `Arc<FaultPlan>`:
+///
+/// ```
+/// use std::io::ErrorKind;
+/// use std::time::Duration;
+/// use sedex_durable::fault::{FaultKind, FaultPlan, FaultPoint};
+///
+/// let plan = FaultPlan::new()
+///     .rule(FaultPoint::WalFsync, 3, FaultKind::Error(ErrorKind::Interrupted))
+///     .seeded_rules(42, FaultPoint::ConnWrite, FaultKind::ShortWrite, 2, 5, 40);
+/// assert_eq!(plan.rules().len(), 3);
+/// // Same seed ⇒ same schedule, every run, every platform.
+/// let again = FaultPlan::new()
+///     .rule(FaultPoint::WalFsync, 3, FaultKind::Error(ErrorKind::Interrupted))
+///     .seeded_rules(42, FaultPoint::ConnWrite, FaultKind::ShortWrite, 2, 5, 40);
+/// assert_eq!(plan.rules(), again.rules());
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Mutex<Vec<FaultRule>>,
+    ops: Vec<AtomicU64>,
+    injected: Vec<AtomicU64>,
+    fired: Mutex<Vec<FaultRule>>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every hook is a no-op until rules are added.
+    pub fn new() -> Self {
+        FaultPlan {
+            rules: Mutex::new(Vec::new()),
+            ops: (0..FaultPoint::ALL.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            injected: (0..FaultPoint::ALL.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Add one explicit rule.
+    pub fn rule(self, point: FaultPoint, at: u64, kind: FaultKind) -> Self {
+        self.rules
+            .lock()
+            .expect("fault plan lock poisoned")
+            .push(FaultRule { point, at, kind });
+        self
+    }
+
+    /// Add `n` rules of `kind` at `point`, at distinct operation counts
+    /// drawn uniformly from `[lo, hi]` by a PRNG seeded from `seed` and
+    /// the point — the reproducible way to scatter faults over a run.
+    pub fn seeded_rules(
+        self,
+        seed: u64,
+        point: FaultPoint,
+        kind: FaultKind,
+        n: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Self {
+        let (lo, hi) = (lo.max(1), hi.max(lo.max(1)));
+        let window = (hi - lo + 1) as usize;
+        let mut rng = SmallRng::seed_from_u64(seed ^ ((point.index() as u64 + 1) << 56));
+        let mut ats = std::collections::BTreeSet::new();
+        while ats.len() < n.min(window) {
+            ats.insert(lo + rng.gen_index(window) as u64);
+        }
+        {
+            let mut rules = self.rules.lock().expect("fault plan lock poisoned");
+            for at in ats {
+                rules.push(FaultRule { point, at, kind });
+            }
+        }
+        self
+    }
+
+    /// The current schedule (sorted by point index, then count).
+    pub fn rules(&self) -> Vec<FaultRule> {
+        let mut out = self.rules.lock().expect("fault plan lock poisoned").clone();
+        out.sort_by_key(|r| (r.point.index(), r.at));
+        out
+    }
+
+    /// Count one operation at `point` and return the fault to inject on
+    /// it, if any. [`FaultKind::Latency`] is served *here* (the sleep
+    /// happens before returning) so call sites only branch on the
+    /// error-shaped kinds. [`FaultKind::Panic`] panics here, while the
+    /// faulted operation's locks are held — the realistic crash site.
+    pub fn fire(&self, point: FaultPoint) -> Option<FaultKind> {
+        let n = self.ops[point.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        let hit = self
+            .rules
+            .lock()
+            .expect("fault plan lock poisoned")
+            .iter()
+            .find(|r| r.point == point && r.at == n)
+            .copied();
+        let rule = hit?;
+        self.injected[point.index()].fetch_add(1, Ordering::SeqCst);
+        self.fired
+            .lock()
+            .expect("fault plan lock poisoned")
+            .push(rule);
+        match rule.kind {
+            FaultKind::Latency(d) => {
+                std::thread::sleep(d);
+                Some(FaultKind::Latency(d))
+            }
+            FaultKind::Panic => panic!(
+                "injected fault: panic at {} operation {}",
+                point.name(),
+                rule.at
+            ),
+            other => Some(other),
+        }
+    }
+
+    /// [`fire`](Self::fire) flattened to an `io::Result` for call sites
+    /// with no partial-write semantics: `Error`/`ShortWrite` become an
+    /// `Err`, `Latency` has already slept, `Panic` has already panicked.
+    pub fn fire_io(&self, point: FaultPoint) -> io::Result<()> {
+        match self.fire(point) {
+            Some(FaultKind::Error(kind)) => Err(io::Error::new(
+                kind,
+                format!("injected fault at {}", point.name()),
+            )),
+            Some(FaultKind::ShortWrite) => Err(io::Error::new(
+                ErrorKind::WriteZero,
+                format!("injected short write at {}", point.name()),
+            )),
+            Some(FaultKind::Latency(_)) | None => Ok(()),
+            Some(FaultKind::Panic) => unreachable!("fire() panics on Panic rules"),
+        }
+    }
+
+    /// Operations counted at `point` so far.
+    pub fn ops(&self, point: FaultPoint) -> u64 {
+        self.ops[point.index()].load(Ordering::SeqCst)
+    }
+
+    /// Faults injected at `point` so far.
+    pub fn injected(&self, point: FaultPoint) -> u64 {
+        self.injected[point.index()].load(Ordering::SeqCst)
+    }
+
+    /// Faults injected across all points.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().map(|c| c.load(Ordering::SeqCst)).sum()
+    }
+
+    /// The rules that actually fired, in firing order — what a
+    /// reproducibility assertion compares across same-seed runs.
+    pub fn fired(&self) -> Vec<FaultRule> {
+        self.fired.lock().expect("fault plan lock poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::new();
+        for _ in 0..100 {
+            assert!(plan.fire(FaultPoint::WalAppend).is_none());
+        }
+        assert_eq!(plan.ops(FaultPoint::WalAppend), 100);
+        assert_eq!(plan.injected_total(), 0);
+    }
+
+    #[test]
+    fn rules_fire_at_exact_counts() {
+        let plan = FaultPlan::new()
+            .rule(
+                FaultPoint::WalFsync,
+                2,
+                FaultKind::Error(ErrorKind::Interrupted),
+            )
+            .rule(FaultPoint::WalFsync, 4, FaultKind::ShortWrite);
+        assert!(plan.fire_io(FaultPoint::WalFsync).is_ok()); // op 1
+        let e = plan.fire_io(FaultPoint::WalFsync).unwrap_err(); // op 2
+        assert_eq!(e.kind(), ErrorKind::Interrupted);
+        assert!(plan.fire_io(FaultPoint::WalFsync).is_ok()); // op 3
+        let e = plan.fire_io(FaultPoint::WalFsync).unwrap_err(); // op 4
+        assert_eq!(e.kind(), ErrorKind::WriteZero);
+        assert_eq!(plan.injected(FaultPoint::WalFsync), 2);
+        // Other points are unaffected.
+        assert!(plan.fire(FaultPoint::ConnRead).is_none());
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible_and_seed_sensitive() {
+        let mk = |seed| {
+            FaultPlan::new()
+                .seeded_rules(
+                    seed,
+                    FaultPoint::WalFsync,
+                    FaultKind::Error(ErrorKind::Interrupted),
+                    4,
+                    1,
+                    100,
+                )
+                .seeded_rules(seed, FaultPoint::ConnWrite, FaultKind::ShortWrite, 3, 5, 60)
+        };
+        assert_eq!(mk(7).rules(), mk(7).rules());
+        assert_ne!(mk(7).rules(), mk(8).rules());
+        assert_eq!(mk(7).rules().len(), 7);
+        // Counts are distinct per point and inside the window.
+        let rules = mk(7).rules();
+        for r in &rules {
+            match r.point {
+                FaultPoint::WalFsync => assert!((1..=100).contains(&r.at)),
+                FaultPoint::ConnWrite => assert!((5..=60).contains(&r.at)),
+                other => panic!("unexpected point {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn latency_is_served_inside_fire() {
+        let plan = FaultPlan::new().rule(
+            FaultPoint::SessionWork,
+            1,
+            FaultKind::Latency(Duration::from_millis(30)),
+        );
+        let t0 = std::time::Instant::now();
+        let kind = plan.fire(FaultPoint::SessionWork);
+        assert!(matches!(kind, Some(FaultKind::Latency(_))));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        // fire_io treats latency as success.
+        let plan = FaultPlan::new().rule(
+            FaultPoint::SessionWork,
+            1,
+            FaultKind::Latency(Duration::from_millis(1)),
+        );
+        assert!(plan.fire_io(FaultPoint::SessionWork).is_ok());
+    }
+
+    #[test]
+    fn panic_rules_panic_and_fired_log_records_order() {
+        let plan = std::sync::Arc::new(
+            FaultPlan::new()
+                .rule(FaultPoint::SessionWork, 2, FaultKind::Panic)
+                .rule(FaultPoint::SessionWork, 1, FaultKind::ShortWrite),
+        );
+        assert!(plan.fire(FaultPoint::SessionWork).is_some());
+        let p2 = std::sync::Arc::clone(&plan);
+        let caught = std::panic::catch_unwind(move || p2.fire(FaultPoint::SessionWork));
+        assert!(caught.is_err(), "panic rule must panic");
+        let fired = plan.fired();
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].at, 1);
+        assert_eq!(fired[1].kind, FaultKind::Panic);
+    }
+}

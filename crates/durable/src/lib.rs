@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod crc32;
+pub mod fault;
 pub mod record;
 pub mod recover;
 pub mod shard;
 pub mod snapshot;
 pub mod wal;
 
+pub use fault::{FaultKind, FaultPlan, FaultPoint, FaultRule};
 pub use record::WalRecord;
 pub use recover::{inspect, recover_data_dir, recover_shard_dir, RecoveredSession, RecoveryReport};
 pub use shard::{DurableMetrics, DurableShard};

@@ -15,9 +15,10 @@ use std::sync::Arc;
 
 use sedex_observe::{Counter, Histogram, MetricsRegistry};
 
+use crate::fault::FaultPlan;
 use crate::record::WalRecord;
 use crate::recover::{list_segments, list_snapshots, snapshot_path, wal_path, RecoveryReport};
-use crate::snapshot::{write_snapshot, SessionSnapshot, ShardSnapshot};
+use crate::snapshot::{write_snapshot_with, SessionSnapshot, ShardSnapshot};
 use crate::wal::{FsyncPolicy, WalWriter};
 
 /// Durability metrics, registered under `sedex_*` names so they surface in
@@ -98,6 +99,7 @@ pub struct DurableShard {
     policy: FsyncPolicy,
     records_since_checkpoint: u64,
     metrics: Option<Arc<DurableMetrics>>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl DurableShard {
@@ -123,7 +125,16 @@ impl DurableShard {
             policy,
             records_since_checkpoint: 0,
             metrics,
+            faults: None,
         })
+    }
+
+    /// Attach a fault plan, threaded into the WAL writer (appends, fsyncs)
+    /// and snapshot writes. Survives checkpoint rotation.
+    pub fn with_fault_plan(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.writer.set_faults(faults.clone());
+        self.faults = faults;
+        self
     }
 
     /// The shard directory.
@@ -208,10 +219,15 @@ impl DurableShard {
             lsn: watermark,
             sessions,
         };
-        write_snapshot(snapshot_path(&self.dir, new_gen), &snap)?;
+        write_snapshot_with(
+            snapshot_path(&self.dir, new_gen),
+            &snap,
+            self.faults.as_deref(),
+        )?;
         // Seal the old segment before swapping the writer.
         self.writer.sync()?;
         self.writer = WalWriter::create(wal_path(&self.dir, new_gen), self.policy)?;
+        self.writer.set_faults(self.faults.clone());
         self.generation = new_gen;
         self.records_since_checkpoint = 0;
         if let Some(m) = &self.metrics {

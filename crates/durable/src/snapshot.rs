@@ -197,7 +197,22 @@ fn decode_snapshot(body: &[u8], v2: bool) -> CodecResult<ShardSnapshot> {
 
 /// Write a snapshot atomically: temp file, fsync, rename, directory fsync.
 pub fn write_snapshot(path: impl AsRef<Path>, snap: &ShardSnapshot) -> io::Result<()> {
+    write_snapshot_with(path, snap, None)
+}
+
+/// [`write_snapshot`] with an optional fault plan: fires
+/// [`FaultPoint::SnapshotWrite`](crate::fault::FaultPoint::SnapshotWrite)
+/// before the temp file is created, so an injected failure leaves existing
+/// snapshots untouched — exactly like a crash before the atomic rename.
+pub fn write_snapshot_with(
+    path: impl AsRef<Path>,
+    snap: &ShardSnapshot,
+    faults: Option<&crate::fault::FaultPlan>,
+) -> io::Result<()> {
     let path = path.as_ref();
+    if let Some(p) = faults {
+        p.fire_io(crate::fault::FaultPoint::SnapshotWrite)?;
+    }
     let body = encode_snapshot(snap, true);
     let tmp = path.with_extension("tmp");
     {

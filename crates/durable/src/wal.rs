@@ -20,9 +20,11 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::crc32::crc32;
+use crate::fault::{FaultKind, FaultPlan, FaultPoint};
 
 /// Frame header size: `len` + `crc`.
 pub const FRAME_HEADER_BYTES: usize = 8;
@@ -90,6 +92,7 @@ pub struct WalWriter {
     path: PathBuf,
     policy: FsyncPolicy,
     appends_since_sync: u64,
+    faults: Option<Arc<FaultPlan>>,
     /// Records appended through this writer.
     pub appended: u64,
     /// Bytes written through this writer (headers included).
@@ -110,6 +113,7 @@ impl WalWriter {
             path,
             policy,
             appends_since_sync: 0,
+            faults: None,
             appended: 0,
             bytes: 0,
         })
@@ -120,6 +124,12 @@ impl WalWriter {
         &self.path
     }
 
+    /// Attach a fault plan: appends fire [`FaultPoint::WalAppend`] and
+    /// syncs fire [`FaultPoint::WalFsync`].
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultPlan>>) {
+        self.faults = faults;
+    }
+
     /// Append one record frame. Returns `(frame bytes, fsync latency)` —
     /// the latency is `None` when the policy did not sync this append.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<(u64, Option<std::time::Duration>)> {
@@ -128,6 +138,28 @@ impl WalWriter {
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
+        match self
+            .faults
+            .as_ref()
+            .and_then(|p| p.fire(FaultPoint::WalAppend))
+        {
+            Some(FaultKind::Error(kind)) => {
+                // Fails before any byte reaches the file — the append simply
+                // did not happen, as when `write` itself errors.
+                return Err(io::Error::new(kind, "injected fault at wal_append"));
+            }
+            Some(FaultKind::ShortWrite) => {
+                // Write a frame prefix, then fail: the torn frame a crash
+                // mid-append leaves behind. Recovery must truncate it.
+                self.file.write_all(&frame[..frame.len() / 2])?;
+                let _ = self.file.sync_data();
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected short write at wal_append",
+                ));
+            }
+            _ => {}
+        }
         self.file.write_all(&frame)?;
         self.appended += 1;
         self.bytes += frame.len() as u64;
@@ -149,6 +181,12 @@ impl WalWriter {
 
     /// Force everything written so far to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(p) = &self.faults {
+            // An injected fsync failure still leaves the frame in the page
+            // cache — the record survives a *process* crash, matching a real
+            // transient fsync error.
+            p.fire_io(FaultPoint::WalFsync)?;
+        }
         self.file.sync_data()?;
         self.appends_since_sync = 0;
         Ok(())

@@ -1,12 +1,16 @@
 //! Fault-injection tests: damage WAL segments and snapshots in every way a
-//! crash (or bit rot) can, and check that recovery returns to the last
-//! consistent state — and never panics.
+//! crash (or bit rot) can — by corrupting files after the fact *and* by
+//! injecting the failures live through a [`FaultPlan`] — and check that
+//! recovery returns to the last consistent state, and never panics.
 
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use sedex_core::SedexConfig;
 use sedex_durable::{
-    recover_shard_dir, DurableShard, FsyncPolicy, RecoveryReport, SessionSnapshot, WalRecord,
+    recover_shard_dir, DurableShard, FaultKind, FaultPlan, FaultPoint, FsyncPolicy, RecoveryReport,
+    SessionSnapshot, WalRecord,
 };
 use sedex_scenarios::textfmt;
 use sedex_storage::Instance;
@@ -253,6 +257,152 @@ fn conservative_watermark_replays_idempotently_and_loses_nothing() {
     assert_eq!(
         recovered[0].session.target().relation("Stu").unwrap().len(),
         5
+    );
+}
+
+#[test]
+fn injected_fsync_error_still_leaves_the_record_process_crash_safe() {
+    // The frame is written to the OS before the fsync attempt, so an
+    // injected fsync failure surfaces as an append error to the caller —
+    // but a *process* crash after it still finds the record on disk.
+    let dir = tmp_dir("fsyncfault");
+    let plan = Arc::new(FaultPlan::new().rule(
+        FaultPoint::WalFsync,
+        2,
+        FaultKind::Error(ErrorKind::Interrupted),
+    ));
+    let mut shard = DurableShard::open(
+        dir.clone(),
+        FsyncPolicy::Always,
+        &RecoveryReport::default(),
+        None,
+    )
+    .unwrap()
+    .with_fault_plan(Some(Arc::clone(&plan)));
+    shard
+        .append(&WalRecord::Open {
+            session: "s1".to_owned(),
+            scenario: SCENARIO.to_owned(),
+        })
+        .unwrap(); // fsync #1 succeeds
+    let err = shard.append(&push_record(0)).unwrap_err(); // fsync #2 injected
+    assert_eq!(err.kind(), ErrorKind::Interrupted);
+    assert_eq!(plan.injected(FaultPoint::WalFsync), 1);
+    drop(shard);
+
+    let (sessions, report) = recover_shard_dir(&dir, &SedexConfig::default(), None).unwrap();
+    assert_eq!(report.replay_errors, 0);
+    assert_eq!(sessions.len(), 1);
+    // Both records made it to the page cache before the injected failure.
+    assert_eq!(
+        sessions[0].session.target().relation("Stu").unwrap().len(),
+        1
+    );
+}
+
+#[test]
+fn injected_short_write_leaves_a_torn_frame_that_recovery_truncates() {
+    let dir = tmp_dir("shortwrite");
+    let plan = Arc::new(FaultPlan::new().rule(FaultPoint::WalAppend, 3, FaultKind::ShortWrite));
+    let mut shard = DurableShard::open(
+        dir.clone(),
+        FsyncPolicy::Off,
+        &RecoveryReport::default(),
+        None,
+    )
+    .unwrap()
+    .with_fault_plan(Some(Arc::clone(&plan)));
+    shard
+        .append(&WalRecord::Open {
+            session: "s1".to_owned(),
+            scenario: SCENARIO.to_owned(),
+        })
+        .unwrap();
+    shard.append(&push_record(0)).unwrap();
+    let err = shard.append(&push_record(1)).unwrap_err(); // half a frame hits disk
+    assert_eq!(err.kind(), ErrorKind::WriteZero);
+    drop(shard);
+
+    // Exactly the artifact a crash mid-append leaves: recovery truncates
+    // the torn frame and lands on the intact prefix.
+    let (sessions, report) = recover_shard_dir(&dir, &SedexConfig::default(), None).unwrap();
+    assert_eq!(report.torn_tails, 1);
+    assert_eq!(report.records_replayed, 2);
+    assert_eq!(
+        sessions[0].session.target().relation("Stu").unwrap().len(),
+        1
+    );
+
+    // The tear is gone; a second recovery is clean and identical.
+    let (again, report2) = recover_shard_dir(&dir, &SedexConfig::default(), None).unwrap();
+    assert_eq!(report2.torn_tails, 0);
+    assert_eq!(
+        dump(again[0].session.target()),
+        dump(sessions[0].session.target())
+    );
+}
+
+#[test]
+fn injected_snapshot_write_failure_keeps_the_log_as_fallback() {
+    let dir = tmp_dir("snapfault");
+    let config = SedexConfig::default();
+    let plan = Arc::new(FaultPlan::new().rule(
+        FaultPoint::SnapshotWrite,
+        1,
+        FaultKind::Error(ErrorKind::Other),
+    ));
+    let mut shard = DurableShard::open(
+        dir.clone(),
+        FsyncPolicy::Off,
+        &RecoveryReport::default(),
+        None,
+    )
+    .unwrap()
+    .with_fault_plan(Some(Arc::clone(&plan)));
+    shard
+        .append(&WalRecord::Open {
+            session: "s1".to_owned(),
+            scenario: SCENARIO.to_owned(),
+        })
+        .unwrap();
+    for i in 0..3 {
+        shard.append(&push_record(i)).unwrap();
+    }
+    let generation = shard.generation();
+
+    // First checkpoint dies before the temp file exists; nothing rotated,
+    // nothing deleted, the full log remains the recovery path.
+    let (sessions, _) = recover_shard_dir(&dir, &config, None).unwrap();
+    let snaps: Vec<SessionSnapshot> = sessions
+        .iter()
+        .map(|s| SessionSnapshot {
+            name: s.name.clone(),
+            scenario: s.scenario.clone(),
+            requests: s.requests,
+            tuples_in: s.tuples_in,
+            state: s.session.export_state(),
+        })
+        .collect();
+    let watermark = shard.last_lsn();
+    assert!(shard.checkpoint(watermark, snaps.clone()).is_err());
+    assert_eq!(shard.generation(), generation, "no rotation on failure");
+
+    let (recovered, report) = recover_shard_dir(&dir, &config, None).unwrap();
+    assert!(report.snapshot_generation.is_none());
+    assert_eq!(report.records_replayed, 4);
+    assert_eq!(
+        recovered[0].session.target().relation("Stu").unwrap().len(),
+        3
+    );
+
+    // The rule fired once; the retry succeeds and rotates normally.
+    shard.checkpoint(watermark, snaps).unwrap();
+    assert_eq!(shard.generation(), generation + 1);
+    let (after, report) = recover_shard_dir(&dir, &config, None).unwrap();
+    assert!(report.snapshot_generation.is_some());
+    assert_eq!(
+        dump(after[0].session.target()),
+        dump(recovered[0].session.target())
     );
 }
 

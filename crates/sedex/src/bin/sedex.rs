@@ -14,7 +14,8 @@
 //!             [--idle-ttl SECS] [--metrics] [--slow-ms N]
 //!             [--engine-threads N] [--parallel-threshold N]
 //!             [--data-dir DIR] [--fsync always|every-N|off]
-//!             [--snapshot-every N]
+//!             [--snapshot-every N] [--request-timeout MS]
+//!             [--max-conns N] [--shed-queue-depth N]
 //! sedex recover <dir>           # inspect a --data-dir: what would recover?
 //! ```
 //!
@@ -49,7 +50,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N]\n  sedex recover <data-dir>"
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N] [--request-timeout MS] [--max-conns N] [--shed-queue-depth N]\n  sedex recover <data-dir>"
         .to_owned()
 }
 
@@ -180,7 +181,8 @@ fn generate(args: &[String]) -> Result<(), String> {
 /// `sedex serve [--addr host:port] [--workers N] [--shards N]
 /// [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N]
 /// [--engine-threads N] [--parallel-threshold N] [--data-dir DIR]
-/// [--fsync always|every-N|off] [--snapshot-every N]`:
+/// [--fsync always|every-N|off] [--snapshot-every N]
+/// [--request-timeout MS] [--max-conns N] [--shed-queue-depth N]`:
 /// run the multi-tenant exchange server until a wire `SHUTDOWN` arrives.
 fn serve(flags: &[String]) -> Result<(), String> {
     use sedex::service::{Server, ServerConfig};
@@ -246,6 +248,22 @@ fn serve(flags: &[String]) -> Result<(), String> {
                 cfg.snapshot_every = value("--snapshot-every")?
                     .parse()
                     .map_err(|e| format!("--snapshot-every: {e}"))?;
+            }
+            "--request-timeout" => {
+                let ms: u64 = value("--request-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--request-timeout: {e}"))?;
+                cfg.request_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--max-conns" => {
+                cfg.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--shed-queue-depth" => {
+                cfg.shed_queue_depth = value("--shed-queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--shed-queue-depth: {e}"))?;
             }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }

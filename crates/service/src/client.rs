@@ -1,9 +1,22 @@
 //! A small blocking client for the wire protocol — what the integration
 //! tests (and any Rust embedder) use instead of hand-rolled `nc` I/O.
+//!
+//! The client is *resilient by default*: transport errors reconnect and
+//! retry, and `ERR BUSY retry-after=<ms>` replies back off and retry,
+//! both under a bounded budget ([`ClientConfig::max_attempts`] /
+//! [`ClientConfig::retry_deadline`]) with decorrelated-jitter exponential
+//! backoff (seeded, so test runs are reproducible). Retrying is safe
+//! because the server's mutating verbs are idempotent at-least-once:
+//! a re-`PUSH`/`FEED` of a tuple the server already applied is a seen-set
+//! no-op, a re-`FLUSH` finds nothing pending, and [`Client::open`] /
+//! [`Client::close`] treat "already exists" / "no such session" after a
+//! retry as the success they imply. `SHUTDOWN` is never retried.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use sedex_scenarios::rng::SmallRng;
 
 /// One parsed response block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,43 +45,167 @@ impl Reply {
     }
 }
 
-/// Blocking protocol client over one TCP connection.
+/// Client tunables: socket timeouts, retry budget, backoff shape, and
+/// response-size bounds. The defaults suit tests and interactive use.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout; `None` blocks on the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout (`None` waits forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (`None` waits forever).
+    pub write_timeout: Option<Duration>,
+    /// Total tries per request, the first included; `1` disables retries.
+    pub max_attempts: u32,
+    /// Wall-clock cap across all of one request's attempts and backoff
+    /// sleeps; `None` leaves only `max_attempts` bounding.
+    pub retry_deadline: Option<Duration>,
+    /// Backoff floor (first retry sleeps at least this).
+    pub backoff_base: Duration,
+    /// Backoff ceiling per sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter PRNG — same seed, same backoff schedule.
+    pub retry_seed: u64,
+    /// Longest accepted response line; a longer (or endless, on a stream
+    /// gone silent mid-line) one errors instead of buffering unboundedly.
+    pub max_response_line: usize,
+    /// Most body lines accepted in one response block.
+    pub max_response_lines: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_attempts: 3,
+            retry_deadline: None,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_secs(1),
+            retry_seed: 0x5EDE_C1E4,
+            max_response_line: 1 << 20,
+            max_response_lines: 1 << 20,
+        }
+    }
+}
+
+/// Blocking protocol client over one TCP connection, reconnecting and
+/// retrying per its [`ClientConfig`].
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    rng: SmallRng,
+    retries: u64,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server with default configuration.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        stream.set_nodelay(true)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit configuration.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> std::io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        let stream = open_stream(addr, &cfg)?;
         let writer = stream.try_clone()?;
+        let rng = SmallRng::seed_from_u64(cfg.retry_seed);
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            addr,
+            cfg,
+            rng,
+            retries: 0,
         })
     }
 
-    /// Send raw request text (newline appended) and read one response
-    /// block.
-    pub fn request(&mut self, text: &str) -> std::io::Result<Reply> {
-        self.writer.write_all(text.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+    /// Retries performed over this client's lifetime (reconnect-and-resend
+    /// plus BUSY backoffs) — what chaos tests assert against.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = open_stream(self.addr, &self.cfg)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
+    }
+
+    /// One attempt: send `payload` verbatim, read one response block.
+    fn exchange(&mut self, payload: &[u8]) -> std::io::Result<Reply> {
+        self.writer.write_all(payload)?;
         self.writer.flush()?;
         self.read_reply()
     }
 
-    fn read_reply(&mut self) -> std::io::Result<Reply> {
-        let mut head = String::new();
-        if self.reader.read_line(&mut head)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+    /// Decorrelated jitter (the AWS shape): each sleep is uniform in
+    /// `[base, prev·3]`, capped. Grows fast, stays spread out — retrying
+    /// clients don't stampede in lockstep.
+    fn backoff(&mut self, prev: Duration) -> Duration {
+        let base = self.cfg.backoff_base.max(Duration::from_millis(1));
+        let hi = prev.saturating_mul(3).max(base);
+        let span = (hi - base).as_nanos().max(1) as u64;
+        (base + Duration::from_nanos(self.rng.next_u64() % span)).min(self.cfg.backoff_cap)
+    }
+
+    /// Send `payload` with the retry policy: transport errors reconnect
+    /// and resend; `ERR BUSY` replies sleep (at least the server's
+    /// `retry-after` hint, at least the jittered backoff) and resend. Any
+    /// other reply — `OK` or a non-transient `ERR` — is returned as-is.
+    /// Returns the reply and the number of attempts consumed.
+    fn request_with_retries(&mut self, payload: &[u8]) -> std::io::Result<(Reply, u32)> {
+        let deadline = self.cfg.retry_deadline.map(|d| Instant::now() + d);
+        let mut prev_sleep = self.cfg.backoff_base;
+        let mut attempt = 1u32;
+        loop {
+            let outcome = self.exchange(payload);
+            let out_of_budget = attempt >= self.cfg.max_attempts.max(1)
+                || deadline.is_some_and(|d| Instant::now() >= d);
+            let sleep_floor = match &outcome {
+                Ok(reply) if !reply.ok => match parse_retry_after(&reply.head) {
+                    Some(hint) => hint, // ERR BUSY — transient by contract
+                    None => return Ok((reply.clone(), attempt)),
+                },
+                Ok(reply) => return Ok((reply.clone(), attempt)),
+                Err(e) if out_of_budget => return Err(clone_io_error(e)),
+                Err(_) => Duration::ZERO,
+            };
+            if out_of_budget {
+                // outcome is necessarily Ok(busy reply) here.
+                return Ok((outcome?, attempt));
+            }
+            let sleep = self.backoff(prev_sleep).max(sleep_floor);
+            prev_sleep = sleep;
+            std::thread::sleep(sleep);
+            // After a transport error the stream may hold half a response;
+            // after BUSY it is clean — reconnect in both cases so every
+            // attempt starts from a known framing state.
+            self.reconnect()?;
+            self.retries += 1;
+            attempt += 1;
         }
-        let head = head.trim_end().to_owned();
+    }
+
+    /// Send raw request text (newline appended) and read one response
+    /// block, retrying per the client's configuration.
+    pub fn request(&mut self, text: &str) -> std::io::Result<Reply> {
+        let payload = format!("{text}\n");
+        self.request_with_retries(payload.as_bytes())
+            .map(|(r, _)| r)
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<Reply> {
+        let head = self.read_bounded_line()?;
         let (ok, head) = if let Some(rest) = head.strip_prefix("OK") {
             (true, rest.trim_start().to_owned())
         } else if let Some(rest) = head.strip_prefix("ERR") {
@@ -80,35 +217,79 @@ impl Client {
         };
         let mut lines = Vec::new();
         loop {
-            let mut line = String::new();
-            if self.reader.read_line(&mut line)? == 0 {
+            if lines.len() >= self.cfg.max_response_lines {
                 return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "response block not terminated",
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "response block exceeds {} lines",
+                        self.cfg.max_response_lines
+                    ),
                 ));
             }
-            let line = line.trim_end_matches(['\n', '\r']);
+            let line = self.read_bounded_line()?;
             if line == "." {
                 break;
             }
             // Undo dot-stuffing.
-            let line = line.strip_prefix('.').map_or(line, |r| r);
+            let line = line.strip_prefix('.').map_or(line.as_str(), |r| r);
             lines.push(line.to_owned());
         }
         Ok(Reply { ok, head, lines })
     }
 
-    /// `OPEN <name>` with an inline scenario body.
-    pub fn open(&mut self, session: &str, scenario: &str) -> std::io::Result<Reply> {
-        self.writer
-            .write_all(format!("OPEN {session}\n").as_bytes())?;
-        self.writer.write_all(scenario.as_bytes())?;
-        if !scenario.ends_with('\n') {
-            self.writer.write_all(b"\n")?;
+    /// Read one `\n`-terminated line, bounded by `max_response_line`: an
+    /// over-long line and a stream that ends (or stalls into a zero-length
+    /// read) mid-line both error instead of looping or buffering forever.
+    fn read_bounded_line(&mut self) -> std::io::Result<String> {
+        let max = self.cfg.max_response_line;
+        let mut buf = Vec::new();
+        let n = (&mut self.reader)
+            .take(max as u64 + 1)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
         }
-        self.writer.write_all(b"END\n")?;
-        self.writer.flush()?;
-        self.read_reply()
+        if buf.last() != Some(&b'\n') {
+            return Err(if buf.len() > max {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("response line exceeds {max} bytes"),
+                )
+            } else {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "response block not terminated",
+                )
+            });
+        }
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        Ok(String::from_utf8_lossy(&buf).into_owned())
+    }
+
+    /// `OPEN <name>` with an inline scenario body. An "already exists"
+    /// error on a retried attempt is reported as success: the earlier
+    /// attempt's request reached the server, only its reply was lost.
+    pub fn open(&mut self, session: &str, scenario: &str) -> std::io::Result<Reply> {
+        let mut payload = format!("OPEN {session}\n{scenario}");
+        if !scenario.ends_with('\n') {
+            payload.push('\n');
+        }
+        payload.push_str("END\n");
+        let (reply, attempts) = self.request_with_retries(payload.as_bytes())?;
+        if !reply.ok && attempts > 1 && reply.head.contains("already exists") {
+            return Ok(Reply {
+                ok: true,
+                head: format!("opened {session} (on an earlier attempt)"),
+                lines: Vec::new(),
+            });
+        }
+        Ok(reply)
     }
 
     /// `PUSH <session> <data line>` — feed + exchange one tuple.
@@ -145,13 +326,94 @@ impl Client {
         self.request(&format!("SQL {session}"))
     }
 
-    /// `CLOSE <session>`.
+    /// `CLOSE <session>`. A "no such session" error on a retried attempt
+    /// is reported as success — the earlier attempt closed it.
     pub fn close(&mut self, session: &str) -> std::io::Result<Reply> {
-        self.request(&format!("CLOSE {session}"))
+        let payload = format!("CLOSE {session}\n");
+        let (reply, attempts) = self.request_with_retries(payload.as_bytes())?;
+        if !reply.ok && attempts > 1 && reply.head.contains("no such session") {
+            return Ok(Reply {
+                ok: true,
+                head: format!("closed {session} (on an earlier attempt)"),
+                lines: Vec::new(),
+            });
+        }
+        Ok(reply)
     }
 
-    /// `SHUTDOWN` — graceful server stop.
+    /// `SHUTDOWN` — graceful server stop. Never retried: a lost reply
+    /// does not mean a lost shutdown, and a resend could hit the next
+    /// server instance.
     pub fn shutdown(&mut self) -> std::io::Result<Reply> {
-        self.request("SHUTDOWN")
+        self.exchange(b"SHUTDOWN\n")
+    }
+}
+
+fn open_stream(addr: SocketAddr, cfg: &ClientConfig) -> std::io::Result<TcpStream> {
+    let stream = match cfg.connect_timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_read_timeout(cfg.read_timeout)?;
+    stream.set_write_timeout(cfg.write_timeout)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// Extract the `retry-after=<ms>` hint from an `ERR BUSY …` head line.
+fn parse_retry_after(head: &str) -> Option<Duration> {
+    if !head.starts_with("BUSY") {
+        return None;
+    }
+    let ms = head
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("retry-after="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    Some(Duration::from_millis(ms))
+}
+
+fn clone_io_error(e: &std::io::Error) -> std::io::Error {
+    std::io::Error::new(e.kind(), e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_parses_from_busy_heads_only() {
+        assert_eq!(
+            parse_retry_after("BUSY retry-after=100"),
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(parse_retry_after("BUSY"), Some(Duration::ZERO));
+        assert_eq!(parse_retry_after("no such session `x`"), None);
+        assert_eq!(parse_retry_after("DEADLINE request exceeded"), None);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_reproducible() {
+        let cfg = ClientConfig::default();
+        let mk = || {
+            let mut rng = SmallRng::seed_from_u64(cfg.retry_seed);
+            let mut sleeps = Vec::new();
+            let mut prev = cfg.backoff_base;
+            for _ in 0..8 {
+                let base = cfg.backoff_base;
+                let hi = prev.saturating_mul(3).max(base);
+                let span = (hi - base).as_nanos().max(1) as u64;
+                let d = (base + Duration::from_nanos(rng.next_u64() % span)).min(cfg.backoff_cap);
+                prev = d;
+                sleeps.push(d);
+            }
+            sleeps
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b, "same seed, same schedule");
+        for d in a {
+            assert!(d >= cfg.backoff_base && d <= cfg.backoff_cap);
+        }
     }
 }

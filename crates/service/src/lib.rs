@@ -22,7 +22,17 @@
 //!   [`server::ServerConfig::data_dir`] set, every acknowledged operation
 //!   is written ahead to a per-shard log ([`sedex_durable`]) and sessions
 //!   are recovered at the next startup;
-//! * [`client`] — a blocking client used by the integration tests.
+//! * [`client`] — a blocking client used by the integration tests, with
+//!   bounded reconnect-and-retry (decorrelated-jitter backoff, honoring
+//!   the server's `ERR BUSY retry-after=<ms>` hints).
+//!
+//! Robustness: requests carry an optional deadline
+//! ([`server::ServerConfig::request_timeout`]), overload is shed with
+//! `ERR BUSY` ([`server::ServerConfig::shed_queue_depth`] /
+//! [`server::ServerConfig::max_conns`]), a panicking request quarantines
+//! only its own session (`ERR POISONED`; every other tenant keeps
+//! serving), and the whole stack is fault-injectable for chaos testing
+//! via [`server::ServerConfig::fault_plan`] ([`sedex_durable::fault`]).
 //!
 //! ```no_run
 //! use sedex_service::{Client, Server, ServerConfig};
@@ -44,7 +54,7 @@ pub mod manager;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, Reply};
+pub use client::{Client, ClientConfig, Reply};
 pub use manager::{SessionManager, Tenant};
 pub use protocol::{Request, Response};
-pub use server::{sql_dump, Server, ServerConfig, ServerHandle, ServerStats};
+pub use server::{sql_dump, Server, ServerConfig, ServerHandle, ServerStats, SHED_RETRY_AFTER_MS};

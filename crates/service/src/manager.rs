@@ -16,10 +16,11 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
 use std::time::Instant;
 
 use sedex_core::{ExchangeReport, Observer, SedexConfig, SedexSession, SessionState};
+use sedex_observe::Counter;
 use sedex_scenarios::textfmt;
 use sedex_storage::Instance;
 
@@ -62,6 +63,7 @@ pub struct SessionManager {
     shards: Vec<RwLock<HashMap<String, Arc<Mutex<Tenant>>>>>,
     session_config: SedexConfig,
     observer: Option<Arc<dyn Observer>>,
+    evictions: Option<Arc<Counter>>,
 }
 
 /// Errors from manager operations, rendered verbatim into `ERR` replies.
@@ -75,7 +77,16 @@ impl SessionManager {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
             session_config: SedexConfig::default(),
             observer: None,
+            evictions: None,
         }
+    }
+
+    /// Count TTL evictions on this counter (typically
+    /// `sedex_sessions_evicted_total` from the server's registry), so the
+    /// sweep is observable instead of silent.
+    pub fn with_eviction_counter(mut self, counter: Arc<Counter>) -> Self {
+        self.evictions = Some(counter);
+        self
     }
 
     /// Use this configuration (instead of the default) for every session
@@ -199,10 +210,13 @@ impl SessionManager {
             .collect();
         let mut out: Vec<(String, String, u64, u64, SessionState)> = handles
             .into_iter()
-            .map(|(name, tenant)| {
-                let t = tenant.lock().expect("tenant lock poisoned");
+            .filter_map(|(name, tenant)| {
+                // A poisoned tenant is quarantined and possibly
+                // half-mutated: leave it out of the snapshot, consistent
+                // with the durable Close the panic handler appended.
+                let t = tenant.lock().ok()?;
                 let state = t.session.export_state();
-                (name, t.scenario.clone(), t.requests, t.tuples_in, state)
+                Some((name, t.scenario.clone(), t.requests, t.tuples_in, state))
             })
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -221,6 +235,12 @@ impl SessionManager {
 
     /// Run `f` with exclusive access to the tenant, bumping its
     /// access-tracking counters first.
+    ///
+    /// A tenant whose mutex is poisoned — a previous request panicked while
+    /// holding it, leaving the session possibly half-mutated — is
+    /// *quarantined*: every request is refused with a `POISONED` error
+    /// until `CLOSE` or the TTL sweeper removes it. The error is rendered
+    /// verbatim into the `ERR` reply, so clients can distinguish it.
     pub fn with_tenant<R>(
         &self,
         name: &str,
@@ -229,7 +249,9 @@ impl SessionManager {
         let tenant = self
             .get(name)
             .ok_or_else(|| format!("no such session `{name}`"))?;
-        let mut guard = tenant.lock().expect("tenant lock poisoned");
+        let mut guard = tenant
+            .lock()
+            .map_err(|_| format!("POISONED session `{name}` is quarantined after a panic"))?;
         guard.touch();
         Ok(f(&mut guard))
     }
@@ -260,8 +282,10 @@ impl SessionManager {
         };
         // Any request already holding the tenant finishes first; unwrapping
         // the Arc then succeeds because the map entry was the other owner.
+        // Poisoning is deliberately forgiven here: CLOSE must be able to
+        // remove a quarantined session, and `finish` only reads.
         let tenant = match Arc::try_unwrap(tenant) {
-            Ok(m) => m.into_inner().expect("tenant lock poisoned"),
+            Ok(m) => m.into_inner().unwrap_or_else(|p| p.into_inner()),
             Err(arc) => {
                 // A concurrent request still holds a handle: wait for it by
                 // locking, then clone out what we need? SedexSession is not
@@ -271,7 +295,7 @@ impl SessionManager {
                 loop {
                     std::thread::yield_now();
                     match Arc::try_unwrap(arc) {
-                        Ok(m) => break m.into_inner().expect("tenant lock poisoned"),
+                        Ok(m) => break m.into_inner().unwrap_or_else(|p| p.into_inner()),
                         Err(a) => arc = a,
                     }
                 }
@@ -331,6 +355,11 @@ impl SessionManager {
     /// durability layer appends a `Close` WAL record there, so an eviction
     /// is as durable as a wire `CLOSE` and crash recovery does not
     /// resurrect sessions the TTL policy already dropped.
+    ///
+    /// Quarantined (poisoned) tenants are evicted on sight regardless of
+    /// idle time: they can never serve another request, and their
+    /// `last_access` stopped moving at the panic. Every eviction is logged
+    /// to stderr and counted on the configured eviction counter.
     pub fn evict_idle_with(
         &self,
         ttl: std::time::Duration,
@@ -340,11 +369,16 @@ impl SessionManager {
         for shard in &self.shards {
             let mut map = shard.write().expect("shard lock poisoned");
             map.retain(|name, tenant| {
-                let keep = match tenant.try_lock() {
-                    Ok(t) => t.last_access.elapsed() < ttl,
-                    Err(_) => true, // in use right now
+                let (keep, why) = match tenant.try_lock() {
+                    Ok(t) => (t.last_access.elapsed() < ttl, "idle past TTL"),
+                    Err(TryLockError::Poisoned(_)) => (false, "quarantined after a panic"),
+                    Err(TryLockError::WouldBlock) => (true, ""), // in use right now
                 };
                 if !keep {
+                    eprintln!("sedex-service: evicting session `{name}` ({why})");
+                    if let Some(c) = &self.evictions {
+                        c.inc();
+                    }
                     on_evict(name);
                     evicted.push(name.clone());
                 }

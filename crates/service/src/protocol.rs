@@ -26,8 +26,17 @@ use std::fmt;
 /// client streaming garbage forever).
 pub const MAX_OPEN_BODY_LINES: usize = 100_000;
 
-/// Maximum accepted request-line length.
+/// Maximum accepted request-line length. A longer line is answered
+/// `ERR TOO_LARGE` and the connection closed (the stream cannot be
+/// resynchronized mid-line).
 pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Maximum accepted `OPEN` body size in bytes (on top of the line cap).
+pub const MAX_OPEN_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Maximum accepted `PUSH`/`FEED` data-line payload. One tuple has no
+/// business being this long; larger ones are answered `ERR TOO_LARGE`.
+pub const MAX_DATA_LINE_BYTES: usize = 64 * 1024;
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -218,6 +227,12 @@ pub fn parse_request(line: &str, open_body: Option<String>) -> Result<Request, P
                 .ok_or_else(|| bad(format!("{verb} <session> <Relation>: v1, v2, …")))?;
             let session = need_session(session)?;
             let data = data.trim();
+            if data.len() > MAX_DATA_LINE_BYTES {
+                return Err(bad(format!(
+                    "TOO_LARGE {verb} data line is {} bytes (limit {MAX_DATA_LINE_BYTES})",
+                    data.len()
+                )));
+            }
             if !data.contains(':') {
                 return Err(bad(format!(
                     "{verb}: expected a data line `Relation: v1, v2, …`, got `{data}`"

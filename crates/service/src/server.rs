@@ -20,16 +20,17 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sedex_core::render::sql_literal;
 use sedex_core::{Observer, SedexConfig};
 use sedex_durable::{
-    recover_data_dir, DurableMetrics, DurableShard, FsyncPolicy, SessionSnapshot, WalRecord,
+    recover_data_dir, DurableMetrics, DurableShard, FaultKind, FaultPlan, FaultPoint, FsyncPolicy,
+    SessionSnapshot, WalRecord,
 };
 use sedex_observe::{
     render_prometheus, Counter, Gauge, Histogram, MetricsRegistry, RegistryObserver,
@@ -38,7 +39,9 @@ use sedex_scenarios::textfmt;
 use sedex_storage::Instance;
 
 use crate::manager::SessionManager;
-use crate::protocol::{parse_request, Request, Response, MAX_LINE_BYTES, MAX_OPEN_BODY_LINES};
+use crate::protocol::{
+    parse_request, Request, Response, MAX_LINE_BYTES, MAX_OPEN_BODY_BYTES, MAX_OPEN_BODY_LINES,
+};
 
 /// Server tunables. `Default` gives an ephemeral port on localhost, a
 /// worker per core (capped at 8), 16 shards and a 15-minute idle TTL.
@@ -88,6 +91,27 @@ pub struct ServerConfig {
     /// after this many appended records. `0` checkpoints only on `FLUSH`
     /// and at clean shutdown.
     pub snapshot_every: u64,
+    /// Per-request budget covering queue wait **and** execution. A request
+    /// that cannot be answered within it gets `ERR DEADLINE` — the worker
+    /// skips jobs that expired while queued, and the connection thread
+    /// stops waiting and answers the client even if a worker is stuck on
+    /// the job. `None` (the default) never times requests out.
+    pub request_timeout: Option<Duration>,
+    /// Maximum simultaneous connections; one over the cap is answered
+    /// `ERR BUSY retry-after=<ms>` and closed instead of being served.
+    /// `0` (the default) is unlimited.
+    pub max_conns: usize,
+    /// Load shedding: when at least this many jobs are queued or blocked
+    /// on the bounded job channel, new requests (except `SHUTDOWN`) are
+    /// answered `ERR BUSY retry-after=<ms>` immediately instead of joining
+    /// the queue. `0` (the default) disables shedding — connections then
+    /// block on the channel (pure backpressure).
+    pub shed_queue_depth: usize,
+    /// Fault-injection schedule for chaos testing; `None` in production.
+    /// The plan is threaded into the WAL appender, fsyncs, snapshot writes,
+    /// and the accept/read/write/session-work paths — see
+    /// [`sedex_durable::fault`].
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -108,8 +132,19 @@ impl Default for ServerConfig {
             data_dir: None,
             fsync: FsyncPolicy::Always,
             snapshot_every: 1024,
+            request_timeout: None,
+            max_conns: 0,
+            shed_queue_depth: 0,
+            fault_plan: None,
         }
     }
+}
+
+/// The `retry-after` hint (milliseconds) carried by `ERR BUSY` replies.
+pub const SHED_RETRY_AFTER_MS: u64 = 100;
+
+fn busy_response() -> Response {
+    Response::err(format!("BUSY retry-after={SHED_RETRY_AFTER_MS}"))
 }
 
 /// Server-wide metric handles. Every series lives in the server's
@@ -133,6 +168,16 @@ pub struct ServerStats {
     /// Sessions evicted by the idle sweeper
     /// (`sedex_service_sessions_evicted_total`).
     pub evicted: Arc<Counter>,
+    /// Requests shed under overload with `ERR BUSY` — queue-depth
+    /// shedding plus connections refused over the cap
+    /// (`sedex_service_shed_total`).
+    pub shed: Arc<Counter>,
+    /// Requests answered `ERR DEADLINE` because the request budget ran
+    /// out, queued or executing (`sedex_service_deadline_total`).
+    pub deadlines: Arc<Counter>,
+    /// Request executions that panicked; the session involved is
+    /// quarantined (`sedex_service_panics_total`).
+    pub panics: Arc<Counter>,
     /// Wall-clock latency of request execution, queue wait excluded
     /// (`sedex_request_seconds`).
     pub request_seconds: Arc<Histogram>,
@@ -164,6 +209,18 @@ impl ServerStats {
             evicted: registry.counter(
                 "sedex_service_sessions_evicted_total",
                 "Sessions evicted by the idle sweeper",
+            ),
+            shed: registry.counter(
+                "sedex_service_shed_total",
+                "Requests shed under overload with ERR BUSY",
+            ),
+            deadlines: registry.counter(
+                "sedex_service_deadline_total",
+                "Requests answered ERR DEADLINE (request budget exceeded)",
+            ),
+            panics: registry.counter(
+                "sedex_service_panics_total",
+                "Request executions that panicked (session quarantined)",
             ),
             request_seconds: registry.histogram(
                 "sedex_request_seconds",
@@ -220,11 +277,19 @@ struct Shared {
     started: Instant,
     workers: usize,
     durability: Option<Durability>,
+    request_timeout: Option<Duration>,
+    max_conns: usize,
+    shed_queue_depth: usize,
+    live_conns: AtomicUsize,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 struct Job {
     request: Request,
     reply: SyncSender<Response>,
+    /// Instant by which the client must have an answer (`None` when the
+    /// server runs without `request_timeout`). Shutdown jobs carry none.
+    deadline: Option<Instant>,
 }
 
 /// A running server. Dropping the handle does **not** stop the server —
@@ -260,8 +325,9 @@ impl Server {
         } else {
             None
         };
-        let mut manager =
-            SessionManager::new(cfg.shards).with_session_config(session_config.clone());
+        let mut manager = SessionManager::new(cfg.shards)
+            .with_session_config(session_config.clone())
+            .with_eviction_counter(Arc::clone(&stats.evicted));
         if let Some(obs) = &observer {
             manager = manager.with_observer(Arc::clone(obs));
         }
@@ -284,6 +350,11 @@ impl Server {
             started: Instant::now(),
             workers: cfg.workers.max(1),
             durability,
+            request_timeout: cfg.request_timeout,
+            max_conns: cfg.max_conns,
+            shed_queue_depth: cfg.shed_queue_depth,
+            live_conns: AtomicUsize::new(0),
+            faults: cfg.fault_plan.clone(),
         });
         if shared.durability.is_some() {
             // Re-persist recovered state under the current shard mapping
@@ -407,14 +478,37 @@ fn accept_loop(listener: TcpListener, tx: SyncSender<Job>, shared: &Arc<Shared>)
             break;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
                 shared.stats.connections.inc();
+                // Injected accept fault: the connection is dropped on the
+                // floor, as if the network ate it right after the handshake.
+                match shared
+                    .faults
+                    .as_ref()
+                    .and_then(|p| p.fire(FaultPoint::Accept))
+                {
+                    Some(FaultKind::Error(_)) | Some(FaultKind::ShortWrite) => continue,
+                    _ => {}
+                }
+                if shared.max_conns > 0
+                    && shared.live_conns.load(Ordering::SeqCst) >= shared.max_conns
+                {
+                    // Over the cap: refuse politely with a retry hint
+                    // instead of letting the connection starve unserved.
+                    shared.stats.shed.inc();
+                    let _ = stream.write_all(busy_response().render().as_bytes());
+                    continue;
+                }
+                shared.live_conns.fetch_add(1, Ordering::SeqCst);
                 let tx = tx.clone();
                 let shared = Arc::clone(shared);
                 conns.push(
                     std::thread::Builder::new()
                         .name("sedex-conn".to_owned())
-                        .spawn(move || connection_loop(stream, &tx, &shared))
+                        .spawn(move || {
+                            connection_loop(stream, &tx, &shared);
+                            shared.live_conns.fetch_sub(1, Ordering::SeqCst);
+                        })
                         .expect("spawn connection thread"),
                 );
             }
@@ -452,7 +546,8 @@ fn sweeper_loop(shared: &Arc<Shared>, ttl: Duration, interval: Duration) {
                 },
             );
         });
-        shared.stats.evicted.add(evicted.len() as u64);
+        // The manager bumps `sedex_service_sessions_evicted_total` itself
+        // (and logs each eviction); only the checkpoints remain to do here.
         for name in &evicted {
             maybe_checkpoint(shared, name);
         }
@@ -467,9 +562,48 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
             Err(_) => return, // all senders gone: server is draining
         };
         shared.stats.queue_depth.dec();
+        // A job whose budget expired while it sat in the queue is answered
+        // without being executed — the client has (or is about to) put the
+        // request down as timed out; doing the work anyway doubles the
+        // damage under overload. SHUTDOWN carries no deadline.
+        if job.deadline.is_some_and(|d| Instant::now() > d) {
+            shared.stats.deadlines.inc();
+            shared.stats.requests.inc();
+            shared.stats.errors.inc();
+            let _ = job.reply.send(deadline_response(shared));
+            continue;
+        }
         shared.stats.workers_busy.inc();
         let t0 = Instant::now();
-        let response = execute(shared, &job.request);
+        // Panic isolation: a panicking execution unwinds through the
+        // tenant's mutex guard and poisons it — subsequent requests on that
+        // session get `ERR POISONED` from the manager while every other
+        // session keeps serving. The worker itself survives to take the
+        // next job.
+        let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(shared, &job.request)
+        })) {
+            Ok(r) => r,
+            Err(_) => {
+                shared.stats.panics.inc();
+                let name = job.request.session().unwrap_or("?");
+                // The quarantined session will never serve again; log a
+                // durable Close so crash recovery does not resurrect it
+                // (replaying a Close for an unknown session is a no-op).
+                if let Some(s) = job.request.session() {
+                    wal_append(
+                        shared,
+                        s,
+                        WalRecord::Close {
+                            session: s.to_owned(),
+                        },
+                    );
+                }
+                Response::err(format!(
+                    "POISONED session `{name}` is quarantined after a panic"
+                ))
+            }
+        };
         shared.stats.request_seconds.observe(t0.elapsed());
         shared.stats.workers_busy.dec();
         shared.stats.requests.inc();
@@ -481,12 +615,32 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
     }
 }
 
+fn deadline_response(shared: &Shared) -> Response {
+    let ms = shared
+        .request_timeout
+        .map(|t| t.as_millis() as u64)
+        .unwrap_or(0);
+    Response::err(format!("DEADLINE request exceeded the {ms}ms budget"))
+}
+
 /// Incremental line reader over a nonblocking-ish socket: read timeouts
 /// are used as polling points for the shutdown flag, and partial lines
 /// survive across `WouldBlock` boundaries.
 struct LineReader {
     stream: TcpStream,
     buf: Vec<u8>,
+}
+
+/// What [`LineReader::next_line`] produced.
+enum ReadLine {
+    /// A full line (without the trailing newline).
+    Line(String),
+    /// EOF, I/O error, or shutdown — the connection is done.
+    Closed,
+    /// The line exceeded [`MAX_LINE_BYTES`] before a newline arrived. The
+    /// caller answers `ERR TOO_LARGE` and closes (the stream position is
+    /// mid-line; there is no way to resynchronize).
+    TooLong,
 }
 
 impl LineReader {
@@ -498,9 +652,7 @@ impl LineReader {
         })
     }
 
-    /// Next full line (without the trailing newline), or `None` on EOF,
-    /// error, shutdown, or an over-long line.
-    fn next_line(&mut self, shared: &Shared) -> Option<String> {
+    fn next_line(&mut self, shared: &Shared) -> ReadLine {
         loop {
             if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
                 let mut line: Vec<u8> = self.buf.drain(..=i).collect();
@@ -508,25 +660,66 @@ impl LineReader {
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
-                return Some(String::from_utf8_lossy(&line).into_owned());
+                return ReadLine::Line(String::from_utf8_lossy(&line).into_owned());
             }
             if self.buf.len() > MAX_LINE_BYTES {
-                return None;
+                return ReadLine::TooLong;
+            }
+            // Injected read faults: transient kinds retry (like a real
+            // EINTR), hard kinds close the connection (like a reset).
+            match shared
+                .faults
+                .as_ref()
+                .and_then(|p| p.fire(FaultPoint::ConnRead))
+            {
+                Some(FaultKind::Error(
+                    ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut,
+                )) => continue,
+                Some(FaultKind::Error(_)) | Some(FaultKind::ShortWrite) => return ReadLine::Closed,
+                _ => {}
             }
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
-                Ok(0) => return None, // EOF
+                Ok(0) => return ReadLine::Closed, // EOF
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if shared.shutdown.load(Ordering::SeqCst) {
-                        return None;
+                        return ReadLine::Closed;
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return None,
+                Err(_) => return ReadLine::Closed,
             }
         }
     }
+}
+
+/// Write one response block, firing [`FaultPoint::ConnWrite`]: an injected
+/// hard error fails the write outright; a short write sends a response
+/// prefix and then fails — the client sees a truncated block and must
+/// reconnect and retry, exactly like a connection dropped mid-reply.
+fn write_block(writer: &mut TcpStream, shared: &Shared, text: &str) -> std::io::Result<()> {
+    match shared
+        .faults
+        .as_ref()
+        .and_then(|p| p.fire(FaultPoint::ConnWrite))
+    {
+        Some(FaultKind::Error(kind)) => {
+            return Err(std::io::Error::new(kind, "injected fault at conn_write"))
+        }
+        Some(FaultKind::ShortWrite) => {
+            let bytes = text.as_bytes();
+            writer.write_all(&bytes[..bytes.len() / 2])?;
+            let _ = writer.flush();
+            return Err(std::io::Error::new(
+                ErrorKind::WriteZero,
+                "injected short write at conn_write",
+            ));
+        }
+        _ => {}
+    }
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
 }
 
 fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>) {
@@ -538,36 +731,79 @@ fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>
         Ok(r) => r,
         Err(_) => return,
     };
-    while let Some(line) = reader.next_line(shared) {
+    loop {
+        let line = match reader.next_line(shared) {
+            ReadLine::Line(l) => l,
+            ReadLine::Closed => return,
+            ReadLine::TooLong => {
+                shared.stats.requests.inc();
+                shared.stats.errors.inc();
+                let _ = write_block(
+                    &mut writer,
+                    shared,
+                    &Response::err(format!(
+                        "TOO_LARGE request line exceeds {MAX_LINE_BYTES} bytes"
+                    ))
+                    .render(),
+                );
+                return;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         // OPEN carries a body: collect lines up to a lone END before
-        // parsing, so a malformed OPEN still consumes its body.
+        // parsing, so a malformed OPEN still consumes its body. Both the
+        // line count and the byte total are capped.
         let open_body = if line.trim_start().len() >= 4
             && line.trim_start()[..4].eq_ignore_ascii_case("OPEN")
         {
             let mut body = String::new();
             let mut terminated = false;
+            let mut too_large = false;
             for _ in 0..MAX_OPEN_BODY_LINES {
                 match reader.next_line(shared) {
-                    Some(l) if l.trim().eq_ignore_ascii_case("END") => {
+                    ReadLine::Line(l) if l.trim().eq_ignore_ascii_case("END") => {
                         terminated = true;
                         break;
                     }
-                    Some(l) => {
+                    ReadLine::Line(l) => {
+                        if body.len() + l.len() > MAX_OPEN_BODY_BYTES {
+                            too_large = true;
+                            // Keep consuming (bounded by the line cap) so
+                            // the END is eaten before the error reply.
+                            continue;
+                        }
                         body.push_str(&l);
                         body.push('\n');
                     }
-                    None => return,
+                    ReadLine::Closed => return,
+                    ReadLine::TooLong => {
+                        shared.stats.requests.inc();
+                        shared.stats.errors.inc();
+                        let _ = write_block(
+                            &mut writer,
+                            shared,
+                            &Response::err(format!(
+                                "TOO_LARGE scenario line exceeds {MAX_LINE_BYTES} bytes"
+                            ))
+                            .render(),
+                        );
+                        return;
+                    }
                 }
             }
-            if !terminated {
-                let _ = writer.write_all(
-                    Response::err("OPEN body not terminated by END")
-                        .render()
-                        .as_bytes(),
-                );
+            if too_large || !terminated {
+                shared.stats.requests.inc();
+                shared.stats.errors.inc();
+                let msg = if too_large {
+                    format!("TOO_LARGE OPEN body exceeds {MAX_OPEN_BODY_BYTES} bytes")
+                } else {
+                    "OPEN body not terminated by END".to_owned()
+                };
+                if write_block(&mut writer, shared, &Response::err(msg).render()).is_err() {
+                    return;
+                }
                 continue;
             }
             Some(body)
@@ -579,9 +815,7 @@ fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>
             Err(e) => {
                 shared.stats.requests.inc();
                 shared.stats.errors.inc();
-                if writer
-                    .write_all(Response::err(e.to_string()).render().as_bytes())
-                    .is_err()
+                if write_block(&mut writer, shared, &Response::err(e.to_string()).render()).is_err()
                 {
                     return;
                 }
@@ -589,6 +823,27 @@ fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>
             }
         };
         let is_shutdown = matches!(request, Request::Shutdown);
+        // Load shedding: past the configured queue depth, answer BUSY with
+        // a retry hint instead of joining (or blocking on) the queue — a
+        // bounded, explicit failure the client can back off from. SHUTDOWN
+        // is exempt: an operator must always be able to stop the server.
+        if !is_shutdown
+            && shared.shed_queue_depth > 0
+            && shared.stats.queue_depth.get() >= shared.shed_queue_depth as i64
+        {
+            shared.stats.requests.inc();
+            shared.stats.errors.inc();
+            shared.stats.shed.inc();
+            if write_block(&mut writer, shared, &busy_response().render()).is_err() {
+                return;
+            }
+            continue;
+        }
+        let deadline = if is_shutdown {
+            None
+        } else {
+            shared.request_timeout.map(|t| Instant::now() + t)
+        };
         // Bounded send: blocks when the pool is saturated (backpressure).
         // The gauge counts the job from the moment the connection commits
         // to it, so a send blocked on a full queue shows up as depth.
@@ -598,25 +853,48 @@ fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>
             .send(Job {
                 request,
                 reply: reply_tx,
+                deadline,
             })
             .is_err()
         {
             shared.stats.queue_depth.dec();
             return; // server draining
         }
-        let response = match reply_rx.recv() {
-            Ok(r) => r,
-            Err(_) => return,
+        let response = match deadline {
+            // Wait a grace period past the deadline (the worker answers
+            // expired jobs itself, cheaper and counted once); if even that
+            // passes, the worker is stuck on this job — answer the client
+            // here and close, abandoning the reply channel.
+            Some(d) => {
+                let budget = d.saturating_duration_since(Instant::now()) + DEADLINE_REPLY_GRACE;
+                match reply_rx.recv_timeout(budget) {
+                    Ok(r) => r,
+                    Err(RecvTimeoutError::Timeout) => {
+                        shared.stats.deadlines.inc();
+                        let _ =
+                            write_block(&mut writer, shared, &deadline_response(shared).render());
+                        return;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match reply_rx.recv() {
+                Ok(r) => r,
+                Err(_) => return,
+            },
         };
-        if writer.write_all(response.render().as_bytes()).is_err() {
+        if write_block(&mut writer, shared, &response.render()).is_err() {
             return;
         }
-        let _ = writer.flush();
         if is_shutdown {
             return;
         }
     }
 }
+
+/// How long past its deadline a connection keeps waiting for the worker's
+/// own `ERR DEADLINE` before answering and abandoning the job.
+const DEADLINE_REPLY_GRACE: Duration = Duration::from_millis(50);
 
 /// Execute one request against the shared state. Pure request → response;
 /// all I/O happens in the connection threads.
@@ -814,7 +1092,26 @@ fn run_on_session(
     name: &str,
     f: impl FnOnce(&mut crate::manager::Tenant) -> Result<Response, String>,
 ) -> Response {
-    match shared.manager.with_tenant(name, f) {
+    let faults = shared.faults.clone();
+    match shared.manager.with_tenant(name, move |t| {
+        // The session-work fault point fires while the tenant mutex is
+        // held: an injected Panic unwinds through the guard and poisons
+        // exactly this session; injected Latency makes this a slow request
+        // (deadline/shedding tests); injected errors fail the request.
+        match faults
+            .as_ref()
+            .and_then(|p| p.fire(FaultPoint::SessionWork))
+        {
+            Some(FaultKind::Error(kind)) => {
+                return Err(format!("injected fault at session_work: {kind}"))
+            }
+            Some(FaultKind::ShortWrite) => {
+                return Err("injected short write at session_work".to_owned())
+            }
+            _ => {}
+        }
+        f(t)
+    }) {
         Ok(Ok(resp)) => resp,
         Ok(Err(e)) | Err(e) => Response::err(e),
     }
@@ -864,7 +1161,7 @@ fn init_durability(
                 &report,
                 Some(Arc::clone(&metrics)),
             )
-            .map(Mutex::new)
+            .map(|s| Mutex::new(s.with_fault_plan(cfg.fault_plan.clone())))
         })
         .collect::<std::io::Result<Vec<_>>>()?;
     Ok(Durability {
@@ -914,10 +1211,18 @@ fn wal_append(shared: &Shared, session: &str, record: WalRecord) {
         return;
     };
     let idx = shared.manager.shard_index(session);
-    let mut shard = d.shards[idx].lock().expect("durable shard lock poisoned");
+    let mut shard = lock_durable(&d.shards[idx]);
     if let Err(e) = shard.append(&record) {
         eprintln!("sedex-service: WAL append failed on shard {idx}: {e}");
     }
+}
+
+/// Lock a durable shard, tolerating poisoning: an injected (or real) panic
+/// mid-append leaves at worst a torn frame, which the WAL format already
+/// treats as a crash artifact — refusing all further durability because of
+/// it would turn one bad record into a durability outage.
+fn lock_durable(shard: &Mutex<DurableShard>) -> MutexGuard<'_, DurableShard> {
+    shard.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Checkpoint the session's shard if it has accumulated `--snapshot-every`
@@ -930,11 +1235,7 @@ fn maybe_checkpoint(shared: &Shared, session: &str) {
         return;
     }
     let idx = shared.manager.shard_index(session);
-    let due = d.shards[idx]
-        .lock()
-        .expect("durable shard lock poisoned")
-        .records_since_checkpoint()
-        >= d.snapshot_every;
+    let due = lock_durable(&d.shards[idx]).records_since_checkpoint() >= d.snapshot_every;
     if due {
         checkpoint_shard(shared, idx);
     }
@@ -953,10 +1254,7 @@ fn checkpoint_shard(shared: &Shared, idx: usize) {
     let Some(d) = &shared.durability else {
         return;
     };
-    let watermark = d.shards[idx]
-        .lock()
-        .expect("durable shard lock poisoned")
-        .last_lsn();
+    let watermark = lock_durable(&d.shards[idx]).last_lsn();
     let sessions: Vec<SessionSnapshot> = shared
         .manager
         .export_shard(idx)
@@ -971,7 +1269,7 @@ fn checkpoint_shard(shared: &Shared, idx: usize) {
             },
         )
         .collect();
-    let mut shard = d.shards[idx].lock().expect("durable shard lock poisoned");
+    let mut shard = lock_durable(&d.shards[idx]);
     if let Err(e) = shard.checkpoint(watermark, sessions) {
         eprintln!("sedex-service: checkpoint failed on shard {idx}: {e}");
     }
@@ -988,7 +1286,7 @@ fn finalize_durability(shared: &Shared) {
     }
     for idx in 0..d.shards.len() {
         checkpoint_shard(shared, idx);
-        let mut shard = d.shards[idx].lock().expect("durable shard lock poisoned");
+        let mut shard = lock_durable(&d.shards[idx]);
         if let Err(e) = shard.sync() {
             eprintln!("sedex-service: final fsync failed on shard {idx}: {e}");
         }
@@ -1009,6 +1307,18 @@ fn refresh_session_gauges(shared: &Shared) {
                 &[("shard", &shard)],
             )
             .set(n as i64);
+    }
+    if let Some(plan) = &shared.faults {
+        for point in FaultPoint::ALL {
+            shared
+                .registry
+                .gauge_with(
+                    "sedex_faults_injected",
+                    "Injected faults per fault point (chaos testing)",
+                    &[("point", point.name())],
+                )
+                .set(plan.injected(point) as i64);
+        }
     }
 }
 
@@ -1048,6 +1358,16 @@ fn server_stats(shared: &Shared) -> Response {
         s.request_seconds.quantile(0.99),
         s.request_seconds.count(),
     ));
+    let mut robustness = format!(
+        "robustness: {} deadline timeouts, {} shed, {} panics",
+        s.deadlines.get(),
+        s.shed.get(),
+        s.panics.get(),
+    );
+    if let Some(plan) = &shared.faults {
+        robustness.push_str(&format!(" | faults injected: {}", plan.injected_total()));
+    }
+    lines.push(robustness);
     if let Some(d) = &shared.durability {
         let mut line = format!(
             "durability: {} wal appends ({} bytes), {} checkpoints | recovered: {} sessions, {} records replayed, {} torn tails",

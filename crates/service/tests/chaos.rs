@@ -1,0 +1,426 @@
+//! Chaos tests: run real client/server exchanges under a seeded
+//! [`FaultPlan`] — fsync failures, connection drops, injected panics,
+//! latency — and check the robustness contract: retrying clients converge
+//! to the fault-free state, a panic quarantines exactly one session,
+//! deadlines and shedding answer instead of hanging, and the same seed
+//! reproduces the same fault schedule and the same outcome.
+
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sedex_durable::{FaultKind, FaultPlan, FaultPoint, FsyncPolicy};
+use sedex_service::{Client, ClientConfig, Server, ServerConfig};
+
+const SCENARIO: &str = "\
+[source]
+Dep(dname*, building)
+Student(sname*, program, dep->Dep)
+
+[target]
+Stu(student*, prog, dpt)
+
+[correspondences]
+sname <-> student
+program <-> prog
+dep <-> dpt
+
+[data]
+Dep: d1, b1
+";
+
+const PUSHES: usize = 20;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedex-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn retrying_client(addr: std::net::SocketAddr) -> Client {
+    Client::connect_with(
+        addr,
+        ClientConfig {
+            max_attempts: 8,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(100),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Open a session, push the university workload, return the final SQL dump.
+fn run_workload(c: &mut Client) -> String {
+    c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+    for i in 0..PUSHES {
+        c.push("t1", &format!("Student: s{i}, p{}, d1", i % 3))
+            .unwrap()
+            .into_ok()
+            .unwrap();
+    }
+    c.sql("t1").unwrap().into_ok().unwrap().body()
+}
+
+fn durable_config(data_dir: &Path, plan: Option<Arc<FaultPlan>>) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        shards: 4,
+        idle_ttl: None,
+        data_dir: Some(data_dir.to_path_buf()),
+        fsync: FsyncPolicy::Always, // every append fsyncs → WalFsync rules fire
+        snapshot_every: 0,
+        fault_plan: plan,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn chaotic_run_converges_to_the_fault_free_state() {
+    // The reference: the same workload with no faults at all.
+    let clean_dir = tmp_dir("clean");
+    let handle = Server::start(durable_config(&clean_dir, None)).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let sql_clean = run_workload(&mut c);
+    assert_eq!(c.retries(), 0, "the fault-free run should not retry");
+    drop(c);
+    handle.shutdown();
+
+    // The chaos run: seeded fsync failures (the append itself survives —
+    // availability over strict durability, and the frame is already on
+    // disk) plus connection faults in both directions, which the client
+    // heals by reconnect-and-resend against the idempotent verbs.
+    let seed = 0xC4A0_5EED;
+    let plan = Arc::new(
+        FaultPlan::new()
+            .seeded_rules(
+                seed,
+                FaultPoint::WalFsync,
+                FaultKind::Error(ErrorKind::Interrupted),
+                4,
+                1,
+                20,
+            )
+            .seeded_rules(seed, FaultPoint::ConnWrite, FaultKind::ShortWrite, 3, 2, 20)
+            .seeded_rules(
+                seed,
+                FaultPoint::ConnRead,
+                FaultKind::Error(ErrorKind::ConnectionReset),
+                3,
+                2,
+                30,
+            ),
+    );
+    let chaos_dir = tmp_dir("chaos");
+    let handle = Server::start(durable_config(&chaos_dir, Some(Arc::clone(&plan)))).unwrap();
+    let mut c = retrying_client(handle.local_addr());
+    let sql_chaos = run_workload(&mut c);
+
+    assert!(plan.injected_total() > 0, "no fault ever fired");
+    assert!(
+        plan.injected(FaultPoint::ConnWrite) + plan.injected(FaultPoint::ConnRead) > 0,
+        "no connection fault fired"
+    );
+    assert!(c.retries() > 0, "faults fired but the client never retried");
+    assert_eq!(
+        sql_chaos, sql_clean,
+        "retried chaos run diverged from the fault-free state"
+    );
+    drop(c);
+
+    // Crash the chaotic server without a checkpoint: despite the injected
+    // fsync failures the WAL frames are on disk, so a clean restart on the
+    // same directory recovers the identical state.
+    handle.abort();
+    let handle = Server::start(durable_config(&chaos_dir, None)).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let sql_recovered = c.sql("t1").unwrap().into_ok().unwrap().body();
+    assert_eq!(
+        sql_recovered, sql_clean,
+        "recovery after the chaos run diverged"
+    );
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn same_seed_reproduces_the_same_faults_and_the_same_outcome() {
+    // Two servers, two identical plans, one deterministic single-threaded
+    // request sequence each: the fault schedule *and* every reply must
+    // match. No durability and no timing faults — pure determinism.
+    let seed = 0xD1CE_0001;
+    let mk_plan = || {
+        Arc::new(
+            FaultPlan::new()
+                .seeded_rules(seed, FaultPoint::ConnWrite, FaultKind::ShortWrite, 3, 2, 15)
+                .seeded_rules(
+                    seed,
+                    FaultPoint::SessionWork,
+                    FaultKind::Error(ErrorKind::Other),
+                    2,
+                    2,
+                    12,
+                ),
+        )
+    };
+    let run = |plan: Arc<FaultPlan>| -> Vec<String> {
+        let handle = Server::start(ServerConfig {
+            workers: 1,
+            idle_ttl: None,
+            fault_plan: Some(Arc::clone(&plan)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut c = retrying_client(handle.local_addr());
+        let mut outcomes = Vec::new();
+        let mut note = |r: std::io::Result<sedex_service::Reply>| match r {
+            Ok(reply) => outcomes.push(format!("{} {}", reply.ok, reply.head)),
+            Err(e) => outcomes.push(format!("io {}", e.kind())),
+        };
+        note(c.open("t1", SCENARIO));
+        for i in 0..10 {
+            note(c.push("t1", &format!("Student: s{i}, p{}, d1", i % 3)));
+        }
+        note(c.sql("t1"));
+        drop(c);
+        handle.shutdown();
+        outcomes
+    };
+
+    let (plan_a, plan_b) = (mk_plan(), mk_plan());
+    assert_eq!(plan_a.rules(), plan_b.rules(), "seeded schedules differ");
+    let out_a = run(Arc::clone(&plan_a));
+    let out_b = run(Arc::clone(&plan_b));
+    assert!(plan_a.injected_total() > 0, "no fault ever fired");
+    assert_eq!(
+        plan_a.fired(),
+        plan_b.fired(),
+        "same seed fired different fault sequences"
+    );
+    assert_eq!(out_a, out_b, "same fault sequence, different outcomes");
+}
+
+#[test]
+fn a_panicking_request_quarantines_only_its_session() {
+    // SessionWork op #3 panics: that is the second push to session `a`
+    // (ops: push a, push b, push a). The worker catches the unwind, the
+    // poisoned mutex quarantines `a`, and `b` never notices.
+    let plan = Arc::new(FaultPlan::new().rule(FaultPoint::SessionWork, 3, FaultKind::Panic));
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        idle_ttl: None,
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.open("a", SCENARIO).unwrap().into_ok().unwrap();
+    c.open("b", SCENARIO).unwrap().into_ok().unwrap();
+    c.push("a", "Student: s1, p1, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    c.push("b", "Student: s1, p1, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+
+    let boom = c.push("a", "Student: s2, p2, d1").unwrap();
+    assert!(!boom.ok, "the panicking request should be answered ERR");
+    assert!(boom.head.contains("POISONED"), "{}", boom.head);
+
+    // `a` is quarantined from here on; every other session keeps serving.
+    let again = c.push("a", "Student: s3, p3, d1").unwrap();
+    assert!(
+        !again.ok && again.head.contains("POISONED"),
+        "{}",
+        again.head
+    );
+    c.push("b", "Student: s2, p2, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    let sql_b = c.sql("b").unwrap().into_ok().unwrap().body();
+    assert!(sql_b.contains("s2"), "session b lost work: {sql_b}");
+
+    let stats = c.stats(None).unwrap().into_ok().unwrap();
+    assert!(
+        stats.lines.iter().any(|l| l.contains("1 panics")),
+        "{:?}",
+        stats.lines
+    );
+
+    // CLOSE forgives the quarantine (the tenant is discarded anyway), so
+    // the name can be reused with a fresh session.
+    c.close("a").unwrap().into_ok().unwrap();
+    c.open("a", SCENARIO).unwrap().into_ok().unwrap();
+    c.push("a", "Student: s9, p9, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn a_request_over_its_deadline_is_answered_err_deadline() {
+    // The first session operation stalls 600ms against a 100ms budget: the
+    // connection thread answers `ERR DEADLINE` instead of waiting.
+    let plan = Arc::new(FaultPlan::new().rule(
+        FaultPoint::SessionWork,
+        1,
+        FaultKind::Latency(Duration::from_millis(600)),
+    ));
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        idle_ttl: None,
+        request_timeout: Some(Duration::from_millis(100)),
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+
+    let slow = c.push("t1", "Student: s0, p0, d1").unwrap();
+    assert!(!slow.ok, "an over-deadline request must not be answered OK");
+    assert!(slow.head.contains("DEADLINE"), "{}", slow.head);
+
+    // The server closed that connection; once the stall drains out of the
+    // (single) worker, the client reconnects and normal service resumes.
+    std::thread::sleep(Duration::from_millis(700));
+    c.push("t1", "Student: s1, p1, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    let stats = c.stats(None).unwrap().into_ok().unwrap();
+    assert!(
+        stats
+            .lines
+            .iter()
+            .any(|l| l.contains("1 deadline timeouts")),
+        "{:?}",
+        stats.lines
+    );
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn overload_is_shed_with_busy_and_healed_by_retry() {
+    // One worker, a queue allowed one waiter: while a 700ms request holds
+    // the worker and another sits queued, a third is shed with
+    // `ERR BUSY retry-after=<ms>` — and a retrying client rides the hint
+    // out of the congestion.
+    let plan = Arc::new(FaultPlan::new().rule(
+        FaultPoint::SessionWork,
+        2,
+        FaultKind::Latency(Duration::from_millis(700)),
+    ));
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        shed_queue_depth: 1,
+        idle_ttl: None,
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+    c.push("t1", "Student: s0, p0, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+
+    // Occupy the worker (SessionWork op #2 stalls 700ms)…
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.push("t1", "Student: s1, p1, d1").unwrap().into_ok()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // …and fill the one allowed queue slot.
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.feed("t1", "Student: s2, p2, d1").unwrap().into_ok()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A non-retrying client sees the shed verbatim.
+    let mut one_shot = Client::connect_with(
+        addr,
+        ClientConfig {
+            max_attempts: 1,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let busy = one_shot.push("t1", "Student: s3, p3, d1").unwrap();
+    assert!(!busy.ok, "an overloaded server must shed, not queue");
+    assert!(busy.head.contains("BUSY retry-after="), "{}", busy.head);
+
+    // A retrying client backs off past the congestion and succeeds.
+    let mut patient = retrying_client(addr);
+    patient
+        .push("t1", "Student: s4, p4, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    assert!(patient.retries() > 0, "the shed should have forced a retry");
+
+    slow.join().unwrap().unwrap();
+    queued.join().unwrap().unwrap();
+    let stats = c.stats(None).unwrap().into_ok().unwrap();
+    assert!(
+        stats
+            .lines
+            .iter()
+            .any(|l| l.contains("robustness:") && !l.contains(" 0 shed")),
+        "{:?}",
+        stats.lines
+    );
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_the_in_flight_request() {
+    // A 400ms request is mid-flight when SHUTDOWN arrives: the worker pool
+    // drains it — the slow client still gets its `OK` — and then the
+    // server exits.
+    let plan = Arc::new(FaultPlan::new().rule(
+        FaultPoint::SessionWork,
+        2,
+        FaultKind::Latency(Duration::from_millis(400)),
+    ));
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        idle_ttl: None,
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.open("t1", SCENARIO).unwrap().into_ok().unwrap();
+    c.push("t1", "Student: s0, p0, d1")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.push("t1", "Student: s1, p1, d1").unwrap().into_ok()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    c.shutdown().unwrap().into_ok().unwrap();
+
+    let drained = slow.join().unwrap().unwrap();
+    assert!(
+        drained.head.contains("pushed"),
+        "in-flight request was dropped by shutdown: {}",
+        drained.head
+    );
+    handle.join();
+}
