@@ -1,0 +1,193 @@
+//! Service transport benchmark: the same PUSH workload driven over every
+//! wire mode — text vs binary, serial vs pipelined vs batched — against
+//! an in-process server on a loopback socket.
+//!
+//! `cargo run -p sedex-bench --release --bin bench_service`
+//!
+//! Writes `BENCH_service.json` into the repository root (or the current
+//! directory when run elsewhere): a flat, diff-friendly snapshot of
+//! requests/sec per mode, so later PRs show their speedup or regression
+//! as a one-line change in review. Pipelining exists to save round-trips
+//! and batching to save per-request framing and dispatch; this bench is
+//! what keeps those claims honest.
+
+use std::time::{Duration, Instant};
+
+use sedex_bench::print_table;
+use sedex_service::{Client, ClientConfig, Server, ServerConfig, ServerHandle};
+
+const SCENARIO: &str = "\
+[source]
+Dep(dname*, building)
+Student(sname*, program, dep->Dep)
+
+[target]
+Stu(student*, prog, dpt)
+
+[correspondences]
+sname <-> student
+program <-> prog
+dep <-> dpt
+";
+
+/// Tuples pushed per measured run. Each mode gets its own session, so
+/// script-repository state never leaks across modes.
+const TUPLES: usize = 2_000;
+/// Pipelined/batched burst size.
+const BURST: usize = 200;
+
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    TextSerial,
+    TextPipelined,
+    BinarySerial,
+    BinaryPipelined,
+    BinaryBatched,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::TextSerial => "text_serial",
+            Mode::TextPipelined => "text_pipelined",
+            Mode::BinarySerial => "binary_serial",
+            Mode::BinaryPipelined => "binary_pipelined",
+            Mode::BinaryBatched => "binary_batched",
+        }
+    }
+
+    fn binary(self) -> bool {
+        matches!(
+            self,
+            Mode::BinarySerial | Mode::BinaryPipelined | Mode::BinaryBatched
+        )
+    }
+}
+
+fn data_lines(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|j| {
+            let dep = if j % 2 == 0 { "d0" } else { "_" };
+            format!("Student: s{j}, p{j}, {dep}")
+        })
+        .collect()
+}
+
+/// One measured run: open a fresh session, push `TUPLES` tuples in the
+/// mode's submission style, confirm every reply. Returns the push time.
+fn run_mode(handle: &ServerHandle, mode: Mode, round: usize) -> Duration {
+    let mut c = Client::connect_with(
+        handle.local_addr(),
+        ClientConfig {
+            binary: mode.binary(),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    let session = format!("{}-{round}", mode.name());
+    c.open(&session, SCENARIO).unwrap().into_ok().unwrap();
+    c.feed(&session, "Dep: d0, b0").unwrap().into_ok().unwrap();
+    let lines = data_lines(TUPLES);
+
+    let start = Instant::now();
+    match mode {
+        Mode::TextSerial | Mode::BinarySerial => {
+            for line in &lines {
+                c.push(&session, line).unwrap().into_ok().unwrap();
+            }
+        }
+        Mode::TextPipelined | Mode::BinaryPipelined => {
+            for chunk in lines.chunks(BURST) {
+                let cmds: Vec<String> = chunk
+                    .iter()
+                    .map(|l| format!("PUSH {session} {l}"))
+                    .collect();
+                let refs: Vec<&str> = cmds.iter().map(String::as_str).collect();
+                for reply in c.pipeline(&refs).unwrap() {
+                    reply.into_ok().unwrap();
+                }
+            }
+        }
+        Mode::BinaryBatched => {
+            for chunk in lines.chunks(BURST) {
+                let refs: Vec<&str> = chunk.iter().map(String::as_str).collect();
+                c.push_batch(&session, &refs).unwrap().into_ok().unwrap();
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    c.close(&session).unwrap().into_ok().unwrap();
+    elapsed
+}
+
+fn main() {
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+
+    let modes = [
+        Mode::TextSerial,
+        Mode::TextPipelined,
+        Mode::BinarySerial,
+        Mode::BinaryPipelined,
+        Mode::BinaryBatched,
+    ];
+
+    // Warm once (fills the script repository path, JITs nothing — this
+    // is Rust — but pages everything in), then keep the best of three:
+    // loopback benches are noisy and the minimum is the honest signal.
+    let mut results = Vec::new();
+    for mode in modes {
+        run_mode(&handle, mode, 0);
+        let best = (1..=3)
+            .map(|round| run_mode(&handle, mode, round))
+            .min()
+            .unwrap();
+        let tps = TUPLES as f64 / best.as_secs_f64();
+        results.push((mode, best, tps));
+    }
+    handle.shutdown();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(mode, best, tps)| {
+            vec![
+                mode.name().to_owned(),
+                format!("{best:?}"),
+                format!("{tps:.0}"),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Service transport — {TUPLES} PUSHes, burst {BURST}"),
+        &["mode", "wall", "tuples/s"],
+        &rows,
+    );
+
+    // Flat JSON, one figure per line: diffs in review read as a perf
+    // trajectory. Rates are rounded to whole tuples/sec — sub-tuple
+    // precision is noise on a loopback bench.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"tuples\": {TUPLES},\n"));
+    json.push_str(&format!("  \"burst\": {BURST},\n"));
+    for (i, (mode, _, tps)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  \"{}_tuples_per_sec\": {:.0}{comma}\n",
+            mode.name(),
+            tps
+        ));
+    }
+    json.push_str("}\n");
+    let out =
+        if std::path::Path::new("Cargo.toml").exists() && std::path::Path::new("crates").exists() {
+            std::path::PathBuf::from("BENCH_service.json")
+        } else {
+            std::env::current_dir().unwrap().join("BENCH_service.json")
+        };
+    std::fs::write(&out, &json).expect("write BENCH_service.json");
+    println!("\nwrote {}", out.display());
+}

@@ -1,0 +1,164 @@
+//! Per-connection byte buffers for nonblocking I/O.
+
+use std::io::{self, Read, Write};
+
+/// Result of one nonblocking read attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadOutcome {
+    /// `n` fresh bytes were appended to the queue.
+    Data(usize),
+    /// The peer closed its write side (EOF).
+    Closed,
+    /// Nothing available right now; wait for the next readiness event.
+    WouldBlock,
+}
+
+/// A FIFO byte buffer with an amortized-O(1) consume-from-front.
+///
+/// Inbound bytes accumulate here until a full line/frame can be parsed;
+/// `consume` advances a head offset and the storage is compacted lazily.
+#[derive(Default)]
+pub struct ByteQueue {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+/// Compact once the dead prefix exceeds this many bytes and half the buffer.
+const COMPACT_THRESHOLD: usize = 32 * 1024;
+
+impl ByteQueue {
+    /// Creates an empty queue.
+    pub fn new() -> ByteQueue {
+        ByteQueue::default()
+    }
+
+    /// Number of unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// True when no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// The unconsumed bytes, in arrival order.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+
+    /// Appends bytes to the back of the queue.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.maybe_compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Drops the first `n` unconsumed bytes. `n` is clamped to `len()`.
+    pub fn consume(&mut self, n: usize) {
+        self.head = (self.head + n).min(self.buf.len());
+        if self.is_empty() {
+            self.buf.clear();
+            self.head = 0;
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.head > COMPACT_THRESHOLD && self.head > self.buf.len() / 2 {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+/// Performs one `read` into `queue` via a stack chunk.
+///
+/// Transient errors (`Interrupted`) are retried internally; `WouldBlock` is
+/// reported as [`ReadOutcome::WouldBlock`]; any other error propagates.
+pub fn read_once(
+    src: &mut impl Read,
+    queue: &mut ByteQueue,
+    chunk: usize,
+) -> io::Result<ReadOutcome> {
+    let mut buf = [0u8; 64 * 1024];
+    let cap = chunk.min(buf.len());
+    loop {
+        match src.read(&mut buf[..cap]) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(n) => {
+                queue.extend_from_slice(&buf[..n]);
+                return Ok(ReadOutcome::Data(n));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(ReadOutcome::WouldBlock),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Outbound bytes awaiting a writable socket.
+///
+/// Responses are queued here and flushed opportunistically; when the socket
+/// signals `WouldBlock` the reactor arms write interest and resumes on the
+/// next writable event.
+#[derive(Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl WriteBuf {
+    /// Creates an empty write buffer.
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    /// Number of bytes still to be written.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// True when everything queued has been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// Appends bytes to the outbound queue.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        if self.is_empty() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head > COMPACT_THRESHOLD && self.head > self.buf.len() / 2 {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes as much as the socket accepts. Returns `Ok(true)` when the
+    /// buffer drained completely, `Ok(false)` on `WouldBlock`.
+    pub fn flush(&mut self, dst: &mut impl Write) -> io::Result<bool> {
+        while !self.is_empty() {
+            match dst.write(&self.buf[self.head..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket wrote zero bytes",
+                    ))
+                }
+                Ok(n) => self.head += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.head = 0;
+        Ok(true)
+    }
+}

@@ -1,0 +1,113 @@
+//! Length-prefixed binary framing.
+//!
+//! Wire layout of one frame:
+//!
+//! ```text
+//! [u32 LE body length][u8 opcode][body bytes...]
+//! ```
+//!
+//! The 5-byte header is fixed; opcodes and body encodings belong to the
+//! layer above (`sedex-service`'s wire module uses `sedex-storage::codec`).
+//!
+//! A frame whose declared body exceeds the decoder's cap is reported as
+//! [`FrameEvent::Oversized`] and then *skipped in place*: the decoder
+//! swallows exactly `declared` body bytes as they stream in and then
+//! resynchronizes on the next header. Memory use is bounded by the cap —
+//! an absurd length prefix never causes an allocation.
+
+use crate::buffer::ByteQueue;
+
+/// Fixed header size: 4-byte length + 1-byte opcode.
+pub const FRAME_HEADER_BYTES: usize = 5;
+
+/// One decoded item from the inbound byte stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrameEvent {
+    /// A complete frame within the size cap.
+    Frame {
+        /// Application opcode.
+        opcode: u8,
+        /// Body bytes (may be empty).
+        payload: Vec<u8>,
+    },
+    /// A frame whose declared body length exceeded the cap. The body is
+    /// being discarded; the decoder resynchronizes on the following frame.
+    Oversized {
+        /// Application opcode of the rejected frame.
+        opcode: u8,
+        /// The declared body length.
+        declared: u64,
+    },
+}
+
+/// Incremental frame decoder over a [`ByteQueue`].
+pub struct FrameDecoder {
+    max_body: usize,
+    /// Body bytes of an oversized frame still to be discarded.
+    skip: u64,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder that rejects bodies larger than `max_body` bytes.
+    pub fn new(max_body: usize) -> FrameDecoder {
+        FrameDecoder { max_body, skip: 0 }
+    }
+
+    /// The configured body-size cap.
+    pub fn max_body(&self) -> usize {
+        self.max_body
+    }
+
+    /// True while the decoder is mid-skip of an oversized frame's body.
+    pub fn skipping(&self) -> bool {
+        self.skip > 0
+    }
+
+    /// Extracts the next frame event, consuming bytes from `queue`.
+    /// Returns `None` when more bytes are needed.
+    pub fn decode(&mut self, queue: &mut ByteQueue) -> Option<FrameEvent> {
+        if self.skip > 0 {
+            let n = (self.skip).min(queue.len() as u64) as usize;
+            queue.consume(n);
+            self.skip -= n as u64;
+            if self.skip > 0 {
+                return None;
+            }
+        }
+        if queue.len() < FRAME_HEADER_BYTES {
+            return None;
+        }
+        let head = queue.as_slice();
+        let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+        let opcode = head[4];
+        if len > self.max_body {
+            queue.consume(FRAME_HEADER_BYTES);
+            self.skip = len as u64;
+            // Consume whatever body bytes already arrived.
+            let n = (self.skip).min(queue.len() as u64) as usize;
+            queue.consume(n);
+            self.skip -= n as u64;
+            return Some(FrameEvent::Oversized {
+                opcode,
+                declared: len as u64,
+            });
+        }
+        if queue.len() < FRAME_HEADER_BYTES + len {
+            return None;
+        }
+        let payload = queue.as_slice()[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len].to_vec();
+        queue.consume(FRAME_HEADER_BYTES + len);
+        Some(FrameEvent::Frame { opcode, payload })
+    }
+}
+
+/// Appends one frame (header + body) to `out`.
+///
+/// Panics if `payload` exceeds `u32::MAX` bytes — callers cap bodies far
+/// below that.
+pub fn encode_frame(out: &mut Vec<u8>, opcode: u8, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("frame body exceeds u32::MAX");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(opcode);
+    out.extend_from_slice(payload);
+}

@@ -1,0 +1,279 @@
+//! sedex-net: a tiny std-only readiness reactor and binary framing layer.
+//!
+//! This crate is the event-driven substrate under `sedex-service`'s server:
+//!
+//! - [`reactor`] — a level-triggered [`Poller`](reactor::Poller) over raw
+//!   fds (epoll on Linux, `poll(2)` on other unixes) with a cross-thread
+//!   [`Waker`](reactor::Waker). One reactor thread multiplexes the listener
+//!   and every connection, so tens of thousands of idle connections cost
+//!   zero threads and zero periodic wakeups.
+//! - [`buffer`] — per-connection inbound/outbound byte buffers
+//!   ([`ByteQueue`](buffer::ByteQueue), [`WriteBuf`](buffer::WriteBuf)) for
+//!   nonblocking sockets.
+//! - [`frame`] — `[u32 LE len][u8 opcode][body]` framing with
+//!   oversized-frame skip-and-resynchronize.
+//! - [`sys`] — the raw `extern "C"` bindings (the only unsafe in the
+//!   workspace) plus an rlimit helper for high-connection-count tests.
+//!
+//! No external dependencies: std already links the platform libc, so the
+//! handful of syscalls are declared directly.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod buffer;
+pub mod frame;
+pub mod reactor;
+pub mod sys;
+
+pub use buffer::{read_once, ByteQueue, ReadOutcome, WriteBuf};
+pub use frame::{encode_frame, FrameDecoder, FrameEvent, FRAME_HEADER_BYTES};
+pub use reactor::{Event, Interest, Poller, Token, Waker, WAKE_TOKEN};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift for chunking tests (no external RNG dep).
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn byte_queue_consume_and_compact() {
+        let mut q = ByteQueue::new();
+        q.extend_from_slice(b"hello world");
+        assert_eq!(q.len(), 11);
+        q.consume(6);
+        assert_eq!(q.as_slice(), b"world");
+        q.consume(5);
+        assert!(q.is_empty());
+        // Interleave many small extend/consume cycles to exercise compaction.
+        let mut total = 0usize;
+        for i in 0..20_000 {
+            let chunk = [i as u8; 7];
+            q.extend_from_slice(&chunk);
+            q.consume(5);
+            total += 2;
+            assert_eq!(q.len(), total);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_under_random_chunking() {
+        let mut wire = Vec::new();
+        let frames: Vec<(u8, Vec<u8>)> = (0..50)
+            .map(|i| (i as u8, vec![i as u8; (i * 37) % 1024]))
+            .collect();
+        for (op, body) in &frames {
+            encode_frame(&mut wire, *op, body);
+        }
+        let mut rng = XorShift(0x5ede_c0de);
+        let mut q = ByteQueue::new();
+        let mut dec = FrameDecoder::new(4096);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < wire.len() {
+            let step = 1 + (rng.next() as usize % 97);
+            let end = (pos + step).min(wire.len());
+            q.extend_from_slice(&wire[pos..end]);
+            pos = end;
+            while let Some(ev) = dec.decode(&mut q) {
+                match ev {
+                    FrameEvent::Frame { opcode, payload } => out.push((opcode, payload)),
+                    FrameEvent::Oversized { .. } => panic!("no frame here is oversized"),
+                }
+            }
+        }
+        assert_eq!(out, frames);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_skips_and_resyncs_without_allocating() {
+        let mut q = ByteQueue::new();
+        let mut dec = FrameDecoder::new(64);
+        // A 10 MB declared body against a 64-byte cap: reported once, then
+        // skipped as bytes arrive, never buffered.
+        let declared: u32 = 10_000_000;
+        q.extend_from_slice(&declared.to_le_bytes());
+        q.extend_from_slice(&[0x42]);
+        match dec.decode(&mut q) {
+            Some(FrameEvent::Oversized {
+                opcode,
+                declared: d,
+            }) => {
+                assert_eq!(opcode, 0x42);
+                assert_eq!(d, declared as u64);
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        assert!(dec.skipping());
+        let chunk = vec![0u8; 64 * 1024];
+        let mut remaining = declared as u64;
+        while remaining > 0 {
+            let n = (chunk.len() as u64).min(remaining) as usize;
+            q.extend_from_slice(&chunk[..n]);
+            remaining -= n as u64;
+            let ev = dec.decode(&mut q);
+            assert!(ev.is_none());
+            assert!(q.len() < 128 * 1024, "skip path must not buffer the body");
+        }
+        assert!(!dec.skipping());
+        // A well-formed frame right after decodes fine.
+        let mut wire = Vec::new();
+        encode_frame(&mut wire, 7, b"after");
+        q.extend_from_slice(&wire);
+        assert_eq!(
+            dec.decode(&mut q),
+            Some(FrameEvent::Frame {
+                opcode: 7,
+                payload: b"after".to_vec()
+            })
+        );
+
+        // An absurd (near-u32::MAX) prefix is reported without allocating.
+        let mut q = ByteQueue::new();
+        let mut dec = FrameDecoder::new(64);
+        q.extend_from_slice(&(u32::MAX - 5).to_le_bytes());
+        q.extend_from_slice(&[0x99, 1, 2, 3]);
+        match dec.decode(&mut q) {
+            Some(FrameEvent::Oversized { opcode, declared }) => {
+                assert_eq!(opcode, 0x99);
+                assert_eq!(declared, (u32::MAX - 5) as u64);
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        assert!(q.is_empty(), "already-arrived body bytes are discarded");
+        assert!(dec.skipping());
+    }
+
+    #[test]
+    fn write_buf_partial_writes() {
+        struct Dribble {
+            out: Vec<u8>,
+            budget: usize,
+        }
+        impl std::io::Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "full"));
+                }
+                let n = buf.len().min(3).min(self.budget);
+                self.out.extend_from_slice(&buf[..n]);
+                self.budget -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wb = WriteBuf::new();
+        wb.queue(b"hello nonblocking world");
+        let mut sink = Dribble {
+            out: Vec::new(),
+            budget: 10,
+        };
+        assert!(!wb.flush(&mut sink).unwrap());
+        assert_eq!(sink.out, b"hello nonb");
+        assert_eq!(wb.len(), 13);
+        sink.budget = usize::MAX;
+        assert!(wb.flush(&mut sink).unwrap());
+        assert_eq!(sink.out, b"hello nonblocking world");
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn poller_reports_tcp_readiness_and_waker_interrupts() {
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+        use std::time::{Duration, Instant};
+
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller
+            .register(listener.as_raw_fd(), Token(1), Interest::READ)
+            .unwrap();
+
+        // Timeout path: nothing ready.
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let woken = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(!woken);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+
+        // Accept readiness.
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let woken = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!woken);
+        assert!(events.iter().any(|e| e.token == Token(1) && e.readable));
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller
+            .register(server_side.as_raw_fd(), Token(2), Interest::READ)
+            .unwrap();
+
+        // Data readiness on the accepted socket.
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == Token(2) && e.readable));
+
+        // Waker interrupts an indefinite wait from another thread.
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        // Drain the pending data first so the only wake source is the waker.
+        let mut q = ByteQueue::new();
+        let mut s = &server_side;
+        while let Ok(ReadOutcome::Data(_)) = read_once(&mut s, &mut q, 4096) {}
+        let woken = poller.wait(&mut events, None).unwrap();
+        assert!(woken);
+        handle.join().unwrap();
+
+        // Interest modification: dormant registration stops reporting.
+        client.write_all(b"more").unwrap();
+        poller
+            .modify(server_side.as_raw_fd(), Token(2), Interest::NONE)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token == Token(2) && e.readable));
+        poller
+            .modify(server_side.as_raw_fd(), Token(2), Interest::READ)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == Token(2) && e.readable));
+
+        poller.deregister(server_side.as_raw_fd()).unwrap();
+        poller.deregister(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn raise_nofile_limit_reports_current_or_better() {
+        let (soft, _hard) = sys::nofile_limit().unwrap();
+        let got = sys::raise_nofile_limit(soft).unwrap();
+        assert!(got >= soft);
+    }
+}

@@ -1,0 +1,287 @@
+//! Readiness reactor: a level-triggered poller over raw fds plus a
+//! cross-thread waker.
+//!
+//! One thread owns the [`Poller`] and blocks in [`Poller::wait`]; any other
+//! thread can interrupt that wait through a [`Waker`]. Wakeups ride on a
+//! connected loopback UDP socket, which keeps the implementation pure std on
+//! every unix (no eventfd/pipe bindings) at the cost of one datagram per
+//! wakeup burst.
+
+use std::io;
+use std::net::UdpSocket;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::sys;
+
+/// Identifies a registered fd in events returned by [`Poller::wait`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Token(pub u64);
+
+/// Token value reserved for the internal wakeup socket; user registrations
+/// must not use it.
+pub const WAKE_TOKEN: Token = Token(u64::MAX);
+
+/// Which readiness conditions a registration listens for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interest {
+    /// Wake when the fd is readable (or hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but dormant (no readiness wakeups; hangup still fires).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: Token,
+    /// Fd is readable (includes EOF/hangup so a read observes it).
+    pub readable: bool,
+    /// Fd is writable.
+    pub writable: bool,
+    /// Peer hung up or the fd errored.
+    pub hangup: bool,
+}
+
+/// Wakes a [`Poller`] blocked in [`Poller::wait`] from another thread.
+///
+/// Clone freely; wakeups are cheap and coalesce (the poller drains all
+/// pending wake datagrams per wait).
+#[derive(Clone)]
+pub struct Waker {
+    sock: Arc<UdpSocket>,
+}
+
+impl Waker {
+    /// Interrupts the poller's current (or next) wait. Best effort: errors
+    /// are swallowed — a missed wakeup only delays work until the next event
+    /// or timeout.
+    pub fn wake(&self) {
+        let _ = self.sock.send(&[1u8]);
+    }
+}
+
+#[cfg(target_os = "linux")]
+use std::os::fd::OwnedFd;
+
+/// A level-triggered readiness poller (epoll on Linux, `poll(2)` elsewhere).
+pub struct Poller {
+    #[cfg(target_os = "linux")]
+    epfd: OwnedFd,
+    #[cfg(not(target_os = "linux"))]
+    registry: std::sync::Mutex<std::collections::HashMap<RawFd, (u64, Interest)>>,
+    /// Receives wake datagrams; registered under [`WAKE_TOKEN`].
+    wake_rx: UdpSocket,
+    /// Template socket the [`Waker`]s share.
+    wake_tx: Arc<UdpSocket>,
+}
+
+impl Poller {
+    /// Creates a poller with its wakeup channel already registered.
+    pub fn new() -> io::Result<Poller> {
+        let wake_rx = UdpSocket::bind("127.0.0.1:0")?;
+        wake_rx.set_nonblocking(true)?;
+        let wake_tx = UdpSocket::bind("127.0.0.1:0")?;
+        wake_tx.connect(wake_rx.local_addr()?)?;
+        let poller = Poller {
+            #[cfg(target_os = "linux")]
+            epfd: sys::epoll_create()?,
+            #[cfg(not(target_os = "linux"))]
+            registry: std::sync::Mutex::new(std::collections::HashMap::new()),
+            wake_rx,
+            wake_tx: Arc::new(wake_tx),
+        };
+        poller.register(poller.wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)?;
+        Ok(poller)
+    }
+
+    /// Returns a cloneable waker for this poller.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            sock: Arc::clone(&self.wake_tx),
+        }
+    }
+
+    /// Registers `fd` for `interest` under `token`. The fd must stay open
+    /// until [`deregister`](Self::deregister) (closing a registered fd is a
+    /// silent leak on epoll).
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::epoll_control(
+                self.epfd.as_raw_fd(),
+                sys::EPOLL_CTL_ADD,
+                fd,
+                epoll_mask(interest),
+                token.0,
+            )
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.registry
+                .lock()
+                .unwrap()
+                .insert(fd, (token.0, interest));
+            Ok(())
+        }
+    }
+
+    /// Changes the interest set of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::epoll_control(
+                self.epfd.as_raw_fd(),
+                sys::EPOLL_CTL_MOD,
+                fd,
+                epoll_mask(interest),
+                token.0,
+            )
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.registry
+                .lock()
+                .unwrap()
+                .insert(fd, (token.0, interest));
+            Ok(())
+        }
+    }
+
+    /// Removes `fd` from the poller. Call before closing the fd.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::epoll_control(self.epfd.as_raw_fd(), sys::EPOLL_CTL_DEL, fd, 0, 0)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.registry.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout lapses,
+    /// or a [`Waker`] fires. Readiness events are appended to `events`
+    /// (cleared first); wakeups are drained internally and reported through
+    /// the `bool` return instead of as events.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<bool> {
+        events.clear();
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                // Round sub-millisecond timeouts up so a pending deadline
+                // cannot spin the loop at zero-length waits.
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(i32::MAX as u128) as i32
+                }
+            }
+        };
+        let mut woken = false;
+        #[cfg(target_os = "linux")]
+        {
+            let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 512];
+            let n = sys::epoll_pwait(self.epfd.as_raw_fd(), &mut buf, timeout_ms)?;
+            for ev in &buf[..n] {
+                let data = ev.data;
+                let bits = ev.events;
+                if Token(data) == WAKE_TOKEN {
+                    woken = true;
+                    self.drain_wakeups();
+                    continue;
+                }
+                let hangup = bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+                events.push(Event {
+                    token: Token(data),
+                    readable: bits & sys::EPOLLIN != 0 || hangup,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    hangup,
+                });
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let entries: Vec<(RawFd, u64, Interest)> = {
+                let reg = self.registry.lock().unwrap();
+                reg.iter()
+                    .map(|(&fd, &(tok, int))| (fd, tok, int))
+                    .collect()
+            };
+            let mut fds: Vec<sys::PollFd> = entries
+                .iter()
+                .map(|&(fd, _, int)| sys::PollFd {
+                    fd,
+                    events: (if int.readable { sys::POLLIN } else { 0 })
+                        | (if int.writable { sys::POLLOUT } else { 0 }),
+                    revents: 0,
+                })
+                .collect();
+            let n = sys::poll_wait(&mut fds, timeout_ms)?;
+            if n > 0 {
+                for (pfd, &(_, tok, _)) in fds.iter().zip(entries.iter()) {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    if Token(tok) == WAKE_TOKEN {
+                        woken = true;
+                        self.drain_wakeups();
+                        continue;
+                    }
+                    let hangup = pfd.revents & (sys::POLLERR | sys::POLLHUP) != 0;
+                    events.push(Event {
+                        token: Token(tok),
+                        readable: pfd.revents & sys::POLLIN != 0 || hangup,
+                        writable: pfd.revents & sys::POLLOUT != 0,
+                        hangup,
+                    });
+                }
+            }
+        }
+        Ok(woken)
+    }
+
+    fn drain_wakeups(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(_n) = self.wake_rx.recv(&mut buf) {}
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = sys::EPOLLRDHUP;
+    if interest.readable {
+        mask |= sys::EPOLLIN;
+    }
+    if interest.writable {
+        mask |= sys::EPOLLOUT;
+    }
+    mask
+}

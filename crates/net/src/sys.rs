@@ -1,0 +1,241 @@
+//! Raw OS bindings for the readiness reactor.
+//!
+//! The workspace is deliberately std-only and builds offline, so instead of
+//! pulling in `libc`/`mio` we declare the handful of symbols we need directly:
+//! std already links the platform libc, which exports them. Linux gets epoll;
+//! other unixes fall back to `poll(2)`. Wakeups are done with a connected UDP
+//! socket (pure std), so no `eventfd`/`pipe` bindings are needed.
+
+use std::io;
+use std::os::raw::{c_int, c_uint};
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use fallback::*;
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+/// `struct rlimit` — identical layout on Linux and the BSDs we care about.
+#[repr(C)]
+pub struct Rlimit {
+    /// Soft limit.
+    pub rlim_cur: u64,
+    /// Hard limit (ceiling for the soft limit).
+    pub rlim_max: u64,
+}
+
+#[cfg(target_os = "linux")]
+const RLIMIT_NOFILE: c_int = 7;
+#[cfg(all(unix, not(target_os = "linux")))]
+const RLIMIT_NOFILE: c_int = 8;
+
+extern "C" {
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+/// Returns the current `(soft, hard)` file-descriptor limit.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a valid, writable rlimit struct.
+    let rc = unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok((lim.rlim_cur, lim.rlim_max))
+}
+
+/// Raises the soft file-descriptor limit to at least `want` descriptors,
+/// raising the hard limit too when the process is privileged enough.
+///
+/// Returns the soft limit that is in effect afterwards; never lowers it.
+/// Used by the ≥10k-connection load test so one process can hold both ends
+/// of tens of thousands of sockets.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let (soft, hard) = nofile_limit()?;
+    if soft >= want {
+        return Ok(soft);
+    }
+    let new_hard = hard.max(want);
+    let lim = Rlimit {
+        rlim_cur: want.min(new_hard),
+        rlim_max: new_hard,
+    };
+    // SAFETY: passing a valid rlimit struct by const pointer.
+    let rc = unsafe { setrlimit(RLIMIT_NOFILE, &lim) };
+    if rc != 0 {
+        // Could not raise the hard limit (unprivileged): settle for the
+        // largest soft limit the existing hard limit allows.
+        let lim = Rlimit {
+            rlim_cur: want.min(hard),
+            rlim_max: hard,
+        };
+        // SAFETY: as above.
+        let rc = unsafe { setrlimit(RLIMIT_NOFILE, &lim) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        return Ok(lim.rlim_cur);
+    }
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::*;
+    use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+
+    /// Kernel `struct epoll_event`. Packed on x86-64 (kernel ABI), naturally
+    /// aligned elsewhere — this mirrors glibc's `__EPOLL_PACKED`.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        /// Readiness bit mask (`EPOLL*`).
+        pub events: u32,
+        /// Caller-chosen cookie (the reactor stores the token here).
+        pub data: u64,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        /// Readiness bit mask (`EPOLL*`).
+        pub events: u32,
+        /// Caller-chosen cookie (the reactor stores the token here).
+        pub data: u64,
+    }
+
+    /// Readable.
+    pub const EPOLLIN: u32 = 0x001;
+    /// Writable.
+    pub const EPOLLOUT: u32 = 0x004;
+    /// Error condition.
+    pub const EPOLLERR: u32 = 0x008;
+    /// Hangup.
+    pub const EPOLLHUP: u32 = 0x010;
+    /// Peer closed its write side.
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Add an fd to the interest list.
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    /// Remove an fd from the interest list.
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    /// Change an fd's event mask.
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    /// Creates a close-on-exec epoll instance.
+    pub fn epoll_create() -> io::Result<OwnedFd> {
+        // SAFETY: plain syscall; on success the fd is freshly owned by us.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is valid and not owned elsewhere.
+        Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+    }
+
+    /// `epoll_ctl` wrapper; `events` is ignored for `EPOLL_CTL_DEL`.
+    pub fn epoll_control(
+        epfd: RawFd,
+        op: c_int,
+        fd: RawFd,
+        events: u32,
+        data: u64,
+    ) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        // SAFETY: `ev` outlives the call; fds are supplied by safe owners.
+        let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Blocking `epoll_wait`; `timeout_ms < 0` blocks indefinitely.
+    /// Returns the number of events written into `buf`.
+    pub fn epoll_pwait(
+        epfd: RawFd,
+        buf: &mut [EpollEvent],
+        timeout_ms: c_int,
+    ) -> io::Result<usize> {
+        // SAFETY: `buf` is a valid writable slice of EpollEvent.
+        let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+
+    #[allow(dead_code)]
+    fn _unused(_: c_uint) {}
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod fallback {
+    use super::*;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_short, c_ulong};
+
+    /// `struct pollfd`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        /// The fd to poll.
+        pub fd: c_int,
+        /// Requested events.
+        pub events: c_short,
+        /// Returned events.
+        pub revents: c_short,
+    }
+
+    /// Readable.
+    pub const POLLIN: c_short = 0x001;
+    /// Writable.
+    pub const POLLOUT: c_short = 0x004;
+    /// Error condition.
+    pub const POLLERR: c_short = 0x008;
+    /// Hangup.
+    pub const POLLHUP: c_short = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Blocking `poll(2)`; `timeout_ms < 0` blocks indefinitely.
+    pub fn poll_wait(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid writable slice of pollfd.
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        let _ = RawFd::from(0);
+        Ok(n as usize)
+    }
+
+    #[allow(dead_code)]
+    fn _unused(_: c_uint) {}
+}

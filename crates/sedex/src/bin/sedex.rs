@@ -16,6 +16,7 @@
 //!             [--data-dir DIR] [--fsync always|every-N|off]
 //!             [--snapshot-every N] [--request-timeout MS]
 //!             [--max-conns N] [--shed-queue-depth N]
+//!             [--pipeline-window N]
 //! sedex recover <dir>           # inspect a --data-dir: what would recover?
 //! ```
 //!
@@ -50,7 +51,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N] [--request-timeout MS] [--max-conns N] [--shed-queue-depth N]\n  sedex recover <data-dir>"
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N] [--request-timeout MS] [--max-conns N] [--shed-queue-depth N] [--pipeline-window N]\n  sedex recover <data-dir>"
         .to_owned()
 }
 
@@ -182,7 +183,8 @@ fn generate(args: &[String]) -> Result<(), String> {
 /// [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N]
 /// [--engine-threads N] [--parallel-threshold N] [--data-dir DIR]
 /// [--fsync always|every-N|off] [--snapshot-every N]
-/// [--request-timeout MS] [--max-conns N] [--shed-queue-depth N]`:
+/// [--request-timeout MS] [--max-conns N] [--shed-queue-depth N]
+/// [--pipeline-window N]`:
 /// run the multi-tenant exchange server until a wire `SHUTDOWN` arrives.
 fn serve(flags: &[String]) -> Result<(), String> {
     use sedex::service::{Server, ServerConfig};
@@ -264,6 +266,11 @@ fn serve(flags: &[String]) -> Result<(), String> {
                 cfg.shed_queue_depth = value("--shed-queue-depth")?
                     .parse()
                     .map_err(|e| format!("--shed-queue-depth: {e}"))?;
+            }
+            "--pipeline-window" => {
+                cfg.pipeline_window = value("--pipeline-window")?
+                    .parse()
+                    .map_err(|e| format!("--pipeline-window: {e}"))?;
             }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }

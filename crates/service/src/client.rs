@@ -11,12 +11,27 @@
 //! no-op, a re-`FLUSH` finds nothing pending, and [`Client::open`] /
 //! [`Client::close`] treat "already exists" / "no such session" after a
 //! retry as the success they imply. `SHUTDOWN` is never retried.
+//!
+//! With [`ClientConfig::binary`] (or `SEDEX_CLIENT_PROTO=binary` in the
+//! environment) the client negotiates the binary protocol with `HELLO
+//! binary` on every (re)connect and speaks [`crate::wire`] frames instead
+//! of text lines. Requests are still built from the same text commands —
+//! they are parsed client-side with the *same* parser the server uses, so
+//! a malformed command gets the identical `ERR` text either way, just
+//! without a round-trip. [`Client::pipeline`] sends many requests before
+//! reading any reply (both protocols), and [`Client::push_batch`] packs
+//! many tuples of one session into a single `PUSH_BATCH` frame (binary;
+//! over text it degrades to a pipelined burst of `PUSH` lines).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use sedex_net::FRAME_HEADER_BYTES;
 use sedex_scenarios::rng::SmallRng;
+
+use crate::protocol::{parse_request, Proto, Request};
+use crate::wire;
 
 /// One parsed response block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +56,16 @@ impl Reply {
             Ok(self)
         } else {
             Err(std::io::Error::other(format!("server: {}", self.head)))
+        }
+    }
+
+    /// An `ERR` reply the client synthesized locally (binary mode rejects
+    /// malformed commands with the server's own parser, saving the trip).
+    fn synthetic_err(head: impl Into<String>) -> Reply {
+        Reply {
+            ok: false,
+            head: head.into(),
+            lines: Vec::new(),
         }
     }
 }
@@ -71,6 +96,11 @@ pub struct ClientConfig {
     pub max_response_line: usize,
     /// Most body lines accepted in one response block.
     pub max_response_lines: usize,
+    /// Negotiate the binary protocol (`HELLO binary`) on every connect.
+    /// Defaults to true when the environment has
+    /// `SEDEX_CLIENT_PROTO=binary`, so whole test suites can be flipped
+    /// onto the binary transport without touching code.
+    pub binary: bool,
 }
 
 impl Default for ClientConfig {
@@ -86,6 +116,9 @@ impl Default for ClientConfig {
             retry_seed: 0x5EDE_C1E4,
             max_response_line: 1 << 20,
             max_response_lines: 1 << 20,
+            binary: std::env::var("SEDEX_CLIENT_PROTO")
+                .map(|v| v.eq_ignore_ascii_case("binary"))
+                .unwrap_or(false),
         }
     }
 }
@@ -99,6 +132,7 @@ pub struct Client {
     cfg: ClientConfig,
     rng: SmallRng,
     retries: u64,
+    proto: Proto,
 }
 
 impl Client {
@@ -125,6 +159,7 @@ impl Client {
             cfg,
             rng,
             retries: 0,
+            proto: Proto::Text,
         })
     }
 
@@ -134,15 +169,59 @@ impl Client {
         self.retries
     }
 
+    /// The protocol this client speaks (requests on a fresh connection
+    /// negotiate it lazily, but the choice is fixed by configuration).
+    pub fn proto(&self) -> Proto {
+        self.target_proto()
+    }
+
+    /// What the connection should end up speaking. The `proto` field
+    /// tracks what the *current stream* has negotiated so far; this is the
+    /// configured destination, and what requests are encoded for.
+    fn target_proto(&self) -> Proto {
+        if self.cfg.binary {
+            Proto::Binary
+        } else {
+            Proto::Text
+        }
+    }
+
     fn reconnect(&mut self) -> std::io::Result<()> {
         let stream = open_stream(self.addr, &self.cfg)?;
         self.writer = stream.try_clone()?;
         self.reader = BufReader::new(stream);
+        self.proto = Proto::Text;
         Ok(())
     }
 
-    /// One attempt: send `payload` verbatim, read one response block.
+    /// `HELLO binary` when configured and not yet negotiated on this
+    /// stream. The reply to HELLO itself is always text (the server
+    /// switches its parser immediately but answers the negotiation in the
+    /// protocol the client is still reading); every frame after it is
+    /// binary. Runs lazily at the head of every exchange rather than at
+    /// connect time, so a negotiation lost to a dropped connection is
+    /// retried by the normal reconnect-and-resend machinery.
+    fn negotiate(&mut self) -> std::io::Result<()> {
+        if !self.cfg.binary || self.proto == Proto::Binary {
+            return Ok(());
+        }
+        self.writer.write_all(b"HELLO binary\n")?;
+        self.writer.flush()?;
+        let reply = self.read_text_reply()?;
+        if !reply.ok {
+            return Err(std::io::Error::other(format!(
+                "binary negotiation refused: {}",
+                reply.head
+            )));
+        }
+        self.proto = Proto::Binary;
+        Ok(())
+    }
+
+    /// One attempt: negotiate if needed, send `payload` verbatim, read one
+    /// response block.
     fn exchange(&mut self, payload: &[u8]) -> std::io::Result<Reply> {
+        self.negotiate()?;
         self.writer.write_all(payload)?;
         self.writer.flush()?;
         self.read_reply()
@@ -196,15 +275,73 @@ impl Client {
         }
     }
 
-    /// Send raw request text (newline appended) and read one response
-    /// block, retrying per the client's configuration.
+    /// Send one request command (a text-protocol line, e.g. `"PUSH t1
+    /// R: a, b"`) and read the response, retrying per the client's
+    /// configuration. On a binary connection the command is parsed
+    /// client-side (with the server's own parser) and sent as a frame; a
+    /// command the server would reject at parse time is rejected here,
+    /// with the same `ERR` text and no round-trip.
     pub fn request(&mut self, text: &str) -> std::io::Result<Reply> {
-        let payload = format!("{text}\n");
-        self.request_with_retries(payload.as_bytes())
-            .map(|(r, _)| r)
+        match self.encode_command(text, None) {
+            Err(reply) => Ok(reply),
+            Ok(payload) => self.request_with_retries(&payload).map(|(r, _)| r),
+        }
+    }
+
+    /// Build the on-wire bytes for one command under the current protocol.
+    /// `Err` carries a locally synthesized `ERR` reply (binary mode only:
+    /// the command failed the same parse the server would run).
+    fn encode_command(&self, line: &str, open_body: Option<&str>) -> Result<Vec<u8>, Reply> {
+        match self.target_proto() {
+            Proto::Text => {
+                let mut payload = format!("{line}\n");
+                if let Some(body) = open_body {
+                    payload.push_str(body);
+                    if !body.ends_with('\n') {
+                        payload.push('\n');
+                    }
+                    payload.push_str("END\n");
+                }
+                Ok(payload.into_bytes())
+            }
+            Proto::Binary => {
+                let request = parse_request(line, open_body.map(str::to_owned))
+                    .map_err(|e| Reply::synthetic_err(e.to_string()))?;
+                wire::encode_request(&request).map_err(Reply::synthetic_err)
+            }
+        }
     }
 
     fn read_reply(&mut self) -> std::io::Result<Reply> {
+        match self.proto {
+            Proto::Text => self.read_text_reply(),
+            Proto::Binary => self.read_frame_reply(),
+        }
+    }
+
+    /// Read one length-prefixed response frame (binary protocol).
+    fn read_frame_reply(&mut self) -> std::io::Result<Reply> {
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        self.reader.read_exact(&mut header)?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let opcode = header[4];
+        if len > wire::MAX_FRAME_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "response frame of {len} bytes exceeds {}",
+                    wire::MAX_FRAME_BYTES
+                ),
+            ));
+        }
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        let (ok, head, lines) = wire::decode_response(opcode, &body)
+            .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidData, m))?;
+        Ok(Reply { ok, head, lines })
+    }
+
+    fn read_text_reply(&mut self) -> std::io::Result<Reply> {
         let head = self.read_bounded_line()?;
         let (ok, head) = if let Some(rest) = head.strip_prefix("OK") {
             (true, rest.trim_start().to_owned())
@@ -276,12 +413,11 @@ impl Client {
     /// error on a retried attempt is reported as success: the earlier
     /// attempt's request reached the server, only its reply was lost.
     pub fn open(&mut self, session: &str, scenario: &str) -> std::io::Result<Reply> {
-        let mut payload = format!("OPEN {session}\n{scenario}");
-        if !scenario.ends_with('\n') {
-            payload.push('\n');
-        }
-        payload.push_str("END\n");
-        let (reply, attempts) = self.request_with_retries(payload.as_bytes())?;
+        let payload = match self.encode_command(&format!("OPEN {session}"), Some(scenario)) {
+            Ok(p) => p,
+            Err(reply) => return Ok(reply),
+        };
+        let (reply, attempts) = self.request_with_retries(&payload)?;
         if !reply.ok && attempts > 1 && reply.head.contains("already exists") {
             return Ok(Reply {
                 ok: true,
@@ -292,8 +428,26 @@ impl Client {
         Ok(reply)
     }
 
-    /// `PUSH <session> <data line>` — feed + exchange one tuple.
+    /// `PUSH <session> <data line>` — feed + exchange one tuple. Binary
+    /// connections build the request directly from the data line instead
+    /// of formatting a command string only to parse it back apart.
     pub fn push(&mut self, session: &str, data_line: &str) -> std::io::Result<Reply> {
+        if self.target_proto() == Proto::Binary {
+            let (relation, tuple) = match sedex_scenarios::textfmt::parse_data_line(data_line, 1) {
+                Ok(parts) => parts,
+                Err(e) => return Ok(Reply::synthetic_err(format!("data: {}", e.message))),
+            };
+            let request = Request::PushTuple {
+                session: session.to_owned(),
+                relation,
+                tuple,
+            };
+            let payload = match wire::encode_request(&request) {
+                Ok(p) => p,
+                Err(msg) => return Ok(Reply::synthetic_err(msg)),
+            };
+            return self.request_with_retries(&payload).map(|(r, _)| r);
+        }
         self.request(&format!("PUSH {session} {data_line}"))
     }
 
@@ -329,8 +483,11 @@ impl Client {
     /// `CLOSE <session>`. A "no such session" error on a retried attempt
     /// is reported as success — the earlier attempt closed it.
     pub fn close(&mut self, session: &str) -> std::io::Result<Reply> {
-        let payload = format!("CLOSE {session}\n");
-        let (reply, attempts) = self.request_with_retries(payload.as_bytes())?;
+        let payload = match self.encode_command(&format!("CLOSE {session}"), None) {
+            Ok(p) => p,
+            Err(reply) => return Ok(reply),
+        };
+        let (reply, attempts) = self.request_with_retries(&payload)?;
         if !reply.ok && attempts > 1 && reply.head.contains("no such session") {
             return Ok(Reply {
                 ok: true,
@@ -345,7 +502,98 @@ impl Client {
     /// does not mean a lost shutdown, and a resend could hit the next
     /// server instance.
     pub fn shutdown(&mut self) -> std::io::Result<Reply> {
-        self.exchange(b"SHUTDOWN\n")
+        let payload = match self.encode_command("SHUTDOWN", None) {
+            Ok(p) => p,
+            Err(reply) => return Ok(reply),
+        };
+        self.exchange(&payload)
+    }
+
+    /// Send every command before reading any reply, then read them all —
+    /// one round-trip for the whole burst instead of one per command. The
+    /// server still executes a connection's requests strictly in order, so
+    /// `replies[i]` always answers `commands[i]`.
+    ///
+    /// Commands are single lines (no `OPEN` bodies). Pipelined sends are
+    /// **not** retried: a transport error mid-burst leaves it unknown
+    /// which requests were applied, and callers batching mutations should
+    /// re-send the burst themselves (the verbs are idempotent). In binary
+    /// mode a command failing the client-side parse is answered locally
+    /// and never sent; its reply still lands at the right index.
+    pub fn pipeline(&mut self, commands: &[&str]) -> std::io::Result<Vec<Reply>> {
+        self.negotiate()?;
+        let mut slots: Vec<Option<Reply>> = vec![None; commands.len()];
+        let mut payload = Vec::new();
+        let mut wired = 0usize;
+        for (i, command) in commands.iter().enumerate() {
+            match self.encode_command(command, None) {
+                Ok(bytes) => {
+                    payload.extend_from_slice(&bytes);
+                    wired += 1;
+                }
+                Err(reply) => slots[i] = Some(reply),
+            }
+        }
+        self.writer.write_all(&payload)?;
+        self.writer.flush()?;
+        for _ in 0..wired {
+            let reply = self.read_reply()?;
+            let slot = slots
+                .iter_mut()
+                .find(|s| s.is_none())
+                .expect("one empty slot per wired request");
+            *slot = Some(reply);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect())
+    }
+
+    /// Push many data lines into one session. Binary connections pack the
+    /// whole batch into a single `PUSH_BATCH` frame — one request, one
+    /// tenant-lock acquisition, one reply — and retry it like any other
+    /// request (safe: re-pushing applied tuples is a seen-set no-op). Text
+    /// connections fall back to a pipelined burst of `PUSH` lines and
+    /// synthesize a summary reply: the first `ERR` if any push failed,
+    /// otherwise the last push's reply.
+    pub fn push_batch(&mut self, session: &str, data_lines: &[&str]) -> std::io::Result<Reply> {
+        match self.target_proto() {
+            Proto::Binary => {
+                let mut rows = Vec::with_capacity(data_lines.len());
+                for line in data_lines {
+                    match sedex_scenarios::textfmt::parse_data_line(line, 1) {
+                        Ok(row) => rows.push(row),
+                        Err(e) => return Ok(Reply::synthetic_err(format!("data: {}", e.message))),
+                    }
+                }
+                let request = Request::PushBatch {
+                    session: session.to_owned(),
+                    rows,
+                };
+                let payload = match wire::encode_request(&request) {
+                    Ok(p) => p,
+                    Err(msg) => return Ok(Reply::synthetic_err(msg)),
+                };
+                self.request_with_retries(&payload).map(|(r, _)| r)
+            }
+            Proto::Text => {
+                let commands: Vec<String> = data_lines
+                    .iter()
+                    .map(|line| format!("PUSH {session} {line}"))
+                    .collect();
+                let refs: Vec<&str> = commands.iter().map(String::as_str).collect();
+                let replies = self.pipeline(&refs)?;
+                match replies.iter().find(|r| !r.ok) {
+                    Some(err) => Ok(err.clone()),
+                    None => Ok(replies.into_iter().last().unwrap_or_else(|| Reply {
+                        ok: true,
+                        head: "pushed batch of 0".to_owned(),
+                        lines: Vec::new(),
+                    })),
+                }
+            }
+        }
     }
 }
 

@@ -15,16 +15,23 @@
 //!   `METRICS` returns the server's registry as Prometheus text
 //!   exposition; with [`server::ServerConfig::metrics`] set, sessions
 //!   additionally trace every pipeline phase into the same registry;
+//! * [`wire`] — the length-prefixed binary protocol a connection switches
+//!   to with `HELLO binary`: framed requests/responses reusing
+//!   [`sedex_storage::codec`], request pipelining, batched `PUSH`;
 //! * [`manager`] — the sharded multi-tenant session map;
-//! * [`server`] — the TCP server: nonblocking accept loop, fixed worker
-//!   pool fed by a bounded channel (backpressure), idle-session TTL
-//!   sweeper, graceful shutdown draining in-flight work; with
-//!   [`server::ServerConfig::data_dir`] set, every acknowledged operation
-//!   is written ahead to a per-shard log ([`sedex_durable`]) and sessions
-//!   are recovered at the next startup;
+//! * [`server`] — the TCP server: a single [`sedex_net`] readiness-reactor
+//!   thread multiplexes the listener and every connection (idle
+//!   connections cost zero threads and zero periodic wakeups), feeding a
+//!   fixed worker pool through a bounded channel (backpressure), with an
+//!   idle-session TTL sweeper and graceful shutdown draining in-flight
+//!   work; with [`server::ServerConfig::data_dir`] set, every acknowledged
+//!   operation is written ahead to a per-shard log ([`sedex_durable`]) and
+//!   sessions are recovered at the next startup;
 //! * [`client`] — a blocking client used by the integration tests, with
 //!   bounded reconnect-and-retry (decorrelated-jitter backoff, honoring
-//!   the server's `ERR BUSY retry-after=<ms>` hints).
+//!   the server's `ERR BUSY retry-after=<ms>` hints), a binary transport
+//!   ([`client::ClientConfig::binary`], or `SEDEX_CLIENT_PROTO=binary`),
+//!   and pipelined/batched submission APIs.
 //!
 //! Robustness: requests carry an optional deadline
 //! ([`server::ServerConfig::request_timeout`]), overload is shed with
@@ -52,9 +59,11 @@
 pub mod client;
 pub mod manager;
 pub mod protocol;
+mod reactor;
 pub mod server;
+pub mod wire;
 
 pub use client::{Client, ClientConfig, Reply};
 pub use manager::{SessionManager, Tenant};
-pub use protocol::{Request, Response};
+pub use protocol::{Proto, Request, Response};
 pub use server::{sql_dump, Server, ServerConfig, ServerHandle, ServerStats, SHED_RETRY_AFTER_MS};

@@ -4,6 +4,7 @@
 //! follows on subsequent lines up to a lone `END`:
 //!
 //! ```text
+//! HELLO [text|binary]       # negotiate the connection's protocol
 //! OPEN <session>            # then scenario lines …, then END
 //! PUSH <session> <Relation>: v1, v2, _      # feed + exchange one tuple
 //! FEED <session> <Relation>: v1, v2         # feed only (context/dimension)
@@ -19,8 +20,15 @@
 //! Every response is a block of text lines terminated by a line containing
 //! a single `.` — readable over `nc`, trivially parseable by the client.
 //! The first line starts with `OK` or `ERR`.
+//!
+//! `HELLO binary` switches the connection to the length-prefixed binary
+//! framing defined in [`crate::wire`] (requests may be pipelined and tuples
+//! batched there); every connection starts in, and text stays, the
+//! `nc`-friendly default.
 
 use std::fmt;
+
+use sedex_storage::Tuple;
 
 /// Maximum accepted scenario-body size for `OPEN` (defense against a
 /// client streaming garbage forever).
@@ -37,6 +45,53 @@ pub const MAX_OPEN_BODY_BYTES: usize = 8 * 1024 * 1024;
 /// Maximum accepted `PUSH`/`FEED` data-line payload. One tuple has no
 /// business being this long; larger ones are answered `ERR TOO_LARGE`.
 pub const MAX_DATA_LINE_BYTES: usize = 64 * 1024;
+
+/// Maximum rows accepted in one binary `PUSH_BATCH` frame.
+pub const MAX_BATCH_ROWS: usize = 65_536;
+
+/// The protocol a connection speaks. Every connection starts in
+/// [`Proto::Text`]; `HELLO binary` switches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// Line-based, `nc`-friendly text (the default).
+    Text,
+    /// Length-prefixed binary frames ([`crate::wire`]): pipelining and
+    /// batched `PUSH` supported.
+    Binary,
+}
+
+impl Proto {
+    /// Lower-case protocol name, as used in `HELLO`, metrics labels and
+    /// `STATS` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Proto::Text => "text",
+            Proto::Binary => "binary",
+        }
+    }
+}
+
+/// Recognizes a `HELLO` negotiation line. Returns `None` when the line is
+/// not a `HELLO` at all, `Some(Ok(proto))` for a valid negotiation
+/// (`HELLO` alone means text), and `Some(Err(_))` for an unknown protocol
+/// argument.
+pub fn parse_hello(line: &str) -> Option<Result<Proto, ProtocolError>> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    if !verb.eq_ignore_ascii_case("HELLO") {
+        return None;
+    }
+    Some(match rest.to_ascii_lowercase().as_str() {
+        "" | "text" => Ok(Proto::Text),
+        "binary" => Ok(Proto::Binary),
+        other => Err(bad(format!(
+            "HELLO: unknown protocol `{other}` (text|binary)"
+        ))),
+    })
+}
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +117,31 @@ pub enum Request {
         session: String,
         /// The `Relation: v1, v2, …` data line.
         line: String,
+    },
+    /// Binary-frame `PUSH`: the tuple arrives already decoded.
+    PushTuple {
+        /// Session name.
+        session: String,
+        /// Target relation of the tuple.
+        relation: String,
+        /// The decoded tuple.
+        tuple: Tuple,
+    },
+    /// Binary-frame `FEED`: the tuple arrives already decoded.
+    FeedTuple {
+        /// Session name.
+        session: String,
+        /// Target relation of the tuple.
+        relation: String,
+        /// The decoded tuple.
+        tuple: Tuple,
+    },
+    /// Binary-frame batched `PUSH`: many rows exchanged in one request.
+    PushBatch {
+        /// Session name.
+        session: String,
+        /// `(relation, tuple)` rows, applied in order.
+        rows: Vec<(String, Tuple)>,
     },
     /// Exchange every fed-but-unseen tuple.
     Flush {
@@ -97,6 +177,9 @@ impl Request {
             Request::Open { session, .. }
             | Request::Push { session, .. }
             | Request::Feed { session, .. }
+            | Request::PushTuple { session, .. }
+            | Request::FeedTuple { session, .. }
+            | Request::PushBatch { session, .. }
             | Request::Flush { session }
             | Request::Sql { session }
             | Request::Close { session } => Some(session),
@@ -374,6 +457,17 @@ mod tests {
         };
         let text = r.render();
         assert_eq!(text, "OK x\n..\n..hidden\nplain\n.\n");
+    }
+
+    #[test]
+    fn hello_negotiation_lines() {
+        assert_eq!(parse_hello("HELLO"), Some(Ok(Proto::Text)));
+        assert_eq!(parse_hello("hello text"), Some(Ok(Proto::Text)));
+        assert_eq!(parse_hello("HELLO binary"), Some(Ok(Proto::Binary)));
+        assert_eq!(parse_hello("  HELLO   BINARY  "), Some(Ok(Proto::Binary)));
+        assert!(matches!(parse_hello("HELLO msgpack"), Some(Err(_))));
+        assert_eq!(parse_hello("PUSH t1 R: a"), None);
+        assert_eq!(parse_hello("HELLOBINARY"), None);
     }
 
     #[test]

@@ -1,0 +1,1031 @@
+//! The server's event loop: one thread multiplexing the listener and every
+//! connection through a [`sedex_net::Poller`].
+//!
+//! The reactor owns all connection I/O and protocol framing; it never
+//! executes a request itself. Parsed requests are handed to the worker
+//! pool over the bounded job channel, finished [`Done`]s flow back over an
+//! unbounded channel (workers wake the reactor out of `epoll_wait` via the
+//! [`sedex_net::Waker`]).
+//!
+//! Invariants the reactor maintains:
+//!
+//! * **Serial per connection.** At most one request per connection is ever
+//!   in flight in the worker pool; later pipelined requests wait in the
+//!   connection's item queue. Responses therefore come back in request
+//!   order — pipelining saves round-trips, never reorders.
+//! * **Inline answers stay ordered.** Parse errors, `HELLO` replies, shed
+//!   `BUSY` answers and oversize errors are queued as items alongside real
+//!   requests, so a pipelined burst gets its answers in exactly the order
+//!   the requests were sent.
+//! * **Backpressure, not buffering.** A connection with a full pipeline
+//!   window (or a request parked on a full job queue) has its read
+//!   interest dropped: bytes stay in the kernel socket buffer and TCP
+//!   pushes back on the client.
+//! * **Zero idle wakeups.** With no deadlines pending the poll timeout is
+//!   infinite; an idle server (or ten thousand idle connections) wakes for
+//!   nothing.
+//!
+//! Fault injection mirrors the old thread-per-connection layer:
+//! `Accept`/`ConnRead`/`ConnWrite` fire on the corresponding paths, and a
+//! `Panic` fault unwinding out of one connection's handling closes that
+//! connection only — the reactor itself survives.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sedex_durable::{FaultKind, FaultPoint};
+use sedex_net::{
+    read_once, ByteQueue, Event, FrameDecoder, FrameEvent, Interest, Poller, ReadOutcome, Token,
+    WriteBuf,
+};
+
+use crate::protocol::{
+    parse_hello, parse_request, Proto, Request, Response, MAX_LINE_BYTES, MAX_OPEN_BODY_BYTES,
+    MAX_OPEN_BODY_LINES,
+};
+use crate::server::{busy_response, deadline_response, Done, Job, Shared, DEADLINE_REPLY_GRACE};
+use crate::wire;
+
+/// Token of the listening socket.
+const LISTENER: Token = Token(0);
+/// First token handed to an accepted connection.
+const FIRST_CONN: u64 = 16;
+
+/// An `OPEN` whose body is still being collected (text protocol only; the
+/// binary protocol carries the scenario inside the frame).
+struct OpenCollect {
+    /// The `OPEN …` command line itself.
+    line: String,
+    body: String,
+    lines: usize,
+    too_large: bool,
+}
+
+/// One entry in a connection's ordered item queue.
+enum Item {
+    /// A parsed request waiting for a worker slot.
+    Req {
+        request: Request,
+        proto: Proto,
+        deadline: Option<Instant>,
+    },
+    /// An answer the reactor produced itself (parse error, HELLO reply,
+    /// oversize error). `count` is false for HELLO negotiation, which is
+    /// not a request; `close` closes the connection after the reply is
+    /// flushed (text close-on-oversize).
+    Ready {
+        response: Response,
+        proto: Proto,
+        close: bool,
+        count: bool,
+    },
+}
+
+/// The request currently executing in the worker pool for one connection.
+struct Inflight {
+    seq: u64,
+    proto: Proto,
+    shutdown: bool,
+    /// Deadline + grace; when it passes before the worker answers, the
+    /// reactor answers `ERR DEADLINE` itself and closes the connection.
+    expiry: Option<Instant>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: ByteQueue,
+    wbuf: WriteBuf,
+    proto: Proto,
+    frames: FrameDecoder,
+    open: Option<OpenCollect>,
+    pending: VecDeque<Item>,
+    /// A job that found the worker queue full: retried (in order, before
+    /// anything else on this connection) when a worker frees a slot.
+    stalled: Option<Job>,
+    inflight: Option<Inflight>,
+    next_seq: u64,
+    read_closed: bool,
+    close_after_flush: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: ByteQueue::new(),
+            wbuf: WriteBuf::new(),
+            proto: Proto::Text,
+            frames: FrameDecoder::new(wire::MAX_FRAME_BYTES),
+            open: None,
+            pending: VecDeque::new(),
+            stalled: None,
+            inflight: None,
+            next_seq: 0,
+            read_closed: false,
+            close_after_flush: false,
+            interest: Interest::READ,
+        }
+    }
+}
+
+/// Entry point: runs until shutdown has been requested and every
+/// connection has drained. Dropping `tx` on exit disconnects the job
+/// channel, which is what makes the workers exit.
+pub(crate) fn reactor_loop(
+    listener: TcpListener,
+    poller: Poller,
+    tx: SyncSender<Job>,
+    done_rx: Receiver<Done>,
+    shared: Arc<Shared>,
+    window: usize,
+) {
+    let mut reactor = Reactor {
+        shared,
+        poller,
+        listener,
+        tx,
+        done_rx,
+        conns: HashMap::new(),
+        expiries: BTreeMap::new(),
+        stalled: Vec::new(),
+        next_token: FIRST_CONN,
+        draining: false,
+        window,
+    };
+    reactor.run();
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    tx: SyncSender<Job>,
+    done_rx: Receiver<Done>,
+    conns: HashMap<u64, Conn>,
+    /// Pending response deadlines: `(expiry, conn token) → seq`. The
+    /// earliest entry bounds the poll timeout.
+    expiries: BTreeMap<(Instant, u64), u64>,
+    /// Connections with a stalled job to retry.
+    stalled: Vec<u64>,
+    next_token: u64,
+    draining: bool,
+    window: usize,
+}
+
+/// Outcome of trying to hand a job to the worker pool.
+enum Dispatch {
+    Sent,
+    Full,
+    Dead,
+}
+
+/// Deadline for a freshly parsed request: `request_timeout` from now —
+/// except `SHUTDOWN`, which carries none (an operator must always be able
+/// to stop the server).
+fn request_deadline(timeout: Option<Duration>, request: &Request) -> Option<Instant> {
+    if matches!(request, Request::Shutdown) {
+        None
+    } else {
+        timeout.map(|t| Instant::now() + t)
+    }
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        if self
+            .poller
+            .register(self.listener.as_raw_fd(), LISTENER, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            self.drain_done();
+            if !self.draining && self.shared.shutdown.load(Ordering::SeqCst) {
+                self.enter_drain();
+            }
+            self.retry_stalled();
+            self.expire_deadlines();
+            if self.draining && self.conns.is_empty() {
+                break;
+            }
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // Should not happen; avoid a hot error loop if it does.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            for &ev in events.iter() {
+                if ev.token == LISTENER {
+                    self.accept_ready();
+                } else {
+                    self.conn_event(ev.token.0, ev.readable, ev.writable);
+                }
+            }
+        }
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        for (_, conn) in self.conns.drain() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+        self.shared.stats.open_conns.set(0);
+        // Unblock a sweeper still parked on the condvar.
+        self.shared.notify_sweeper();
+        // `self.tx` drops with the reactor: workers drain and exit.
+    }
+
+    /// Poll timeout: until the earliest pending deadline, else forever.
+    fn next_timeout(&self) -> Option<Duration> {
+        let (at, _) = self.expiries.keys().next()?;
+        Some(at.saturating_duration_since(Instant::now()))
+    }
+
+    // --- worker completions -------------------------------------------
+
+    fn drain_done(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.on_done(done);
+        }
+    }
+
+    fn on_done(&mut self, done: Done) {
+        let (proto, shutdown, expiry) = {
+            let Some(conn) = self.conns.get_mut(&done.conn) else {
+                return; // connection already gone (deadline or hangup)
+            };
+            match &conn.inflight {
+                Some(inf) if inf.seq == done.seq => {}
+                _ => return, // stale completion
+            }
+            let inf = conn.inflight.take().expect("checked above");
+            (inf.proto, inf.shutdown, inf.expiry)
+        };
+        if let Some(at) = expiry {
+            self.expiries.remove(&(at, done.conn));
+        }
+        // A served SHUTDOWN closes its own connection once the reply is out.
+        if self.write_response(done.conn, &done.response, proto, shutdown) {
+            self.pump(done.conn);
+        }
+    }
+
+    // --- accepting ----------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _peer)) => {
+                    self.shared.stats.connections.inc();
+                    // Injected accept fault: the connection is dropped on
+                    // the floor, as if the network ate it post-handshake.
+                    match self
+                        .shared
+                        .faults
+                        .as_ref()
+                        .and_then(|p| p.fire(FaultPoint::Accept))
+                    {
+                        Some(FaultKind::Error(_)) | Some(FaultKind::ShortWrite) => continue,
+                        _ => {}
+                    }
+                    if self.draining {
+                        continue; // raced the shutdown: drop it
+                    }
+                    if self.shared.max_conns > 0 && self.conns.len() >= self.shared.max_conns {
+                        // Over the cap: refuse politely with a retry hint
+                        // instead of letting the connection starve unserved.
+                        self.shared.stats.shed.inc();
+                        let _ = stream.write_all(busy_response().render().as_bytes());
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), Token(token), Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(token, Conn::new(stream));
+                    self.shared.stats.open_conns.set(self.conns.len() as i64);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock, or transient accept failure
+            }
+        }
+    }
+
+    // --- per-connection events ----------------------------------------
+
+    fn conn_event(&mut self, token: u64, readable: bool, writable: bool) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        // An injected Panic fault on this connection's read/write path must
+        // kill only this connection — exactly like the per-connection
+        // thread it replaces dying.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if writable && !self.flush_conn(token) {
+                return;
+            }
+            if readable {
+                self.conn_readable(token);
+            }
+            self.pump(token);
+        }));
+        if outcome.is_err() {
+            self.close_conn(token);
+        }
+    }
+
+    fn conn_readable(&mut self, token: u64) {
+        // Bound the bytes pulled per readiness event so one fast client
+        // cannot starve the rest of the loop.
+        let mut budget: usize = 1 << 20;
+        loop {
+            let paused = {
+                let Some(c) = self.conns.get(&token) else {
+                    return;
+                };
+                c.read_closed
+                    || c.close_after_flush
+                    || c.stalled.is_some()
+                    || c.pending.len() >= self.window
+            };
+            if paused {
+                break;
+            }
+            // Injected read faults: transient kinds retry (like a real
+            // EINTR), hard kinds close the connection (like a reset).
+            match self
+                .shared
+                .faults
+                .as_ref()
+                .and_then(|p| p.fire(FaultPoint::ConnRead))
+            {
+                Some(FaultKind::Error(
+                    ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut,
+                )) => continue,
+                Some(FaultKind::Error(_)) | Some(FaultKind::ShortWrite) => {
+                    self.close_conn(token);
+                    return;
+                }
+                _ => {}
+            }
+            let outcome = {
+                let c = self.conns.get_mut(&token).expect("checked above");
+                let (rbuf, stream) = (&mut c.rbuf, &c.stream);
+                read_once(&mut { stream }, rbuf, 64 * 1024)
+            };
+            match outcome {
+                Ok(ReadOutcome::Data(n)) => {
+                    self.parse_conn(token);
+                    budget = budget.saturating_sub(n);
+                    if budget == 0 {
+                        break;
+                    }
+                }
+                Ok(ReadOutcome::WouldBlock) => break,
+                Ok(ReadOutcome::Closed) => {
+                    if let Some(c) = self.conns.get_mut(&token) {
+                        c.read_closed = true;
+                    }
+                    break;
+                }
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        self.parse_conn(token);
+    }
+
+    // --- parsing ------------------------------------------------------
+
+    /// Turn buffered bytes into queue items, up to the pipeline window.
+    fn parse_conn(&mut self, token: u64) {
+        let timeout = self.shared.request_timeout;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.close_after_flush || conn.pending.len() >= self.window {
+                return;
+            }
+            match conn.proto {
+                Proto::Binary => match conn.frames.decode(&mut conn.rbuf) {
+                    None => return,
+                    Some(FrameEvent::Oversized { opcode, declared }) => {
+                        // Binary framing resynchronizes: the decoder skips
+                        // the declared body and the connection stays up.
+                        conn.pending.push_back(Item::Ready {
+                            response: Response::err(format!(
+                                "TOO_LARGE frame body of {declared} bytes exceeds {} (opcode 0x{opcode:02x}); frame skipped",
+                                wire::MAX_FRAME_BYTES
+                            )),
+                            proto: Proto::Binary,
+                            close: false,
+                            count: true,
+                        });
+                    }
+                    Some(FrameEvent::Frame { opcode, payload }) => {
+                        match wire::decode_request(opcode, &payload) {
+                            Ok(request) => {
+                                let deadline = request_deadline(timeout, &request);
+                                conn.pending.push_back(Item::Req {
+                                    request,
+                                    proto: Proto::Binary,
+                                    deadline,
+                                });
+                            }
+                            Err(msg) => conn.pending.push_back(Item::Ready {
+                                response: Response::err(msg),
+                                proto: Proto::Binary,
+                                close: false,
+                                count: true,
+                            }),
+                        }
+                    }
+                },
+                Proto::Text => {
+                    let newline = conn.rbuf.as_slice().iter().position(|&b| b == b'\n');
+                    if newline.map_or(true, |i| i > MAX_LINE_BYTES) {
+                        if newline.is_some() || conn.rbuf.len() > MAX_LINE_BYTES {
+                            // Mid-line with no way to resynchronize: answer
+                            // TOO_LARGE and close, like the old line reader.
+                            let what = if conn.open.is_some() {
+                                "scenario"
+                            } else {
+                                "request"
+                            };
+                            conn.pending.push_back(Item::Ready {
+                                response: Response::err(format!(
+                                    "TOO_LARGE {what} line exceeds {MAX_LINE_BYTES} bytes"
+                                )),
+                                proto: Proto::Text,
+                                close: true,
+                                count: true,
+                            });
+                            conn.read_closed = true;
+                            conn.rbuf.clear();
+                        }
+                        return;
+                    }
+                    let i = newline.expect("checked above");
+                    let mut raw = conn.rbuf.as_slice()[..i].to_vec();
+                    conn.rbuf.consume(i + 1);
+                    if raw.last() == Some(&b'\r') {
+                        raw.pop();
+                    }
+                    let line = String::from_utf8_lossy(&raw).into_owned();
+                    self.text_line(token, line);
+                }
+            }
+        }
+    }
+
+    /// Process one complete text line (command, OPEN-body line, or HELLO).
+    fn text_line(&mut self, token: u64, line: String) {
+        let timeout = self.shared.request_timeout;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // OPEN body collection: buffer lines until a lone END, with the
+        // same line-count and byte caps as the old connection loop.
+        if let Some(open) = &mut conn.open {
+            if line.trim().eq_ignore_ascii_case("END") {
+                let oc = conn.open.take().expect("checked above");
+                let item = if oc.too_large {
+                    Item::Ready {
+                        response: Response::err(format!(
+                            "TOO_LARGE OPEN body exceeds {MAX_OPEN_BODY_BYTES} bytes"
+                        )),
+                        proto: Proto::Text,
+                        close: false,
+                        count: true,
+                    }
+                } else {
+                    match parse_request(&oc.line, Some(oc.body)) {
+                        Ok(request) => {
+                            let deadline = request_deadline(timeout, &request);
+                            Item::Req {
+                                request,
+                                proto: Proto::Text,
+                                deadline,
+                            }
+                        }
+                        Err(e) => Item::Ready {
+                            response: Response::err(e.to_string()),
+                            proto: Proto::Text,
+                            close: false,
+                            count: true,
+                        },
+                    }
+                };
+                // Borrow was released by the helpers above; requeue.
+                if let Some(c) = self.conns.get_mut(&token) {
+                    c.pending.push_back(item);
+                }
+                return;
+            }
+            open.lines += 1;
+            if open.body.len() + line.len() > MAX_OPEN_BODY_BYTES {
+                open.too_large = true;
+            } else if !open.too_large {
+                open.body.push_str(&line);
+                open.body.push('\n');
+            }
+            if open.lines >= MAX_OPEN_BODY_LINES {
+                // Body cap hit without an END: answer and abandon
+                // collection (a later END parses as an unknown command).
+                let too_large = open.too_large;
+                conn.open = None;
+                let msg = if too_large {
+                    format!("TOO_LARGE OPEN body exceeds {MAX_OPEN_BODY_BYTES} bytes")
+                } else {
+                    "OPEN body not terminated by END".to_owned()
+                };
+                conn.pending.push_back(Item::Ready {
+                    response: Response::err(msg),
+                    proto: Proto::Text,
+                    close: false,
+                    count: true,
+                });
+            }
+            return;
+        }
+        if line.trim().is_empty() {
+            return;
+        }
+        // HELLO is answered by the reactor itself: it negotiates framing,
+        // which only the reactor knows about. The reply is always rendered
+        // as text (the client still reads text at this point); the parser
+        // switches immediately, so the very next bytes may be binary.
+        if let Some(negotiated) = parse_hello(&line) {
+            let item = match negotiated {
+                Ok(proto) => {
+                    conn.proto = proto;
+                    conn.frames = FrameDecoder::new(wire::MAX_FRAME_BYTES);
+                    let head = match proto {
+                        Proto::Binary => {
+                            format!("proto=binary max-frame={}", wire::MAX_FRAME_BYTES)
+                        }
+                        Proto::Text => "proto=text".to_owned(),
+                    };
+                    Item::Ready {
+                        response: Response::ok(head),
+                        proto: Proto::Text,
+                        close: false,
+                        count: false,
+                    }
+                }
+                Err(e) => Item::Ready {
+                    response: Response::err(e.to_string()),
+                    proto: Proto::Text,
+                    close: false,
+                    count: true,
+                },
+            };
+            conn.pending.push_back(item);
+            return;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.len() >= 4 && trimmed[..4].eq_ignore_ascii_case("OPEN") {
+            conn.open = Some(OpenCollect {
+                line,
+                body: String::new(),
+                lines: 0,
+                too_large: false,
+            });
+            return;
+        }
+        let item = match parse_request(&line, None) {
+            Ok(request) => {
+                let deadline = request_deadline(timeout, &request);
+                Item::Req {
+                    request,
+                    proto: Proto::Text,
+                    deadline,
+                }
+            }
+            Err(e) => Item::Ready {
+                response: Response::err(e.to_string()),
+                proto: Proto::Text,
+                close: false,
+                count: true,
+            },
+        };
+        if let Some(c) = self.conns.get_mut(&token) {
+            c.pending.push_back(item);
+        }
+    }
+
+    // --- dispatch -----------------------------------------------------
+
+    /// Drive one connection forward: retry a stalled job, dispatch or
+    /// answer queued items (keeping at most one request in flight), pull
+    /// more parsed items if the window freed up, flush, and close if done.
+    fn pump(&mut self, token: u64) {
+        loop {
+            self.pump_items(token);
+            let Some(c) = self.conns.get(&token) else {
+                return;
+            };
+            // The window may have freed up: parse more buffered bytes and
+            // go around once they produce new items.
+            let can_refill = c.inflight.is_none()
+                && c.stalled.is_none()
+                && !c.close_after_flush
+                && c.pending.is_empty()
+                && !c.rbuf.is_empty();
+            if !can_refill {
+                break;
+            }
+            let before = c.pending.len();
+            self.parse_conn(token);
+            match self.conns.get(&token) {
+                Some(c) if c.pending.len() > before => continue,
+                _ => break,
+            }
+        }
+        if self.flush_conn(token) {
+            self.maybe_finish(token);
+            self.update_interest(token);
+        }
+    }
+
+    /// Serve the connection's item queue until it blocks (a request is in
+    /// flight, the job queue is full) or empties.
+    fn pump_items(&mut self, token: u64) {
+        loop {
+            // A stalled job goes first — it predates everything queued.
+            let stalled = {
+                let Some(c) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if c.close_after_flush {
+                    return;
+                }
+                c.stalled.take()
+            };
+            if let Some(job) = stalled {
+                match self.try_dispatch(token, job) {
+                    Dispatch::Sent => continue,
+                    Dispatch::Full => return, // re-stalled by try_dispatch
+                    Dispatch::Dead => {
+                        self.close_conn(token);
+                        return;
+                    }
+                }
+            }
+            let item = {
+                let Some(c) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if c.inflight.is_some() {
+                    return; // serial per connection: wait for the worker
+                }
+                match c.pending.pop_front() {
+                    Some(item) => item,
+                    None => return,
+                }
+            };
+            match item {
+                Item::Ready {
+                    response,
+                    proto,
+                    close,
+                    count,
+                } => {
+                    if count {
+                        self.shared.stats.requests.inc();
+                        if !response.ok {
+                            self.shared.stats.errors.inc();
+                        }
+                        self.shared.stats.count_proto(proto);
+                    }
+                    if !self.write_response(token, &response, proto, close) {
+                        return;
+                    }
+                    if close {
+                        return;
+                    }
+                }
+                Item::Req {
+                    request,
+                    proto,
+                    deadline,
+                } => {
+                    // Expired while queued behind earlier pipelined
+                    // requests: answer without executing, keep the
+                    // connection (same contract as the worker's skip).
+                    if deadline.is_some_and(|d| Instant::now() > d) {
+                        self.shared.stats.deadlines.inc();
+                        self.shared.stats.requests.inc();
+                        self.shared.stats.errors.inc();
+                        self.shared.stats.count_proto(proto);
+                        let resp = deadline_response(&self.shared);
+                        if !self.write_response(token, &resp, proto, false) {
+                            return;
+                        }
+                        continue;
+                    }
+                    let is_shutdown = matches!(request, Request::Shutdown);
+                    // Load shedding: past the configured depth, answer BUSY
+                    // with a retry hint instead of joining the queue.
+                    // SHUTDOWN is exempt.
+                    if !is_shutdown
+                        && self.shared.shed_queue_depth > 0
+                        && self.shared.stats.queue_depth.get()
+                            >= self.shared.shed_queue_depth as i64
+                    {
+                        self.shared.stats.requests.inc();
+                        self.shared.stats.errors.inc();
+                        self.shared.stats.shed.inc();
+                        self.shared.stats.count_proto(proto);
+                        if !self.write_response(token, &busy_response(), proto, false) {
+                            return;
+                        }
+                        continue;
+                    }
+                    let seq = {
+                        let Some(c) = self.conns.get_mut(&token) else {
+                            return;
+                        };
+                        let seq = c.next_seq;
+                        c.next_seq += 1;
+                        seq
+                    };
+                    let job = Job {
+                        request,
+                        proto,
+                        conn: token,
+                        seq,
+                        deadline,
+                    };
+                    match self.try_dispatch(token, job) {
+                        Dispatch::Sent => continue,
+                        Dispatch::Full => return,
+                        Dispatch::Dead => {
+                            self.close_conn(token);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_dispatch(&mut self, token: u64, job: Job) -> Dispatch {
+        let shutdown = matches!(job.request, Request::Shutdown);
+        let proto = job.proto;
+        let seq = job.seq;
+        let deadline = job.deadline;
+        match self.tx.try_send(job) {
+            Ok(()) => {
+                self.shared.stats.queue_depth.inc();
+                // The expiry is deadline + grace: the worker answers
+                // expired jobs itself (cheaper, counted once); the timer
+                // only fires when a worker is stuck executing.
+                let expiry = deadline.map(|d| d + DEADLINE_REPLY_GRACE);
+                if let Some(at) = expiry {
+                    self.expiries.insert((at, token), seq);
+                }
+                if let Some(c) = self.conns.get_mut(&token) {
+                    c.inflight = Some(Inflight {
+                        seq,
+                        proto,
+                        shutdown,
+                        expiry,
+                    });
+                }
+                Dispatch::Sent
+            }
+            Err(TrySendError::Full(job)) => {
+                // Queue full: park the job and stop reading this socket
+                // until a worker completion frees a slot (backpressure).
+                if let Some(c) = self.conns.get_mut(&token) {
+                    c.stalled = Some(job);
+                }
+                if !self.stalled.contains(&token) {
+                    self.stalled.push(token);
+                }
+                Dispatch::Full
+            }
+            Err(TrySendError::Disconnected(_)) => Dispatch::Dead,
+        }
+    }
+
+    /// Retry every parked job; called after completions drained (a worker
+    /// finishing is the only thing that frees queue slots).
+    fn retry_stalled(&mut self) {
+        if self.stalled.is_empty() {
+            return;
+        }
+        let tokens = std::mem::take(&mut self.stalled);
+        for token in tokens {
+            let has_stalled = self.conns.get(&token).is_some_and(|c| c.stalled.is_some());
+            if has_stalled {
+                self.pump(token);
+            }
+        }
+    }
+
+    // --- responses and teardown ---------------------------------------
+
+    /// Render and queue one response, firing [`FaultPoint::ConnWrite`]: an
+    /// injected hard error drops the connection; a short write queues a
+    /// response prefix and closes after flushing it — the client sees a
+    /// truncated reply, exactly like a connection dropped mid-reply.
+    /// Returns false when the connection died.
+    fn write_response(
+        &mut self,
+        token: u64,
+        response: &Response,
+        proto: Proto,
+        close_after: bool,
+    ) -> bool {
+        let bytes = match proto {
+            Proto::Text => response.render().into_bytes(),
+            Proto::Binary => wire::encode_response(response),
+        };
+        let fault = self
+            .shared
+            .faults
+            .as_ref()
+            .and_then(|p| p.fire(FaultPoint::ConnWrite));
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        match fault {
+            Some(FaultKind::Error(_)) => {
+                self.close_conn(token);
+                return false;
+            }
+            Some(FaultKind::ShortWrite) => {
+                conn.wbuf.queue(&bytes[..bytes.len() / 2]);
+                conn.close_after_flush = true;
+            }
+            _ => {
+                conn.wbuf.queue(&bytes);
+                if close_after {
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+        true
+    }
+
+    /// Push buffered response bytes into the socket; returns false when
+    /// the connection died (write error, or close-after-flush completed).
+    fn flush_conn(&mut self, token: u64) -> bool {
+        let drained = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            if conn.wbuf.is_empty() && !conn.close_after_flush {
+                return true;
+            }
+            let (wbuf, stream) = (&mut conn.wbuf, &conn.stream);
+            wbuf.flush(&mut { stream })
+        };
+        match drained {
+            Ok(true) => {
+                let close = self.conns.get(&token).is_some_and(|c| c.close_after_flush);
+                if close {
+                    self.close_conn(token);
+                    return false;
+                }
+                true
+            }
+            Ok(false) => true, // kernel buffer full: wait for writable
+            Err(_) => {
+                self.close_conn(token);
+                false
+            }
+        }
+    }
+
+    /// Close a connection whose work is done: nothing left to read, parse,
+    /// execute, or flush. During drain, "nothing left to read" is implied.
+    fn maybe_finish(&mut self, token: u64) {
+        let done = {
+            let Some(c) = self.conns.get(&token) else {
+                return;
+            };
+            (c.read_closed || self.draining)
+                && c.pending.is_empty()
+                && c.inflight.is_none()
+                && c.stalled.is_none()
+                && c.wbuf.is_empty()
+        };
+        if done {
+            self.close_conn(token);
+        }
+    }
+
+    /// Keep the poller's interest in sync with what the connection can
+    /// actually make progress on.
+    fn update_interest(&mut self, token: u64) {
+        let Some(c) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = Interest {
+            readable: !c.read_closed
+                && !c.close_after_flush
+                && c.stalled.is_none()
+                && c.pending.len() < self.window,
+            writable: !c.wbuf.is_empty(),
+        };
+        if want != c.interest
+            && self
+                .poller
+                .modify(c.stream.as_raw_fd(), Token(token), want)
+                .is_ok()
+        {
+            c.interest = want;
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            if let Some(inf) = conn.inflight {
+                if let Some(at) = inf.expiry {
+                    self.expiries.remove(&(at, token));
+                }
+            }
+        }
+        self.shared.stats.open_conns.set(self.conns.len() as i64);
+    }
+
+    // --- timers and shutdown ------------------------------------------
+
+    /// Answer `ERR DEADLINE` for requests whose worker blew through the
+    /// deadline *and* the reply grace — the worker is stuck; the client is
+    /// answered here and the connection closed, abandoning the job (its
+    /// eventual completion is discarded as stale).
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        loop {
+            let Some((&(at, token), &seq)) = self.expiries.iter().next() else {
+                return;
+            };
+            if at > now {
+                return;
+            }
+            self.expiries.remove(&(at, token));
+            let fired = {
+                match self.conns.get(&token).and_then(|c| c.inflight.as_ref()) {
+                    Some(inf) if inf.seq == seq => Some(inf.proto),
+                    _ => None,
+                }
+            };
+            if let Some(proto) = fired {
+                self.shared.stats.deadlines.inc();
+                let resp = deadline_response(&self.shared);
+                if self.write_response(token, &resp, proto, true) {
+                    let _ = self.flush_conn(token);
+                }
+            }
+        }
+    }
+
+    /// Shutdown requested: stop accepting, take one final read sweep per
+    /// connection (whatever the client already sent gets served), then let
+    /// every connection finish its queue and flush.
+    fn enter_drain(&mut self) {
+        self.draining = true;
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let alive = catch_unwind(AssertUnwindSafe(|| {
+                self.conn_readable(token);
+                if let Some(c) = self.conns.get_mut(&token) {
+                    c.read_closed = true;
+                    true
+                } else {
+                    false
+                }
+            }));
+            match alive {
+                Ok(true) => self.pump(token),
+                Ok(false) => {}
+                Err(_) => self.close_conn(token),
+            }
+        }
+    }
+}

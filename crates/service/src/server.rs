@@ -1,28 +1,31 @@
-//! The TCP server: nonblocking accept loop, fixed worker pool fed by a
-//! bounded job channel, TTL sweeper, graceful shutdown.
+//! The TCP server: one readiness-reactor thread for all connection I/O,
+//! a fixed worker pool fed by a bounded job channel, TTL sweeper,
+//! graceful shutdown.
 //!
 //! Concurrency shape:
 //!
-//! * one **accept** thread polls the listener (nonblocking + short sleep,
-//!   so the shutdown flag is observed promptly) and spawns a lightweight
-//!   I/O thread per connection;
-//! * connection threads only parse lines and frame responses — every
-//!   request is executed by one of `workers` **pool threads**, fed through
-//!   a *bounded* `sync_channel`: when all workers are busy and the queue is
-//!   full, `send` blocks the connection thread, which stops reading its
-//!   socket — backpressure propagates to the client's TCP window instead
-//!   of growing an unbounded queue;
-//! * a **sweeper** thread evicts sessions idle past `idle_ttl`;
-//! * `SHUTDOWN` (or [`ServerHandle::shutdown`]) raises a flag: the accept
-//!   loop stops, connection threads close after their in-flight request,
-//!   the job channel disconnects, workers drain what was queued and exit.
+//! * one **reactor** thread ([`sedex_net`], see [`crate::reactor`]) owns
+//!   the listener and every connection: it accepts, reads and parses both
+//!   protocols (text lines and binary frames), frames responses, and
+//!   tracks per-request deadlines — all through epoll/poll readiness, so
+//!   an idle server (or ten thousand idle connections) does **zero**
+//!   periodic wakeups and spawns zero per-connection threads;
+//! * every request is executed by one of `workers` **pool threads**, fed
+//!   through a *bounded* `sync_channel`: when all workers are busy and the
+//!   queue is full, the reactor parks the connection's next request and
+//!   stops reading its socket — backpressure propagates to the client's
+//!   TCP window instead of growing an unbounded queue;
+//! * a **sweeper** thread evicts sessions idle past `idle_ttl`; it blocks
+//!   on a condvar while the server has no sessions at all;
+//! * `SHUTDOWN` (or [`ServerHandle::shutdown`]) raises a flag and wakes
+//!   the reactor: it stops accepting, serves what each connection already
+//!   sent, flushes, and exits; the job channel disconnects, workers drain
+//!   what was queued and exit.
 
-use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -32,16 +35,16 @@ use sedex_durable::{
     recover_data_dir, DurableMetrics, DurableShard, FaultKind, FaultPlan, FaultPoint, FsyncPolicy,
     SessionSnapshot, WalRecord,
 };
+use sedex_net::{Poller, Waker};
 use sedex_observe::{
     render_prometheus, Counter, Gauge, Histogram, MetricsRegistry, RegistryObserver,
 };
 use sedex_scenarios::textfmt;
-use sedex_storage::Instance;
+use sedex_storage::{Instance, Tuple};
 
 use crate::manager::SessionManager;
-use crate::protocol::{
-    parse_request, Request, Response, MAX_LINE_BYTES, MAX_OPEN_BODY_BYTES, MAX_OPEN_BODY_LINES,
-};
+use crate::protocol::{Proto, Request, Response};
+use crate::reactor::reactor_loop;
 
 /// Server tunables. `Default` gives an ephemeral port on localhost, a
 /// worker per core (capped at 8), 16 shards and a 15-minute idle TTL.
@@ -112,6 +115,12 @@ pub struct ServerConfig {
     /// and the accept/read/write/session-work paths — see
     /// [`sedex_durable::fault`].
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Pipelining window: how many parsed-but-unanswered requests one
+    /// connection may have queued in the reactor before it stops reading
+    /// that socket. Responses are always delivered in request order and
+    /// requests of one connection never execute concurrently — the window
+    /// only saves round-trips.
+    pub pipeline_window: usize,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +145,7 @@ impl Default for ServerConfig {
             max_conns: 0,
             shed_queue_depth: 0,
             fault_plan: None,
+            pipeline_window: 128,
         }
     }
 }
@@ -143,7 +153,7 @@ impl Default for ServerConfig {
 /// The `retry-after` hint (milliseconds) carried by `ERR BUSY` replies.
 pub const SHED_RETRY_AFTER_MS: u64 = 100;
 
-fn busy_response() -> Response {
+pub(crate) fn busy_response() -> Response {
     Response::err(format!("BUSY retry-after={SHED_RETRY_AFTER_MS}"))
 }
 
@@ -186,6 +196,14 @@ pub struct ServerStats {
     pub queue_depth: Arc<Gauge>,
     /// Workers currently executing a request (`sedex_workers_busy`).
     pub workers_busy: Arc<Gauge>,
+    /// Connections currently open (`sedex_service_open_connections`).
+    pub open_conns: Arc<Gauge>,
+    /// Requests answered on text-protocol connections
+    /// (`sedex_service_proto_requests_total{proto="text"}`).
+    pub proto_text: Arc<Counter>,
+    /// Requests answered on binary-protocol connections
+    /// (`sedex_service_proto_requests_total{proto="binary"}`).
+    pub proto_binary: Arc<Counter>,
 }
 
 impl ServerStats {
@@ -234,6 +252,28 @@ impl ServerStats {
                 "sedex_workers_busy",
                 "Workers currently executing a request",
             ),
+            open_conns: registry.gauge(
+                "sedex_service_open_connections",
+                "Connections currently open",
+            ),
+            proto_text: registry.counter_with(
+                "sedex_service_proto_requests_total",
+                "Requests answered, by negotiated protocol",
+                &[("proto", "text")],
+            ),
+            proto_binary: registry.counter_with(
+                "sedex_service_proto_requests_total",
+                "Requests answered, by negotiated protocol",
+                &[("proto", "binary")],
+            ),
+        }
+    }
+
+    /// Bump the per-protocol request counter.
+    pub(crate) fn count_proto(&self, proto: Proto) {
+        match proto {
+            Proto::Text => self.proto_text.inc(),
+            Proto::Binary => self.proto_binary.inc(),
         }
     }
 }
@@ -269,27 +309,58 @@ struct Durability {
 }
 
 /// State shared by every thread of one server.
-struct Shared {
-    manager: SessionManager,
-    registry: MetricsRegistry,
-    stats: ServerStats,
-    shutdown: AtomicBool,
-    started: Instant,
-    workers: usize,
+pub(crate) struct Shared {
+    pub(crate) manager: SessionManager,
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) stats: ServerStats,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) started: Instant,
+    pub(crate) workers: usize,
     durability: Option<Durability>,
-    request_timeout: Option<Duration>,
-    max_conns: usize,
-    shed_queue_depth: usize,
-    live_conns: AtomicUsize,
-    faults: Option<Arc<FaultPlan>>,
+    pub(crate) request_timeout: Option<Duration>,
+    pub(crate) max_conns: usize,
+    pub(crate) shed_queue_depth: usize,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
+    /// Wakes the reactor out of `epoll_wait` — used by workers when a
+    /// `Done` is queued and by [`ServerHandle::shutdown`].
+    pub(crate) waker: Waker,
+    /// Sweeper parking spot: the sweeper blocks here while the server has
+    /// no sessions at all (an idle server does zero periodic wakeups) and
+    /// is notified on the first `OPEN` and at shutdown.
+    pub(crate) sweep_signal: (Mutex<bool>, Condvar),
 }
 
-struct Job {
-    request: Request,
-    reply: SyncSender<Response>,
+impl Shared {
+    /// Wake the sweeper (first session opened, or shutting down).
+    pub(crate) fn notify_sweeper(&self) {
+        let (lock, cvar) = &self.sweep_signal;
+        *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        cvar.notify_all();
+    }
+}
+
+/// One parsed request on its way to the worker pool. The reactor tags it
+/// with the originating connection token and a per-connection sequence
+/// number so the worker's [`Done`] finds its way back.
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    /// Protocol the response must be rendered in.
+    pub(crate) proto: Proto,
+    /// Reactor token of the originating connection.
+    pub(crate) conn: u64,
+    /// Per-connection sequence number (guards against answering a
+    /// different request after reconnect-reuse of a token).
+    pub(crate) seq: u64,
     /// Instant by which the client must have an answer (`None` when the
     /// server runs without `request_timeout`). Shutdown jobs carry none.
-    deadline: Option<Instant>,
+    pub(crate) deadline: Option<Instant>,
+}
+
+/// A finished job, flowing back from a worker to the reactor.
+pub(crate) struct Done {
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+    pub(crate) response: Response,
 }
 
 /// A running server. Dropping the handle does **not** stop the server —
@@ -298,7 +369,7 @@ struct Job {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: std::net::SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     sweeper: Option<JoinHandle<()>>,
 }
@@ -309,9 +380,11 @@ pub struct Server;
 impl Server {
     /// Bind and start serving; returns once the listener is live.
     pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+        let listener = std::net::TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = Poller::new()?;
+        let waker = poller.waker();
         let registry = MetricsRegistry::new();
         let stats = ServerStats::new(&registry);
         let session_config = SedexConfig {
@@ -353,8 +426,9 @@ impl Server {
             request_timeout: cfg.request_timeout,
             max_conns: cfg.max_conns,
             shed_queue_depth: cfg.shed_queue_depth,
-            live_conns: AtomicUsize::new(0),
             faults: cfg.fault_plan.clone(),
+            waker,
+            sweep_signal: (Mutex::new(false), Condvar::new()),
         });
         if shared.durability.is_some() {
             // Re-persist recovered state under the current shard mapping
@@ -370,17 +444,20 @@ impl Server {
         }
 
         let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
+        let (done_tx, done_rx) = channel::<Done>();
         let rx = Arc::new(Mutex::new(rx));
         let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let done_tx = done_tx.clone();
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("sedex-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &shared))
+                    .spawn(move || worker_loop(&rx, &done_tx, &shared))
                     .expect("spawn worker")
             })
             .collect();
+        drop(done_tx); // the reactor's done_rx disconnects when workers exit
 
         let sweeper = cfg.idle_ttl.map(|ttl| {
             let shared = Arc::clone(&shared);
@@ -391,18 +468,19 @@ impl Server {
                 .expect("spawn sweeper")
         });
 
-        let accept = {
+        let reactor = {
             let shared = Arc::clone(&shared);
+            let window = cfg.pipeline_window.max(1);
             std::thread::Builder::new()
-                .name("sedex-accept".to_owned())
-                .spawn(move || accept_loop(listener, tx, &shared))
-                .expect("spawn accept loop")
+                .name("sedex-reactor".to_owned())
+                .spawn(move || reactor_loop(listener, poller, tx, done_rx, shared, window))
+                .expect("spawn reactor")
         };
 
         Ok(ServerHandle {
             shared,
             addr,
-            accept: Some(accept),
+            reactor: Some(reactor),
             workers,
             sweeper,
         })
@@ -444,7 +522,11 @@ impl ServerHandle {
     }
 
     fn join_threads(&mut self) {
-        if let Some(h) = self.accept.take() {
+        // Make sure a flag set outside the wire protocol is noticed
+        // promptly: the reactor blocks in epoll, the sweeper on a condvar.
+        self.shared.waker.wake();
+        self.shared.notify_sweeper();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -468,68 +550,28 @@ impl Drop for ServerHandle {
     }
 }
 
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-const READ_POLL: Duration = Duration::from_millis(50);
-
-fn accept_loop(listener: TcpListener, tx: SyncSender<Job>, shared: &Arc<Shared>) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match listener.accept() {
-            Ok((mut stream, _peer)) => {
-                shared.stats.connections.inc();
-                // Injected accept fault: the connection is dropped on the
-                // floor, as if the network ate it right after the handshake.
-                match shared
-                    .faults
-                    .as_ref()
-                    .and_then(|p| p.fire(FaultPoint::Accept))
-                {
-                    Some(FaultKind::Error(_)) | Some(FaultKind::ShortWrite) => continue,
-                    _ => {}
-                }
-                if shared.max_conns > 0
-                    && shared.live_conns.load(Ordering::SeqCst) >= shared.max_conns
-                {
-                    // Over the cap: refuse politely with a retry hint
-                    // instead of letting the connection starve unserved.
-                    shared.stats.shed.inc();
-                    let _ = stream.write_all(busy_response().render().as_bytes());
-                    continue;
-                }
-                shared.live_conns.fetch_add(1, Ordering::SeqCst);
-                let tx = tx.clone();
-                let shared = Arc::clone(shared);
-                conns.push(
-                    std::thread::Builder::new()
-                        .name("sedex-conn".to_owned())
-                        .spawn(move || {
-                            connection_loop(stream, &tx, &shared);
-                            shared.live_conns.fetch_sub(1, Ordering::SeqCst);
-                        })
-                        .expect("spawn connection thread"),
-                );
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-                // Reap finished connection threads so the vec stays small.
-                conns.retain(|h| !h.is_finished());
-            }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-    for h in conns {
-        let _ = h.join();
-    }
-    // `tx` drops here: the job channel disconnects and workers exit after
-    // draining whatever is still queued.
-}
-
 fn sweeper_loop(shared: &Arc<Shared>, ttl: Duration, interval: Duration) {
     while !shared.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(interval.min(Duration::from_millis(200)));
+        // Park without any timeout while there is nothing to sweep: an idle
+        // server must not tick. The reactor notifies on the first OPEN (and
+        // shutdown notifies unconditionally).
+        {
+            let (lock, cvar) = &shared.sweep_signal;
+            let mut signal = lock.lock().unwrap_or_else(|p| p.into_inner());
+            if shared.manager.is_empty() {
+                while !*signal {
+                    signal = cvar.wait(signal).unwrap_or_else(|p| p.into_inner());
+                }
+            } else if !*signal {
+                // Sessions exist: sweep on the configured cadence, but let a
+                // notification (shutdown) cut the sleep short.
+                signal = cvar
+                    .wait_timeout(signal, interval)
+                    .map(|(g, _)| g)
+                    .unwrap_or_else(|p| p.into_inner().0);
+            }
+            *signal = false;
+        }
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -554,7 +596,7 @@ fn sweeper_loop(shared: &Arc<Shared>, ttl: Duration, interval: Duration) {
     }
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, done_tx: &Sender<Done>, shared: &Arc<Shared>) {
     loop {
         // Hold the receiver lock only while dequeuing, not while executing.
         let job = match rx.lock().expect("job queue lock poisoned").recv() {
@@ -570,7 +612,13 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
             shared.stats.deadlines.inc();
             shared.stats.requests.inc();
             shared.stats.errors.inc();
-            let _ = job.reply.send(deadline_response(shared));
+            shared.stats.count_proto(job.proto);
+            let _ = done_tx.send(Done {
+                conn: job.conn,
+                seq: job.seq,
+                response: deadline_response(shared),
+            });
+            shared.waker.wake();
             continue;
         }
         shared.stats.workers_busy.inc();
@@ -581,7 +629,7 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
         // session keeps serving. The worker itself survives to take the
         // next job.
         let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(shared, &job.request)
+            execute(shared, &job.request, job.proto)
         })) {
             Ok(r) => r,
             Err(_) => {
@@ -610,12 +658,19 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
         if !response.ok {
             shared.stats.errors.inc();
         }
-        // The connection may have hung up while the job was queued.
-        let _ = job.reply.send(response);
+        shared.stats.count_proto(job.proto);
+        // The reactor may have dropped the connection while the job was
+        // queued; it matches `conn`/`seq` and discards stale answers.
+        let _ = done_tx.send(Done {
+            conn: job.conn,
+            seq: job.seq,
+            response,
+        });
+        shared.waker.wake();
     }
 }
 
-fn deadline_response(shared: &Shared) -> Response {
+pub(crate) fn deadline_response(shared: &Shared) -> Response {
     let ms = shared
         .request_timeout
         .map(|t| t.as_millis() as u64)
@@ -623,282 +678,17 @@ fn deadline_response(shared: &Shared) -> Response {
     Response::err(format!("DEADLINE request exceeded the {ms}ms budget"))
 }
 
-/// Incremental line reader over a nonblocking-ish socket: read timeouts
-/// are used as polling points for the shutdown flag, and partial lines
-/// survive across `WouldBlock` boundaries.
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-/// What [`LineReader::next_line`] produced.
-enum ReadLine {
-    /// A full line (without the trailing newline).
-    Line(String),
-    /// EOF, I/O error, or shutdown — the connection is done.
-    Closed,
-    /// The line exceeded [`MAX_LINE_BYTES`] before a newline arrived. The
-    /// caller answers `ERR TOO_LARGE` and closes (the stream position is
-    /// mid-line; there is no way to resynchronize).
-    TooLong,
-}
-
-impl LineReader {
-    fn new(stream: TcpStream) -> std::io::Result<Self> {
-        stream.set_read_timeout(Some(READ_POLL))?;
-        Ok(LineReader {
-            stream,
-            buf: Vec::new(),
-        })
-    }
-
-    fn next_line(&mut self, shared: &Shared) -> ReadLine {
-        loop {
-            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
-                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
-                line.pop(); // \n
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return ReadLine::Line(String::from_utf8_lossy(&line).into_owned());
-            }
-            if self.buf.len() > MAX_LINE_BYTES {
-                return ReadLine::TooLong;
-            }
-            // Injected read faults: transient kinds retry (like a real
-            // EINTR), hard kinds close the connection (like a reset).
-            match shared
-                .faults
-                .as_ref()
-                .and_then(|p| p.fire(FaultPoint::ConnRead))
-            {
-                Some(FaultKind::Error(
-                    ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut,
-                )) => continue,
-                Some(FaultKind::Error(_)) | Some(FaultKind::ShortWrite) => return ReadLine::Closed,
-                _ => {}
-            }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return ReadLine::Closed, // EOF
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        return ReadLine::Closed;
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return ReadLine::Closed,
-            }
-        }
-    }
-}
-
-/// Write one response block, firing [`FaultPoint::ConnWrite`]: an injected
-/// hard error fails the write outright; a short write sends a response
-/// prefix and then fails — the client sees a truncated block and must
-/// reconnect and retry, exactly like a connection dropped mid-reply.
-fn write_block(writer: &mut TcpStream, shared: &Shared, text: &str) -> std::io::Result<()> {
-    match shared
-        .faults
-        .as_ref()
-        .and_then(|p| p.fire(FaultPoint::ConnWrite))
-    {
-        Some(FaultKind::Error(kind)) => {
-            return Err(std::io::Error::new(kind, "injected fault at conn_write"))
-        }
-        Some(FaultKind::ShortWrite) => {
-            let bytes = text.as_bytes();
-            writer.write_all(&bytes[..bytes.len() / 2])?;
-            let _ = writer.flush();
-            return Err(std::io::Error::new(
-                ErrorKind::WriteZero,
-                "injected short write at conn_write",
-            ));
-        }
-        _ => {}
-    }
-    writer.write_all(text.as_bytes())?;
-    writer.flush()
-}
-
-fn connection_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = match LineReader::new(stream) {
-        Ok(r) => r,
-        Err(_) => return,
-    };
-    loop {
-        let line = match reader.next_line(shared) {
-            ReadLine::Line(l) => l,
-            ReadLine::Closed => return,
-            ReadLine::TooLong => {
-                shared.stats.requests.inc();
-                shared.stats.errors.inc();
-                let _ = write_block(
-                    &mut writer,
-                    shared,
-                    &Response::err(format!(
-                        "TOO_LARGE request line exceeds {MAX_LINE_BYTES} bytes"
-                    ))
-                    .render(),
-                );
-                return;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        // OPEN carries a body: collect lines up to a lone END before
-        // parsing, so a malformed OPEN still consumes its body. Both the
-        // line count and the byte total are capped.
-        let open_body = if line.trim_start().len() >= 4
-            && line.trim_start()[..4].eq_ignore_ascii_case("OPEN")
-        {
-            let mut body = String::new();
-            let mut terminated = false;
-            let mut too_large = false;
-            for _ in 0..MAX_OPEN_BODY_LINES {
-                match reader.next_line(shared) {
-                    ReadLine::Line(l) if l.trim().eq_ignore_ascii_case("END") => {
-                        terminated = true;
-                        break;
-                    }
-                    ReadLine::Line(l) => {
-                        if body.len() + l.len() > MAX_OPEN_BODY_BYTES {
-                            too_large = true;
-                            // Keep consuming (bounded by the line cap) so
-                            // the END is eaten before the error reply.
-                            continue;
-                        }
-                        body.push_str(&l);
-                        body.push('\n');
-                    }
-                    ReadLine::Closed => return,
-                    ReadLine::TooLong => {
-                        shared.stats.requests.inc();
-                        shared.stats.errors.inc();
-                        let _ = write_block(
-                            &mut writer,
-                            shared,
-                            &Response::err(format!(
-                                "TOO_LARGE scenario line exceeds {MAX_LINE_BYTES} bytes"
-                            ))
-                            .render(),
-                        );
-                        return;
-                    }
-                }
-            }
-            if too_large || !terminated {
-                shared.stats.requests.inc();
-                shared.stats.errors.inc();
-                let msg = if too_large {
-                    format!("TOO_LARGE OPEN body exceeds {MAX_OPEN_BODY_BYTES} bytes")
-                } else {
-                    "OPEN body not terminated by END".to_owned()
-                };
-                if write_block(&mut writer, shared, &Response::err(msg).render()).is_err() {
-                    return;
-                }
-                continue;
-            }
-            Some(body)
-        } else {
-            None
-        };
-        let request = match parse_request(&line, open_body) {
-            Ok(r) => r,
-            Err(e) => {
-                shared.stats.requests.inc();
-                shared.stats.errors.inc();
-                if write_block(&mut writer, shared, &Response::err(e.to_string()).render()).is_err()
-                {
-                    return;
-                }
-                continue;
-            }
-        };
-        let is_shutdown = matches!(request, Request::Shutdown);
-        // Load shedding: past the configured queue depth, answer BUSY with
-        // a retry hint instead of joining (or blocking on) the queue — a
-        // bounded, explicit failure the client can back off from. SHUTDOWN
-        // is exempt: an operator must always be able to stop the server.
-        if !is_shutdown
-            && shared.shed_queue_depth > 0
-            && shared.stats.queue_depth.get() >= shared.shed_queue_depth as i64
-        {
-            shared.stats.requests.inc();
-            shared.stats.errors.inc();
-            shared.stats.shed.inc();
-            if write_block(&mut writer, shared, &busy_response().render()).is_err() {
-                return;
-            }
-            continue;
-        }
-        let deadline = if is_shutdown {
-            None
-        } else {
-            shared.request_timeout.map(|t| Instant::now() + t)
-        };
-        // Bounded send: blocks when the pool is saturated (backpressure).
-        // The gauge counts the job from the moment the connection commits
-        // to it, so a send blocked on a full queue shows up as depth.
-        let (reply_tx, reply_rx) = sync_channel::<Response>(1);
-        shared.stats.queue_depth.inc();
-        if tx
-            .send(Job {
-                request,
-                reply: reply_tx,
-                deadline,
-            })
-            .is_err()
-        {
-            shared.stats.queue_depth.dec();
-            return; // server draining
-        }
-        let response = match deadline {
-            // Wait a grace period past the deadline (the worker answers
-            // expired jobs itself, cheaper and counted once); if even that
-            // passes, the worker is stuck on this job — answer the client
-            // here and close, abandoning the reply channel.
-            Some(d) => {
-                let budget = d.saturating_duration_since(Instant::now()) + DEADLINE_REPLY_GRACE;
-                match reply_rx.recv_timeout(budget) {
-                    Ok(r) => r,
-                    Err(RecvTimeoutError::Timeout) => {
-                        shared.stats.deadlines.inc();
-                        let _ =
-                            write_block(&mut writer, shared, &deadline_response(shared).render());
-                        return;
-                    }
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            }
-            None => match reply_rx.recv() {
-                Ok(r) => r,
-                Err(_) => return,
-            },
-        };
-        if write_block(&mut writer, shared, &response.render()).is_err() {
-            return;
-        }
-        if is_shutdown {
-            return;
-        }
-    }
-}
-
-/// How long past its deadline a connection keeps waiting for the worker's
-/// own `ERR DEADLINE` before answering and abandoning the job.
-const DEADLINE_REPLY_GRACE: Duration = Duration::from_millis(50);
+/// How long past its deadline the reactor keeps waiting for the worker's
+/// own `ERR DEADLINE` before answering the client itself and closing the
+/// connection (the worker answers expired-while-queued jobs directly,
+/// which is cheaper and counted once; this grace only fires when a worker
+/// is genuinely stuck executing the job).
+pub(crate) const DEADLINE_REPLY_GRACE: Duration = Duration::from_millis(50);
 
 /// Execute one request against the shared state. Pure request → response;
-/// all I/O happens in the connection threads.
-fn execute(shared: &Shared, request: &Request) -> Response {
+/// all I/O happens in the reactor thread. `proto` is the protocol the
+/// request arrived on — it only affects the `STATS` rendering.
+fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
     match request {
         Request::Open { session, body } => {
             // The Open record is appended while the map write lock is still
@@ -917,6 +707,7 @@ fn execute(shared: &Shared, request: &Request) -> Response {
             match committed {
                 Ok(seeded) => {
                     shared.stats.opened.inc();
+                    shared.notify_sweeper();
                     maybe_checkpoint(shared, session);
                     Response::ok(format!("opened {session}, seeded {seeded} tuples"))
                 }
@@ -927,78 +718,79 @@ fn execute(shared: &Shared, request: &Request) -> Response {
             shared.stats.tuples_in.inc();
             match textfmt::parse_data_line(line, 1) {
                 Err(e) => Response::err(format!("data: {}", e.message)),
-                Ok((rel, tuple)) => {
-                    let durable = shared.durability.is_some();
-                    let resp = run_on_session(shared, session, |t| {
-                        t.session
-                            .exchange_tuple(&rel, tuple.clone())
-                            .map_err(|e| e.to_string())?;
-                        t.tuples_in += 1;
-                        // Log while the tenant lock is still held (durable
-                        // mutex innermost): this session's records land in
-                        // application order.
-                        wal_append(
-                            shared,
-                            session,
-                            WalRecord::Push {
-                                session: session.clone(),
-                                relation: rel.clone(),
-                                tuple,
-                            },
-                        );
-                        if durable {
-                            for (key, script) in t.session.take_new_scripts() {
-                                wal_append(
-                                    shared,
-                                    session,
-                                    WalRecord::ScriptAdd {
-                                        session: session.clone(),
-                                        key,
-                                        script: (*script).clone(),
-                                    },
-                                );
-                            }
-                        }
-                        let r = t.session.report_snapshot();
-                        Ok(Response::ok(format!(
-                            "pushed {rel} | scripts {} generated / {} reused | target {} tuples",
-                            r.scripts_generated, r.scripts_reused, r.stats.tuples
-                        )))
-                    });
-                    if resp.ok {
-                        maybe_checkpoint(shared, session);
-                    }
-                    resp
-                }
+                Ok((rel, tuple)) => push_parsed(shared, session, &rel, tuple),
             }
+        }
+        Request::PushTuple {
+            session,
+            relation,
+            tuple,
+        } => {
+            shared.stats.tuples_in.inc();
+            push_parsed(shared, session, relation, tuple.clone())
         }
         Request::Feed { session, line } => {
             shared.stats.tuples_in.inc();
             match textfmt::parse_data_line(line, 1) {
                 Err(e) => Response::err(format!("data: {}", e.message)),
-                Ok((rel, tuple)) => {
-                    let resp = run_on_session(shared, session, |t| {
-                        t.session
-                            .feed(&rel, tuple.clone())
-                            .map_err(|e| e.to_string())?;
-                        t.tuples_in += 1;
-                        wal_append(
-                            shared,
-                            session,
-                            WalRecord::Feed {
-                                session: session.clone(),
-                                relation: rel.clone(),
-                                tuple,
-                            },
-                        );
-                        Ok(Response::ok(format!("fed {rel}")))
-                    });
-                    if resp.ok {
-                        maybe_checkpoint(shared, session);
-                    }
-                    resp
-                }
+                Ok((rel, tuple)) => feed_parsed(shared, session, &rel, tuple),
             }
+        }
+        Request::FeedTuple {
+            session,
+            relation,
+            tuple,
+        } => {
+            shared.stats.tuples_in.inc();
+            feed_parsed(shared, session, relation, tuple.clone())
+        }
+        Request::PushBatch { session, rows } => {
+            // One tenant-lock acquisition (and one SessionWork fault
+            // window) for the whole batch. Rows apply in order; the first
+            // failing row aborts the rest — rows before it stay applied
+            // and logged, exactly as if pushed one by one.
+            let durable = shared.durability.is_some();
+            let total = rows.len();
+            let resp = run_on_session(shared, session, |t| {
+                for (i, (rel, tuple)) in rows.iter().enumerate() {
+                    shared.stats.tuples_in.inc();
+                    t.session
+                        .exchange_tuple(rel, tuple.clone())
+                        .map_err(|e| format!("batch row {} of {total}: {e}", i + 1))?;
+                    t.tuples_in += 1;
+                    wal_append(
+                        shared,
+                        session,
+                        WalRecord::Push {
+                            session: session.clone(),
+                            relation: rel.clone(),
+                            tuple: tuple.clone(),
+                        },
+                    );
+                    if durable {
+                        for (key, script) in t.session.take_new_scripts() {
+                            wal_append(
+                                shared,
+                                session,
+                                WalRecord::ScriptAdd {
+                                    session: session.clone(),
+                                    key,
+                                    script: (*script).clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+                let r = t.session.report_snapshot();
+                Ok(Response::ok(format!(
+                    "pushed batch of {total} | scripts {} generated / {} reused | target {} tuples",
+                    r.scripts_generated, r.scripts_reused, r.stats.tuples
+                )))
+            });
+            if resp.ok {
+                maybe_checkpoint(shared, session);
+            }
+            resp
         }
         Request::Flush { session } => {
             let durable = shared.durability.is_some();
@@ -1036,7 +828,7 @@ fn execute(shared: &Shared, request: &Request) -> Response {
             }
             resp
         }
-        Request::Stats { session: None } => server_stats(shared),
+        Request::Stats { session: None } => server_stats(shared, proto),
         Request::Stats {
             session: Some(name),
         } => run_on_session(shared, name, |t| {
@@ -1085,6 +877,76 @@ fn execute(shared: &Shared, request: &Request) -> Response {
             Response::ok("shutting down")
         }
     }
+}
+
+/// The shared tail of `PUSH` (text) and the binary tuple/batch pushes:
+/// exchange one already-parsed tuple on the session, WAL-logging the push
+/// and any new scripts while the tenant lock is held.
+fn push_parsed(shared: &Shared, session: &str, rel: &str, tuple: Tuple) -> Response {
+    let durable = shared.durability.is_some();
+    let resp = run_on_session(shared, session, |t| {
+        t.session
+            .exchange_tuple(rel, tuple.clone())
+            .map_err(|e| e.to_string())?;
+        t.tuples_in += 1;
+        // Log while the tenant lock is still held (durable mutex
+        // innermost): this session's records land in application order.
+        wal_append(
+            shared,
+            session,
+            WalRecord::Push {
+                session: session.to_owned(),
+                relation: rel.to_owned(),
+                tuple,
+            },
+        );
+        if durable {
+            for (key, script) in t.session.take_new_scripts() {
+                wal_append(
+                    shared,
+                    session,
+                    WalRecord::ScriptAdd {
+                        session: session.to_owned(),
+                        key,
+                        script: (*script).clone(),
+                    },
+                );
+            }
+        }
+        let r = t.session.report_snapshot();
+        Ok(Response::ok(format!(
+            "pushed {rel} | scripts {} generated / {} reused | target {} tuples",
+            r.scripts_generated, r.scripts_reused, r.stats.tuples
+        )))
+    });
+    if resp.ok {
+        maybe_checkpoint(shared, session);
+    }
+    resp
+}
+
+/// The shared tail of `FEED` (text) and the binary tuple feed.
+fn feed_parsed(shared: &Shared, session: &str, rel: &str, tuple: Tuple) -> Response {
+    let resp = run_on_session(shared, session, |t| {
+        t.session
+            .feed(rel, tuple.clone())
+            .map_err(|e| e.to_string())?;
+        t.tuples_in += 1;
+        wal_append(
+            shared,
+            session,
+            WalRecord::Feed {
+                session: session.to_owned(),
+                relation: rel.to_owned(),
+                tuple,
+            },
+        );
+        Ok(Response::ok(format!("fed {rel}")))
+    });
+    if resp.ok {
+        maybe_checkpoint(shared, session);
+    }
+    resp
 }
 
 fn run_on_session(
@@ -1322,7 +1184,7 @@ fn refresh_session_gauges(shared: &Shared) {
     }
 }
 
-fn server_stats(shared: &Shared) -> Response {
+fn server_stats(shared: &Shared, proto: Proto) -> Response {
     let s = &shared.stats;
     let shard_sizes = shared.manager.shard_sizes();
     let head = format!(
@@ -1340,6 +1202,13 @@ fn server_stats(shared: &Shared) -> Response {
         s.evicted.get(),
         s.connections.get(),
     )];
+    lines.push(format!(
+        "protocols: text {} requests, binary {} requests | open connections: {} | this connection: {}",
+        s.proto_text.get(),
+        s.proto_binary.get(),
+        s.open_conns.get().max(0),
+        proto.name(),
+    ));
     lines.push(format!(
         "load: queue depth {}, busy workers {}/{} | sessions/shard: [{}]",
         s.queue_depth.get().max(0),

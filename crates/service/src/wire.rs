@@ -1,0 +1,411 @@
+//! The binary wire protocol, spoken after `HELLO binary`.
+//!
+//! Framing comes from [`sedex_net::frame`]: every request and response is
+//! one `[u32 LE body-len][u8 opcode][body]` frame, and bodies reuse
+//! [`sedex_storage::codec`] — the same little-endian primitives (and the
+//! same tuple encoding) the WAL and snapshots use, so a tuple has exactly
+//! one byte-level representation in the whole system.
+//!
+//! Request opcodes mirror the text verbs one-to-one, plus `PUSH_BATCH`
+//! which has no text equivalent (text clients pipeline `PUSH` lines
+//! instead). Responses are `RESP_OK`/`RESP_ERR` frames carrying the same
+//! head line and body lines the text renderer would produce, so the two
+//! protocols are trivially comparable — and are compared, line for line,
+//! by the parity suite.
+//!
+//! Because frames are length-prefixed, a client may pipeline any number of
+//! request frames before reading replies; the server answers each
+//! connection's requests strictly in order.
+
+use sedex_net::frame::{encode_frame, FRAME_HEADER_BYTES};
+use sedex_storage::codec::{
+    decode_rows, decode_tuple, encode_rows, encode_tuple, ByteReader, ByteWriter,
+};
+use sedex_storage::Tuple;
+
+use crate::protocol::{valid_session_name, Request, Response, MAX_BATCH_ROWS};
+
+/// Cap on one frame's body. Far above any sane request (a full `OPEN`
+/// scenario body tops out at 8 MB) while bounding per-connection buffering.
+/// Oversized frames are skipped and the stream resynchronizes — see
+/// [`sedex_net::frame::FrameDecoder`].
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// `OPEN`: body = session, scenario body.
+pub const OP_OPEN: u8 = 0x01;
+/// `PUSH` (one decoded tuple): body = session, relation, tuple.
+pub const OP_PUSH: u8 = 0x02;
+/// `FEED` (one decoded tuple): body = session, relation, tuple.
+pub const OP_FEED: u8 = 0x03;
+/// `FLUSH`: body = session.
+pub const OP_FLUSH: u8 = 0x04;
+/// `STATS`: body = presence flag + optional session.
+pub const OP_STATS: u8 = 0x05;
+/// `METRICS`: empty body.
+pub const OP_METRICS: u8 = 0x06;
+/// `SQL`: body = session.
+pub const OP_SQL: u8 = 0x07;
+/// `CLOSE`: body = session.
+pub const OP_CLOSE: u8 = 0x08;
+/// `SHUTDOWN`: empty body.
+pub const OP_SHUTDOWN: u8 = 0x09;
+/// Batched `PUSH`: body = session + `(relation, tuple)` rows.
+pub const OP_PUSH_BATCH: u8 = 0x0A;
+
+/// Success response: body = head string + body lines.
+pub const OP_RESP_OK: u8 = 0x80;
+/// Error response: body = head string + body lines.
+pub const OP_RESP_ERR: u8 = 0x81;
+
+/// Encodes one request as a complete frame (header + body).
+///
+/// Text-style [`Request::Push`]/[`Request::Feed`] are converted to their
+/// decoded-tuple binary forms here, using the same data-line parser the
+/// server uses for text requests — so a tuple pushed over either protocol
+/// takes the identical parse path. Returns `Err` with the parse message if
+/// the data line is invalid (the server would answer the same message over
+/// text).
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, String> {
+    let mut w = ByteWriter::new();
+    let opcode = match req {
+        Request::Open { session, body } => {
+            w.put_str(session);
+            w.put_str(body);
+            OP_OPEN
+        }
+        Request::Push { session, line } | Request::Feed { session, line } => {
+            // Same parse path AND same error text as the server's text
+            // handler, so a client-side reject reads identically to a
+            // server-side one.
+            let (relation, tuple) = sedex_scenarios::textfmt::parse_data_line(line, 1)
+                .map_err(|e| format!("data: {}", e.message))?;
+            w.put_str(session);
+            w.put_str(&relation);
+            encode_tuple(&mut w, &tuple);
+            if matches!(req, Request::Push { .. }) {
+                OP_PUSH
+            } else {
+                OP_FEED
+            }
+        }
+        Request::PushTuple {
+            session,
+            relation,
+            tuple,
+        } => {
+            w.put_str(session);
+            w.put_str(relation);
+            encode_tuple(&mut w, tuple);
+            OP_PUSH
+        }
+        Request::FeedTuple {
+            session,
+            relation,
+            tuple,
+        } => {
+            w.put_str(session);
+            w.put_str(relation);
+            encode_tuple(&mut w, tuple);
+            OP_FEED
+        }
+        Request::PushBatch { session, rows } => {
+            w.put_str(session);
+            encode_rows(&mut w, rows);
+            OP_PUSH_BATCH
+        }
+        Request::Flush { session } => {
+            w.put_str(session);
+            OP_FLUSH
+        }
+        Request::Stats { session } => {
+            match session {
+                Some(s) => {
+                    w.put_u8(1);
+                    w.put_str(s);
+                }
+                None => w.put_u8(0),
+            }
+            OP_STATS
+        }
+        Request::Metrics => OP_METRICS,
+        Request::Sql { session } => {
+            w.put_str(session);
+            OP_SQL
+        }
+        Request::Close { session } => {
+            w.put_str(session);
+            OP_CLOSE
+        }
+        Request::Shutdown => OP_SHUTDOWN,
+    };
+    let body = w.into_bytes();
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+    encode_frame(&mut out, opcode, &body);
+    Ok(out)
+}
+
+/// Decodes a request frame body. Invalid frames (bad opcode, malformed
+/// body, trailing bytes, invalid session names, oversize batches) produce
+/// an error message the server answers as `ERR` — the connection survives.
+pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, String> {
+    let mut r = ByteReader::new(body);
+    let session = |r: &mut ByteReader<'_>| -> Result<String, String> {
+        let s = r.get_str().map_err(|e| e.to_string())?;
+        if !valid_session_name(&s) {
+            return Err(format!("invalid session name `{s}`"));
+        }
+        Ok(s)
+    };
+    let tuple_payload = |r: &mut ByteReader<'_>| -> Result<(String, String, Tuple), String> {
+        let sess = session(r)?;
+        let relation = r.get_str().map_err(|e| e.to_string())?;
+        if relation.is_empty() {
+            return Err("empty relation name".to_owned());
+        }
+        let tuple = decode_tuple(r).map_err(|e| e.to_string())?;
+        Ok((sess, relation, tuple))
+    };
+    let req = match opcode {
+        OP_OPEN => {
+            let sess = session(&mut r)?;
+            let body = r.get_str().map_err(|e| e.to_string())?;
+            Request::Open {
+                session: sess,
+                body,
+            }
+        }
+        OP_PUSH => {
+            let (session, relation, tuple) = tuple_payload(&mut r)?;
+            Request::PushTuple {
+                session,
+                relation,
+                tuple,
+            }
+        }
+        OP_FEED => {
+            let (session, relation, tuple) = tuple_payload(&mut r)?;
+            Request::FeedTuple {
+                session,
+                relation,
+                tuple,
+            }
+        }
+        OP_PUSH_BATCH => {
+            let sess = session(&mut r)?;
+            let rows = decode_rows(&mut r, MAX_BATCH_ROWS).map_err(|e| e.to_string())?;
+            for (relation, _) in &rows {
+                if relation.is_empty() {
+                    return Err("empty relation name in batch".to_owned());
+                }
+            }
+            Request::PushBatch {
+                session: sess,
+                rows,
+            }
+        }
+        OP_FLUSH => Request::Flush {
+            session: session(&mut r)?,
+        },
+        OP_STATS => {
+            let has = r.get_u8().map_err(|e| e.to_string())?;
+            let sess = match has {
+                0 => None,
+                1 => Some(session(&mut r)?),
+                other => return Err(format!("STATS: bad presence flag {other}")),
+            };
+            Request::Stats { session: sess }
+        }
+        OP_METRICS => Request::Metrics,
+        OP_SQL => Request::Sql {
+            session: session(&mut r)?,
+        },
+        OP_CLOSE => Request::Close {
+            session: session(&mut r)?,
+        },
+        OP_SHUTDOWN => Request::Shutdown,
+        other => return Err(format!("unknown opcode 0x{other:02x}")),
+    };
+    r.expect_end().map_err(|e| e.to_string())?;
+    Ok(req)
+}
+
+/// Encodes a response as a complete `RESP_OK`/`RESP_ERR` frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    // Head stays one line, matching the text renderer's fold.
+    w.put_str(&resp.head.replace('\n', " "));
+    w.put_u32(resp.lines.len() as u32);
+    for line in &resp.lines {
+        w.put_str(line);
+    }
+    let body = w.into_bytes();
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+    encode_frame(
+        &mut out,
+        if resp.ok { OP_RESP_OK } else { OP_RESP_ERR },
+        &body,
+    );
+    out
+}
+
+/// Decodes a response frame body into `(ok, head, lines)`.
+pub fn decode_response(opcode: u8, body: &[u8]) -> Result<(bool, String, Vec<String>), String> {
+    let ok = match opcode {
+        OP_RESP_OK => true,
+        OP_RESP_ERR => false,
+        other => return Err(format!("unknown response opcode 0x{other:02x}")),
+    };
+    let mut r = ByteReader::new(body);
+    let head = r.get_str().map_err(|e| e.to_string())?;
+    let n = r.get_u32().map_err(|e| e.to_string())? as usize;
+    let mut lines = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        lines.push(r.get_str().map_err(|e| e.to_string())?);
+    }
+    r.expect_end().map_err(|e| e.to_string())?;
+    Ok((ok, head, lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_net::{ByteQueue, FrameDecoder, FrameEvent};
+    use sedex_storage::Value;
+
+    fn roundtrip(req: Request) {
+        let frame = encode_request(&req).unwrap();
+        let mut q = ByteQueue::new();
+        q.extend_from_slice(&frame);
+        let mut dec = FrameDecoder::new(MAX_FRAME_BYTES);
+        match dec.decode(&mut q).unwrap() {
+            FrameEvent::Frame { opcode, payload } => {
+                let back = decode_request(opcode, &payload).unwrap();
+                // Text-style Push/Feed come back as their decoded-tuple form.
+                match (&req, &back) {
+                    (Request::Push { .. }, Request::PushTuple { .. })
+                    | (Request::Feed { .. }, Request::FeedTuple { .. }) => {}
+                    _ => assert_eq!(back, req),
+                }
+            }
+            ev => panic!("unexpected {ev:?}"),
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn requests_roundtrip_through_frames() {
+        roundtrip(Request::Open {
+            session: "t1".into(),
+            body: "[source]\nR(a*)\n".into(),
+        });
+        roundtrip(Request::Push {
+            session: "t1".into(),
+            line: "Student: s1, p1, _".into(),
+        });
+        roundtrip(Request::Feed {
+            session: "t1".into(),
+            line: "Dep: d1, b1".into(),
+        });
+        roundtrip(Request::PushTuple {
+            session: "t1".into(),
+            relation: "R".into(),
+            tuple: sedex_storage::Tuple::new(vec![Value::int(1), Value::Null]),
+        });
+        roundtrip(Request::PushBatch {
+            session: "t1".into(),
+            rows: (0..5)
+                .map(|i| {
+                    (
+                        "R".to_owned(),
+                        sedex_storage::Tuple::new(vec![Value::int(i)]),
+                    )
+                })
+                .collect(),
+        });
+        roundtrip(Request::Flush {
+            session: "t1".into(),
+        });
+        roundtrip(Request::Stats { session: None });
+        roundtrip(Request::Stats {
+            session: Some("t1".into()),
+        });
+        roundtrip(Request::Metrics);
+        roundtrip(Request::Sql {
+            session: "t1".into(),
+        });
+        roundtrip(Request::Close {
+            session: "t1".into(),
+        });
+        roundtrip(Request::Shutdown);
+    }
+
+    #[test]
+    fn push_encoding_matches_text_parse_path() {
+        // The same data line encodes to the same tuple bytes whether parsed
+        // client-side (text Request) or supplied decoded.
+        let line = "Student: s1, \"a, b\", _, 3.5";
+        let (relation, tuple) = sedex_scenarios::textfmt::parse_data_line(line, 1).unwrap();
+        let a = encode_request(&Request::Push {
+            session: "s".into(),
+            line: line.into(),
+        })
+        .unwrap();
+        let b = encode_request(&Request::PushTuple {
+            session: "s".into(),
+            relation,
+            tuple,
+        })
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::ok("pushed | scripts 1 generated / 0 reused"),
+            Response::err("no such session `x`"),
+            Response {
+                ok: true,
+                head: "multi\nline".into(),
+                lines: vec![".".into(), "a b".into()],
+            },
+        ] {
+            let frame = encode_response(&resp);
+            let opcode = frame[4];
+            let (ok, head, lines) = decode_response(opcode, &frame[5..]).unwrap();
+            assert_eq!(ok, resp.ok);
+            assert_eq!(head, resp.head.replace('\n', " "));
+            assert_eq!(lines, resp.lines);
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_error_not_panic() {
+        assert!(decode_request(0x7F, &[]).is_err());
+        assert!(decode_request(OP_PUSH, &[]).is_err());
+        assert!(decode_request(OP_PUSH, &[0xFF; 3]).is_err());
+        // Trailing garbage after a valid payload is rejected.
+        let mut frame = encode_request(&Request::Flush {
+            session: "t".into(),
+        })
+        .unwrap();
+        frame.push(0xAA);
+        let body_len = frame.len() - FRAME_HEADER_BYTES;
+        assert!(decode_request(
+            OP_FLUSH,
+            &frame[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + body_len]
+        )
+        .is_err());
+        // Invalid session names are caught at decode time.
+        let mut w = ByteWriter::new();
+        w.put_str("has space");
+        assert!(decode_request(OP_FLUSH, &w.into_bytes()).is_err());
+        // Batch cap enforced.
+        let mut w = ByteWriter::new();
+        w.put_str("t1");
+        w.put_u32((MAX_BATCH_ROWS + 1) as u32);
+        assert!(decode_request(OP_PUSH_BATCH, &w.into_bytes())
+            .unwrap_err()
+            .contains("exceeds cap"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Connection-scale test: the reactor multiplexes every connection onto
+//! one thread, so holding ten thousand idle connections must not grow
+//! the server process's thread count at all — and the server must keep
+//! answering requests from under the pile.
+//!
+//! This is the acceptance test for the readiness-reactor tentpole: the
+//! old design spent one OS thread per connection (10k idle connections
+//! = 10k parked threads); the new design spends zero.
+//!
+//! The file-descriptor budget forces two processes: this one runs the
+//! server (10k accepted sockets), and a re-exec of the same test binary
+//! holds the 10k client ends in its own fd table — a single process
+//! would need both ends and the environment caps the hard limit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+use sedex_service::{Client, Server, ServerConfig};
+
+const IDLE_CONNS: usize = 10_000;
+
+/// Threads of the current process, from /proc (Linux only — the test
+/// skips the thread assertion elsewhere; the reactor itself is portable
+/// via poll(2)).
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Child half: when re-executed with `SEDEX_LOAD_ADDR` set, this "test"
+/// opens the connection pile, reports readiness on stdout, and holds
+/// every socket until the parent closes its stdin. Without the variable
+/// (the normal test run) it does nothing.
+#[test]
+fn load_child_holds_connections() {
+    let Ok(addr) = std::env::var("SEDEX_LOAD_ADDR") else {
+        return;
+    };
+    let conns: usize = std::env::var("SEDEX_LOAD_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(IDLE_CONNS);
+    sedex_net::sys::raise_nofile_limit(conns as u64 + 512).expect("child fd limit");
+    let mut pile = Vec::with_capacity(conns);
+    for i in 0..conns {
+        match TcpStream::connect(&addr) {
+            Ok(s) => pile.push(s),
+            Err(e) => panic!("child connect {i} failed: {e}"),
+        }
+    }
+    // One held connection proves the pile is served, not just parked:
+    // a request from the middle of it must be answered.
+    let poke = pile.last_mut().unwrap();
+    poke.write_all(b"STATS\n").unwrap();
+    let mut reader = BufReader::new(poke.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("OK"), "idle connection unserved: {line}");
+
+    // Stdout is a pipe here, so it is block-buffered — flush, or the
+    // readiness line never reaches the parent.
+    println!("LOAD_CHILD_READY {}", pile.len());
+    std::io::stdout().flush().unwrap();
+    // Hold everything until the parent hangs up.
+    let mut buf = String::new();
+    let _ = std::io::stdin().read_line(&mut buf);
+    drop(pile);
+}
+
+#[test]
+fn ten_thousand_idle_connections_cost_zero_threads() {
+    // Accepted sockets live here; client ends live in the child.
+    let limit =
+        sedex_net::sys::raise_nofile_limit(IDLE_CONNS as u64 + 1024).expect("raise nofile limit");
+    assert!(
+        limit >= IDLE_CONNS as u64 + 256,
+        "fd limit too low for the test: {limit}"
+    );
+
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        max_conns: IDLE_CONNS + 64,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let before = process_threads();
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(exe)
+        .args([
+            "load_child_holds_connections",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("SEDEX_LOAD_ADDR", addr.to_string())
+        .env("SEDEX_LOAD_CONNS", IDLE_CONNS.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn connection-holder child");
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let held: usize = loop {
+        let mut line = String::new();
+        if child_out.read_line(&mut line).unwrap() == 0 {
+            let _ = child.kill();
+            panic!("child exited before reporting readiness");
+        }
+        // The marker can share a line with libtest's unterminated
+        // `test … ` progress header — match it anywhere.
+        if let Some(pos) = line.find("LOAD_CHILD_READY ") {
+            let rest = line[pos + "LOAD_CHILD_READY ".len()..].trim();
+            break rest.parse().unwrap();
+        }
+    };
+    assert_eq!(held, IDLE_CONNS, "child holds fewer connections than asked");
+
+    // The server saw the whole pile (plus our control connection).
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats(None).unwrap().into_ok().unwrap();
+    let open: i64 = stats
+        .lines
+        .iter()
+        .find_map(|l| {
+            l.split("open connections: ")
+                .nth(1)
+                .and_then(|r| r.split(' ').next())
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or_else(|| panic!("open-connections gauge missing: {:?}", stats.lines));
+    assert!(
+        open >= IDLE_CONNS as i64,
+        "server only registered {open} of {IDLE_CONNS} idle connections"
+    );
+
+    // The whole pile is held without a single extra server-side thread.
+    if let (Some(before), Some(during)) = (before, process_threads()) {
+        assert!(
+            during <= before + 1,
+            "thread count grew under connection load: {before} -> {during} \
+             (per-connection threads are back?)"
+        );
+    }
+
+    // And the server still does real work from under it.
+    c.open(
+        "buried",
+        "[source]\nS(a*)\n[target]\nT(b*)\n[correspondences]\na <-> b\n",
+    )
+    .unwrap()
+    .into_ok()
+    .unwrap();
+    c.push("buried", "S: v1").unwrap().into_ok().unwrap();
+    let sql = c.sql("buried").unwrap().into_ok().unwrap().body();
+    assert!(sql.contains("INSERT INTO T"), "{sql}");
+
+    // Release the pile and shut down.
+    drop(child.stdin.take());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "connection-holder child failed: {status}");
+    handle.shutdown();
+}

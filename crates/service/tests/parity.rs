@@ -1,0 +1,297 @@
+//! Protocol parity: the same scenario driven over every transport mode —
+//! text vs binary, serial vs pipelined vs batched — must land the server
+//! in the same state: byte-identical SQL dumps, identical per-session
+//! statistics, identical durable state after crash-free recovery.
+//!
+//! This is the acceptance test for the binary protocol: pipelining and
+//! batching are *transport* optimizations (they save round-trips and
+//! framing overhead), never *semantic* ones. The server executes one
+//! connection's requests strictly in order regardless of how many were
+//! in flight, so every mode replays the identical request sequence.
+
+use std::path::Path;
+
+use sedex_service::{Client, ClientConfig, Proto, Server, ServerConfig};
+
+const SCENARIO: &str = "\
+[source]
+Dep(dname*, building)
+Student(sname*, program, dep->Dep)
+
+[target]
+Stu(student*, prog, dpt)
+
+[correspondences]
+sname <-> student
+program <-> prog
+dep <-> dpt
+";
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    TextSerial,
+    TextPipelined,
+    BinarySerial,
+    BinaryPipelined,
+    BinaryBatched,
+}
+
+impl Mode {
+    fn binary(self) -> bool {
+        matches!(
+            self,
+            Mode::BinarySerial | Mode::BinaryPipelined | Mode::BinaryBatched
+        )
+    }
+}
+
+fn connect(addr: std::net::SocketAddr, binary: bool) -> Client {
+    let cfg = ClientConfig {
+        binary,
+        ..ClientConfig::default()
+    };
+    Client::connect_with(addr, cfg).unwrap()
+}
+
+fn student_lines(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|j| {
+            let dep = if j % 2 == 0 { "d0" } else { "_" };
+            format!("Student: s{j}, p{j}, {dep}")
+        })
+        .collect()
+}
+
+/// Drive the whole scenario over one connection in the given mode.
+/// Returns `(sql_dump, session_stats_body)`.
+fn run_scenario(addr: std::net::SocketAddr, mode: Mode, session: &str) -> (String, String) {
+    let mut c = connect(addr, mode.binary());
+    assert_eq!(
+        c.proto(),
+        if mode.binary() {
+            Proto::Binary
+        } else {
+            Proto::Text
+        }
+    );
+    c.open(session, SCENARIO).unwrap().into_ok().unwrap();
+    c.feed(session, "Dep: d0, b0").unwrap().into_ok().unwrap();
+    let lines = student_lines(24);
+    match mode {
+        Mode::TextSerial | Mode::BinarySerial => {
+            for line in &lines {
+                c.push(session, line).unwrap().into_ok().unwrap();
+            }
+        }
+        Mode::TextPipelined | Mode::BinaryPipelined => {
+            let cmds: Vec<String> = lines
+                .iter()
+                .map(|l| format!("PUSH {session} {l}"))
+                .collect();
+            let refs: Vec<&str> = cmds.iter().map(String::as_str).collect();
+            for reply in c.pipeline(&refs).unwrap() {
+                reply.into_ok().unwrap();
+            }
+        }
+        Mode::BinaryBatched => {
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            let r = c.push_batch(session, &refs).unwrap().into_ok().unwrap();
+            assert!(
+                r.head.contains("pushed batch of 24"),
+                "batch reply: {}",
+                r.head
+            );
+        }
+    }
+    let sql = c.sql(session).unwrap().into_ok().unwrap().body();
+    // Everything in the session stats is deterministic except the
+    // wall-clock `time:` line — drop it. The `service:` line's request
+    // count legitimately differs for the batched mode (one PUSH_BATCH
+    // request stands in for 24 PUSHes), so it is compared structurally
+    // by the caller; the tuple and script figures on it must still agree.
+    let stats = c
+        .stats(Some(session))
+        .unwrap()
+        .into_ok()
+        .unwrap()
+        .lines
+        .iter()
+        .filter(|l| !l.starts_with("time:") && !l.starts_with("service:"))
+        .cloned()
+        .collect::<Vec<_>>()
+        .join("\n");
+    (sql, stats)
+}
+
+/// The `service:` line of a session's STATS, split into
+/// `(requests, tuples_in, scripts_cached)`.
+fn service_line(addr: std::net::SocketAddr, session: &str) -> (u64, u64, u64) {
+    let mut c = connect(addr, false);
+    let body = c.stats(Some(session)).unwrap().into_ok().unwrap().body();
+    let line = body
+        .lines()
+        .find(|l| l.starts_with("service:"))
+        .unwrap_or_else(|| panic!("service line missing in:\n{body}"));
+    let nums: Vec<u64> = line
+        .split_whitespace()
+        .filter_map(|tok| tok.parse().ok())
+        .collect();
+    assert_eq!(nums.len(), 3, "unexpected service line shape: {line}");
+    (nums[0], nums[1], nums[2])
+}
+
+#[test]
+fn all_transport_modes_produce_identical_state() {
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let modes = [
+        Mode::TextSerial,
+        Mode::TextPipelined,
+        Mode::BinarySerial,
+        Mode::BinaryPipelined,
+        Mode::BinaryBatched,
+    ];
+    let mut results = Vec::new();
+    for (i, mode) in modes.iter().enumerate() {
+        let session = format!("tenant-{i}");
+        results.push((*mode, session.clone(), run_scenario(addr, *mode, &session)));
+    }
+
+    let (_, _, (ref_sql, ref_stats)) = &results[0];
+    assert!(ref_sql.contains("INSERT INTO Stu"), "{ref_sql}");
+    for (mode, _, (sql, stats)) in &results[1..] {
+        assert_eq!(
+            sql, ref_sql,
+            "{mode:?}: SQL dump diverges from TextSerial reference"
+        );
+        assert_eq!(
+            stats, ref_stats,
+            "{mode:?}: session stats diverge from TextSerial reference"
+        );
+    }
+    // The service-side figures: tuples and cached scripts agree across
+    // every mode; request counts agree across every mode that sends one
+    // request per command, while the batched mode collapses the 24
+    // pushes into a single request.
+    let (ref_requests, ref_tuples, ref_scripts) = service_line(addr, &results[0].1);
+    for (mode, session, _) in &results[1..] {
+        let (requests, tuples, scripts) = service_line(addr, session);
+        assert_eq!(tuples, ref_tuples, "{mode:?}: tuples-in diverges");
+        assert_eq!(scripts, ref_scripts, "{mode:?}: scripts-cached diverges");
+        if *mode == Mode::BinaryBatched {
+            assert_eq!(
+                requests,
+                ref_requests - 23,
+                "{mode:?}: one PUSH_BATCH should replace 24 PUSH requests"
+            );
+        } else {
+            assert_eq!(requests, ref_requests, "{mode:?}: request count diverges");
+        }
+    }
+    handle.shutdown();
+}
+
+/// Serial text and serial binary issue the *same* request sequence, so
+/// even the server-wide request counter must agree: HELLO is negotiation,
+/// not a request, and must not tilt the totals.
+#[test]
+fn request_counters_match_across_protocols() {
+    let count_requests = |binary: bool| -> u64 {
+        let handle = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut c = connect(handle.local_addr(), binary);
+        c.open("t", SCENARIO).unwrap().into_ok().unwrap();
+        c.feed("t", "Dep: d0, b0").unwrap().into_ok().unwrap();
+        for line in student_lines(8) {
+            c.push("t", &line).unwrap().into_ok().unwrap();
+        }
+        let body = c.metrics().unwrap().into_ok().unwrap().body();
+        let total = body
+            .lines()
+            .find(|l| l.starts_with("sedex_service_requests_total "))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("requests counter missing in:\n{body}"));
+        // The per-protocol family attributes every request to the
+        // negotiated protocol of the connection that sent it.
+        let labeled = |proto: &str| -> u64 {
+            body.lines()
+                .find(|l| {
+                    l.starts_with(&format!(
+                        "sedex_service_proto_requests_total{{proto=\"{proto}\"}}"
+                    ))
+                })
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+        let (text, bin) = (labeled("text"), labeled("binary"));
+        assert_eq!(
+            text + bin,
+            total,
+            "labeled protocol counters must partition the total"
+        );
+        if binary {
+            assert_eq!(text, 0, "binary client must not register text requests");
+        } else {
+            assert_eq!(bin, 0, "text client must not register binary requests");
+        }
+        handle.shutdown();
+        total
+    };
+    assert_eq!(count_requests(false), count_requests(true));
+}
+
+/// Durable parity: a scenario ingested over binary (pipelined + batched)
+/// recovers from its write-ahead log to the exact state a text ingest
+/// recovers to.
+#[test]
+fn durable_state_is_protocol_independent() {
+    let recovered_sql = |dir: &Path, mode: Mode| -> String {
+        let cfg = || ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            data_dir: Some(dir.to_path_buf()),
+            ..ServerConfig::default()
+        };
+        let handle = Server::start(cfg()).unwrap();
+        run_scenario(handle.local_addr(), mode, "tenant");
+        handle.shutdown();
+        // Reopen from the durable log alone and dump what survived.
+        let handle = Server::start(cfg()).unwrap();
+        let mut c = connect(handle.local_addr(), false);
+        let sql = c.sql("tenant").unwrap().into_ok().unwrap().body();
+        handle.shutdown();
+        sql
+    };
+
+    let text_dir = tempdir("parity-text");
+    let bin_dir = tempdir("parity-bin");
+    let batch_dir = tempdir("parity-batch");
+    let text = recovered_sql(&text_dir, Mode::TextSerial);
+    let bin = recovered_sql(&bin_dir, Mode::BinaryPipelined);
+    let batch = recovered_sql(&batch_dir, Mode::BinaryBatched);
+    assert!(text.contains("INSERT INTO Stu"), "{text}");
+    assert_eq!(text, bin, "binary-pipelined recovery diverges from text");
+    assert_eq!(text, batch, "binary-batched recovery diverges from text");
+    for d in [text_dir, bin_dir, batch_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedex-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}

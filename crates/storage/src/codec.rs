@@ -271,6 +271,34 @@ pub fn decode_tuple(r: &mut ByteReader<'_>) -> CodecResult<Tuple> {
     Ok(Tuple::new(vals))
 }
 
+/// Encode a batch of `(relation, tuple)` rows — the payload of the service's
+/// binary `PUSH_BATCH` frame.
+pub fn encode_rows(w: &mut ByteWriter, rows: &[(String, Tuple)]) {
+    w.put_u32(rows.len() as u32);
+    for (relation, tuple) in rows {
+        w.put_str(relation);
+        encode_tuple(w, tuple);
+    }
+}
+
+/// Decode a batch of `(relation, tuple)` rows, rejecting batches larger
+/// than `max_rows` before any per-row allocation happens.
+pub fn decode_rows(r: &mut ByteReader<'_>, max_rows: usize) -> CodecResult<Vec<(String, Tuple)>> {
+    let n = r.get_u32()? as usize;
+    if n > max_rows {
+        return Err(CodecError::new(format!(
+            "batch of {n} rows exceeds cap of {max_rows}"
+        )));
+    }
+    let mut rows = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let relation = r.get_str()?;
+        let tuple = decode_tuple(r)?;
+        rows.push((relation, tuple));
+    }
+    Ok(rows)
+}
+
 // --- schema --------------------------------------------------------------
 
 fn dtype_tag(d: DataType) -> u8 {
@@ -516,6 +544,36 @@ mod tests {
             assert_eq!(back.relation(name).unwrap().rows(), rel.rows(), "{name}");
         }
         assert_eq!(back.stats(), inst.stats());
+    }
+
+    #[test]
+    fn row_batches_roundtrip_and_cap_is_enforced() {
+        let rows: Vec<(String, Tuple)> = (0..10)
+            .map(|i| {
+                (
+                    format!("Rel{}", i % 3),
+                    Tuple::new(vec![Value::int(i), Value::text("x"), Value::Null]),
+                )
+            })
+            .collect();
+        let mut w = ByteWriter::new();
+        encode_rows(&mut w, &rows);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(decode_rows(&mut r, 10).unwrap(), rows);
+        r.expect_end().unwrap();
+
+        // One over the cap fails before decoding any row.
+        let mut r = ByteReader::new(&bytes);
+        let err = decode_rows(&mut r, 9).unwrap_err();
+        assert!(err.message.contains("exceeds cap"), "{err}");
+
+        // An absurd declared count against a truncated body errors cleanly.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(decode_rows(&mut r, 1 << 16).is_err());
     }
 
     #[test]
