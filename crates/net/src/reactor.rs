@@ -108,6 +108,10 @@ impl Poller {
         wake_rx.set_nonblocking(true)?;
         let wake_tx = UdpSocket::bind("127.0.0.1:0")?;
         wake_tx.connect(wake_rx.local_addr()?)?;
+        // Connect the receive side too, so the kernel drops datagrams from
+        // any other local process that guesses the ephemeral port (spurious
+        // wakeups at best, a drain_wakeups spin under a flood at worst).
+        wake_rx.connect(wake_tx.local_addr()?)?;
         let poller = Poller {
             #[cfg(target_os = "linux")]
             epfd: sys::epoll_create()?,

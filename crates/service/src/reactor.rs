@@ -272,9 +272,11 @@ impl Reactor {
             self.expiries.remove(&(at, done.conn));
         }
         // A served SHUTDOWN closes its own connection once the reply is out.
-        if self.write_response(done.conn, &done.response, proto, shutdown) {
-            self.pump(done.conn);
-        }
+        self.guarded(done.conn, |r| {
+            if r.write_response(done.conn, &done.response, proto, shutdown) {
+                r.pump(done.conn);
+            }
+        });
     }
 
     // --- accepting ----------------------------------------------------
@@ -301,8 +303,14 @@ impl Reactor {
                     if self.shared.max_conns > 0 && self.conns.len() >= self.shared.max_conns {
                         // Over the cap: refuse politely with a retry hint
                         // instead of letting the connection starve unserved.
+                        // Best effort and nonblocking — a peer with a zero
+                        // receive window must not stall the event loop; if
+                        // the tiny reply doesn't fit the fresh socket
+                        // buffer the connection is simply dropped.
                         self.shared.stats.shed.inc();
-                        let _ = stream.write_all(busy_response().render().as_bytes());
+                        if stream.set_nonblocking(true).is_ok() {
+                            let _ = stream.write(busy_response().render().as_bytes());
+                        }
                         continue;
                     }
                     if stream.set_nonblocking(true).is_err() {
@@ -329,25 +337,32 @@ impl Reactor {
 
     // --- per-connection events ----------------------------------------
 
+    /// Runs per-connection work with panic isolation: a panic (e.g. an
+    /// injected `Panic` fault on a read/write path) unwinding out of one
+    /// connection's handling closes that connection only — exactly like
+    /// the per-connection thread it replaces dying. Every reactor-loop
+    /// path that touches a connection (readiness events, worker
+    /// completions, stalled retries, deadline replies) must go through
+    /// this so a single connection can never take the reactor down.
+    fn guarded<F: FnOnce(&mut Self)>(&mut self, token: u64, f: F) {
+        if catch_unwind(AssertUnwindSafe(|| f(self))).is_err() {
+            self.close_conn(token);
+        }
+    }
+
     fn conn_event(&mut self, token: u64, readable: bool, writable: bool) {
         if !self.conns.contains_key(&token) {
             return;
         }
-        // An injected Panic fault on this connection's read/write path must
-        // kill only this connection — exactly like the per-connection
-        // thread it replaces dying.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if writable && !self.flush_conn(token) {
+        self.guarded(token, |r| {
+            if writable && !r.flush_conn(token) {
                 return;
             }
             if readable {
-                self.conn_readable(token);
+                r.conn_readable(token);
             }
-            self.pump(token);
-        }));
-        if outcome.is_err() {
-            self.close_conn(token);
-        }
+            r.pump(token);
+        });
     }
 
     fn conn_readable(&mut self, token: u64) {
@@ -603,7 +618,15 @@ impl Reactor {
             return;
         }
         let trimmed = line.trim_start();
-        if trimmed.len() >= 4 && trimmed[..4].eq_ignore_ascii_case("OPEN") {
+        // Byte-wise prefix check: a slice like `trimmed[..4]` would panic
+        // when byte 4 is not a char boundary (lossy decoding turns invalid
+        // bytes into 3-byte U+FFFD), and this runs on attacker-controlled
+        // input.
+        let is_open = trimmed
+            .as_bytes()
+            .get(..4)
+            .is_some_and(|p| p.eq_ignore_ascii_case(b"OPEN"));
+        if is_open {
             conn.open = Some(OpenCollect {
                 line,
                 body: String::new(),
@@ -839,7 +862,7 @@ impl Reactor {
         for token in tokens {
             let has_stalled = self.conns.get(&token).is_some_and(|c| c.stalled.is_some());
             if has_stalled {
-                self.pump(token);
+                self.guarded(token, |r| r.pump(token));
             }
         }
     }
@@ -988,18 +1011,28 @@ impl Reactor {
                 return;
             }
             self.expiries.remove(&(at, token));
+            // Take the inflight: the reactor answers this request itself,
+            // so the worker's eventual completion must be seen as stale by
+            // `on_done` — otherwise a worker finishing during the flush
+            // would queue a second response for the same request.
             let fired = {
-                match self.conns.get(&token).and_then(|c| c.inflight.as_ref()) {
-                    Some(inf) if inf.seq == seq => Some(inf.proto),
+                match self.conns.get_mut(&token) {
+                    Some(c) if c.inflight.as_ref().is_some_and(|i| i.seq == seq) => {
+                        c.inflight.take().map(|i| i.proto)
+                    }
                     _ => None,
                 }
             };
             if let Some(proto) = fired {
                 self.shared.stats.deadlines.inc();
                 let resp = deadline_response(&self.shared);
-                if self.write_response(token, &resp, proto, true) {
-                    let _ = self.flush_conn(token);
-                }
+                self.guarded(token, |r| {
+                    if r.write_response(token, &resp, proto, true) && r.flush_conn(token) {
+                        // Partial flush: make sure writable readiness is
+                        // armed so the error actually drains.
+                        r.update_interest(token);
+                    }
+                });
             }
         }
     }
@@ -1012,20 +1045,19 @@ impl Reactor {
         let _ = self.poller.deregister(self.listener.as_raw_fd());
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
-            let alive = catch_unwind(AssertUnwindSafe(|| {
-                self.conn_readable(token);
-                if let Some(c) = self.conns.get_mut(&token) {
-                    c.read_closed = true;
-                    true
-                } else {
-                    false
+            self.guarded(token, |r| {
+                r.conn_readable(token);
+                let alive = match r.conns.get_mut(&token) {
+                    Some(c) => {
+                        c.read_closed = true;
+                        true
+                    }
+                    None => false,
+                };
+                if alive {
+                    r.pump(token);
                 }
-            }));
-            match alive {
-                Ok(true) => self.pump(token),
-                Ok(false) => {}
-                Err(_) => self.close_conn(token),
-            }
+            });
         }
     }
 }

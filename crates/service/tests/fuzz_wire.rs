@@ -145,6 +145,32 @@ fn garbage_frames_on_the_binary_protocol_never_kill_the_server() {
     handle.shutdown();
 }
 
+/// Request lines whose byte 4 falls inside a multibyte character (lossy
+/// decoding turns each invalid byte into a 3-byte U+FFFD) must get a
+/// normal `ERR` reply: a naive `line[..4]` prefix slice panics on these,
+/// and on the pipeline-refill path that panic would kill the reactor
+/// thread, not just one connection.
+#[test]
+fn multibyte_bytes_near_the_open_prefix_get_err_not_panic() {
+    let handle = start_server();
+    let addr = handle.local_addr();
+    for line in [
+        b"OPE\xC3\xA9 demo\n".to_vec(),  // 2-byte 'é' straddles byte index 4
+        b"OPE\xFF demo\n".to_vec(),      // invalid byte -> 3-byte U+FFFD at 3..6
+        b"O\xC3\xA9\xC3\xA9 demo\n".to_vec(), // second 'é' straddles index 4
+    ] {
+        let response = slam(addr, &line);
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.starts_with("ERR"),
+            "expected ERR reply for {:?}, got: {text:?}",
+            String::from_utf8_lossy(&line)
+        );
+        assert_alive(addr);
+    }
+    handle.shutdown();
+}
+
 /// A valid frame followed by a mid-frame disconnect: the half-written
 /// frame dies with its connection, the applied request does not.
 #[test]
