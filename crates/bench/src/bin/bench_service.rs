@@ -10,6 +10,12 @@
 //! as a one-line change in review. Pipelining exists to save round-trips
 //! and batching to save per-request framing and dispatch; this bench is
 //! what keeps those claims honest.
+//!
+//! Besides throughput, each mode reports p50/p99 latency per client
+//! round-trip — one `PUSH` in the serial modes, one whole burst in the
+//! pipelined/batched modes (that *is* the unit a client waits on there),
+//! so the serial and burst figures are not directly comparable to each
+//! other, only to their own trajectory across PRs.
 
 use std::time::{Duration, Instant};
 
@@ -74,8 +80,10 @@ fn data_lines(n: usize) -> Vec<String> {
 }
 
 /// One measured run: open a fresh session, push `TUPLES` tuples in the
-/// mode's submission style, confirm every reply. Returns the push time.
-fn run_mode(handle: &ServerHandle, mode: Mode, round: usize) -> Duration {
+/// mode's submission style, confirm every reply. Returns the push time
+/// plus the latency of every client round-trip (a single `PUSH` in the
+/// serial modes, a whole burst otherwise).
+fn run_mode(handle: &ServerHandle, mode: Mode, round: usize) -> (Duration, Vec<Duration>) {
     let mut c = Client::connect_with(
         handle.local_addr(),
         ClientConfig {
@@ -89,11 +97,14 @@ fn run_mode(handle: &ServerHandle, mode: Mode, round: usize) -> Duration {
     c.feed(&session, "Dep: d0, b0").unwrap().into_ok().unwrap();
     let lines = data_lines(TUPLES);
 
+    let mut samples = Vec::new();
     let start = Instant::now();
     match mode {
         Mode::TextSerial | Mode::BinarySerial => {
             for line in &lines {
+                let t = Instant::now();
                 c.push(&session, line).unwrap().into_ok().unwrap();
+                samples.push(t.elapsed());
             }
         }
         Mode::TextPipelined | Mode::BinaryPipelined => {
@@ -103,21 +114,32 @@ fn run_mode(handle: &ServerHandle, mode: Mode, round: usize) -> Duration {
                     .map(|l| format!("PUSH {session} {l}"))
                     .collect();
                 let refs: Vec<&str> = cmds.iter().map(String::as_str).collect();
+                let t = Instant::now();
                 for reply in c.pipeline(&refs).unwrap() {
                     reply.into_ok().unwrap();
                 }
+                samples.push(t.elapsed());
             }
         }
         Mode::BinaryBatched => {
             for chunk in lines.chunks(BURST) {
                 let refs: Vec<&str> = chunk.iter().map(String::as_str).collect();
+                let t = Instant::now();
                 c.push_batch(&session, &refs).unwrap().into_ok().unwrap();
+                samples.push(t.elapsed());
             }
         }
     }
     let elapsed = start.elapsed();
     c.close(&session).unwrap().into_ok().unwrap();
-    elapsed
+    (elapsed, samples)
+}
+
+/// Exact percentile over the measured samples (nearest-rank on the sorted
+/// set — no interpolation, these are real observations).
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    assert!(!sorted.is_empty());
+    sorted[((sorted.len() * pct) / 100).min(sorted.len() - 1)]
 }
 
 fn main() {
@@ -142,43 +164,58 @@ fn main() {
     let mut results = Vec::new();
     for mode in modes {
         run_mode(&handle, mode, 0);
-        let best = (1..=3)
+        let (best, mut samples) = (1..=3)
             .map(|round| run_mode(&handle, mode, round))
-            .min()
+            .min_by_key(|(wall, _)| *wall)
             .unwrap();
+        samples.sort_unstable();
+        let p50 = percentile(&samples, 50);
+        let p99 = percentile(&samples, 99);
         let tps = TUPLES as f64 / best.as_secs_f64();
-        results.push((mode, best, tps));
+        results.push((mode, best, tps, p50, p99));
     }
     handle.shutdown();
 
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(mode, best, tps)| {
+        .map(|(mode, best, tps, p50, p99)| {
             vec![
                 mode.name().to_owned(),
                 format!("{best:?}"),
                 format!("{tps:.0}"),
+                format!("{p50:?}"),
+                format!("{p99:?}"),
             ]
         })
         .collect();
     print_table(
         &format!("Service transport — {TUPLES} PUSHes, burst {BURST}"),
-        &["mode", "wall", "tuples/s"],
+        &["mode", "wall", "tuples/s", "p50", "p99"],
         &rows,
     );
 
     // Flat JSON, one figure per line: diffs in review read as a perf
-    // trajectory. Rates are rounded to whole tuples/sec — sub-tuple
-    // precision is noise on a loopback bench.
+    // trajectory. Rates are rounded to whole tuples/sec and latencies to
+    // whole microseconds — finer precision is noise on a loopback bench.
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"tuples\": {TUPLES},\n"));
     json.push_str(&format!("  \"burst\": {BURST},\n"));
-    for (i, (mode, _, tps)) in results.iter().enumerate() {
+    for (i, (mode, _, tps, p50, p99)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         json.push_str(&format!(
-            "  \"{}_tuples_per_sec\": {:.0}{comma}\n",
+            "  \"{}_tuples_per_sec\": {:.0},\n",
             mode.name(),
             tps
+        ));
+        json.push_str(&format!(
+            "  \"{}_p50_us\": {:.0},\n",
+            mode.name(),
+            p50.as_secs_f64() * 1e6
+        ));
+        json.push_str(&format!(
+            "  \"{}_p99_us\": {:.0}{comma}\n",
+            mode.name(),
+            p99.as_secs_f64() * 1e6
         ));
     }
     json.push_str("}\n");

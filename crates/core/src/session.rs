@@ -72,6 +72,12 @@ pub struct SedexSession {
     fresh_counter: u64,
     report: ExchangeReport,
     observer: Option<Arc<dyn Observer>>,
+    /// Session name attributed in slow-exchange records (multi-tenant
+    /// service deployments); `None` for anonymous embedded use.
+    label: Option<String>,
+    /// The protocol verb currently driving `process`, set by the service
+    /// before each request so slow records can name it.
+    verb: Option<&'static str>,
 }
 
 impl SedexSession {
@@ -109,6 +115,8 @@ impl SedexSession {
             source,
             report: ExchangeReport::default(),
             observer: None,
+            label: None,
+            verb: None,
         })
     }
 
@@ -127,6 +135,21 @@ impl SedexSession {
     pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
         self.observer = Some(observer);
         self
+    }
+
+    /// Attach a session name; slow-exchange records will carry it as
+    /// `session=<name>` so slow tuples can be attributed under
+    /// multi-tenant load.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Set (or clear) the protocol verb attributed in slow-exchange
+    /// records for subsequent exchanges. The service sets this per
+    /// request; embedded callers can ignore it.
+    pub fn set_verb(&mut self, verb: Option<&'static str>) {
+        self.verb = verb;
     }
 
     /// Feed a *context* tuple without exchanging it: it becomes available
@@ -183,7 +206,8 @@ impl SedexSession {
         let mut trace = Trace::new(
             self.observer.as_deref(),
             self.config.slow_exchange_threshold,
-        );
+        )
+        .with_context(self.label.as_deref(), self.verb);
         let t0 = std::time::Instant::now();
         // Apply CFDs to the tuple in place before building its tree.
         if !self.cfds.is_empty() {

@@ -17,6 +17,10 @@ use crate::script::RunOutcome;
 pub(crate) struct Trace<'a> {
     obs: Option<&'a dyn Observer>,
     timing: bool,
+    /// Session label and verb attributed in slow-exchange records, when the
+    /// caller (the service) knows them.
+    session: Option<&'a str>,
+    verb: Option<&'a str>,
     /// Accumulated per-phase breakdown.
     pub totals: PhaseTotals,
 }
@@ -27,8 +31,17 @@ impl<'a> Trace<'a> {
         Trace {
             obs,
             timing: obs.is_some() || slow.is_some(),
+            session: None,
+            verb: None,
             totals: PhaseTotals::new(),
         }
+    }
+
+    /// Attach multi-tenant attribution carried into slow-exchange records.
+    pub fn with_context(mut self, session: Option<&'a str>, verb: Option<&'a str>) -> Self {
+        self.session = session;
+        self.verb = verb;
+        self
     }
 
     /// Start a phase clock, or `None` when tracing is off.
@@ -109,7 +122,14 @@ impl<'a> Trace<'a> {
                 });
                 eprintln!(
                     "{}",
-                    slow_exchange_record(total, threshold, tuples, &self.totals)
+                    slow_exchange_record(
+                        total,
+                        threshold,
+                        tuples,
+                        &self.totals,
+                        self.session,
+                        self.verb,
+                    )
                 );
             }
         }

@@ -28,7 +28,7 @@ pub mod sys;
 
 pub use buffer::{read_once, ByteQueue, ReadOutcome, WriteBuf};
 pub use frame::{encode_frame, FrameDecoder, FrameEvent, FRAME_HEADER_BYTES};
-pub use reactor::{Event, Interest, Poller, Token, Waker, WAKE_TOKEN};
+pub use reactor::{Event, Interest, Poller, Token, Waker, MAX_EVENTS_PER_WAIT, WAKE_TOKEN};
 
 #[cfg(test)]
 mod tests {

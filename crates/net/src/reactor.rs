@@ -23,6 +23,13 @@ pub struct Token(pub u64);
 /// must not use it.
 pub const WAKE_TOKEN: Token = Token(u64::MAX);
 
+/// Maximum readiness events one [`Poller::wait`] call can report (the
+/// kernel-side batch size on the epoll path). A wait returning exactly this
+/// many events may have left further ready fds for the next iteration —
+/// loop instrumentation should treat `events.len() == MAX_EVENTS_PER_WAIT`
+/// as a saturated batch, not a complete picture of readiness.
+pub const MAX_EVENTS_PER_WAIT: usize = 512;
+
 /// Which readiness conditions a registration listens for.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Interest {
@@ -212,7 +219,7 @@ impl Poller {
         let mut woken = false;
         #[cfg(target_os = "linux")]
         {
-            let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 512];
+            let mut buf = [sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS_PER_WAIT];
             let n = sys::epoll_pwait(self.epfd.as_raw_fd(), &mut buf, timeout_ms)?;
             for ev in &buf[..n] {
                 let data = ev.data;

@@ -246,13 +246,19 @@ impl Drop for Span<'_> {
 /// Format the one-line structured slow-exchange record:
 ///
 /// ```text
-/// slow_exchange total_ms=12.345 threshold_ms=10.000 tuples=811 tree_build_ms=4.100 match_ms=...
+/// slow_exchange total_ms=12.345 threshold_ms=10.000 tuples=811 session=acme verb=PUSH tree_build_ms=4.100 match_ms=...
 /// ```
+///
+/// `session` and `verb` attribute the record under multi-tenant load; pass
+/// `None` on paths that have neither (the batch engine) and the fields are
+/// omitted.
 pub fn slow_exchange_record(
     total: Duration,
     threshold: Duration,
     tuples: u64,
     phases: &PhaseTotals,
+    session: Option<&str>,
+    verb: Option<&str>,
 ) -> String {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut out = format!(
@@ -261,6 +267,12 @@ pub fn slow_exchange_record(
         ms(threshold),
         tuples
     );
+    if let Some(s) = session {
+        out.push_str(&format!(" session={s}"));
+    }
+    if let Some(v) = verb {
+        out.push_str(&format!(" verb={v}"));
+    }
     for (phase, nanos) in phases.iter() {
         out.push_str(&format!(" {}_ms={:.3}", phase.as_str(), nanos as f64 / 1e6));
     }
@@ -336,13 +348,35 @@ mod tests {
     fn slow_record_is_one_line_with_every_phase() {
         let mut t = PhaseTotals::new();
         t.add(Phase::TreeBuild, 2_000_000);
-        let line =
-            slow_exchange_record(Duration::from_millis(12), Duration::from_millis(10), 81, &t);
+        let line = slow_exchange_record(
+            Duration::from_millis(12),
+            Duration::from_millis(10),
+            81,
+            &t,
+            None,
+            None,
+        );
         assert!(!line.contains('\n'));
         assert!(line.starts_with("slow_exchange total_ms=12.000"), "{line}");
         assert!(line.contains("threshold_ms=10.000"), "{line}");
         assert!(line.contains("tuples=81"), "{line}");
         assert!(line.contains("tree_build_ms=2.000"), "{line}");
         assert!(line.contains("script_run_ms=0.000"), "{line}");
+        assert!(!line.contains("session="), "{line}");
+        assert!(!line.contains("verb="), "{line}");
+    }
+
+    #[test]
+    fn slow_record_attributes_session_and_verb_when_known() {
+        let t = PhaseTotals::new();
+        let line = slow_exchange_record(
+            Duration::from_millis(12),
+            Duration::from_millis(10),
+            3,
+            &t,
+            Some("acme"),
+            Some("PUSH"),
+        );
+        assert!(line.contains("tuples=3 session=acme verb=PUSH"), "{line}");
     }
 }

@@ -22,6 +22,12 @@
 //! [`RegistryObserver`] bridges 1 → 2: it pre-registers the standard
 //! `sedex_*` metrics and folds events into them.
 //!
+//! A fourth, service-facing layer ([`recorder`]) holds a fixed-capacity
+//! [`FlightRecorder`] ring of request-lifecycle [`ReqSpan`]s — the
+//! payload of the service's `TRACE` verb — plus the [`StageClock`] stage
+//! timer, which keeps the zero-overhead-by-default convention (no clock
+//! reads unless tracing is enabled).
+//!
 //! ```
 //! use sedex_observe::{render_prometheus, MetricsRegistry, RegistryObserver};
 //! use sedex_observe::{Event, Observer, Phase, Span};
@@ -45,9 +51,11 @@
 pub mod bridge;
 pub mod event;
 pub mod expose;
+pub mod recorder;
 pub mod registry;
 
 pub use bridge::{names, RegistryObserver};
 pub use event::{slow_exchange_record, Event, NoopObserver, Observer, Phase, PhaseTotals, Span};
 pub use expose::render_prometheus;
+pub use recorder::{FlightRecorder, ReqSpan, StageClock};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};

@@ -1,0 +1,289 @@
+//! Flight recorder: a fixed-capacity ring buffer of completed
+//! request-lifecycle spans.
+//!
+//! The service reactor stamps every request with a monotonically-assigned
+//! id and times each lifecycle stage (`read → parse → queue_wait → exec →
+//! flush`); the finished [`ReqSpan`] is committed here. The ring keeps the
+//! last `capacity` spans: the write cursor is a single relaxed atomic
+//! fetch-add and each slot is guarded by its own uncontended mutex, so
+//! recording never blocks readers for more than one slot.
+//!
+//! Recording is opt-in (the service only constructs a recorder when
+//! `--trace-buffer N` is set). The [`StageClock`] helper enforces the
+//! zero-overhead-by-default convention from the tracing layer: when
+//! disabled it performs no clock read at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed request-lifecycle span, all stage durations in
+/// nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReqSpan {
+    /// Monotonically-assigned request id (per server run).
+    pub id: u64,
+    /// Protocol the request arrived on (`text` / `binary`).
+    pub proto: &'static str,
+    /// Request verb (`PUSH`, `FEED`, `SQL`, …).
+    pub verb: String,
+    /// Session the request addressed, or `-` for session-less verbs.
+    pub session: String,
+    /// Socket-read time attributed to this request.
+    pub read_nanos: u64,
+    /// Frame/line decode time.
+    pub parse_nanos: u64,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_nanos: u64,
+    /// Worker execution time (engine phases included).
+    pub exec_nanos: u64,
+    /// Reply serialization + first flush attempt.
+    pub flush_nanos: u64,
+}
+
+impl ReqSpan {
+    /// Sum of all stage durations, nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.read_nanos + self.parse_nanos + self.queue_nanos + self.exec_nanos + self.flush_nanos
+    }
+
+    /// Render the one-line structured record served by the `TRACE` verb:
+    ///
+    /// ```text
+    /// span id=7 proto=text verb=PUSH session=acme read_us=1.250 parse_us=0.300 queue_us=12.000 exec_us=250.100 flush_us=2.000 total_us=265.650
+    /// ```
+    pub fn render(&self) -> String {
+        let us = |n: u64| n as f64 / 1e3;
+        format!(
+            "span id={} proto={} verb={} session={} read_us={:.3} parse_us={:.3} \
+             queue_us={:.3} exec_us={:.3} flush_us={:.3} total_us={:.3}",
+            self.id,
+            self.proto,
+            self.verb,
+            self.session,
+            us(self.read_nanos),
+            us(self.parse_nanos),
+            us(self.queue_nanos),
+            us(self.exec_nanos),
+            us(self.flush_nanos),
+            us(self.total_nanos()),
+        )
+    }
+}
+
+/// Fixed-capacity ring buffer of the most recent [`ReqSpan`]s.
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<ReqSpan>>>,
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// The fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of spans currently held (saturates at capacity).
+    pub fn len(&self) -> usize {
+        (self.cursor.load(Ordering::Relaxed) as usize).min(self.slots.len())
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) == 0
+    }
+
+    /// Total spans ever recorded (keeps counting past capacity).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Commit a completed span, overwriting the oldest once full.
+    pub fn record(&self, span: ReqSpan) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        *lock(&self.slots[i]) = Some(span);
+    }
+
+    /// The most recent `k` spans, newest first.
+    pub fn recent(&self, k: usize) -> Vec<ReqSpan> {
+        let end = self.cursor.load(Ordering::Relaxed);
+        let held = (end as usize).min(self.slots.len()) as u64;
+        let mut out = Vec::with_capacity(k.min(held as usize));
+        let mut seq = end;
+        while seq > end - held && out.len() < k {
+            seq -= 1;
+            let i = seq as usize % self.slots.len();
+            if let Some(span) = lock(&self.slots[i]).clone() {
+                out.push(span);
+            }
+        }
+        out
+    }
+
+    /// The `k` slowest held spans by [`ReqSpan::total_nanos`], slowest
+    /// first (ties broken by recency).
+    pub fn slowest(&self, k: usize) -> Vec<ReqSpan> {
+        let mut all = self.recent(self.slots.len());
+        all.sort_by_key(|s| std::cmp::Reverse(s.total_nanos()));
+        all.truncate(k);
+        all
+    }
+}
+
+/// Recover the slot even if a recording thread panicked mid-write; a span
+/// is plain data, so the poisoned value is still coherent.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A stage timer following the zero-overhead-by-default convention: when
+/// `enabled` is false, construction performs no clock read and
+/// [`stop_nanos`](Self::stop_nanos) returns 0 without reading one either.
+#[derive(Debug, Clone, Copy)]
+pub struct StageClock {
+    started: Option<Instant>,
+}
+
+impl StageClock {
+    /// Start the clock, or an inert one when `enabled` is false.
+    #[inline]
+    pub fn start(enabled: bool) -> Self {
+        StageClock {
+            started: if enabled { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// An inert clock (same as `start(false)`).
+    #[inline]
+    pub fn off() -> Self {
+        StageClock { started: None }
+    }
+
+    /// Whether a clock read happened at construction.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Elapsed nanoseconds, or 0 when the clock was never started.
+    #[inline]
+    pub fn stop_nanos(self) -> u64 {
+        match self.started {
+            Some(t) => t.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, exec_nanos: u64) -> ReqSpan {
+        ReqSpan {
+            id,
+            proto: "text",
+            verb: "PUSH".into(),
+            session: "s".into(),
+            read_nanos: 10,
+            parse_nanos: 20,
+            queue_nanos: 30,
+            exec_nanos,
+            flush_nanos: 40,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_spans_after_wraparound() {
+        let rec = FlightRecorder::new(4);
+        assert!(rec.is_empty());
+        for id in 0..10 {
+            rec.record(span(id, 100));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.recorded(), 10);
+        // Newest first, and only the last `capacity` survive the wrap.
+        let ids: Vec<u64> = rec.recent(16).iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![9, 8, 7, 6]);
+        // A smaller k truncates from the newest end.
+        let ids: Vec<u64> = rec.recent(2).iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![9, 8]);
+    }
+
+    #[test]
+    fn recent_before_wrap_returns_only_what_was_recorded() {
+        let rec = FlightRecorder::new(8);
+        rec.record(span(1, 100));
+        rec.record(span(2, 100));
+        let ids: Vec<u64> = rec.recent(8).iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![2, 1]);
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn slowest_orders_by_total_and_survives_wraparound() {
+        let rec = FlightRecorder::new(3);
+        rec.record(span(1, 9_999_999)); // will be overwritten
+        rec.record(span(2, 500));
+        rec.record(span(3, 9_000));
+        rec.record(span(4, 2_000)); // overwrites id=1
+        let ids: Vec<u64> = rec.slowest(2).iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_at_least_one() {
+        let rec = FlightRecorder::new(0);
+        assert_eq!(rec.capacity(), 1);
+        rec.record(span(1, 1));
+        rec.record(span(2, 1));
+        let ids: Vec<u64> = rec.recent(4).iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn render_is_one_line_with_every_stage() {
+        let s = span(7, 250_100);
+        let line = s.render();
+        assert!(!line.contains('\n'));
+        assert!(
+            line.starts_with("span id=7 proto=text verb=PUSH session=s"),
+            "{line}"
+        );
+        for key in [
+            "read_us=0.010",
+            "parse_us=0.020",
+            "queue_us=0.030",
+            "exec_us=250.100",
+            "flush_us=0.040",
+            "total_us=250.200",
+        ] {
+            assert!(line.contains(key), "{key} missing from {line}");
+        }
+    }
+
+    #[test]
+    fn disabled_stage_clock_reads_no_clock_and_reports_zero() {
+        // The service convention (PR 2): without --trace-buffer the hot
+        // path must not read the clock. A disabled clock is observably
+        // inert.
+        let clock = StageClock::start(false);
+        assert!(!clock.is_recording());
+        assert_eq!(clock.stop_nanos(), 0);
+        assert!(!StageClock::off().is_recording());
+
+        let live = StageClock::start(true);
+        assert!(live.is_recording());
+        // Elapsed is whatever it is, but the path is exercised.
+        let _ = live.stop_nanos();
+    }
+}

@@ -433,6 +433,47 @@ mod tests {
     fn quantile_of_empty_histogram_is_zero() {
         let h = Histogram::default();
         assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.quantile(1.0), Duration::ZERO);
+        assert_eq!(h.quantile(0.000001), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile_to_its_bucket_bound() {
+        // One observation: any q resolves to target=1, frac=1, so every
+        // quantile reports the same estimate — the bucket's upper bound.
+        let h = Histogram::default();
+        h.observe_nanos(1000); // bucket (512, 1024]
+        let expected = Duration::from_nanos(1024);
+        assert_eq!(h.quantile(0.01), expected);
+        assert_eq!(h.quantile(0.5), expected);
+        assert_eq!(h.quantile(0.99), expected);
+        assert_eq!(h.quantile(1.0), expected);
+    }
+
+    #[test]
+    fn exact_power_of_two_lands_on_its_bucket_boundary() {
+        // Buckets are (2^(i-1), 2^i]: an exact power of two belongs to the
+        // lower bucket, one past it to the next.
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        let h = Histogram::default();
+        h.observe_nanos(1024);
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(1024));
+        assert_eq!(h.bucket_counts()[10], 1);
+    }
+
+    #[test]
+    fn saturating_top_bucket_caps_the_quantile_estimate() {
+        // One sample at the last finite bound, one beyond every bucket:
+        // quantiles at and past the overflow report the largest bound
+        // rather than extrapolating.
+        let top = 1u64 << (HISTOGRAM_BUCKETS - 1);
+        let h = Histogram::default();
+        h.observe_nanos(top);
+        h.observe_nanos(u64::MAX);
+        assert_eq!(h.bucket_counts()[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(top));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(top));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!             [--data-dir DIR] [--fsync always|every-N|off]
 //!             [--snapshot-every N] [--request-timeout MS]
 //!             [--max-conns N] [--shed-queue-depth N]
-//!             [--pipeline-window N]
+//!             [--pipeline-window N] [--trace-buffer N]
 //! sedex recover <dir>           # inspect a --data-dir: what would recover?
 //! ```
 //!
@@ -28,6 +28,12 @@
 //! written ahead to a per-shard CRC-checked log, snapshots bound replay
 //! time, and a restart on the same directory recovers all sessions —
 //! warm script repositories included.
+//!
+//! `--trace-buffer N` turns on request-lifecycle tracing: every request
+//! gets a stage-decomposed span (read/parse/queue_wait/exec/flush) kept
+//! in an N-slot in-memory flight recorder, dumped over the wire with the
+//! `TRACE` command. Off by default — the untraced hot path performs no
+//! extra clock reads.
 //!
 //! `gen` kinds: `university`, `stb`, `amb`, and the ten STBenchmark basics
 //! (`cp`, `cv`, `hp`, `sk`, `vp`, `un`, `ne`, `de`, `ko`, `av`).
@@ -51,7 +57,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N] [--request-timeout MS] [--max-conns N] [--shed-queue-depth N] [--pipeline-window N]\n  sedex recover <data-dir>"
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N] [--request-timeout MS] [--max-conns N] [--shed-queue-depth N] [--pipeline-window N] [--trace-buffer N]\n  sedex recover <data-dir>"
         .to_owned()
 }
 
@@ -184,7 +190,7 @@ fn generate(args: &[String]) -> Result<(), String> {
 /// [--engine-threads N] [--parallel-threshold N] [--data-dir DIR]
 /// [--fsync always|every-N|off] [--snapshot-every N]
 /// [--request-timeout MS] [--max-conns N] [--shed-queue-depth N]
-/// [--pipeline-window N]`:
+/// [--pipeline-window N] [--trace-buffer N]`:
 /// run the multi-tenant exchange server until a wire `SHUTDOWN` arrives.
 fn serve(flags: &[String]) -> Result<(), String> {
     use sedex::service::{Server, ServerConfig};
@@ -272,21 +278,34 @@ fn serve(flags: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--pipeline-window: {e}"))?;
             }
+            "--trace-buffer" => {
+                cfg.trace_buffer = value("--trace-buffer")?
+                    .parse()
+                    .map_err(|e| format!("--trace-buffer: {e}"))?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
     let workers = cfg.workers;
     let metrics = cfg.metrics;
+    let trace_buffer = cfg.trace_buffer;
     let durable = cfg.data_dir.clone();
     let handle = Server::start(cfg).map_err(|e| e.to_string())?;
     println!(
-        "sedex-service listening on {} ({} workers{}{}); stop with the SHUTDOWN command",
+        "sedex-service listening on {} ({} workers{}{}{}); stop with the SHUTDOWN command",
         handle.local_addr(),
         workers,
         if metrics {
             ", session tracing on — scrape with METRICS"
         } else {
             ""
+        },
+        if trace_buffer > 0 {
+            format!(
+                ", request tracing on (flight recorder of {trace_buffer} spans — dump with TRACE)"
+            )
+        } else {
+            String::new()
         },
         match &durable {
             Some(dir) => format!(", durable in {}", dir.display()),

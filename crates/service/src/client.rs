@@ -475,6 +475,14 @@ impl Client {
         self.request("METRICS")
     }
 
+    /// `TRACE recent K` / `TRACE slow K` — request spans from the
+    /// server's flight recorder (requires a server started with
+    /// `--trace-buffer`); one span per body line.
+    pub fn trace(&mut self, slow: bool, k: u32) -> std::io::Result<Reply> {
+        let mode = if slow { "slow" } else { "recent" };
+        self.request(&format!("TRACE {mode} {k}"))
+    }
+
     /// `SQL <session>` — the session's target as INSERT statements.
     pub fn sql(&mut self, session: &str) -> std::io::Result<Reply> {
         self.request(&format!("SQL {session}"))

@@ -132,7 +132,8 @@ impl SessionManager {
         let mut session =
             SedexSession::new(self.session_config.clone(), s.source, s.target, s.sigma)
                 .map_err(|e| format!("session: {e}"))?
-                .with_cfds(file.cfds);
+                .with_cfds(file.cfds)
+                .with_label(name);
         if let Some(obs) = &self.observer {
             session = session.with_observer(Arc::clone(obs));
         }
@@ -175,7 +176,10 @@ impl SessionManager {
         if map.contains_key(name) {
             return Err(format!("session `{name}` already exists"));
         }
-        let mut tenant = Tenant::new(session, scenario);
+        // Recovered sessions arrive label-less (the label is not part of
+        // persisted state); re-attach it so slow-record attribution
+        // survives a restart.
+        let mut tenant = Tenant::new(session.with_label(name), scenario);
         tenant.requests = requests;
         tenant.tuples_in = tuples_in;
         map.insert(name.to_owned(), Arc::new(Mutex::new(tenant)));

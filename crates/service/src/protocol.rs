@@ -12,6 +12,7 @@
 //! STATS                     # server-wide counters + load signals
 //! STATS <session>           # the session's verbose ExchangeReport
 //! METRICS                   # Prometheus text exposition of the registry
+//! TRACE [recent|slow] [K]   # dump flight-recorder request spans
 //! SQL <session>             # target instance as INSERT statements
 //! CLOSE <session>           # finish the session, report final counters
 //! SHUTDOWN                  # graceful stop: drain in-flight work, exit
@@ -48,6 +49,13 @@ pub const MAX_DATA_LINE_BYTES: usize = 64 * 1024;
 
 /// Maximum rows accepted in one binary `PUSH_BATCH` frame.
 pub const MAX_BATCH_ROWS: usize = 65_536;
+
+/// Maximum span count a single `TRACE` request may ask for (the flight
+/// recorder itself is typically far smaller).
+pub const MAX_TRACE_K: u32 = 10_000;
+
+/// Default span count when `TRACE` is issued without a `K`.
+pub const DEFAULT_TRACE_K: u32 = 10;
 
 /// The protocol a connection speaks. Every connection starts in
 /// [`Proto::Text`]; `HELLO binary` switches it.
@@ -155,6 +163,13 @@ pub enum Request {
     },
     /// Prometheus text exposition of the server's metrics registry.
     Metrics,
+    /// Dump request-lifecycle spans from the flight recorder.
+    Trace {
+        /// `true` for the slowest-K spans, `false` for the most recent K.
+        slow: bool,
+        /// How many spans to return.
+        k: u32,
+    },
     /// Dump the session's target instance as SQL INSERT statements.
     Sql {
         /// Session name.
@@ -184,7 +199,25 @@ impl Request {
             | Request::Sql { session }
             | Request::Close { session } => Some(session),
             Request::Stats { session } => session.as_deref(),
-            Request::Metrics | Request::Shutdown => None,
+            Request::Metrics | Request::Trace { .. } | Request::Shutdown => None,
+        }
+    }
+
+    /// The canonical verb name, as stamped into request spans and
+    /// slow-exchange records.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "OPEN",
+            Request::Push { .. } | Request::PushTuple { .. } => "PUSH",
+            Request::Feed { .. } | Request::FeedTuple { .. } => "FEED",
+            Request::PushBatch { .. } => "PUSH_BATCH",
+            Request::Flush { .. } => "FLUSH",
+            Request::Stats { .. } => "STATS",
+            Request::Metrics => "METRICS",
+            Request::Trace { .. } => "TRACE",
+            Request::Sql { .. } => "SQL",
+            Request::Close { .. } => "CLOSE",
+            Request::Shutdown => "SHUTDOWN",
         }
     }
 }
@@ -347,6 +380,35 @@ pub fn parse_request(line: &str, open_body: Option<String>) -> Result<Request, P
                 Err(bad("METRICS takes no arguments"))
             }
         }
+        "TRACE" => {
+            let mut slow = false;
+            let mut k = DEFAULT_TRACE_K;
+            let mut tokens = rest.split_whitespace();
+            if let Some(mode) = tokens.next() {
+                match mode.to_ascii_lowercase().as_str() {
+                    "recent" => slow = false,
+                    "slow" => slow = true,
+                    other => {
+                        return Err(bad(format!(
+                            "TRACE: unknown mode `{other}` (TRACE [recent|slow] [K])"
+                        )))
+                    }
+                }
+            }
+            if let Some(count) = tokens.next() {
+                k = count
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|k| (1..=MAX_TRACE_K).contains(k))
+                    .ok_or_else(|| {
+                        bad(format!("TRACE: K must be an integer in 1..={MAX_TRACE_K}"))
+                    })?;
+            }
+            if tokens.next().is_some() {
+                return Err(bad("TRACE takes at most a mode and a count"));
+            }
+            Ok(Request::Trace { slow, k })
+        }
         "SQL" => Ok(Request::Sql {
             session: need_session(rest)?,
         }),
@@ -361,7 +423,7 @@ pub fn parse_request(line: &str, open_body: Option<String>) -> Result<Request, P
             }
         }
         other => Err(bad(format!(
-            "unknown command `{other}` (OPEN|PUSH|FEED|FLUSH|STATS|METRICS|SQL|CLOSE|SHUTDOWN)"
+            "unknown command `{other}` (OPEN|PUSH|FEED|FLUSH|STATS|METRICS|TRACE|SQL|CLOSE|SHUTDOWN)"
         ))),
     }
 }
@@ -417,6 +479,39 @@ mod tests {
         assert_eq!(parse_request("SHUTDOWN", None).unwrap(), Request::Shutdown);
         assert_eq!(parse_request("metrics", None).unwrap(), Request::Metrics);
         assert!(parse_request("METRICS t1", None).is_err());
+    }
+
+    #[test]
+    fn trace_modes_and_counts() {
+        assert_eq!(
+            parse_request("TRACE", None).unwrap(),
+            Request::Trace {
+                slow: false,
+                k: DEFAULT_TRACE_K
+            }
+        );
+        assert_eq!(
+            parse_request("trace slow 5", None).unwrap(),
+            Request::Trace { slow: true, k: 5 }
+        );
+        assert_eq!(
+            parse_request("TRACE recent 100", None).unwrap(),
+            Request::Trace {
+                slow: false,
+                k: 100
+            }
+        );
+        assert!(parse_request("TRACE weird", None).is_err());
+        assert!(parse_request("TRACE slow 0", None).is_err());
+        assert!(parse_request("TRACE slow 99999999", None).is_err());
+        assert!(parse_request("TRACE slow 5 extra", None).is_err());
+    }
+
+    #[test]
+    fn verbs_are_canonical() {
+        assert_eq!(parse_request("TRACE", None).unwrap().verb(), "TRACE");
+        assert_eq!(parse_request("PUSH t1 R: a", None).unwrap().verb(), "PUSH");
+        assert_eq!(Request::Shutdown.verb(), "SHUTDOWN");
     }
 
     #[test]

@@ -45,12 +45,15 @@ use sedex_net::{
     read_once, ByteQueue, Event, FrameDecoder, FrameEvent, Interest, Poller, ReadOutcome, Token,
     WriteBuf,
 };
+use sedex_observe::{ReqSpan, StageClock};
 
 use crate::protocol::{
     parse_hello, parse_request, Proto, Request, Response, MAX_LINE_BYTES, MAX_OPEN_BODY_BYTES,
     MAX_OPEN_BODY_LINES,
 };
-use crate::server::{busy_response, deadline_response, Done, Job, Shared, DEADLINE_REPLY_GRACE};
+use crate::server::{
+    busy_response, deadline_response, Done, Job, JobTrace, Shared, DEADLINE_REPLY_GRACE,
+};
 use crate::wire;
 
 /// Token of the listening socket.
@@ -75,6 +78,9 @@ enum Item {
         request: Request,
         proto: Proto,
         deadline: Option<Instant>,
+        /// Span-in-progress (read + parse stages measured); `None` whenever
+        /// tracing is disabled.
+        trace: Option<JobTrace>,
     },
     /// An answer the reactor produced itself (parse error, HELLO reply,
     /// oversize error). `count` is false for HELLO negotiation, which is
@@ -115,6 +121,11 @@ struct Conn {
     close_after_flush: bool,
     /// Interest currently registered with the poller.
     interest: Interest,
+    /// Socket-read nanoseconds not yet attributed to a request: a timed
+    /// read batch is charged to the first request parsed out of it (later
+    /// pipelined requests from the same batch read as 0). Stays 0 when
+    /// tracing is disabled.
+    read_pending_nanos: u64,
 }
 
 impl Conn {
@@ -133,6 +144,7 @@ impl Conn {
             read_closed: false,
             close_after_flush: false,
             interest: Interest::READ,
+            read_pending_nanos: 0,
         }
     }
 }
@@ -160,6 +172,10 @@ pub(crate) fn reactor_loop(
         next_token: FIRST_CONN,
         draining: false,
         window,
+        next_req_id: 0,
+        rbuf_hw: 0,
+        wbuf_hw: 0,
+        pipeline_hw: 0,
     };
     reactor.run();
 }
@@ -179,6 +195,15 @@ struct Reactor {
     next_token: u64,
     draining: bool,
     window: usize,
+    /// Monotonically-assigned request id, stamped on spans at frame
+    /// decode. Only advanced when tracing is on.
+    next_req_id: u64,
+    /// Reactor-local high-water marks mirrored into the
+    /// `sedex_reactor_*_highwater` gauges (updated only on a new max, so
+    /// the steady-state cost is a compare).
+    rbuf_hw: usize,
+    wbuf_hw: usize,
+    pipeline_hw: usize,
 }
 
 /// Outcome of trying to hand a job to the worker pool.
@@ -209,6 +234,10 @@ impl Reactor {
             return;
         }
         let mut events: Vec<Event> = Vec::new();
+        // Times the non-blocking span of one loop iteration (everything
+        // between a `wait` returning and the next `wait` parking). Inert —
+        // zero clock reads — unless tracing is on.
+        let mut busy = StageClock::off();
         loop {
             self.drain_done();
             if !self.draining && self.shared.shutdown.load(Ordering::SeqCst) {
@@ -220,10 +249,26 @@ impl Reactor {
                 break;
             }
             let timeout = self.next_timeout();
-            if self.poller.wait(&mut events, timeout).is_err() {
-                // Should not happen; avoid a hot error loop if it does.
-                std::thread::sleep(Duration::from_millis(5));
+            if busy.is_recording() {
+                self.shared
+                    .stats
+                    .reactor_loop_seconds
+                    .observe_nanos(busy.stop_nanos());
             }
+            match self.poller.wait(&mut events, timeout) {
+                Ok(woken) => {
+                    self.shared.stats.reactor_polls.inc();
+                    if woken {
+                        self.shared.stats.reactor_wakeups.inc();
+                    }
+                    self.shared.stats.reactor_events.add(events.len() as u64);
+                }
+                Err(_) => {
+                    // Should not happen; avoid a hot error loop if it does.
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            busy = StageClock::start(self.shared.recorder.is_some());
             for &ev in events.iter() {
                 if ev.token == LISTENER {
                     self.accept_ready();
@@ -257,26 +302,97 @@ impl Reactor {
     }
 
     fn on_done(&mut self, done: Done) {
+        let Done {
+            conn: token,
+            seq,
+            response,
+            trace,
+        } = done;
         let (proto, shutdown, expiry) = {
-            let Some(conn) = self.conns.get_mut(&done.conn) else {
+            let Some(conn) = self.conns.get_mut(&token) else {
                 return; // connection already gone (deadline or hangup)
             };
             match &conn.inflight {
-                Some(inf) if inf.seq == done.seq => {}
+                Some(inf) if inf.seq == seq => {}
                 _ => return, // stale completion
             }
             let inf = conn.inflight.take().expect("checked above");
             (inf.proto, inf.shutdown, inf.expiry)
         };
         if let Some(at) = expiry {
-            self.expiries.remove(&(at, done.conn));
+            self.expiries.remove(&(at, token));
         }
         // A served SHUTDOWN closes its own connection once the reply is out.
-        self.guarded(done.conn, |r| {
-            if r.write_response(done.conn, &done.response, proto, shutdown) {
-                r.pump(done.conn);
+        self.guarded(token, |r| {
+            // Traced requests flush eagerly so the span's flush stage
+            // covers render + queue + the push into the socket; with
+            // tracing off this is the untouched write-then-pump path.
+            let clk = StageClock::start(trace.is_some());
+            let alive = r.write_response(token, &response, proto, shutdown);
+            if alive && clk.is_recording() {
+                r.flush_conn(token);
+            }
+            if let Some(t) = trace {
+                let span = t.into_span(proto, clk.stop_nanos());
+                r.observe_stages(&span);
+                if let Some(rec) = &r.shared.recorder {
+                    rec.record(span);
+                }
+            }
+            if alive {
+                r.pump(token);
             }
         });
+    }
+
+    /// Feed one finished span into the per-proto × per-stage × per-verb
+    /// latency histograms (`sedex_stage_seconds`). Traced requests only.
+    fn observe_stages(&self, span: &ReqSpan) {
+        const STAGE_HELP: &str =
+            "Request lifecycle stage latency; recorded only while tracing is enabled.";
+        let stages = [
+            ("read", span.read_nanos),
+            ("parse", span.parse_nanos),
+            ("queue_wait", span.queue_nanos),
+            ("exec", span.exec_nanos),
+            ("flush", span.flush_nanos),
+        ];
+        for (stage, nanos) in stages {
+            self.shared
+                .registry
+                .histogram_with(
+                    "sedex_stage_seconds",
+                    STAGE_HELP,
+                    &[
+                        ("proto", span.proto),
+                        ("stage", stage),
+                        ("verb", &span.verb),
+                    ],
+                )
+                .observe_nanos(nanos);
+        }
+    }
+
+    /// Track per-connection buffer and pipeline-depth high-water marks,
+    /// mirroring new maxima into the reactor gauges. Steady-state cost is
+    /// three compares — no clock reads, no atomics unless a mark grows.
+    fn note_highwater(&mut self, token: u64) {
+        let Some(c) = self.conns.get(&token) else {
+            return;
+        };
+        let (rbuf, wbuf, depth) = (c.rbuf.len(), c.wbuf.len(), c.pending.len());
+        if rbuf > self.rbuf_hw {
+            self.rbuf_hw = rbuf;
+            self.shared.stats.reactor_rbuf_hw.set(rbuf as i64);
+        }
+        if wbuf > self.wbuf_hw {
+            self.wbuf_hw = wbuf;
+            self.shared.stats.reactor_wbuf_hw.set(wbuf as i64);
+        }
+        if depth > self.pipeline_hw {
+            self.pipeline_hw = depth;
+            self.shared.stats.reactor_pipeline_hw.set(depth as i64);
+        }
     }
 
     // --- accepting ----------------------------------------------------
@@ -366,6 +482,7 @@ impl Reactor {
     }
 
     fn conn_readable(&mut self, token: u64) {
+        let traced = self.shared.recorder.is_some();
         // Bound the bytes pulled per readiness event so one fast client
         // cannot starve the rest of the loop.
         let mut budget: usize = 1 << 20;
@@ -401,11 +518,15 @@ impl Reactor {
             }
             let outcome = {
                 let c = self.conns.get_mut(&token).expect("checked above");
+                let clk = StageClock::start(traced);
                 let (rbuf, stream) = (&mut c.rbuf, &c.stream);
-                read_once(&mut { stream }, rbuf, 64 * 1024)
+                let outcome = read_once(&mut { stream }, rbuf, 64 * 1024);
+                c.read_pending_nanos += clk.stop_nanos();
+                outcome
             };
             match outcome {
                 Ok(ReadOutcome::Data(n)) => {
+                    self.note_highwater(token);
                     self.parse_conn(token);
                     budget = budget.saturating_sub(n);
                     if budget == 0 {
@@ -426,6 +547,7 @@ impl Reactor {
             }
         }
         self.parse_conn(token);
+        self.note_highwater(token);
     }
 
     // --- parsing ------------------------------------------------------
@@ -433,6 +555,7 @@ impl Reactor {
     /// Turn buffered bytes into queue items, up to the pipeline window.
     fn parse_conn(&mut self, token: u64) {
         let timeout = self.shared.request_timeout;
+        let traced = self.shared.recorder.is_some();
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
@@ -441,40 +564,57 @@ impl Reactor {
                 return;
             }
             match conn.proto {
-                Proto::Binary => match conn.frames.decode(&mut conn.rbuf) {
-                    None => return,
-                    Some(FrameEvent::Oversized { opcode, declared }) => {
-                        // Binary framing resynchronizes: the decoder skips
-                        // the declared body and the connection stays up.
-                        conn.pending.push_back(Item::Ready {
-                            response: Response::err(format!(
-                                "TOO_LARGE frame body of {declared} bytes exceeds {} (opcode 0x{opcode:02x}); frame skipped",
-                                wire::MAX_FRAME_BYTES
-                            )),
-                            proto: Proto::Binary,
-                            close: false,
-                            count: true,
-                        });
-                    }
-                    Some(FrameEvent::Frame { opcode, payload }) => {
-                        match wire::decode_request(opcode, &payload) {
-                            Ok(request) => {
-                                let deadline = request_deadline(timeout, &request);
-                                conn.pending.push_back(Item::Req {
-                                    request,
-                                    proto: Proto::Binary,
-                                    deadline,
-                                });
-                            }
-                            Err(msg) => conn.pending.push_back(Item::Ready {
-                                response: Response::err(msg),
+                Proto::Binary => {
+                    let parse_clk = StageClock::start(traced);
+                    match conn.frames.decode(&mut conn.rbuf) {
+                        None => return,
+                        Some(FrameEvent::Oversized { opcode, declared }) => {
+                            // Binary framing resynchronizes: the decoder skips
+                            // the declared body and the connection stays up.
+                            conn.pending.push_back(Item::Ready {
+                                response: Response::err(format!(
+                                    "TOO_LARGE frame body of {declared} bytes exceeds {} (opcode 0x{opcode:02x}); frame skipped",
+                                    wire::MAX_FRAME_BYTES
+                                )),
                                 proto: Proto::Binary,
                                 close: false,
                                 count: true,
-                            }),
+                            });
+                        }
+                        Some(FrameEvent::Frame { opcode, payload }) => {
+                            match wire::decode_request(opcode, &payload) {
+                                Ok(request) => {
+                                    let deadline = request_deadline(timeout, &request);
+                                    let trace = if traced {
+                                        self.next_req_id += 1;
+                                        Some(JobTrace {
+                                            id: self.next_req_id,
+                                            read_nanos: std::mem::take(
+                                                &mut conn.read_pending_nanos,
+                                            ),
+                                            parse_nanos: parse_clk.stop_nanos(),
+                                            queued: Instant::now(),
+                                        })
+                                    } else {
+                                        None
+                                    };
+                                    conn.pending.push_back(Item::Req {
+                                        request,
+                                        proto: Proto::Binary,
+                                        deadline,
+                                        trace,
+                                    });
+                                }
+                                Err(msg) => conn.pending.push_back(Item::Ready {
+                                    response: Response::err(msg),
+                                    proto: Proto::Binary,
+                                    close: false,
+                                    count: true,
+                                }),
+                            }
                         }
                     }
-                },
+                }
                 Proto::Text => {
                     let newline = conn.rbuf.as_slice().iter().position(|&b| b == b'\n');
                     if newline.map_or(true, |i| i > MAX_LINE_BYTES) {
@@ -523,6 +663,7 @@ impl Reactor {
         if let Some(open) = &mut conn.open {
             if line.trim().eq_ignore_ascii_case("END") {
                 let oc = conn.open.take().expect("checked above");
+                let parse_clk = StageClock::start(self.shared.recorder.is_some());
                 let item = if oc.too_large {
                     Item::Ready {
                         response: Response::err(format!(
@@ -536,10 +677,12 @@ impl Reactor {
                     match parse_request(&oc.line, Some(oc.body)) {
                         Ok(request) => {
                             let deadline = request_deadline(timeout, &request);
+                            let trace = self.stamp_trace(token, parse_clk);
                             Item::Req {
                                 request,
                                 proto: Proto::Text,
                                 deadline,
+                                trace,
                             }
                         }
                         Err(e) => Item::Ready {
@@ -635,13 +778,16 @@ impl Reactor {
             });
             return;
         }
+        let parse_clk = StageClock::start(self.shared.recorder.is_some());
         let item = match parse_request(&line, None) {
             Ok(request) => {
                 let deadline = request_deadline(timeout, &request);
+                let trace = self.stamp_trace(token, parse_clk);
                 Item::Req {
                     request,
                     proto: Proto::Text,
                     deadline,
+                    trace,
                 }
             }
             Err(e) => Item::Ready {
@@ -654,6 +800,24 @@ impl Reactor {
         if let Some(c) = self.conns.get_mut(&token) {
             c.pending.push_back(item);
         }
+    }
+
+    /// Stamp a fresh span for a request just parsed on `token`: assigns
+    /// the next request id, claims the connection's unattributed read
+    /// nanoseconds, and closes the parse stage. `None` with tracing off.
+    fn stamp_trace(&mut self, token: u64, parse_clk: StageClock) -> Option<JobTrace> {
+        self.shared.recorder.as_ref()?;
+        self.next_req_id += 1;
+        let read_nanos = self
+            .conns
+            .get_mut(&token)
+            .map_or(0, |c| std::mem::take(&mut c.read_pending_nanos));
+        Some(JobTrace {
+            id: self.next_req_id,
+            read_nanos,
+            parse_nanos: parse_clk.stop_nanos(),
+            queued: Instant::now(),
+        })
     }
 
     // --- dispatch -----------------------------------------------------
@@ -751,6 +915,7 @@ impl Reactor {
                     request,
                     proto,
                     deadline,
+                    trace,
                 } => {
                     // Expired while queued behind earlier pipelined
                     // requests: answer without executing, keep the
@@ -798,6 +963,7 @@ impl Reactor {
                         conn: token,
                         seq,
                         deadline,
+                        trace,
                     };
                     match self.try_dispatch(token, job) {
                         Dispatch::Sent => continue,
@@ -840,6 +1006,7 @@ impl Reactor {
             Err(TrySendError::Full(job)) => {
                 // Queue full: park the job and stop reading this socket
                 // until a worker completion frees a slot (backpressure).
+                self.shared.stats.reactor_parks.inc();
                 if let Some(c) = self.conns.get_mut(&token) {
                     c.stalled = Some(job);
                 }
@@ -909,6 +1076,7 @@ impl Reactor {
                 }
             }
         }
+        self.note_highwater(token);
         true
     }
 

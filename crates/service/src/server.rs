@@ -37,7 +37,8 @@ use sedex_durable::{
 };
 use sedex_net::{Poller, Waker};
 use sedex_observe::{
-    render_prometheus, Counter, Gauge, Histogram, MetricsRegistry, RegistryObserver,
+    render_prometheus, Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry,
+    RegistryObserver, ReqSpan,
 };
 use sedex_scenarios::textfmt;
 use sedex_storage::{Instance, Tuple};
@@ -121,6 +122,14 @@ pub struct ServerConfig {
     /// requests of one connection never execute concurrently — the window
     /// only saves round-trips.
     pub pipeline_window: usize,
+    /// Request-lifecycle tracing: keep the last N completed request spans
+    /// (`read→parse→queue_wait→exec→flush`) in an in-memory flight
+    /// recorder, served by the `TRACE` verb, and feed per-verb × per-proto
+    /// stage-latency histograms into the registry. `0` (the default)
+    /// disables tracing entirely — the request hot path then performs no
+    /// additional clock reads or atomics, per the observability
+    /// convention.
+    pub trace_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +155,7 @@ impl Default for ServerConfig {
             shed_queue_depth: 0,
             fault_plan: None,
             pipeline_window: 128,
+            trace_buffer: 0,
         }
     }
 }
@@ -204,6 +214,32 @@ pub struct ServerStats {
     /// Requests answered on binary-protocol connections
     /// (`sedex_service_proto_requests_total{proto="binary"}`).
     pub proto_binary: Arc<Counter>,
+    /// Reactor `Poller::wait` returns (`sedex_reactor_polls_total`).
+    pub reactor_polls: Arc<Counter>,
+    /// Waits interrupted by the cross-thread waker
+    /// (`sedex_reactor_wakeups_total`).
+    pub reactor_wakeups: Arc<Counter>,
+    /// Readiness events delivered across all waits
+    /// (`sedex_reactor_events_total`); divided by polls this is the
+    /// events-per-wake average.
+    pub reactor_events: Arc<Counter>,
+    /// Jobs parked because the bounded worker queue was full — the
+    /// connection's reads pause until a completion drains
+    /// (`sedex_reactor_backpressure_parks_total`).
+    pub reactor_parks: Arc<Counter>,
+    /// Largest per-connection read buffer observed, bytes
+    /// (`sedex_reactor_rbuf_highwater_bytes`).
+    pub reactor_rbuf_hw: Arc<Gauge>,
+    /// Largest per-connection write buffer observed, bytes
+    /// (`sedex_reactor_wbuf_highwater_bytes`).
+    pub reactor_wbuf_hw: Arc<Gauge>,
+    /// Deepest parsed-but-unanswered pipeline observed on one connection
+    /// (`sedex_reactor_pipeline_depth_highwater`).
+    pub reactor_pipeline_hw: Arc<Gauge>,
+    /// Reactor loop-iteration latency — wait return to next wait entry
+    /// (`sedex_reactor_loop_seconds`). Only fed when tracing is enabled:
+    /// timing every iteration needs two clock reads per loop.
+    pub reactor_loop_seconds: Arc<Histogram>,
 }
 
 impl ServerStats {
@@ -265,6 +301,38 @@ impl ServerStats {
                 "sedex_service_proto_requests_total",
                 "Requests answered, by negotiated protocol",
                 &[("proto", "binary")],
+            ),
+            reactor_polls: registry.counter(
+                "sedex_reactor_polls_total",
+                "Reactor poll returns (epoll/poll wait calls completed)",
+            ),
+            reactor_wakeups: registry.counter(
+                "sedex_reactor_wakeups_total",
+                "Reactor waits interrupted by the cross-thread waker",
+            ),
+            reactor_events: registry.counter(
+                "sedex_reactor_events_total",
+                "Readiness events delivered to the reactor",
+            ),
+            reactor_parks: registry.counter(
+                "sedex_reactor_backpressure_parks_total",
+                "Jobs parked because the bounded worker queue was full",
+            ),
+            reactor_rbuf_hw: registry.gauge(
+                "sedex_reactor_rbuf_highwater_bytes",
+                "Largest per-connection read buffer observed",
+            ),
+            reactor_wbuf_hw: registry.gauge(
+                "sedex_reactor_wbuf_highwater_bytes",
+                "Largest per-connection write buffer observed",
+            ),
+            reactor_pipeline_hw: registry.gauge(
+                "sedex_reactor_pipeline_depth_highwater",
+                "Deepest parsed-but-unanswered pipeline on one connection",
+            ),
+            reactor_loop_seconds: registry.histogram(
+                "sedex_reactor_loop_seconds",
+                "Reactor loop-iteration latency (fed only with tracing on)",
             ),
         }
     }
@@ -328,6 +396,12 @@ pub(crate) struct Shared {
     /// no sessions at all (an idle server does zero periodic wakeups) and
     /// is notified on the first `OPEN` and at shutdown.
     pub(crate) sweep_signal: (Mutex<bool>, Condvar),
+    /// Request-lifecycle flight recorder; `Some` only when the server was
+    /// started with `trace_buffer > 0`. Everything span-related — request
+    /// ids, stage clocks, ring writes, stage histograms — is gated on
+    /// this being `Some`, keeping the default hot path free of extra
+    /// clock reads and atomics.
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Shared {
@@ -354,6 +428,23 @@ pub(crate) struct Job {
     /// Instant by which the client must have an answer (`None` when the
     /// server runs without `request_timeout`). Shutdown jobs carry none.
     pub(crate) deadline: Option<Instant>,
+    /// Span-in-progress carried from the reactor; `None` whenever tracing
+    /// is disabled.
+    pub(crate) trace: Option<JobTrace>,
+}
+
+/// The reactor-side half of a request span: stamped at frame decode,
+/// completed by the worker and the reply flush.
+pub(crate) struct JobTrace {
+    /// Monotonically-assigned request id.
+    pub(crate) id: u64,
+    /// Socket-read nanoseconds attributed to this request.
+    pub(crate) read_nanos: u64,
+    /// Frame/line decode nanoseconds.
+    pub(crate) parse_nanos: u64,
+    /// When parsing finished (queue_wait starts here and covers both the
+    /// connection's pipeline queue and the bounded worker queue).
+    pub(crate) queued: Instant,
 }
 
 /// A finished job, flowing back from a worker to the reactor.
@@ -361,6 +452,38 @@ pub(crate) struct Done {
     pub(crate) conn: u64,
     pub(crate) seq: u64,
     pub(crate) response: Response,
+    /// Worker-completed span, for the reactor to finish (flush stage) and
+    /// commit to the flight recorder. `None` whenever tracing is disabled.
+    pub(crate) trace: Option<DoneTrace>,
+}
+
+/// The worker-side half of a request span.
+pub(crate) struct DoneTrace {
+    pub(crate) id: u64,
+    pub(crate) verb: &'static str,
+    pub(crate) session: String,
+    pub(crate) read_nanos: u64,
+    pub(crate) parse_nanos: u64,
+    pub(crate) queue_nanos: u64,
+    pub(crate) exec_nanos: u64,
+}
+
+impl DoneTrace {
+    /// Attach the reactor-measured flush stage, yielding the finished
+    /// span for the flight recorder.
+    pub(crate) fn into_span(self, proto: Proto, flush_nanos: u64) -> ReqSpan {
+        ReqSpan {
+            id: self.id,
+            proto: proto.name(),
+            verb: self.verb.to_owned(),
+            session: self.session,
+            read_nanos: self.read_nanos,
+            parse_nanos: self.parse_nanos,
+            queue_nanos: self.queue_nanos,
+            exec_nanos: self.exec_nanos,
+            flush_nanos,
+        }
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server —
@@ -429,6 +552,8 @@ impl Server {
             faults: cfg.fault_plan.clone(),
             waker,
             sweep_signal: (Mutex::new(false), Condvar::new()),
+            recorder: (cfg.trace_buffer > 0)
+                .then(|| Arc::new(FlightRecorder::new(cfg.trace_buffer))),
         });
         if shared.durability.is_some() {
             // Re-persist recovered state under the current shard mapping
@@ -613,14 +738,32 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, done_tx: &Sender<Done>, shared: &
             shared.stats.requests.inc();
             shared.stats.errors.inc();
             shared.stats.count_proto(job.proto);
+            // An expired job still yields a span (exec stays 0) — the
+            // flight recorder should show *where* the budget went.
+            let trace = job.trace.map(|t| DoneTrace {
+                id: t.id,
+                verb: job.request.verb(),
+                session: job.request.session().unwrap_or("-").to_owned(),
+                read_nanos: t.read_nanos,
+                parse_nanos: t.parse_nanos,
+                queue_nanos: t.queued.elapsed().as_nanos() as u64,
+                exec_nanos: 0,
+            });
             let _ = done_tx.send(Done {
                 conn: job.conn,
                 seq: job.seq,
                 response: deadline_response(shared),
+                trace,
             });
             shared.waker.wake();
             continue;
         }
+        // Queue wait ends here; the clock was only read at enqueue when
+        // tracing is on, so this costs nothing by default.
+        let queue_nanos = job
+            .trace
+            .as_ref()
+            .map(|t| t.queued.elapsed().as_nanos() as u64);
         shared.stats.workers_busy.inc();
         let t0 = Instant::now();
         // Panic isolation: a panicking execution unwinds through the
@@ -652,19 +795,33 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, done_tx: &Sender<Done>, shared: &
                 ))
             }
         };
-        shared.stats.request_seconds.observe(t0.elapsed());
+        let elapsed = t0.elapsed();
+        shared.stats.request_seconds.observe(elapsed);
         shared.stats.workers_busy.dec();
         shared.stats.requests.inc();
         if !response.ok {
             shared.stats.errors.inc();
         }
         shared.stats.count_proto(job.proto);
+        // The exec stage reuses the same measurement the worker histogram
+        // records, so span exec sums and `sedex_request_seconds` agree by
+        // construction.
+        let trace = job.trace.map(|t| DoneTrace {
+            id: t.id,
+            verb: job.request.verb(),
+            session: job.request.session().unwrap_or("-").to_owned(),
+            read_nanos: t.read_nanos,
+            parse_nanos: t.parse_nanos,
+            queue_nanos: queue_nanos.unwrap_or(0),
+            exec_nanos: elapsed.as_nanos() as u64,
+        });
         // The reactor may have dropped the connection while the job was
         // queued; it matches `conn`/`seq` and discards stale answers.
         let _ = done_tx.send(Done {
             conn: job.conn,
             seq: job.seq,
             response,
+            trace,
         });
         shared.waker.wake();
     }
@@ -751,7 +908,7 @@ fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
             // and logged, exactly as if pushed one by one.
             let durable = shared.durability.is_some();
             let total = rows.len();
-            let resp = run_on_session(shared, session, |t| {
+            let resp = run_on_session(shared, session, "PUSH_BATCH", |t| {
                 for (i, (rel, tuple)) in rows.iter().enumerate() {
                     shared.stats.tuples_in.inc();
                     t.session
@@ -794,7 +951,7 @@ fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
         }
         Request::Flush { session } => {
             let durable = shared.durability.is_some();
-            let resp = run_on_session(shared, session, |t| {
+            let resp = run_on_session(shared, session, "FLUSH", |t| {
                 t.session.exchange_pending().map_err(|e| e.to_string())?;
                 if durable {
                     for (key, script) in t.session.take_new_scripts() {
@@ -831,7 +988,7 @@ fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
         Request::Stats { session: None } => server_stats(shared, proto),
         Request::Stats {
             session: Some(name),
-        } => run_on_session(shared, name, |t| {
+        } => run_on_session(shared, name, "STATS", |t| {
             let r = t.session.report_snapshot();
             let mut resp = Response::ok_with(format!("stats {name}"), r.verbose());
             resp.lines.push(format!(
@@ -842,7 +999,7 @@ fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
             ));
             Ok(resp)
         }),
-        Request::Sql { session } => run_on_session(shared, session, |t| {
+        Request::Sql { session } => run_on_session(shared, session, "SQL", |t| {
             let sql = sql_dump(t.session.target());
             Ok(Response::ok_with(format!("sql {session}"), sql.trim_end()))
         }),
@@ -850,6 +1007,27 @@ fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
             refresh_session_gauges(shared);
             Response::ok_with("metrics", render_prometheus(&shared.registry).trim_end())
         }
+        Request::Trace { slow, k } => match &shared.recorder {
+            None => Response::err(
+                "tracing disabled (start the server with --trace-buffer N to record request spans)",
+            ),
+            Some(rec) => {
+                let spans = if *slow {
+                    rec.slowest(*k as usize)
+                } else {
+                    rec.recent(*k as usize)
+                };
+                let mut resp = Response::ok(format!(
+                    "trace {} {} spans of {} recorded (capacity {})",
+                    if *slow { "slow" } else { "recent" },
+                    spans.len(),
+                    rec.recorded(),
+                    rec.capacity(),
+                ));
+                resp.lines = spans.iter().map(ReqSpan::render).collect();
+                resp
+            }
+        },
         Request::Close { session } => {
             // The Close record is appended while the map write lock is still
             // held: a re-OPEN of the same name must take that lock first, so
@@ -884,7 +1062,7 @@ fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
 /// and any new scripts while the tenant lock is held.
 fn push_parsed(shared: &Shared, session: &str, rel: &str, tuple: Tuple) -> Response {
     let durable = shared.durability.is_some();
-    let resp = run_on_session(shared, session, |t| {
+    let resp = run_on_session(shared, session, "PUSH", |t| {
         t.session
             .exchange_tuple(rel, tuple.clone())
             .map_err(|e| e.to_string())?;
@@ -927,7 +1105,7 @@ fn push_parsed(shared: &Shared, session: &str, rel: &str, tuple: Tuple) -> Respo
 
 /// The shared tail of `FEED` (text) and the binary tuple feed.
 fn feed_parsed(shared: &Shared, session: &str, rel: &str, tuple: Tuple) -> Response {
-    let resp = run_on_session(shared, session, |t| {
+    let resp = run_on_session(shared, session, "FEED", |t| {
         t.session
             .feed(rel, tuple.clone())
             .map_err(|e| e.to_string())?;
@@ -952,10 +1130,14 @@ fn feed_parsed(shared: &Shared, session: &str, rel: &str, tuple: Tuple) -> Respo
 fn run_on_session(
     shared: &Shared,
     name: &str,
+    verb: &'static str,
     f: impl FnOnce(&mut crate::manager::Tenant) -> Result<Response, String>,
 ) -> Response {
     let faults = shared.faults.clone();
     match shared.manager.with_tenant(name, move |t| {
+        // Stamp the driving verb so a slow-exchange record fired inside
+        // this request names it (`slow_exchange … session=… verb=…`).
+        t.session.set_verb(Some(verb));
         // The session-work fault point fires while the tenant mutex is
         // held: an injected Panic unwinds through the guard and poisons
         // exactly this session; injected Latency makes this a slow request
@@ -1226,6 +1408,25 @@ fn server_stats(shared: &Shared, proto: Proto) -> Response {
         s.request_seconds.quantile(0.9),
         s.request_seconds.quantile(0.99),
         s.request_seconds.count(),
+    ));
+    let tracing = match &shared.recorder {
+        Some(rec) => format!(
+            "tracing on (buffer {}, {} spans recorded)",
+            rec.capacity(),
+            rec.recorded()
+        ),
+        None => "tracing off".to_owned(),
+    };
+    lines.push(format!(
+        "reactor: {} polls ({} wakeups, {} events), {} backpressure parks | highwater: rbuf {}B, wbuf {}B, pipeline {} | {}",
+        s.reactor_polls.get(),
+        s.reactor_wakeups.get(),
+        s.reactor_events.get(),
+        s.reactor_parks.get(),
+        s.reactor_rbuf_hw.get().max(0),
+        s.reactor_wbuf_hw.get().max(0),
+        s.reactor_pipeline_hw.get().max(0),
+        tracing,
     ));
     let mut robustness = format!(
         "robustness: {} deadline timeouts, {} shed, {} panics",

@@ -23,7 +23,7 @@ use sedex_storage::codec::{
 };
 use sedex_storage::Tuple;
 
-use crate::protocol::{valid_session_name, Request, Response, MAX_BATCH_ROWS};
+use crate::protocol::{valid_session_name, Request, Response, MAX_BATCH_ROWS, MAX_TRACE_K};
 
 /// Cap on one frame's body. Far above any sane request (a full `OPEN`
 /// scenario body tops out at 8 MB) while bounding per-connection buffering.
@@ -51,6 +51,8 @@ pub const OP_CLOSE: u8 = 0x08;
 pub const OP_SHUTDOWN: u8 = 0x09;
 /// Batched `PUSH`: body = session + `(relation, tuple)` rows.
 pub const OP_PUSH_BATCH: u8 = 0x0A;
+/// `TRACE`: body = slow flag (u8) + span count (u32).
+pub const OP_TRACE: u8 = 0x0B;
 
 /// Success response: body = head string + body lines.
 pub const OP_RESP_OK: u8 = 0x80;
@@ -128,6 +130,11 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, String> {
             OP_STATS
         }
         Request::Metrics => OP_METRICS,
+        Request::Trace { slow, k } => {
+            w.put_u8(u8::from(*slow));
+            w.put_u32(*k);
+            OP_TRACE
+        }
         Request::Sql { session } => {
             w.put_str(session);
             OP_SQL
@@ -216,6 +223,18 @@ pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, String> {
             Request::Stats { session: sess }
         }
         OP_METRICS => Request::Metrics,
+        OP_TRACE => {
+            let slow = match r.get_u8().map_err(|e| e.to_string())? {
+                0 => false,
+                1 => true,
+                other => return Err(format!("TRACE: bad slow flag {other}")),
+            };
+            let k = r.get_u32().map_err(|e| e.to_string())?;
+            if !(1..=MAX_TRACE_K).contains(&k) {
+                return Err(format!("TRACE: K must be in 1..={MAX_TRACE_K}"));
+            }
+            Request::Trace { slow, k }
+        }
         OP_SQL => Request::Sql {
             session: session(&mut r)?,
         },
@@ -330,6 +349,8 @@ mod tests {
             session: Some("t1".into()),
         });
         roundtrip(Request::Metrics);
+        roundtrip(Request::Trace { slow: false, k: 10 });
+        roundtrip(Request::Trace { slow: true, k: 1 });
         roundtrip(Request::Sql {
             session: "t1".into(),
         });
@@ -407,5 +428,18 @@ mod tests {
         assert!(decode_request(OP_PUSH_BATCH, &w.into_bytes())
             .unwrap_err()
             .contains("exceeds cap"));
+        // TRACE flag and count are validated.
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(5);
+        assert!(decode_request(OP_TRACE, &w.into_bytes()).is_err());
+        let mut w = ByteWriter::new();
+        w.put_u8(0);
+        w.put_u32(0);
+        assert!(decode_request(OP_TRACE, &w.into_bytes()).is_err());
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u32(MAX_TRACE_K + 1);
+        assert!(decode_request(OP_TRACE, &w.into_bytes()).is_err());
     }
 }

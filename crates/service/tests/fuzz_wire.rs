@@ -155,8 +155,8 @@ fn multibyte_bytes_near_the_open_prefix_get_err_not_panic() {
     let handle = start_server();
     let addr = handle.local_addr();
     for line in [
-        b"OPE\xC3\xA9 demo\n".to_vec(),  // 2-byte 'é' straddles byte index 4
-        b"OPE\xFF demo\n".to_vec(),      // invalid byte -> 3-byte U+FFFD at 3..6
+        b"OPE\xC3\xA9 demo\n".to_vec(), // 2-byte 'é' straddles byte index 4
+        b"OPE\xFF demo\n".to_vec(),     // invalid byte -> 3-byte U+FFFD at 3..6
         b"O\xC3\xA9\xC3\xA9 demo\n".to_vec(), // second 'é' straddles index 4
     ] {
         let response = slam(addr, &line);

@@ -1,0 +1,251 @@
+//! Request-lifecycle tracing end to end: the flight recorder, the `TRACE`
+//! verb, stage histograms, and the reactor runtime gauges — over both wire
+//! protocols.
+//!
+//! The exec-stage consistency assertions work because the worker feeds the
+//! *same* measured duration to `sedex_request_seconds` and to the span's
+//! exec stage: summing `exec_us` over the recorded spans must reproduce the
+//! histogram's `_sum` (modulo the requests that complete after the METRICS
+//! snapshot was rendered).
+
+use std::collections::HashMap;
+
+use sedex_service::{Client, ClientConfig, Server, ServerConfig, ServerHandle};
+
+const SCENARIO: &str = "\
+[source]
+Dep(dname*, building)
+Student(sname*, program, dep->Dep)
+
+[target]
+Stu(student*, prog, dpt)
+
+[correspondences]
+sname <-> student
+program <-> prog
+dep <-> dpt
+";
+
+fn start_server(trace_buffer: usize) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        metrics: true,
+        trace_buffer,
+        ..ServerConfig::default()
+    })
+    .expect("server start")
+}
+
+fn connect(handle: &ServerHandle, binary: bool) -> Client {
+    let cfg = ClientConfig {
+        binary,
+        ..ClientConfig::default()
+    };
+    Client::connect_with(handle.local_addr(), cfg).expect("client connect")
+}
+
+/// Parse one `span id=… proto=… … total_us=…` record into its fields.
+fn span_fields(line: &str) -> HashMap<String, String> {
+    line.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .map(|(k, v)| (k.to_owned(), v.to_owned()))
+        .collect()
+}
+
+fn micros(span: &HashMap<String, String>, key: &str) -> f64 {
+    span.get(key)
+        .unwrap_or_else(|| panic!("span missing `{key}`: {span:?}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("span field `{key}` not a number ({e}): {span:?}"))
+}
+
+/// First sample value of `name` in a Prometheus exposition.
+fn prom_value(exposition: &str, name: &str) -> f64 {
+    exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| {
+            l.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+        })
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric `{name}` not found in exposition"))
+}
+
+#[test]
+fn trace_is_refused_and_costs_nothing_when_tracing_is_off() {
+    let handle = start_server(0);
+    let mut c = connect(&handle, false);
+
+    c.open("t0", SCENARIO).unwrap().into_ok().unwrap();
+    c.push("t0", "Student: s1, p1, d1").unwrap();
+
+    let r = c.trace(false, 5).unwrap();
+    assert!(!r.ok, "TRACE must fail with tracing off: {}", r.head);
+    assert!(r.head.contains("--trace-buffer"), "{}", r.head);
+
+    // Zero-overhead-by-default: no stage histograms were ever created and
+    // the loop-latency histogram was never fed — the reactor read no
+    // clocks for tracing. The always-on reactor counters still move.
+    let m = c.metrics().unwrap().into_ok().unwrap().body();
+    assert!(
+        !m.contains("sedex_stage_seconds"),
+        "stage histograms must not exist untraced"
+    );
+    assert_eq!(
+        prom_value(&m, "sedex_reactor_loop_seconds_count"),
+        0.0,
+        "loop latency must not be measured untraced"
+    );
+    assert!(prom_value(&m, "sedex_reactor_polls_total") > 0.0);
+
+    handle.shutdown();
+}
+
+/// Drive a handful of requests over one transport and check every tracing
+/// surface: span shape, recency order, slow-K order, stage/exec sums
+/// against the worker histogram, and the reactor gauges.
+fn traced_roundtrip(binary: bool) {
+    let proto = if binary { "binary" } else { "text" };
+    let handle = start_server(64);
+    let mut c = connect(&handle, binary);
+
+    c.open("acme", SCENARIO).unwrap().into_ok().unwrap();
+    c.feed("acme", "Dep: d1, b1").unwrap().into_ok().unwrap();
+    for i in 0..5 {
+        c.push("acme", &format!("Student: s{i}, p1, d1"))
+            .unwrap()
+            .into_ok()
+            .unwrap();
+    }
+    c.flush_session("acme").unwrap().into_ok().unwrap();
+
+    // Snapshot the worker-side histogram *before* TRACE executes. The
+    // METRICS request's own execution is observed only after its reply is
+    // rendered, so the snapshot covers exactly the 8 requests above.
+    let m = c.metrics().unwrap().into_ok().unwrap().body();
+    let hist_sum = prom_value(&m, "sedex_request_seconds_sum");
+    let hist_count = prom_value(&m, "sedex_request_seconds_count");
+    assert_eq!(hist_count, 8.0, "open + feed + 5 push + flush");
+
+    // Stage histograms exist per proto × stage × verb.
+    for stage in ["read", "parse", "queue_wait", "exec", "flush"] {
+        let series = format!("proto=\"{proto}\",stage=\"{stage}\",verb=\"PUSH\"");
+        assert!(
+            m.contains(&series),
+            "missing stage series {series} in:\n{m}"
+        );
+    }
+    // Reactor runtime introspection is live.
+    assert!(prom_value(&m, "sedex_reactor_polls_total") > 0.0);
+    assert!(prom_value(&m, "sedex_reactor_events_total") > 0.0);
+    assert!(prom_value(&m, "sedex_reactor_rbuf_highwater_bytes") > 0.0);
+    assert!(prom_value(&m, "sedex_reactor_loop_seconds_count") > 0.0);
+
+    // By the time the TRACE request executes, every earlier request's span
+    // (the 8 above plus METRICS) has been flushed and recorded; TRACE's
+    // own span is still open and must not appear.
+    let reply = c.trace(false, 64).unwrap().into_ok().unwrap();
+    assert!(reply.head.contains("trace recent"), "{}", reply.head);
+    let spans: Vec<_> = reply.lines.iter().map(|l| span_fields(l)).collect();
+    assert_eq!(spans.len(), 9, "8 requests + METRICS:\n{}", reply.body());
+
+    for span in &spans {
+        for key in [
+            "id", "proto", "verb", "session", "read_us", "parse_us", "queue_us", "exec_us",
+            "flush_us", "total_us",
+        ] {
+            assert!(span.contains_key(key), "span missing `{key}`: {span:?}");
+        }
+        assert_eq!(span["proto"], proto);
+        assert!(
+            micros(span, "total_us") >= micros(span, "exec_us"),
+            "total covers exec: {span:?}"
+        );
+    }
+    // Newest first, ids strictly decreasing and monotonically assigned.
+    let ids: Vec<f64> = spans.iter().map(|s| micros(s, "id")).collect();
+    assert!(ids.windows(2).all(|w| w[0] > w[1]), "recent order: {ids:?}");
+    // Multi-tenant attribution: requests against the session carry its
+    // name; METRICS is session-less.
+    assert!(spans
+        .iter()
+        .filter(|s| s["verb"] == "PUSH")
+        .all(|s| s["session"] == "acme"));
+    assert!(spans
+        .iter()
+        .filter(|s| s["verb"] == "METRICS")
+        .all(|s| s["session"] == "-"));
+
+    // The consistency check from the worker side: exec stages reuse the
+    // exact duration observed into `sedex_request_seconds`, so the span
+    // sum (excluding METRICS, observed after the snapshot) reproduces the
+    // histogram sum to float-print precision.
+    let exec_sum: f64 = spans
+        .iter()
+        .filter(|s| s["verb"] != "METRICS")
+        .map(|s| micros(s, "exec_us"))
+        .sum::<f64>()
+        / 1e6;
+    assert!(
+        (exec_sum - hist_sum).abs() < 1e-4,
+        "span exec sum {exec_sum}s vs histogram sum {hist_sum}s"
+    );
+
+    // Slow-K: sorted by total, and a K smaller than the recorded set
+    // truncates.
+    let reply = c.trace(true, 3).unwrap().into_ok().unwrap();
+    assert!(reply.head.contains("trace slow"), "{}", reply.head);
+    let slow: Vec<_> = reply.lines.iter().map(|l| span_fields(l)).collect();
+    assert_eq!(slow.len(), 3);
+    let totals: Vec<f64> = slow.iter().map(|s| micros(s, "total_us")).collect();
+    assert!(
+        totals.windows(2).all(|w| w[0] >= w[1]),
+        "slow order: {totals:?}"
+    );
+
+    // STATS surfaces the reactor and tracing lines for operators.
+    let stats = c.stats(None).unwrap().into_ok().unwrap().body();
+    assert!(stats.contains("reactor:"), "{stats}");
+    assert!(stats.contains("tracing on (buffer 64"), "{stats}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn traced_spans_are_consistent_over_text() {
+    traced_roundtrip(false);
+}
+
+#[test]
+fn traced_spans_are_consistent_over_binary() {
+    traced_roundtrip(true);
+}
+
+#[test]
+fn flight_recorder_wraps_and_keeps_the_newest_spans_over_the_wire() {
+    let handle = start_server(4);
+    let mut c = connect(&handle, false);
+
+    c.open("acme", SCENARIO).unwrap().into_ok().unwrap();
+    for i in 0..10 {
+        c.feed("acme", &format!("Student: s{i}, p1, d1"))
+            .unwrap()
+            .into_ok()
+            .unwrap();
+    }
+    let reply = c.trace(false, 64).unwrap().into_ok().unwrap();
+    assert!(
+        reply.head.contains("(capacity 4)"),
+        "head reports capacity: {}",
+        reply.head
+    );
+    let spans: Vec<_> = reply.lines.iter().map(|l| span_fields(l)).collect();
+    assert_eq!(spans.len(), 4, "ring keeps capacity spans");
+    // The survivors are the newest: the last FEEDs, not the OPEN.
+    assert!(spans.iter().all(|s| s["verb"] == "FEED"), "{spans:?}");
+
+    handle.shutdown();
+}
