@@ -16,11 +16,18 @@
 //! pipelined/batched modes (that *is* the unit a client waits on there),
 //! so the serial and burst figures are not directly comparable to each
 //! other, only to their own trajectory across PRs.
+//!
+//! The final mode, `cluster_routed`, drives the same serial workload
+//! through a [`ClusterClient`] against two in-process cluster nodes,
+//! spreading sessions across both: its gap to `text_serial` is the price
+//! of ownership gating plus client-side ring resolution.
 
 use std::time::{Duration, Instant};
 
 use sedex_bench::print_table;
-use sedex_service::{Client, ClientConfig, Server, ServerConfig, ServerHandle};
+use sedex_service::{
+    Client, ClientConfig, ClusterClient, ClusterConfig, Server, ServerConfig, ServerHandle,
+};
 
 const SCENARIO: &str = "\
 [source]
@@ -41,6 +48,9 @@ dep <-> dpt
 const TUPLES: usize = 2_000;
 /// Pipelined/batched burst size.
 const BURST: usize = 200;
+/// Sessions the cluster mode spreads its pushes across, so both nodes
+/// own a share of the traffic and the ring actually routes.
+const CLUSTER_SESSIONS: usize = 4;
 
 #[derive(Clone, Copy, Debug)]
 enum Mode {
@@ -135,6 +145,70 @@ fn run_mode(handle: &ServerHandle, mode: Mode, round: usize) -> (Duration, Vec<D
     (elapsed, samples)
 }
 
+/// One measured cluster run: open `CLUSTER_SESSIONS` fresh sessions
+/// through a [`ClusterClient`] bootstrapped from node `a`, then push
+/// `TUPLES` tuples round-robin across them — every push resolves its
+/// owner on the client-side ring, so both nodes serve a share.
+fn run_cluster(seed: &str, round: usize) -> (Duration, Vec<Duration>) {
+    let mut cc = ClusterClient::connect(seed).expect("cluster connect");
+    let sessions: Vec<String> = (0..CLUSTER_SESSIONS)
+        .map(|k| format!("cluster_routed-{round}-{k}"))
+        .collect();
+    for s in &sessions {
+        cc.open(s, SCENARIO).unwrap().into_ok().unwrap();
+        cc.feed(s, "Dep: d0, b0").unwrap().into_ok().unwrap();
+    }
+    let lines = data_lines(TUPLES);
+
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    for (j, line) in lines.iter().enumerate() {
+        let t = Instant::now();
+        cc.push(&sessions[j % sessions.len()], line)
+            .unwrap()
+            .into_ok()
+            .unwrap();
+        samples.push(t.elapsed());
+    }
+    let elapsed = start.elapsed();
+    for s in &sessions {
+        cc.close(s).unwrap().into_ok().unwrap();
+    }
+    (elapsed, samples)
+}
+
+/// Start a two-node cluster on loopback and wait until both nodes agree
+/// the ring has formed. Returns the handles plus node `a`'s address.
+fn start_cluster() -> (ServerHandle, ServerHandle, String) {
+    let node = |id: &str, peers: Vec<String>| {
+        Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            cluster: Some(ClusterConfig {
+                node_id: id.to_owned(),
+                peers,
+                ..ClusterConfig::default()
+            }),
+            ..ServerConfig::default()
+        })
+        .expect("cluster node start")
+    };
+    let a = node("a", Vec::new());
+    let a_addr = a.local_addr().to_string();
+    let b = node("b", vec![a_addr.clone()]);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut c = Client::connect(a_addr.as_str()).expect("formation probe");
+        let reply = c.cluster().expect("CLUSTER");
+        if reply.ok && reply.head.contains("(2 nodes, 2 alive)") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cluster formation timed out");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    (a, b, a_addr)
+}
+
 /// Exact percentile over the measured samples (nearest-rank on the sorted
 /// set — no interpolation, these are real observations).
 fn percentile(sorted: &[Duration], pct: usize) -> Duration {
@@ -161,26 +235,41 @@ fn main() {
     // Warm once (fills the script repository path, JITs nothing — this
     // is Rust — but pages everything in), then keep the best of three:
     // loopback benches are noisy and the minimum is the honest signal.
-    let mut results = Vec::new();
-    for mode in modes {
-        run_mode(&handle, mode, 0);
-        let (best, mut samples) = (1..=3)
-            .map(|round| run_mode(&handle, mode, round))
-            .min_by_key(|(wall, _)| *wall)
-            .unwrap();
+    let mut results: Vec<(&str, Duration, f64, Duration, Duration)> = Vec::new();
+    let mut record = |name: &'static str, best: Duration, mut samples: Vec<Duration>| {
         samples.sort_unstable();
         let p50 = percentile(&samples, 50);
         let p99 = percentile(&samples, 99);
         let tps = TUPLES as f64 / best.as_secs_f64();
-        results.push((mode, best, tps, p50, p99));
+        results.push((name, best, tps, p50, p99));
+    };
+    for mode in modes {
+        run_mode(&handle, mode, 0);
+        let (best, samples) = (1..=3)
+            .map(|round| run_mode(&handle, mode, round))
+            .min_by_key(|(wall, _)| *wall)
+            .unwrap();
+        record(mode.name(), best, samples);
     }
     handle.shutdown();
 
+    // Cluster-routed mode: same serial PUSH workload, but through a
+    // ClusterClient against a freshly formed two-node ring.
+    let (node_a, node_b, seed) = start_cluster();
+    run_cluster(&seed, 0);
+    let (best, samples) = (1..=3)
+        .map(|round| run_cluster(&seed, round))
+        .min_by_key(|(wall, _)| *wall)
+        .unwrap();
+    record("cluster_routed", best, samples);
+    node_a.shutdown();
+    node_b.shutdown();
+
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(mode, best, tps, p50, p99)| {
+        .map(|(name, best, tps, p50, p99)| {
             vec![
-                mode.name().to_owned(),
+                (*name).to_owned(),
                 format!("{best:?}"),
                 format!("{tps:.0}"),
                 format!("{p50:?}"),
@@ -200,21 +289,15 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"tuples\": {TUPLES},\n"));
     json.push_str(&format!("  \"burst\": {BURST},\n"));
-    for (i, (mode, _, tps, p50, p99)) in results.iter().enumerate() {
+    for (i, (name, _, tps, p50, p99)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}_tuples_per_sec\": {tps:.0},\n"));
         json.push_str(&format!(
-            "  \"{}_tuples_per_sec\": {:.0},\n",
-            mode.name(),
-            tps
-        ));
-        json.push_str(&format!(
-            "  \"{}_p50_us\": {:.0},\n",
-            mode.name(),
+            "  \"{name}_p50_us\": {:.0},\n",
             p50.as_secs_f64() * 1e6
         ));
         json.push_str(&format!(
-            "  \"{}_p99_us\": {:.0}{comma}\n",
-            mode.name(),
+            "  \"{name}_p99_us\": {:.0}{comma}\n",
             p99.as_secs_f64() * 1e6
         ));
     }

@@ -1,0 +1,328 @@
+//! # sedex-cluster
+//!
+//! Multi-node scale-out for the SEDEX service: a consistent-hash ring that
+//! maps session names to owner nodes ([`ring`]), a warm-standby store that
+//! replays a peer's replicated WAL into live shadow sessions ([`standby`]),
+//! and the shared per-process cluster state the service threads coordinate
+//! through ([`ClusterState`]).
+//!
+//! The crate is deliberately transport-free: the service owns the sockets
+//! (the replication link and heartbeats ride the existing readiness
+//! reactor; no per-peer threads), and this crate owns the *decisions* —
+//! who owns a session, who follows whom, when a peer is dead, what the
+//! standby has. Everything here is std-only like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ring;
+pub mod standby;
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+pub use ring::{HashRing, NodeEntry, DEFAULT_SEED, DEFAULT_VNODES};
+pub use standby::StandbySet;
+
+/// Static cluster parameters for one node.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's id — the name it appears under in the ring.
+    pub node_id: String,
+    /// The address peers and clients reach this node at (goes into `MOVED`
+    /// redirects and the topology dump).
+    pub advertise: String,
+    /// Seed addresses to `JOIN` through at startup. Empty: start solo.
+    pub peers: Vec<String>,
+    /// Virtual nodes per member.
+    pub vnodes: u32,
+    /// Placement seed — all members must agree.
+    pub seed: u64,
+    /// Interval between heartbeats to the designated successor.
+    pub heartbeat: Duration,
+    /// Silence after which the failure detector declares a peer dead. Must
+    /// comfortably exceed `heartbeat`.
+    pub failover: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            node_id: "n1".to_owned(),
+            advertise: String::new(),
+            peers: Vec::new(),
+            vnodes: DEFAULT_VNODES,
+            seed: DEFAULT_SEED,
+            heartbeat: Duration::from_millis(500),
+            failover: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One WAL record queued for shipping to the replication follower.
+#[derive(Debug, Clone)]
+pub struct ReplFrame {
+    /// Origin shard index — the standby keeps one watermark per shard.
+    pub shard: u32,
+    /// The encoded WAL frame payload (`lsn u64 | kind u8 | body`).
+    pub payload: Vec<u8>,
+}
+
+/// Shared cluster state: the ring, migration bookkeeping, the failure
+/// detector's evidence, the standby store, and the replication queue.
+///
+/// Lock discipline: every field has its own lock and none is held across a
+/// call that takes another — all methods lock, act, unlock.
+pub struct ClusterState {
+    /// Static parameters.
+    pub config: ClusterConfig,
+    /// The versioned membership map.
+    pub ring: RwLock<HashRing>,
+    /// Sessions currently being exported by a planned leave. Requests for
+    /// them are answered `BUSY` (retried transparently) until the handoff
+    /// completes and the entry moves to `forwarded`.
+    pub migrating: Mutex<HashSet<String>>,
+    /// Sessions this node handed off, and where they went — consulted
+    /// before the ring so a mid-leave window never answers `no such
+    /// session` for a session that just moved.
+    pub forwarded: Mutex<HashMap<String, String>>,
+    /// Last time each peer was heard from (heartbeat or any request).
+    pub last_seen: Mutex<HashMap<String, Instant>>,
+    /// Replicated state per origin node.
+    pub standby: Mutex<HashMap<String, StandbySet>>,
+    /// WAL records queued for the replication link, in per-shard LSN order.
+    repl_queue: Mutex<VecDeque<ReplFrame>>,
+    /// Records handed to the replication link.
+    pub repl_sent: AtomicU64,
+    /// Records the follower acknowledged.
+    pub repl_acked: AtomicU64,
+    /// `MOVED` redirects served.
+    pub redirects: AtomicU64,
+    /// Set once this node completed a planned `LEAVE`: it owns nothing and
+    /// only redirects.
+    pub left: AtomicBool,
+}
+
+impl ClusterState {
+    /// Fresh state: a one-member ring containing only this node.
+    pub fn new(config: ClusterConfig) -> ClusterState {
+        let mut ring = HashRing::new(config.seed, config.vnodes);
+        ring.join(&config.node_id, &config.advertise);
+        ClusterState {
+            config,
+            ring: RwLock::new(ring),
+            migrating: Mutex::new(HashSet::new()),
+            forwarded: Mutex::new(HashMap::new()),
+            last_seen: Mutex::new(HashMap::new()),
+            standby: Mutex::new(HashMap::new()),
+            repl_queue: Mutex::new(VecDeque::new()),
+            repl_sent: AtomicU64::new(0),
+            repl_acked: AtomicU64::new(0),
+            redirects: AtomicU64::new(0),
+            left: AtomicBool::new(false),
+        }
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> &str {
+        &self.config.node_id
+    }
+
+    /// Record life signs from a peer.
+    pub fn note_peer(&self, node: &str) {
+        if node == self.config.node_id {
+            return;
+        }
+        self.last_seen
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(node.to_owned(), Instant::now());
+    }
+
+    /// Peers that have been silent longer than the failover timeout *and*
+    /// whose designated successor is this node — the ones this node must
+    /// promote. Peers never heard from count from `since` (ring adoption
+    /// time), so a node that joins and immediately dies still fails over.
+    pub fn dead_peers(&self, since: Instant) -> Vec<String> {
+        let ring = self.ring.read().unwrap_or_else(|e| e.into_inner());
+        let seen = self.last_seen.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        let me = self.config.node_id.as_str();
+        ring.nodes()
+            .filter(|&(id, e)| id != me && e.alive)
+            .filter(|&(id, _)| ring.successor(id) == Some(me))
+            .filter(|&(id, _)| {
+                let last = seen.get(id).copied().unwrap_or(since);
+                now.duration_since(last) >= self.config.failover
+            })
+            .map(|(id, _)| id.to_owned())
+            .collect()
+    }
+
+    /// Queue one WAL record for the replication link. Called under the
+    /// durable shard lock, so the queue preserves per-shard LSN order.
+    pub fn enqueue_repl(&self, shard: u32, payload: Vec<u8>) {
+        self.repl_queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(ReplFrame { shard, payload });
+    }
+
+    /// Drain up to `max` queued records for shipping.
+    pub fn drain_repl(&self, max: usize) -> Vec<ReplFrame> {
+        let mut q = self.repl_queue.lock().unwrap_or_else(|e| e.into_inner());
+        let n = q.len().min(max);
+        q.drain(..n).collect()
+    }
+
+    /// Records waiting in the replication queue.
+    pub fn repl_queued(&self) -> usize {
+        self.repl_queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Replace the whole replication queue with a disk catch-up (the
+    /// follower changed or just connected). `read` runs *while the queue
+    /// lock is held*: every record that was queued had already reached disk
+    /// before it was enqueued (the enqueue happens after the WAL append,
+    /// under the same shard lock), so clearing first and reading second
+    /// loses nothing — a record enqueued concurrently blocks on this lock
+    /// until the read is done, and at worst arrives twice; the standby's
+    /// per-shard watermark deduplicates re-sends.
+    pub fn catch_up_with(&self, read: impl FnOnce() -> Vec<ReplFrame>) {
+        let mut q = self.repl_queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.clear();
+        q.extend(read());
+    }
+
+    /// Replication lag: records shipped but not yet acknowledged, plus
+    /// records still queued.
+    pub fn repl_lag(&self) -> u64 {
+        let sent = self.repl_sent.load(Ordering::Relaxed);
+        let acked = self.repl_acked.load(Ordering::Relaxed);
+        sent.saturating_sub(acked) + self.repl_queued() as u64
+    }
+
+    /// Where a session-addressed request for `session` should be handled,
+    /// given that it is not live locally. Consults migration bookkeeping
+    /// first, then the ring.
+    pub fn route(&self, session: &str) -> Route {
+        if self
+            .migrating
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(session)
+        {
+            return Route::Migrating;
+        }
+        if let Some(node) = self
+            .forwarded
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(session)
+        {
+            let ring = self.ring.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(addr) = ring.addr_of(node) {
+                return Route::Moved(node.clone(), addr.to_owned());
+            }
+        }
+        let ring = self.ring.read().unwrap_or_else(|e| e.into_inner());
+        match ring.owner(session) {
+            Some(owner) if owner != self.config.node_id => {
+                let addr = ring.addr_of(owner).unwrap_or_default().to_owned();
+                Route::Moved(owner.to_owned(), addr)
+            }
+            _ => Route::Local,
+        }
+    }
+}
+
+/// Routing decision for a session that is not live on this node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// This node is the owner — handle it here.
+    Local,
+    /// Another node owns it: answer `ERR MOVED <node> <addr>`.
+    Moved(String, String),
+    /// A planned leave is exporting it right now: answer `BUSY`.
+    Migrating,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_two_nodes() -> ClusterState {
+        let state = ClusterState::new(ClusterConfig {
+            node_id: "a".into(),
+            advertise: "127.0.0.1:1".into(),
+            failover: Duration::from_millis(50),
+            ..ClusterConfig::default()
+        });
+        state.ring.write().unwrap().join("b", "127.0.0.1:2");
+        state
+    }
+
+    #[test]
+    fn routing_prefers_migrating_then_forwarded_then_ring() {
+        let state = state_two_nodes();
+        let ring = state.ring.read().unwrap().clone();
+        let theirs = (0..100)
+            .map(|i| format!("s{i}"))
+            .find(|s| ring.owner(s) == Some("b"))
+            .unwrap();
+        assert_eq!(
+            state.route(&theirs),
+            Route::Moved("b".into(), "127.0.0.1:2".into())
+        );
+        state.migrating.lock().unwrap().insert(theirs.clone());
+        assert_eq!(state.route(&theirs), Route::Migrating);
+        state.migrating.lock().unwrap().remove(&theirs);
+        let mine = (0..100)
+            .map(|i| format!("s{i}"))
+            .find(|s| ring.owner(s) == Some("a"))
+            .unwrap();
+        assert_eq!(state.route(&mine), Route::Local);
+        state
+            .forwarded
+            .lock()
+            .unwrap()
+            .insert(mine.clone(), "b".into());
+        assert_eq!(
+            state.route(&mine),
+            Route::Moved("b".into(), "127.0.0.1:2".into())
+        );
+    }
+
+    #[test]
+    fn silent_peers_are_reported_dead_only_to_their_successor() {
+        let state = state_two_nodes();
+        let since = Instant::now() - Duration::from_secs(1);
+        // Two-node ring: each is the other's successor, so silent `b` is
+        // this node's problem.
+        assert_eq!(state.dead_peers(since), vec!["b".to_owned()]);
+        state.note_peer("b");
+        assert!(state.dead_peers(since).is_empty());
+    }
+
+    #[test]
+    fn repl_queue_preserves_order_and_lag_counts_queued() {
+        let state = state_two_nodes();
+        state.enqueue_repl(0, vec![1]);
+        state.enqueue_repl(0, vec![2]);
+        state.enqueue_repl(1, vec![3]);
+        assert_eq!(state.repl_lag(), 3);
+        let drained = state.drain_repl(2);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].payload, vec![1]);
+        assert_eq!(drained[1].payload, vec![2]);
+        state.repl_sent.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(state.repl_lag(), 3);
+        state.repl_acked.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(state.repl_lag(), 1);
+    }
+}

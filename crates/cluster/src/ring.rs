@@ -1,0 +1,474 @@
+//! The consistent-hash ring: a versioned map from session name to owner
+//! node, identical on every node and every client that holds the same
+//! membership.
+//!
+//! Placement is classic consistent hashing with virtual nodes: each member
+//! projects `vnodes` points onto a 64-bit circle (seeded FNV-1a, so the
+//! layout is stable across processes, builds and platforms — `DefaultHasher`
+//! guarantees none of that), and a session belongs to the node owning the
+//! first point at or clockwise of the session's hash. Joins and leaves move
+//! only the keys adjacent to the changed points — everything else stays put,
+//! which is the property that makes live migration tractable.
+//!
+//! Failover routing is deliberately *not* per-point: a dead node keeps its
+//! points, and every key that lands on them is answered by the node's
+//! **designated successor** — the next *alive* node in the fixed succession
+//! order (nodes sorted by their lowest point). That makes the inheritor of a
+//! dead node's sessions a single node, the same node the dead node was
+//! shipping its WAL to, so the standby that holds the replicated state is
+//! exactly the node the ring routes to after the failure detector fires.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default virtual nodes per member.
+pub const DEFAULT_VNODES: u32 = 64;
+
+/// Default placement seed (any fixed value works; all members must agree —
+/// this one was picked for even splits on small rings).
+pub const DEFAULT_SEED: u64 = 0x5EDE_0038;
+
+/// Seeded FNV-1a over `bytes` with a murmur-style finalizer — the ring's
+/// only hash. In-tree so the placement is identical on every node and
+/// client regardless of toolchain; the finalizer matters because raw
+/// FNV-1a mixes its high bits poorly on short keys, and the ring compares
+/// full 64-bit values.
+pub fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// One member of the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// The address other nodes and clients reach this member at.
+    pub addr: String,
+    /// `false` once the failure detector declared the node dead. Dead nodes
+    /// keep their points; their keys route to the designated successor.
+    pub alive: bool,
+}
+
+/// The versioned consistent-hash ring. Every membership change bumps
+/// `version`, so two topology dumps can be ordered without clocks.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: u32,
+    version: u64,
+    nodes: BTreeMap<String, NodeEntry>,
+    /// Sorted `(point, node)` pairs for every member, dead or alive.
+    points: Vec<(u64, String)>,
+}
+
+impl HashRing {
+    /// An empty ring with the given placement parameters.
+    pub fn new(seed: u64, vnodes: u32) -> HashRing {
+        HashRing {
+            seed,
+            vnodes: vnodes.max(1),
+            version: 0,
+            nodes: BTreeMap::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Current membership version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Placement seed (all members must agree).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// All members, sorted by id.
+    pub fn nodes(&self) -> impl Iterator<Item = (&str, &NodeEntry)> {
+        self.nodes.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of members (dead ones included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of members still alive.
+    pub fn alive(&self) -> usize {
+        self.nodes.values().filter(|n| n.alive).count()
+    }
+
+    /// A member's address, if known.
+    pub fn addr_of(&self, node: &str) -> Option<&str> {
+        self.nodes.get(node).map(|n| n.addr.as_str())
+    }
+
+    /// True when the member exists and has not been declared dead.
+    pub fn is_alive(&self, node: &str) -> bool {
+        self.nodes.get(node).is_some_and(|n| n.alive)
+    }
+
+    fn rebuild_points(&mut self) {
+        self.points.clear();
+        for (id, _) in self.nodes.iter() {
+            for i in 0..self.vnodes {
+                let mut key = Vec::with_capacity(id.len() + 5);
+                key.extend_from_slice(id.as_bytes());
+                key.push(b'#');
+                key.extend_from_slice(&i.to_le_bytes());
+                self.points.push((fnv1a64(self.seed, &key), id.clone()));
+            }
+        }
+        self.points.sort();
+    }
+
+    /// Add (or re-address / revive) a member. Returns `true` when the
+    /// membership actually changed — only then does the version bump, so
+    /// repeated `JOIN` announcements are idempotent.
+    pub fn join(&mut self, node: &str, addr: &str) -> bool {
+        let entry = NodeEntry {
+            addr: addr.to_owned(),
+            alive: true,
+        };
+        if self.nodes.get(node) == Some(&entry) {
+            return false;
+        }
+        let fresh = !self.nodes.contains_key(node);
+        self.nodes.insert(node.to_owned(), entry);
+        if fresh {
+            self.rebuild_points();
+        }
+        self.version += 1;
+        true
+    }
+
+    /// Remove a member entirely (planned leave): its points vanish and its
+    /// keys disperse to the per-point neighbors. Returns `true` if it was
+    /// present.
+    pub fn remove(&mut self, node: &str) -> bool {
+        if self.nodes.remove(node).is_none() {
+            return false;
+        }
+        self.rebuild_points();
+        self.version += 1;
+        true
+    }
+
+    /// Declare a member dead (failure detection): points stay, keys route
+    /// to the designated successor. Returns `true` if it was alive.
+    pub fn mark_dead(&mut self, node: &str) -> bool {
+        match self.nodes.get_mut(node) {
+            Some(e) if e.alive => {
+                e.alive = false;
+                self.version += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The member whose point range covers `key`, dead or alive.
+    fn point_owner(&self, key: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = fnv1a64(self.seed, key.as_bytes());
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, node) = &self.points[idx % self.points.len()];
+        Some(node)
+    }
+
+    /// Fixed succession order: node ids sorted by their lowest point. The
+    /// designated successor of a node — its replication follower, and the
+    /// inheritor of all its sessions if it dies — is the next *alive* node
+    /// in this cycle.
+    fn succession(&self) -> Vec<&str> {
+        let mut first: BTreeMap<&str, u64> = BTreeMap::new();
+        for (p, n) in &self.points {
+            let e = first.entry(n.as_str()).or_insert(*p);
+            if *p < *e {
+                *e = *p;
+            }
+        }
+        let mut order: Vec<(u64, &str)> = first.into_iter().map(|(n, p)| (p, n)).collect();
+        order.sort();
+        order.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// The designated successor of `node`: the next alive member in the
+    /// succession cycle. `None` when no *other* alive member exists.
+    pub fn successor(&self, node: &str) -> Option<&str> {
+        let order = self.succession();
+        let start = order.iter().position(|&n| n == node)?;
+        for i in 1..order.len() {
+            let cand = order[(start + i) % order.len()];
+            if cand != node && self.is_alive(cand) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// The node a session routes to: the point owner when alive, otherwise
+    /// its designated successor. `None` on an empty or fully-dead ring.
+    pub fn owner(&self, session: &str) -> Option<&str> {
+        let primary = self.point_owner(session)?;
+        if self.is_alive(primary) {
+            return Some(primary);
+        }
+        self.successor(primary)
+    }
+
+    /// The node a session would route to if `excluded` were gone — where a
+    /// leaving node sends each of its sessions.
+    pub fn owner_excluding(&self, session: &str, excluded: &str) -> Option<String> {
+        let mut without = self.clone();
+        without.remove(excluded);
+        without.owner(session).map(str::to_owned)
+    }
+
+    /// Serialize the membership as the `CLUSTER` topology dump body:
+    ///
+    /// ```text
+    /// version 3 seed 1591657893 vnodes 64
+    /// node n1 127.0.0.1:7001 alive
+    /// node n2 127.0.0.1:7002 dead
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "version {} seed {} vnodes {}",
+            self.version, self.seed, self.vnodes
+        );
+        for (id, e) in &self.nodes {
+            let _ = writeln!(
+                out,
+                "node {id} {} {}",
+                e.addr,
+                if e.alive { "alive" } else { "dead" }
+            );
+        }
+        out
+    }
+
+    /// Parse a [`render`](Self::render) dump back into a ring. Lines that
+    /// are neither `version` nor `node` lines (e.g. the `standby` lines a
+    /// server appends) are ignored.
+    pub fn parse(text: &str) -> Result<HashRing, String> {
+        let mut ring = HashRing::new(DEFAULT_SEED, DEFAULT_VNODES);
+        let mut saw_version = false;
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("version") => {
+                    let err = || format!("bad version line `{line}`");
+                    let version = parts.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+                    let seed = match (parts.next(), parts.next()) {
+                        (Some("seed"), Some(v)) => v.parse().map_err(|_| err())?,
+                        _ => return Err(err()),
+                    };
+                    let vnodes = match (parts.next(), parts.next()) {
+                        (Some("vnodes"), Some(v)) => v.parse().map_err(|_| err())?,
+                        _ => return Err(err()),
+                    };
+                    ring = HashRing::new(seed, vnodes);
+                    ring.version = version;
+                    saw_version = true;
+                }
+                Some("node") => {
+                    let (Some(id), Some(addr), Some(state)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        return Err(format!("bad node line `{line}`"));
+                    };
+                    ring.nodes.insert(
+                        id.to_owned(),
+                        NodeEntry {
+                            addr: addr.to_owned(),
+                            alive: state == "alive",
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+        if !saw_version {
+            return Err("topology dump has no version line".to_owned());
+        }
+        ring.rebuild_points();
+        Ok(ring)
+    }
+
+    /// Replace this ring's membership with `other`'s if `other` is newer.
+    /// Returns `true` when the replacement happened.
+    pub fn adopt_if_newer(&mut self, other: HashRing) -> bool {
+        if other.version > self.version {
+            *self = other;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn ring_of(n: usize) -> HashRing {
+        let mut r = HashRing::new(DEFAULT_SEED, DEFAULT_VNODES);
+        for i in 0..n {
+            r.join(&format!("n{i}"), &format!("127.0.0.1:{}", 7000 + i));
+        }
+        r
+    }
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("session-{i}")).collect()
+    }
+
+    #[test]
+    fn distribution_is_uniform_within_fifteen_percent_at_64_vnodes() {
+        let ring = ring_of(4);
+        let ks = keys(10_000);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for k in &ks {
+            *counts.entry(ring.owner(k).unwrap().to_owned()).or_insert(0) += 1;
+        }
+        let mean = ks.len() as f64 / 4.0;
+        for i in 0..4 {
+            let c = *counts.get(&format!("n{i}")).unwrap_or(&0) as f64;
+            let dev = (c - mean).abs() / mean;
+            assert!(
+                dev <= 0.15,
+                "node n{i} owns {c} of {} keys — {:.1}% off the mean",
+                ks.len(),
+                dev * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn leave_moves_only_the_departing_nodes_keys() {
+        let ring = ring_of(4);
+        let ks = keys(5_000);
+        let before: Vec<String> = ks
+            .iter()
+            .map(|k| ring.owner(k).unwrap().to_owned())
+            .collect();
+        let mut after_ring = ring.clone();
+        after_ring.remove("n2");
+        for (k, owner_before) in ks.iter().zip(&before) {
+            let owner_after = after_ring.owner(k).unwrap();
+            if owner_before != "n2" {
+                assert_eq!(
+                    owner_after, owner_before,
+                    "key {k} moved although its owner {owner_before} stayed"
+                );
+            } else {
+                assert_ne!(owner_after, "n2");
+            }
+        }
+    }
+
+    #[test]
+    fn join_moves_keys_only_onto_the_new_node() {
+        let ring = ring_of(4);
+        let ks = keys(5_000);
+        let before: Vec<String> = ks
+            .iter()
+            .map(|k| ring.owner(k).unwrap().to_owned())
+            .collect();
+        let mut grown = ring.clone();
+        grown.join("n9", "127.0.0.1:7999");
+        let mut moved = 0usize;
+        for (k, owner_before) in ks.iter().zip(&before) {
+            let owner_after = grown.owner(k).unwrap();
+            if owner_after != owner_before {
+                assert_eq!(
+                    owner_after, "n9",
+                    "key {k} moved {owner_before}→{owner_after}, not to the joiner"
+                );
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "a 5th node joined and took nothing");
+        assert!(
+            moved < ks.len() / 2,
+            "join reshuffled {moved} of {} keys",
+            ks.len()
+        );
+    }
+
+    #[test]
+    fn a_dead_nodes_keys_all_route_to_its_designated_successor() {
+        let mut ring = ring_of(3);
+        let ks = keys(2_000);
+        let standby = ring.successor("n1").unwrap().to_owned();
+        let owned: Vec<&String> = ks.iter().filter(|k| ring.owner(k) == Some("n1")).collect();
+        assert!(!owned.is_empty());
+        ring.mark_dead("n1");
+        for k in owned {
+            assert_eq!(
+                ring.owner(k),
+                Some(standby.as_str()),
+                "key {k} scattered away from the standby after the owner died"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_changes_bump_the_version_and_are_idempotent() {
+        let mut ring = ring_of(2);
+        let v = ring.version();
+        assert!(!ring.join("n1", "127.0.0.1:7001"), "re-join is a change?");
+        assert_eq!(ring.version(), v);
+        assert!(ring.mark_dead("n0"));
+        assert!(!ring.mark_dead("n0"));
+        assert_eq!(ring.version(), v + 1);
+        assert!(ring.remove("n0"));
+        assert!(!ring.remove("n0"));
+        assert_eq!(ring.version(), v + 2);
+    }
+
+    #[test]
+    fn render_parse_roundtrip_preserves_placement() {
+        let mut ring = ring_of(3);
+        ring.mark_dead("n2");
+        let parsed = HashRing::parse(&ring.render()).unwrap();
+        assert_eq!(parsed.version(), ring.version());
+        assert_eq!(parsed.alive(), ring.alive());
+        for k in keys(500) {
+            assert_eq!(parsed.owner(&k), ring.owner(&k));
+        }
+    }
+
+    #[test]
+    fn two_node_successors_point_at_each_other() {
+        let ring = ring_of(2);
+        assert_eq!(ring.successor("n0"), Some("n1"));
+        assert_eq!(ring.successor("n1"), Some("n0"));
+        let mut solo = ring.clone();
+        solo.remove("n1");
+        assert_eq!(solo.successor("n0"), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! The warm standby: replicated WAL records from a peer, replayed into live
+//! shadow sessions that promotion hands to the session manager wholesale.
+//!
+//! Each origin node ships its WAL over a single replication link in
+//! per-shard LSN order. The standby applies every record through the same
+//! replay path crash recovery uses, tracking a per-`(origin, shard)`
+//! watermark so the origin's catch-up re-sends (which restart the stream
+//! from disk) are deduplicated instead of double-applied.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sedex_core::{Observer, SedexConfig};
+use sedex_durable::recover::replay_record;
+use sedex_durable::{RecoveredSession, WalRecord};
+
+/// Replicated state received from one origin node.
+#[derive(Default)]
+pub struct StandbySet {
+    /// Live shadow sessions, keyed by name — exactly what promotion installs.
+    pub sessions: HashMap<String, RecoveredSession>,
+    /// Highest LSN applied per origin shard; records at or below are skipped.
+    pub watermarks: HashMap<u32, u64>,
+    /// Records applied (post-dedup) — the catch-up signal tests poll for.
+    pub records: u64,
+    /// Records that decoded but failed to replay (counted, not fatal —
+    /// same contract as crash recovery).
+    pub errors: u64,
+}
+
+impl StandbySet {
+    /// Apply one replicated WAL frame payload (`lsn u64 | kind u8 | body`)
+    /// from `shard` of the origin node. Returns `true` when the record was
+    /// applied, `false` when the watermark already covered it.
+    pub fn apply(
+        &mut self,
+        config: &SedexConfig,
+        observer: Option<&Arc<dyn Observer>>,
+        shard: u32,
+        payload: &[u8],
+    ) -> Result<bool, String> {
+        let (lsn, record) =
+            WalRecord::decode(payload).map_err(|e| format!("replicated record: {e:?}"))?;
+        let mark = self.watermarks.entry(shard).or_insert(0);
+        if lsn <= *mark {
+            return Ok(false);
+        }
+        *mark = lsn;
+        match replay_record(&mut self.sessions, config, observer, record) {
+            Ok(()) => {
+                self.records += 1;
+                Ok(true)
+            }
+            Err(e) => {
+                self.errors += 1;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedex_storage::Tuple;
+
+    const SCENARIO: &str = "\
+[source]
+S(a*, b)
+[target]
+T(x*, y)
+[correspondences]
+a <-> x
+b <-> y
+";
+
+    fn frame(lsn: u64, record: &WalRecord) -> Vec<u8> {
+        record.encode(lsn)
+    }
+
+    #[test]
+    fn records_apply_in_order_and_duplicates_are_skipped() {
+        let mut set = StandbySet::default();
+        let cfg = SedexConfig::default();
+        let open = WalRecord::Open {
+            session: "s".into(),
+            scenario: SCENARIO.into(),
+        };
+        let push = WalRecord::Push {
+            session: "s".into(),
+            relation: "S".into(),
+            tuple: Tuple::new(vec!["k1".into(), "v1".into()]),
+        };
+        assert!(set.apply(&cfg, None, 0, &frame(1, &open)).unwrap());
+        assert!(set.apply(&cfg, None, 0, &frame(2, &push)).unwrap());
+        // A catch-up replays from the start of the shard's log: both frames
+        // are at or below the watermark and must be skipped, not re-applied.
+        assert!(!set.apply(&cfg, None, 0, &frame(1, &open)).unwrap());
+        assert!(!set.apply(&cfg, None, 0, &frame(2, &push)).unwrap());
+        assert_eq!(set.records, 2);
+        // A different shard has its own watermark.
+        assert!(set
+            .apply(
+                &cfg,
+                None,
+                1,
+                &frame(
+                    1,
+                    &WalRecord::Open {
+                        session: "t".into(),
+                        scenario: SCENARIO.into(),
+                    }
+                )
+            )
+            .unwrap());
+        assert_eq!(set.sessions.len(), 2);
+        assert_eq!(set.sessions["s"].tuples_in, 1);
+    }
+}

@@ -34,7 +34,12 @@ pub mod wal;
 
 pub use fault::{FaultKind, FaultPlan, FaultPoint, FaultRule};
 pub use record::WalRecord;
-pub use recover::{inspect, recover_data_dir, recover_shard_dir, RecoveredSession, RecoveryReport};
+pub use recover::{
+    inspect, recover_data_dir, recover_shard_dir, replay_record, RecoveredSession, RecoveryReport,
+};
 pub use shard::{DurableMetrics, DurableShard};
-pub use snapshot::{read_snapshot, write_snapshot, SessionSnapshot, ShardSnapshot};
+pub use snapshot::{
+    decode_session_state, encode_session_state, read_snapshot, write_snapshot, SessionSnapshot,
+    ShardSnapshot,
+};
 pub use wal::{read_segment, FsyncPolicy, SegmentRead, WalWriter};

@@ -244,6 +244,18 @@ fn apply_record(
     }
 }
 
+/// Apply one WAL record to a map of live sessions — the same replay path
+/// crash recovery uses, exposed for remote replay: a cluster standby feeds
+/// replicated records through here to keep warm shadow sessions of a peer.
+pub fn replay_record(
+    sessions: &mut HashMap<String, RecoveredSession>,
+    config: &SedexConfig,
+    observer: Option<&Arc<dyn Observer>>,
+    record: WalRecord,
+) -> Result<(), String> {
+    apply_record(sessions, config, observer, record)
+}
+
 /// Recover one shard directory: latest valid snapshot + WAL tail replay.
 /// Torn tails are truncated (best-effort) and counted. Returns the live
 /// sessions (sorted by name) and a report of what happened.

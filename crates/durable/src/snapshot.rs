@@ -158,6 +158,18 @@ fn decode_state(r: &mut ByteReader<'_>, v2: bool) -> CodecResult<SessionState> {
     })
 }
 
+/// Encode a full [`SessionState`] in the current (v2) snapshot layout —
+/// the payload of a cluster `MIGRATE` handoff. Decode with
+/// [`decode_session_state`].
+pub fn encode_session_state(w: &mut ByteWriter, s: &SessionState) {
+    encode_state(w, s, true)
+}
+
+/// Decode a [`SessionState`] written by [`encode_session_state`].
+pub fn decode_session_state(r: &mut ByteReader<'_>) -> CodecResult<SessionState> {
+    decode_state(r, true)
+}
+
 fn encode_snapshot(snap: &ShardSnapshot, v2: bool) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(snap.lsn);

@@ -39,6 +39,9 @@ pub struct ReqSpan {
     pub exec_nanos: u64,
     /// Reply serialization + first flush attempt.
     pub flush_nanos: u64,
+    /// Cluster node id that handled the request; empty (and absent from
+    /// the rendered line) on a single-node server.
+    pub node: String,
 }
 
 impl ReqSpan {
@@ -52,9 +55,12 @@ impl ReqSpan {
     /// ```text
     /// span id=7 proto=text verb=PUSH session=acme read_us=1.250 parse_us=0.300 queue_us=12.000 exec_us=250.100 flush_us=2.000 total_us=265.650
     /// ```
+    ///
+    /// On a clustered server a trailing ` node=<id>` tags the handling
+    /// node; the single-node format is unchanged.
     pub fn render(&self) -> String {
         let us = |n: u64| n as f64 / 1e3;
-        format!(
+        let mut line = format!(
             "span id={} proto={} verb={} session={} read_us={:.3} parse_us={:.3} \
              queue_us={:.3} exec_us={:.3} flush_us={:.3} total_us={:.3}",
             self.id,
@@ -67,7 +73,12 @@ impl ReqSpan {
             us(self.exec_nanos),
             us(self.flush_nanos),
             us(self.total_nanos()),
-        )
+        );
+        if !self.node.is_empty() {
+            line.push_str(" node=");
+            line.push_str(&self.node);
+        }
+        line
     }
 }
 
@@ -199,7 +210,18 @@ mod tests {
             queue_nanos: 30,
             exec_nanos,
             flush_nanos: 40,
+            node: String::new(),
         }
+    }
+
+    #[test]
+    fn render_adds_node_tag_only_when_clustered() {
+        let mut s = span(7, 100);
+        let line = s.render();
+        assert!(line.starts_with("span id=7 proto=text verb=PUSH session=s read_us="));
+        assert!(!line.contains("node="));
+        s.node = "n2".into();
+        assert!(s.render().ends_with(" node=n2"));
     }
 
     #[test]

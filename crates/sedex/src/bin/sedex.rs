@@ -17,6 +17,9 @@
 //!             [--snapshot-every N] [--request-timeout MS]
 //!             [--max-conns N] [--shed-queue-depth N]
 //!             [--pipeline-window N] [--trace-buffer N]
+//!             [--cluster] [--node-id ID] [--advertise A]
+//!             [--peers A,B,...] [--heartbeat-ms N] [--failover-ms N]
+//! sedex cluster status [--addr A]  # one node's ring + replication view
 //! sedex recover <dir>           # inspect a --data-dir: what would recover?
 //! ```
 //!
@@ -34,6 +37,13 @@
 //! in an N-slot in-memory flight recorder, dumped over the wire with the
 //! `TRACE` command. Off by default — the untraced hot path performs no
 //! extra clock reads.
+//!
+//! `--cluster` (or any of the cluster flags) starts the node in cluster
+//! mode: session names are consistent-hashed to owner nodes, non-owners
+//! answer `ERR MOVED <node> <addr>`, the WAL is shipped live to the ring
+//! successor as a warm standby, and a planned `LEAVE` migrates every owned
+//! session out before the node departs. `--peers` lists seed addresses to
+//! `JOIN` through at startup.
 //!
 //! `gen` kinds: `university`, `stb`, `amb`, and the ten STBenchmark basics
 //! (`cp`, `cv`, `hp`, `sk`, `vp`, `un`, `ne`, `de`, `ko`, `av`).
@@ -57,7 +67,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N] [--request-timeout MS] [--max-conns N] [--shed-queue-depth N] [--pipeline-window N] [--trace-buffer N]\n  sedex recover <data-dir>"
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N] [--request-timeout MS] [--max-conns N] [--shed-queue-depth N] [--pipeline-window N] [--trace-buffer N] [--cluster] [--node-id ID] [--advertise host:port] [--peers host:port,...] [--heartbeat-ms N] [--failover-ms N]\n  sedex cluster status [--addr host:port]\n  sedex recover <data-dir>"
         .to_owned()
 }
 
@@ -68,6 +78,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if cmd == "serve" {
         return serve(&args[1..]);
+    }
+    if cmd == "cluster" {
+        return cluster_command(&args[1..]);
     }
     if cmd == "recover" {
         let dir = args.get(1).ok_or_else(usage)?;
@@ -193,12 +206,13 @@ fn generate(args: &[String]) -> Result<(), String> {
 /// [--pipeline-window N] [--trace-buffer N]`:
 /// run the multi-tenant exchange server until a wire `SHUTDOWN` arrives.
 fn serve(flags: &[String]) -> Result<(), String> {
-    use sedex::service::{Server, ServerConfig};
+    use sedex::service::{ClusterConfig, Server, ServerConfig};
 
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:7878".to_owned(),
         ..ServerConfig::default()
     };
+    let mut cluster: Option<ClusterConfig> = None;
     let mut it = flags.iter();
     while let Some(f) = it.next() {
         let mut value = |flag: &str| -> Result<&String, String> {
@@ -283,9 +297,43 @@ fn serve(flags: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--trace-buffer: {e}"))?;
             }
+            "--cluster" => {
+                cluster.get_or_insert_with(ClusterConfig::default);
+            }
+            "--node-id" => {
+                cluster.get_or_insert_with(ClusterConfig::default).node_id =
+                    value("--node-id")?.clone();
+            }
+            "--advertise" => {
+                cluster.get_or_insert_with(ClusterConfig::default).advertise =
+                    value("--advertise")?.clone();
+            }
+            "--peers" => {
+                cluster.get_or_insert_with(ClusterConfig::default).peers = value("--peers")?
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--heartbeat-ms" => {
+                let ms: u64 = value("--heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?;
+                cluster.get_or_insert_with(ClusterConfig::default).heartbeat =
+                    std::time::Duration::from_millis(ms.max(1));
+            }
+            "--failover-ms" => {
+                let ms: u64 = value("--failover-ms")?
+                    .parse()
+                    .map_err(|e| format!("--failover-ms: {e}"))?;
+                cluster.get_or_insert_with(ClusterConfig::default).failover =
+                    std::time::Duration::from_millis(ms.max(1));
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
+    let node_id = cluster.as_ref().map(|c| c.node_id.clone());
+    cfg.cluster = cluster;
     let workers = cfg.workers;
     let metrics = cfg.metrics;
     let trace_buffer = cfg.trace_buffer;
@@ -312,8 +360,48 @@ fn serve(flags: &[String]) -> Result<(), String> {
             None => String::new(),
         }
     );
+    if let Some(id) = node_id {
+        println!("cluster mode on: node {id} (inspect with `sedex cluster status`)");
+    }
     handle.join();
     println!("sedex-service stopped");
+    Ok(())
+}
+
+/// `sedex cluster status [--addr host:port]`: print one node's view of
+/// the ring, its standby holdings, and replication progress (the same
+/// block `CLUSTER` returns over plain `nc`).
+fn cluster_command(args: &[String]) -> Result<(), String> {
+    use sedex::service::Client;
+
+    let sub = args.first().ok_or_else(usage)?;
+    if sub != "status" {
+        return Err(format!("unknown cluster subcommand `{sub}`\n{}", usage()));
+    }
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut it = args[1..].iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .ok_or_else(|| "--addr needs a value".to_owned())?
+                    .clone();
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let reply = client.cluster().map_err(|e| e.to_string())?;
+    if !reply.ok {
+        return Err(reply.head);
+    }
+    println!("{}", reply.head);
+    let body = reply.body();
+    if !body.is_empty() {
+        println!("{body}");
+    }
     Ok(())
 }
 

@@ -506,6 +506,51 @@ impl Client {
         Ok(reply)
     }
 
+    /// `CLUSTER` — the node's view of the ring, standby holdings, and
+    /// replication progress.
+    pub fn cluster(&mut self) -> std::io::Result<Reply> {
+        self.request("CLUSTER")
+    }
+
+    /// Ship one exported session to another node (`MIGRATE` — binary
+    /// protocol only; the frame carries the encoded session state). An
+    /// "already exists" refusal on a retried attempt is the success it
+    /// implies: the first attempt's frame landed, only its reply was lost.
+    pub fn migrate(
+        &mut self,
+        session: &str,
+        scenario: &str,
+        requests: u64,
+        tuples_in: u64,
+        state: &[u8],
+    ) -> std::io::Result<Reply> {
+        if self.target_proto() != Proto::Binary {
+            return Ok(Reply::synthetic_err(
+                "MIGRATE requires the binary protocol (ClientConfig::binary)",
+            ));
+        }
+        let request = Request::Migrate {
+            session: session.to_owned(),
+            scenario: scenario.to_owned(),
+            requests,
+            tuples_in,
+            state: state.to_vec(),
+        };
+        let payload = match wire::encode_request(&request) {
+            Ok(p) => p,
+            Err(msg) => return Ok(Reply::synthetic_err(msg)),
+        };
+        let (reply, attempts) = self.request_with_retries(&payload)?;
+        if !reply.ok && attempts > 1 && reply.head.contains("already exists") {
+            return Ok(Reply {
+                ok: true,
+                head: format!("migrated in {session} (on an earlier attempt)"),
+                lines: Vec::new(),
+            });
+        }
+        Ok(reply)
+    }
+
     /// `SHUTDOWN` — graceful server stop. Never retried: a lost reply
     /// does not mean a lost shutdown, and a resend could hit the next
     /// server instance.
@@ -646,6 +691,16 @@ mod tests {
         assert_eq!(parse_retry_after("BUSY"), Some(Duration::ZERO));
         assert_eq!(parse_retry_after("no such session `x`"), None);
         assert_eq!(parse_retry_after("DEADLINE request exceeded"), None);
+    }
+
+    #[test]
+    fn moved_redirects_are_not_transient_errors() {
+        // A `MOVED` redirect means the request reached a healthy node that
+        // simply is not the owner. Retrying it against the same node would
+        // loop forever (and the at-least-once OPEN/CLOSE leniency must not
+        // treat the redirect as a lost reply), so it must not parse as a
+        // retryable backoff.
+        assert_eq!(parse_retry_after("MOVED n2 127.0.0.1:7171"), None);
     }
 
     #[test]

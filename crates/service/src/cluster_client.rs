@@ -1,0 +1,256 @@
+//! Cluster-aware client: routes each session-addressed request straight to
+//! its owner node.
+//!
+//! The client bootstraps a [`HashRing`] snapshot from any seed node's
+//! `CLUSTER` dump and from then on resolves `session → node` locally — the
+//! common case is zero extra round-trips. Staleness is self-correcting:
+//!
+//! * an `ERR MOVED <node> <addr>` redirect refreshes the topology from the
+//!   named owner and retries there (bounded hops, so two nodes with
+//!   irreconcilable views cannot bounce a request forever);
+//! * a transport error marks the node dead in the local snapshot and
+//!   retries against its successor — the same designated-successor order
+//!   the server's failure detector promotes, so the retry lands exactly
+//!   where the sessions will reappear — until the failover window closes.
+//!
+//! Every redirect and failover decision is appended to an event log
+//! ([`ClusterClient::events`]); with a fixed placement seed the sequence
+//! is deterministic, which is what the chaos tests assert.
+
+use std::collections::HashMap;
+use std::io;
+use std::time::{Duration, Instant};
+
+use sedex_cluster::HashRing;
+
+use crate::client::{Client, ClientConfig, Reply};
+
+/// How a [`ClusterClient`] finds and keeps connections to owner nodes.
+#[derive(Debug, Clone)]
+pub struct ClusterClientConfig {
+    /// Per-connection client configuration (protocol, timeouts, retries).
+    pub client: ClientConfig,
+    /// Most `MOVED` redirects followed for a single request.
+    pub max_hops: u32,
+    /// How long a request keeps failing over to successors before the
+    /// transport error is surfaced. Must comfortably exceed the cluster's
+    /// failover timeout, or the client gives up before promotion happens.
+    pub failover_window: Duration,
+    /// Pause between failover retries against the successor.
+    pub retry_pause: Duration,
+}
+
+impl Default for ClusterClientConfig {
+    fn default() -> Self {
+        ClusterClientConfig {
+            client: ClientConfig::default(),
+            max_hops: 4,
+            failover_window: Duration::from_secs(10),
+            retry_pause: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A client that speaks to a whole cluster instead of one node.
+pub struct ClusterClient {
+    cfg: ClusterClientConfig,
+    ring: HashRing,
+    /// Live connections, by advertised address.
+    conns: HashMap<String, Client>,
+    /// Ordered routing decisions: `redirect`, `failover`, and `refresh`
+    /// events, for determinism assertions and debugging.
+    events: Vec<String>,
+}
+
+impl ClusterClient {
+    /// Bootstrap from any reachable node.
+    pub fn connect(seed: &str) -> io::Result<ClusterClient> {
+        ClusterClient::connect_with(seed, ClusterClientConfig::default())
+    }
+
+    /// Bootstrap from any reachable node with explicit configuration.
+    pub fn connect_with(seed: &str, cfg: ClusterClientConfig) -> io::Result<ClusterClient> {
+        let mut cc = ClusterClient {
+            cfg,
+            ring: HashRing::new(sedex_cluster::DEFAULT_SEED, sedex_cluster::DEFAULT_VNODES),
+            conns: HashMap::new(),
+            events: Vec::new(),
+        };
+        cc.refresh_from(seed)?;
+        Ok(cc)
+    }
+
+    /// The routing decisions taken so far, in order.
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    /// The topology version the client is currently routing on.
+    pub fn ring_version(&self) -> u64 {
+        self.ring.version()
+    }
+
+    /// The node a session would be sent to right now.
+    pub fn owner_of(&self, session: &str) -> Option<&str> {
+        self.ring.owner(session)
+    }
+
+    /// Re-pull the topology from `addr` and adopt it if newer.
+    pub fn refresh_from(&mut self, addr: &str) -> io::Result<()> {
+        let reply = self.conn(addr)?.cluster()?;
+        if !reply.ok {
+            self.conns.remove(addr);
+            return Err(io::Error::new(io::ErrorKind::InvalidData, reply.head));
+        }
+        let ring = HashRing::parse(&reply.body())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let version = ring.version();
+        if self.ring.adopt_if_newer(ring) {
+            self.events.push(format!("refresh version={version}"));
+        }
+        Ok(())
+    }
+
+    /// `OPEN` on the session's owner.
+    pub fn open(&mut self, session: &str, scenario: &str) -> io::Result<Reply> {
+        let scenario = scenario.to_owned();
+        self.routed(session, move |c, s| c.open(s, &scenario))
+    }
+
+    /// `PUSH` one data line on the session's owner.
+    pub fn push(&mut self, session: &str, data_line: &str) -> io::Result<Reply> {
+        let data = data_line.to_owned();
+        self.routed(session, move |c, s| c.push(s, &data))
+    }
+
+    /// `FEED` one data line on the session's owner.
+    pub fn feed(&mut self, session: &str, data_line: &str) -> io::Result<Reply> {
+        let data = data_line.to_owned();
+        self.routed(session, move |c, s| c.feed(s, &data))
+    }
+
+    /// `SQL` dump from the session's owner.
+    pub fn sql(&mut self, session: &str) -> io::Result<Reply> {
+        self.routed(session, |c, s| c.sql(s))
+    }
+
+    /// `STATS` for a session, answered by its owner.
+    pub fn stats(&mut self, session: &str) -> io::Result<Reply> {
+        self.routed(session, |c, s| c.stats(Some(s)))
+    }
+
+    /// `CLOSE` on the session's owner.
+    pub fn close(&mut self, session: &str) -> io::Result<Reply> {
+        self.routed(session, |c, s| c.close(s))
+    }
+
+    /// Route one request: resolve locally, follow `MOVED`, fail over past
+    /// dead nodes until the window closes.
+    fn routed(
+        &mut self,
+        session: &str,
+        op: impl Fn(&mut Client, &str) -> io::Result<Reply>,
+    ) -> io::Result<Reply> {
+        let deadline = Instant::now() + self.cfg.failover_window;
+        let mut hops = 0u32;
+        loop {
+            let Some((owner, addr)) = self.resolve(session) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "no alive node in the cluster snapshot",
+                ));
+            };
+            let outcome = match self.conn(&addr) {
+                Ok(c) => op(c, session),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(reply) => {
+                    if let Some((node, node_addr)) = parse_moved(&reply.head) {
+                        let known_dead =
+                            self.ring.addr_of(&node).is_some() && !self.ring.is_alive(&node);
+                        if known_dead {
+                            // Stale redirect: the replier hasn't noticed the
+                            // death this client already observed. Joining
+                            // would revive the corpse in our snapshot —
+                            // wait for the replier's failure detector to
+                            // promote instead, bounded by the window.
+                            self.events
+                                .push(format!("stale-redirect session={session} to={node}"));
+                            if Instant::now() >= deadline {
+                                return Ok(reply);
+                            }
+                            std::thread::sleep(self.cfg.retry_pause);
+                            continue;
+                        }
+                        hops += 1;
+                        self.events
+                            .push(format!("redirect session={session} to={node}"));
+                        if hops > self.cfg.max_hops {
+                            return Ok(reply);
+                        }
+                        // Trust the redirect even if the refresh fails —
+                        // the owner may know a newer ring than it serves.
+                        self.ring.join(&node, &node_addr);
+                        let _ = self.refresh_from(&node_addr);
+                        continue;
+                    }
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    // Transport failure: the owner is gone (or never came
+                    // up). Route like the cluster will after promotion —
+                    // mark it dead and try its successor.
+                    self.conns.remove(&addr);
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    self.ring.mark_dead(&owner);
+                    self.events
+                        .push(format!("failover session={session} dead={owner}"));
+                    std::thread::sleep(self.cfg.retry_pause);
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, session: &str) -> Option<(String, String)> {
+        let owner = self.ring.owner(session)?;
+        let addr = self.ring.addr_of(owner)?;
+        Some((owner.to_owned(), addr.to_owned()))
+    }
+
+    fn conn(&mut self, addr: &str) -> io::Result<&mut Client> {
+        if !self.conns.contains_key(addr) {
+            let c = Client::connect_with(addr, self.cfg.client.clone())?;
+            self.conns.insert(addr.to_owned(), c);
+        }
+        Ok(self.conns.get_mut(addr).expect("just inserted"))
+    }
+}
+
+/// Extract `(node, addr)` from an `ERR MOVED <node> <addr>` head.
+fn parse_moved(head: &str) -> Option<(String, String)> {
+    let rest = head.strip_prefix("MOVED ")?;
+    let mut parts = rest.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(node), Some(addr), None) => Some((node.to_owned(), addr.to_owned())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moved_heads_parse_and_others_do_not() {
+        assert_eq!(
+            parse_moved("MOVED n2 127.0.0.1:7002"),
+            Some(("n2".into(), "127.0.0.1:7002".into()))
+        );
+        assert_eq!(parse_moved("BUSY retry-after=100"), None);
+        assert_eq!(parse_moved("no such session `x`"), None);
+        assert_eq!(parse_moved("MOVED n2 127.0.0.1:7002 extra"), None);
+    }
+}

@@ -27,6 +27,10 @@
 //!   work; with [`server::ServerConfig::data_dir`] set, every acknowledged
 //!   operation is written ahead to a per-shard log ([`sedex_durable`]) and
 //!   sessions are recovered at the next startup;
+//! * [`cluster_client`] — the cluster-aware client: resolves `session →
+//!   node` locally on a [`sedex_cluster::HashRing`] snapshot, follows
+//!   `ERR MOVED` redirects, and fails over to the successor when a node
+//!   dies (see [`server::ServerConfig::cluster`] for the server side);
 //! * [`client`] — a blocking client used by the integration tests, with
 //!   bounded reconnect-and-retry (decorrelated-jitter backoff, honoring
 //!   the server's `ERR BUSY retry-after=<ms>` hints), a binary transport
@@ -57,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster_client;
 pub mod manager;
 pub mod protocol;
 mod reactor;
@@ -64,6 +69,8 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientConfig, Reply};
+pub use cluster_client::{ClusterClient, ClusterClientConfig};
 pub use manager::{SessionManager, Tenant};
 pub use protocol::{Proto, Request, Response};
+pub use sedex_cluster::ClusterConfig;
 pub use server::{sql_dump, Server, ServerConfig, ServerHandle, ServerStats, SHED_RETRY_AFTER_MS};

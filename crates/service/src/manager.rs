@@ -308,6 +308,88 @@ impl SessionManager {
         Ok(tenant.session.finish())
     }
 
+    /// Rebuild a session from its scenario body and exported state, then
+    /// install it — the live-migration receive path. The scenario is parsed
+    /// for the engine machinery (schemas, correspondences, cfds) exactly
+    /// like [`open`](Self::open), but no seed data is fed: `state` carries
+    /// the source and target instances wholesale. `on_commit` runs under
+    /// the shard map write lock, after the session became visible.
+    pub fn install_restored(
+        &self,
+        name: &str,
+        scenario: &str,
+        state: SessionState,
+        requests: u64,
+        tuples_in: u64,
+        on_commit: impl FnOnce(),
+    ) -> Result<(), ManagerError> {
+        let file = textfmt::parse_scenario(scenario).map_err(|e| format!("scenario {e}"))?;
+        let s = file.scenario;
+        let mut session =
+            SedexSession::new(self.session_config.clone(), s.source, s.target, s.sigma)
+                .map_err(|e| format!("session: {e}"))?
+                .with_cfds(file.cfds)
+                .with_label(name);
+        if let Some(obs) = &self.observer {
+            session = session.with_observer(Arc::clone(obs));
+        }
+        session.restore_state(state);
+        let shard = self.shard(name);
+        let mut map = shard.write().expect("shard lock poisoned");
+        if map.contains_key(name) {
+            return Err(format!("session `{name}` already exists"));
+        }
+        let mut tenant = Tenant::new(session, scenario.to_owned());
+        tenant.requests = requests;
+        tenant.tuples_in = tuples_in;
+        map.insert(name.to_owned(), Arc::new(Mutex::new(tenant)));
+        on_commit();
+        Ok(())
+    }
+
+    /// Remove the tenant and hand its pieces back **without** finishing
+    /// the session — the live-migration path: the caller exports the
+    /// session's state and ships it to another node. `on_remove` runs while
+    /// the shard map write lock is still held (the durability layer appends
+    /// the `Close` WAL record there, same contract as
+    /// [`close_with`](Self::close_with)). Returns
+    /// `(scenario, requests, tuples_in, session)`.
+    pub fn take(
+        &self,
+        name: &str,
+        on_remove: impl FnOnce(),
+    ) -> Result<(String, u64, u64, SedexSession), ManagerError> {
+        let tenant = {
+            let mut map = self.shard(name).write().expect("shard lock poisoned");
+            let tenant = map
+                .remove(name)
+                .ok_or_else(|| format!("no such session `{name}`"))?;
+            on_remove();
+            tenant
+        };
+        // Same sole-ownership spin as `close_with`: a request already
+        // holding the tenant finishes first, then the Arc unwraps.
+        let tenant = match Arc::try_unwrap(tenant) {
+            Ok(m) => m.into_inner().unwrap_or_else(|p| p.into_inner()),
+            Err(arc) => {
+                let mut arc = arc;
+                loop {
+                    std::thread::yield_now();
+                    match Arc::try_unwrap(arc) {
+                        Ok(m) => break m.into_inner().unwrap_or_else(|p| p.into_inner()),
+                        Err(a) => arc = a,
+                    }
+                }
+            }
+        };
+        Ok((
+            tenant.scenario,
+            tenant.requests,
+            tenant.tuples_in,
+            tenant.session,
+        ))
+    }
+
     /// Number of live sessions across all shards.
     pub fn len(&self) -> usize {
         self.shards

@@ -182,6 +182,51 @@ pub enum Request {
     },
     /// Graceful server shutdown.
     Shutdown,
+    /// Dump the cluster topology (ring version, members, standby state).
+    Cluster,
+    /// A node announces itself (or is announced) to the ring.
+    Join {
+        /// Joining node's id.
+        node: String,
+        /// Joining node's advertised address.
+        addr: String,
+    },
+    /// Planned departure. `node: None` asks the *receiving* node to migrate
+    /// its sessions out and leave; `node: Some(_)` is a membership
+    /// announcement that the named node has left.
+    Leave {
+        /// Departing node, when this is an announcement.
+        node: Option<String>,
+    },
+    /// Heartbeat from a peer node.
+    Ping {
+        /// Sending node's id.
+        node: String,
+    },
+    /// Live session handoff from a leaving node (binary protocol only):
+    /// the full exported session state, installed verbatim.
+    Migrate {
+        /// Session name.
+        session: String,
+        /// The scenario body the session was opened with.
+        scenario: String,
+        /// Requests served so far (tenant bookkeeping).
+        requests: u64,
+        /// Tuples pushed or fed so far (tenant bookkeeping).
+        tuples_in: u64,
+        /// Encoded [`SessionState`](sedex_core::SessionState) —
+        /// `sedex_durable::encode_session_state` layout.
+        state: Vec<u8>,
+    },
+    /// One replicated WAL record from a peer (binary protocol only).
+    Repl {
+        /// Origin node id.
+        origin: String,
+        /// Origin shard index.
+        shard: u32,
+        /// The raw WAL frame payload (`lsn u64 | kind u8 | body`).
+        payload: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -199,8 +244,34 @@ impl Request {
             | Request::Sql { session }
             | Request::Close { session } => Some(session),
             Request::Stats { session } => session.as_deref(),
-            Request::Metrics | Request::Trace { .. } | Request::Shutdown => None,
+            Request::Migrate { session, .. } => Some(session),
+            Request::Metrics
+            | Request::Trace { .. }
+            | Request::Shutdown
+            | Request::Cluster
+            | Request::Join { .. }
+            | Request::Leave { .. }
+            | Request::Ping { .. }
+            | Request::Repl { .. } => None,
         }
+    }
+
+    /// True for the session-addressed client verbs that cluster routing
+    /// applies to — the ones a non-owner answers with `MOVED`. Internal
+    /// node-to-node verbs (`MIGRATE`, `REPL`) and introspection are exempt.
+    pub fn is_routed(&self) -> bool {
+        matches!(
+            self,
+            Request::Open { .. }
+                | Request::Push { .. }
+                | Request::Feed { .. }
+                | Request::PushTuple { .. }
+                | Request::FeedTuple { .. }
+                | Request::PushBatch { .. }
+                | Request::Flush { .. }
+                | Request::Sql { .. }
+                | Request::Close { .. }
+        )
     }
 
     /// The canonical verb name, as stamped into request spans and
@@ -218,6 +289,12 @@ impl Request {
             Request::Sql { .. } => "SQL",
             Request::Close { .. } => "CLOSE",
             Request::Shutdown => "SHUTDOWN",
+            Request::Cluster => "CLUSTER",
+            Request::Join { .. } => "JOIN",
+            Request::Leave { .. } => "LEAVE",
+            Request::Ping { .. } => "PING",
+            Request::Migrate { .. } => "MIGRATE",
+            Request::Repl { .. } => "REPL",
         }
     }
 }
@@ -422,8 +499,54 @@ pub fn parse_request(line: &str, open_body: Option<String>) -> Result<Request, P
                 Err(bad("SHUTDOWN takes no arguments"))
             }
         }
+        "CLUSTER" => {
+            if rest.is_empty() {
+                Ok(Request::Cluster)
+            } else {
+                Err(bad("CLUSTER takes no arguments"))
+            }
+        }
+        "JOIN" => {
+            let (node, addr) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| bad("JOIN <node> <addr>"))?;
+            if !valid_session_name(node) {
+                return Err(bad(format!("invalid node id `{node}`")));
+            }
+            let addr = addr.trim();
+            if addr.is_empty() || addr.len() > 256 || addr.contains(char::is_whitespace) {
+                return Err(bad(format!("invalid node address `{addr}`")));
+            }
+            Ok(Request::Join {
+                node: node.to_owned(),
+                addr: addr.to_owned(),
+            })
+        }
+        "LEAVE" => {
+            if rest.is_empty() {
+                Ok(Request::Leave { node: None })
+            } else if valid_session_name(rest) {
+                Ok(Request::Leave {
+                    node: Some(rest.to_owned()),
+                })
+            } else {
+                Err(bad(format!("invalid node id `{rest}`")))
+            }
+        }
+        "PING" => {
+            if valid_session_name(rest) {
+                Ok(Request::Ping {
+                    node: rest.to_owned(),
+                })
+            } else {
+                Err(bad("PING <node>"))
+            }
+        }
+        "MIGRATE" | "REPL" => Err(bad(format!(
+            "{verb} is a node-to-node verb on the binary protocol only"
+        ))),
         other => Err(bad(format!(
-            "unknown command `{other}` (OPEN|PUSH|FEED|FLUSH|STATS|METRICS|TRACE|SQL|CLOSE|SHUTDOWN)"
+            "unknown command `{other}` (OPEN|PUSH|FEED|FLUSH|STATS|METRICS|TRACE|SQL|CLOSE|SHUTDOWN|CLUSTER|JOIN|LEAVE|PING)"
         ))),
     }
 }
@@ -533,6 +656,56 @@ mod tests {
     fn unknown_verbs_are_rejected() {
         let e = parse_request("FROB x", None).unwrap_err();
         assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn cluster_verbs_parse() {
+        assert_eq!(parse_request("CLUSTER", None).unwrap(), Request::Cluster);
+        assert!(parse_request("CLUSTER extra", None).is_err());
+        assert_eq!(
+            parse_request("JOIN n2 127.0.0.1:7002", None).unwrap(),
+            Request::Join {
+                node: "n2".into(),
+                addr: "127.0.0.1:7002".into()
+            }
+        );
+        assert!(parse_request("JOIN n2", None).is_err());
+        assert!(parse_request("JOIN bad id 127.0.0.1:1 extra", None).is_err());
+        assert_eq!(
+            parse_request("LEAVE", None).unwrap(),
+            Request::Leave { node: None }
+        );
+        assert_eq!(
+            parse_request("LEAVE n1", None).unwrap(),
+            Request::Leave {
+                node: Some("n1".into())
+            }
+        );
+        assert_eq!(
+            parse_request("PING n1", None).unwrap(),
+            Request::Ping { node: "n1".into() }
+        );
+        assert!(parse_request("PING", None).is_err());
+        // Node-to-node verbs exist only on the binary protocol.
+        assert!(parse_request("MIGRATE s1", None).is_err());
+        assert!(parse_request("REPL n1 0", None).is_err());
+    }
+
+    #[test]
+    fn routing_applies_to_session_verbs_only() {
+        assert!(parse_request("PUSH t1 R: a", None).unwrap().is_routed());
+        assert!(parse_request("CLOSE t1", None).unwrap().is_routed());
+        assert!(!parse_request("STATS t1", None).unwrap().is_routed());
+        assert!(!parse_request("CLUSTER", None).unwrap().is_routed());
+        assert!(!Request::Shutdown.is_routed());
+        assert!(!Request::Migrate {
+            session: "s".into(),
+            scenario: String::new(),
+            requests: 0,
+            tuples_in: 0,
+            state: Vec::new(),
+        }
+        .is_routed());
     }
 
     #[test]

@@ -52,14 +52,43 @@ use crate::protocol::{
     MAX_OPEN_BODY_LINES,
 };
 use crate::server::{
-    busy_response, deadline_response, Done, Job, JobTrace, Shared, DEADLINE_REPLY_GRACE,
+    busy_response, deadline_response, promote_dead_peer, repl_catchup_frames, Done, Job, JobTrace,
+    Shared, DEADLINE_REPLY_GRACE,
 };
 use crate::wire;
 
 /// Token of the listening socket.
 const LISTENER: Token = Token(0);
+/// Token of the outbound replication/heartbeat link to the ring successor.
+const PEER: Token = Token(1);
 /// First token handed to an accepted connection.
 const FIRST_CONN: u64 = 16;
+
+/// The outbound link to this node's designated successor: heartbeats and
+/// replicated WAL records ride it, multiplexed on the reactor thread like
+/// any other socket — cluster mode adds no threads. The link speaks the
+/// ordinary binary client protocol (`HELLO binary`, then `PING`/`REPL`
+/// frames), so the follower needs no special listener.
+struct PeerLink {
+    stream: TcpStream,
+    /// Node id the link targets; torn down when the successor changes.
+    target: String,
+    rbuf: ByteQueue,
+    wbuf: WriteBuf,
+    frames: FrameDecoder,
+    /// False until the text `HELLO` reply block has been consumed.
+    ready: bool,
+    /// Responses the peer still owes, in send order (the protocol answers
+    /// serially, so one queue is enough to attribute acks).
+    awaiting: VecDeque<PeerSend>,
+    interest: Interest,
+}
+
+/// What one outstanding peer response will acknowledge.
+enum PeerSend {
+    Ping,
+    Repl,
+}
 
 /// An `OPEN` whose body is still being collected (text protocol only; the
 /// binary protocol carries the scenario inside the frame).
@@ -160,6 +189,7 @@ pub(crate) fn reactor_loop(
     shared: Arc<Shared>,
     window: usize,
 ) {
+    let next_heartbeat = shared.cluster.as_ref().map(|_| Instant::now());
     let mut reactor = Reactor {
         shared,
         poller,
@@ -176,6 +206,9 @@ pub(crate) fn reactor_loop(
         rbuf_hw: 0,
         wbuf_hw: 0,
         pipeline_hw: 0,
+        peer: None,
+        next_heartbeat,
+        cluster_since: Instant::now(),
     };
     reactor.run();
 }
@@ -204,6 +237,15 @@ struct Reactor {
     rbuf_hw: usize,
     wbuf_hw: usize,
     pipeline_hw: usize,
+    /// Replication/heartbeat link to the ring successor; `None` when not
+    /// clustered, not connected yet, or between reconnect attempts.
+    peer: Option<PeerLink>,
+    /// Next heartbeat tick; `None` when not clustered (so the poll timeout
+    /// stays infinite and single-node idle behaviour is unchanged).
+    next_heartbeat: Option<Instant>,
+    /// When this node's cluster view began — peers never heard from count
+    /// their silence from here.
+    cluster_since: Instant,
 }
 
 /// Outcome of trying to hand a job to the worker pool.
@@ -245,6 +287,10 @@ impl Reactor {
             }
             self.retry_stalled();
             self.expire_deadlines();
+            self.cluster_tick();
+            // Workers wake the reactor after every completion, so records
+            // their WAL appends queued are shipped within one loop turn.
+            self.peer_ship();
             if self.draining && self.conns.is_empty() {
                 break;
             }
@@ -272,11 +318,14 @@ impl Reactor {
             for &ev in events.iter() {
                 if ev.token == LISTENER {
                     self.accept_ready();
+                } else if ev.token == PEER {
+                    self.peer_event(ev.readable, ev.writable);
                 } else {
                     self.conn_event(ev.token.0, ev.readable, ev.writable);
                 }
             }
         }
+        self.teardown_peer();
         let _ = self.poller.deregister(self.listener.as_raw_fd());
         for (_, conn) in self.conns.drain() {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
@@ -287,9 +336,14 @@ impl Reactor {
         // `self.tx` drops with the reactor: workers drain and exit.
     }
 
-    /// Poll timeout: until the earliest pending deadline, else forever.
+    /// Poll timeout: until the earliest pending deadline or the next
+    /// cluster heartbeat, else forever.
     fn next_timeout(&self) -> Option<Duration> {
-        let (at, _) = self.expiries.keys().next()?;
+        let deadline = self.expiries.keys().next().map(|&(at, _)| at);
+        let at = match (deadline, self.next_heartbeat) {
+            (Some(a), Some(b)) => a.min(b),
+            (a, b) => a.or(b)?,
+        };
         Some(at.saturating_duration_since(Instant::now()))
     }
 
@@ -333,7 +387,10 @@ impl Reactor {
                 r.flush_conn(token);
             }
             if let Some(t) = trace {
-                let span = t.into_span(proto, clk.stop_nanos());
+                let mut span = t.into_span(proto, clk.stop_nanos());
+                if let Some(cl) = &r.shared.cluster {
+                    span.node = cl.state.node_id().to_owned();
+                }
                 r.observe_stages(&span);
                 if let Some(rec) = &r.shared.recorder {
                     rec.record(span);
@@ -1161,6 +1218,317 @@ impl Reactor {
             }
         }
         self.shared.stats.open_conns.set(self.conns.len() as i64);
+    }
+
+    // --- cluster peer link --------------------------------------------
+
+    /// Heartbeat tick: run the failure detector, keep the replication link
+    /// pointed at the current ring successor, and ping it. Panic-isolated
+    /// like per-connection work — a wedged cluster path costs the link, not
+    /// the reactor.
+    fn cluster_tick(&mut self) {
+        let Some(at) = self.next_heartbeat else {
+            return;
+        };
+        if Instant::now() < at {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        let cl = shared
+            .cluster
+            .as_ref()
+            .expect("heartbeat set only with cluster");
+        self.next_heartbeat = Some(Instant::now() + cl.state.config.heartbeat);
+        if catch_unwind(AssertUnwindSafe(|| self.heartbeat(cl))).is_err() {
+            self.teardown_peer();
+        }
+    }
+
+    fn heartbeat(&mut self, cl: &crate::server::ClusterRt) {
+        for dead in cl.state.dead_peers(self.cluster_since) {
+            promote_dead_peer(&self.shared, &dead);
+        }
+        if cl.state.left.load(Ordering::Relaxed) {
+            // A departed node replicates nothing and pings nobody; it only
+            // answers redirects until the operator stops it.
+            self.teardown_peer();
+            return;
+        }
+        let desired = {
+            let ring = cl.state.ring.read().unwrap_or_else(|e| e.into_inner());
+            ring.successor(cl.state.node_id())
+                .map(|n| (n.to_owned(), ring.addr_of(n).unwrap_or_default().to_owned()))
+        };
+        if let (Some(link), Some((node, _))) = (&self.peer, &desired) {
+            if &link.target != node {
+                self.teardown_peer();
+            }
+        } else if self.peer.is_some() && desired.is_none() {
+            self.teardown_peer();
+        }
+        let Some((node, addr)) = desired else {
+            return;
+        };
+        if self.peer.is_none() && node != cl.state.node_id() {
+            self.connect_peer(&node, &addr);
+        }
+        let ping = wire::encode_request(&Request::Ping {
+            node: cl.state.node_id().to_owned(),
+        });
+        if let (Some(link), Ok(bytes)) = (&mut self.peer, ping) {
+            if link.ready {
+                link.wbuf.queue(&bytes);
+                link.awaiting.push_back(PeerSend::Ping);
+            }
+        }
+        self.flush_peer();
+    }
+
+    /// Dial the successor. Blocking, but bounded well under the heartbeat
+    /// interval — an unreachable peer costs the loop 50ms once per tick,
+    /// not a stall.
+    fn connect_peer(&mut self, node: &str, addr: &str) {
+        use std::net::ToSocketAddrs;
+        let Some(sa) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+            return;
+        };
+        let Ok(stream) = TcpStream::connect_timeout(&sa, Duration::from_millis(50)) else {
+            return;
+        };
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if self
+            .poller
+            .register(stream.as_raw_fd(), PEER, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        let mut link = PeerLink {
+            stream,
+            target: node.to_owned(),
+            rbuf: ByteQueue::new(),
+            wbuf: WriteBuf::new(),
+            frames: FrameDecoder::new(wire::MAX_FRAME_BYTES),
+            ready: false,
+            awaiting: VecDeque::new(),
+            interest: Interest::READ,
+        };
+        link.wbuf.queue(b"HELLO binary\n");
+        self.peer = Some(link);
+        self.flush_peer();
+    }
+
+    fn peer_event(&mut self, readable: bool, writable: bool) {
+        if catch_unwind(AssertUnwindSafe(|| {
+            if writable {
+                self.flush_peer();
+            }
+            if readable {
+                self.peer_readable();
+            }
+            self.peer_ship();
+        }))
+        .is_err()
+        {
+            self.teardown_peer();
+        }
+    }
+
+    fn peer_readable(&mut self) {
+        loop {
+            let outcome = {
+                let Some(link) = &mut self.peer else {
+                    return;
+                };
+                let (rbuf, stream) = (&mut link.rbuf, &link.stream);
+                read_once(&mut { stream }, rbuf, 64 * 1024)
+            };
+            match outcome {
+                Ok(ReadOutcome::Data(_)) => {
+                    if !self.peer_parse() {
+                        return;
+                    }
+                }
+                Ok(ReadOutcome::WouldBlock) => return,
+                Ok(ReadOutcome::Closed) | Err(_) => {
+                    self.teardown_peer();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consume buffered peer bytes: the text `HELLO` reply first, then
+    /// binary response frames, each acknowledging the oldest outstanding
+    /// send. Returns false when the link was torn down.
+    fn peer_parse(&mut self) -> bool {
+        let Some(mut link) = self.peer.take() else {
+            return false;
+        };
+        let shared = Arc::clone(&self.shared);
+        let Some(cl) = shared.cluster.as_ref() else {
+            return false;
+        };
+        let mut just_ready = false;
+        let alive = loop {
+            if !link.ready {
+                let Some(i) = link.rbuf.as_slice().iter().position(|&b| b == b'\n') else {
+                    break true;
+                };
+                let raw = link.rbuf.as_slice()[..i].to_vec();
+                link.rbuf.consume(i + 1);
+                let line = String::from_utf8_lossy(&raw);
+                let line = line.trim_end_matches('\r');
+                if line.starts_with("ERR") {
+                    break false;
+                }
+                if line.trim() == "." {
+                    link.ready = true;
+                    just_ready = true;
+                }
+                continue;
+            }
+            match link.frames.decode(&mut link.rbuf) {
+                None => break true,
+                Some(FrameEvent::Oversized { .. }) => break false,
+                Some(FrameEvent::Frame { opcode, payload }) => {
+                    let Ok((ok, head, _)) = wire::decode_response(opcode, &payload) else {
+                        break false;
+                    };
+                    match link.awaiting.pop_front() {
+                        Some(PeerSend::Repl) if ok => {
+                            cl.state.repl_acked.fetch_add(1, Ordering::Relaxed);
+                            cl.state.note_peer(&link.target);
+                        }
+                        Some(PeerSend::Ping) if ok => cl.state.note_peer(&link.target),
+                        Some(_) => {
+                            eprintln!(
+                                "sedex-service: follower {} refused a frame: {head}",
+                                link.target
+                            );
+                            break false;
+                        }
+                        None => break false,
+                    }
+                }
+            }
+        };
+        self.peer = Some(link);
+        if !alive {
+            self.teardown_peer();
+            return false;
+        }
+        if just_ready {
+            // Order matters: gate appends into the queue *before* the disk
+            // catch-up. `catch_up_with` holds the queue lock across the
+            // read, so an append racing this either lands after the
+            // catch-up (kept) or reached disk before it (re-read); the
+            // standby's watermark swallows the overlap.
+            cl.replicating.store(true, Ordering::SeqCst);
+            cl.state.repl_acked.store(
+                cl.state.repl_sent.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            cl.state.catch_up_with(|| repl_catchup_frames(&self.shared));
+            self.peer_ship();
+        }
+        true
+    }
+
+    /// Move queued replication records onto the link, bounding the bytes
+    /// buffered in userspace — a slow follower backpressures into the
+    /// queue, whose length the lag gauge reports honestly.
+    fn peer_ship(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let Some(cl) = shared.cluster.as_ref() else {
+            return;
+        };
+        {
+            let Some(link) = &mut self.peer else {
+                return;
+            };
+            if !link.ready {
+                return;
+            }
+            while link.wbuf.len() < (1 << 20) {
+                let frames = cl.state.drain_repl(64);
+                if frames.is_empty() {
+                    break;
+                }
+                for f in frames {
+                    let Ok(bytes) = wire::encode_request(&Request::Repl {
+                        origin: cl.state.node_id().to_owned(),
+                        shard: f.shard,
+                        payload: f.payload,
+                    }) else {
+                        continue;
+                    };
+                    link.wbuf.queue(&bytes);
+                    link.awaiting.push_back(PeerSend::Repl);
+                    cl.state.repl_sent.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.flush_peer();
+    }
+
+    fn flush_peer(&mut self) {
+        let flushed = {
+            let Some(link) = &mut self.peer else {
+                return;
+            };
+            if link.wbuf.is_empty() {
+                Ok(true)
+            } else {
+                let (wbuf, stream) = (&mut link.wbuf, &link.stream);
+                wbuf.flush(&mut { stream })
+            }
+        };
+        if flushed.is_err() {
+            self.teardown_peer();
+        } else {
+            self.update_peer_interest();
+        }
+    }
+
+    fn update_peer_interest(&mut self) {
+        let Some(link) = &mut self.peer else {
+            return;
+        };
+        let want = Interest {
+            readable: true,
+            writable: !link.wbuf.is_empty(),
+        };
+        if want != link.interest
+            && self
+                .poller
+                .modify(link.stream.as_raw_fd(), PEER, want)
+                .is_ok()
+        {
+            link.interest = want;
+        }
+    }
+
+    /// Drop the replication link. Un-gates WAL appends (nothing enqueues
+    /// while down — the reconnect's disk catch-up supersedes the queue)
+    /// and zeroes the visible lag: in-flight unacked frames will simply be
+    /// re-read from disk next time.
+    fn teardown_peer(&mut self) {
+        let Some(link) = self.peer.take() else {
+            return;
+        };
+        let _ = self.poller.deregister(link.stream.as_raw_fd());
+        if let Some(cl) = &self.shared.cluster {
+            cl.replicating.store(false, Ordering::SeqCst);
+            cl.state.repl_acked.store(
+                cl.state.repl_sent.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            cl.state.catch_up_with(Vec::new);
+        }
     }
 
     // --- timers and shutdown ------------------------------------------

@@ -29,11 +29,13 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use sedex_cluster::{ClusterConfig, ClusterState, HashRing, ReplFrame, Route};
 use sedex_core::render::sql_literal;
 use sedex_core::{Observer, SedexConfig};
+use sedex_durable::recover::list_segments;
 use sedex_durable::{
-    recover_data_dir, DurableMetrics, DurableShard, FaultKind, FaultPlan, FaultPoint, FsyncPolicy,
-    SessionSnapshot, WalRecord,
+    decode_session_state, encode_session_state, read_segment, recover_data_dir, DurableMetrics,
+    DurableShard, FaultKind, FaultPlan, FaultPoint, FsyncPolicy, SessionSnapshot, WalRecord,
 };
 use sedex_net::{Poller, Waker};
 use sedex_observe::{
@@ -41,8 +43,10 @@ use sedex_observe::{
     RegistryObserver, ReqSpan,
 };
 use sedex_scenarios::textfmt;
+use sedex_storage::codec::{ByteReader, ByteWriter};
 use sedex_storage::{Instance, Tuple};
 
+use crate::client::{Client, ClientConfig};
 use crate::manager::SessionManager;
 use crate::protocol::{Proto, Request, Response};
 use crate::reactor::reactor_loop;
@@ -130,6 +134,13 @@ pub struct ServerConfig {
     /// additional clock reads or atomics, per the observability
     /// convention.
     pub trace_buffer: usize,
+    /// Cluster membership: `Some` makes this node part of a multi-node
+    /// ring — session-addressed requests for sessions another node owns
+    /// are answered `ERR MOVED <node> <addr>`, WAL records ship to the
+    /// ring successor as a warm standby, and a planned `LEAVE` migrates
+    /// every owned session out before departing. `None` (the default) is
+    /// plain single-node operation with zero cluster overhead.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -156,6 +167,7 @@ impl Default for ServerConfig {
             fault_plan: None,
             pipeline_window: 128,
             trace_buffer: 0,
+            cluster: None,
         }
     }
 }
@@ -376,6 +388,33 @@ struct Durability {
     skip_final_checkpoint: AtomicBool,
 }
 
+/// Cluster runtime: the shared [`ClusterState`] plus the metric handles
+/// the cluster paths feed.
+pub(crate) struct ClusterRt {
+    /// Ring, migration bookkeeping, failure evidence, standby, repl queue.
+    pub(crate) state: Arc<ClusterState>,
+    /// `sedex_redirects_total` — `MOVED` replies served.
+    pub(crate) redirects: Arc<Counter>,
+    /// `sedex_replication_lag_records` — shipped-unacked plus queued.
+    pub(crate) repl_lag: Arc<Gauge>,
+    /// `sedex_cluster_ring_version` — this node's view of the map version.
+    pub(crate) ring_version: Arc<Gauge>,
+    /// True while the reactor's replication link to the successor is up:
+    /// `wal_append` only enqueues records then. A link (re)connect runs a
+    /// disk catch-up that supersedes anything missed while this was false.
+    pub(crate) replicating: AtomicBool,
+}
+
+impl ClusterRt {
+    /// Count one `MOVED` redirect (registry counter + cluster state).
+    pub(crate) fn count_redirect(&self) {
+        self.redirects.inc();
+        self.state
+            .redirects
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 /// State shared by every thread of one server.
 pub(crate) struct Shared {
     pub(crate) manager: SessionManager,
@@ -385,6 +424,15 @@ pub(crate) struct Shared {
     pub(crate) started: Instant,
     pub(crate) workers: usize,
     durability: Option<Durability>,
+    /// Cluster runtime; `None` in single-node operation.
+    pub(crate) cluster: Option<ClusterRt>,
+    /// Session config and observer, kept for paths that build sessions
+    /// outside the manager (standby replay of replicated records).
+    pub(crate) session_config: SedexConfig,
+    pub(crate) observer: Option<Arc<dyn Observer>>,
+    /// Durability root, if any — the replication catch-up reads WAL
+    /// segments straight from disk.
+    pub(crate) data_dir: Option<PathBuf>,
     pub(crate) request_timeout: Option<Duration>,
     pub(crate) max_conns: usize,
     pub(crate) shed_queue_depth: usize,
@@ -482,6 +530,7 @@ impl DoneTrace {
             queue_nanos: self.queue_nanos,
             exec_nanos: self.exec_nanos,
             flush_nanos,
+            node: String::new(),
         }
     }
 }
@@ -538,6 +587,29 @@ impl Server {
             )?),
             None => None,
         };
+        let cluster = cfg.cluster.clone().map(|mut c| {
+            // A node must be reachable at the address it publishes in the
+            // ring; default to the actually-bound address (resolves port 0).
+            if c.advertise.is_empty() {
+                c.advertise = addr.to_string();
+            }
+            ClusterRt {
+                state: Arc::new(ClusterState::new(c)),
+                redirects: registry.counter(
+                    "sedex_redirects_total",
+                    "Session-addressed requests answered ERR MOVED",
+                ),
+                repl_lag: registry.gauge(
+                    "sedex_replication_lag_records",
+                    "WAL records shipped but unacknowledged, plus queued",
+                ),
+                ring_version: registry.gauge(
+                    "sedex_cluster_ring_version",
+                    "This node's view of the cluster map version",
+                ),
+                replicating: AtomicBool::new(false),
+            }
+        });
         let shared = Arc::new(Shared {
             manager,
             registry,
@@ -546,6 +618,10 @@ impl Server {
             started: Instant::now(),
             workers: cfg.workers.max(1),
             durability,
+            cluster,
+            session_config: session_config.clone(),
+            observer: observer.clone(),
+            data_dir: cfg.data_dir.clone(),
             request_timeout: cfg.request_timeout,
             max_conns: cfg.max_conns,
             shed_queue_depth: cfg.shed_queue_depth,
@@ -601,6 +677,8 @@ impl Server {
                 .spawn(move || reactor_loop(listener, poller, tx, done_rx, shared, window))
                 .expect("spawn reactor")
         };
+
+        cluster_startup_join(&shared);
 
         Ok(ServerHandle {
             shared,
@@ -843,9 +921,14 @@ pub(crate) fn deadline_response(shared: &Shared) -> Response {
 pub(crate) const DEADLINE_REPLY_GRACE: Duration = Duration::from_millis(50);
 
 /// Execute one request against the shared state. Pure request → response;
-/// all I/O happens in the reactor thread. `proto` is the protocol the
-/// request arrived on — it only affects the `STATS` rendering.
+/// all I/O happens in the reactor thread (the cluster paths are the one
+/// exception: `JOIN`/`LEAVE` fan announcements out to peers from the
+/// worker). `proto` is the protocol the request arrived on — it only
+/// affects the `STATS` rendering.
 fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
+    if let Some(resp) = cluster_gate(shared, request) {
+        return resp;
+    }
     match request {
         Request::Open { session, body } => {
             // The Open record is appended while the map write lock is still
@@ -1050,9 +1133,557 @@ fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
                 Err(e) => Response::err(e),
             }
         }
+        Request::Cluster => cluster_status(shared),
+        Request::Join { node, addr } => cluster_join(shared, node, addr),
+        Request::Leave { node: Some(node) } => cluster_leave_announced(shared, node),
+        Request::Leave { node: None } => cluster_leave_self(shared),
+        Request::Ping { node } => match &shared.cluster {
+            None => Response::err("not in cluster mode"),
+            Some(cl) => {
+                cl.state.note_peer(node);
+                Response::ok(format!("pong {}", cl.state.node_id()))
+            }
+        },
+        Request::Migrate {
+            session,
+            scenario,
+            requests,
+            tuples_in,
+            state,
+        } => cluster_migrate_in(shared, session, scenario, *requests, *tuples_in, state),
+        Request::Repl {
+            origin,
+            shard,
+            payload,
+        } => cluster_repl_in(shared, origin, *shard, payload),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::ok("shutting down")
+        }
+    }
+}
+
+// --- cluster ----------------------------------------------------------
+
+/// Ownership gate for session-addressed verbs in cluster mode. A session
+/// live on this node is always served here (local wins — the ring may lag
+/// a migration or failover, but the bytes are *here*); otherwise migration
+/// bookkeeping and the ring decide: mid-handoff sessions answer `BUSY`
+/// (clients retry transparently), sessions owned elsewhere answer
+/// `ERR MOVED <node> <addr>`.
+fn cluster_gate(shared: &Shared, request: &Request) -> Option<Response> {
+    let cl = shared.cluster.as_ref()?;
+    if !request.is_routed() {
+        return None;
+    }
+    let name = request.session()?;
+    if shared.manager.get(name).is_some() {
+        return None;
+    }
+    match cl.state.route(name) {
+        Route::Local => None,
+        Route::Migrating => Some(busy_response()),
+        Route::Moved(node, addr) => {
+            cl.count_redirect();
+            Some(Response::err(format!("MOVED {node} {addr}")))
+        }
+    }
+}
+
+/// Re-route a `no such session` failure that slipped past the gate (the
+/// session was taken by a migration or close between the gate's check and
+/// the tenant lookup). Returns the cluster answer, or `None` when the
+/// miss is genuine.
+fn cluster_recheck(shared: &Shared, name: &str) -> Option<Response> {
+    let cl = shared.cluster.as_ref()?;
+    match cl.state.route(name) {
+        Route::Migrating => Some(busy_response()),
+        Route::Moved(node, addr) => {
+            cl.count_redirect();
+            Some(Response::err(format!("MOVED {node} {addr}")))
+        }
+        Route::Local => None,
+    }
+}
+
+/// The `CLUSTER` verb: this node's view of the ring (parseable by
+/// [`HashRing::parse`] — unknown lines are ignored), standby holdings, and
+/// replication progress.
+fn cluster_status(shared: &Shared) -> Response {
+    let Some(cl) = &shared.cluster else {
+        return Response::err("not in cluster mode");
+    };
+    let st = &cl.state;
+    let ring = st.ring.read().unwrap_or_else(|e| e.into_inner());
+    let head = format!(
+        "cluster node {} ring-version {} ({} nodes, {} alive)",
+        st.node_id(),
+        ring.version(),
+        ring.len(),
+        ring.alive(),
+    );
+    let mut lines: Vec<String> = ring.render().lines().map(str::to_owned).collect();
+    drop(ring);
+    {
+        let standby = st.standby.lock().unwrap_or_else(|e| e.into_inner());
+        let mut origins: Vec<&String> = standby.keys().collect();
+        origins.sort();
+        for origin in origins {
+            let set = &standby[origin];
+            lines.push(format!(
+                "standby {origin} sessions={} records={} errors={}",
+                set.sessions.len(),
+                set.records,
+                set.errors,
+            ));
+        }
+    }
+    lines.push(format!(
+        "repl queued={} sent={} acked={} lag={}",
+        st.repl_queued(),
+        st.repl_sent.load(Ordering::Relaxed),
+        st.repl_acked.load(Ordering::Relaxed),
+        st.repl_lag(),
+    ));
+    lines.push(format!(
+        "redirects {}",
+        st.redirects.load(Ordering::Relaxed)
+    ));
+    Response {
+        ok: true,
+        head,
+        lines,
+    }
+}
+
+/// A short-timeout, no-retry client for node-to-node announcements.
+fn peer_client_config() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Some(Duration::from_millis(500)),
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        max_attempts: 1,
+        binary: false,
+        ..ClientConfig::default()
+    }
+}
+
+/// Best-effort fire of one command at a list of peer addresses; failures
+/// are logged and skipped (announcements are convergence hints, not
+/// transactions — a peer that missed one learns from the next `CLUSTER`
+/// fetch or redirect).
+fn announce_to_peers(peers: &[(String, String)], command: &str) {
+    for (node, addr) in peers {
+        let sent = Client::connect_with(addr.as_str(), peer_client_config())
+            .and_then(|mut c| c.request(command));
+        if let Err(e) = sent {
+            eprintln!("sedex-service: announce `{command}` to {node} ({addr}) failed: {e}");
+        }
+    }
+}
+
+/// Alive peers other than this node (and `except`), as `(node, addr)`.
+fn alive_peers(state: &ClusterState, except: &str) -> Vec<(String, String)> {
+    let ring = state.ring.read().unwrap_or_else(|e| e.into_inner());
+    ring.nodes()
+        .filter(|(id, e)| *id != state.node_id() && *id != except && e.alive)
+        .map(|(id, e)| (id.to_owned(), e.addr.clone()))
+        .collect()
+}
+
+/// The `JOIN <node> <addr>` verb: add the node to the ring and reply with
+/// the full topology (the joiner adopts it). A *fresh* join is announced
+/// to the other alive members, so a join through any one node reaches all
+/// of them; repeats are idempotent and do not re-propagate.
+fn cluster_join(shared: &Shared, node: &str, addr: &str) -> Response {
+    let Some(cl) = &shared.cluster else {
+        return Response::err("not in cluster mode");
+    };
+    cl.state.note_peer(node);
+    let (fresh, rendered) = {
+        let mut ring = cl.state.ring.write().unwrap_or_else(|e| e.into_inner());
+        let was_known = ring.addr_of(node).is_some();
+        let changed = ring.join(node, addr);
+        (changed && !was_known, ring.render())
+    };
+    if fresh {
+        for (peer, peer_addr) in alive_peers(&cl.state, node) {
+            announce_to_peers(&[(peer, peer_addr)], &format!("JOIN {node} {addr}"));
+        }
+    }
+    let mut resp = Response::ok(format!("joined {node}"));
+    resp.lines = rendered.lines().map(str::to_owned).collect();
+    resp
+}
+
+/// The `LEAVE <node>` announcement: a peer completed a planned leave.
+/// Its points come off the ring (planned removal redistributes keys
+/// per-point) and any standby state replicated from it is dropped — the
+/// sessions were migrated live, the shadow copies are obsolete.
+fn cluster_leave_announced(shared: &Shared, node: &str) -> Response {
+    let Some(cl) = &shared.cluster else {
+        return Response::err("not in cluster mode");
+    };
+    if node == cl.state.node_id() {
+        return Response::err("use LEAVE without a node id to leave yourself");
+    }
+    let removed = cl
+        .state
+        .ring
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(node);
+    cl.state
+        .standby
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(node);
+    cl.state
+        .forwarded
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .retain(|_, target| target != node);
+    if removed {
+        Response::ok(format!("removed {node}"))
+    } else {
+        Response::ok(format!("{node} was not a member"))
+    }
+}
+
+/// The bare `LEAVE` verb: migrate every owned session to its new ring
+/// owner, then remove this node from the ring and announce the departure.
+/// The node stays up afterwards, answering `MOVED` for everything — a
+/// concurrently pushing client sees `BUSY` during each session's handoff
+/// window and redirects after it, never an error.
+fn cluster_leave_self(shared: &Shared) -> Response {
+    let Some(cl) = &shared.cluster else {
+        return Response::err("not in cluster mode");
+    };
+    let st = &cl.state;
+    let self_id = st.node_id().to_owned();
+    {
+        let ring = st.ring.read().unwrap_or_else(|e| e.into_inner());
+        if ring
+            .nodes()
+            .filter(|(id, e)| **id != *self_id && e.alive)
+            .count()
+            == 0
+        {
+            return Response::err("cannot leave: no other alive node to migrate to");
+        }
+    }
+    let mut moved = 0usize;
+    let mut clients: std::collections::HashMap<String, Client> = std::collections::HashMap::new();
+    for name in shared.manager.names() {
+        // Resolve the post-leave owner first; abort before touching the
+        // session if the ring cannot place it.
+        let target = {
+            let ring = st.ring.read().unwrap_or_else(|e| e.into_inner());
+            match ring.owner_excluding(&name, &self_id) {
+                Some(owner) => {
+                    let addr = ring.addr_of(&owner).unwrap_or_default().to_owned();
+                    (owner, addr)
+                }
+                None => return Response::err("cannot leave: ring has no successor"),
+            }
+        };
+        st.migrating
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.clone());
+        let taken = shared.manager.take(&name, || {
+            wal_append(
+                shared,
+                &name,
+                WalRecord::Close {
+                    session: name.clone(),
+                },
+            );
+        });
+        let (scenario, requests, tuples_in, session) = match taken {
+            Ok(parts) => parts,
+            Err(e) => {
+                // Raced a CLOSE/eviction: nothing to migrate.
+                st.migrating
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .remove(&name);
+                eprintln!("sedex-service: leave skipped `{name}`: {e}");
+                continue;
+            }
+        };
+        let mut state_writer = ByteWriter::new();
+        encode_session_state(&mut state_writer, &session.export_state());
+        let state_bytes = state_writer.into_bytes();
+        let (target_node, target_addr) = &target;
+        let shipped = match clients.entry(target_addr.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                match Client::connect_with(
+                    target_addr.as_str(),
+                    ClientConfig {
+                        binary: true,
+                        ..peer_client_config()
+                    },
+                ) {
+                    Ok(c) => v.insert(c),
+                    Err(e) => {
+                        reinstall_after_failed_handoff(
+                            shared, &name, scenario, session, requests, tuples_in,
+                        );
+                        return Response::err(format!(
+                            "leave aborted: cannot reach {target_node} ({target_addr}): {e}"
+                        ));
+                    }
+                }
+            }
+        };
+        match shipped.migrate(&name, &scenario, requests, tuples_in, &state_bytes) {
+            Ok(reply) if reply.ok => {
+                st.forwarded
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(name.clone(), target_node.clone());
+                st.migrating
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&name);
+                moved += 1;
+            }
+            Ok(reply) => {
+                reinstall_after_failed_handoff(
+                    shared, &name, scenario, session, requests, tuples_in,
+                );
+                return Response::err(format!(
+                    "leave aborted: {target_node} refused `{name}`: {}",
+                    reply.head
+                ));
+            }
+            Err(e) => {
+                reinstall_after_failed_handoff(
+                    shared, &name, scenario, session, requests, tuples_in,
+                );
+                return Response::err(format!(
+                    "leave aborted: handoff of `{name}` to {target_node} failed: {e}"
+                ));
+            }
+        }
+    }
+    let peers = alive_peers(st, "");
+    st.ring
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&self_id);
+    st.left.store(true, Ordering::SeqCst);
+    for (peer, addr) in &peers {
+        announce_to_peers(&[(peer.clone(), addr.clone())], &format!("LEAVE {self_id}"));
+    }
+    Response::ok(format!("left, migrated {moved} sessions"))
+}
+
+/// Undo a half-done handoff: put the taken session back and clear the
+/// migrating mark, so the leave aborts cleanly with the session serving.
+fn reinstall_after_failed_handoff(
+    shared: &Shared,
+    name: &str,
+    scenario: String,
+    session: sedex_core::SedexSession,
+    requests: u64,
+    tuples_in: u64,
+) {
+    if let Err(e) = shared
+        .manager
+        .install(name, scenario, session, requests, tuples_in)
+    {
+        eprintln!("sedex-service: failed to reinstall `{name}` after aborted leave: {e}");
+    }
+    if let Some(cl) = &shared.cluster {
+        cl.state
+            .migrating
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name);
+    }
+}
+
+/// The binary-only `MIGRATE` frame: install a session another node
+/// exported. The state is decoded and restored wholesale, then the shard
+/// is checkpointed *before* the OK goes out — the origin forgets the
+/// session on our acknowledgement, so it must be durable here first
+/// (when durability is on at all).
+fn cluster_migrate_in(
+    shared: &Shared,
+    session: &str,
+    scenario: &str,
+    requests: u64,
+    tuples_in: u64,
+    state: &[u8],
+) -> Response {
+    if shared.cluster.is_none() {
+        return Response::err("not in cluster mode");
+    }
+    let mut r = ByteReader::new(state);
+    let decoded = match decode_session_state(&mut r) {
+        Ok(s) => s,
+        Err(e) => return Response::err(format!("migrate: bad state payload: {e:?}")),
+    };
+    if let Err(e) =
+        shared
+            .manager
+            .install_restored(session, scenario, decoded, requests, tuples_in, || ())
+    {
+        return Response::err(format!("migrate: {e}"));
+    }
+    shared.stats.opened.inc();
+    shared.notify_sweeper();
+    checkpoint_shard(shared, shared.manager.shard_index(session));
+    Response::ok(format!("migrated in {session}"))
+}
+
+/// The binary-only `REPL` frame: apply one replicated WAL record to the
+/// origin's standby set. Replication traffic doubles as a life sign.
+fn cluster_repl_in(shared: &Shared, origin: &str, shard: u32, payload: &[u8]) -> Response {
+    let Some(cl) = &shared.cluster else {
+        return Response::err("not in cluster mode");
+    };
+    cl.state.note_peer(origin);
+    let mut standby = cl.state.standby.lock().unwrap_or_else(|e| e.into_inner());
+    let set = standby.entry(origin.to_owned()).or_default();
+    match set.apply(
+        &shared.session_config,
+        shared.observer.as_ref(),
+        shard,
+        payload,
+    ) {
+        Ok(true) => Response::ok("ack"),
+        Ok(false) => Response::ok("ack duplicate"),
+        Err(e) => Response::err(format!("repl: {e}")),
+    }
+}
+
+/// Read every retained WAL segment of every shard into replication
+/// frames, oldest generation first — the catch-up stream a (re)connected
+/// replication link starts with. The standby's per-shard watermarks
+/// deduplicate whatever it already has.
+pub(crate) fn repl_catchup_frames(shared: &Shared) -> Vec<ReplFrame> {
+    let Some(dir) = &shared.data_dir else {
+        return Vec::new();
+    };
+    let mut frames = Vec::new();
+    for idx in 0..shared.manager.shard_count() {
+        let shard_dir = dir.join(format!("shard-{idx}"));
+        let Ok(segments) = list_segments(&shard_dir) else {
+            continue;
+        };
+        for (_generation, path) in segments {
+            let Ok(seg) = read_segment(&path) else {
+                continue;
+            };
+            frames.extend(seg.payloads.into_iter().map(|payload| ReplFrame {
+                shard: idx as u32,
+                payload,
+            }));
+        }
+    }
+    frames
+}
+
+/// Promote a dead peer's standby: mark it dead on the ring (its points
+/// stay — every key it owned now routes to this node, its designated
+/// successor), install the shadow sessions, and checkpoint so the
+/// inherited state is durable under this node's shards. Runs on the
+/// reactor thread, from the failure detector.
+pub(crate) fn promote_dead_peer(shared: &Shared, dead: &str) {
+    let Some(cl) = &shared.cluster else {
+        return;
+    };
+    cl.state
+        .ring
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .mark_dead(dead);
+    let set = cl
+        .state
+        .standby
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(dead);
+    let mut installed = 0usize;
+    if let Some(set) = set {
+        for (_, rs) in set.sessions {
+            match shared.manager.install(
+                &rs.name,
+                rs.scenario,
+                rs.session,
+                rs.requests,
+                rs.tuples_in,
+            ) {
+                Ok(()) => {
+                    shared.stats.opened.inc();
+                    installed += 1;
+                }
+                Err(e) => eprintln!("sedex-service: promotion skipped `{}`: {e}", rs.name),
+            }
+        }
+    }
+    if installed > 0 {
+        shared.notify_sweeper();
+        for idx in 0..shared.manager.shard_count() {
+            checkpoint_shard(shared, idx);
+        }
+    }
+    eprintln!(
+        "sedex-service: node {} declared {dead} dead after {:?} silence; promoted {installed} standby sessions",
+        cl.state.node_id(),
+        cl.state.config.failover,
+    );
+}
+
+/// Announce this node to its configured seed peers and adopt the topology
+/// they reply with. Runs at startup, blocking briefly; a peer that is not
+/// up yet is retried a few times and then skipped (it can still join *us*
+/// later — joins are symmetric in effect).
+fn cluster_startup_join(shared: &Arc<Shared>) {
+    let Some(cl) = &shared.cluster else {
+        return;
+    };
+    let peers = cl.state.config.peers.clone();
+    if peers.is_empty() {
+        return;
+    }
+    let self_id = cl.state.node_id().to_owned();
+    let advertise = cl.state.config.advertise.clone();
+    for peer in &peers {
+        let mut joined = false;
+        for _ in 0..5 {
+            let reply = Client::connect_with(peer.as_str(), peer_client_config())
+                .and_then(|mut c| c.request(&format!("JOIN {self_id} {advertise}")));
+            match reply {
+                Ok(reply) if reply.ok => {
+                    match HashRing::parse(&reply.body()) {
+                        Ok(theirs) => {
+                            cl.state
+                                .ring
+                                .write()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .adopt_if_newer(theirs);
+                        }
+                        Err(e) => {
+                            eprintln!("sedex-service: join reply from {peer} did not parse: {e}")
+                        }
+                    }
+                    joined = true;
+                    break;
+                }
+                Ok(reply) => {
+                    eprintln!("sedex-service: join via {peer} refused: {}", reply.head);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(200)),
+            }
+        }
+        if !joined {
+            eprintln!("sedex-service: could not join via {peer} (it can still join us later)");
         }
     }
 }
@@ -1157,7 +1788,18 @@ fn run_on_session(
         f(t)
     }) {
         Ok(Ok(resp)) => resp,
-        Ok(Err(e)) | Err(e) => Response::err(e),
+        Ok(Err(e)) | Err(e) => {
+            // In cluster mode a lookup miss may mean "taken by a migration
+            // or failover between the ownership gate and here" — re-check
+            // so the race window answers BUSY/MOVED, never a spurious
+            // `no such session`.
+            if e.contains("no such session") {
+                if let Some(resp) = cluster_recheck(shared, name) {
+                    return resp;
+                }
+            }
+            Response::err(e)
+        }
     }
 }
 
@@ -1256,8 +1898,21 @@ fn wal_append(shared: &Shared, session: &str, record: WalRecord) {
     };
     let idx = shared.manager.shard_index(session);
     let mut shard = lock_durable(&d.shards[idx]);
-    if let Err(e) = shard.append(&record) {
-        eprintln!("sedex-service: WAL append failed on shard {idx}: {e}");
+    match shard.append(&record) {
+        Err(e) => eprintln!("sedex-service: WAL append failed on shard {idx}: {e}"),
+        Ok(lsn) => {
+            // Replication rides the WAL: while the link to the successor is
+            // up, every appended record is queued for shipping — still
+            // under the durable-shard lock, so the queue preserves this
+            // shard's LSN order. With the link down the record is *not*
+            // queued; the next (re)connect catches up from disk, which this
+            // append just reached.
+            if let Some(cl) = &shared.cluster {
+                if cl.replicating.load(Ordering::Relaxed) {
+                    cl.state.enqueue_repl(idx as u32, record.encode(lsn));
+                }
+            }
+        }
     }
 }
 
@@ -1294,7 +1949,7 @@ fn maybe_checkpoint(shared: &Shared, session: &str) {
 /// export carries `lsn > watermark` and is re-replayed idempotently at
 /// recovery: the conservatively early watermark costs redo, never data.
 /// No lock is held across phases — see `Durability` for the lock order.
-fn checkpoint_shard(shared: &Shared, idx: usize) {
+pub(crate) fn checkpoint_shard(shared: &Shared, idx: usize) {
     let Some(d) = &shared.durability else {
         return;
     };
@@ -1363,6 +2018,16 @@ fn refresh_session_gauges(shared: &Shared) {
                 )
                 .set(plan.injected(point) as i64);
         }
+    }
+    if let Some(cl) = &shared.cluster {
+        cl.repl_lag.set(cl.state.repl_lag() as i64);
+        cl.ring_version.set(
+            cl.state
+                .ring
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .version() as i64,
+        );
     }
 }
 
@@ -1455,6 +2120,18 @@ fn server_stats(shared: &Shared, proto: Proto) -> Response {
             line.push_str(&format!(" | DEGRADED: {append_errors} wal append errors"));
         }
         lines.push(line);
+    }
+    if let Some(cl) = &shared.cluster {
+        let ring = cl.state.ring.read().unwrap_or_else(|e| e.into_inner());
+        lines.push(format!(
+            "cluster: node {} | ring version {}, {} nodes ({} alive) | {} redirects | repl lag {}",
+            cl.state.node_id(),
+            ring.version(),
+            ring.len(),
+            ring.alive(),
+            cl.redirects.get(),
+            cl.state.repl_lag(),
+        ));
     }
     for name in shared.manager.names() {
         if let Ok(line) = shared.manager.with_tenant(&name, |t| {

@@ -53,6 +53,20 @@ pub const OP_SHUTDOWN: u8 = 0x09;
 pub const OP_PUSH_BATCH: u8 = 0x0A;
 /// `TRACE`: body = slow flag (u8) + span count (u32).
 pub const OP_TRACE: u8 = 0x0B;
+/// `CLUSTER` topology dump: empty body.
+pub const OP_CLUSTER: u8 = 0x0C;
+/// `JOIN`: body = node id, address.
+pub const OP_JOIN: u8 = 0x0D;
+/// `LEAVE`: body = presence flag + optional node id (absent: the receiver
+/// itself migrates out and leaves).
+pub const OP_LEAVE: u8 = 0x0E;
+/// `PING` heartbeat: body = sending node id.
+pub const OP_PING: u8 = 0x0F;
+/// `MIGRATE` session handoff: body = session, scenario, requests u64,
+/// tuples_in u64, encoded session state bytes.
+pub const OP_MIGRATE: u8 = 0x10;
+/// `REPL` replicated WAL record: body = origin node, shard u32, payload.
+pub const OP_REPL: u8 = 0x11;
 
 /// Success response: body = head string + body lines.
 pub const OP_RESP_OK: u8 = 0x80;
@@ -144,6 +158,50 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, String> {
             OP_CLOSE
         }
         Request::Shutdown => OP_SHUTDOWN,
+        Request::Cluster => OP_CLUSTER,
+        Request::Join { node, addr } => {
+            w.put_str(node);
+            w.put_str(addr);
+            OP_JOIN
+        }
+        Request::Leave { node } => {
+            match node {
+                Some(n) => {
+                    w.put_u8(1);
+                    w.put_str(n);
+                }
+                None => w.put_u8(0),
+            }
+            OP_LEAVE
+        }
+        Request::Ping { node } => {
+            w.put_str(node);
+            OP_PING
+        }
+        Request::Migrate {
+            session,
+            scenario,
+            requests,
+            tuples_in,
+            state,
+        } => {
+            w.put_str(session);
+            w.put_str(scenario);
+            w.put_u64(*requests);
+            w.put_u64(*tuples_in);
+            w.put_bytes(state);
+            OP_MIGRATE
+        }
+        Request::Repl {
+            origin,
+            shard,
+            payload,
+        } => {
+            w.put_str(origin);
+            w.put_u32(*shard);
+            w.put_bytes(payload);
+            OP_REPL
+        }
     };
     let body = w.into_bytes();
     let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
@@ -242,6 +300,50 @@ pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, String> {
             session: session(&mut r)?,
         },
         OP_SHUTDOWN => Request::Shutdown,
+        OP_CLUSTER => Request::Cluster,
+        OP_JOIN => {
+            let node = session(&mut r)?;
+            let addr = r.get_str().map_err(|e| e.to_string())?;
+            if addr.is_empty() || addr.len() > 256 || addr.contains(char::is_whitespace) {
+                return Err(format!("invalid node address `{addr}`"));
+            }
+            Request::Join { node, addr }
+        }
+        OP_LEAVE => {
+            let node = match r.get_u8().map_err(|e| e.to_string())? {
+                0 => None,
+                1 => Some(session(&mut r)?),
+                other => return Err(format!("LEAVE: bad presence flag {other}")),
+            };
+            Request::Leave { node }
+        }
+        OP_PING => Request::Ping {
+            node: session(&mut r)?,
+        },
+        OP_MIGRATE => {
+            let sess = session(&mut r)?;
+            let scenario = r.get_str().map_err(|e| e.to_string())?;
+            let requests = r.get_u64().map_err(|e| e.to_string())?;
+            let tuples_in = r.get_u64().map_err(|e| e.to_string())?;
+            let state = r.get_bytes().map_err(|e| e.to_string())?.to_vec();
+            Request::Migrate {
+                session: sess,
+                scenario,
+                requests,
+                tuples_in,
+                state,
+            }
+        }
+        OP_REPL => {
+            let origin = session(&mut r)?;
+            let shard = r.get_u32().map_err(|e| e.to_string())?;
+            let payload = r.get_bytes().map_err(|e| e.to_string())?.to_vec();
+            Request::Repl {
+                origin,
+                shard,
+                payload,
+            }
+        }
         other => return Err(format!("unknown opcode 0x{other:02x}")),
     };
     r.expect_end().map_err(|e| e.to_string())?;
@@ -358,6 +460,28 @@ mod tests {
             session: "t1".into(),
         });
         roundtrip(Request::Shutdown);
+        roundtrip(Request::Cluster);
+        roundtrip(Request::Join {
+            node: "n2".into(),
+            addr: "127.0.0.1:7002".into(),
+        });
+        roundtrip(Request::Leave { node: None });
+        roundtrip(Request::Leave {
+            node: Some("n1".into()),
+        });
+        roundtrip(Request::Ping { node: "n1".into() });
+        roundtrip(Request::Migrate {
+            session: "t1".into(),
+            scenario: "[source]\nR(a*)\n".into(),
+            requests: 7,
+            tuples_in: 5,
+            state: vec![1, 2, 3, 0xFF],
+        });
+        roundtrip(Request::Repl {
+            origin: "n1".into(),
+            shard: 3,
+            payload: vec![9, 8, 7],
+        });
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Cluster integration tests: two real nodes in one process, a
+//! cluster-aware client, and the three contracts that matter — requests
+//! land on the owner (`MOVED` otherwise), a planned `LEAVE` migrates every
+//! session without a single client-visible error, and killing a node fails
+//! over to byte-identical session state rebuilt from the shipped WAL.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sedex_cluster::ClusterConfig;
+use sedex_durable::FsyncPolicy;
+use sedex_service::{
+    Client, ClientConfig, ClusterClient, ClusterClientConfig, Server, ServerConfig, ServerHandle,
+};
+
+const SCENARIO: &str = "\
+[source]
+Dep(dname*, building)
+Student(sname*, program, dep->Dep)
+
+[target]
+Stu(student*, prog, dpt)
+
+[correspondences]
+sname <-> student
+program <-> prog
+dep <-> dpt
+
+[data]
+Dep: d1, b1
+";
+
+const PUSHES: usize = 20;
+/// Test heartbeat: fast enough that formation and failover finish in
+/// well under a second each.
+const HEARTBEAT: Duration = Duration::from_millis(100);
+const FAILOVER: Duration = Duration::from_millis(400);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedex-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A durable cluster node. Port 0: the advertise address defaults to
+/// whatever the listener bound, which is how peers learn to reach it.
+fn node_config(node_id: &str, data_dir: &std::path::Path, peers: Vec<String>) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        shards: 4,
+        idle_ttl: None,
+        data_dir: Some(data_dir.to_path_buf()),
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 0,
+        cluster: Some(ClusterConfig {
+            node_id: node_id.to_owned(),
+            peers,
+            heartbeat: HEARTBEAT,
+            failover: FAILOVER,
+            ..ClusterConfig::default()
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+fn retrying() -> ClientConfig {
+    ClientConfig {
+        max_attempts: 8,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(100),
+        ..ClientConfig::default()
+    }
+}
+
+fn cluster_client(seed: &str) -> ClusterClient {
+    ClusterClient::connect_with(
+        seed,
+        ClusterClientConfig {
+            client: retrying(),
+            retry_pause: Duration::from_millis(50),
+            ..ClusterClientConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Poll one node's `CLUSTER` dump until `pred` accepts it.
+fn wait_cluster(addr: &str, what: &str, pred: impl Fn(&str, &str) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut c) = Client::connect_with(addr, retrying()) {
+            if let Ok(reply) = c.cluster() {
+                if reply.ok && pred(&reply.head, &reply.body()) {
+                    return;
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Start a two-node cluster and wait until both see two alive members.
+fn two_nodes(tag: &str) -> (ServerHandle, ServerHandle, String, String) {
+    let a = Server::start(node_config("a", &tmp_dir(&format!("{tag}-a")), Vec::new())).unwrap();
+    let a_addr = a.local_addr().to_string();
+    let b = Server::start(node_config(
+        "b",
+        &tmp_dir(&format!("{tag}-b")),
+        vec![a_addr.clone()],
+    ))
+    .unwrap();
+    let b_addr = b.local_addr().to_string();
+    for addr in [&a_addr, &b_addr] {
+        wait_cluster(addr, "two-node formation", |head, _| {
+            head.contains("(2 nodes, 2 alive)")
+        });
+    }
+    (a, b, a_addr, b_addr)
+}
+
+/// First session name (from `s0`, `s1`, …) the cluster routes to `node`.
+fn session_owned_by(cc: &ClusterClient, node: &str) -> String {
+    (0..1000)
+        .map(|i| format!("s{i}"))
+        .find(|s| cc.owner_of(s) == Some(node))
+        .expect("some probe name must land on the node")
+}
+
+fn open_and_fill(cc: &mut ClusterClient, session: &str) {
+    cc.open(session, SCENARIO).unwrap().into_ok().unwrap();
+    for i in 0..PUSHES {
+        cc.push(session, &format!("Student: {session}-v{i}, p{}, d1", i % 3))
+            .unwrap()
+            .into_ok()
+            .unwrap();
+    }
+}
+
+/// The same sessions exchanged on a plain single-node server — the
+/// reference state a failover must reproduce byte for byte.
+fn single_node_reference(tag: &str, sessions: &[&str]) -> Vec<String> {
+    let dir = tmp_dir(&format!("{tag}-ref"));
+    let handle = Server::start(ServerConfig {
+        workers: 2,
+        shards: 4,
+        idle_ttl: None,
+        data_dir: Some(dir),
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 0,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let mut dumps = Vec::new();
+    for s in sessions {
+        c.open(s, SCENARIO).unwrap().into_ok().unwrap();
+        for i in 0..PUSHES {
+            c.push(s, &format!("Student: {s}-v{i}, p{}, d1", i % 3))
+                .unwrap()
+                .into_ok()
+                .unwrap();
+        }
+        dumps.push(c.sql(s).unwrap().into_ok().unwrap().body());
+    }
+    handle.shutdown();
+    dumps
+}
+
+#[test]
+fn non_owners_answer_moved_and_the_cluster_client_follows_it() {
+    let (a, b, a_addr, b_addr) = two_nodes("moved");
+
+    // A client that bootstrapped *before* learning the full topology: seed
+    // its snapshot, then deliberately forget node b by reconnecting to a
+    // fresh two-node view and asking for a session owned by b through a.
+    let cc = cluster_client(&a_addr);
+    let on_a = session_owned_by(&cc, "a");
+    let on_b = session_owned_by(&cc, "b");
+
+    // A plain (non-cluster-aware) client pointed at the wrong node gets a
+    // parseable redirect and must NOT burn retries on it — MOVED is an
+    // answer, not a transport fault.
+    let mut plain = Client::connect_with(a_addr.as_str(), retrying()).unwrap();
+    let reply = plain.open(&on_b, SCENARIO).unwrap();
+    assert!(!reply.ok);
+    assert!(
+        reply.head.starts_with("MOVED b "),
+        "expected a MOVED redirect, got `{}`",
+        reply.head
+    );
+    assert_eq!(plain.retries(), 0, "a MOVED reply must not be retried");
+
+    // The cluster-aware client lands both sessions on their owners with
+    // zero redirects — routing is resolved locally.
+    let mut cc = cc;
+    open_and_fill(&mut cc, &on_a);
+    open_and_fill(&mut cc, &on_b);
+    assert!(
+        cc.events().iter().all(|e| !e.starts_with("redirect")),
+        "local routing should never redirect: {:?}",
+        cc.events()
+    );
+
+    // The redirect the plain client provoked is visible in the dump, and
+    // STATS carries the cluster line.
+    wait_cluster(&a_addr, "redirect counter", |_, body| {
+        body.lines()
+            .any(|l| l.starts_with("redirects ") && l != "redirects 0")
+    });
+    let mut c = Client::connect_with(b_addr.as_str(), retrying()).unwrap();
+    let stats = c.stats(None).unwrap().into_ok().unwrap().body();
+    assert!(
+        stats.lines().any(|l| l.starts_with("cluster: node b")),
+        "STATS should report the cluster line: {stats}"
+    );
+
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn planned_leave_migrates_every_session_with_zero_client_errors() {
+    let (a, b, a_addr, b_addr) = two_nodes("leave");
+
+    let mut cc = cluster_client(&a_addr);
+    let sessions: Vec<String> = (0..6).map(|i| format!("leave-{i}")).collect();
+    for s in &sessions {
+        cc.open(s, SCENARIO).unwrap().into_ok().unwrap();
+        cc.push(s, &format!("Student: {s}-seed, p0, d1"))
+            .unwrap()
+            .into_ok()
+            .unwrap();
+    }
+    assert!(
+        sessions.iter().any(|s| cc.owner_of(s) == Some("b")),
+        "the probe set must exercise the leaving node"
+    );
+
+    // Concurrent pusher: hammers every session through its own routing
+    // client while the LEAVE runs. The contract: not one visible ERR —
+    // BUSY and MOVED are absorbed by retry and redirect.
+    let stop = Arc::new(AtomicBool::new(false));
+    let pusher = {
+        let stop = Arc::clone(&stop);
+        let a_addr = a_addr.clone();
+        let sessions = sessions.clone();
+        std::thread::spawn(move || {
+            let mut cc = cluster_client(&a_addr);
+            let mut errors = Vec::new();
+            let mut sent = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                for s in &sessions {
+                    let reply = cc
+                        .push(s, &format!("Student: {s}-live{sent}, p1, d1"))
+                        .unwrap();
+                    if !reply.ok {
+                        errors.push(format!("{s}: {}", reply.head));
+                    }
+                    sent += 1;
+                }
+            }
+            (errors, sent)
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(150));
+    let mut b_ctl = Client::connect_with(b_addr.as_str(), retrying()).unwrap();
+    let reply = b_ctl.request("LEAVE").unwrap().into_ok().unwrap();
+    assert!(
+        reply.head.starts_with("left, migrated"),
+        "unexpected LEAVE reply: {}",
+        reply.head
+    );
+
+    std::thread::sleep(Duration::from_millis(200));
+    stop.store(true, Ordering::SeqCst);
+    let (errors, sent) = pusher.join().unwrap();
+    assert!(sent > 0, "the pusher never got a request out");
+    assert!(
+        errors.is_empty(),
+        "a planned LEAVE must be invisible to clients, saw: {errors:?}"
+    );
+
+    // Every session — including the migrated ones — keeps serving, and the
+    // departed node is out of the survivor's ring.
+    for s in &sessions {
+        cc.sql(s).unwrap().into_ok().unwrap();
+    }
+    wait_cluster(&a_addr, "post-leave membership", |head, _| {
+        head.contains("(1 nodes, 1 alive)")
+    });
+
+    a.shutdown();
+    b.shutdown();
+}
+
+/// One kill-driven failover run: open a session on each node, wait for the
+/// WAL to ship, kill b, and read both sessions back through the surviving
+/// node. Returns the two dumps plus the client's normalized routing trace.
+fn failover_run(tag: &str) -> (String, String, Vec<String>) {
+    let (a, b, a_addr, b_addr) = two_nodes(tag);
+
+    let mut cc = cluster_client(&a_addr);
+    let on_a = session_owned_by(&cc, "a");
+    let on_b = session_owned_by(&cc, "b");
+    open_and_fill(&mut cc, &on_a);
+    open_and_fill(&mut cc, &on_b);
+
+    // Replication must be fully drained and applied before the kill, or
+    // the tail would be legitimately lost and the dumps could differ.
+    wait_cluster(&b_addr, "victim replication drain", |_, body| {
+        body.lines().any(|l| {
+            l.starts_with("repl queued=0") && l.ends_with("lag=0") && !l.contains("sent=0")
+        })
+    });
+    wait_cluster(&a_addr, "survivor standby", |_, body| {
+        body.lines().any(|l| l.starts_with("standby b sessions=1"))
+    });
+
+    b.abort(); // in-process kill -9: no final checkpoint, no goodbye
+
+    // The survivor's failure detector needs `failover` of silence; the
+    // client meanwhile fails over on its own and converges.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let dump_b = loop {
+        let reply = cc.sql(&on_b).unwrap();
+        if reply.ok {
+            break reply.body();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "survivor never promoted the standby: {}",
+            reply.head
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let dump_a = cc.sql(&on_a).unwrap().into_ok().unwrap().body();
+
+    // Normalize the event log for cross-run comparison: drop the purely
+    // timing-dependent entries (how often a stale redirect or failover
+    // retry fired) down to the sequence of distinct routing decisions.
+    let mut events: Vec<String> = Vec::new();
+    for e in cc.events() {
+        if e.starts_with("refresh") {
+            continue;
+        }
+        let kind = e.split_whitespace().next().unwrap_or("").to_owned();
+        let normalized = format!(
+            "{kind} {}",
+            e.split_whitespace().skip(1).collect::<Vec<_>>().join(" ")
+        );
+        if events.last() != Some(&normalized) {
+            events.push(normalized);
+        }
+    }
+    a.shutdown();
+    (dump_a, dump_b, events)
+}
+
+#[test]
+fn killing_a_node_fails_over_to_byte_identical_state() {
+    let (dump_a, dump_b, events) = failover_run("kill1");
+
+    // The surviving state must match an uninterrupted single-node run of
+    // the same workload, byte for byte. Session names depend only on the
+    // placement seed, so recompute them with a local ring.
+    let mut ring =
+        sedex_cluster::HashRing::new(sedex_cluster::DEFAULT_SEED, sedex_cluster::DEFAULT_VNODES);
+    ring.join("a", "x");
+    ring.join("b", "y");
+    let on_a = (0..1000)
+        .map(|i| format!("s{i}"))
+        .find(|s| ring.owner(s) == Some("a"))
+        .unwrap();
+    let on_b = (0..1000)
+        .map(|i| format!("s{i}"))
+        .find(|s| ring.owner(s) == Some("b"))
+        .unwrap();
+    let reference = single_node_reference("kill", &[&on_a, &on_b]);
+    assert!(!dump_b.is_empty(), "the failed-over dump must not be empty");
+    assert_eq!(dump_a, reference[0], "survivor-owned session diverged");
+    assert_eq!(dump_b, reference[1], "failed-over session diverged");
+
+    // Same placement seed, same workload, same kill → the same routing
+    // decisions, run to run.
+    let (dump_a2, dump_b2, events2) = failover_run("kill2");
+    assert_eq!(dump_a, dump_a2);
+    assert_eq!(dump_b, dump_b2);
+    assert_eq!(events, events2, "routing decisions must be deterministic");
+}

@@ -1,0 +1,84 @@
+//! Thread-flatness of an idle cluster, in its own test binary: the
+//! assertion reads the whole process's thread count from `/proc`, so it
+//! must not share a process with tests that start and stop servers.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sedex_cluster::ClusterConfig;
+use sedex_durable::FsyncPolicy;
+use sedex_service::{Client, ClientConfig, Server, ServerConfig};
+
+const HEARTBEAT: Duration = Duration::from_millis(100);
+
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn node_config(node_id: &str, data_dir: PathBuf, peers: Vec<String>) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        shards: 4,
+        idle_ttl: None,
+        data_dir: Some(data_dir),
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 0,
+        cluster: Some(ClusterConfig {
+            node_id: node_id.to_owned(),
+            peers,
+            heartbeat: HEARTBEAT,
+            failover: HEARTBEAT * 4,
+            ..ClusterConfig::default()
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedex-cluster-idle-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn idle_two_node_cluster_keeps_a_flat_thread_count() {
+    let a = Server::start(node_config("a", tmp_dir("a"), Vec::new())).unwrap();
+    let a_addr = a.local_addr().to_string();
+    let b = Server::start(node_config("b", tmp_dir("b"), vec![a_addr.clone()])).unwrap();
+
+    // Wait for formation, then let the replication links and the first
+    // heartbeats settle.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut c = Client::connect_with(a_addr.as_str(), ClientConfig::default()).unwrap();
+        let reply = c.cluster().unwrap();
+        if reply.ok && reply.head.contains("(2 nodes, 2 alive)") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "formation timed out");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    std::thread::sleep(HEARTBEAT * 3);
+
+    let Some(before) = process_threads() else {
+        a.shutdown();
+        b.shutdown();
+        return; // no /proc: skip silently (non-Linux dev box)
+    };
+    // A dozen heartbeat intervals of pure idleness: heartbeats, pings and
+    // the failure detector all ride the two existing reactor threads, so
+    // the process-wide count must not move.
+    std::thread::sleep(HEARTBEAT * 12);
+    let after = process_threads().unwrap();
+    assert_eq!(
+        before, after,
+        "cluster mode must not grow threads while idle"
+    );
+    a.shutdown();
+    b.shutdown();
+}
