@@ -17,6 +17,12 @@
 //! so the serial and burst figures are not directly comparable to each
 //! other, only to their own trajectory across PRs.
 //!
+//! The `mixed_rw` mode runs one serial pusher against `MIXED_READERS`
+//! concurrent `SQL`/`STATS` readers on the same session: readers are
+//! served from the published MVCC snapshot without the tenant mutex, so
+//! `mixed_rw_reader_p99_us` should stay near the plain round-trip cost
+//! no matter how long the writer's exchanges take.
+//!
 //! The final mode, `cluster_routed`, drives the same serial workload
 //! through a [`ClusterClient`] against two in-process cluster nodes,
 //! spreading sessions across both: its gap to `text_serial` is the price
@@ -24,7 +30,7 @@
 
 use std::time::{Duration, Instant};
 
-use sedex_bench::print_table;
+use sedex_bench::{percentile, print_table};
 use sedex_service::{
     Client, ClientConfig, ClusterClient, ClusterConfig, Server, ServerConfig, ServerHandle,
 };
@@ -177,6 +183,68 @@ fn run_cluster(seed: &str, round: usize) -> (Duration, Vec<Duration>) {
     (elapsed, samples)
 }
 
+/// Concurrent snapshot readers per pusher in the `mixed_rw` mode.
+const MIXED_READERS: usize = 4;
+
+/// One measured mixed read/write run: a single pusher drives the serial
+/// `PUSH` workload while `MIXED_READERS` threads hammer `SQL`/`STATS` on
+/// their own connections against the *same* session. Readers resolve from
+/// the published MVCC snapshot, never the tenant mutex, so their p99
+/// should track round-trip cost, not exchange duration — this mode is the
+/// trajectory that keeps that decoupling honest. Returns the pusher's
+/// wall time plus per-request samples for each side.
+fn run_mixed_rw(handle: &ServerHandle, round: usize) -> (Duration, Vec<Duration>, Vec<Duration>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let session = format!("mixed_rw-{round}");
+    let mut w = Client::connect(handle.local_addr()).expect("writer connect");
+    w.open(&session, SCENARIO).unwrap().into_ok().unwrap();
+    w.feed(&session, "Dep: d0, b0").unwrap().into_ok().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = handle.local_addr().to_string();
+    let readers: Vec<_> = (0..MIXED_READERS)
+        .map(|k| {
+            let stop = Arc::clone(&stop);
+            let addr = addr.clone();
+            let session = session.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr.as_str()).expect("reader connect");
+                let mut samples = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    let reply = if k % 2 == 0 {
+                        c.sql(&session)
+                    } else {
+                        c.stats(Some(&session))
+                    };
+                    reply.unwrap().into_ok().unwrap();
+                    samples.push(t.elapsed());
+                }
+                samples
+            })
+        })
+        .collect();
+
+    let lines = data_lines(TUPLES);
+    let mut writer_samples = Vec::with_capacity(lines.len());
+    let start = Instant::now();
+    for line in &lines {
+        let t = Instant::now();
+        w.push(&session, line).unwrap().into_ok().unwrap();
+        writer_samples.push(t.elapsed());
+    }
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let mut reader_samples = Vec::new();
+    for r in readers {
+        reader_samples.extend(r.join().expect("reader thread"));
+    }
+    w.close(&session).unwrap().into_ok().unwrap();
+    (elapsed, writer_samples, reader_samples)
+}
+
 /// Start a two-node cluster on loopback and wait until both nodes agree
 /// the ring has formed. Returns the handles plus node `a`'s address.
 fn start_cluster() -> (ServerHandle, ServerHandle, String) {
@@ -209,13 +277,6 @@ fn start_cluster() -> (ServerHandle, ServerHandle, String) {
     (a, b, a_addr)
 }
 
-/// Exact percentile over the measured samples (nearest-rank on the sorted
-/// set — no interpolation, these are real observations).
-fn percentile(sorted: &[Duration], pct: usize) -> Duration {
-    assert!(!sorted.is_empty());
-    sorted[((sorted.len() * pct) / 100).min(sorted.len() - 1)]
-}
-
 fn main() {
     let handle = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
@@ -236,21 +297,37 @@ fn main() {
     // is Rust — but pages everything in), then keep the best of three:
     // loopback benches are noisy and the minimum is the honest signal.
     let mut results: Vec<(&str, Duration, f64, Duration, Duration)> = Vec::new();
-    let mut record = |name: &'static str, best: Duration, mut samples: Vec<Duration>| {
+    fn record(
+        results: &mut Vec<(&'static str, Duration, f64, Duration, Duration)>,
+        name: &'static str,
+        wall: Duration,
+        ops: usize,
+        mut samples: Vec<Duration>,
+    ) {
         samples.sort_unstable();
         let p50 = percentile(&samples, 50);
         let p99 = percentile(&samples, 99);
-        let tps = TUPLES as f64 / best.as_secs_f64();
-        results.push((name, best, tps, p50, p99));
-    };
+        results.push((name, wall, ops as f64 / wall.as_secs_f64(), p50, p99));
+    }
     for mode in modes {
         run_mode(&handle, mode, 0);
         let (best, samples) = (1..=3)
             .map(|round| run_mode(&handle, mode, round))
             .min_by_key(|(wall, _)| *wall)
             .unwrap();
-        record(mode.name(), best, samples);
+        record(&mut results, mode.name(), best, TUPLES, samples);
     }
+
+    // Mixed read/write: best-of-three by writer wall (the pusher is the
+    // pacing side; the readers run for exactly that window).
+    run_mixed_rw(&handle, 0);
+    let (best, w_samples, r_samples) = (1..=3)
+        .map(|round| run_mixed_rw(&handle, round))
+        .min_by_key(|(wall, _, _)| *wall)
+        .unwrap();
+    let reads = r_samples.len();
+    record(&mut results, "mixed_rw_writer", best, TUPLES, w_samples);
+    record(&mut results, "mixed_rw_reader", best, reads, r_samples);
     handle.shutdown();
 
     // Cluster-routed mode: same serial PUSH workload, but through a
@@ -261,7 +338,7 @@ fn main() {
         .map(|round| run_cluster(&seed, round))
         .min_by_key(|(wall, _)| *wall)
         .unwrap();
-    record("cluster_routed", best, samples);
+    record(&mut results, "cluster_routed", best, TUPLES, samples);
     node_a.shutdown();
     node_b.shutdown();
 
@@ -278,8 +355,10 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Service transport — {TUPLES} PUSHes, burst {BURST}"),
-        &["mode", "wall", "tuples/s", "p50", "p99"],
+        &format!(
+            "Service transport — {TUPLES} PUSHes, burst {BURST}, {MIXED_READERS} mixed readers"
+        ),
+        &["mode", "wall", "ops/s", "p50", "p99"],
         &rows,
     );
 
@@ -291,7 +370,12 @@ fn main() {
     json.push_str(&format!("  \"burst\": {BURST},\n"));
     for (i, (name, _, tps, p50, p99)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
-        json.push_str(&format!("  \"{name}_tuples_per_sec\": {tps:.0},\n"));
+        let rate = if *name == "mixed_rw_reader" {
+            "reads_per_sec"
+        } else {
+            "tuples_per_sec"
+        };
+        json.push_str(&format!("  \"{name}_{rate}\": {tps:.0},\n"));
         json.push_str(&format!(
             "  \"{name}_p50_us\": {:.0},\n",
             p50.as_secs_f64() * 1e6

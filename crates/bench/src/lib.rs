@@ -44,6 +44,20 @@ pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+/// Exact nearest-rank percentile over sorted samples — no interpolation,
+/// these are real observations. Nearest-rank index is `ceil(n·p/100) − 1`:
+/// p99 of 100 samples is the 99th sample (index 98), not the maximum, and
+/// p100 is the maximum. Empty input yields `Duration::ZERO` (a bench that
+/// recorded nothing has no latency to report, and must not panic while
+/// writing its JSON).
+pub fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (sorted.len() * pct).div_ceil(100).max(1);
+    sorted[(rank - 1).min(sorted.len() - 1)]
+}
+
 /// Render a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -94,6 +108,38 @@ mod tests {
     fn table_rows_align() {
         let r = row(&["a".into(), "bb".into()], &[3, 4]);
         assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        // ceil(100·50/100) = rank 50 → the 50th sample, not the 51st.
+        assert_eq!(percentile(&ms, 50), Duration::from_millis(50));
+        // The old `(n·p)/100` index returned the max here (index 99).
+        assert_eq!(percentile(&ms, 99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 100), Duration::from_millis(100));
+        assert_eq!(percentile(&ms, 0), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn percentile_small_samples_do_not_collapse_to_max() {
+        let ms: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        // ceil(10·99/100) = rank 10 → with n < 100 every high percentile
+        // is legitimately the max...
+        assert_eq!(percentile(&ms, 99), Duration::from_millis(10));
+        // ...but mid percentiles must not be: ceil(10·50/100) = rank 5.
+        assert_eq!(percentile(&ms, 50), Duration::from_millis(5));
+        assert_eq!(percentile(&ms, 90), Duration::from_millis(9));
+        assert_eq!(
+            percentile(&[Duration::from_millis(7)], 99),
+            Duration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(percentile(&[], 50), Duration::ZERO);
+        assert_eq!(percentile(&[], 99), Duration::ZERO);
     }
 
     #[test]

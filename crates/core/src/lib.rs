@@ -54,7 +54,7 @@ pub use quality::{compare, QualityReport};
 pub use render::{sql_statements, sql_template, xml_document, ReportVerbose};
 pub use repository::{RepositoryExport, ScriptRepository};
 pub use script::{run_script, Script, SlotRef, Statement};
-pub use session::{SedexSession, SessionState};
+pub use session::{SedexSession, SessionReadSnapshot, SessionState};
 pub use translate::{translate, TranslatedNode, TranslatedTree};
 
 /// Re-export of the observability crate: [`observe::Observer`] plugs into

@@ -93,8 +93,14 @@ pub fn compare(actual: &Instance, expected: &Instance) -> QualityReport {
         }
     }
     for name in names {
-        let produced: &[Tuple] = actual.relation(name).map_or(&[], |r| r.rows());
-        let wanted: &[Tuple] = expected.relation(name).map_or(&[], |r| r.rows());
+        let produced: Vec<&Tuple> = actual
+            .relation(name)
+            .map(|r| r.iter().collect())
+            .unwrap_or_default();
+        let wanted: Vec<&Tuple> = expected
+            .relation(name)
+            .map(|r| r.iter().collect())
+            .unwrap_or_default();
         report.produced += produced.len();
         report.expected += wanted.len();
         // Greedy assignment, most-constant-rich produced tuples first so
@@ -104,7 +110,7 @@ pub fn compare(actual: &Instance, expected: &Instance) -> QualityReport {
         let mut taken = vec![false; wanted.len()];
         for i in order {
             if let Some(j) =
-                (0..wanted.len()).find(|&j| !taken[j] && tuples_match(&produced[i], &wanted[j]))
+                (0..wanted.len()).find(|&j| !taken[j] && tuples_match(produced[i], wanted[j]))
             {
                 taken[j] = true;
                 report.matched += 1;

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use sedex_mapping::Correspondences;
 use sedex_observe::{Event, Observer, Phase};
 use sedex_storage::relation::RowId;
-use sedex_storage::{ConflictPolicy, Instance, Schema, StorageError, Tuple};
+use sedex_storage::{ConflictPolicy, Instance, InstanceSnapshot, Schema, StorageError, Tuple};
 use sedex_treerep::{tuple_shape_key, tuple_tree, SchemaForest, TreeConfig};
 
 use crate::cfd::CfdInterpreter;
@@ -54,6 +54,42 @@ pub struct SessionState {
     pub fresh_counter: u64,
     /// The running report (without the per-lookup hit-event log).
     pub report: ExchangeReport,
+}
+
+/// A consistent, immutable read-only view of a session, captured in O(1)
+/// amortized time (chunked copy-on-write snapshots of both instances plus
+/// a counter copy). This is what MVCC readers — `SQL`, per-session
+/// `STATS`, dump paths — render from *after* releasing the tenant lock:
+/// the view never changes once captured, so a reader sees exactly the
+/// state at some batch boundary, never a torn batch.
+///
+/// Deliberately cheap on the capture (writer) side: target stats are NOT
+/// recomputed here — call [`SessionReadSnapshot::report_with_stats`] on
+/// the reader side when the O(n) atom walk is wanted.
+#[derive(Debug, Clone)]
+pub struct SessionReadSnapshot {
+    /// The source instance at capture.
+    pub source: InstanceSnapshot,
+    /// The target instance at capture.
+    pub target: InstanceSnapshot,
+    /// The running report at capture — counters only: target stats are
+    /// stale (whatever the last `&mut` read left) and the hit-event log is
+    /// cleared, exactly like [`SedexSession::report_snapshot`].
+    pub report: ExchangeReport,
+    /// Distinct scripts cached at capture.
+    pub scripts_cached: usize,
+    /// Repository hit ratio at capture.
+    pub hit_ratio: f64,
+}
+
+impl SessionReadSnapshot {
+    /// The captured report with target stats recomputed from the snapshot
+    /// — the reader pays the O(n) walk, the capturing writer never does.
+    pub fn report_with_stats(&self) -> ExchangeReport {
+        let mut r = self.report.clone();
+        r.stats = self.target.stats();
+        r
+    }
 }
 
 /// A long-lived exchange session: push source tuples as they arrive, read
@@ -339,6 +375,24 @@ impl SedexSession {
         r
     }
 
+    /// Capture a [`SessionReadSnapshot`]: consistent copy-on-write views
+    /// of source and target plus the report counters. The writer-side cost
+    /// is a tail copy per relation (< 256 tuples each) and `Arc` bumps —
+    /// independent of session size — so the service can afford to publish
+    /// one at every batch boundary while still holding the tenant lock.
+    pub fn read_snapshot(&self) -> SessionReadSnapshot {
+        let mut report = self.report.clone();
+        report.hit_events.clear();
+        report.hit_events_dropped = self.repo.events_dropped() as usize;
+        SessionReadSnapshot {
+            source: self.source.snapshot(),
+            target: self.target.snapshot(),
+            report,
+            scripts_cached: self.repo.len(),
+            hit_ratio: self.repo.hit_ratio(),
+        }
+    }
+
     /// Export all mutable state for a durability snapshot (see
     /// [`SessionState`]). The per-lookup hit-event log is not exported — it
     /// is unbounded and only feeds the Fig. 14 experiment.
@@ -557,6 +611,39 @@ mod tests {
         assert_eq!(snap.scripts_reused, full.scripts_reused);
         assert_eq!(snap.stats, full.stats);
         assert_eq!(snap.inserted, full.inserted);
+    }
+
+    #[test]
+    fn read_snapshot_is_isolated_and_stats_match() {
+        let (src_schema, tgt_schema, sigma) = schemas();
+        let mut session =
+            SedexSession::new(SedexConfig::default(), src_schema, tgt_schema, sigma).unwrap();
+        session
+            .feed("Dep", sedex_storage::tuple!["d1", "b1"])
+            .unwrap();
+        for i in 0..5 {
+            session
+                .exchange_tuple(
+                    "Student",
+                    Tuple::of([format!("s{i}"), format!("p{i}"), "d1".to_string()]),
+                )
+                .unwrap();
+        }
+        let snap = session.read_snapshot();
+        // Reader-side stats equal what the lock-holding path would report.
+        let r = snap.report_with_stats();
+        assert_eq!(r.stats, session.report_snapshot().stats);
+        assert_eq!(r.scripts_generated, 1);
+        assert_eq!(r.scripts_reused, 4);
+        assert_eq!(snap.scripts_cached, 1);
+        assert_eq!(snap.target.relation("Stu").unwrap().len(), 5);
+        // Later exchanges never leak into the captured view.
+        session
+            .exchange_tuple("Student", sedex_storage::tuple!["s9", "p9", "d1"])
+            .unwrap();
+        assert_eq!(snap.target.relation("Stu").unwrap().len(), 5);
+        assert_eq!(snap.report_with_stats().stats.tuples, 5);
+        assert!(session.read_snapshot().target.epoch() > snap.target.epoch());
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub mod wire;
 
 pub use client::{Client, ClientConfig, Reply};
 pub use cluster_client::{ClusterClient, ClusterClientConfig};
-pub use manager::{SessionManager, Tenant};
+pub use manager::{PublishedState, ReadView, SessionManager, Tenant, TenantSlot};
 pub use protocol::{Proto, Request, Response};
 pub use sedex_cluster::ClusterConfig;
-pub use server::{sql_dump, Server, ServerConfig, ServerHandle, ServerStats, SHED_RETRY_AFTER_MS};
+pub use server::{
+    sql_dump, sql_dump_snapshot, Server, ServerConfig, ServerHandle, ServerStats,
+    SHED_RETRY_AFTER_MS,
+};

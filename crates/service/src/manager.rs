@@ -10,19 +10,39 @@
 //! The map is sharded `name → shard(hash(name))` so tenants on different
 //! shards never contend on a lock; within a shard, the map lock is held
 //! only to clone an `Arc`, and the per-tenant mutex serializes that
-//! tenant's requests (a session is inherently sequential — its seen-set
-//! and repository mutate on every push).
+//! tenant's *mutating* requests (a session is inherently sequential — its
+//! seen-set and repository mutate on every push).
+//!
+//! **MVCC read path.** Next to the mutex, every [`TenantSlot`] carries a
+//! *published* [`SessionReadSnapshot`] behind a short-critical-section
+//! `RwLock<Arc<…>>`. Writers republish it at the end of every mutating
+//! request, while still holding the tenant mutex — so the published state
+//! always sits exactly on a batch boundary. Read-only verbs go through
+//! [`SessionManager::read_view`], which clones the `Arc` and **never
+//! touches the tenant mutex**: a reader can never block behind (or block!)
+//! a slow exchange, and always sees pre- or post-batch state, never a torn
+//! batch.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, TryLockError};
 use std::time::Instant;
 
-use sedex_core::{ExchangeReport, Observer, SedexConfig, SedexSession, SessionState};
+use sedex_core::{
+    ExchangeReport, Observer, SedexConfig, SedexSession, SessionReadSnapshot, SessionState,
+};
 use sedex_observe::Counter;
 use sedex_scenarios::textfmt;
 use sedex_storage::Instance;
+
+/// Consecutive `WouldBlock` sweeps after which the sweeper warns that a
+/// tenant may be wedged. With snapshot reads landed, only a *mutating*
+/// request can hold the tenant mutex — a tenant busy this long is either
+/// under sustained write load or has a stuck writer, and an operator
+/// should know which.
+const BUSY_SWEEP_WARN: u32 = 8;
 
 /// One tenant: a live session plus bookkeeping.
 pub struct Tenant {
@@ -58,12 +78,113 @@ impl Tenant {
     }
 }
 
+/// The session state a writer last published, always captured at a batch
+/// boundary (end of a mutating request, under the tenant mutex). Shared
+/// out to readers as one `Arc` clone.
+pub struct PublishedState {
+    /// The session view at the boundary.
+    pub snapshot: SessionReadSnapshot,
+    /// Mutating requests served when the state was published.
+    pub requests: u64,
+    /// Tuples pushed or fed when the state was published.
+    pub tuples_in: u64,
+}
+
+/// One map entry: the mutex-serialized live tenant plus the lock-free read
+/// side (published snapshot and read bookkeeping).
+pub struct TenantSlot {
+    tenant: Mutex<Tenant>,
+    published: RwLock<Arc<PublishedState>>,
+    /// Read-only requests served off the published snapshot.
+    reads: AtomicU64,
+    /// Milliseconds (since manager start) of the last snapshot read —
+    /// keeps read-hammered sessions out of the TTL sweep without readers
+    /// ever locking the tenant.
+    last_read_ms: AtomicU64,
+    /// Consecutive sweeps that found the tenant mutex held (resets when a
+    /// sweep gets the lock) — the aging signal for wedged tenants.
+    busy_sweeps: AtomicU32,
+}
+
+impl TenantSlot {
+    fn new(tenant: Tenant, now_ms: u64) -> Arc<Self> {
+        let state = Arc::new(PublishedState {
+            snapshot: tenant.session.read_snapshot(),
+            requests: tenant.requests,
+            tuples_in: tenant.tuples_in,
+        });
+        Arc::new(TenantSlot {
+            tenant: Mutex::new(tenant),
+            published: RwLock::new(state),
+            reads: AtomicU64::new(0),
+            last_read_ms: AtomicU64::new(now_ms),
+            busy_sweeps: AtomicU32::new(0),
+        })
+    }
+
+    /// The tenant mutex — writers only. Readers use
+    /// [`SessionManager::read_view`].
+    pub fn tenant(&self) -> &Mutex<Tenant> {
+        &self.tenant
+    }
+
+    /// The currently published batch-boundary state (one `Arc` clone; the
+    /// inner `RwLock` is held only for the clone).
+    pub fn published(&self) -> Arc<PublishedState> {
+        Arc::clone(&self.published.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Publish the tenant's current state. Called with the tenant mutex
+    /// held, so the capture sits exactly on a request (batch) boundary.
+    fn publish(&self, t: &Tenant) {
+        let state = Arc::new(PublishedState {
+            snapshot: t.session.read_snapshot(),
+            requests: t.requests,
+            tuples_in: t.tuples_in,
+        });
+        *self.published.write().unwrap_or_else(|p| p.into_inner()) = state;
+    }
+}
+
+/// What [`SessionManager::read_view`] hands a reader: the published state
+/// plus the slot's read counter (so `STATS` can report reads + writes).
+pub struct ReadView {
+    /// The published batch-boundary state.
+    pub state: Arc<PublishedState>,
+    /// Snapshot reads served for this session, this one included.
+    pub reads: u64,
+}
+
+impl std::fmt::Debug for ReadView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadView")
+            .field("epoch", &self.state.snapshot.target.epoch())
+            .field("reads", &self.reads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A durability export of one manager shard (see
+/// [`SessionManager::export_shard`]).
+pub struct ShardExport {
+    /// `(name, scenario, requests, tuples_in, state)` per tenant, sorted
+    /// by name.
+    pub sessions: Vec<(String, String, u64, u64, SessionState)>,
+    /// Quarantined (poisoned) tenants left out of the export — a non-zero
+    /// count means the snapshot is partial and operators should see a
+    /// DEGRADED flag.
+    pub skipped_poisoned: usize,
+}
+
 /// Sharded `name → tenant` map.
 pub struct SessionManager {
-    shards: Vec<RwLock<HashMap<String, Arc<Mutex<Tenant>>>>>,
+    shards: Vec<RwLock<HashMap<String, Arc<TenantSlot>>>>,
     session_config: SedexConfig,
     observer: Option<Arc<dyn Observer>>,
     evictions: Option<Arc<Counter>>,
+    sweep_retries: Option<Arc<Counter>>,
+    /// Time base for the per-slot `last_read_ms` atomics.
+    started: Instant,
 }
 
 /// Errors from manager operations, rendered verbatim into `ERR` replies.
@@ -78,7 +199,15 @@ impl SessionManager {
             session_config: SedexConfig::default(),
             observer: None,
             evictions: None,
+            sweep_retries: None,
+            started: Instant::now(),
         }
+    }
+
+    /// Milliseconds since this manager was constructed — the time base the
+    /// read path stamps into `last_read_ms`.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
     }
 
     /// Count TTL evictions on this counter (typically
@@ -86,6 +215,15 @@ impl SessionManager {
     /// sweep is observable instead of silent.
     pub fn with_eviction_counter(mut self, counter: Arc<Counter>) -> Self {
         self.evictions = Some(counter);
+        self
+    }
+
+    /// Count sweep passes that found a tenant mutex held (typically
+    /// `sedex_sweep_retries_total`): the aging signal that distinguishes
+    /// "busy under write load" from "wedged" — snapshot readers never hold
+    /// the tenant mutex, so sustained retries always implicate a writer.
+    pub fn with_sweep_retry_counter(mut self, counter: Arc<Counter>) -> Self {
+        self.sweep_retries = Some(counter);
         self
     }
 
@@ -105,7 +243,7 @@ impl SessionManager {
         self
     }
 
-    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Arc<Mutex<Tenant>>>> {
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Arc<TenantSlot>>> {
         &self.shards[self.shard_index(name)]
     }
 
@@ -153,7 +291,7 @@ impl SessionManager {
         }
         map.insert(
             name.to_owned(),
-            Arc::new(Mutex::new(Tenant::new(session, body.to_owned()))),
+            TenantSlot::new(Tenant::new(session, body.to_owned()), self.now_ms()),
         );
         on_commit();
         Ok(seeded)
@@ -182,7 +320,7 @@ impl SessionManager {
         let mut tenant = Tenant::new(session.with_label(name), scenario);
         tenant.requests = requests;
         tenant.tuples_in = tuples_in;
-        map.insert(name.to_owned(), Arc::new(Mutex::new(tenant)));
+        map.insert(name.to_owned(), TenantSlot::new(tenant, self.now_ms()));
         Ok(())
     }
 
@@ -199,37 +337,47 @@ impl SessionManager {
         (h.finish() as usize) % self.shards.len()
     }
 
-    /// Export every session on shard `idx` for a durability snapshot:
-    /// `(name, scenario, requests, tuples_in, state)` per tenant, sorted by
-    /// name. Tenant handles are collected under the shard read lock, then
-    /// each tenant is locked individually — a tenant mid-request delays only
+    /// Export every session on shard `idx` for a durability snapshot.
+    /// Tenant handles are collected under the shard read lock, then each
+    /// tenant is locked individually — a tenant mid-request delays only
     /// its own export, and no shard lock is held while session state is
     /// cloned.
-    pub fn export_shard(&self, idx: usize) -> Vec<(String, String, u64, u64, SessionState)> {
-        let handles: Vec<(String, Arc<Mutex<Tenant>>)> = self.shards[idx]
+    ///
+    /// Quarantined (poisoned) tenants are left out — they are possibly
+    /// half-mutated, and the panic handler already appended their durable
+    /// Close — but they are *counted*: `skipped_poisoned` lets the caller
+    /// surface a partial snapshot instead of silently shrinking it.
+    pub fn export_shard(&self, idx: usize) -> ShardExport {
+        let handles: Vec<(String, Arc<TenantSlot>)> = self.shards[idx]
             .read()
             .expect("shard lock poisoned")
             .iter()
-            .map(|(name, tenant)| (name.clone(), Arc::clone(tenant)))
+            .map(|(name, slot)| (name.clone(), Arc::clone(slot)))
             .collect();
-        let mut out: Vec<(String, String, u64, u64, SessionState)> = handles
+        let mut skipped_poisoned = 0usize;
+        let mut sessions: Vec<(String, String, u64, u64, SessionState)> = handles
             .into_iter()
-            .filter_map(|(name, tenant)| {
-                // A poisoned tenant is quarantined and possibly
-                // half-mutated: leave it out of the snapshot, consistent
-                // with the durable Close the panic handler appended.
-                let t = tenant.lock().ok()?;
-                let state = t.session.export_state();
-                Some((name, t.scenario.clone(), t.requests, t.tuples_in, state))
+            .filter_map(|(name, slot)| match slot.tenant.lock() {
+                Ok(t) => {
+                    let state = t.session.export_state();
+                    Some((name, t.scenario.clone(), t.requests, t.tuples_in, state))
+                }
+                Err(_) => {
+                    skipped_poisoned += 1;
+                    None
+                }
             })
             .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
+        sessions.sort_by(|a, b| a.0.cmp(&b.0));
+        ShardExport {
+            sessions,
+            skipped_poisoned,
+        }
     }
 
-    /// Look a tenant up, returning a clone of its handle (the shard lock is
-    /// released before the caller locks the tenant).
-    pub fn get(&self, name: &str) -> Option<Arc<Mutex<Tenant>>> {
+    /// Look a tenant slot up, returning a clone of its handle (the shard
+    /// lock is released before the caller touches the slot).
+    pub fn get(&self, name: &str) -> Option<Arc<TenantSlot>> {
         self.shard(name)
             .read()
             .expect("shard lock poisoned")
@@ -238,7 +386,9 @@ impl SessionManager {
     }
 
     /// Run `f` with exclusive access to the tenant, bumping its
-    /// access-tracking counters first.
+    /// access-tracking counters first — the *writer* path. After `f`
+    /// returns, the tenant's state is republished while the mutex is still
+    /// held, so readers always observe a request/batch boundary.
     ///
     /// A tenant whose mutex is poisoned — a previous request panicked while
     /// holding it, leaving the session possibly half-mutated — is
@@ -250,14 +400,43 @@ impl SessionManager {
         name: &str,
         f: impl FnOnce(&mut Tenant) -> R,
     ) -> Result<R, ManagerError> {
-        let tenant = self
+        let slot = self
             .get(name)
             .ok_or_else(|| format!("no such session `{name}`"))?;
-        let mut guard = tenant
+        let mut guard = slot
+            .tenant
             .lock()
             .map_err(|_| format!("POISONED session `{name}` is quarantined after a panic"))?;
         guard.touch();
-        Ok(f(&mut guard))
+        let out = f(&mut guard);
+        // Publish the post-request state before releasing the mutex. Note
+        // this runs even when `f` reported a request-level error: partial
+        // effects (e.g. rows applied before a mid-batch parse failure) are
+        // already the session's real state, and the WAL saw them too.
+        slot.publish(&guard);
+        Ok(out)
+    }
+
+    /// The *reader* path: hand out the published batch-boundary state
+    /// without touching the tenant mutex. One shard-map read lock to clone
+    /// the slot handle, a poison check (lock-free), one `RwLock` read to
+    /// clone the `Arc` — a reader can neither block behind a slow exchange
+    /// nor wedge the sweeper.
+    pub fn read_view(&self, name: &str) -> Result<ReadView, ManagerError> {
+        let slot = self
+            .get(name)
+            .ok_or_else(|| format!("no such session `{name}`"))?;
+        if slot.tenant.is_poisoned() {
+            return Err(format!(
+                "POISONED session `{name}` is quarantined after a panic"
+            ));
+        }
+        let reads = slot.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_read_ms.store(self.now_ms(), Ordering::Relaxed);
+        Ok(ReadView {
+            state: slot.published(),
+            reads,
+        })
     }
 
     /// Remove the tenant and finish its session, returning the final
@@ -286,26 +465,28 @@ impl SessionManager {
         };
         // Any request already holding the tenant finishes first; unwrapping
         // the Arc then succeeds because the map entry was the other owner.
+        // (Readers hold slot handles only for the duration of an Arc clone,
+        // never across rendering — they render off their own PublishedState
+        // Arc — so the spin still converges immediately.)
         // Poisoning is deliberately forgiven here: CLOSE must be able to
         // remove a quarantined session, and `finish` only reads.
-        let tenant = match Arc::try_unwrap(tenant) {
-            Ok(m) => m.into_inner().unwrap_or_else(|p| p.into_inner()),
-            Err(arc) => {
-                // A concurrent request still holds a handle: wait for it by
-                // locking, then clone out what we need? SedexSession is not
-                // Clone — instead spin until we are the sole owner. Requests
-                // are short; this converges immediately in practice.
-                let mut arc = arc;
-                loop {
+        let tenant = Self::unwrap_slot(tenant);
+        Ok(tenant.session.finish())
+    }
+
+    /// Spin until we are the sole owner of the slot, then take the tenant
+    /// out, forgiving mutex poisoning.
+    fn unwrap_slot(slot: Arc<TenantSlot>) -> Tenant {
+        let mut arc = slot;
+        loop {
+            match Arc::try_unwrap(arc) {
+                Ok(s) => break s.tenant.into_inner().unwrap_or_else(|p| p.into_inner()),
+                Err(a) => {
                     std::thread::yield_now();
-                    match Arc::try_unwrap(arc) {
-                        Ok(m) => break m.into_inner().unwrap_or_else(|p| p.into_inner()),
-                        Err(a) => arc = a,
-                    }
+                    arc = a;
                 }
             }
-        };
-        Ok(tenant.session.finish())
+        }
     }
 
     /// Rebuild a session from its scenario body and exported state, then
@@ -342,7 +523,7 @@ impl SessionManager {
         let mut tenant = Tenant::new(session, scenario.to_owned());
         tenant.requests = requests;
         tenant.tuples_in = tuples_in;
-        map.insert(name.to_owned(), Arc::new(Mutex::new(tenant)));
+        map.insert(name.to_owned(), TenantSlot::new(tenant, self.now_ms()));
         on_commit();
         Ok(())
     }
@@ -369,19 +550,7 @@ impl SessionManager {
         };
         // Same sole-ownership spin as `close_with`: a request already
         // holding the tenant finishes first, then the Arc unwraps.
-        let tenant = match Arc::try_unwrap(tenant) {
-            Ok(m) => m.into_inner().unwrap_or_else(|p| p.into_inner()),
-            Err(arc) => {
-                let mut arc = arc;
-                loop {
-                    std::thread::yield_now();
-                    match Arc::try_unwrap(arc) {
-                        Ok(m) => break m.into_inner().unwrap_or_else(|p| p.into_inner()),
-                        Err(a) => arc = a,
-                    }
-                }
-            }
-        };
+        let tenant = Self::unwrap_slot(tenant);
         Ok((
             tenant.scenario,
             tenant.requests,
@@ -446,19 +615,58 @@ impl SessionManager {
     /// idle time: they can never serve another request, and their
     /// `last_access` stopped moving at the panic. Every eviction is logged
     /// to stderr and counted on the configured eviction counter.
+    ///
+    /// A tenant whose mutex is held when the sweep arrives is skipped but
+    /// *aged*: its slot's `busy_sweeps` counter grows (and the sweep-retry
+    /// counter ticks) until a sweep finally gets the lock. Snapshot
+    /// readers never hold the tenant mutex — see
+    /// [`SessionManager::read_view`] — so consecutive busy sweeps always
+    /// implicate a writer; past [`BUSY_SWEEP_WARN`] the sweeper warns that
+    /// a request may be stuck. Sessions kept warm only by snapshot reads
+    /// are not evicted: idleness requires both the write clock
+    /// (`last_access`) *and* the read clock (`last_read_ms`) to be past
+    /// the TTL.
     pub fn evict_idle_with(
         &self,
         ttl: std::time::Duration,
         mut on_evict: impl FnMut(&str),
     ) -> Vec<String> {
         let mut evicted = Vec::new();
+        let now_ms = self.now_ms();
+        let ttl_ms = ttl.as_millis() as u64;
         for shard in &self.shards {
             let mut map = shard.write().expect("shard lock poisoned");
-            map.retain(|name, tenant| {
-                let (keep, why) = match tenant.try_lock() {
-                    Ok(t) => (t.last_access.elapsed() < ttl, "idle past TTL"),
+            map.retain(|name, slot| {
+                let (keep, why) = match slot.tenant.try_lock() {
+                    Ok(t) => {
+                        slot.busy_sweeps.store(0, Ordering::Relaxed);
+                        let write_idle = t.last_access.elapsed() >= ttl;
+                        // Snapshot reads keep a session warm too — but only
+                        // actual reads: a never-read session ages purely on
+                        // its write clock.
+                        let read_recent = slot.reads.load(Ordering::Relaxed) > 0
+                            && now_ms.saturating_sub(slot.last_read_ms.load(Ordering::Relaxed))
+                                < ttl_ms;
+                        (!write_idle || read_recent, "idle past TTL")
+                    }
                     Err(TryLockError::Poisoned(_)) => (false, "quarantined after a panic"),
-                    Err(TryLockError::WouldBlock) => (true, ""), // in use right now
+                    Err(TryLockError::WouldBlock) => {
+                        // In use right now — not idle, but count the retry
+                        // so a wedged writer ages visibly instead of
+                        // hiding behind "busy" forever.
+                        let n = slot.busy_sweeps.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(c) = &self.sweep_retries {
+                            c.inc();
+                        }
+                        if n == BUSY_SWEEP_WARN {
+                            eprintln!(
+                                "sedex-service: session `{name}` has been busy for {n} \
+                                 consecutive sweeps — a writer may be stuck (snapshot \
+                                 readers never hold the tenant mutex)"
+                            );
+                        }
+                        (true, "")
+                    }
                 };
                 if !keep {
                     eprintln!("sedex-service: evicting session `{name}` ({why})");
@@ -543,13 +751,124 @@ Dep: d1, b1
         m.open("fresh", SCENARIO).unwrap();
         // Make `old` look idle by back-dating its last access.
         {
-            let t = m.get("old").unwrap();
-            let mut t = t.lock().unwrap();
+            let slot = m.get("old").unwrap();
+            let mut t = slot.tenant().lock().unwrap();
             t.last_access = Instant::now() - Duration::from_secs(3600);
         }
         let evicted = m.evict_idle(Duration::from_secs(60));
         assert_eq!(evicted, vec!["old".to_string()]);
         assert_eq!(m.names(), vec!["fresh".to_string()]);
+    }
+
+    #[test]
+    fn read_view_succeeds_while_tenant_mutex_is_held() {
+        // The satellite assertion for the sweeper fix: readers can NEVER
+        // hold the tenant mutex, because the read path does not take it —
+        // even with a writer wedged mid-request, snapshot reads answer.
+        let m = Arc::new(SessionManager::new(2));
+        m.open("busy", SCENARIO).unwrap();
+        let slot = m.get("busy").unwrap();
+        let guard = slot.tenant().lock().unwrap(); // simulate a stuck writer
+        let m2 = Arc::clone(&m);
+        let reader = std::thread::spawn(move || {
+            let view = m2.read_view("busy").expect("read under held mutex");
+            view.state.snapshot.target.total_tuples()
+        });
+        let tuples = reader.join().expect("reader must not block or panic");
+        assert_eq!(tuples, 0);
+        drop(guard);
+    }
+
+    #[test]
+    fn read_view_sees_only_published_batch_boundaries() {
+        let m = SessionManager::new(2);
+        m.open("t", SCENARIO).unwrap();
+        // Initial publish: the seeded-but-unexchanged state.
+        let v0 = m.read_view("t").unwrap();
+        assert_eq!(v0.state.snapshot.target.total_tuples(), 0);
+        // A view captured *before* a write never changes...
+        m.with_tenant("t", |t| {
+            let (rel, tuple) = textfmt::parse_data_line("Student: s1, p1, d1", 1).unwrap();
+            t.session.exchange_tuple(&rel, tuple).unwrap();
+            t.tuples_in += 1;
+        })
+        .unwrap();
+        assert_eq!(v0.state.snapshot.target.total_tuples(), 0);
+        // ...and a fresh view sees exactly the post-request state.
+        let v1 = m.read_view("t").unwrap();
+        assert_eq!(v1.state.snapshot.target.total_tuples(), 1);
+        assert_eq!(v1.state.requests, 1);
+        assert_eq!(v1.state.tuples_in, 1);
+        assert_eq!(v1.reads, 2);
+    }
+
+    #[test]
+    fn read_view_refuses_poisoned_tenants() {
+        let m = SessionManager::new(1);
+        m.open("p", SCENARIO).unwrap();
+        let slot = m.get("p").unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = slot.tenant().lock().unwrap();
+            panic!("boom");
+        }));
+        assert!(slot.tenant().is_poisoned());
+        let err = m.read_view("p").unwrap_err();
+        assert!(err.contains("POISONED"), "{err}");
+    }
+
+    #[test]
+    fn export_shard_counts_skipped_poisoned_tenants() {
+        let m = SessionManager::new(1);
+        m.open("ok", SCENARIO).unwrap();
+        m.open("poisoned", SCENARIO).unwrap();
+        let slot = m.get("poisoned").unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = slot.tenant().lock().unwrap();
+            panic!("boom");
+        }));
+        drop(slot);
+        let export = m.export_shard(0);
+        assert_eq!(export.skipped_poisoned, 1);
+        assert_eq!(export.sessions.len(), 1);
+        assert_eq!(export.sessions[0].0, "ok");
+    }
+
+    #[test]
+    fn sweeper_ages_busy_tenants_on_a_retry_counter() {
+        let registry = sedex_observe::MetricsRegistry::new();
+        let retries = registry.counter("sedex_sweep_retries_total", "sweep retries");
+        let m = SessionManager::new(1).with_sweep_retry_counter(Arc::clone(&retries));
+        m.open("held", SCENARIO).unwrap();
+        let slot = m.get("held").unwrap();
+        let guard = slot.tenant().lock().unwrap();
+        // Several sweeps while a writer holds the mutex: the session is
+        // never evicted, but every pass ticks the retry counter.
+        for _ in 0..3 {
+            assert!(m.evict_idle(Duration::from_millis(0)).is_empty());
+        }
+        assert_eq!(retries.get(), 3);
+        drop(guard);
+        // With the mutex free and a zero TTL the next sweep evicts (no
+        // reads ever happened, so the read clock does not hold it back).
+        assert_eq!(m.evict_idle(Duration::from_millis(0)), vec!["held"]);
+    }
+
+    #[test]
+    fn snapshot_reads_keep_a_session_warm() {
+        let m = SessionManager::new(1);
+        m.open("readonly", SCENARIO).unwrap();
+        // Back-date the write clock far past any TTL.
+        {
+            let slot = m.get("readonly").unwrap();
+            let mut t = slot.tenant().lock().unwrap();
+            t.last_access = Instant::now() - Duration::from_secs(3600);
+        }
+        // A recent snapshot read holds the session in the map...
+        m.read_view("readonly").unwrap();
+        assert!(m.evict_idle(Duration::from_secs(60)).is_empty());
+        // ...but cannot do so forever: with a zero TTL even the fresh
+        // read is stale, and the sweep reclaims the session.
+        assert_eq!(m.evict_idle(Duration::from_millis(0)), vec!["readonly"]);
     }
 
     #[test]

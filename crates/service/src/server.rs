@@ -44,7 +44,7 @@ use sedex_observe::{
 };
 use sedex_scenarios::textfmt;
 use sedex_storage::codec::{ByteReader, ByteWriter};
-use sedex_storage::{Instance, Tuple};
+use sedex_storage::{Instance, InstanceSnapshot, Tuple};
 
 use crate::client::{Client, ClientConfig};
 use crate::manager::SessionManager;
@@ -252,6 +252,14 @@ pub struct ServerStats {
     /// (`sedex_reactor_loop_seconds`). Only fed when tracing is enabled:
     /// timing every iteration needs two clock reads per loop.
     pub reactor_loop_seconds: Arc<Histogram>,
+    /// Poisoned sessions left out of durability snapshots
+    /// (`sedex_snapshot_skipped_sessions_total`) — non-zero means some
+    /// checkpoint was partial, and `STATS` flags durability DEGRADED.
+    pub snapshot_skips: Arc<Counter>,
+    /// TTL-sweep passes that found a tenant mutex held
+    /// (`sedex_sweep_retries_total`) — the aging signal for wedged
+    /// writers (snapshot readers never hold the tenant mutex).
+    pub sweep_retries: Arc<Counter>,
 }
 
 impl ServerStats {
@@ -345,6 +353,14 @@ impl ServerStats {
             reactor_loop_seconds: registry.histogram(
                 "sedex_reactor_loop_seconds",
                 "Reactor loop-iteration latency (fed only with tracing on)",
+            ),
+            snapshot_skips: registry.counter(
+                "sedex_snapshot_skipped_sessions_total",
+                "Poisoned sessions left out of durability snapshots",
+            ),
+            sweep_retries: registry.counter(
+                "sedex_sweep_retries_total",
+                "TTL-sweep passes that found a tenant mutex held",
             ),
         }
     }
@@ -572,7 +588,8 @@ impl Server {
         };
         let mut manager = SessionManager::new(cfg.shards)
             .with_session_config(session_config.clone())
-            .with_eviction_counter(Arc::clone(&stats.evicted));
+            .with_eviction_counter(Arc::clone(&stats.evicted))
+            .with_sweep_retry_counter(Arc::clone(&stats.sweep_retries));
         if let Some(obs) = &observer {
             manager = manager.with_observer(Arc::clone(obs));
         }
@@ -1071,20 +1088,23 @@ fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
         Request::Stats { session: None } => server_stats(shared, proto),
         Request::Stats {
             session: Some(name),
-        } => run_on_session(shared, name, "STATS", |t| {
-            let r = t.session.report_snapshot();
+        } => read_on_session(shared, name, |view| {
+            // Target stats are recomputed here, on the reader — the
+            // capturing writer never pays the O(n) atom walk.
+            let r = view.state.snapshot.report_with_stats();
             let mut resp = Response::ok_with(format!("stats {name}"), r.verbose());
             resp.lines.push(format!(
-                "service: {} requests, {} tuples in, {} scripts cached",
-                t.requests,
-                t.tuples_in,
-                t.session.scripts_cached()
+                "service: {} requests ({} reads), {} tuples in, {} scripts cached",
+                view.state.requests + view.reads,
+                view.reads,
+                view.state.tuples_in,
+                view.state.snapshot.scripts_cached,
             ));
-            Ok(resp)
+            resp
         }),
-        Request::Sql { session } => run_on_session(shared, session, "SQL", |t| {
-            let sql = sql_dump(t.session.target());
-            Ok(Response::ok_with(format!("sql {session}"), sql.trim_end()))
+        Request::Sql { session } => read_on_session(shared, session, |view| {
+            let sql = sql_dump_snapshot(&view.state.snapshot.target);
+            Response::ok_with(format!("sql {session}"), sql.trim_end())
         }),
         Request::Metrics => {
             refresh_session_gauges(shared);
@@ -1803,6 +1823,30 @@ fn run_on_session(
     }
 }
 
+/// The MVCC read path: resolve the session, clone its published
+/// batch-boundary snapshot, and render with `f` — the tenant mutex is
+/// never taken, so a reader neither queues behind a slow exchange nor
+/// delays one. The same cluster re-check as [`run_on_session`] keeps a
+/// mid-migration lookup miss answering `BUSY`/`MOVED` instead of a
+/// spurious `no such session`.
+fn read_on_session(
+    shared: &Shared,
+    name: &str,
+    f: impl FnOnce(&crate::manager::ReadView) -> Response,
+) -> Response {
+    match shared.manager.read_view(name) {
+        Ok(view) => f(&view),
+        Err(e) => {
+            if e.contains("no such session") {
+                if let Some(resp) = cluster_recheck(shared, name) {
+                    return resp;
+                }
+            }
+            Response::err(e)
+        }
+    }
+}
+
 /// Recover whatever `data_dir` holds, install the sessions into the
 /// manager, and open one [`DurableShard`] per manager shard, continuing
 /// each directory's generation/LSN sequence.
@@ -1954,9 +1998,18 @@ pub(crate) fn checkpoint_shard(shared: &Shared, idx: usize) {
         return;
     };
     let watermark = lock_durable(&d.shards[idx]).last_lsn();
-    let sessions: Vec<SessionSnapshot> = shared
-        .manager
-        .export_shard(idx)
+    let export = shared.manager.export_shard(idx);
+    if export.skipped_poisoned > 0 {
+        // A poisoned tenant cannot be exported, so this checkpoint omits
+        // it: count every omission so STATS can flag durability DEGRADED
+        // (recovery will fall back to WAL replay for those sessions).
+        shared
+            .stats
+            .snapshot_skips
+            .add(export.skipped_poisoned as u64);
+    }
+    let sessions: Vec<SessionSnapshot> = export
+        .sessions
         .into_iter()
         .map(
             |(name, scenario, requests, tuples_in, state)| SessionSnapshot {
@@ -2119,6 +2172,15 @@ fn server_stats(shared: &Shared, proto: Proto) -> Response {
             // a crash from here would lose them.
             line.push_str(&format!(" | DEGRADED: {append_errors} wal append errors"));
         }
+        let snapshot_skips = s.snapshot_skips.get();
+        if snapshot_skips > 0 {
+            // Checkpoints omitted poisoned sessions: recovery of those
+            // sessions depends entirely on WAL replay from the last good
+            // snapshot, so flag the gap rather than hide it.
+            line.push_str(&format!(
+                " | DEGRADED: {snapshot_skips} sessions skipped by checkpoints"
+            ));
+        }
         lines.push(line);
     }
     if let Some(cl) = &shared.cluster {
@@ -2133,11 +2195,14 @@ fn server_stats(shared: &Shared, proto: Proto) -> Response {
             cl.state.repl_lag(),
         ));
     }
+    // Published snapshots, not the tenant mutex: a slow exchange on one
+    // session must not stall the whole server-stats render.
     for name in shared.manager.names() {
-        if let Ok(line) = shared.manager.with_tenant(&name, |t| {
-            format!("{name}: {}", t.session.report_snapshot())
-        }) {
-            lines.push(line);
+        if let Ok(view) = shared.manager.read_view(&name) {
+            lines.push(format!(
+                "{name}: {}",
+                view.state.snapshot.report_with_stats()
+            ));
         }
     }
     Response {
@@ -2161,6 +2226,32 @@ pub fn sql_dump(instance: &Instance) -> String {
             .map(|c| c.name.as_str())
             .collect();
         for tuple in rel.iter() {
+            let vals: Vec<String> = tuple.values().iter().map(sql_literal).collect();
+            out.push_str(&format!(
+                "INSERT INTO {} ({}) VALUES ({});\n",
+                name,
+                cols.join(", "),
+                vals.join(", ")
+            ));
+        }
+    }
+    out
+}
+
+/// [`sql_dump`] over a captured [`InstanceSnapshot`] — byte-identical
+/// output for identical contents, so a snapshot read renders exactly what
+/// a locked read of the same batch boundary would have.
+pub fn sql_dump_snapshot(snap: &InstanceSnapshot) -> String {
+    let mut rels: Vec<_> = snap.relations().collect();
+    rels.sort_by_key(|(name, _)| name.to_owned());
+    let mut out = String::new();
+    for (name, rows) in rels {
+        let cols: Vec<&str> = snap
+            .schema()
+            .relation(name)
+            .map(|r| r.columns.iter().map(|c| c.name.as_str()).collect())
+            .unwrap_or_default();
+        for tuple in rows.iter() {
             let vals: Vec<String> = tuple.values().iter().map(sql_literal).collect();
             out.push_str(&format!(
                 "INSERT INTO {} ({}) VALUES ({});\n",

@@ -1,0 +1,267 @@
+//! MVCC snapshot-isolation tests: concurrent `SQL`/`STATS` readers during
+//! a sustained `PUSH` stream must observe *exactly* a batch-boundary
+//! state — the instance after some whole prefix of the pushes, never a
+//! torn batch — and the final state must be byte-identical to a serial
+//! run. Readers resolve from the published snapshot without the tenant
+//! mutex, so a slow exchange must not delay them past the request
+//! deadline either.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sedex_service::{Client, ClientConfig, Server, ServerConfig, ServerHandle};
+
+const SCENARIO: &str = "\
+[source]
+Dep(dname*, building)
+Student(sname*, program, dep->Dep)
+
+[target]
+Stu(student*, prog, dpt)
+
+[correspondences]
+sname <-> student
+program <-> prog
+dep <-> dpt
+";
+
+const READERS: usize = 3;
+
+fn start_server() -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("server start")
+}
+
+fn connect(handle: &ServerHandle, binary: bool) -> Client {
+    Client::connect_with(
+        handle.local_addr(),
+        ClientConfig {
+            binary,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect")
+}
+
+fn lines(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|j| {
+            let dep = if j % 2 == 0 { "d0" } else { "_" };
+            format!("Student: s{j}, p{j}, {dep}")
+        })
+        .collect()
+}
+
+fn sql_of(c: &mut Client, session: &str) -> String {
+    c.sql(session).unwrap().into_ok().unwrap().body()
+}
+
+/// Serial reference on its own session: apply `pushes` one boundary at a
+/// time (a boundary is one `PUSH` in text mode, one whole `PUSH_BATCH`
+/// chunk in batch mode) and collect the `SQL` dump at every boundary,
+/// including the zero-push state right after the seed `FEED`.
+fn boundary_states(
+    c: &mut Client,
+    session: &str,
+    pushes: &[String],
+    batch: Option<usize>,
+) -> Vec<String> {
+    c.open(session, SCENARIO).unwrap().into_ok().unwrap();
+    c.feed(session, "Dep: d0, b0").unwrap().into_ok().unwrap();
+    let mut states = vec![sql_of(c, session)];
+    match batch {
+        None => {
+            for line in pushes {
+                c.push(session, line).unwrap().into_ok().unwrap();
+                states.push(sql_of(c, session));
+            }
+        }
+        Some(size) => {
+            for chunk in pushes.chunks(size) {
+                let refs: Vec<&str> = chunk.iter().map(String::as_str).collect();
+                c.push_batch(session, &refs).unwrap().into_ok().unwrap();
+                states.push(sql_of(c, session));
+            }
+        }
+    }
+    states
+}
+
+/// The core isolation check, shared by both protocols: compute the serial
+/// boundary states, then re-run the same workload with `READERS`
+/// concurrent `SQL` readers on the session (plus one reader pinned to a
+/// quiet sibling session) and require every observed dump to be exactly
+/// one of the boundary states.
+fn assert_snapshot_isolation(binary: bool, batch: Option<usize>) {
+    let handle = start_server();
+    let pushes = lines(120);
+
+    let mut serial = connect(&handle, binary);
+    let states = boundary_states(&mut serial, "serial", &pushes, batch);
+    let valid: HashSet<&String> = states.iter().collect();
+    let final_state = states.last().unwrap().clone();
+
+    // A sibling tenant with its own data: concurrent traffic on `iso`
+    // must never leak into reads of `quiet`.
+    let mut sib = connect(&handle, binary);
+    sib.open("quiet", SCENARIO).unwrap().into_ok().unwrap();
+    sib.feed("quiet", "Dep: d9, b9").unwrap().into_ok().unwrap();
+    sib.push("quiet", "Student: q1, qp, d9")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    let quiet_state = sql_of(&mut sib, "quiet");
+
+    let mut w = connect(&handle, binary);
+    w.open("iso", SCENARIO).unwrap().into_ok().unwrap();
+    w.feed("iso", "Dep: d0, b0").unwrap().into_ok().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = handle.local_addr().to_string();
+    let readers: Vec<_> = (0..READERS + 1)
+        .map(|k| {
+            let stop = Arc::clone(&stop);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect_with(
+                    addr.as_str(),
+                    ClientConfig {
+                        binary,
+                        ..ClientConfig::default()
+                    },
+                )
+                .expect("reader connect");
+                let session = if k == READERS { "quiet" } else { "iso" };
+                let mut dumps = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    dumps.push(sql_of(&mut c, session));
+                    // STATS rides along: it must succeed from the same
+                    // snapshot path (content is load-dependent, so only
+                    // success is asserted).
+                    c.stats(Some(session)).unwrap().into_ok().unwrap();
+                }
+                (session, dumps)
+            })
+        })
+        .collect();
+
+    match batch {
+        None => {
+            for line in &pushes {
+                w.push("iso", line).unwrap().into_ok().unwrap();
+            }
+        }
+        Some(size) => {
+            for chunk in pushes.chunks(size) {
+                let refs: Vec<&str> = chunk.iter().map(String::as_str).collect();
+                w.push_batch("iso", &refs).unwrap().into_ok().unwrap();
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut observed = 0usize;
+    for r in readers {
+        let (session, dumps) = r.join().expect("reader thread");
+        for dump in dumps {
+            observed += 1;
+            if session == "quiet" {
+                assert_eq!(
+                    dump, quiet_state,
+                    "sibling session saw foreign or torn data"
+                );
+            } else {
+                assert!(
+                    valid.contains(&dump),
+                    "reader observed a state that is not a batch boundary:\n{dump}"
+                );
+            }
+        }
+    }
+    assert!(observed > 0, "readers never got a dump in");
+
+    // The writer's end state must be byte-identical to the serial run.
+    assert_eq!(sql_of(&mut w, "iso"), final_state);
+    handle.shutdown();
+}
+
+#[test]
+fn sql_during_push_sees_only_batch_boundaries_text() {
+    assert_snapshot_isolation(false, None);
+}
+
+#[test]
+fn sql_during_push_sees_only_batch_boundaries_binary() {
+    assert_snapshot_isolation(true, None);
+}
+
+#[test]
+fn sql_during_push_batch_never_sees_a_torn_batch() {
+    // PUSH_BATCH applies under one tenant-lock acquisition and publishes
+    // once: a reader may see the state before or after a whole batch of
+    // 30, never a partially applied one.
+    assert_snapshot_isolation(true, Some(30));
+}
+
+#[test]
+fn sql_answers_within_deadline_under_sustained_push() {
+    let timeout = Duration::from_millis(500);
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        request_timeout: Some(timeout),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+
+    let mut w = connect(&handle, false);
+    w.open("dl", SCENARIO).unwrap().into_ok().unwrap();
+    w.feed("dl", "Dep: d0, b0").unwrap().into_ok().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut j = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                w.push("dl", &format!("Student: s{j}, p{j}, d0"))
+                    .unwrap()
+                    .into_ok()
+                    .unwrap();
+                j += 1;
+            }
+            j
+        })
+    };
+
+    // Every read must come back OK (a deadline overrun would answer
+    // `ERR deadline`) and in well under the request timeout: snapshot
+    // reads queue behind the worker pool, never behind the exchange.
+    let mut c = connect(&handle, false);
+    let mut reads = 0usize;
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < Duration::from_secs(2) {
+        let t = std::time::Instant::now();
+        let reply = c.sql("dl").unwrap();
+        assert!(reply.ok, "read failed under write load: {}", reply.head);
+        assert!(
+            t.elapsed() < timeout,
+            "read took {:?}, past the {timeout:?} deadline",
+            t.elapsed()
+        );
+        reads += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let pushed = writer.join().expect("writer thread");
+    assert!(
+        reads > 0 && pushed > 0,
+        "both sides must have made progress"
+    );
+    handle.shutdown();
+}

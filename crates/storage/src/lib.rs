@@ -27,6 +27,7 @@ pub mod codec;
 pub mod error;
 pub mod instance;
 pub mod relation;
+pub mod rows;
 pub mod schema;
 pub mod stats;
 pub mod tuple;
@@ -34,8 +35,9 @@ pub mod types;
 pub mod value;
 
 pub use error::StorageError;
-pub use instance::{ConflictPolicy, InsertOutcome, Instance};
+pub use instance::{ConflictPolicy, InsertOutcome, Instance, InstanceSnapshot};
 pub use relation::RelationInstance;
+pub use rows::Rows;
 pub use schema::{Column, ForeignKey, RelationSchema, Schema};
 pub use stats::InstanceStats;
 pub use tuple::Tuple;

@@ -6,6 +6,7 @@ use std::hash::{Hash, Hasher};
 
 use crate::error::StorageError;
 use crate::instance::{ConflictPolicy, InsertOutcome};
+use crate::rows::Rows;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -23,10 +24,16 @@ fn hash_values(vals: &[Value]) -> u64 {
 /// An instance of one relation: a *set* of tuples (duplicates collapse, as in
 /// the standard data-exchange setting) plus hash indexes on the primary key
 /// and on each declared unique constraint.
+///
+/// Rows live in a chunked copy-on-write [`Rows`] store, so a point-in-time
+/// copy of the row set ([`RelationInstance::rows_snapshot`]) is cheap —
+/// sealed chunks are shared by `Arc`, only the mutable tail is copied —
+/// while the append path keeps mutating uniquely-owned memory. The hash
+/// indexes are never shared with snapshots: readers only need rows.
 #[derive(Debug, Clone)]
 pub struct RelationInstance {
     schema: RelationSchema,
-    rows: Vec<Tuple>,
+    rows: Rows,
     /// Set-semantics index: tuple hash → row ids with that hash.
     row_set: HashMap<u64, Vec<RowId>>,
     /// Primary-key index: key-projection hash → row ids (usually one).
@@ -41,7 +48,7 @@ impl RelationInstance {
         let unique_indexes = schema.unique.iter().map(|_| HashMap::new()).collect();
         RelationInstance {
             schema,
-            rows: Vec::new(),
+            rows: Rows::new(),
             row_set: HashMap::new(),
             pk_index: HashMap::new(),
             unique_indexes,
@@ -73,9 +80,22 @@ impl RelationInstance {
         self.rows.get(id as usize)
     }
 
-    /// All tuples as a slice.
-    pub fn rows(&self) -> &[Tuple] {
+    /// The chunked row store, in insertion order.
+    pub fn rows(&self) -> &Rows {
         &self.rows
+    }
+
+    /// A deep copy of all tuples.
+    pub fn to_vec(&self) -> Vec<Tuple> {
+        self.rows.to_vec()
+    }
+
+    /// A point-in-time copy of the row set: sealed chunks are shared, only
+    /// the tail is deep-copied. Later mutations of this instance are
+    /// invisible to the returned [`Rows`] — the capture primitive behind
+    /// [`crate::instance::Instance::snapshot`].
+    pub fn rows_snapshot(&self) -> Rows {
+        self.rows.clone()
     }
 
     fn type_check(&self, tuple: &Tuple) -> Result<()> {
@@ -112,7 +132,7 @@ impl RelationInstance {
             .get(&h)?
             .iter()
             .copied()
-            .find(|&id| &self.rows[id as usize] == tuple)
+            .find(|&id| self.rows.get(id as usize) == Some(tuple))
     }
 
     /// Find a row whose projection on `key_cols` equals the projection of
@@ -120,7 +140,7 @@ impl RelationInstance {
     /// containing nulls never match.
     fn find_by_key(
         index: &HashMap<u64, Vec<RowId>>,
-        rows: &[Tuple],
+        rows: &Rows,
         key_cols: &[usize],
         key_vals: &[Value],
     ) -> Option<RowId> {
@@ -160,11 +180,11 @@ impl RelationInstance {
         if vals.iter().any(|v| v.is_any_null()) {
             return Vec::new();
         }
-        (0..self.rows.len() as RowId)
-            .filter(|&id| {
-                let t = &self.rows[id as usize];
-                cols.iter().zip(vals).all(|(&c, v)| &t.values()[c] == v)
-            })
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| cols.iter().zip(vals).all(|(&c, v)| &t.values()[c] == v))
+            .map(|(id, _)| id as RowId)
             .collect()
     }
 
@@ -284,9 +304,10 @@ impl RelationInstance {
         Ok(InsertOutcome::Merged(id))
     }
 
-    /// Replace a row in place, rebuilding the indexes for that row.
+    /// Replace a row in place, rebuilding the indexes for that row. When a
+    /// snapshot shares the row's chunk, only that one chunk is copied.
     pub fn replace_row(&mut self, id: RowId, tuple: Tuple) {
-        self.rows[id as usize] = tuple;
+        self.rows.set(id as usize, tuple);
         self.rebuild_indexes();
     }
 
@@ -294,7 +315,7 @@ impl RelationInstance {
     /// indexes. No constraint checking — used by egd application and core
     /// minimisation, which construct already-consistent row sets.
     pub fn set_rows(&mut self, rows: Vec<Tuple>) {
-        self.rows = rows;
+        self.rows = Rows::from_vec(rows);
         self.dedup_rows();
     }
 
@@ -310,31 +331,41 @@ impl RelationInstance {
                 dead[id as usize] = true;
             }
         }
-        let mut keep = Vec::with_capacity(self.rows.len() - ids.len().min(self.rows.len()));
-        for (i, t) in self.rows.drain(..).enumerate() {
+        let old = std::mem::take(&mut self.rows).into_vec();
+        let mut keep = Vec::with_capacity(old.len() - ids.len().min(old.len()));
+        for (i, t) in old.into_iter().enumerate() {
             if !dead[i] {
                 keep.push(t);
             }
         }
-        self.rows = keep;
+        self.rows = Rows::from_vec(keep);
         self.rebuild_indexes();
     }
 
     /// Apply a labeled-null substitution to every value, then rebuild
     /// indexes and re-collapse duplicates. Returns the number of values
-    /// changed.
+    /// changed. Chunks containing no substituted label are left shared
+    /// with any live snapshot.
     pub fn substitute_labeled(&mut self, subst: &HashMap<u64, Value>) -> usize {
-        let mut changed = 0;
-        for t in &mut self.rows {
-            for v in t.values_mut() {
-                if let Value::Labeled(l) = v {
-                    if let Some(rep) = subst.get(l) {
-                        *v = rep.clone();
-                        changed += 1;
+        let changed = self.rows.for_each_mut_where(
+            |t| {
+                t.values()
+                    .iter()
+                    .any(|v| matches!(v, Value::Labeled(l) if subst.contains_key(l)))
+            },
+            |t| {
+                let mut n = 0;
+                for v in t.values_mut() {
+                    if let Value::Labeled(l) = v {
+                        if let Some(rep) = subst.get(l) {
+                            *v = rep.clone();
+                            n += 1;
+                        }
                     }
                 }
-            }
-        }
+                n
+            },
+        );
         if changed > 0 {
             self.dedup_rows();
         }
@@ -344,7 +375,7 @@ impl RelationInstance {
     fn dedup_rows(&mut self) {
         let mut seen: HashMap<u64, Vec<Tuple>> = HashMap::new();
         let mut keep = Vec::with_capacity(self.rows.len());
-        for t in self.rows.drain(..) {
+        for t in std::mem::take(&mut self.rows).into_vec() {
             let h = hash_values(t.values());
             let bucket = seen.entry(h).or_default();
             if !bucket.iter().any(|u| u == &t) {
@@ -352,7 +383,7 @@ impl RelationInstance {
                 keep.push(t);
             }
         }
-        self.rows = keep;
+        self.rows = Rows::from_vec(keep);
         self.rebuild_indexes();
     }
 
