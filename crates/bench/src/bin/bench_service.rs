@@ -23,14 +23,23 @@
 //! `mixed_rw_reader_p99_us` should stay near the plain round-trip cost
 //! no matter how long the writer's exchanges take.
 //!
-//! The final mode, `cluster_routed`, drives the same serial workload
-//! through a [`ClusterClient`] against two in-process cluster nodes,
-//! spreading sessions across both: its gap to `text_serial` is the price
-//! of ownership gating plus client-side ring resolution.
+//! The `cluster_routed` mode drives the same serial workload through a
+//! [`ClusterClient`] against two in-process cluster nodes, spreading
+//! sessions across both: its gap to `text_serial` is the price of
+//! ownership gating plus client-side ring resolution.
+//!
+//! The final mode, `failover`, kills the node owning a live session and
+//! measures the time until that session answers `SQL` again — once at
+//! replication factor 1 (no standby: availability returns only by
+//! re-opening the session empty) and once at factor 2 (the successor
+//! promotes its WAL-fed standby and the data survives). The gap between
+//! `failover_r1_ms` and `failover_r2_ms` is the promotion cost riding on
+//! top of the shared failure-detection window.
 
 use std::time::{Duration, Instant};
 
 use sedex_bench::{percentile, print_table};
+use sedex_durable::FsyncPolicy;
 use sedex_service::{
     Client, ClientConfig, ClusterClient, ClusterConfig, Server, ServerConfig, ServerHandle,
 };
@@ -277,6 +286,116 @@ fn start_cluster() -> (ServerHandle, ServerHandle, String) {
     (a, b, a_addr)
 }
 
+/// Tuples seeded into the victim-owned session before the kill.
+const FAILOVER_TUPLES: usize = 200;
+
+/// One failover run at replication factor `r`: form a durable two-node
+/// cluster with a fast failure detector, fill a session owned by node `b`,
+/// kill `b`, and time how long until `SQL` on that session answers OK
+/// through the survivor. At `r == 1` there is no standby, so the loop
+/// re-opens the session (empty) once the ring has written `b` off; at
+/// `r >= 2` the survivor promotes its standby and the data must survive.
+fn run_failover(r: usize, round: usize) -> Duration {
+    let node = |id: &str, peers: Vec<String>| {
+        let dir = std::env::temp_dir().join(format!(
+            "sedex-bench-failover-r{r}-{round}-{id}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            data_dir: Some(dir),
+            fsync: FsyncPolicy::Off,
+            cluster: Some(ClusterConfig {
+                node_id: id.to_owned(),
+                peers,
+                replication: r,
+                heartbeat: Duration::from_millis(100),
+                failover: Duration::from_millis(400),
+                ..ClusterConfig::default()
+            }),
+            ..ServerConfig::default()
+        })
+        .expect("failover node start")
+    };
+    let a = node("a", Vec::new());
+    let a_addr = a.local_addr().to_string();
+    let b = node("b", vec![a_addr.clone()]);
+    let b_addr = b.local_addr().to_string();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for addr in [&a_addr, &b_addr] {
+        loop {
+            let mut c = Client::connect(addr.as_str()).expect("formation probe");
+            let reply = c.cluster().expect("CLUSTER");
+            if reply.ok && reply.head.contains("(2 nodes, 2 alive)") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "failover formation timed out");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    let mut cc = ClusterClient::connect(&a_addr).expect("cluster connect");
+    let session = (0..1000)
+        .map(|i| format!("f{i}"))
+        .find(|s| cc.owner_of(s) == Some("b"))
+        .expect("some probe name must land on b");
+    cc.open(&session, SCENARIO).unwrap().into_ok().unwrap();
+    cc.feed(&session, "Dep: d0, b0").unwrap().into_ok().unwrap();
+    for line in data_lines(FAILOVER_TUPLES) {
+        cc.push(&session, &line).unwrap().into_ok().unwrap();
+    }
+    cc.push(&session, "Student: marker-zz, p0, d0")
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    if r >= 2 {
+        // Fair start: the standby must be caught up before the kill, or the
+        // clock would include replication lag rather than failover cost.
+        loop {
+            let mut c = Client::connect(a_addr.as_str()).expect("standby probe");
+            let body = c.cluster().expect("CLUSTER").body();
+            if body.contains("standby b sessions=1 ") {
+                let mut v = Client::connect(b_addr.as_str()).expect("drain probe");
+                let drained = v.cluster().expect("CLUSTER").body().lines().any(|l| {
+                    l.starts_with("repl queued=0") && l.ends_with("lag=0") && !l.contains("sent=0")
+                });
+                if drained {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "standby never caught up");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    b.abort();
+    let start = Instant::now();
+    let elapsed = loop {
+        let reply = cc.sql(&session).unwrap();
+        if reply.ok {
+            if r >= 2 {
+                assert!(
+                    reply.body().contains("marker-zz"),
+                    "promoted session lost its data"
+                );
+            }
+            break start.elapsed();
+        }
+        if r == 1 {
+            let _ = cc.open(&session, SCENARIO);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "session never answered after the kill"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    a.shutdown();
+    elapsed
+}
+
 fn main() {
     let handle = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
@@ -342,6 +461,12 @@ fn main() {
     node_a.shutdown();
     node_b.shutdown();
 
+    // Failover: one timed kill per replication factor. The detection
+    // window dominates both figures; their gap is the promotion cost, and
+    // only the R=2 run keeps the session's data.
+    let failover_r1 = run_failover(1, 0);
+    let failover_r2 = run_failover(2, 0);
+
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|(name, best, tps, p50, p99)| {
@@ -361,6 +486,10 @@ fn main() {
         &["mode", "wall", "ops/s", "p50", "p99"],
         &rows,
     );
+    println!(
+        "\nfailover (kill -> first OK SQL): R=1 {failover_r1:?} (session re-opened empty), \
+         R=2 {failover_r2:?} (standby promoted, data intact)"
+    );
 
     // Flat JSON, one figure per line: diffs in review read as a perf
     // trajectory. Rates are rounded to whole tuples/sec and latencies to
@@ -368,8 +497,7 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"tuples\": {TUPLES},\n"));
     json.push_str(&format!("  \"burst\": {BURST},\n"));
-    for (i, (name, _, tps, p50, p99)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
+    for (name, _, tps, p50, p99) in results.iter() {
         let rate = if *name == "mixed_rw_reader" {
             "reads_per_sec"
         } else {
@@ -381,10 +509,18 @@ fn main() {
             p50.as_secs_f64() * 1e6
         ));
         json.push_str(&format!(
-            "  \"{name}_p99_us\": {:.0}{comma}\n",
+            "  \"{name}_p99_us\": {:.0},\n",
             p99.as_secs_f64() * 1e6
         ));
     }
+    json.push_str(&format!(
+        "  \"failover_r1_ms\": {:.0},\n",
+        failover_r1.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"failover_r2_ms\": {:.0}\n",
+        failover_r2.as_secs_f64() * 1e3
+    ));
     json.push_str("}\n");
     let out =
         if std::path::Path::new("Cargo.toml").exists() && std::path::Path::new("crates").exists() {

@@ -7,10 +7,11 @@
 //! through ([`ClusterState`]).
 //!
 //! The crate is deliberately transport-free: the service owns the sockets
-//! (the replication link and heartbeats ride the existing readiness
+//! (the replication links and heartbeats ride the existing readiness
 //! reactor; no per-peer threads), and this crate owns the *decisions* —
 //! who owns a session, who follows whom, when a peer is dead, what the
-//! standby has. Everything here is std-only like the rest of the workspace.
+//! standby has, what each follower still owes ([`ReplPeer`]). Everything
+//! here is std-only like the rest of the workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,11 +21,11 @@ pub mod standby;
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 pub use ring::{HashRing, NodeEntry, DEFAULT_SEED, DEFAULT_VNODES};
-pub use standby::StandbySet;
+pub use standby::{Applied, StandbySet};
 
 /// Static cluster parameters for one node.
 #[derive(Debug, Clone)]
@@ -45,6 +46,10 @@ pub struct ClusterConfig {
     /// Silence after which the failure detector declares a peer dead. Must
     /// comfortably exceed `heartbeat`.
     pub failover: Duration,
+    /// Replication factor R: every acknowledged record lives on R nodes —
+    /// the origin plus its R−1 distinct alive ring successors. `1` keeps
+    /// the data on the origin only (no replication links).
+    pub replication: usize,
 }
 
 impl Default for ClusterConfig {
@@ -57,11 +62,12 @@ impl Default for ClusterConfig {
             seed: DEFAULT_SEED,
             heartbeat: Duration::from_millis(500),
             failover: Duration::from_secs(2),
+            replication: 2,
         }
     }
 }
 
-/// One WAL record queued for shipping to the replication follower.
+/// One WAL record queued for shipping to a replication follower.
 #[derive(Debug, Clone)]
 pub struct ReplFrame {
     /// Origin shard index — the standby keeps one watermark per shard.
@@ -70,8 +76,76 @@ pub struct ReplFrame {
     pub payload: Vec<u8>,
 }
 
+/// Replication state for one outbound follower: its frame queue and ack
+/// watermark. One exists per follower link; WAL appends fan a copy of each
+/// record into every queue whose link is up.
+#[derive(Debug, Default)]
+pub struct ReplPeer {
+    /// Frames queued for this follower, in per-shard LSN order.
+    queue: Mutex<VecDeque<ReplFrame>>,
+    /// Records handed to this follower's link.
+    pub sent: AtomicU64,
+    /// Records this follower acknowledged.
+    pub acked: AtomicU64,
+    /// True while the link is ready: WAL appends fan into this queue.
+    /// Mutated only through [`ClusterState::set_shipping`], which keeps the
+    /// aggregate fast-path flag in sync.
+    shipping: AtomicBool,
+}
+
+impl ReplPeer {
+    /// True while the link to this follower is up and shipping.
+    pub fn is_shipping(&self) -> bool {
+        self.shipping.load(Ordering::Relaxed)
+    }
+
+    /// Queue one record for this follower. Called under the durable shard
+    /// lock, so the queue preserves per-shard LSN order.
+    pub fn enqueue(&self, shard: u32, payload: Vec<u8>) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(ReplFrame { shard, payload });
+    }
+
+    /// Drain up to `max` queued records for shipping.
+    pub fn drain(&self, max: usize) -> Vec<ReplFrame> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let n = q.len().min(max);
+        q.drain(..n).collect()
+    }
+
+    /// Records waiting in this follower's queue.
+    pub fn queued(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Replace the whole queue with a disk catch-up (the link just came up,
+    /// or anti-entropy found the follower behind). `read` runs *while the
+    /// queue lock is held*: every record that was queued had already reached
+    /// disk before it was enqueued (the enqueue happens after the WAL
+    /// append, under the same shard lock), so clearing first and reading
+    /// second loses nothing — a record enqueued concurrently blocks on this
+    /// lock until the read is done, and at worst arrives twice; the
+    /// standby's per-shard watermark deduplicates re-sends.
+    pub fn catch_up_with(&self, read: impl FnOnce() -> Vec<ReplFrame>) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.clear();
+        q.extend(read());
+    }
+
+    /// This follower's lag: records shipped but not yet acknowledged, plus
+    /// records still queued.
+    pub fn lag(&self) -> u64 {
+        let sent = self.sent.load(Ordering::Relaxed);
+        let acked = self.acked.load(Ordering::Relaxed);
+        sent.saturating_sub(acked) + self.queued() as u64
+    }
+}
+
 /// Shared cluster state: the ring, migration bookkeeping, the failure
-/// detector's evidence, the standby store, and the replication queue.
+/// detector's evidence, the standby store, and the per-follower
+/// replication queues.
 ///
 /// Lock discipline: every field has its own lock and none is held across a
 /// call that takes another — all methods lock, act, unlock.
@@ -92,12 +166,13 @@ pub struct ClusterState {
     pub last_seen: Mutex<HashMap<String, Instant>>,
     /// Replicated state per origin node.
     pub standby: Mutex<HashMap<String, StandbySet>>,
-    /// WAL records queued for the replication link, in per-shard LSN order.
-    repl_queue: Mutex<VecDeque<ReplFrame>>,
-    /// Records handed to the replication link.
-    pub repl_sent: AtomicU64,
-    /// Records the follower acknowledged.
-    pub repl_acked: AtomicU64,
+    /// Per-follower replication queues, keyed by follower node id. Entries
+    /// appear when the reactor opens a link and are retired when the
+    /// follower leaves the follower set.
+    repl_peers: Mutex<HashMap<String, Arc<ReplPeer>>>,
+    /// Fast-path gate for the WAL append hook: true iff any follower is
+    /// shipping. Recomputed under the `repl_peers` lock on every toggle.
+    any_shipping: AtomicBool,
     /// `MOVED` redirects served.
     pub redirects: AtomicU64,
     /// Set once this node completed a planned `LEAVE`: it owns nothing and
@@ -117,9 +192,8 @@ impl ClusterState {
             forwarded: Mutex::new(HashMap::new()),
             last_seen: Mutex::new(HashMap::new()),
             standby: Mutex::new(HashMap::new()),
-            repl_queue: Mutex::new(VecDeque::new()),
-            repl_sent: AtomicU64::new(0),
-            repl_acked: AtomicU64::new(0),
+            repl_peers: Mutex::new(HashMap::new()),
+            any_shipping: AtomicBool::new(false),
             redirects: AtomicU64::new(0),
             left: AtomicBool::new(false),
         }
@@ -141,10 +215,14 @@ impl ClusterState {
             .insert(node.to_owned(), Instant::now());
     }
 
-    /// Peers that have been silent longer than the failover timeout *and*
-    /// whose designated successor is this node — the ones this node must
-    /// promote. Peers never heard from count from `since` (ring adoption
-    /// time), so a node that joins and immediately dies still fails over.
+    /// Peers that have been silent longer than the failover timeout. With
+    /// every node pinging every alive peer each heartbeat, silence is
+    /// evidence wherever it is observed: *each* node marks a silent peer
+    /// dead on its own ring (so origins re-target their followers without
+    /// waiting for gossip), while only the dead node's designated successor
+    /// additionally promotes its standby. Peers never heard from count
+    /// their silence from `since` (ring adoption time), so a node that
+    /// joins and immediately dies still fails over.
     pub fn dead_peers(&self, since: Instant) -> Vec<String> {
         let ring = self.ring.read().unwrap_or_else(|e| e.into_inner());
         let seen = self.last_seen.lock().unwrap_or_else(|e| e.into_inner());
@@ -152,7 +230,6 @@ impl ClusterState {
         let me = self.config.node_id.as_str();
         ring.nodes()
             .filter(|&(id, e)| id != me && e.alive)
-            .filter(|&(id, _)| ring.successor(id) == Some(me))
             .filter(|&(id, _)| {
                 let last = seen.get(id).copied().unwrap_or(since);
                 now.duration_since(last) >= self.config.failover
@@ -161,50 +238,96 @@ impl ClusterState {
             .collect()
     }
 
-    /// Queue one WAL record for the replication link. Called under the
-    /// durable shard lock, so the queue preserves per-shard LSN order.
-    pub fn enqueue_repl(&self, shard: u32, payload: Vec<u8>) {
-        self.repl_queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push_back(ReplFrame { shard, payload });
+    /// The replication state for follower `node`, created on first use.
+    pub fn repl_peer(&self, node: &str) -> Arc<ReplPeer> {
+        let mut peers = self.repl_peers.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(peers.entry(node.to_owned()).or_default())
     }
 
-    /// Drain up to `max` queued records for shipping.
-    pub fn drain_repl(&self, max: usize) -> Vec<ReplFrame> {
-        let mut q = self.repl_queue.lock().unwrap_or_else(|e| e.into_inner());
-        let n = q.len().min(max);
-        q.drain(..n).collect()
+    /// Forget a follower entirely (it died or left the follower set): its
+    /// queue and counters stop contributing to the aggregate totals.
+    pub fn retire_repl_peer(&self, node: &str) {
+        let mut peers = self.repl_peers.lock().unwrap_or_else(|e| e.into_inner());
+        peers.remove(node);
+        let any = peers.values().any(|p| p.is_shipping());
+        self.any_shipping.store(any, Ordering::SeqCst);
     }
 
-    /// Records waiting in the replication queue.
+    /// Toggle whether WAL appends fan into `node`'s queue, keeping the
+    /// append-path fast gate in sync. Held to the same ordering contract as
+    /// [`ReplPeer::catch_up_with`]: the reactor turns shipping on *before*
+    /// reading the disk catch-up, so no append can fall between.
+    pub fn set_shipping(&self, node: &str, on: bool) {
+        let mut peers = self.repl_peers.lock().unwrap_or_else(|e| e.into_inner());
+        if on {
+            peers
+                .entry(node.to_owned())
+                .or_default()
+                .shipping
+                .store(true, Ordering::SeqCst);
+        } else if let Some(p) = peers.get(node) {
+            p.shipping.store(false, Ordering::SeqCst);
+        }
+        let any = peers.values().any(|p| p.is_shipping());
+        self.any_shipping.store(any, Ordering::SeqCst);
+    }
+
+    /// Fan one WAL record out to every shipping follower. `encode` runs at
+    /// most once, and not at all when no link is up — the single-node (or
+    /// followerless) append path pays one atomic load. Called under the
+    /// durable shard lock, preserving per-shard LSN order in every queue.
+    pub fn repl_fanout(&self, shard: u32, encode: impl FnOnce() -> Vec<u8>) {
+        if !self.any_shipping.load(Ordering::Relaxed) {
+            return;
+        }
+        let peers = self.repl_peers.lock().unwrap_or_else(|e| e.into_inner());
+        let shipping: Vec<&Arc<ReplPeer>> = peers.values().filter(|p| p.is_shipping()).collect();
+        if shipping.is_empty() {
+            return;
+        }
+        let payload = encode();
+        for p in shipping {
+            p.enqueue(shard, payload.clone());
+        }
+    }
+
+    /// Every follower with replication state, sorted by node id — the
+    /// `CLUSTER` dump's `repl-peer` lines.
+    pub fn repl_peers_snapshot(&self) -> Vec<(String, Arc<ReplPeer>)> {
+        let peers = self.repl_peers.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, Arc<ReplPeer>)> = peers
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Records waiting across all follower queues.
     pub fn repl_queued(&self) -> usize {
-        self.repl_queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
+        let peers = self.repl_peers.lock().unwrap_or_else(|e| e.into_inner());
+        peers.values().map(|p| p.queued()).sum()
     }
 
-    /// Replace the whole replication queue with a disk catch-up (the
-    /// follower changed or just connected). `read` runs *while the queue
-    /// lock is held*: every record that was queued had already reached disk
-    /// before it was enqueued (the enqueue happens after the WAL append,
-    /// under the same shard lock), so clearing first and reading second
-    /// loses nothing — a record enqueued concurrently blocks on this lock
-    /// until the read is done, and at worst arrives twice; the standby's
-    /// per-shard watermark deduplicates re-sends.
-    pub fn catch_up_with(&self, read: impl FnOnce() -> Vec<ReplFrame>) {
-        let mut q = self.repl_queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.clear();
-        q.extend(read());
+    /// Records handed to follower links, across all followers.
+    pub fn repl_sent_total(&self) -> u64 {
+        let peers = self.repl_peers.lock().unwrap_or_else(|e| e.into_inner());
+        peers.values().map(|p| p.sent.load(Ordering::Relaxed)).sum()
     }
 
-    /// Replication lag: records shipped but not yet acknowledged, plus
-    /// records still queued.
+    /// Records acknowledged by followers, across all followers.
+    pub fn repl_acked_total(&self) -> u64 {
+        let peers = self.repl_peers.lock().unwrap_or_else(|e| e.into_inner());
+        peers
+            .values()
+            .map(|p| p.acked.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total replication lag: per-follower lags summed.
     pub fn repl_lag(&self) -> u64 {
-        let sent = self.repl_sent.load(Ordering::Relaxed);
-        let acked = self.repl_acked.load(Ordering::Relaxed);
-        sent.saturating_sub(acked) + self.repl_queued() as u64
+        let peers = self.repl_peers.lock().unwrap_or_else(|e| e.into_inner());
+        peers.values().map(|p| p.lag()).sum()
     }
 
     /// Where a session-addressed request for `session` should be handled,
@@ -299,30 +422,61 @@ mod tests {
     }
 
     #[test]
-    fn silent_peers_are_reported_dead_only_to_their_successor() {
+    fn silent_peers_are_reported_dead_wherever_observed() {
         let state = state_two_nodes();
         let since = Instant::now() - Duration::from_secs(1);
-        // Two-node ring: each is the other's successor, so silent `b` is
-        // this node's problem.
         assert_eq!(state.dead_peers(since), vec!["b".to_owned()]);
         state.note_peer("b");
         assert!(state.dead_peers(since).is_empty());
+        // Full-mesh pings make silence evidence on every node, not just
+        // the successor: a third node's silence is reported here too.
+        state.ring.write().unwrap().join("c", "127.0.0.1:3");
+        assert_eq!(state.dead_peers(since), vec!["c".to_owned()]);
     }
 
     #[test]
-    fn repl_queue_preserves_order_and_lag_counts_queued() {
+    fn per_peer_queues_preserve_order_and_lag_sums_followers() {
         let state = state_two_nodes();
-        state.enqueue_repl(0, vec![1]);
-        state.enqueue_repl(0, vec![2]);
-        state.enqueue_repl(1, vec![3]);
+        let b = state.repl_peer("b");
+        b.enqueue(0, vec![1]);
+        b.enqueue(0, vec![2]);
+        b.enqueue(1, vec![3]);
         assert_eq!(state.repl_lag(), 3);
-        let drained = state.drain_repl(2);
+        let drained = b.drain(2);
         assert_eq!(drained.len(), 2);
         assert_eq!(drained[0].payload, vec![1]);
         assert_eq!(drained[1].payload, vec![2]);
-        state.repl_sent.fetch_add(2, Ordering::Relaxed);
+        b.sent.fetch_add(2, Ordering::Relaxed);
         assert_eq!(state.repl_lag(), 3);
-        state.repl_acked.fetch_add(2, Ordering::Relaxed);
+        b.acked.fetch_add(2, Ordering::Relaxed);
         assert_eq!(state.repl_lag(), 1);
+        // A second follower's lag adds to the total; retiring it removes it.
+        let c = state.repl_peer("c");
+        c.enqueue(0, vec![9]);
+        assert_eq!(state.repl_lag(), 2);
+        state.retire_repl_peer("c");
+        assert_eq!(state.repl_lag(), 1);
+    }
+
+    #[test]
+    fn fanout_reaches_exactly_the_shipping_followers() {
+        let state = state_two_nodes();
+        let b = state.repl_peer("b");
+        let c = state.repl_peer("c");
+        // Nobody shipping: the encoder must not even run.
+        state.repl_fanout(0, || panic!("encoded with no follower up"));
+        state.set_shipping("b", true);
+        state.repl_fanout(0, || vec![7]);
+        assert_eq!(b.queued(), 1);
+        assert_eq!(c.queued(), 0);
+        state.set_shipping("c", true);
+        state.repl_fanout(1, || vec![8]);
+        assert_eq!(b.queued(), 2);
+        assert_eq!(c.queued(), 1);
+        assert_eq!(b.drain(10).last().unwrap().shard, 1);
+        state.set_shipping("b", false);
+        state.set_shipping("c", false);
+        state.repl_fanout(0, || panic!("encoded after links went down"));
+        assert_eq!(c.queued(), 1);
     }
 }

@@ -184,6 +184,21 @@ impl HashRing {
         }
     }
 
+    /// Revive a member previously declared dead — used when the member
+    /// itself is heard from again (a ping is proof of life), so a false
+    /// death declaration cannot wedge the membership into a permanent
+    /// split. Returns `true` if it was dead.
+    pub fn mark_alive(&mut self, node: &str) -> bool {
+        match self.nodes.get_mut(node) {
+            Some(e) if !e.alive => {
+                e.alive = true;
+                self.version += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// The member whose point range covers `key`, dead or alive.
     fn point_owner(&self, key: &str) -> Option<&str> {
         if self.points.is_empty() {
@@ -215,15 +230,29 @@ impl HashRing {
     /// The designated successor of `node`: the next alive member in the
     /// succession cycle. `None` when no *other* alive member exists.
     pub fn successor(&self, node: &str) -> Option<&str> {
+        self.successors(node, 1).into_iter().next()
+    }
+
+    /// The first `k` *distinct alive* members after `node` in the
+    /// succession cycle — the replication followers of a node running with
+    /// replication factor `k + 1`. Shorter than `k` when fewer other alive
+    /// members exist; empty when `node` is alone (or unknown).
+    pub fn successors(&self, node: &str, k: usize) -> Vec<&str> {
         let order = self.succession();
-        let start = order.iter().position(|&n| n == node)?;
+        let Some(start) = order.iter().position(|&n| n == node) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
         for i in 1..order.len() {
             let cand = order[(start + i) % order.len()];
-            if cand != node && self.is_alive(cand) {
-                return Some(cand);
+            if cand != node && self.is_alive(cand) && !out.contains(&cand) {
+                out.push(cand);
+                if out.len() == k {
+                    break;
+                }
             }
         }
-        None
+        out
     }
 
     /// The node a session routes to: the point owner when alive, otherwise
@@ -451,6 +480,25 @@ mod tests {
     }
 
     #[test]
+    fn revival_restores_ownership_and_is_idempotent() {
+        let mut ring = ring_of(3);
+        let before: Vec<_> = keys(200)
+            .iter()
+            .map(|k| ring.owner(k).unwrap().to_owned())
+            .collect();
+        assert!(ring.mark_dead("n1"));
+        let v = ring.version();
+        assert!(ring.mark_alive("n1"), "dead node should revive");
+        assert_eq!(ring.version(), v + 1);
+        assert!(!ring.mark_alive("n1"), "revival is a change twice?");
+        assert!(!ring.mark_alive("nx"), "unknown node revived");
+        assert_eq!(ring.version(), v + 1);
+        for (k, owner) in keys(200).iter().zip(before) {
+            assert_eq!(ring.owner(k), Some(owner.as_str()), "key {k} moved");
+        }
+    }
+
+    #[test]
     fn render_parse_roundtrip_preserves_placement() {
         let mut ring = ring_of(3);
         ring.mark_dead("n2");
@@ -460,6 +508,41 @@ mod tests {
         for k in keys(500) {
             assert_eq!(parsed.owner(&k), ring.owner(&k));
         }
+    }
+
+    #[test]
+    fn successors_skip_the_dead_and_never_repeat() {
+        let mut ring = ring_of(4);
+        // Every node sees the other three, each exactly once, none itself.
+        for i in 0..4 {
+            let me = format!("n{i}");
+            let succ = ring.successors(&me, 10);
+            assert_eq!(succ.len(), 3, "{me} should see three followers");
+            assert!(!succ.contains(&me.as_str()));
+            let mut uniq = succ.clone();
+            uniq.dedup();
+            assert_eq!(uniq, succ, "followers repeat for {me}");
+        }
+        // k truncates, and the first follower is the designated successor.
+        let one = ring.successors("n0", 1);
+        assert_eq!(one.as_slice(), &[ring.successor("n0").unwrap()]);
+        let two = ring.successors("n0", 2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0], one[0]);
+        // A dead node vanishes from every follower set but keeps its points.
+        let dead = two[0].to_owned();
+        ring.mark_dead(&dead);
+        for i in 0..4 {
+            let me = format!("n{i}");
+            if me == dead {
+                continue;
+            }
+            let succ = ring.successors(&me, 10);
+            assert!(!succ.contains(&dead.as_str()), "{me} still follows {dead}");
+            assert_eq!(succ.len(), 2);
+        }
+        // Unknown node: empty, not a panic.
+        assert!(ring.successors("ghost", 2).is_empty());
     }
 
     #[test]

@@ -28,28 +28,60 @@ pub struct StandbySet {
     pub errors: u64,
 }
 
+/// Outcome of applying one replicated frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    /// The record advanced the watermark and was replayed.
+    Applied,
+    /// The watermark already covered it (catch-up re-send); skipped.
+    Duplicate,
+    /// The record skips ahead of the watermark: a frame between them was
+    /// lost in flight. Refused *without* touching the watermark, so the
+    /// origin's next catch-up re-ship (which replays the shard's log in
+    /// order) fills the hole.
+    Gap {
+        /// The LSN the standby was waiting for (`watermark + 1`).
+        expected: u64,
+        /// The LSN that arrived instead.
+        got: u64,
+    },
+}
+
 impl StandbySet {
     /// Apply one replicated WAL frame payload (`lsn u64 | kind u8 | body`)
-    /// from `shard` of the origin node. Returns `true` when the record was
-    /// applied, `false` when the watermark already covered it.
+    /// from `shard` of the origin node.
+    ///
+    /// The watermark only advances when the record actually replays: a
+    /// record that fails replay must stay *below* the watermark so a later
+    /// catch-up re-ship retries it instead of skipping it forever. LSNs are
+    /// dense per shard, so a record more than one past the watermark means
+    /// an earlier frame was dropped — refused as [`Applied::Gap`]. The
+    /// first record from a shard (watermark still 0) is exempt: a
+    /// catch-up stream legitimately starts wherever the retained log does.
     pub fn apply(
         &mut self,
         config: &SedexConfig,
         observer: Option<&Arc<dyn Observer>>,
         shard: u32,
         payload: &[u8],
-    ) -> Result<bool, String> {
+    ) -> Result<Applied, String> {
         let (lsn, record) =
             WalRecord::decode(payload).map_err(|e| format!("replicated record: {e:?}"))?;
         let mark = self.watermarks.entry(shard).or_insert(0);
         if lsn <= *mark {
-            return Ok(false);
+            return Ok(Applied::Duplicate);
         }
-        *mark = lsn;
+        if *mark > 0 && lsn > *mark + 1 {
+            return Ok(Applied::Gap {
+                expected: *mark + 1,
+                got: lsn,
+            });
+        }
         match replay_record(&mut self.sessions, config, observer, record) {
             Ok(()) => {
+                *mark = lsn;
                 self.records += 1;
-                Ok(true)
+                Ok(Applied::Applied)
             }
             Err(e) => {
                 self.errors += 1;
@@ -78,42 +110,170 @@ b <-> y
         record.encode(lsn)
     }
 
+    fn open(session: &str) -> WalRecord {
+        WalRecord::Open {
+            session: session.into(),
+            scenario: SCENARIO.into(),
+        }
+    }
+
+    fn push(session: &str, key: &str) -> WalRecord {
+        WalRecord::Push {
+            session: session.into(),
+            relation: "S".into(),
+            tuple: Tuple::new(vec![key.into(), "v".into()]),
+        }
+    }
+
     #[test]
     fn records_apply_in_order_and_duplicates_are_skipped() {
         let mut set = StandbySet::default();
         let cfg = SedexConfig::default();
-        let open = WalRecord::Open {
-            session: "s".into(),
-            scenario: SCENARIO.into(),
-        };
-        let push = WalRecord::Push {
-            session: "s".into(),
-            relation: "S".into(),
-            tuple: Tuple::new(vec!["k1".into(), "v1".into()]),
-        };
-        assert!(set.apply(&cfg, None, 0, &frame(1, &open)).unwrap());
-        assert!(set.apply(&cfg, None, 0, &frame(2, &push)).unwrap());
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(1, &open("s"))).unwrap(),
+            Applied::Applied
+        );
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(2, &push("s", "k1")))
+                .unwrap(),
+            Applied::Applied
+        );
         // A catch-up replays from the start of the shard's log: both frames
         // are at or below the watermark and must be skipped, not re-applied.
-        assert!(!set.apply(&cfg, None, 0, &frame(1, &open)).unwrap());
-        assert!(!set.apply(&cfg, None, 0, &frame(2, &push)).unwrap());
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(1, &open("s"))).unwrap(),
+            Applied::Duplicate
+        );
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(2, &push("s", "k1")))
+                .unwrap(),
+            Applied::Duplicate
+        );
         assert_eq!(set.records, 2);
         // A different shard has its own watermark.
-        assert!(set
-            .apply(
-                &cfg,
-                None,
-                1,
-                &frame(
-                    1,
-                    &WalRecord::Open {
-                        session: "t".into(),
-                        scenario: SCENARIO.into(),
-                    }
-                )
-            )
-            .unwrap());
+        assert_eq!(
+            set.apply(&cfg, None, 1, &frame(1, &open("t"))).unwrap(),
+            Applied::Applied
+        );
         assert_eq!(set.sessions.len(), 2);
         assert_eq!(set.sessions["s"].tuples_in, 1);
+    }
+
+    #[test]
+    fn undecodable_frames_error_without_touching_the_watermark() {
+        let mut set = StandbySet::default();
+        let cfg = SedexConfig::default();
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(1, &open("s"))).unwrap(),
+            Applied::Applied
+        );
+        // Garbage and truncated payloads: hard errors, no state change.
+        assert!(set.apply(&cfg, None, 0, b"nonsense").is_err());
+        let mut torn = frame(2, &push("s", "k1"));
+        torn.truncate(torn.len() - 3);
+        assert!(set.apply(&cfg, None, 0, &torn).is_err());
+        assert_eq!(set.watermarks[&0], 1);
+        // The intact frame still applies afterwards.
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(2, &push("s", "k1")))
+                .unwrap(),
+            Applied::Applied
+        );
+    }
+
+    #[test]
+    fn failed_replay_leaves_the_watermark_so_a_reship_can_retry() {
+        let mut set = StandbySet::default();
+        let cfg = SedexConfig::default();
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(1, &open("s"))).unwrap(),
+            Applied::Applied
+        );
+        // A push into a session the standby never opened fails replay. The
+        // watermark must NOT advance — before the fix it did, and every
+        // later catch-up re-ship skipped the record forever.
+        assert!(set
+            .apply(&cfg, None, 0, &frame(2, &push("ghost", "k")))
+            .is_err());
+        assert_eq!(set.errors, 1);
+        assert_eq!(set.watermarks[&0], 1);
+        // The re-ship retries LSN 2 (here: the record that makes it valid)
+        // and the stream continues.
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(2, &open("ghost"))).unwrap(),
+            Applied::Applied
+        );
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(3, &push("ghost", "k")))
+                .unwrap(),
+            Applied::Applied
+        );
+        assert_eq!(set.watermarks[&0], 3);
+    }
+
+    #[test]
+    fn lsn_gaps_are_refused_until_the_missing_record_arrives() {
+        let mut set = StandbySet::default();
+        let cfg = SedexConfig::default();
+        // First contact may start anywhere: catch-up streams begin at the
+        // oldest *retained* record, not necessarily LSN 1.
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(5, &open("s"))).unwrap(),
+            Applied::Applied
+        );
+        // LSN 7 with 6 missing: refused, watermark pinned at 5.
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(7, &push("s", "k2")))
+                .unwrap(),
+            Applied::Gap {
+                expected: 6,
+                got: 7
+            }
+        );
+        assert_eq!(set.watermarks[&0], 5);
+        // The re-ship delivers 6 then 7 in order and the stream heals.
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(6, &push("s", "k1")))
+                .unwrap(),
+            Applied::Applied
+        );
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(7, &push("s", "k2")))
+                .unwrap(),
+            Applied::Applied
+        );
+        assert_eq!(set.records, 3);
+        assert_eq!(set.sessions["s"].tuples_in, 2);
+    }
+
+    #[test]
+    fn watermarks_survive_origin_restarts_without_regressing() {
+        let mut set = StandbySet::default();
+        let cfg = SedexConfig::default();
+        for (lsn, rec) in [(1, open("s")), (2, push("s", "k1")), (3, push("s", "k2"))] {
+            assert_eq!(
+                set.apply(&cfg, None, 0, &frame(lsn, &rec)).unwrap(),
+                Applied::Applied
+            );
+        }
+        // A restarted origin re-reads its WAL from disk and re-ships the
+        // whole retained log. Every frame is a duplicate; the watermark
+        // must not move backwards and nothing double-applies.
+        for (lsn, rec) in [(1, open("s")), (2, push("s", "k1")), (3, push("s", "k2"))] {
+            assert_eq!(
+                set.apply(&cfg, None, 0, &frame(lsn, &rec)).unwrap(),
+                Applied::Duplicate
+            );
+        }
+        assert_eq!(set.watermarks[&0], 3);
+        assert_eq!(set.records, 3);
+        assert_eq!(set.sessions["s"].tuples_in, 2);
+        // Post-restart appends continue the stream seamlessly.
+        assert_eq!(
+            set.apply(&cfg, None, 0, &frame(4, &push("s", "k3")))
+                .unwrap(),
+            Applied::Applied
+        );
+        assert_eq!(set.sessions["s"].tuples_in, 3);
     }
 }

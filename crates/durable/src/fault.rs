@@ -45,11 +45,19 @@ pub enum FaultPoint {
     /// the place to inject [`FaultKind::Panic`] (quarantine testing) or
     /// [`FaultKind::Latency`] (a slow worker for shedding/deadline tests).
     SessionWork,
+    /// A replication/heartbeat frame about to be queued on an outbound
+    /// peer link. `Error` *drops the frame silently* (the network ate it —
+    /// the standby sees an LSN gap), `ShortWrite` truncates it then drops
+    /// the link, `Latency` delays the ship.
+    PeerSend,
+    /// A socket read on an outbound peer link. Transient kinds retry,
+    /// hard kinds drop the link (a mid-stream disconnect).
+    PeerRecv,
 }
 
 impl FaultPoint {
     /// Every point, in counter-index order.
-    pub const ALL: [FaultPoint; 7] = [
+    pub const ALL: [FaultPoint; 9] = [
         FaultPoint::WalAppend,
         FaultPoint::WalFsync,
         FaultPoint::SnapshotWrite,
@@ -57,6 +65,8 @@ impl FaultPoint {
         FaultPoint::ConnRead,
         FaultPoint::ConnWrite,
         FaultPoint::SessionWork,
+        FaultPoint::PeerSend,
+        FaultPoint::PeerRecv,
     ];
 
     fn index(self) -> usize {
@@ -68,6 +78,8 @@ impl FaultPoint {
             FaultPoint::ConnRead => 4,
             FaultPoint::ConnWrite => 5,
             FaultPoint::SessionWork => 6,
+            FaultPoint::PeerSend => 7,
+            FaultPoint::PeerRecv => 8,
         }
     }
 
@@ -81,6 +93,8 @@ impl FaultPoint {
             FaultPoint::ConnRead => "conn_read",
             FaultPoint::ConnWrite => "conn_write",
             FaultPoint::SessionWork => "session_work",
+            FaultPoint::PeerSend => "peer_send",
+            FaultPoint::PeerRecv => "peer_recv",
         }
     }
 }
@@ -276,6 +290,43 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_covers_every_variant_in_index_order() {
+        // `ALL` is the authority the per-point counters are sized from: a
+        // variant missing here silently loses its ops/injected gauges.
+        for (i, p) in FaultPoint::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{} out of place in ALL", p.name());
+        }
+        // Names are distinct (they key metric labels).
+        let mut names: Vec<_> = FaultPoint::ALL.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), FaultPoint::ALL.len());
+        // Exhaustiveness: adding a variant without extending ALL fails to
+        // compile here (no wildcard arm), not at some distant metrics call.
+        let mut counted = 0usize;
+        for p in FaultPoint::ALL {
+            match p {
+                FaultPoint::WalAppend
+                | FaultPoint::WalFsync
+                | FaultPoint::SnapshotWrite
+                | FaultPoint::Accept
+                | FaultPoint::ConnRead
+                | FaultPoint::ConnWrite
+                | FaultPoint::SessionWork
+                | FaultPoint::PeerSend
+                | FaultPoint::PeerRecv => counted += 1,
+            }
+        }
+        assert_eq!(counted, FaultPoint::ALL.len());
+        // A plan sized from ALL counts the newest points too.
+        let plan = FaultPlan::new();
+        assert!(plan.fire(FaultPoint::PeerSend).is_none());
+        assert!(plan.fire(FaultPoint::PeerRecv).is_none());
+        assert_eq!(plan.ops(FaultPoint::PeerSend), 1);
+        assert_eq!(plan.ops(FaultPoint::PeerRecv), 1);
+    }
 
     #[test]
     fn empty_plan_never_fires() {

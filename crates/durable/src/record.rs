@@ -19,6 +19,7 @@ const KIND_PUSH: u8 = 3;
 const KIND_SCRIPT_ADD: u8 = 4;
 const KIND_FLUSH: u8 = 5;
 const KIND_CLOSE: u8 = 6;
+const KIND_INSTALL: u8 = 7;
 
 /// One logged operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +71,26 @@ pub enum WalRecord {
         /// Session name.
         session: String,
     },
+    /// A session arrived *whole* from another node — a live-migration
+    /// handoff, or a promotion installing a dead peer's standby. The WAL is
+    /// a redo log of acknowledged operations, and for inherited sessions
+    /// the acknowledged operation is "this full state now lives here": the
+    /// receiving node logs it so its own crash recovery *and* its own
+    /// replication followers see the session, not just its snapshots.
+    Install {
+        /// Session name.
+        session: String,
+        /// The scenario body the session was opened with.
+        scenario: String,
+        /// Requests served before the handoff.
+        requests: u64,
+        /// Tuples fed or pushed before the handoff.
+        tuples_in: u64,
+        /// Encoded [`SessionState`](sedex_core::SessionState) bytes (the
+        /// snapshot codec's `encode_session_state`); decoded lazily at
+        /// replay so shipping a frame never parses state.
+        state: Vec<u8>,
+    },
 }
 
 impl WalRecord {
@@ -81,7 +102,8 @@ impl WalRecord {
             | WalRecord::Push { session, .. }
             | WalRecord::ScriptAdd { session, .. }
             | WalRecord::Flush { session }
-            | WalRecord::Close { session } => session,
+            | WalRecord::Close { session }
+            | WalRecord::Install { session, .. } => session,
         }
     }
 
@@ -95,6 +117,7 @@ impl WalRecord {
             WalRecord::ScriptAdd { .. } => "script_add",
             WalRecord::Flush { .. } => "flush",
             WalRecord::Close { .. } => "close",
+            WalRecord::Install { .. } => "install",
         }
     }
 
@@ -146,6 +169,20 @@ impl WalRecord {
                 w.put_u8(KIND_CLOSE);
                 w.put_str(session);
             }
+            WalRecord::Install {
+                session,
+                scenario,
+                requests,
+                tuples_in,
+                state,
+            } => {
+                w.put_u8(KIND_INSTALL);
+                w.put_str(session);
+                w.put_str(scenario);
+                w.put_u64(*requests);
+                w.put_u64(*tuples_in);
+                w.put_bytes(state);
+            }
         }
         w.into_bytes()
     }
@@ -180,6 +217,13 @@ impl WalRecord {
             },
             KIND_CLOSE => WalRecord::Close {
                 session: r.get_str()?,
+            },
+            KIND_INSTALL => WalRecord::Install {
+                session: r.get_str()?,
+                scenario: r.get_str()?,
+                requests: r.get_u64()?,
+                tuples_in: r.get_u64()?,
+                state: r.get_bytes()?.to_vec(),
             },
             t => return Err(CodecError::new(format!("unknown record kind {t}"))),
         };
@@ -285,6 +329,13 @@ mod tests {
             },
             WalRecord::Close {
                 session: "t1".into(),
+            },
+            WalRecord::Install {
+                session: "t1".into(),
+                scenario: "[source]\nR(a*)\n".into(),
+                requests: 42,
+                tuples_in: 17,
+                state: vec![1, 2, 3, 0, 255],
             },
         ];
         for (i, rec) in records.iter().enumerate() {

@@ -34,8 +34,10 @@ use std::sync::Arc;
 use sedex_core::{Observer, SedexConfig, SedexSession};
 use sedex_scenarios::textfmt;
 
+use sedex_storage::codec::ByteReader;
+
 use crate::record::WalRecord;
-use crate::snapshot::{read_snapshot, SessionSnapshot};
+use crate::snapshot::{decode_session_state, read_snapshot, SessionSnapshot};
 use crate::wal::{read_segment, truncate_to};
 
 /// A session rebuilt by recovery, plus its tenant bookkeeping.
@@ -239,6 +241,32 @@ fn apply_record(
         }
         WalRecord::Close { session } => {
             sessions.remove(&session);
+            Ok(())
+        }
+        WalRecord::Install {
+            session,
+            scenario,
+            requests,
+            tuples_in,
+            state,
+        } => {
+            // A whole inherited session (migration handoff or standby
+            // promotion). Replay overwrites any existing entry: the record
+            // carries the complete state, so redoing it is idempotent.
+            let decoded = decode_session_state(&mut ByteReader::new(&state))
+                .map_err(|e| format!("install state for `{session}`: {e:?}"))?;
+            let mut live = open_session(config, &scenario, observer)?;
+            live.restore_state(decoded);
+            sessions.insert(
+                session.clone(),
+                RecoveredSession {
+                    name: session,
+                    scenario,
+                    requests,
+                    tuples_in,
+                    session: live,
+                },
+            );
             Ok(())
         }
     }

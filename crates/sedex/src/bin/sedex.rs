@@ -19,6 +19,7 @@
 //!             [--pipeline-window N] [--trace-buffer N]
 //!             [--cluster] [--node-id ID] [--advertise A]
 //!             [--peers A,B,...] [--heartbeat-ms N] [--failover-ms N]
+//!             [--replication-factor R]
 //! sedex cluster status [--addr A]  # one node's ring + replication view
 //! sedex recover <dir>           # inspect a --data-dir: what would recover?
 //! ```
@@ -40,10 +41,13 @@
 //!
 //! `--cluster` (or any of the cluster flags) starts the node in cluster
 //! mode: session names are consistent-hashed to owner nodes, non-owners
-//! answer `ERR MOVED <node> <addr>`, the WAL is shipped live to the ring
-//! successor as a warm standby, and a planned `LEAVE` migrates every owned
-//! session out before the node departs. `--peers` lists seed addresses to
-//! `JOIN` through at startup.
+//! answer `ERR MOVED <node> <addr>`, the WAL is shipped live to the node's
+//! ring successors as warm standbys, and a planned `LEAVE` migrates every
+//! owned session out before the node departs. `--peers` lists seed
+//! addresses to `JOIN` through at startup; `--replication-factor R`
+//! (default 2) keeps every acknowledged record on R nodes — the origin
+//! plus its R−1 distinct alive successors — so the cluster survives R−1
+//! simultaneous node failures.
 //!
 //! `gen` kinds: `university`, `stb`, `amb`, and the ten STBenchmark basics
 //! (`cp`, `cv`, `hp`, `sk`, `vp`, `un`, `ne`, `de`, `ko`, `av`).
@@ -67,7 +71,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N] [--request-timeout MS] [--max-conns N] [--shed-queue-depth N] [--pipeline-window N] [--trace-buffer N] [--cluster] [--node-id ID] [--advertise host:port] [--peers host:port,...] [--heartbeat-ms N] [--failover-ms N]\n  sedex cluster status [--addr host:port]\n  sedex recover <data-dir>"
+    "usage:\n  sedex run <file.sdx> [--engine sedex|edex|clio|mapmerge|spicy] [--threads N] [--batch-size N] [--parallel-threshold N] [--metrics-out <path>] [--slow-ms N] [--sql] [--quiet] [--verbose]\n  sedex check <file.sdx>\n  sedex trees <file.sdx>\n  sedex gen <university|stb|amb|cp|cv|hp|sk|vp|un|ne|de|ko|av> [--tuples N]\n  sedex serve [--addr host:port] [--workers N] [--shards N] [--queue-depth N] [--idle-ttl SECS] [--metrics] [--slow-ms N] [--engine-threads N] [--parallel-threshold N] [--data-dir DIR] [--fsync always|every-N|off] [--snapshot-every N] [--request-timeout MS] [--max-conns N] [--shed-queue-depth N] [--pipeline-window N] [--trace-buffer N] [--cluster] [--node-id ID] [--advertise host:port] [--peers host:port,...] [--heartbeat-ms N] [--failover-ms N] [--replication-factor R]\n  sedex cluster status [--addr host:port]\n  sedex recover <data-dir>"
         .to_owned()
 }
 
@@ -328,6 +332,14 @@ fn serve(flags: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--failover-ms: {e}"))?;
                 cluster.get_or_insert_with(ClusterConfig::default).failover =
                     std::time::Duration::from_millis(ms.max(1));
+            }
+            "--replication-factor" => {
+                let r: usize = value("--replication-factor")?
+                    .parse()
+                    .map_err(|e| format!("--replication-factor: {e}"))?;
+                cluster
+                    .get_or_insert_with(ClusterConfig::default)
+                    .replication = r.max(1);
             }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }

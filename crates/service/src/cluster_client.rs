@@ -153,8 +153,12 @@ impl ClusterClient {
     ) -> io::Result<Reply> {
         let deadline = Instant::now() + self.cfg.failover_window;
         let mut hops = 0u32;
+        // A redirect names where the session actually is; the next attempt
+        // goes *there*, not back through the local ring — mid-migration both
+        // rings may still name the old owner, which would ping-pong.
+        let mut redirected: Option<(String, String)> = None;
         loop {
-            let Some((owner, addr)) = self.resolve(session) else {
+            let Some((owner, addr)) = redirected.take().or_else(|| self.resolve(session)) else {
                 return Err(io::Error::new(
                     io::ErrorKind::NotConnected,
                     "no alive node in the cluster snapshot",
@@ -193,6 +197,7 @@ impl ClusterClient {
                         // the owner may know a newer ring than it serves.
                         self.ring.join(&node, &node_addr);
                         let _ = self.refresh_from(&node_addr);
+                        redirected = Some((node, node_addr));
                         continue;
                     }
                     return Ok(reply);

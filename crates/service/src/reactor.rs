@@ -40,6 +40,7 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sedex_cluster::ReplPeer;
 use sedex_durable::{FaultKind, FaultPoint};
 use sedex_net::{
     read_once, ByteQueue, Event, FrameDecoder, FrameEvent, Interest, Poller, ReadOutcome, Token,
@@ -52,40 +53,54 @@ use crate::protocol::{
     MAX_OPEN_BODY_LINES,
 };
 use crate::server::{
-    busy_response, deadline_response, promote_dead_peer, repl_catchup_frames, Done, Job, JobTrace,
-    Shared, DEADLINE_REPLY_GRACE,
+    busy_response, deadline_response, pong_response, promote_dead_peer, repl_catchup_frames, Done,
+    Job, JobTrace, Shared, DEADLINE_REPLY_GRACE,
 };
 use crate::wire;
 
 /// Token of the listening socket.
 const LISTENER: Token = Token(0);
-/// Token of the outbound replication/heartbeat link to the ring successor.
-const PEER: Token = Token(1);
-/// First token handed to an accepted connection.
+/// First token handed to an accepted connection. Tokens `1..FIRST_CONN`
+/// are reserved for outbound peer links (so a node heartbeats up to 15
+/// peers; larger clusters link the rest as slots free up).
 const FIRST_CONN: u64 = 16;
 
-/// The outbound link to this node's designated successor: heartbeats and
-/// replicated WAL records ride it, multiplexed on the reactor thread like
-/// any other socket — cluster mode adds no threads. The link speaks the
-/// ordinary binary client protocol (`HELLO binary`, then `PING`/`REPL`
-/// frames), so the follower needs no special listener.
+/// One outbound link to a cluster peer, multiplexed on the reactor thread
+/// like any other socket — cluster mode adds no threads. Every alive peer
+/// gets a link (full-mesh heartbeats: silence is evidence of death
+/// wherever it is observed); links to this node's R−1 ring successors
+/// additionally ship replicated WAL records. The link speaks the ordinary
+/// binary client protocol (`HELLO binary`, then `PING`/`REPL` frames), so
+/// the receiving peer needs no special listener.
 struct PeerLink {
     stream: TcpStream,
-    /// Node id the link targets; torn down when the successor changes.
+    /// Node id the link targets; torn down when the target dies, leaves,
+    /// or changes role (follower ↔ heartbeat-only).
     target: String,
     rbuf: ByteQueue,
     wbuf: WriteBuf,
     frames: FrameDecoder,
     /// False until the text `HELLO` reply block has been consumed.
     ready: bool,
+    /// True when the target is one of this node's replication followers:
+    /// WAL records are shipped over this link.
+    shipping: bool,
+    /// The follower's replication queue and watermarks; `Some` iff
+    /// `shipping`.
+    repl: Option<Arc<ReplPeer>>,
+    /// The follower's per-shard standby watermarks as reported by its last
+    /// pong — the anti-entropy signal. `None` until a pong arrives (and
+    /// reset to `None` after a catch-up is triggered, so the next decision
+    /// waits for fresh evidence).
+    standby_wm: Option<HashMap<u32, u64>>,
     /// Responses the peer still owes, in send order (the protocol answers
     /// serially, so one queue is enough to attribute acks).
-    awaiting: VecDeque<PeerSend>,
+    awaiting: VecDeque<Awaiting>,
     interest: Interest,
 }
 
 /// What one outstanding peer response will acknowledge.
-enum PeerSend {
+enum Awaiting {
     Ping,
     Repl,
 }
@@ -206,7 +221,7 @@ pub(crate) fn reactor_loop(
         rbuf_hw: 0,
         wbuf_hw: 0,
         pipeline_hw: 0,
-        peer: None,
+        peers: HashMap::new(),
         next_heartbeat,
         cluster_since: Instant::now(),
     };
@@ -237,9 +252,10 @@ struct Reactor {
     rbuf_hw: usize,
     wbuf_hw: usize,
     pipeline_hw: usize,
-    /// Replication/heartbeat link to the ring successor; `None` when not
-    /// clustered, not connected yet, or between reconnect attempts.
-    peer: Option<PeerLink>,
+    /// Outbound heartbeat/replication links, keyed by poller token
+    /// (`1..FIRST_CONN`). Empty when not clustered; otherwise one link per
+    /// alive peer, reconciled every heartbeat tick.
+    peers: HashMap<u64, PeerLink>,
     /// Next heartbeat tick; `None` when not clustered (so the poll timeout
     /// stays infinite and single-node idle behaviour is unchanged).
     next_heartbeat: Option<Instant>,
@@ -318,14 +334,14 @@ impl Reactor {
             for &ev in events.iter() {
                 if ev.token == LISTENER {
                     self.accept_ready();
-                } else if ev.token == PEER {
-                    self.peer_event(ev.readable, ev.writable);
+                } else if ev.token.0 < FIRST_CONN {
+                    self.peer_event(ev.token.0, ev.readable, ev.writable);
                 } else {
                     self.conn_event(ev.token.0, ev.readable, ev.writable);
                 }
             }
         }
-        self.teardown_peer();
+        self.teardown_all_peers();
         let _ = self.poller.deregister(self.listener.as_raw_fd());
         for (_, conn) in self.conns.drain() {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
@@ -988,6 +1004,25 @@ impl Reactor {
                         }
                         continue;
                     }
+                    // Heartbeat liveness must not depend on worker
+                    // availability: a saturated or wedged pool would starve
+                    // pongs past the failover window and trigger false
+                    // death declarations. Pings are cheap and lock-bounded,
+                    // so they are answered right here — skipping the job
+                    // queue and the shed gate (shedding protects workers;
+                    // this touches none).
+                    if let Request::Ping { node } = &request {
+                        let response = pong_response(&self.shared, node);
+                        self.shared.stats.requests.inc();
+                        if !response.ok {
+                            self.shared.stats.errors.inc();
+                        }
+                        self.shared.stats.count_proto(proto);
+                        if !self.write_response(token, &response, proto, false) {
+                            return;
+                        }
+                        continue;
+                    }
                     let is_shutdown = matches!(request, Request::Shutdown);
                     // Load shedding: past the configured depth, answer BUSY
                     // with a retry hint instead of joining the queue.
@@ -1222,10 +1257,10 @@ impl Reactor {
 
     // --- cluster peer link --------------------------------------------
 
-    /// Heartbeat tick: run the failure detector, keep the replication link
-    /// pointed at the current ring successor, and ping it. Panic-isolated
-    /// like per-connection work — a wedged cluster path costs the link, not
-    /// the reactor.
+    /// Heartbeat tick: run the failure detector, reconcile the peer links
+    /// against the ring (one per alive peer; the R−1 successors ship), and
+    /// ping everyone. Panic-isolated like per-connection work — a wedged
+    /// cluster path costs the links, not the reactor.
     fn cluster_tick(&mut self) {
         let Some(at) = self.next_heartbeat else {
             return;
@@ -1240,7 +1275,7 @@ impl Reactor {
             .expect("heartbeat set only with cluster");
         self.next_heartbeat = Some(Instant::now() + cl.state.config.heartbeat);
         if catch_unwind(AssertUnwindSafe(|| self.heartbeat(cl))).is_err() {
-            self.teardown_peer();
+            self.teardown_all_peers();
         }
     }
 
@@ -1251,44 +1286,135 @@ impl Reactor {
         if cl.state.left.load(Ordering::Relaxed) {
             // A departed node replicates nothing and pings nobody; it only
             // answers redirects until the operator stops it.
-            self.teardown_peer();
+            self.teardown_all_peers();
             return;
         }
-        let desired = {
+        // One ring read decides the link plan: every alive peer gets a
+        // heartbeat link (full-mesh silence detection — in a ring of
+        // successor-only pings a node whose follower died would never
+        // re-learn the topology), and the R−1 distinct alive successors
+        // additionally receive this node's WAL.
+        let (alive, followers) = {
             let ring = cl.state.ring.read().unwrap_or_else(|e| e.into_inner());
-            ring.successor(cl.state.node_id())
-                .map(|n| (n.to_owned(), ring.addr_of(n).unwrap_or_default().to_owned()))
+            let me = cl.state.node_id();
+            let alive: HashMap<String, String> = ring
+                .nodes()
+                .filter(|&(id, e)| id != me && e.alive)
+                .map(|(id, e)| (id.to_owned(), e.addr.clone()))
+                .collect();
+            let followers: std::collections::HashSet<String> = ring
+                .successors(me, cl.state.config.replication.saturating_sub(1))
+                .into_iter()
+                .map(str::to_owned)
+                .collect();
+            (alive, followers)
         };
-        if let (Some(link), Some((node, _))) = (&self.peer, &desired) {
-            if &link.target != node {
-                self.teardown_peer();
+        // Tear down links that no longer fit the plan: target dead or
+        // departed, or its follower role flipped (the link reconnects this
+        // same tick with the right role).
+        let stale: Vec<u64> = self
+            .peers
+            .iter()
+            .filter(|(_, l)| {
+                !alive.contains_key(&l.target) || l.shipping != followers.contains(&l.target)
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for tok in stale {
+            let target = self.peers[&tok].target.clone();
+            self.teardown_peer(tok);
+            if !alive.contains_key(&target) {
+                cl.state.retire_repl_peer(&target);
             }
-        } else if self.peer.is_some() && desired.is_none() {
-            self.teardown_peer();
         }
-        let Some((node, addr)) = desired else {
-            return;
-        };
-        if self.peer.is_none() && node != cl.state.node_id() {
-            self.connect_peer(&node, &addr);
+        for (node, addr) in &alive {
+            if !self.peers.values().any(|l| &l.target == node) {
+                self.connect_peer(cl, node, addr, followers.contains(node));
+            }
         }
         let ping = wire::encode_request(&Request::Ping {
             node: cl.state.node_id().to_owned(),
         });
-        if let (Some(link), Ok(bytes)) = (&mut self.peer, ping) {
-            if link.ready {
-                link.wbuf.queue(&bytes);
-                link.awaiting.push_back(PeerSend::Ping);
+        if let Ok(bytes) = ping {
+            let toks: Vec<u64> = self.peers.keys().copied().collect();
+            for tok in toks {
+                if let Some(link) = self.peers.get_mut(&tok) {
+                    if link.ready {
+                        link.wbuf.queue(&bytes);
+                        link.awaiting.push_back(Awaiting::Ping);
+                    }
+                }
+                self.flush_peer(tok);
             }
         }
-        self.flush_peer();
+        self.anti_entropy();
     }
 
-    /// Dial the successor. Blocking, but bounded well under the heartbeat
+    /// Compare each follower's pong-reported standby watermarks against
+    /// the local WAL heads. A follower that is behind while its link is
+    /// *idle* (nothing queued, everything sent acknowledged) lost frames —
+    /// an injected `PeerSend` drop, a partition that healed under the
+    /// failover timeout — and would stay behind forever without a
+    /// reconnect. Re-ship the retained log from disk instead; the
+    /// follower's watermarks deduplicate the overlap.
+    fn anti_entropy(&mut self) {
+        let mut heads: Option<Vec<u64>> = None; // read lazily, at most once
+        let toks: Vec<u64> = self.peers.keys().copied().collect();
+        for tok in toks {
+            let repl = {
+                let Some(link) = self.peers.get_mut(&tok) else {
+                    continue;
+                };
+                if !link.ready || !link.shipping {
+                    continue;
+                }
+                let Some(repl) = link.repl.clone() else {
+                    continue;
+                };
+                // Only an idle link is evidence of loss: queued or
+                // in-flight frames may still cover the hole.
+                if repl.queued() > 0
+                    || repl.sent.load(Ordering::Relaxed) != repl.acked.load(Ordering::Relaxed)
+                {
+                    continue;
+                }
+                let Some(wm) = &link.standby_wm else {
+                    continue;
+                };
+                let heads =
+                    heads.get_or_insert_with(|| crate::server::shard_last_lsns(&self.shared));
+                let behind = heads
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &l)| l > 0 && wm.get(&(i as u32)).copied().unwrap_or(0) < l);
+                if !behind {
+                    continue;
+                }
+                // Wait for a fresh pong before judging again — the
+                // catch-up needs a round trip to move the watermarks, and
+                // re-shipping every heartbeat until then would thrash.
+                link.standby_wm = None;
+                repl
+            };
+            repl.catch_up_with(|| repl_catchup_frames(&self.shared));
+            self.peer_ship_link(tok);
+        }
+    }
+
+    /// Dial a peer. Blocking, but bounded well under the heartbeat
     /// interval — an unreachable peer costs the loop 50ms once per tick,
     /// not a stall.
-    fn connect_peer(&mut self, node: &str, addr: &str) {
+    fn connect_peer(
+        &mut self,
+        cl: &crate::server::ClusterRt,
+        node: &str,
+        addr: &str,
+        shipping: bool,
+    ) {
         use std::net::ToSocketAddrs;
+        let Some(tok) = (1..FIRST_CONN).find(|t| !self.peers.contains_key(t)) else {
+            return;
+        };
         let Some(sa) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
             return;
         };
@@ -1301,7 +1427,7 @@ impl Reactor {
         let _ = stream.set_nodelay(true);
         if self
             .poller
-            .register(stream.as_raw_fd(), PEER, Interest::READ)
+            .register(stream.as_raw_fd(), Token(tok), Interest::READ)
             .is_err()
         {
             return;
@@ -1313,34 +1439,55 @@ impl Reactor {
             wbuf: WriteBuf::new(),
             frames: FrameDecoder::new(wire::MAX_FRAME_BYTES),
             ready: false,
+            shipping,
+            repl: shipping.then(|| cl.state.repl_peer(node)),
+            standby_wm: None,
             awaiting: VecDeque::new(),
             interest: Interest::READ,
         };
         link.wbuf.queue(b"HELLO binary\n");
-        self.peer = Some(link);
-        self.flush_peer();
+        self.peers.insert(tok, link);
+        self.flush_peer(tok);
     }
 
-    fn peer_event(&mut self, readable: bool, writable: bool) {
+    fn peer_event(&mut self, tok: u64, readable: bool, writable: bool) {
         if catch_unwind(AssertUnwindSafe(|| {
             if writable {
-                self.flush_peer();
+                self.flush_peer(tok);
             }
             if readable {
-                self.peer_readable();
+                self.peer_readable(tok);
             }
-            self.peer_ship();
+            self.peer_ship_link(tok);
         }))
         .is_err()
         {
-            self.teardown_peer();
+            self.teardown_peer(tok);
         }
     }
 
-    fn peer_readable(&mut self) {
+    fn peer_readable(&mut self, tok: u64) {
         loop {
+            // Injected receive faults mirror `ConnRead`: transient kinds
+            // retry (a real EINTR), hard kinds drop the link (a reset) —
+            // the reconnect's disk catch-up makes the loss invisible.
+            match self
+                .shared
+                .faults
+                .as_ref()
+                .and_then(|p| p.fire(FaultPoint::PeerRecv))
+            {
+                Some(FaultKind::Error(
+                    ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut,
+                )) => continue,
+                Some(FaultKind::Error(_)) | Some(FaultKind::ShortWrite) => {
+                    self.teardown_peer(tok);
+                    return;
+                }
+                _ => {}
+            }
             let outcome = {
-                let Some(link) = &mut self.peer else {
+                let Some(link) = self.peers.get_mut(&tok) else {
                     return;
                 };
                 let (rbuf, stream) = (&mut link.rbuf, &link.stream);
@@ -1348,13 +1495,13 @@ impl Reactor {
             };
             match outcome {
                 Ok(ReadOutcome::Data(_)) => {
-                    if !self.peer_parse() {
+                    if !self.peer_parse(tok) {
                         return;
                     }
                 }
                 Ok(ReadOutcome::WouldBlock) => return,
                 Ok(ReadOutcome::Closed) | Err(_) => {
-                    self.teardown_peer();
+                    self.teardown_peer(tok);
                     return;
                 }
             }
@@ -1364,8 +1511,8 @@ impl Reactor {
     /// Consume buffered peer bytes: the text `HELLO` reply first, then
     /// binary response frames, each acknowledging the oldest outstanding
     /// send. Returns false when the link was torn down.
-    fn peer_parse(&mut self) -> bool {
-        let Some(mut link) = self.peer.take() else {
+    fn peer_parse(&mut self, tok: u64) -> bool {
+        let Some(mut link) = self.peers.remove(&tok) else {
             return false;
         };
         let shared = Arc::clone(&self.shared);
@@ -1395,15 +1542,37 @@ impl Reactor {
                 None => break true,
                 Some(FrameEvent::Oversized { .. }) => break false,
                 Some(FrameEvent::Frame { opcode, payload }) => {
-                    let Ok((ok, head, _)) = wire::decode_response(opcode, &payload) else {
+                    let Ok((ok, head, lines)) = wire::decode_response(opcode, &payload) else {
                         break false;
                     };
                     match link.awaiting.pop_front() {
-                        Some(PeerSend::Repl) if ok => {
-                            cl.state.repl_acked.fetch_add(1, Ordering::Relaxed);
+                        Some(Awaiting::Repl) if ok => {
+                            if let Some(repl) = &link.repl {
+                                repl.acked.fetch_add(1, Ordering::Relaxed);
+                            }
                             cl.state.note_peer(&link.target);
                         }
-                        Some(PeerSend::Ping) if ok => cl.state.note_peer(&link.target),
+                        Some(Awaiting::Ping) if ok => {
+                            cl.state.note_peer(&link.target);
+                            // The pong carries the peer's per-shard standby
+                            // watermarks for this origin (`wm <shard>
+                            // <lsn>` lines) — the anti-entropy evidence. A
+                            // pong with no `wm` lines is meaningful too: it
+                            // says the peer holds nothing of ours.
+                            let mut wm = HashMap::new();
+                            for line in &lines {
+                                let mut it = line.split_whitespace();
+                                if it.next() != Some("wm") {
+                                    continue;
+                                }
+                                if let (Some(Ok(shard)), Some(Ok(lsn))) =
+                                    (it.next().map(str::parse), it.next().map(str::parse))
+                                {
+                                    wm.insert(shard, lsn);
+                                }
+                            }
+                            link.standby_wm = Some(wm);
+                        }
                         Some(_) => {
                             eprintln!(
                                 "sedex-service: follower {} refused a frame: {head}",
@@ -1416,45 +1585,71 @@ impl Reactor {
                 }
             }
         };
-        self.peer = Some(link);
+        let target = link.target.clone();
+        let repl = link.repl.clone();
+        let shipping = link.shipping;
+        self.peers.insert(tok, link);
         if !alive {
-            self.teardown_peer();
+            self.teardown_peer(tok);
             return false;
         }
-        if just_ready {
+        if just_ready && shipping {
             // Order matters: gate appends into the queue *before* the disk
             // catch-up. `catch_up_with` holds the queue lock across the
             // read, so an append racing this either lands after the
             // catch-up (kept) or reached disk before it (re-read); the
             // standby's watermark swallows the overlap.
-            cl.replicating.store(true, Ordering::SeqCst);
-            cl.state.repl_acked.store(
-                cl.state.repl_sent.load(Ordering::Relaxed),
-                Ordering::Relaxed,
-            );
-            cl.state.catch_up_with(|| repl_catchup_frames(&self.shared));
-            self.peer_ship();
+            cl.state.set_shipping(&target, true);
+            if let Some(repl) = repl {
+                repl.acked
+                    .store(repl.sent.load(Ordering::Relaxed), Ordering::Relaxed);
+                repl.catch_up_with(|| repl_catchup_frames(&self.shared));
+            }
+            self.peer_ship_link(tok);
         }
         true
     }
 
-    /// Move queued replication records onto the link, bounding the bytes
-    /// buffered in userspace — a slow follower backpressures into the
-    /// queue, whose length the lag gauge reports honestly.
+    /// Ship queued records on every follower link — the per-loop-turn hook
+    /// (workers wake the reactor after each completion, so appends ship
+    /// within one turn).
     fn peer_ship(&mut self) {
+        let toks: Vec<u64> = self
+            .peers
+            .iter()
+            .filter(|(_, l)| l.shipping && l.ready)
+            .map(|(&t, _)| t)
+            .collect();
+        for tok in toks {
+            self.peer_ship_link(tok);
+        }
+    }
+
+    /// Move one follower's queued records onto its link, bounding the
+    /// bytes buffered in userspace — a slow follower backpressures into
+    /// its queue, whose length the lag gauge reports honestly. Each frame
+    /// fires [`FaultPoint::PeerSend`]: an injected hard error swallows the
+    /// frame (the network ate it — the follower sees an LSN gap for
+    /// anti-entropy to repair), a short write truncates it and drops the
+    /// link (a torn frame at the follower).
+    fn peer_ship_link(&mut self, tok: u64) {
         let shared = Arc::clone(&self.shared);
         let Some(cl) = shared.cluster.as_ref() else {
             return;
         };
+        let mut torn = false;
         {
-            let Some(link) = &mut self.peer else {
+            let Some(link) = self.peers.get_mut(&tok) else {
                 return;
             };
-            if !link.ready {
+            if !link.ready || !link.shipping {
                 return;
             }
-            while link.wbuf.len() < (1 << 20) {
-                let frames = cl.state.drain_repl(64);
+            let Some(repl) = link.repl.clone() else {
+                return;
+            };
+            'fill: while link.wbuf.len() < (1 << 20) {
+                let frames = repl.drain(64);
                 if frames.is_empty() {
                     break;
                 }
@@ -1466,18 +1661,36 @@ impl Reactor {
                     }) else {
                         continue;
                     };
+                    match shared
+                        .faults
+                        .as_ref()
+                        .and_then(|p| p.fire(FaultPoint::PeerSend))
+                    {
+                        Some(FaultKind::Error(_)) => continue,
+                        Some(FaultKind::ShortWrite) => {
+                            link.wbuf.queue(&bytes[..bytes.len() / 2]);
+                            torn = true;
+                            break 'fill;
+                        }
+                        _ => {}
+                    }
                     link.wbuf.queue(&bytes);
-                    link.awaiting.push_back(PeerSend::Repl);
-                    cl.state.repl_sent.fetch_add(1, Ordering::Relaxed);
+                    link.awaiting.push_back(Awaiting::Repl);
+                    repl.sent.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
-        self.flush_peer();
+        if torn {
+            self.flush_peer(tok);
+            self.teardown_peer(tok);
+            return;
+        }
+        self.flush_peer(tok);
     }
 
-    fn flush_peer(&mut self) {
+    fn flush_peer(&mut self, tok: u64) {
         let flushed = {
-            let Some(link) = &mut self.peer else {
+            let Some(link) = self.peers.get_mut(&tok) else {
                 return;
             };
             if link.wbuf.is_empty() {
@@ -1488,14 +1701,14 @@ impl Reactor {
             }
         };
         if flushed.is_err() {
-            self.teardown_peer();
+            self.teardown_peer(tok);
         } else {
-            self.update_peer_interest();
+            self.update_peer_interest(tok);
         }
     }
 
-    fn update_peer_interest(&mut self) {
-        let Some(link) = &mut self.peer else {
+    fn update_peer_interest(&mut self, tok: u64) {
+        let Some(link) = self.peers.get_mut(&tok) else {
             return;
         };
         let want = Interest {
@@ -1505,29 +1718,41 @@ impl Reactor {
         if want != link.interest
             && self
                 .poller
-                .modify(link.stream.as_raw_fd(), PEER, want)
+                .modify(link.stream.as_raw_fd(), Token(tok), want)
                 .is_ok()
         {
             link.interest = want;
         }
     }
 
-    /// Drop the replication link. Un-gates WAL appends (nothing enqueues
-    /// while down — the reconnect's disk catch-up supersedes the queue)
-    /// and zeroes the visible lag: in-flight unacked frames will simply be
-    /// re-read from disk next time.
-    fn teardown_peer(&mut self) {
-        let Some(link) = self.peer.take() else {
+    /// Drop one peer link. For a follower link this un-gates WAL appends
+    /// into its queue (nothing enqueues while down — the reconnect's disk
+    /// catch-up supersedes the queue) and zeroes its visible lag:
+    /// in-flight unacked frames will simply be re-read from disk next
+    /// time. The follower's `ReplPeer` entry survives (counters persist);
+    /// it is retired only when the peer dies or leaves the follower set.
+    fn teardown_peer(&mut self, tok: u64) {
+        let Some(link) = self.peers.remove(&tok) else {
             return;
         };
         let _ = self.poller.deregister(link.stream.as_raw_fd());
+        if !link.shipping {
+            return;
+        }
         if let Some(cl) = &self.shared.cluster {
-            cl.replicating.store(false, Ordering::SeqCst);
-            cl.state.repl_acked.store(
-                cl.state.repl_sent.load(Ordering::Relaxed),
-                Ordering::Relaxed,
-            );
-            cl.state.catch_up_with(Vec::new);
+            cl.state.set_shipping(&link.target, false);
+        }
+        if let Some(repl) = &link.repl {
+            repl.acked
+                .store(repl.sent.load(Ordering::Relaxed), Ordering::Relaxed);
+            repl.catch_up_with(Vec::new);
+        }
+    }
+
+    fn teardown_all_peers(&mut self) {
+        let toks: Vec<u64> = self.peers.keys().copied().collect();
+        for tok in toks {
+            self.teardown_peer(tok);
         }
     }
 

@@ -29,7 +29,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sedex_cluster::{ClusterConfig, ClusterState, HashRing, ReplFrame, Route};
+use sedex_cluster::{Applied, ClusterConfig, ClusterState, HashRing, ReplFrame, Route};
 use sedex_core::render::sql_literal;
 use sedex_core::{Observer, SedexConfig};
 use sedex_durable::recover::list_segments;
@@ -415,10 +415,6 @@ pub(crate) struct ClusterRt {
     pub(crate) repl_lag: Arc<Gauge>,
     /// `sedex_cluster_ring_version` — this node's view of the map version.
     pub(crate) ring_version: Arc<Gauge>,
-    /// True while the reactor's replication link to the successor is up:
-    /// `wal_append` only enqueues records then. A link (re)connect runs a
-    /// disk catch-up that supersedes anything missed while this was false.
-    pub(crate) replicating: AtomicBool,
 }
 
 impl ClusterRt {
@@ -624,7 +620,6 @@ impl Server {
                     "sedex_cluster_ring_version",
                     "This node's view of the cluster map version",
                 ),
-                replicating: AtomicBool::new(false),
             }
         });
         let shared = Arc::new(Shared {
@@ -1157,13 +1152,7 @@ fn execute(shared: &Shared, request: &Request, proto: Proto) -> Response {
         Request::Join { node, addr } => cluster_join(shared, node, addr),
         Request::Leave { node: Some(node) } => cluster_leave_announced(shared, node),
         Request::Leave { node: None } => cluster_leave_self(shared),
-        Request::Ping { node } => match &shared.cluster {
-            None => Response::err("not in cluster mode"),
-            Some(cl) => {
-                cl.state.note_peer(node);
-                Response::ok(format!("pong {}", cl.state.node_id()))
-            }
-        },
+        Request::Ping { node } => pong_response(shared, node),
         Request::Migrate {
             session,
             scenario,
@@ -1250,8 +1239,15 @@ fn cluster_status(shared: &Shared) -> Response {
         origins.sort();
         for origin in origins {
             let set = &standby[origin];
+            let mut marks: Vec<(u32, u64)> = set.watermarks.iter().map(|(&s, &l)| (s, l)).collect();
+            marks.sort_unstable();
+            let wm = marks
+                .iter()
+                .map(|(s, l)| format!("{s}:{l}"))
+                .collect::<Vec<_>>()
+                .join(",");
             lines.push(format!(
-                "standby {origin} sessions={} records={} errors={}",
+                "standby {origin} sessions={} records={} errors={} wm={wm}",
                 set.sessions.len(),
                 set.records,
                 set.errors,
@@ -1261,10 +1257,30 @@ fn cluster_status(shared: &Shared) -> Response {
     lines.push(format!(
         "repl queued={} sent={} acked={} lag={}",
         st.repl_queued(),
-        st.repl_sent.load(Ordering::Relaxed),
-        st.repl_acked.load(Ordering::Relaxed),
+        st.repl_sent_total(),
+        st.repl_acked_total(),
         st.repl_lag(),
     ));
+    for (node, peer) in st.repl_peers_snapshot() {
+        lines.push(format!(
+            "repl-peer {node} shipping={} queued={} sent={} acked={} lag={}",
+            peer.is_shipping(),
+            peer.queued(),
+            peer.sent.load(Ordering::Relaxed),
+            peer.acked.load(Ordering::Relaxed),
+            peer.lag(),
+        ));
+    }
+    let heads = shard_last_lsns(shared);
+    if !heads.is_empty() {
+        let heads = heads
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("{i}:{l}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        lines.push(format!("wal-lsn {heads}"));
+    }
     lines.push(format!(
         "redirects {}",
         st.redirects.load(Ordering::Relaxed)
@@ -1274,6 +1290,55 @@ fn cluster_status(shared: &Shared) -> Response {
         head,
         lines,
     }
+}
+
+/// The `PING <node>` verb. Cheap and lock-bounded by design: the reactor
+/// answers pings inline (never through the worker pool), so heartbeat
+/// liveness cannot be starved by a saturated or wedged pool — with one
+/// worker, a single slow exchange (or two nodes' `JOIN` announcements
+/// waiting on each other) would otherwise silence pongs past the failover
+/// window and wedge the mesh into mutual false death declarations.
+///
+/// The ping itself is proof of life: a pinger this ring had declared dead
+/// is revived, so a transient stall or healed partition converges back to
+/// full membership instead of splitting permanently (links only connect
+/// to alive peers, so without revival neither side would ever ping the
+/// other again).
+///
+/// The pong reports this node's per-shard standby watermarks *for the
+/// pinger*: the origin compares them against its own WAL heads and
+/// re-ships anything missing (anti-entropy). No lines means we hold
+/// nothing of its.
+pub(crate) fn pong_response(shared: &Shared, node: &str) -> Response {
+    let Some(cl) = &shared.cluster else {
+        return Response::err("not in cluster mode");
+    };
+    cl.state.note_peer(node);
+    let known_dead = {
+        let ring = cl.state.ring.read().unwrap_or_else(|e| e.into_inner());
+        ring.addr_of(node).is_some() && !ring.is_alive(node)
+    };
+    if known_dead {
+        let revived = {
+            let mut ring = cl.state.ring.write().unwrap_or_else(|e| e.into_inner());
+            ring.mark_alive(node)
+        };
+        if revived {
+            eprintln!(
+                "sedex-service: node {} revived {node} (pinged after being declared dead)",
+                cl.state.node_id(),
+            );
+        }
+    }
+    let mut resp = Response::ok(format!("pong {}", cl.state.node_id()));
+    let standby = cl.state.standby.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(set) = standby.get(node) {
+        let mut marks: Vec<(u32, u64)> = set.watermarks.iter().map(|(&s, &l)| (s, l)).collect();
+        marks.sort_unstable();
+        resp.lines
+            .extend(marks.iter().map(|(s, l)| format!("wm {s} {l}")));
+    }
+    resp
 }
 
 /// A short-timeout, no-retry client for node-to-node announcements.
@@ -1314,7 +1379,14 @@ fn alive_peers(state: &ClusterState, except: &str) -> Vec<(String, String)> {
 /// The `JOIN <node> <addr>` verb: add the node to the ring and reply with
 /// the full topology (the joiner adopts it). A *fresh* join is announced
 /// to the other alive members, so a join through any one node reaches all
-/// of them; repeats are idempotent and do not re-propagate.
+/// of them; repeats are idempotent and do not re-propagate. After a fresh
+/// join this node also rebalances: every live local session the new ring
+/// places on the joiner is handed off over the `MIGRATE` path right away,
+/// so the joiner serves its share immediately instead of waiting for
+/// clients to churn — and since every member runs this on its own fresh
+/// observation, the whole cluster converges without a coordinator. A
+/// failed handoff is logged and the session stays local (local wins:
+/// the gate serves live sessions here regardless of the ring).
 fn cluster_join(shared: &Shared, node: &str, addr: &str) -> Response {
     let Some(cl) = &shared.cluster else {
         return Response::err("not in cluster mode");
@@ -1329,6 +1401,30 @@ fn cluster_join(shared: &Shared, node: &str, addr: &str) -> Response {
     if fresh {
         for (peer, peer_addr) in alive_peers(&cl.state, node) {
             announce_to_peers(&[(peer, peer_addr)], &format!("JOIN {node} {addr}"));
+        }
+        if node != cl.state.node_id() {
+            let mut clients = std::collections::HashMap::new();
+            let mut moved = 0usize;
+            for name in shared.manager.names() {
+                let owned_by_joiner = {
+                    let ring = cl.state.ring.read().unwrap_or_else(|e| e.into_inner());
+                    ring.owner(&name) == Some(node)
+                };
+                if !owned_by_joiner {
+                    continue;
+                }
+                match handoff_session(shared, &cl.state, &mut clients, &name, node, addr) {
+                    Ok(true) => moved += 1,
+                    Ok(false) => {}
+                    Err(e) => eprintln!("sedex-service: join rebalance kept `{name}`: {e}"),
+                }
+            }
+            if moved > 0 {
+                eprintln!(
+                    "sedex-service: node {} rebalanced {moved} sessions to joiner {node}",
+                    cl.state.node_id(),
+                );
+            }
         }
     }
     let mut resp = Response::ok(format!("joined {node}"));
@@ -1407,86 +1503,11 @@ fn cluster_leave_self(shared: &Shared) -> Response {
                 None => return Response::err("cannot leave: ring has no successor"),
             }
         };
-        st.migrating
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(name.clone());
-        let taken = shared.manager.take(&name, || {
-            wal_append(
-                shared,
-                &name,
-                WalRecord::Close {
-                    session: name.clone(),
-                },
-            );
-        });
-        let (scenario, requests, tuples_in, session) = match taken {
-            Ok(parts) => parts,
-            Err(e) => {
-                // Raced a CLOSE/eviction: nothing to migrate.
-                st.migrating
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .remove(&name);
-                eprintln!("sedex-service: leave skipped `{name}`: {e}");
-                continue;
-            }
-        };
-        let mut state_writer = ByteWriter::new();
-        encode_session_state(&mut state_writer, &session.export_state());
-        let state_bytes = state_writer.into_bytes();
         let (target_node, target_addr) = &target;
-        let shipped = match clients.entry(target_addr.clone()) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                match Client::connect_with(
-                    target_addr.as_str(),
-                    ClientConfig {
-                        binary: true,
-                        ..peer_client_config()
-                    },
-                ) {
-                    Ok(c) => v.insert(c),
-                    Err(e) => {
-                        reinstall_after_failed_handoff(
-                            shared, &name, scenario, session, requests, tuples_in,
-                        );
-                        return Response::err(format!(
-                            "leave aborted: cannot reach {target_node} ({target_addr}): {e}"
-                        ));
-                    }
-                }
-            }
-        };
-        match shipped.migrate(&name, &scenario, requests, tuples_in, &state_bytes) {
-            Ok(reply) if reply.ok => {
-                st.forwarded
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .insert(name.clone(), target_node.clone());
-                st.migrating
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .remove(&name);
-                moved += 1;
-            }
-            Ok(reply) => {
-                reinstall_after_failed_handoff(
-                    shared, &name, scenario, session, requests, tuples_in,
-                );
-                return Response::err(format!(
-                    "leave aborted: {target_node} refused `{name}`: {}",
-                    reply.head
-                ));
-            }
-            Err(e) => {
-                reinstall_after_failed_handoff(
-                    shared, &name, scenario, session, requests, tuples_in,
-                );
-                return Response::err(format!(
-                    "leave aborted: handoff of `{name}` to {target_node} failed: {e}"
-                ));
-            }
+        match handoff_session(shared, st, &mut clients, &name, target_node, target_addr) {
+            Ok(true) => moved += 1,
+            Ok(false) => continue,
+            Err(e) => return Response::err(format!("leave aborted: {e}")),
         }
     }
     let peers = alive_peers(st, "");
@@ -1499,6 +1520,92 @@ fn cluster_leave_self(shared: &Shared) -> Response {
         announce_to_peers(&[(peer.clone(), addr.clone())], &format!("LEAVE {self_id}"));
     }
     Response::ok(format!("left, migrated {moved} sessions"))
+}
+
+/// Hand one live session to another node over the binary `MIGRATE` path:
+/// mark it migrating (requests answer `BUSY` meanwhile), take it out of
+/// the manager (WAL-logging the local `Close`), export its state and ship
+/// it. On success the session is forwarded; on failure it is reinstalled
+/// and the error describes why. `Ok(false)` means a racing close or
+/// eviction got there first — nothing to move. Clients are cached per
+/// target address so a multi-session handoff dials each receiver once.
+fn handoff_session(
+    shared: &Shared,
+    st: &ClusterState,
+    clients: &mut std::collections::HashMap<String, Client>,
+    name: &str,
+    target_node: &str,
+    target_addr: &str,
+) -> Result<bool, String> {
+    st.migrating
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(name.to_owned());
+    let taken = shared.manager.take(name, || {
+        wal_append(
+            shared,
+            name,
+            WalRecord::Close {
+                session: name.to_owned(),
+            },
+        );
+    });
+    let (scenario, requests, tuples_in, session) = match taken {
+        Ok(parts) => parts,
+        Err(e) => {
+            // Raced a CLOSE/eviction: nothing to migrate.
+            st.migrating
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .remove(name);
+            eprintln!("sedex-service: handoff skipped `{name}`: {e}");
+            return Ok(false);
+        }
+    };
+    let mut state_writer = ByteWriter::new();
+    encode_session_state(&mut state_writer, &session.export_state());
+    let state_bytes = state_writer.into_bytes();
+    let shipped = match clients.entry(target_addr.to_owned()) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => {
+            match Client::connect_with(
+                target_addr,
+                ClientConfig {
+                    binary: true,
+                    ..peer_client_config()
+                },
+            ) {
+                Ok(c) => v.insert(c),
+                Err(e) => {
+                    reinstall_after_failed_handoff(
+                        shared, name, scenario, session, requests, tuples_in,
+                    );
+                    return Err(format!("cannot reach {target_node} ({target_addr}): {e}"));
+                }
+            }
+        }
+    };
+    match shipped.migrate(name, &scenario, requests, tuples_in, &state_bytes) {
+        Ok(reply) if reply.ok => {
+            st.forwarded
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(name.to_owned(), target_node.to_owned());
+            st.migrating
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(name);
+            Ok(true)
+        }
+        Ok(reply) => {
+            reinstall_after_failed_handoff(shared, name, scenario, session, requests, tuples_in);
+            Err(format!("{target_node} refused `{name}`: {}", reply.head))
+        }
+        Err(e) => {
+            reinstall_after_failed_handoff(shared, name, scenario, session, requests, tuples_in);
+            Err(format!("handoff of `{name}` to {target_node} failed: {e}"))
+        }
+    }
 }
 
 /// Undo a half-done handoff: put the taken session back and clear the
@@ -1554,6 +1661,20 @@ fn cluster_migrate_in(
     {
         return Response::err(format!("migrate: {e}"));
     }
+    // Log the inheritance as a WAL record of its own: crash recovery *and*
+    // this node's replication followers must see the session arrive, not
+    // just the next snapshot.
+    wal_append(
+        shared,
+        session,
+        WalRecord::Install {
+            session: session.to_owned(),
+            scenario: scenario.to_owned(),
+            requests,
+            tuples_in,
+            state: state.to_vec(),
+        },
+    );
     shared.stats.opened.inc();
     shared.notify_sweeper();
     checkpoint_shard(shared, shared.manager.shard_index(session));
@@ -1562,6 +1683,12 @@ fn cluster_migrate_in(
 
 /// The binary-only `REPL` frame: apply one replicated WAL record to the
 /// origin's standby set. Replication traffic doubles as a life sign.
+///
+/// A gapped frame (an earlier one was lost in flight) answers `OK` too:
+/// tearing the link down would only re-ship the same stream, while the
+/// `OK` keeps the origin's ack bookkeeping consistent so its anti-entropy
+/// pass — which compares our pong-reported watermarks against its WAL
+/// heads — can heal the hole without a reconnect.
 fn cluster_repl_in(shared: &Shared, origin: &str, shard: u32, payload: &[u8]) -> Response {
     let Some(cl) = &shared.cluster else {
         return Response::err("not in cluster mode");
@@ -1575,8 +1702,11 @@ fn cluster_repl_in(shared: &Shared, origin: &str, shard: u32, payload: &[u8]) ->
         shard,
         payload,
     ) {
-        Ok(true) => Response::ok("ack"),
-        Ok(false) => Response::ok("ack duplicate"),
+        Ok(Applied::Applied) => Response::ok("ack"),
+        Ok(Applied::Duplicate) => Response::ok("ack duplicate"),
+        Ok(Applied::Gap { expected, got }) => {
+            Response::ok(format!("ack gap expected={expected} got={got}"))
+        }
         Err(e) => Response::err(format!("repl: {e}")),
     }
 }
@@ -1608,20 +1738,34 @@ pub(crate) fn repl_catchup_frames(shared: &Shared) -> Vec<ReplFrame> {
     frames
 }
 
-/// Promote a dead peer's standby: mark it dead on the ring (its points
-/// stay — every key it owned now routes to this node, its designated
-/// successor), install the shadow sessions, and checkpoint so the
-/// inherited state is durable under this node's shards. Runs on the
-/// reactor thread, from the failure detector.
+/// Handle a peer the failure detector declared dead: mark it dead on the
+/// ring (its points stay — every key it owned now routes to its designated
+/// successor) and retire its replication queue. With full-mesh heartbeats
+/// *every* node observes the silence and runs this, so origins shipping to
+/// the dead node re-target their followers on the next tick; only the dead
+/// node's designated successor additionally promotes its standby —
+/// installing the shadow sessions, WAL-logging each as an `Install` so the
+/// inheritance reaches crash recovery and this node's own followers, and
+/// checkpointing so the state is durable under this node's shards. Runs on
+/// the reactor thread, from the failure detector.
 pub(crate) fn promote_dead_peer(shared: &Shared, dead: &str) {
     let Some(cl) = &shared.cluster else {
         return;
     };
-    cl.state
-        .ring
-        .write()
-        .unwrap_or_else(|e| e.into_inner())
-        .mark_dead(dead);
+    let heir = {
+        let mut ring = cl.state.ring.write().unwrap_or_else(|e| e.into_inner());
+        ring.mark_dead(dead);
+        ring.successor(dead) == Some(cl.state.node_id())
+    };
+    cl.state.retire_repl_peer(dead);
+    if !heir {
+        eprintln!(
+            "sedex-service: node {} declared {dead} dead after {:?} silence (successor promotes)",
+            cl.state.node_id(),
+            cl.state.config.failover,
+        );
+        return;
+    }
     let set = cl
         .state
         .standby
@@ -1631,14 +1775,28 @@ pub(crate) fn promote_dead_peer(shared: &Shared, dead: &str) {
     let mut installed = 0usize;
     if let Some(set) = set {
         for (_, rs) in set.sessions {
+            let mut state_writer = ByteWriter::new();
+            encode_session_state(&mut state_writer, &rs.session.export_state());
+            let state_bytes = state_writer.into_bytes();
             match shared.manager.install(
                 &rs.name,
-                rs.scenario,
+                rs.scenario.clone(),
                 rs.session,
                 rs.requests,
                 rs.tuples_in,
             ) {
                 Ok(()) => {
+                    wal_append(
+                        shared,
+                        &rs.name,
+                        WalRecord::Install {
+                            session: rs.name.clone(),
+                            scenario: rs.scenario,
+                            requests: rs.requests,
+                            tuples_in: rs.tuples_in,
+                            state: state_bytes,
+                        },
+                    );
                     shared.stats.opened.inc();
                     installed += 1;
                 }
@@ -1945,19 +2103,30 @@ fn wal_append(shared: &Shared, session: &str, record: WalRecord) {
     match shard.append(&record) {
         Err(e) => eprintln!("sedex-service: WAL append failed on shard {idx}: {e}"),
         Ok(lsn) => {
-            // Replication rides the WAL: while the link to the successor is
-            // up, every appended record is queued for shipping — still
-            // under the durable-shard lock, so the queue preserves this
-            // shard's LSN order. With the link down the record is *not*
-            // queued; the next (re)connect catches up from disk, which this
-            // append just reached.
+            // Replication rides the WAL: every appended record fans out to
+            // each follower whose link is up — still under the
+            // durable-shard lock, so every queue preserves this shard's
+            // LSN order. A follower whose link is down gets *nothing*
+            // queued; its next (re)connect catches up from disk, which
+            // this append just reached.
             if let Some(cl) = &shared.cluster {
-                if cl.replicating.load(Ordering::Relaxed) {
-                    cl.state.enqueue_repl(idx as u32, record.encode(lsn));
-                }
+                cl.state.repl_fanout(idx as u32, || record.encode(lsn));
             }
         }
     }
+}
+
+/// The highest LSN appended to each durable shard — the heads the
+/// anti-entropy pass compares follower watermarks against. Empty without
+/// durability (nothing to replicate then either).
+pub(crate) fn shard_last_lsns(shared: &Shared) -> Vec<u64> {
+    let Some(d) = &shared.durability else {
+        return Vec::new();
+    };
+    d.shards
+        .iter()
+        .map(|s| lock_durable(s).last_lsn())
+        .collect()
 }
 
 /// Lock a durable shard, tolerating poisoning: an injected (or real) panic

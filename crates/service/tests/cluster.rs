@@ -4,13 +4,15 @@
 //! session without a single client-visible error, and killing a node fails
 //! over to byte-identical session state rebuilt from the shipped WAL.
 
+use std::collections::HashMap;
+use std::io::ErrorKind;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sedex_cluster::ClusterConfig;
-use sedex_durable::FsyncPolicy;
+use sedex_durable::{FaultKind, FaultPlan, FaultPoint, FsyncPolicy};
 use sedex_service::{
     Client, ClientConfig, ClusterClient, ClusterClientConfig, Server, ServerConfig, ServerHandle,
 };
@@ -390,4 +392,325 @@ fn killing_a_node_fails_over_to_byte_identical_state() {
     assert_eq!(dump_a, dump_a2);
     assert_eq!(dump_b, dump_b2);
     assert_eq!(events, events2, "routing decisions must be deterministic");
+}
+
+/// Start a three-node replicated (R = 2) cluster: `a` seeds, `b` and `c`
+/// join through it. Returns `(node id, handle, addr)` per node.
+fn three_nodes(tag: &str) -> Vec<(String, ServerHandle, String)> {
+    let a = Server::start(node_config("a", &tmp_dir(&format!("{tag}-a")), Vec::new())).unwrap();
+    let a_addr = a.local_addr().to_string();
+    let b = Server::start(node_config(
+        "b",
+        &tmp_dir(&format!("{tag}-b")),
+        vec![a_addr.clone()],
+    ))
+    .unwrap();
+    let b_addr = b.local_addr().to_string();
+    let c = Server::start(node_config(
+        "c",
+        &tmp_dir(&format!("{tag}-c")),
+        vec![a_addr.clone()],
+    ))
+    .unwrap();
+    let c_addr = c.local_addr().to_string();
+    for addr in [&a_addr, &b_addr, &c_addr] {
+        wait_cluster(addr, "three-node formation", |head, _| {
+            head.contains("(3 nodes, 3 alive)")
+        });
+    }
+    vec![
+        ("a".to_owned(), a, a_addr),
+        ("b".to_owned(), b, b_addr),
+        ("c".to_owned(), c, c_addr),
+    ]
+}
+
+/// Kill two of three nodes in succession-aware order and read every session
+/// back through the lone survivor. The first victim's ring successor is the
+/// survivor, so the survivor inherits its standby directly. The second
+/// victim's follower *was* the first victim — after kill one it must
+/// re-target the survivor and catch it up from the WAL on disk, which is the
+/// path this test exists to exercise.
+fn chaos_run(tag: &str, binary: bool) -> (Vec<String>, Vec<String>) {
+    let mut ring =
+        sedex_cluster::HashRing::new(sedex_cluster::DEFAULT_SEED, sedex_cluster::DEFAULT_VNODES);
+    for n in ["a", "b", "c"] {
+        ring.join(n, "x");
+    }
+    let v1 = "a".to_owned();
+    let survivor = ring.successors(&v1, 1)[0].to_owned();
+    let v2 = ["a", "b", "c"]
+        .iter()
+        .find(|n| **n != v1 && **n != survivor)
+        .unwrap()
+        .to_string();
+
+    let mut handles: HashMap<String, ServerHandle> = HashMap::new();
+    let mut addrs: HashMap<String, String> = HashMap::new();
+    for (id, handle, addr) in three_nodes(tag) {
+        handles.insert(id.clone(), handle);
+        addrs.insert(id, addr);
+    }
+
+    let mut cc = ClusterClient::connect_with(
+        addrs[&survivor].as_str(),
+        ClusterClientConfig {
+            client: ClientConfig {
+                binary,
+                ..retrying()
+            },
+            retry_pause: Duration::from_millis(50),
+            ..ClusterClientConfig::default()
+        },
+    )
+    .unwrap();
+    let sessions: Vec<String> = ["a", "b", "c"]
+        .iter()
+        .map(|n| session_owned_by(&cc, n))
+        .collect();
+    for s in &sessions {
+        open_and_fill(&mut cc, s);
+    }
+
+    // Gate 1: the first victim's WAL is fully acked by its follower and the
+    // survivor's standby actually holds the session — only then is the kill
+    // guaranteed lossless.
+    wait_cluster(&addrs[&v1], "first victim replication drain", |_, body| {
+        body.lines().any(|l| {
+            l.starts_with("repl queued=0") && l.ends_with("lag=0") && !l.contains("sent=0")
+        })
+    });
+    wait_cluster(&addrs[&survivor], "survivor standby of v1", {
+        let want = format!("standby {v1} sessions=1 ");
+        move |_, body| body.contains(&want)
+    });
+    handles.remove(&v1).unwrap().abort();
+
+    // Gate 2: both remaining nodes declare the victim dead, the survivor
+    // promotes its session, and the second victim re-targets its shipping to
+    // the survivor and drains the disk catch-up.
+    for n in [&v2, &survivor] {
+        wait_cluster(&addrs[n], "first victim declared dead", |head, _| {
+            head.contains("(3 nodes, 2 alive)")
+        });
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cc.sql(&sessions[0]).unwrap().ok {
+        assert!(
+            Instant::now() < deadline,
+            "survivor never promoted the first victim's session"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    wait_cluster(&addrs[&v2], "second victim re-targets the survivor", {
+        let prefix = format!("repl-peer {survivor} shipping=true");
+        move |_, body| {
+            body.lines()
+                .any(|l| l.starts_with(&prefix) && l.ends_with("lag=0") && !l.contains(" sent=0"))
+        }
+    });
+    wait_cluster(&addrs[&survivor], "survivor standby of v2", {
+        let want = format!("standby {v2} sessions=1 ");
+        move |_, body| body.contains(&want)
+    });
+    handles.remove(&v2).unwrap().abort();
+
+    // Gate 3: the survivor is alone and serves all three sessions.
+    wait_cluster(&addrs[&survivor], "lone survivor", |head, _| {
+        head.contains("(3 nodes, 1 alive)")
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut dumps = Vec::new();
+    for s in &sessions {
+        let dump = loop {
+            let reply = cc.sql(s).unwrap();
+            if reply.ok {
+                break reply.body();
+            }
+            assert!(
+                Instant::now() < deadline,
+                "survivor never served `{s}`: {}",
+                reply.head
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        dumps.push(dump);
+    }
+    handles.remove(&survivor).unwrap().shutdown();
+    (dumps, sessions)
+}
+
+#[test]
+fn r2_survives_two_kills_text_protocol() {
+    let (dumps, sessions) = chaos_run("chaos-text", false);
+    let names: Vec<&str> = sessions.iter().map(String::as_str).collect();
+    let reference = single_node_reference("chaos-text", &names);
+    assert_eq!(dumps, reference, "survivor state diverged from reference");
+}
+
+#[test]
+fn r2_survives_two_kills_binary_protocol() {
+    let (dumps, sessions) = chaos_run("chaos-bin", true);
+    let names: Vec<&str> = sessions.iter().map(String::as_str).collect();
+    let reference = single_node_reference("chaos-bin", &names);
+    assert_eq!(dumps, reference, "survivor state diverged from reference");
+}
+
+/// Parse a `shard:lsn,shard:lsn,…` map as printed by the `wal-lsn` and
+/// `wm=` fields of the CLUSTER dump.
+fn lsn_map(s: &str) -> HashMap<u32, u64> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .filter_map(|p| {
+            let (k, v) = p.split_once(':')?;
+            Some((k.parse().ok()?, v.parse().ok()?))
+        })
+        .collect()
+}
+
+#[test]
+fn dropped_frames_reconverge_via_anti_entropy_without_reconnect() {
+    // The sender on node a silently loses three REPL frames (the network ate
+    // them — the link itself stays up, so nothing ever reconnects). The
+    // standby on b sees LSN gaps and pins its watermark; the pong-carried
+    // watermarks expose the hole and a's next anti-entropy pass re-ships
+    // from disk. Silent drops never tear the link down, so convergence here
+    // can only come from anti-entropy.
+    let plan = Arc::new(
+        FaultPlan::new()
+            .rule(
+                FaultPoint::PeerSend,
+                3,
+                FaultKind::Error(ErrorKind::ConnectionReset),
+            )
+            .rule(
+                FaultPoint::PeerSend,
+                5,
+                FaultKind::Error(ErrorKind::ConnectionReset),
+            )
+            .rule(
+                FaultPoint::PeerSend,
+                9,
+                FaultKind::Error(ErrorKind::ConnectionReset),
+            ),
+    );
+    let mut cfg_a = node_config("a", &tmp_dir("ae-a"), Vec::new());
+    cfg_a.fault_plan = Some(Arc::clone(&plan));
+    let a = Server::start(cfg_a).unwrap();
+    let a_addr = a.local_addr().to_string();
+    let b = Server::start(node_config("b", &tmp_dir("ae-b"), vec![a_addr.clone()])).unwrap();
+    let b_addr = b.local_addr().to_string();
+    for addr in [&a_addr, &b_addr] {
+        wait_cluster(addr, "two-node formation", |head, _| {
+            head.contains("(2 nodes, 2 alive)")
+        });
+    }
+
+    let mut cc = cluster_client(&a_addr);
+    let on_a = session_owned_by(&cc, "a");
+    open_and_fill(&mut cc, &on_a);
+
+    // The origin's WAL heads are static once the fill is done; the standby's
+    // watermark must climb to meet them without any reconnect.
+    let mut ctl = Client::connect_with(a_addr.as_str(), retrying()).unwrap();
+    let dump = ctl.cluster().unwrap().into_ok().unwrap().body();
+    let heads = lsn_map(
+        dump.lines()
+            .find_map(|l| l.strip_prefix("wal-lsn "))
+            .expect("origin must report wal-lsn heads"),
+    );
+    assert!(
+        heads.values().any(|&l| l > 0),
+        "the workload must have produced WAL records"
+    );
+    wait_cluster(&b_addr, "anti-entropy convergence", move |_, body| {
+        let Some(wm) = body
+            .lines()
+            .find(|l| l.starts_with("standby a "))
+            .and_then(|l| {
+                l.split_whitespace()
+                    .find_map(|t| t.strip_prefix("wm="))
+                    .map(lsn_map)
+            })
+        else {
+            return false;
+        };
+        heads
+            .iter()
+            .all(|(s, &l)| l == 0 || wm.get(s).copied().unwrap_or(0) >= l)
+    });
+    // Convergence needs every record applied, which takes far more than
+    // nine ship attempts — so by now all three planned drops have fired.
+    assert_eq!(
+        plan.injected(FaultPoint::PeerSend),
+        3,
+        "all three planned frame drops must actually fire"
+    );
+
+    // Proof of full repair: kill the origin and the standby must serve the
+    // complete session, byte-identical to an uninterrupted run.
+    a.abort();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let dump = loop {
+        let reply = cc.sql(&on_a).unwrap();
+        if reply.ok {
+            break reply.body();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "standby never promoted after the origin died: {}",
+            reply.head
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let reference = single_node_reference("ae", &[&on_a]);
+    assert_eq!(dump, reference[0], "healed standby diverged from reference");
+    b.shutdown();
+}
+
+/// Heartbeat liveness must not depend on worker availability. `JOIN`
+/// propagation deliberately blocks a worker on each of two nodes waiting
+/// for the other's announce reply; with one worker per node, pongs routed
+/// through the pool would go silent past the failover window and the mesh
+/// would wedge into *mutual* false death — permanently, because links only
+/// connect to alive peers, so neither side would ever ping the other
+/// again. The reactor answers pings inline, which keeps every node alive
+/// straight through the announce stall.
+#[test]
+fn single_worker_nodes_form_and_hold_full_membership() {
+    let mut cfg = node_config("a", &tmp_dir("sw-a"), Vec::new());
+    cfg.workers = 1;
+    let a = Server::start(cfg).unwrap();
+    let a_addr = a.local_addr().to_string();
+    // b and c join through a back-to-back: a announces each fresh join to
+    // the other member, which re-announces it right back while a's lone
+    // worker is still inside its own announce — the mutual stall that used
+    // to silence pongs on both sides.
+    let mut cfg = node_config("b", &tmp_dir("sw-b"), vec![a_addr.clone()]);
+    cfg.workers = 1;
+    let b = Server::start(cfg).unwrap();
+    let mut cfg = node_config("c", &tmp_dir("sw-c"), vec![a_addr.clone()]);
+    cfg.workers = 1;
+    let c = Server::start(cfg).unwrap();
+    let addrs = [
+        a_addr,
+        b.local_addr().to_string(),
+        c.local_addr().to_string(),
+    ];
+    for addr in &addrs {
+        wait_cluster(addr, "single-worker three-node formation", |head, _| {
+            head.contains("(3 nodes, 3 alive)")
+        });
+    }
+    // Hold through several failover windows: no node may be declared dead
+    // on any ring once the cluster is formed and idle.
+    std::thread::sleep(FAILOVER * 3);
+    for addr in &addrs {
+        wait_cluster(addr, "sustained full membership", |head, body| {
+            head.contains("(3 nodes, 3 alive)") && !body.contains(" dead")
+        });
+    }
+    for h in [a, b, c] {
+        h.shutdown();
+    }
 }
